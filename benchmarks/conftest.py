@@ -1,0 +1,89 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Heavy simulations are session-scoped so each is run once; the
+pytest-benchmark timer wraps only the *analysis* under test (via
+``benchmark.pedantic(rounds=1)``), and every bench prints its
+paper-vs-measured table through the ``show`` fixture.
+
+Scale note: the paper's fleet is 10,000 methods and 722 billion samples;
+the benches default to a 2,000-method catalog and seconds-long DES slices
+so the whole suite completes in minutes. The shapes under test are scale-
+stable; bump the constants below to run closer to paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fleetsample import run_fleet_study
+from repro.studies import (
+    run_cross_cluster_study,
+    run_diurnal_study,
+    run_service_study,
+)
+from repro.workloads.catalog import CatalogConfig, build_catalog
+
+BENCH_METHODS = 2000
+BENCH_SAMPLES_PER_METHOD = 300
+BENCH_SEED = 7
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a results table to the real terminal (not pytest capture)."""
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+    return _show
+
+
+@pytest.fixture(scope="session")
+def bench_catalog():
+    return build_catalog(CatalogConfig(n_methods=BENCH_METHODS,
+                                       seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_fleet(bench_catalog):
+    return run_fleet_study(bench_catalog, np.random.default_rng(1),
+                           samples_per_method=BENCH_SAMPLES_PER_METHOD)
+
+
+@pytest.fixture(scope="session")
+def study8():
+    """All eight Table-1 services, one cluster (Figs. 14-15)."""
+    return run_service_study(n_clusters=1, duration_s=4.0, seed=11,
+                             dapper_sampling=0.5)
+
+
+@pytest.fixture(scope="session")
+def exo_study():
+    """The three Fig.-17 services (one per category) on two clusters."""
+    return run_service_study(
+        services=["Bigtable", "KVStore", "VideoMetadata"],
+        n_clusters=2, duration_s=3.0, seed=23, dapper_sampling=0.6,
+    )
+
+
+@pytest.fixture(scope="session")
+def multi_cluster_study():
+    """Three services across four clusters with geographic demand
+    imbalance (Figs. 16, 22)."""
+    return run_service_study(
+        services=["Bigtable", "Spanner", "MLInference"],
+        n_clusters=4, duration_s=4.0, seed=31,
+        server_machines_per_cluster=3, dapper_sampling=0.6,
+        per_cluster_rate_spread=0.45,
+    )
+
+
+@pytest.fixture(scope="session")
+def diurnal_study():
+    return run_diurnal_study(service="Bigtable", n_slices=12,
+                             slice_duration_s=1.0, seed=17)
+
+
+@pytest.fixture(scope="session")
+def cross_study():
+    return run_cross_cluster_study(service="Spanner", n_client_clusters=16,
+                                   duration_s=20.0,
+                                   calls_per_cluster_rps=25.0, seed=13)

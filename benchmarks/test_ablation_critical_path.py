@@ -1,0 +1,27 @@
+"""Ablation — tax on the critical path grows with tree depth.
+
+The paper motivates RPC Chains and OS-managed RPC (§6) by showing call
+trees are deep enough for per-hop stack/wire costs to compound. This bench
+quantifies it on synthesized multi-level traces: the tax share of a root
+RPC's critical path rises with path depth — exactly the gain a chained
+execution model would reclaim.
+"""
+
+import numpy as np
+
+from repro.core.critical_path import run_critical_path_study
+
+
+def test_ablation_critical_path(benchmark, show, bench_catalog):
+    result = benchmark.pedantic(
+        lambda: run_critical_path_study(bench_catalog, n_traces=150,
+                                        rng=np.random.default_rng(9),
+                                        max_nodes=1500),
+        rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert result.n_traces == 150
+    assert result.mean_depth >= 1.5
+    assert 0.0 < result.mean_tax_fraction < 0.9
+    # The RPC-Chain case: deeper paths carry proportionally more tax.
+    assert result.tax_grows_with_depth()

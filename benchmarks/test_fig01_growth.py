@@ -1,0 +1,25 @@
+"""Fig. 1 — normalized RPS per CPU cycle over 700 days.
+
+Paper: ~30 % annual growth, 64 % total over the window.
+"""
+
+from repro.core.growth import run_growth_study
+from repro.core.report import format_table
+
+
+def test_fig01_growth(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_growth_study(days=700), rounds=1, iterations=1,
+    )
+    table = format_table(
+        ("statistic", "measured", "paper"),
+        [
+            ("annual RPS/CPU growth", f"{result.annual_growth:.3f}", "0.30"),
+            ("total growth over 700 days", f"{result.total_growth:.3f}", "0.64"),
+            ("series points", str(len(result.days)), "700 (daily)"),
+        ],
+        title="Fig. 1 — RPS per CPU cycle, normalized",
+    )
+    show(table)
+    assert 0.22 < result.annual_growth < 0.38
+    assert 0.45 < result.total_growth < 0.85

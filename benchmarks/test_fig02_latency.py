@@ -1,0 +1,30 @@
+"""Fig. 2 — per-method RPC completion-time heatmap and CDF.
+
+Paper anchors: 90 % of methods have P1 <= 657 us; 90 % have median >=
+10.7 ms; 99.5 % have P99 >= 1 ms; the median method's P99 is 225 ms; the
+slowest 5 % have P1 >= 166 ms and P99 >= 5 s.
+"""
+
+import numpy as np
+
+from repro.core.heatmap import render_heatmap
+from repro.core.latency import analyze_latency_distribution
+from repro.core.stats import MethodPercentiles
+
+
+def test_fig02_latency_distribution(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_latency_distribution(bench_fleet),
+        rounds=1, iterations=1,
+    )
+    show(result.render())
+    grid = MethodPercentiles(result.method_names, result.percentiles,
+                             result.grid)
+    show(render_heatmap(grid,
+                        title="Fig. 2a — RPC completion time per method"))
+    assert result.frac_p1_under_657us > 0.65
+    assert result.frac_median_over_10_7ms > 0.75
+    assert result.frac_p99_over_1ms > 0.99
+    assert 100e-3 < result.median_method_p99_s < 600e-3
+    assert result.slowest5_min_p1_s > 50e-3
+    assert result.slowest5_min_p99_s > 2.0

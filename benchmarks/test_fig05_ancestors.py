@@ -1,0 +1,26 @@
+"""Fig. 5 — per-method ancestor counts (call-tree depth).
+
+Paper anchors: ancestors are much smaller than descendants; half of the
+methods have fewer than 10 ancestors at P99; depths are comparable to
+Meta's reported 5-6 at P99 and 9-19 max.
+"""
+
+import numpy as np
+
+from repro.core.calltree import run_tree_study
+
+
+def test_fig05_ancestors(benchmark, show, bench_catalog):
+    result = benchmark.pedantic(
+        lambda: run_tree_study(bench_catalog, n_trees=300,
+                               rng=np.random.default_rng(5),
+                               max_nodes=20_000),
+        rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert result.ancestors_p99_q50 < 10
+    assert result.max_depth_seen <= 16
+    # Wider than deep: typical descendant tails dwarf typical depths.
+    p99s = [np.percentile(v, 99)
+            for v in result.per_method_descendants.values()]
+    assert np.median(p99s) > 10 * result.ancestors_p99_q50

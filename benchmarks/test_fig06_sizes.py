@@ -1,0 +1,20 @@
+"""Fig. 6 — per-method request sizes.
+
+Paper anchors: minimum 64 B; half of methods have median requests under
+1530 B (responses under 315 B); typical per-method P90 requests ~11.8 KB;
+P99 requests ~196 KB and responses ~563 KB.
+"""
+
+from repro.core.sizes import analyze_sizes
+
+
+def test_fig06_request_sizes(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_sizes(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert result.min_request_bytes >= 64
+    assert 0.35 < result.frac_req_median_under_1530 < 0.65
+    assert 5e3 < result.median_method_req_p90 < 40e3
+    assert 50e3 < result.median_method_req_p99 < 500e3
+    assert 100e3 < result.median_method_resp_p99 < 1.5e6

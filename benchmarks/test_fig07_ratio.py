@@ -1,0 +1,35 @@
+"""Fig. 7 — response/request size ratio.
+
+Paper: most methods are write-dominant (median ratio < 1) but all carry
+heavy tails of both large requests and large responses.
+"""
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.core.sizes import analyze_sizes
+
+
+def test_fig07_response_request_ratio(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_sizes(bench_fleet), rounds=1, iterations=1,
+    )
+    ratio50 = np.array([m.pct("size_ratio", 50) for m in bench_fleet.methods])
+    ratio99 = np.array([m.pct("size_ratio", 99) for m in bench_fleet.methods])
+    table = format_table(
+        ("statistic", "measured", "paper"),
+        [
+            ("frac methods write-dominant (median ratio < 1)",
+             f"{result.frac_methods_write_dominant:.3f}", "majority"),
+            ("median method: median ratio", f"{np.median(ratio50):.3f}", "<1"),
+            ("median method: P99 ratio", f"{np.median(ratio99):.1f}",
+             "heavy read tail (>>1)"),
+            ("frac methods with P99 ratio > 1",
+             f"{(ratio99 > 1).mean():.3f}", "most"),
+        ],
+        title="Fig. 7 — response/request size ratio per method",
+    )
+    show(table)
+    assert result.frac_methods_write_dominant > 0.55
+    assert np.median(ratio99) > 3.0
+    assert (ratio99 > 1).mean() > 0.7

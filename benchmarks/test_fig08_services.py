@@ -1,0 +1,25 @@
+"""Fig. 8 — top services by invocations, bytes, and CPU cycles.
+
+Paper anchors: top-8 services = 60 % of invocations; Network Disk is 35 %
+of RPCs (and the most bytes) but < 2 % of fleet cycles; ML Inference is
+0.17 % of calls but 0.89 % of cycles; F1 is ~1.8 % of both.
+"""
+
+from repro.core.services import analyze_services
+
+
+def test_fig08_service_shares(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_services(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert abs(result.network_disk["calls"] - 0.35) < 0.04
+    assert result.network_disk["cycles"] < 0.06
+    assert 0.55 < result.top8_call_share < 0.75
+    # The storage/compute inversion.
+    shares = result.shares
+    assert shares["MLInference"]["cycles"] > shares["MLInference"]["calls"]
+    assert result.network_disk["cycles"] < result.network_disk["calls"]
+    # Network Disk moves the most bytes.
+    top_bytes = result.ranked("bytes", 1)[0][0]
+    assert top_bytes == "NetworkDisk"

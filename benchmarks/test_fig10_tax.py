@@ -1,0 +1,23 @@
+"""Fig. 10 — the fleet-wide RPC latency tax.
+
+Paper anchors: the average tax is 2.0 % of completion time (network
+1.1 %, proc+stack 0.49 %, queueing 0.43 %); at the P95 tail the tax is
+significant and skews toward the network.
+"""
+
+from repro.core.tax import analyze_fleet_tax
+
+
+def test_fig10_fleet_tax(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_fleet_tax(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    # Single-digit average tax, a few x the paper's 2 % at this scale.
+    assert 0.01 < result.tax_fraction < 0.10
+    f = result.component_fractions
+    assert f["network_wire"] == max(f.values())  # network ~half of the tax
+    # The tail tax balloons and skews to the network (Fig. 10c/d).
+    assert result.tail_tax_fraction > 1.5 * result.tax_fraction
+    tf = result.tail_component_fractions
+    assert tf["network_wire"] == max(tf.values())

@@ -1,0 +1,20 @@
+"""Fig. 11 — per-method ratio of the latency tax to completion time.
+
+Paper anchors: the median method's tax ratio is 8.6 %; the 10 % of
+methods with the highest overheads have median 38 % and P90 96 %; per-
+method P99 ratios span 0.5 %-99.99 %.
+"""
+
+from repro.core.tax import analyze_tax_ratio
+
+
+def test_fig11_tax_ratio(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_tax_ratio(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert 0.02 < result.median_method_median_ratio < 0.20
+    assert result.top10pct_methods_median_ratio > 0.15
+    assert result.top10pct_methods_p90_ratio > 0.5
+    lo, hi = result.p99_ratio_span
+    assert lo < 0.2 and hi > 0.9

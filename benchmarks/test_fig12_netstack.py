@@ -1,0 +1,22 @@
+"""Fig. 12 — per-method wire + RPC-processing/network-stack latency.
+
+Paper anchors (per-method P99 quantiles across methods): fastest 1 % =
+6 ms, fastest 10 % = 19 ms, median = 115 ms, slowest 10 % = 271 ms,
+slowest 1 % = 826 ms — the last far above any propagation delay
+(congestion and processing, not distance).
+"""
+
+from repro.core.tax import analyze_netstack
+
+
+def test_fig12_netstack(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_netstack(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    q = result.p99_quantiles
+    # Ordering and orders of magnitude.
+    assert q[0.01] < q[0.10] < q[0.50] < q[0.90] < q[0.99]
+    assert 1e-3 < q[0.01] < 30e-3
+    assert 20e-3 < q[0.50] < 300e-3
+    assert q[0.99] > 0.3  # beyond the ~200 ms propagation ceiling

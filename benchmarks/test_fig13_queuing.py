@@ -1,0 +1,21 @@
+"""Fig. 13 — per-method queueing latency.
+
+Paper anchors: half of methods have median queueing <= 360 us and P99 <=
+102 ms; the worst 10 % of methods have median >= 1.1 ms and P99 >= 611 ms
+— tail queueing far exceeds median queueing.
+"""
+
+from repro.core.tax import analyze_queueing
+
+
+def test_fig13_queueing(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_queueing(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert result.frac_median_under_360us > 0.4
+    assert result.frac_p99_under_102ms > 0.4
+    assert 0.3e-3 < result.worst10pct_median_s < 5e-3
+    assert result.worst10pct_p99_s > 0.1
+    # The headline: tail queueing is orders of magnitude above the median.
+    assert result.worst10pct_p99_s > 50 * result.worst10pct_median_s

@@ -1,0 +1,51 @@
+"""Fig. 15 — what-if analysis: % of P95-tail RPCs rescued by replacing one
+component with its median.
+
+Paper: the rescuing component matches each service's dominant category —
+e.g. Network Disk/F1/BigQuery/ML Inference are rescued by fixing server
+application time, SSD cache by its server queues, KV-Store by response
+RPC-stack processing.
+"""
+
+from repro.core.report import format_table
+from repro.core.whatif import what_if_for_service
+from repro.rpc.stack import APP_COMPONENT, COMPONENTS
+from repro.workloads.services import SERVICE_SPECS
+
+
+def test_fig15_whatif(benchmark, show, study8):
+    def compute():
+        return {
+            name: what_if_for_service(study8.dapper, name, spec.method)
+            for name, spec in SERVICE_SPECS.items()
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    short = {c: c.replace("client_", "cli ").replace("server_", "srv ")
+              .replace("request_", "req ").replace("response_", "rsp ")
+              .replace("network_wire", "wire").replace("proc_stack", "proc")
+              .replace("_queue", " q").replace("application", "app")
+             for c in COMPONENTS}
+    rows = []
+    for name in SERVICE_SPECS:
+        r = results[name]
+        rows.append([name] + [f"{r.percent_rescued[c]:.1f}" for c in COMPONENTS])
+    show(format_table(
+        ["service"] + [short[c] for c in COMPONENTS], rows,
+        title="Fig. 15 — % of P95-tail RPCs rescued per component",
+    ))
+
+    # Application-heavy services are rescued by the handler.
+    for name in ("Bigtable", "MLInference", "F1"):
+        assert results[name].dominant() == APP_COMPONENT
+    # Queue-heavy: server receive queue dominates the rescue.
+    assert results["SSDCache"].dominant() == "server_recv_queue"
+    # KV-Store's tail is NOT the handler: queueing and the response path
+    # (stack + wire) drive it, as in the paper's Fig. 15 row where "Resp
+    # RPC + Network Stack" is the largest entry.
+    kv = results["KVStore"]
+    assert kv.dominant() != APP_COMPONENT
+    response_side = (kv.percent_rescued["response_proc_stack"]
+                     + kv.percent_rescued["response_network_wire"])
+    assert response_side > 10.0

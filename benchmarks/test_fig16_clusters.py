@@ -1,0 +1,33 @@
+"""Fig. 16 — P95 latency breakdown across clusters.
+
+Paper: for the same RPC on identical platforms, the P95 latency varies
+1.24-10x across clusters while the dominant component stays largely the
+same — cluster state (the exogenous variables), not the workload, drives
+the difference.
+"""
+
+from repro.core.breakdown import analyze_cluster_breakdowns
+from repro.core.report import format_table
+
+
+def test_fig16_cluster_spread(benchmark, show, multi_cluster_study):
+    def compute():
+        return {
+            svc: analyze_cluster_breakdowns(
+                multi_cluster_study.dapper, svc,
+                multi_cluster_study.deployments[svc].spec.method,
+            )
+            for svc in ("Bigtable", "Spanner", "MLInference")
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for svc, r in results.items():
+        show(r.render())
+
+    spreads = [r.spread for r in results.values()]
+    # The paper's 1.24-10x band.
+    assert all(s >= 1.05 for s in spreads)
+    assert max(spreads) > 1.24
+    assert max(spreads) < 30
+    for r in results.values():
+        assert len(r.clusters) >= 3

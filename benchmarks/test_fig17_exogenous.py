@@ -1,0 +1,47 @@
+"""Fig. 17 — exogenous variables vs. near-P95 latency breakdown.
+
+Paper: Bigtable (application-heavy) tracks CPU utilization, memory
+bandwidth, long-wakeup rate, and CPI; Video Metadata (queueing-heavy)
+follows similar trends; KV-Store (stack-heavy, reserved cores) responds
+mainly to CPI.
+"""
+
+from repro.core.exogenous import EXOGENOUS_VARIABLES, exogenous_curve
+from repro.core.report import format_table
+from repro.workloads.services import SERVICE_SPECS
+
+
+def test_fig17_exogenous_correlations(benchmark, show, exo_study):
+    services = ("Bigtable", "KVStore", "VideoMetadata")
+
+    def compute():
+        out = {}
+        for svc in services:
+            spans = exo_study.dapper.spans_for_method(
+                svc, SERVICE_SPECS[svc].method
+            )
+            out[svc] = {
+                var: exogenous_curve(spans, var, service=svc, n_buckets=6)
+                for var in EXOGENOUS_VARIABLES
+            }
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for svc in services:
+        rows.append([svc] + [
+            f"{results[svc][var].correlation:+.2f}"
+            for var in EXOGENOUS_VARIABLES
+        ])
+    show(format_table(
+        ["service"] + [v.replace("exo_", "") for v in EXOGENOUS_VARIABLES],
+        rows,
+        title="Fig. 17 — corr(exogenous variable, near-P95 latency)",
+    ))
+
+    # The app-heavy service tracks CPI and CPU pressure.
+    assert results["Bigtable"]["exo_cycles_per_inst"].correlation > 0.2
+    assert results["Bigtable"]["exo_cpu_util"].correlation > 0.2
+    # KV-Store (reserved cores) still tracks CPI.
+    assert results["KVStore"]["exo_cycles_per_inst"].correlation > 0.0

@@ -1,0 +1,42 @@
+"""Fig. 19 — Spanner cross-cluster latency breakdown by client cluster.
+
+Paper: latency is low and same-shaped within a datacenter or nearby
+clusters, then the network-wire component grows to dominate as clients
+move to other countries and continents; median cross-cluster latency
+closely matches wire propagation (congestion is not the common case).
+"""
+
+import numpy as np
+
+from repro.core.crosscluster import analyze_cross_cluster
+from repro.net.latency import PathClass
+
+
+def test_fig19_cross_cluster(benchmark, show, cross_study):
+    home = cross_study.fleet.clusters[0].name
+
+    result = benchmark.pedantic(
+        lambda: analyze_cross_cluster(
+            cross_study.dapper, "Spanner", "ReadRows",
+            cross_study.network, cross_study.clusters_by_name(), home,
+            min_spans=25,
+        ),
+        rounds=1, iterations=1,
+    )
+    show(result.render())
+
+    # The distance staircase: same-cluster fastest, WAN slowest.
+    assert result.path_classes[0] == PathClass.SAME_CLUSTER
+    assert result.path_classes[-1] == PathClass.WAN
+    totals = result.totals()
+    assert totals[-1] > 10 * totals[0]
+
+    # Wire dominates far away but not at home.
+    assert result.wire_fraction[0] < 0.5
+    assert result.wire_fraction[-1] > 0.7
+
+    # §3.3.5: median WAN wire ~= propagation (not congestion).
+    ratios = result.median_wire_vs_propagation()
+    wan = [r for pc, r in zip(result.path_classes, ratios)
+           if pc == PathClass.WAN]
+    assert wan and all(0.6 < r < 2.0 for r in wan)

@@ -1,0 +1,22 @@
+"""Fig. 20 — the RPC cycle tax.
+
+Paper anchors: 7.1 % of all fleet CPU cycles; compression 3.1 %,
+networking 1.7 %, serialization 1.2 %, RPC library 1.1 %.
+"""
+
+from repro.core.cycles import analyze_cycle_tax
+
+
+def test_fig20_cycle_tax(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_cycle_tax(bench_fleet.gwp), rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert 0.03 < result.tax_fraction < 0.12
+    f = result.category_fractions
+    # Ordering: compression > networking > serialization; the library is
+    # the smallest slice (the paper's argument against RPC-library-only
+    # SmartNIC offload, §5.3).
+    assert f["compression"] == max(f.values())
+    assert f["networking"] > f["serialization"]
+    assert abs(f["compression"] - 0.031) < 0.02

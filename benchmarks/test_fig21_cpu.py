@@ -1,0 +1,24 @@
+"""Fig. 21 — per-method CPU cycles per RPC.
+
+Paper anchors: the cheapest 10 % of calls sit in a tight 0.017-0.02
+normalized-cycle band across methods (a fixed dispatch floor); expensive
+calls span 0.02-0.16+ across methods; per-method P99 is one-to-two orders
+above the median; cost correlates with neither size nor latency.
+"""
+
+from repro.core.cycles import analyze_method_cycles
+
+
+def test_fig21_method_cycles(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_method_cycles(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    lo, hi = result.p10_band
+    assert 0.015 < lo < 0.025
+    assert hi < 0.06          # cheap calls hug the floor fleet-wide
+    p90_lo, p90_hi = result.p90_band
+    assert p90_hi > 2 * p90_lo  # expensive calls spread widely
+    assert 5 < result.p99_over_median_median < 500
+    assert abs(result.corr_cycles_latency) < 0.6
+    assert abs(result.corr_cycles_size) < 0.6

@@ -1,0 +1,27 @@
+"""Fig. 23 — RPC error mix by frequency and wasted CPU cycles.
+
+Paper anchors: 1.9 % of RPCs error; Cancelled is 45 % of errors and 55 %
+of wasted cycles (hedging); "entity not found" is 20 % / 21 %.
+"""
+
+from repro.core.errors import analyze_errors
+from repro.rpc.errors import ErrorModel, StatusCode
+
+
+def test_fig23_error_mix(benchmark, show, bench_fleet):
+    result = benchmark.pedantic(
+        lambda: analyze_errors(bench_fleet), rounds=1, iterations=1,
+    )
+    show(result.render())
+    assert abs(result.error_rate - 0.019) < 0.01
+    assert result.count_shares[StatusCode.CANCELLED] == max(
+        result.count_shares.values()
+    )
+    assert abs(result.count_shares[StatusCode.CANCELLED] - 0.45) < 0.15
+    # Cancellations burn an outsized share of cycles.
+    assert (result.cycle_shares[StatusCode.CANCELLED]
+            >= 0.8 * result.count_shares[StatusCode.CANCELLED])
+    # The configured model's analytic shares hit the paper exactly.
+    exact = ErrorModel().expected_cycle_shares()
+    assert abs(exact[StatusCode.CANCELLED] - 0.55) < 0.03
+    assert abs(exact[StatusCode.NOT_FOUND] - 0.21) < 0.03

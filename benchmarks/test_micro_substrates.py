@@ -1,0 +1,106 @@
+"""Microbenchmarks of the substrate hot paths.
+
+Unlike the figure benches (one-shot studies timed with rounds=1), these
+use pytest-benchmark's statistical timing on genuinely hot operations:
+wire-codec encode/decode, LZSS, ChaCha20, the DES event loop, and the
+vectorized catalog sampler. They guard against performance regressions in
+the code every study depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rpc import compression, crypto
+from repro.rpc.wire import FieldSpec, FieldType, MessageSchema, decode_message, encode_message
+from repro.sim.engine import Simulator
+from repro.sim.queues import Job, ServerPool
+from repro.workloads.catalog import sample_method_calls
+
+SCHEMA = MessageSchema("Bench", [
+    FieldSpec(1, "id", FieldType.UINT64),
+    FieldSpec(2, "name", FieldType.STRING),
+    FieldSpec(3, "payload", FieldType.BYTES),
+    FieldSpec(4, "tags", FieldType.STRING, repeated=True),
+    FieldSpec(5, "score", FieldType.DOUBLE),
+])
+MESSAGE = {
+    "id": 123456789,
+    "name": "bench-row",
+    "payload": b"x" * 512,
+    "tags": ["alpha", "beta", "gamma"],
+    "score": 3.14159,
+}
+WIRE = encode_message(SCHEMA, MESSAGE)
+TEXT = (b"GET /api/v1/users?id=12345 HTTP/1.1\r\n"
+        b"Host: service.example.com\r\n") * 40
+KEY, NONCE = bytes(32), bytes(12)
+
+
+def test_micro_wire_encode(benchmark):
+    out = benchmark(encode_message, SCHEMA, MESSAGE)
+    assert len(out) > 500
+
+
+def test_micro_wire_decode(benchmark):
+    out = benchmark(decode_message, SCHEMA, WIRE)
+    assert out["id"] == MESSAGE["id"]
+
+
+def test_micro_lzss_compress(benchmark):
+    out = benchmark(compression.compress, TEXT)
+    assert len(out) < len(TEXT)
+
+
+def test_micro_lzss_decompress(benchmark):
+    blob = compression.compress(TEXT)
+    out = benchmark(compression.decompress, blob)
+    assert out == TEXT
+
+
+def test_micro_chacha20(benchmark):
+    out = benchmark(crypto.chacha20_encrypt, KEY, NONCE, TEXT[:1024])
+    assert len(out) == 1024
+
+
+def test_micro_event_loop(benchmark):
+    """Throughput of scheduling + firing 5,000 chained events."""
+    def run():
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 5000:
+                sim.after(0.001, tick)
+
+        sim.after(0.001, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run) == 5000
+
+
+def test_micro_server_pool(benchmark):
+    """An M/G/4 pool draining 2,000 jobs."""
+    def run():
+        sim = Simulator()
+        pool = ServerPool(sim, servers=4)
+        for _ in range(2000):
+            pool.submit(Job(0.001))
+        sim.run()
+        return pool.stats.jobs_completed
+
+    assert benchmark(run) == 2000
+
+
+def test_micro_catalog_sampler(benchmark, bench_catalog):
+    """Vectorized Tier-A sampling of 2,000 calls for one method."""
+    spec = bench_catalog.methods[0]
+    rng = np.random.default_rng(0)
+
+    def run():
+        return sample_method_calls(spec, rng, 2000,
+                                   config=bench_catalog.config)
+
+    out = benchmark(run)
+    assert len(out) == 2000

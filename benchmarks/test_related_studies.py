@@ -1,0 +1,25 @@
+"""§2.4's cross-study table: our call-graph shape vs Alibaba, Meta, DSB.
+
+Paper claims to reproduce: (a) all datasets are wider than deep; (b) our
+depths are similar to Meta's (P99 5-6, max 9-19); (c) production trace
+sizes far exceed DeathStarBench's fixed 21-41-service graphs at the tail.
+"""
+
+import numpy as np
+
+from repro.core.calltree import run_tree_study
+from repro.core.related import compare_with_related_studies
+
+
+def test_related_studies_comparison(benchmark, show, bench_catalog):
+    def compute():
+        trees = run_tree_study(bench_catalog, n_trees=300,
+                               rng=np.random.default_rng(24),
+                               max_nodes=20_000)
+        return compare_with_related_studies(trees)
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(result.render())
+    assert result.wider_than_deep()
+    assert result.depth_consistent_with_meta()
+    assert result.exceeds_benchmark_suite_tail()

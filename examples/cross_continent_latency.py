@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scenario: how far away can my clients be? (Fig. 19)
+
+A Spanner-style service runs in one home cluster; clients call it from
+clusters across the globe. This script reproduces the paper's Fig. 19
+staircase — latency is flat inside a datacenter/country, then the wire
+component takes over — and verifies the §3.3.5 cross-check: median WAN
+latency closely matches speed-of-light propagation, so moving the *data*,
+not fixing the network, is the available optimization.
+
+Run:  python examples/cross_continent_latency.py
+"""
+
+from repro.core.crosscluster import analyze_cross_cluster
+from repro.core.report import fmt_seconds, format_table
+from repro.studies import run_cross_cluster_study
+
+
+def main() -> None:
+    print("Simulating Spanner in one home cluster, clients in 16 clusters "
+          "across the globe ...")
+    study = run_cross_cluster_study(service="Spanner", n_client_clusters=16,
+                                    duration_s=15.0,
+                                    calls_per_cluster_rps=30.0)
+    home = study.fleet.clusters[0].name
+    result = analyze_cross_cluster(
+        study.dapper, "Spanner", "ReadRows", study.network,
+        study.clusters_by_name(), home, min_spans=20,
+    )
+
+    rows = []
+    ratios = result.median_wire_vs_propagation()
+    for name, pc, total, wf, ratio in zip(
+        result.client_clusters, result.path_classes, result.totals(),
+        result.wire_fraction, ratios,
+    ):
+        rows.append((
+            name, pc.value, fmt_seconds(total), f"{wf:.0%}",
+            "-" if ratio != ratio else f"{ratio:.2f}",
+        ))
+    print(format_table(
+        ("client cluster", "path class", "median RCT", "wire share",
+         "wire/propagation"),
+        rows, title=f"Fig. 19 — calling {home} from around the world",
+    ))
+    print(
+        "\nTakeaway (matches §3.3.5): wire share grows from near zero to"
+        "\ndominant with distance, and the median WAN wire time is within a"
+        "\nfew tens of percent of pure propagation — the speed of light,"
+        "\nnot congestion, is the bill. Optimize data locality, not TCP."
+    )
+
+
+if __name__ == "__main__":
+    main()

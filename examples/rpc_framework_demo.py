@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Scenario: a working key-value service on the real RPC framework.
+
+Everything here is live code, not simulation: requests are marshalled
+through the protobuf-style wire codec, compressed with LZSS, encrypted
+with ChaCha20, dispatched through the server's interceptor chain, and
+traced into a Dapper collector whose spans feed the same analyses used
+for the paper's figures.
+
+Run:  python examples/rpc_framework_demo.py
+"""
+
+import time
+
+from repro.core.report import format_table
+from repro.obs.dapper import DapperCollector, Span
+from repro.rpc.errors import RpcError, StatusCode
+from repro.rpc.framework import Channel, LoopbackTransport, RpcServer, ServiceDef
+from repro.rpc.stack import LatencyBreakdown
+from repro.rpc.wire import FieldSpec, FieldType, MessageSchema
+
+# ----------------------------------------------------------------------
+# Schemas (what a .proto file would generate)
+# ----------------------------------------------------------------------
+GET_REQ = MessageSchema("GetRequest", [
+    FieldSpec(1, "key", FieldType.STRING),
+])
+GET_RESP = MessageSchema("GetResponse", [
+    FieldSpec(1, "value", FieldType.BYTES),
+    FieldSpec(2, "version", FieldType.UINT64),
+])
+PUT_REQ = MessageSchema("PutRequest", [
+    FieldSpec(1, "key", FieldType.STRING),
+    FieldSpec(2, "value", FieldType.BYTES),
+])
+PUT_RESP = MessageSchema("PutResponse", [
+    FieldSpec(1, "version", FieldType.UINT64),
+])
+SCAN_REQ = MessageSchema("ScanRequest", [
+    FieldSpec(1, "prefix", FieldType.STRING),
+    FieldSpec(2, "limit", FieldType.INT64),
+])
+SCAN_RESP = MessageSchema("ScanResponse", [
+    FieldSpec(1, "keys", FieldType.STRING, repeated=True),
+])
+
+
+def build_service():
+    """A KV store with versioned puts, gets, and prefix scans."""
+    store = {}
+    versions = {}
+    svc = ServiceDef("KVStore")
+
+    @svc.method("Put", PUT_REQ, PUT_RESP)
+    def put(request):
+        key = request["key"]
+        store[key] = request["value"]
+        versions[key] = versions.get(key, 0) + 1
+        return {"version": versions[key]}
+
+    @svc.method("Get", GET_REQ, GET_RESP)
+    def get(request):
+        key = request["key"]
+        if key not in store:
+            raise RpcError(StatusCode.NOT_FOUND, f"key {key!r} not found")
+        return {"value": store[key], "version": versions[key]}
+
+    @svc.method("Scan", SCAN_REQ, SCAN_RESP)
+    def scan(request):
+        prefix = request.get("prefix", "")
+        limit = request.get("limit", 100)
+        keys = sorted(k for k in store if k.startswith(prefix))[:limit]
+        return {"keys": keys}
+
+    return svc
+
+
+def main() -> None:
+    key, nonce = bytes(range(32)), bytes(12)
+    server = RpcServer(key=key, nonce=nonce)
+    server.register(build_service())
+    channel = Channel(LoopbackTransport(server), key=key, nonce=nonce)
+
+    # A tracing interceptor: every real call becomes a Dapper span.
+    dapper = DapperCollector(sampling_rate=1.0)
+    timings = {}
+
+    def trace_start(info, request):
+        timings[info.span_id] = time.perf_counter()
+
+    channel.add_interceptor(trace_start)
+
+    def traced_call(method, request, req_schema, resp_schema):
+        t0 = time.perf_counter()
+        try:
+            reply = channel.call("KVStore", method, request,
+                                 req_schema, resp_schema)
+            status = StatusCode.OK
+        except RpcError as err:
+            reply, status = None, err.status
+        elapsed = time.perf_counter() - t0
+        dapper.record(Span(
+            trace_id=channel.calls_made, span_id=channel.calls_made,
+            parent_id=None, service="KVStore", method=method,
+            client_cluster="local", server_cluster="local",
+            server_machine="loopback", start_time=t0,
+            breakdown=LatencyBreakdown(server_application=elapsed),
+            status=status,
+        ))
+        return reply
+
+    print("Writing 500 versioned records through the encrypted channel ...")
+    for i in range(500):
+        traced_call("Put", {"key": f"user:{i:04d}",
+                            "value": f"profile-data-{i}".encode() * 10},
+                    PUT_REQ, PUT_RESP)
+    print("Reading them back, plus a scan and a miss ...")
+    for i in range(0, 500, 7):
+        reply = traced_call("Get", {"key": f"user:{i:04d}"},
+                            GET_REQ, GET_RESP)
+        assert reply["version"] == 1
+    scan = traced_call("Scan", {"prefix": "user:000", "limit": 20},
+                       SCAN_REQ, SCAN_RESP)
+    missing = traced_call("Get", {"key": "ghost"}, GET_REQ, GET_RESP)
+    assert missing is None
+
+    ok = dapper.ok_spans()
+    errors = [s for s in dapper.spans if not s.ok]
+    lat = sorted(s.completion_time for s in ok)
+    print(format_table(
+        ("metric", "value"),
+        [
+            ("calls made", channel.calls_made),
+            ("server handled", server.calls_served),
+            ("bytes on the wire", channel.transport.bytes_sent
+             + channel.transport.bytes_received),
+            ("scan returned", len(scan["keys"])),
+            ("errors (expected 1 NOT_FOUND)",
+             f"{len(errors)} ({errors[0].status.name})"),
+            ("median call latency", f"{lat[len(lat)//2]*1e6:.0f}us"),
+            ("P99 call latency", f"{lat[int(len(lat)*0.99)]*1e6:.0f}us"),
+        ],
+        title="KVStore over the real RPC stack",
+    ))
+    print("\nThe same Dapper spans these calls produced feed the paper's "
+          "analyses;\nsee examples/storage_service_study.py for the "
+          "simulated fleet version.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: diagnose where a storage service's tail latency comes from.
+
+This is the paper's §3.3 methodology applied end to end: run three
+production-profile services (one per bottleneck category) on a simulated
+cluster, collect Dapper traces, and answer two operator questions:
+
+ 1. Which component of the RPC anatomy dominates each service's latency
+    (Fig. 14)?
+ 2. If I could fix exactly one component, how many of my P95-tail RPCs
+    would stop being tail RPCs (Fig. 15's what-if analysis)?
+
+Run:  python examples/storage_service_study.py
+"""
+
+from repro.core.breakdown import breakdown_cdf_for_service
+from repro.core.report import fmt_seconds, format_table
+from repro.core.whatif import what_if_for_service
+from repro.studies import run_service_study
+from repro.workloads.services import SERVICE_SPECS
+
+
+def main() -> None:
+    services = ["Bigtable", "SSDCache", "KVStore"]
+    print(f"Simulating {services} on one cluster (3 s of traffic) ...")
+    study = run_service_study(services=services, n_clusters=1,
+                              duration_s=3.0, seed=11, dapper_sampling=1.0)
+    print(f"  {len(study.dapper):,} spans collected\n")
+
+    rows = []
+    for name in services:
+        method = SERVICE_SPECS[name].method
+        cdf = breakdown_cdf_for_service(study.dapper, name, method)
+        rows.append((
+            name,
+            fmt_seconds(cdf.total_at(50)),
+            fmt_seconds(cdf.total_at(95)),
+            cdf.dominant_at(50),
+            f"{cdf.dominant_share_at(50):.0%}",
+            f"{cdf.p95_over_median():.1f}x",
+        ))
+    print(format_table(
+        ("service", "P50", "P95", "dominant component", "share", "P95/P50"),
+        rows, title="Fig. 14 — where does the time go?",
+    ))
+    print()
+
+    for name in services:
+        method = SERVICE_SPECS[name].method
+        whatif = what_if_for_service(study.dapper, name, method)
+        best = whatif.dominant()
+        print(f"{name}: fixing '{best}' would rescue "
+              f"{whatif.percent_rescued[best]:.0f}% of P95-tail RPCs "
+              f"(what-if, Fig. 15)")
+    print("\nAs in the paper: the right optimization is service-specific —"
+          "\napplication time for storage reads, queueing for overloaded"
+          "\ncaches, and the RPC stack for tiny-payload in-memory lookups.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario: taming a heavy-tailed service's P99 — hedging vs better LB.
+
+F1-style services execute queries of wildly varying cost through one RPC
+method (the paper's Fig. 14c shows a 10x P95/median). Two classic
+mitigations are (a) hedged requests and (b) load-aware replica selection.
+This script measures both on the same workload, including hedging's price
+in wasted (cancelled) cycles — the effect behind Fig. 23.
+
+Run:  python examples/tail_tolerance.py
+"""
+
+import numpy as np
+
+from repro.core.report import fmt_seconds, format_table
+from repro.fleet.topology import FleetSpec, build_fleet
+from repro.net.latency import NetworkModel
+from repro.obs.dapper import DapperCollector
+from repro.rpc.errors import StatusCode
+from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
+from repro.rpc.loadbalancer import LeastLoadedPolicy, RandomPolicy
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.workloads.drivers import (
+    DeploymentConfig,
+    OpenLoopDriver,
+    ServiceDeployment,
+)
+from repro.workloads.services import SERVICE_SPECS
+
+
+def run(policy, hedging, seed=99, duration_s=3.0):
+    sim = Simulator()
+    fleet = build_fleet(FleetSpec(), seed=seed)
+    dapper = DapperCollector(sampling_rate=1.0)
+    dep = ServiceDeployment(
+        sim, SERVICE_SPECS["F1"], fleet.clusters[:1], NetworkModel(),
+        dapper=dapper, rngs=RngRegistry(seed),
+        config=DeploymentConfig(server_machines_per_cluster=4,
+                                hedging=hedging),
+    )
+    driver = OpenLoopDriver(dep, fleet.clusters[0], policy=policy)
+    driver.start(duration_s)
+    sim.run_until(duration_s + 25.0)
+    ok = np.array([s.completion_time for s in dapper.ok_spans()])
+    cancelled = sum(s.status is StatusCode.CANCELLED for s in dapper.spans)
+    return {
+        "p50": float(np.percentile(ok, 50)),
+        "p95": float(np.percentile(ok, 95)),
+        "p99": float(np.percentile(ok, 99)),
+        "extra_work": cancelled / max(len(dapper.spans), 1),
+    }
+
+
+def main() -> None:
+    # Deliberately aggressive (fires around P85-P90): aggressive hedging
+    # under blind load balancing backfires — one of this script's lessons.
+    hedge = HedgingPolicy.from_percentile_estimate(
+        p95_latency_s=8 * SERVICE_SPECS["F1"].app_median_s
+    )
+    configs = {
+        "random LB, no hedging": (RandomPolicy(), NO_HEDGING),
+        "least-loaded LB": (LeastLoadedPolicy(d=2), NO_HEDGING),
+        "random LB + hedging": (RandomPolicy(), hedge),
+        "least-loaded + hedging": (LeastLoadedPolicy(d=2), hedge),
+    }
+    print("Simulating an F1-style service under four tail strategies ...")
+    rows = []
+    for name, (policy, hedging) in configs.items():
+        r = run(policy, hedging)
+        rows.append((name, fmt_seconds(r["p50"]), fmt_seconds(r["p95"]),
+                     fmt_seconds(r["p99"]), f"{r['extra_work']:.1%}"))
+    print(format_table(
+        ("strategy", "P50", "P95", "P99", "cancelled work"),
+        rows, title="Tail tolerance for a heavy-tailed RPC method",
+    ))
+    print(
+        "\nTwo lessons: (1) hedging pays for its tail wins in duplicated"
+        "\nwork — the paper measures cancellations at 45% of errors and 55%"
+        "\nof error-wasted cycles, mostly from this pattern; (2) aggressive"
+        "\nhedging with *blind* load balancing can backfire outright — the"
+        "\nduplicated load inflates the very queues that caused the tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

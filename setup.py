@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists only so
+that ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Cloud-Scale Characterization of Remote "
+        "Procedure Calls' (SOSP 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    entry_points={"console_scripts": ["repro-rpc=repro.cli:main"]},
+)

@@ -1,0 +1,21 @@
+"""repro-rpc: a reproduction of "A Cloud-Scale Characterization of Remote
+Procedure Calls" (Seemakhupt et al., SOSP 2023).
+
+The package is organized as the paper's study was:
+
+- substrates (:mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.fleet`,
+  :mod:`repro.rpc`, :mod:`repro.workloads`) recreate the systems the paper
+  measured;
+- observability (:mod:`repro.obs`) rebuilds Monarch, Dapper, and GWP;
+- analyses (:mod:`repro.core`) compute every figure and table from the
+  observability layer's output;
+- :mod:`repro.studies` pre-wires the discrete-event studies, and
+  :mod:`repro.cli` exposes everything as the ``repro-rpc`` command.
+
+See DESIGN.md for the substitution table (what the paper used vs what this
+repository builds) and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,251 @@
+"""The ``repro-rpc`` command line.
+
+Subcommands mirror the study structure:
+
+- ``repro-rpc fleet-study``     Tier-A fleet-wide figures (2, 3, 6-8, 10-13,
+  20, 21, 23)
+- ``repro-rpc growth``          Fig. 1
+- ``repro-rpc trees``           Figs. 4-5
+- ``repro-rpc service-study``   Figs. 14-15 on the Table-1 services
+- ``repro-rpc cross-cluster``   Fig. 19
+- ``repro-rpc diurnal``         Fig. 18
+- ``repro-rpc analyze-traces``  offline analysis of a saved trace file
+
+Every subcommand prints paper-vs-measured tables; ``--save-traces`` on the
+DES studies writes a Dapper trace file that ``analyze-traces`` can consume
+later (the paper's own offline-analysis workflow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rpc",
+        description="Reproduction toolkit for 'A Cloud-Scale "
+                    "Characterization of RPCs' (SOSP 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fleet-study", help="Tier-A fleet-wide figures")
+    p.add_argument("--methods", type=int, default=1000)
+    p.add_argument("--samples", type=int, default=200,
+                   help="samples per method")
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("growth", help="Fig. 1: RPS/CPU over time")
+    p.add_argument("--days", type=int, default=700)
+
+    p = sub.add_parser("trees", help="Figs. 4-5: call-tree shape")
+    p.add_argument("--methods", type=int, default=1000)
+    p.add_argument("--trees", type=int, default=300)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("service-study",
+                       help="Figs. 14-15: the Table-1 services (DES)")
+    p.add_argument("--services", nargs="*", default=None,
+                   help="subset of the eight services (default: all)")
+    p.add_argument("--clusters", type=int, default=1)
+    p.add_argument("--duration", type=float, default=3.0,
+                   help="simulated seconds of load")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--save-traces", metavar="FILE", default=None)
+
+    p = sub.add_parser("cross-cluster", help="Fig. 19: the WAN staircase")
+    p.add_argument("--clusters", type=int, default=16)
+    p.add_argument("--duration", type=float, default=15.0)
+    p.add_argument("--save-traces", metavar="FILE", default=None)
+
+    p = sub.add_parser("diurnal", help="Fig. 18: a 24h day in slices")
+    p.add_argument("--slices", type=int, default=12)
+    p.add_argument("--slice-duration", type=float, default=1.0)
+
+    p = sub.add_parser("analyze-traces",
+                       help="offline analysis of a saved trace file")
+    p.add_argument("file")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_fleet_study(args) -> int:
+    from repro.core.cycles import analyze_cycle_tax, analyze_method_cycles
+    from repro.core.errors import analyze_errors
+    from repro.core.fleetsample import run_fleet_study
+    from repro.core.latency import analyze_latency_distribution
+    from repro.core.popularity import analyze_popularity
+    from repro.core.services import analyze_services
+    from repro.core.sizes import analyze_sizes
+    from repro.core.tax import (
+        analyze_fleet_tax,
+        analyze_netstack,
+        analyze_queueing,
+        analyze_tax_ratio,
+    )
+    from repro.workloads.catalog import CatalogConfig, build_catalog
+
+    catalog = build_catalog(CatalogConfig(n_methods=args.methods,
+                                          seed=args.seed))
+    fleet = run_fleet_study(catalog, np.random.default_rng(args.seed),
+                            samples_per_method=args.samples)
+    print(f"{fleet.total_calls_sampled:,} RPCs sampled over "
+          f"{len(fleet.methods)} methods\n")
+    for result in (
+        analyze_latency_distribution(fleet), analyze_popularity(fleet),
+        analyze_sizes(fleet), analyze_services(fleet),
+        analyze_fleet_tax(fleet), analyze_tax_ratio(fleet),
+        analyze_netstack(fleet), analyze_queueing(fleet),
+        analyze_cycle_tax(fleet.gwp), analyze_method_cycles(fleet),
+        analyze_errors(fleet),
+    ):
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_growth(args) -> int:
+    from repro.core.growth import run_growth_study
+
+    r = run_growth_study(days=args.days)
+    print(f"annual RPS/CPU growth: {r.annual_growth:.3f} (paper 0.30)")
+    print(f"total growth over {args.days} days: {r.total_growth:.3f} "
+          f"(paper 0.64 over 700)")
+    return 0
+
+
+def _cmd_trees(args) -> int:
+    from repro.core.calltree import run_tree_study
+    from repro.workloads.catalog import CatalogConfig, build_catalog
+
+    catalog = build_catalog(CatalogConfig(n_methods=args.methods,
+                                          seed=args.seed))
+    r = run_tree_study(catalog, n_trees=args.trees,
+                       rng=np.random.default_rng(args.seed))
+    print(r.render())
+    return 0
+
+
+def _cmd_service_study(args) -> int:
+    from repro.core.breakdown import breakdown_cdf_for_service
+    from repro.core.report import fmt_seconds, format_table
+    from repro.core.whatif import what_if_for_service
+    from repro.studies import run_service_study
+    from repro.workloads.services import SERVICE_SPECS
+
+    study = run_service_study(services=args.services,
+                              n_clusters=args.clusters,
+                              duration_s=args.duration, seed=args.seed,
+                              dapper_sampling=1.0)
+    names = args.services or list(SERVICE_SPECS)
+    rows = []
+    for name in names:
+        method = SERVICE_SPECS[name].method
+        cdf = breakdown_cdf_for_service(study.dapper, name, method)
+        wi = what_if_for_service(study.dapper, name, method)
+        rows.append((name, fmt_seconds(cdf.total_at(50)),
+                     fmt_seconds(cdf.total_at(95)), cdf.dominant_at(95),
+                     wi.dominant(),
+                     f"{wi.percent_rescued[wi.dominant()]:.0f}%"))
+    print(format_table(
+        ("service", "P50", "P95", "dominant@P95", "best fix", "tail rescued"),
+        rows, title="Figs. 14-15 — service latency anatomy",
+    ))
+    if args.save_traces:
+        from repro.obs.trace_io import write_traces
+
+        n = write_traces(study.dapper.spans, args.save_traces)
+        print(f"\nwrote {n:,} spans to {args.save_traces}")
+    return 0
+
+
+def _cmd_cross_cluster(args) -> int:
+    from repro.core.crosscluster import analyze_cross_cluster
+    from repro.studies import run_cross_cluster_study
+
+    study = run_cross_cluster_study(n_client_clusters=args.clusters,
+                                    duration_s=args.duration)
+    r = analyze_cross_cluster(
+        study.dapper, "Spanner", "ReadRows", study.network,
+        study.clusters_by_name(), study.fleet.clusters[0].name, min_spans=20,
+    )
+    print(r.render())
+    if args.save_traces:
+        from repro.obs.trace_io import write_traces
+
+        n = write_traces(study.dapper.spans, args.save_traces)
+        print(f"\nwrote {n:,} spans to {args.save_traces}")
+    return 0
+
+
+def _cmd_diurnal(args) -> int:
+    from repro.core.exogenous import diurnal_series
+    from repro.studies import run_diurnal_study
+
+    study = run_diurnal_study(n_slices=args.slices,
+                              slice_duration_s=args.slice_duration)
+    spans = study.dapper.spans_for_method("Bigtable", "SearchValue")
+    for cluster in sorted({s.server_cluster for s in spans}):
+        print(diurnal_series(spans, cluster, service="Bigtable",
+                             window_s=7200.0).render())
+        print()
+    return 0
+
+
+def _cmd_analyze_traces(args) -> int:
+    from repro.core.breakdown import breakdown_cdf
+    from repro.core.report import fmt_seconds, format_table
+    from repro.core.whatif import what_if_components
+    from repro.obs.trace_io import load_collector
+
+    collector = load_collector(args.file)
+    print(f"{len(collector):,} spans loaded from {args.file}\n")
+    rows = []
+    for full_method in collector.methods(min_samples=30):
+        matrix = collector.matrix_for_method(full_method)
+        cdf = breakdown_cdf(matrix, service=full_method)
+        try:
+            wi = what_if_components(matrix)
+            fix = wi.dominant()
+        except ValueError:
+            fix = "-"
+        rows.append((full_method, len(matrix),
+                     fmt_seconds(cdf.total_at(50)),
+                     fmt_seconds(cdf.total_at(95)),
+                     cdf.dominant_at(95), fix))
+    if not rows:
+        print("no method has >= 30 usable spans")
+        return 1
+    print(format_table(
+        ("method", "spans", "P50", "P95", "dominant@P95", "best fix"),
+        rows, title="offline trace analysis",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "fleet-study": _cmd_fleet_study,
+    "growth": _cmd_growth,
+    "trees": _cmd_trees,
+    "service-study": _cmd_service_study,
+    "cross-cluster": _cmd_cross_cluster,
+    "diurnal": _cmd_diurnal,
+    "analyze-traces": _cmd_analyze_traces,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's contribution: the characterization analyses.
+
+Every module here computes one (or one family of) figure/table from the
+observability substrate's output, never from simulator internals:
+
+========  ====================================================
+Figure    Module
+========  ====================================================
+Fig. 1    :mod:`repro.core.growth`
+Fig. 2    :mod:`repro.core.latency`
+Fig. 3    :mod:`repro.core.popularity`
+Figs 4-5  :mod:`repro.core.calltree`
+Figs 6-7  :mod:`repro.core.sizes`
+Fig. 8    :mod:`repro.core.services`
+Figs 10-13 :mod:`repro.core.tax`
+Figs 14,16 :mod:`repro.core.breakdown`
+Fig. 15   :mod:`repro.core.whatif`
+Figs 17-18 :mod:`repro.core.exogenous`
+Fig. 19   :mod:`repro.core.crosscluster`
+Figs 20-21 :mod:`repro.core.cycles`
+Fig. 22   :mod:`repro.core.loadbalance`
+Fig. 23   :mod:`repro.core.errors`
+§2.4      :mod:`repro.core.related` (cross-study comparison)
+extras    :mod:`repro.core.critical_path`, :mod:`repro.core.export`,
+          :mod:`repro.core.heatmap`
+========  ====================================================
+
+:mod:`repro.core.fleetsample` is the shared Tier-A engine: it samples a
+calibrated catalog into per-method populations that the per-figure modules
+then summarize. :mod:`repro.core.stats` holds the distribution machinery
+(per-method percentile grids — the paper's heatmaps — and CDFs), and
+:mod:`repro.core.report` renders results as aligned text tables.
+"""
+
+from repro.core.fleetsample import FleetSample, run_fleet_study
+from repro.core.stats import MethodPercentiles, cdf_points, percentile_grid
+
+__all__ = [
+    "FleetSample",
+    "MethodPercentiles",
+    "cdf_points",
+    "percentile_grid",
+    "run_fleet_study",
+]

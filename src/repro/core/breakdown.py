@@ -1,0 +1,184 @@
+"""Figs. 14 and 16: component-breakdown CDFs per service.
+
+Fig. 14 stacks the nine components of RPCs *sorted by completion time*,
+drawn as a CDF: the value at percentile p is the component profile of the
+RPCs around that percentile. Fig. 16 shows the P95 breakdown per cluster,
+sorted by total, exposing the 1.24-10x cross-cluster spread.
+
+Both work purely on Dapper spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.report import fmt_seconds, format_table
+from repro.obs.dapper import DapperCollector, Span
+from repro.rpc.stack import COMPONENTS, ComponentMatrix
+
+__all__ = ["BreakdownCdf", "ClusterBreakdownResult",
+           "breakdown_cdf", "breakdown_cdf_for_service",
+           "analyze_cluster_breakdowns", "dominant_component"]
+
+
+@dataclass
+class BreakdownCdf:
+    """Per-percentile mean component profile (the Fig. 14 stacked CDF)."""
+
+    service: str
+    percentiles: np.ndarray          # x-axis, e.g. 1..99
+    component_values: np.ndarray     # (n_pcts, 9): mean components at each pct
+    n_spans: int
+
+    def total_at(self, percentile: float) -> float:
+        """Total latency at a completion-time percentile."""
+        i = int(np.argmin(np.abs(self.percentiles - percentile)))
+        return float(self.component_values[i].sum())
+
+    def dominant_at(self, percentile: float) -> str:
+        """Largest mean component at a percentile."""
+        i = int(np.argmin(np.abs(self.percentiles - percentile)))
+        return COMPONENTS[int(np.argmax(self.component_values[i]))]
+
+    def dominant_share_at(self, percentile: float) -> float:
+        """The dominant component's share at a percentile."""
+        i = int(np.argmin(np.abs(self.percentiles - percentile)))
+        row = self.component_values[i]
+        return float(row.max() / row.sum()) if row.sum() > 0 else 0.0
+
+    def p95_over_median(self) -> float:
+        """Ratio of the P95 total to the median total."""
+        return self.total_at(95) / self.total_at(50)
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        out = []
+        for p in (50, 90, 95, 99):
+            i = int(np.argmin(np.abs(self.percentiles - p)))
+            row = self.component_values[i]
+            out.append((
+                f"P{p}", fmt_seconds(row.sum()), self.dominant_at(p),
+                f"{self.dominant_share_at(p):.2f}",
+            ))
+        return out
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("percentile", "total", "dominant component", "share"),
+            self.rows(),
+            title=f"Fig. 14 — {self.service}: completion-time breakdown CDF",
+        )
+
+
+def breakdown_cdf(matrix: ComponentMatrix, service: str = "",
+                  percentiles: Optional[Sequence[int]] = None,
+                  bin_halfwidth: float = 2.0) -> BreakdownCdf:
+    """Mean component profile of spans around each total-latency percentile."""
+    if len(matrix) == 0:
+        raise ValueError("no spans to analyze")
+    percentiles = np.asarray(percentiles if percentiles is not None
+                             else np.arange(1, 100), dtype=float)
+    totals = matrix.total()
+    order = np.argsort(totals)
+    n = len(totals)
+    values = np.empty((len(percentiles), matrix.values.shape[1]))
+    for j, p in enumerate(percentiles):
+        lo = int(np.clip((p - bin_halfwidth) / 100.0 * n, 0, n - 1))
+        hi = int(np.clip((p + bin_halfwidth) / 100.0 * n, lo + 1, n))
+        values[j] = matrix.values[order[lo:hi]].mean(axis=0)
+    return BreakdownCdf(service=service, percentiles=percentiles,
+                        component_values=values, n_spans=n)
+
+
+def breakdown_cdf_for_service(dapper: DapperCollector, service: str,
+                              method: str, intra_cluster_only: bool = True
+                              ) -> BreakdownCdf:
+    """Fig. 14 CDF from one service's Dapper spans."""
+    spans = dapper.spans_for_method(service, method)
+    if intra_cluster_only:
+        spans = [s for s in spans if s.client_cluster == s.server_cluster]
+    matrix = ComponentMatrix.from_breakdowns([s.breakdown for s in spans])
+    return breakdown_cdf(matrix, service=service)
+
+
+def dominant_component(matrix: ComponentMatrix) -> str:
+    """The component with the largest mean over a span population."""
+    return COMPONENTS[int(np.argmax(matrix.values.mean(axis=0)))]
+
+
+@dataclass
+class ClusterBreakdownResult:
+    """Fig. 16: per-cluster P95 component profiles for one service."""
+
+    service: str
+    clusters: List[str]              # sorted by P95 total
+    p95_components: np.ndarray       # (n_clusters, 9)
+    spread: float                    # max/min of per-cluster P95 totals
+    dominant_consistent: bool        # same dominant component across clusters
+
+    def totals(self) -> np.ndarray:
+        """Per-row total latencies (seconds)."""
+        return self.p95_components.sum(axis=1)
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            (c, fmt_seconds(t), COMPONENTS[int(np.argmax(row))])
+            for c, t, row in zip(self.clusters, self.totals(),
+                                 self.p95_components)
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        table = format_table(
+            ("cluster", "P95 total", "dominant"), self.rows(),
+            title=f"Fig. 16 — {self.service}: P95 breakdown across clusters "
+                  f"(spread {self.spread:.2f}x, paper 1.24-10x)",
+        )
+        return table
+
+
+def analyze_cluster_breakdowns(dapper: DapperCollector, service: str,
+                               method: str, min_spans: int = 50
+                               ) -> ClusterBreakdownResult:
+    """P95 component profile per server cluster (intra-cluster calls only)."""
+    spans = [
+        s for s in dapper.spans_for_method(service, method)
+        if s.client_cluster == s.server_cluster
+    ]
+    by_cluster: Dict[str, List[Span]] = {}
+    for s in spans:
+        by_cluster.setdefault(s.server_cluster, []).append(s)
+
+    rows = []
+    for cluster, cluster_spans in by_cluster.items():
+        if len(cluster_spans) < min_spans:
+            continue
+        matrix = ComponentMatrix.from_breakdowns(
+            [s.breakdown for s in cluster_spans]
+        )
+        totals = matrix.total()
+        p95 = np.percentile(totals, 95)
+        # Profile of the spans nearest the P95 total.
+        near = np.argsort(np.abs(totals - p95))[:max(5, len(totals) // 20)]
+        rows.append((cluster, matrix.values[near].mean(axis=0)))
+    if len(rows) < 2:
+        raise ValueError(
+            f"need >= 2 clusters with >= {min_spans} spans, got {len(rows)}"
+        )
+    rows.sort(key=lambda r: r[1].sum())
+    clusters = [r[0] for r in rows]
+    comps = np.vstack([r[1] for r in rows])
+    totals = comps.sum(axis=1)
+    dominants = {int(np.argmax(c)) for c in comps}
+    return ClusterBreakdownResult(
+        service=service,
+        clusters=clusters,
+        p95_components=comps,
+        spread=float(totals.max() / totals.min()),
+        dominant_consistent=len(dominants) == 1,
+    )

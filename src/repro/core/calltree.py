@@ -1,0 +1,165 @@
+"""Figs. 4-5: nested call-tree shape (descendants and ancestors).
+
+The call-tree generator is wired from the catalog: each method's fanout
+distribution drives the number of direct children, and children are drawn
+from strictly deeper layers (with popularity weighting within a layer),
+which is how the partition/aggregate hierarchy produces trees that are
+wide rather than deep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.rpc.calltree import CallTreeGenerator, TreeShapeStats, collect_shape_samples
+from repro.workloads import calibration as cal
+from repro.workloads.catalog import Catalog, LAYER_LEAF
+
+__all__ = ["TreeShapeResult", "build_generator", "analyze_tree_shape",
+           "run_tree_study"]
+
+
+def build_generator(catalog: Catalog, max_nodes: int = 20000,
+                    max_depth: int = 14) -> CallTreeGenerator:
+    """Wire a :class:`CallTreeGenerator` from catalog structure.
+
+    Routing is layered: a method's children come predominantly from the
+    *next* layer down (front-end → mid-tier → back-end → storage), with a
+    minority skipping a layer. If children were drawn popularity-weighted
+    from *all* deeper layers, the hot storage leaves would absorb every
+    edge and trees would die at depth two; tempering the weights
+    (popularity^0.35) and preferring the adjacent layer restores the
+    multi-tier shape the paper's services actually have. Storage methods
+    themselves occasionally fan out within their layer (replication,
+    re-lookups), which is what gives even "leaf" methods a descendant
+    tail.
+    """
+    specs = catalog.methods
+    by_layer: Dict[int, np.ndarray] = {}
+    weights: Dict[int, np.ndarray] = {}
+    max_layer = max(m.layer for m in specs)
+    for layer in range(max_layer + 1):
+        ids = np.array([m.method_id for m in specs if m.layer == layer])
+        if ids.size == 0:
+            continue
+        w = np.array([specs[i].popularity for i in ids]) ** 0.35
+        by_layer[layer] = ids
+        weights[layer] = w / w.sum()
+
+    available = sorted(by_layer)
+
+    def fanout_for(method_id: int):
+        """Fanout distribution of one method (generator callback)."""
+        return specs[method_id].fanout
+
+    def children_of(method_id: int, rng: np.random.Generator, k: int):
+        """Child method ids for one invocation (generator callback)."""
+        layer = specs[method_id].layer
+        deeper = [l for l in available if l > layer]
+        out = np.empty(k, dtype=int)
+        for i in range(k):
+            u = rng.random()
+            if not deeper or (layer == max_layer):
+                target = layer  # storage replication stays in-layer
+            elif u < 0.72 or len(deeper) == 1:
+                target = deeper[0]
+            elif u < 0.92:
+                target = deeper[min(1, len(deeper) - 1)]
+            else:
+                target = layer  # sibling-tier call (adds depth)
+            ids = by_layer[target]
+            out[i] = ids[rng.choice(len(ids), p=weights[target])]
+        return out
+
+    return CallTreeGenerator(fanout_for, children_of,
+                             max_nodes=max_nodes, max_depth=max_depth)
+
+
+@dataclass
+class TreeShapeResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    descendants_median_q50: float   # median across methods of median descendants
+    descendants_p90_q10: float      # 10th pct across methods of P90 descendants
+    descendants_p99_q10: float      # 10th pct across methods of P99 descendants
+    ancestors_p99_q50: float        # median across methods of P99 ancestors
+    max_depth_seen: int
+    n_methods: int
+    n_trees: int
+    per_method_descendants: Dict[int, np.ndarray]
+    per_method_ancestors: Dict[int, np.ndarray]
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            ("median descendants @ median method",
+             f"{self.descendants_median_q50:.0f}",
+             f"<= {cal.MEDIAN_DESCENDANTS_HALF_OF_METHODS}"),
+            ("P90 descendants @ 10th-pct method",
+             f"{self.descendants_p90_q10:.0f}",
+             f"> {cal.P90_DESCENDANTS_90PCT_OF_METHODS}"),
+            ("P99 descendants @ 10th-pct method",
+             f"{self.descendants_p99_q10:.0f}",
+             f"> {cal.P99_DESCENDANTS_90PCT_OF_METHODS}"),
+            ("P99 ancestors @ median method",
+             f"{self.ancestors_p99_q50:.1f}",
+             f"< {cal.P99_ANCESTORS_HALF_OF_METHODS}"),
+            ("max tree depth seen", str(self.max_depth_seen), "~9-19 (Meta comparison)"),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Figs. 4-5 — call-tree shape")
+
+
+def analyze_tree_shape(stats: TreeShapeStats, min_samples: int = 5,
+                       n_trees: int = 0) -> TreeShapeResult:
+    """Compute this figure's statistics from the study output."""
+    filtered = stats.filter_min_samples(min_samples)
+    if not filtered.descendants:
+        raise ValueError("no methods with enough tree samples")
+    med_desc, p90_desc, p99_desc, p99_anc = [], [], [], []
+    max_depth = 0
+    for mid, vals in filtered.descendants.items():
+        arr = np.asarray(vals)
+        med_desc.append(np.median(arr))
+        p90_desc.append(np.percentile(arr, 90))
+        p99_desc.append(np.percentile(arr, 99))
+        anc = np.asarray(filtered.ancestors[mid])
+        p99_anc.append(np.percentile(anc, 99))
+        max_depth = max(max_depth, int(anc.max()))
+    return TreeShapeResult(
+        descendants_median_q50=float(np.median(med_desc)),
+        descendants_p90_q10=float(np.quantile(p90_desc, 0.10)),
+        descendants_p99_q10=float(np.quantile(p99_desc, 0.10)),
+        ancestors_p99_q50=float(np.median(p99_anc)),
+        max_depth_seen=max_depth,
+        n_methods=len(filtered.descendants),
+        n_trees=n_trees,
+        per_method_descendants={k: np.asarray(v)
+                                for k, v in filtered.descendants.items()},
+        per_method_ancestors={k: np.asarray(v)
+                              for k, v in filtered.ancestors.items()},
+    )
+
+
+def run_tree_study(catalog: Catalog, n_trees: int = 400,
+                   rng: Optional[np.random.Generator] = None,
+                   max_nodes: int = 20000) -> TreeShapeResult:
+    """Sample root methods by popularity (roots come from the non-leaf
+    layers) and analyze the resulting forest."""
+    rng = rng or np.random.default_rng(0)
+    gen = build_generator(catalog, max_nodes=max_nodes)
+    roots = [m for m in catalog.methods if m.layer < LAYER_LEAF]
+    if not roots:
+        raise ValueError("catalog has no non-leaf methods to use as roots")
+    w = np.array([m.popularity for m in roots])
+    w = w / w.sum()
+    ids = np.array([m.method_id for m in roots])
+    chosen = rng.choice(ids, size=n_trees, replace=True, p=w)
+    stats = collect_shape_samples(gen, chosen, rng)
+    return analyze_tree_shape(stats, n_trees=n_trees)

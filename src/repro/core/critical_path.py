@@ -1,0 +1,222 @@
+"""Critical-path analysis over nested RPC traces.
+
+The paper measures *leaf* RPC anatomy in depth and tree *shape* separately;
+what connects them — and what systems like RPC Chains and CRISP (§6) act
+on — is the **critical path**: the chain of spans that actually determines
+a root RPC's completion time. With partition/aggregate fanout, a parent
+waits for its slowest child, so the critical path threads through tail
+children, and every extra level adds another round of stack + wire tax.
+
+This module synthesizes full multi-level traces from the catalog (tree
+shape from the fanout model, per-span component latencies from the method
+specs), then:
+
+- extracts the critical path of each trace,
+- attributes its time to application vs tax (queue/wire/stack) per level,
+- reports how the tax share of the critical path grows with tree depth —
+  the quantitative version of the paper's observation that chained RPC
+  systems gain more on deeper trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.calltree import build_generator
+from repro.core.report import fmt_seconds, format_table
+from repro.rpc.calltree import CallNode, CallTree
+from repro.rpc.stack import APP_COMPONENT, COMPONENTS
+from repro.workloads.catalog import Catalog, LAYER_LEAF, sample_method_calls
+
+__all__ = ["TraceSpan", "CriticalPath", "CriticalPathResult",
+           "synthesize_trace", "critical_path", "run_critical_path_study"]
+
+
+@dataclass
+class TraceSpan:
+    """One RPC in a synthesized multi-level trace.
+
+    ``local_app_s`` is the handler's own compute (excluding child waits);
+    ``tax_s`` is the span's total non-application latency (stack + wire +
+    queues). ``total_s`` composes bottom-up: a parent's completion time is
+    its tax, plus its own compute, plus the slowest child (children run in
+    parallel — the partition/aggregate pattern).
+    """
+
+    method_id: int
+    depth: int
+    local_app_s: float
+    tax_s: float
+    children: List["TraceSpan"] = field(default_factory=list)
+    _total: Optional[float] = None
+
+    def total_s(self) -> float:
+        """Total seconds (application + tax)."""
+        if self._total is None:
+            child_wait = max((c.total_s() for c in self.children), default=0.0)
+            self._total = self.tax_s + self.local_app_s + child_wait
+        return self._total
+
+
+@dataclass
+class CriticalPath:
+    """The chain of spans that sets a root's completion time."""
+
+    spans: List[TraceSpan]
+    app_s: float
+    tax_s: float
+
+    @property
+    def depth(self) -> int:
+        """Number of spans on the path."""
+        return len(self.spans)
+
+    @property
+    def total_s(self) -> float:
+        """Total seconds (application + tax)."""
+        return self.app_s + self.tax_s
+
+    @property
+    def tax_fraction(self) -> float:
+        """Tax as a fraction of the total."""
+        return self.tax_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def synthesize_trace(catalog: Catalog, tree: CallTree,
+                     rng: np.random.Generator) -> TraceSpan:
+    """Assign per-span latencies to a call tree's nodes.
+
+    Each node draws one sample of its method's components; the application
+    component is its *local* compute (nested waits are composed explicitly
+    by :meth:`TraceSpan.total_s`, mirroring how the paper notes that child
+    time is folded into the parent's application time in Dapper).
+    """
+    def build(node: CallNode) -> TraceSpan:
+        """Recursive constructor helper."""
+        spec = catalog.methods[node.method_id]
+        sample = sample_method_calls(spec, rng, 1, config=catalog.config)
+        row = sample.matrix.row(0)
+        span = TraceSpan(
+            method_id=node.method_id,
+            depth=node.depth,
+            local_app_s=row.server_application,
+            tax_s=row.tax(),
+            children=[build(c) for c in node.children],
+        )
+        return span
+
+    return build(tree.root)
+
+
+def critical_path(root: TraceSpan) -> CriticalPath:
+    """Walk the slowest-child chain from the root down."""
+    spans: List[TraceSpan] = []
+    app = tax = 0.0
+    node: Optional[TraceSpan] = root
+    while node is not None:
+        spans.append(node)
+        app += node.local_app_s
+        tax += node.tax_s
+        node = max(node.children, key=lambda c: c.total_s(), default=None)
+    return CriticalPath(spans=spans, app_s=app, tax_s=tax)
+
+
+@dataclass
+class CriticalPathResult:
+    """Aggregates across many synthesized traces."""
+
+    n_traces: int
+    mean_depth: float
+    mean_tax_fraction: float
+    tax_fraction_by_depth: Dict[int, float]   # path depth -> mean tax share
+    tax_seconds_by_depth: Dict[int, float]    # path depth -> mean tax seconds
+    path_depths: np.ndarray                   # per-path depth
+    path_tax_s: np.ndarray                    # per-path total tax seconds
+    mean_total_s: float
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        out = [
+            ("traces analyzed", str(self.n_traces), ""),
+            ("mean critical-path depth", f"{self.mean_depth:.1f}", ""),
+            ("mean root latency", fmt_seconds(self.mean_total_s), ""),
+            ("mean tax share of critical path",
+             f"{self.mean_tax_fraction:.1%}", "grows with depth"),
+        ]
+        for depth in sorted(self.tax_seconds_by_depth):
+            out.append((
+                f"  @ path depth {depth}",
+                f"{fmt_seconds(self.tax_seconds_by_depth[depth])} tax "
+                f"({self.tax_fraction_by_depth.get(depth, 0.0):.0%})",
+                "",
+            ))
+        return out
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("statistic", "measured", "note"), self.rows(),
+            title="Critical-path analysis (CRISP/RPC-Chain motivation)",
+        )
+
+    def tax_grows_with_depth(self) -> bool:
+        """Deeper paths stack more *absolute* per-hop tax — the RPC-Chain
+        case. (The tax *share* need not grow: deep paths often thread
+        through slow, application-dominated methods.)
+
+        Compared on medians split at the median depth: per-bucket means
+        are dominated by rare congested-WAN outliers.
+        """
+        if len(self.path_depths) < 10:
+            return False
+        med_depth = np.median(self.path_depths)
+        shallow = self.path_tax_s[self.path_depths <= med_depth]
+        deep = self.path_tax_s[self.path_depths > med_depth]
+        if len(shallow) == 0 or len(deep) == 0:
+            return False
+        return float(np.median(deep)) > float(np.median(shallow))
+
+
+def run_critical_path_study(catalog: Catalog, n_traces: int = 120,
+                            rng: Optional[np.random.Generator] = None,
+                            max_nodes: int = 2000) -> CriticalPathResult:
+    """Generate trees, synthesize latencies, and aggregate path stats."""
+    rng = rng or np.random.default_rng(0)
+    generator = build_generator(catalog, max_nodes=max_nodes)
+    roots = [m for m in catalog.methods if m.layer < LAYER_LEAF]
+    if not roots:
+        raise ValueError("catalog has no non-leaf root methods")
+    weights = np.array([m.popularity for m in roots])
+    weights = weights / weights.sum()
+    ids = np.array([m.method_id for m in roots])
+
+    paths: List[CriticalPath] = []
+    for root_id in rng.choice(ids, size=n_traces, replace=True, p=weights):
+        tree = generator.generate(int(root_id), rng)
+        trace = synthesize_trace(catalog, tree, rng)
+        paths.append(critical_path(trace))
+
+    frac_by_depth: Dict[int, List[float]] = {}
+    tax_by_depth: Dict[int, List[float]] = {}
+    for p in paths:
+        frac_by_depth.setdefault(p.depth, []).append(p.tax_fraction)
+        tax_by_depth.setdefault(p.depth, []).append(p.tax_s)
+    return CriticalPathResult(
+        n_traces=len(paths),
+        mean_depth=float(np.mean([p.depth for p in paths])),
+        mean_tax_fraction=float(np.mean([p.tax_fraction for p in paths])),
+        path_depths=np.array([p.depth for p in paths]),
+        path_tax_s=np.array([p.tax_s for p in paths]),
+        tax_fraction_by_depth={
+            d: float(np.mean(v)) for d, v in sorted(frac_by_depth.items())
+            if len(v) >= 3
+        },
+        tax_seconds_by_depth={
+            d: float(np.mean(v)) for d, v in sorted(tax_by_depth.items())
+            if len(v) >= 3
+        },
+        mean_total_s=float(np.mean([p.total_s for p in paths])),
+    )

@@ -1,0 +1,116 @@
+"""Fig. 19: cross-cluster (WAN) latency breakdown.
+
+Clients in many clusters call servers in one home cluster; the median
+latency breakdown per client cluster, sorted by geographic distance, shows
+the network-wire component growing from negligible (same datacenter) to
+dominant (different continents) — and, per §3.3.5, median cross-cluster
+latency should closely track the deterministic wire propagation (i.e., the
+typical WAN RPC is *not* congested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.report import fmt_seconds, format_table
+from repro.fleet.topology import Cluster
+from repro.net.latency import NetworkModel, PathClass
+from repro.obs.dapper import DapperCollector
+from repro.rpc.stack import ComponentMatrix
+
+__all__ = ["CrossClusterResult", "analyze_cross_cluster"]
+
+
+@dataclass
+class CrossClusterResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    service: str
+    client_clusters: List[str]       # sorted by median total latency
+    path_classes: List[PathClass]
+    median_components: np.ndarray    # (n_clusters, 9)
+    wire_propagation_rtt: np.ndarray  # deterministic RTTs from the model
+    wire_fraction: np.ndarray        # wire share of the median total
+
+    def totals(self) -> np.ndarray:
+        """Per-row total latencies (seconds)."""
+        return self.median_components.sum(axis=1)
+
+    def median_wire_vs_propagation(self) -> np.ndarray:
+        """Measured median wire / deterministic propagation RTT; ≈1 means
+        wire latency, not congestion, dominates (§3.3.5)."""
+        from repro.rpc.stack import WIRE_COMPONENTS, COMPONENTS
+        idx = [COMPONENTS.index(c) for c in WIRE_COMPONENTS]
+        wire = self.median_components[:, idx].sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.wire_propagation_rtt > 0,
+                            wire / self.wire_propagation_rtt, np.nan)
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            (c, pc.value, fmt_seconds(t), f"{wf:.2f}")
+            for c, pc, t, wf in zip(self.client_clusters, self.path_classes,
+                                    self.totals(), self.wire_fraction)
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("client cluster", "path class", "median total", "wire share"),
+            self.rows(),
+            title=f"Fig. 19 — {self.service}: cross-cluster latency breakdown",
+        )
+
+
+def analyze_cross_cluster(dapper: DapperCollector, service: str, method: str,
+                          network: NetworkModel,
+                          clusters_by_name: Dict[str, Cluster],
+                          server_cluster: str,
+                          min_spans: int = 30) -> CrossClusterResult:
+    """Compute this figure's statistics from the study output."""
+    spans = [
+        s for s in dapper.spans_for_method(service, method)
+        if s.server_cluster == server_cluster
+    ]
+    by_client: Dict[str, list] = {}
+    for s in spans:
+        by_client.setdefault(s.client_cluster, []).append(s)
+
+    home = clusters_by_name[server_cluster]
+    rows = []
+    for client_name, client_spans in by_client.items():
+        if len(client_spans) < min_spans:
+            continue
+        matrix = ComponentMatrix.from_breakdowns(
+            [s.breakdown for s in client_spans]
+        )
+        totals = matrix.total()
+        med = np.percentile(totals, 50)
+        near = np.argsort(np.abs(totals - med))[:max(5, len(totals) // 10)]
+        profile = matrix.values[near].mean(axis=0)
+        client = clusters_by_name[client_name]
+        rows.append((
+            client_name,
+            network.classify(client, home),
+            profile,
+            network.rtt_s(client, home),
+        ))
+    if not rows:
+        raise ValueError("no client clusters with enough spans")
+    rows.sort(key=lambda r: r[2].sum())
+    comps = np.vstack([r[2] for r in rows])
+    from repro.rpc.stack import COMPONENTS, WIRE_COMPONENTS
+    idx = [COMPONENTS.index(c) for c in WIRE_COMPONENTS]
+    totals = comps.sum(axis=1)
+    wire = comps[:, idx].sum(axis=1)
+    return CrossClusterResult(
+        service=service,
+        client_clusters=[r[0] for r in rows],
+        path_classes=[r[1] for r in rows],
+        median_components=comps,
+        wire_propagation_rtt=np.array([r[3] for r in rows]),
+        wire_fraction=wire / totals,
+    )

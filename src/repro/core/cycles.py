@@ -1,0 +1,117 @@
+"""Figs. 20-21: the RPC cycle tax and per-method CPU cost.
+
+Fig. 20: the fraction of all fleet cycles burned by RPC-stack work and its
+category split (compression dominates). Fig. 21: per-method per-call cycle
+distributions — a fixed dispatch floor under every method, heavy tails
+above it, and (the paper's scheduling point) per-call cost that correlates
+with neither size nor latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.exogenous import correlation
+from repro.core.fleetsample import FleetSample
+from repro.core.report import fmt_percent, format_table
+from repro.obs.gwp import GwpProfiler, TAX_CATEGORIES
+from repro.workloads import calibration as cal
+
+__all__ = ["CycleTaxResult", "MethodCyclesResult", "analyze_cycle_tax",
+           "analyze_method_cycles"]
+
+
+@dataclass
+class CycleTaxResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    tax_fraction: float
+    category_fractions: Dict[str, float]
+
+    PAPER = {
+        "compression": cal.COMPRESSION_CYCLE_FRACTION,
+        "networking": cal.NETWORKING_CYCLE_FRACTION,
+        "serialization": cal.SERIALIZATION_CYCLE_FRACTION,
+        "rpc_library": cal.RPC_LIBRARY_CYCLE_FRACTION,
+    }
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        out = [("RPC cycle tax", fmt_percent(self.tax_fraction),
+                fmt_percent(cal.FLEET_CYCLE_TAX_FRACTION))]
+        for c in TAX_CATEGORIES:
+            out.append((f"  {c}", fmt_percent(self.category_fractions[c]),
+                        fmt_percent(self.PAPER[c])))
+        return out
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 20 — RPC cycle tax")
+
+
+def analyze_cycle_tax(gwp: GwpProfiler) -> CycleTaxResult:
+    """Compute this figure's statistics from the study output."""
+    return CycleTaxResult(
+        tax_fraction=gwp.cycle_tax_fraction(),
+        category_fractions=gwp.tax_fractions_of_fleet(),
+    )
+
+
+@dataclass
+class MethodCyclesResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    p10_band: Tuple[float, float]    # per-method P10 at 10th/90th pct method
+    p90_band: Tuple[float, float]    # per-method P90 at 10th/90th pct method
+    p99_over_median_median: float    # per-method P99/median, median across methods
+    corr_cycles_latency: float       # across methods: mean cycles vs median RCT
+    corr_cycles_size: float          # across methods: mean cycles vs mean size
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            ("per-method P10 @ 10%..90% methods",
+             f"{self.p10_band[0]:.3f}..{self.p10_band[1]:.3f}",
+             f"{cal.CHEAPEST_CALLS_P10_RANGE_CYCLES[0]}..{cal.CHEAPEST_CALLS_P10_RANGE_CYCLES[1]}"),
+            ("per-method P90 @ 10%..90% methods",
+             f"{self.p90_band[0]:.3f}..{self.p90_band[1]:.3f}",
+             f"{cal.EXPENSIVE_CALLS_P90_RANGE_CYCLES[0]}..{cal.EXPENSIVE_CALLS_P90_RANGE_CYCLES[1]}+"),
+            ("median per-method P99/median",
+             f"{self.p99_over_median_median:.1f}x", "10-100x"),
+            ("corr(cycles, latency) across methods",
+             f"{self.corr_cycles_latency:+.2f}", "~0 (uncorrelated)"),
+            ("corr(cycles, size) across methods",
+             f"{self.corr_cycles_size:+.2f}", "~0 (uncorrelated)"),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 21 — per-method CPU cycles")
+
+
+def analyze_method_cycles(fleet: FleetSample) -> MethodCyclesResult:
+    """Compute this figure's statistics from the study output."""
+    methods = fleet.methods
+    if not methods:
+        raise ValueError("fleet sample has no methods")
+    p10 = np.array([m.pct("cycles", 10) for m in methods])
+    p50 = np.array([m.pct("cycles", 50) for m in methods])
+    p90 = np.array([m.pct("cycles", 90) for m in methods])
+    p99 = np.array([m.pct("cycles", 99) for m in methods])
+    mean_cycles = np.array([m.mean_cycles for m in methods])
+    median_rct = np.array([m.pct("rct", 50) for m in methods])
+    mean_size = np.array([
+        m.mean_request_bytes + m.mean_response_bytes for m in methods
+    ])
+    # Rank correlations in log space are the fair test for heavy-tailed
+    # quantities: linear correlation is destroyed by outliers either way.
+    return MethodCyclesResult(
+        p10_band=(float(np.quantile(p10, 0.10)), float(np.quantile(p10, 0.90))),
+        p90_band=(float(np.quantile(p90, 0.10)), float(np.quantile(p90, 0.90))),
+        p99_over_median_median=float(np.median(p99 / p50)),
+        corr_cycles_latency=correlation(np.log(mean_cycles), np.log(median_rct)),
+        corr_cycles_size=correlation(np.log(mean_cycles), np.log(mean_size)),
+    )

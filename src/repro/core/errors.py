@@ -1,0 +1,92 @@
+"""Fig. 23: RPC error mix by frequency and wasted CPU cycles.
+
+Cancellations (mostly hedging) dominate both counts and — outsizedly —
+cycles; "entity not found" is second. The analysis reduces either a
+:class:`~repro.core.fleetsample.FleetSample`'s tallies or raw DES spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.fleetsample import FleetSample
+from repro.core.report import fmt_percent, format_table
+from repro.obs.dapper import Span
+from repro.rpc.errors import StatusCode
+from repro.workloads import calibration as cal
+
+__all__ = ["ErrorMixResult", "analyze_errors", "analyze_span_errors"]
+
+
+@dataclass
+class ErrorMixResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    count_shares: Dict[StatusCode, float]
+    cycle_shares: Dict[StatusCode, float]
+    error_rate: float   # errors / all RPCs (NaN if unknown)
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        paper = {
+            StatusCode.CANCELLED: (cal.CANCELLED_ERROR_SHARE,
+                                   cal.CANCELLED_CYCLE_SHARE),
+            StatusCode.NOT_FOUND: (cal.NOT_FOUND_ERROR_SHARE,
+                                   cal.NOT_FOUND_CYCLE_SHARE),
+        }
+        out = []
+        for st, share in sorted(self.count_shares.items(),
+                                key=lambda kv: -kv[1]):
+            pn, pc = paper.get(st, ("-", "-"))
+            out.append((
+                st.name,
+                fmt_percent(share),
+                fmt_percent(self.cycle_shares.get(st, 0.0)),
+                pn if isinstance(pn, str) else fmt_percent(pn),
+                pc if isinstance(pc, str) else fmt_percent(pc),
+            ))
+        return out
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("error", "count share", "cycle share", "paper count", "paper cycles"),
+            self.rows(),
+            title=f"Fig. 23 — error mix (error rate {fmt_percent(self.error_rate)}, "
+                  f"paper {fmt_percent(cal.ERROR_RATE)})",
+        )
+
+
+def _normalize(d: Dict[StatusCode, float]) -> Dict[StatusCode, float]:
+    total = sum(d.values())
+    if total <= 0:
+        return {}
+    return {k: v / total for k, v in d.items()}
+
+
+def analyze_errors(fleet: FleetSample) -> ErrorMixResult:
+    """Compute this figure's statistics from the study output."""
+    error_weight = sum(fleet.error_counts.values())
+    return ErrorMixResult(
+        count_shares=_normalize(dict(fleet.error_counts)),
+        cycle_shares=_normalize(dict(fleet.error_wasted_cycles)),
+        error_rate=float(error_weight),  # popularity-weighted ~ fraction of calls
+    )
+
+
+def analyze_span_errors(spans: Sequence[Span]) -> ErrorMixResult:
+    """Error mix from raw DES spans (includes hedging cancellations)."""
+    counts: Dict[StatusCode, float] = {}
+    cycles: Dict[StatusCode, float] = {}
+    n_err = 0
+    for s in spans:
+        if s.ok:
+            continue
+        n_err += 1
+        counts[s.status] = counts.get(s.status, 0.0) + 1.0
+        cycles[s.status] = cycles.get(s.status, 0.0) + s.cpu_cycles
+    return ErrorMixResult(
+        count_shares=_normalize(counts),
+        cycle_shares=_normalize(cycles),
+        error_rate=n_err / len(spans) if spans else float("nan"),
+    )

@@ -1,0 +1,176 @@
+"""Figs. 17-18: exogenous variables vs. RPC latency.
+
+Fig. 17 buckets P95-tail RPCs by the value of an exogenous variable at the
+serving machine (our servers annotate spans with the exogenous snapshot,
+which is the join Dapper+Monarch would provide) and plots the average
+component profile per bucket.
+
+Fig. 18 overlays a 24-hour time series of tail latency with each exogenous
+variable for one service in a fast and a slow cluster, and reports the
+correlation between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.report import fmt_seconds, format_table
+from repro.obs.dapper import DapperCollector, Span
+from repro.rpc.stack import ComponentMatrix
+
+__all__ = ["ExogenousCurve", "DiurnalSeries", "EXOGENOUS_VARIABLES",
+           "exogenous_curve", "diurnal_series", "correlation"]
+
+# Table 2's variables, as annotated on spans by the DES servers.
+EXOGENOUS_VARIABLES = (
+    "exo_cpu_util",
+    "exo_memory_bw_gbps",
+    "exo_long_wakeup_rate",
+    "exo_cycles_per_inst",
+)
+
+
+@dataclass
+class ExogenousCurve:
+    """Fig. 17: per-bucket mean component profile of near-P95 RPCs."""
+
+    service: str
+    variable: str
+    bucket_centers: np.ndarray
+    component_values: np.ndarray   # (n_buckets, 9)
+    counts: np.ndarray
+    correlation: float             # corr(bucket value, total latency)
+
+    def totals(self) -> np.ndarray:
+        """Per-row total latencies (seconds)."""
+        return self.component_values.sum(axis=1)
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            (f"{c:.4g}", fmt_seconds(t), int(n))
+            for c, t, n in zip(self.bucket_centers, self.totals(), self.counts)
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            (self.variable, "near-P95 latency", "samples"), self.rows(),
+            title=(f"Fig. 17 — {self.service}: latency vs {self.variable} "
+                   f"(corr {self.correlation:+.2f})"),
+        )
+
+
+def exogenous_curve(spans: Sequence[Span], variable: str, service: str = "",
+                    n_buckets: int = 8, tail_percentile: float = 95.0,
+                    tail_tolerance: float = 0.35) -> ExogenousCurve:
+    """Bucket spans by an exogenous variable; average near-P95 components.
+
+    Mirrors §3.3.4: samples are bucketed by the exogenous value, and within
+    each bucket the RPCs with total latency near that bucket's P95 are
+    averaged per component.
+    """
+    if variable not in EXOGENOUS_VARIABLES:
+        raise KeyError(f"unknown exogenous variable {variable!r}")
+    spans = [s for s in spans if variable in s.annotations]
+    if len(spans) < n_buckets * 10:
+        raise ValueError(f"need >= {n_buckets * 10} annotated spans, got {len(spans)}")
+    values = np.array([s.annotations[variable] for s in spans])
+    totals = np.array([s.completion_time for s in spans])
+    comps = np.vstack([s.breakdown.as_array() for s in spans])
+
+    edges = np.quantile(values, np.linspace(0, 1, n_buckets + 1))
+    edges[-1] += 1e-12
+    centers, rows, counts = [], [], []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (values >= lo) & (values < hi)
+        if mask.sum() < 5:
+            continue
+        t = totals[mask]
+        p95 = np.percentile(t, tail_percentile)
+        near = mask.copy()
+        near[mask] = np.abs(t - p95) <= tail_tolerance * p95
+        if near.sum() < 2:
+            # Fall back to the top slice of the bucket.
+            idx = np.where(mask)[0][np.argsort(t)[-3:]]
+            near = np.zeros_like(mask)
+            near[idx] = True
+        centers.append(0.5 * (lo + hi))
+        rows.append(comps[near].mean(axis=0))
+        counts.append(int(near.sum()))
+    centers = np.array(centers)
+    rows = np.vstack(rows)
+    tot = rows.sum(axis=1)
+    corr = correlation(centers, tot)
+    return ExogenousCurve(service=service, variable=variable,
+                          bucket_centers=centers, component_values=rows,
+                          counts=np.array(counts), correlation=corr)
+
+
+def correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation; 0.0 when either side is degenerate."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) < 2 or np.std(x) == 0 or np.std(y) == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+@dataclass
+class DiurnalSeries:
+    """Fig. 18: windowed tail latency vs exogenous variables over a day."""
+
+    service: str
+    cluster: str
+    window_starts: np.ndarray
+    tail_latency: np.ndarray              # P95 per window
+    variables: Dict[str, np.ndarray]      # variable -> per-window mean
+    correlations: Dict[str, float]
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [(v, f"{c:+.2f}") for v, c in self.correlations.items()]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("exogenous variable", "corr with P95 latency"), self.rows(),
+            title=f"Fig. 18 — {self.service} @ {self.cluster}: 24h correlation",
+        )
+
+
+def diurnal_series(spans: Sequence[Span], cluster: str, service: str = "",
+                   window_s: float = 1800.0,
+                   variables: Sequence[str] = EXOGENOUS_VARIABLES
+                   ) -> DiurnalSeries:
+    """P95 latency and exogenous means per 30-minute window (paper cadence)."""
+    spans = [s for s in spans if s.server_cluster == cluster]
+    if not spans:
+        raise ValueError(f"no spans for cluster {cluster!r}")
+    t0 = min(s.start_time for s in spans)
+    windows: Dict[int, List[Span]] = {}
+    for s in spans:
+        windows.setdefault(int((s.start_time - t0) // window_s), []).append(s)
+    keys = sorted(k for k, v in windows.items() if len(v) >= 10)
+    if len(keys) < 4:
+        raise ValueError("need at least 4 populated windows")
+    starts = np.array([t0 + k * window_s for k in keys])
+    tail = np.array([
+        np.percentile([s.completion_time for s in windows[k]], 95)
+        for k in keys
+    ])
+    var_series: Dict[str, np.ndarray] = {}
+    correlations: Dict[str, float] = {}
+    for var in variables:
+        series = np.array([
+            np.mean([s.annotations.get(var, np.nan) for s in windows[k]])
+            for k in keys
+        ])
+        var_series[var] = series
+        correlations[var] = correlation(series, tail)
+    return DiurnalSeries(service=service, cluster=cluster,
+                         window_starts=starts, tail_latency=tail,
+                         variables=var_series, correlations=correlations)

@@ -1,0 +1,121 @@
+"""Export the data behind every figure as CSV.
+
+A measurement paper's most-requested artifact is the numbers under the
+plots. This module writes one CSV per figure from a Tier-A fleet study —
+per-method percentile ladders for the heatmap figures, share tables for
+the pies, and component fractions for the tax figures — so any plotting
+tool can regenerate the visuals without touching the simulator.
+
+Files are plain ``csv`` (stdlib), one header row, deterministic ordering
+(methods sorted by median completion time, as in the paper's heatmaps).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List
+
+from repro.core.fleetsample import FleetSample
+
+__all__ = ["export_fleet_figures", "FIGURE_FILES"]
+
+FIGURE_FILES = (
+    "fig02_latency_heatmap.csv",
+    "fig03_popularity.csv",
+    "fig06_request_sizes.csv",
+    "fig07_size_ratio.csv",
+    "fig08_service_shares.csv",
+    "fig10_fleet_tax.csv",
+    "fig11_tax_ratio.csv",
+    "fig12_netstack.csv",
+    "fig13_queueing.csv",
+    "fig21_cpu_cycles.csv",
+    "fig23_errors.csv",
+)
+
+
+def _write(path: str, header: List[str], rows: List[List]) -> None:
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _percentile_rows(fleet: FleetSample, series: str) -> tuple:
+    methods = fleet.by_median_latency()
+    pcts = methods[0].percentiles
+    header = ["method", "service", "popularity"] + [f"p{p}" for p in pcts]
+    rows = [
+        [m.full_method, m.service, f"{m.popularity:.8g}"]
+        + [f"{v:.8g}" for v in getattr(m, series)]
+        for m in methods
+    ]
+    return header, rows
+
+
+def export_fleet_figures(fleet: FleetSample, outdir: str) -> List[str]:
+    """Write every figure's CSV into ``outdir``; returns the paths."""
+    os.makedirs(outdir, exist_ok=True)
+    written: List[str] = []
+
+    def emit(name: str, header: List[str], rows: List[List]) -> None:
+        """Write one table into the report."""
+        path = os.path.join(outdir, name)
+        _write(path, header, rows)
+        written.append(path)
+
+    # Per-method percentile ladders (the heatmap figures).
+    for name, series in (
+        ("fig02_latency_heatmap.csv", "rct"),
+        ("fig06_request_sizes.csv", "request_bytes"),
+        ("fig07_size_ratio.csv", "size_ratio"),
+        ("fig11_tax_ratio.csv", "tax_ratio"),
+        ("fig12_netstack.csv", "netstack"),
+        ("fig13_queueing.csv", "queueing"),
+        ("fig21_cpu_cycles.csv", "cycles"),
+    ):
+        header, rows = _percentile_rows(fleet, series)
+        emit(name, header, rows)
+
+    # Fig. 3: popularity in latency order.
+    methods = fleet.by_median_latency()
+    emit("fig03_popularity.csv",
+         ["method", "service", "median_rct_s", "popularity"],
+         [[m.full_method, m.service, f"{m.pct('rct', 50):.8g}",
+           f"{m.popularity:.8g}"] for m in methods])
+
+    # Fig. 8: service shares.
+    shares = fleet.service_shares()
+    emit("fig08_service_shares.csv",
+         ["service", "calls", "bytes", "cycles"],
+         [[svc, f"{v['calls']:.8g}", f"{v['bytes']:.8g}",
+           f"{v['cycles']:.8g}"]
+          for svc, v in sorted(shares.items(),
+                               key=lambda kv: -kv[1]["calls"])])
+
+    # Fig. 10: fleet tax fractions (average and P95 tail).
+    avg = fleet.tax_component_fractions()
+    tail = fleet.tail_tax_component_fractions()
+    emit("fig10_fleet_tax.csv",
+         ["view", "tax_fraction", "network_wire", "proc_stack", "queueing"],
+         [
+             ["average", f"{fleet.tax_fraction():.8g}",
+              f"{avg['network_wire']:.8g}", f"{avg['proc_stack']:.8g}",
+              f"{avg['queueing']:.8g}"],
+             ["p95_tail", f"{fleet.tail_tax_fraction():.8g}",
+              f"{tail['network_wire']:.8g}", f"{tail['proc_stack']:.8g}",
+              f"{tail['queueing']:.8g}"],
+         ])
+
+    # Fig. 23: error mix.
+    total_count = sum(fleet.error_counts.values()) or 1.0
+    total_cycles = sum(fleet.error_wasted_cycles.values()) or 1.0
+    emit("fig23_errors.csv",
+         ["status", "count_share", "cycle_share"],
+         [[st.name, f"{c / total_count:.8g}",
+           f"{fleet.error_wasted_cycles.get(st, 0.0) / total_cycles:.8g}"]
+          for st, c in sorted(fleet.error_counts.items(),
+                              key=lambda kv: -kv[1])])
+
+    return written

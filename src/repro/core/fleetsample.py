@@ -1,0 +1,295 @@
+"""The shared Tier-A fleet-study engine.
+
+``run_fleet_study`` samples every method of a calibrated catalog through
+the vectorized stack model and reduces the draws into:
+
+- per-method percentile summaries (completion time, queueing, wire+stack,
+  tax ratio, sizes, CPU cost) — the raw material of every heatmap figure;
+- popularity-weighted fleet aggregates (the call-mix view behind Fig. 10's
+  "average tax is 2.0 %" and Fig. 8's service shares);
+- a GWP profile (cycle-tax categories, per-service and per-method cycles);
+- error accounting (status mix and wasted cycles, Fig. 23).
+
+Per-method sample counts are fixed (not popularity-proportional): each
+method's own percentiles need equal support, and fleet aggregates reweight
+by popularity when combining means — an unbiased estimator either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.gwp import GwpProfiler
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import StackCostModel
+from repro.workloads.catalog import Catalog, MethodSample, sample_method_calls
+
+__all__ = ["MethodSummary", "FleetSample", "run_fleet_study",
+           "NON_RPC_CYCLE_MULTIPLIER"]
+
+# Fleet cycles outside RPC serving (batch/analytics tenants), as a multiple
+# of RPC application cycles. Chosen so the fleet RPC cycle tax lands at the
+# paper's 7.1 % given the stack cost model; documented in DESIGN.md as a
+# modeled substitution (GWP sees the whole fleet, we must synthesize the
+# non-RPC remainder).
+NON_RPC_CYCLE_MULTIPLIER = 0.8
+
+_PCTS = (1, 5, 10, 25, 50, 75, 90, 95, 99)
+
+
+@dataclass
+class MethodSummary:
+    """Percentile summaries of one method's sampled population."""
+
+    full_method: str
+    service: str
+    popularity: float
+    median_app_s: float
+    n_samples: int
+    rct: np.ndarray          # percentiles of completion time
+    queueing: np.ndarray
+    netstack: np.ndarray     # wire + proc stack combined (Fig. 12)
+    tax_ratio: np.ndarray
+    request_bytes: np.ndarray
+    response_bytes: np.ndarray
+    size_ratio: np.ndarray   # response/request per call (Fig. 7)
+    cycles: np.ndarray       # total per-call cycles (app + tax)
+    mean_rct: float
+    mean_tax: float
+    mean_queue: float
+    mean_wire: float
+    mean_proc: float
+    mean_request_bytes: float
+    mean_response_bytes: float
+    mean_cycles: float       # application + tax
+    mean_app_cycles: float   # handler only (Fig. 8c attribution)
+
+    @property
+    def percentiles(self) -> Tuple[int, ...]:
+        """The percentile ladder used by the summaries."""
+        return _PCTS
+
+    def pct(self, series: str, p: int) -> float:
+        """One percentile value from a named series."""
+        return float(getattr(self, series)[_PCTS.index(p)])
+
+
+@dataclass
+class FleetSample:
+    """Everything a fleet-wide figure needs, in one object."""
+
+    methods: List[MethodSummary]
+    gwp: GwpProfiler
+    # Popularity-weighted fleet means (per-call expectations over the mix).
+    fleet_mean_rct: float
+    fleet_mean_tax: float
+    fleet_mean_queue: float
+    fleet_mean_wire: float
+    fleet_mean_proc: float
+    # P95-tail aggregates (Fig. 10c/d): popularity-weighted means over
+    # each method's calls at or above its own P95 completion time.
+    tail_mean_rct: float
+    tail_mean_tax: float
+    tail_mean_queue: float
+    tail_mean_wire: float
+    tail_mean_proc: float
+    # Error accounting (popularity-weighted tallies).
+    error_counts: Dict[StatusCode, float]
+    error_wasted_cycles: Dict[StatusCode, float]
+    total_calls_sampled: int
+
+    # ------------------------------------------------------------------
+    def by_median_latency(self) -> List[MethodSummary]:
+        """Method summaries sorted by median completion time."""
+        return sorted(self.methods, key=lambda m: m.pct("rct", 50))
+
+    def samples_by_method(self, series: str) -> Dict[str, np.ndarray]:
+        """Per-method percentile vectors (NOT raw samples) keyed by name."""
+        return {m.full_method: getattr(m, series) for m in self.methods}
+
+    def popularity(self) -> np.ndarray:
+        """Per-method popularity weights, aligned with ``methods``."""
+        return np.array([m.popularity for m in self.methods])
+
+    # -- fleet tax fractions (Fig. 10) ---------------------------------
+    def tax_fraction(self) -> float:
+        """Tax as a fraction of the total."""
+        return self.fleet_mean_tax / self.fleet_mean_rct
+
+    def tax_component_fractions(self) -> Dict[str, float]:
+        """Wire/stack/queue tax as fractions of mean RCT."""
+        t = self.fleet_mean_rct
+        return {
+            "network_wire": self.fleet_mean_wire / t,
+            "proc_stack": self.fleet_mean_proc / t,
+            "queueing": self.fleet_mean_queue / t,
+        }
+
+    def tail_tax_fraction(self) -> float:
+        """Tax share of completion time among P95-tail RPCs (Fig. 10c)."""
+        return self.tail_mean_tax / self.tail_mean_rct
+
+    def tail_tax_component_fractions(self) -> Dict[str, float]:
+        """Fig. 10d: the tail tax, split by component, as fractions of
+        tail completion time. The paper finds the tail skews to network."""
+        t = self.tail_mean_rct
+        return {
+            "network_wire": self.tail_mean_wire / t,
+            "proc_stack": self.tail_mean_proc / t,
+            "queueing": self.tail_mean_queue / t,
+        }
+
+    # -- service shares (Fig. 8) ----------------------------------------
+    def service_shares(self, cycles_of_fleet: bool = True
+                       ) -> Dict[str, Dict[str, float]]:
+        """Per-service shares of invocations, bytes, and cycles.
+
+        With ``cycles_of_fleet`` (the paper's Fig. 8c convention), cycle
+        shares are fractions of *all* fleet cycles, including the non-RPC
+        remainder GWP sees; otherwise they are fractions of RPC cycles.
+        """
+        calls: Dict[str, float] = {}
+        bytes_: Dict[str, float] = {}
+        cycles: Dict[str, float] = {}
+        for m in self.methods:
+            calls[m.service] = calls.get(m.service, 0.0) + m.popularity
+            bytes_[m.service] = bytes_.get(m.service, 0.0) + m.popularity * (
+                m.mean_request_bytes + m.mean_response_bytes
+            )
+            # Fig. 8c attributes *application* cycles to services: the
+            # stack tax (compression, networking, ...) is shared
+            # infrastructure and is accounted separately in Fig. 20.
+            cycles[m.service] = cycles.get(m.service, 0.0) + (
+                m.popularity * m.mean_app_cycles
+            )
+        tb = sum(bytes_.values()) or 1.0
+        tcy = (self.gwp.fleet_cycles() if cycles_of_fleet
+               else sum(cycles.values())) or 1.0
+        tca = sum(calls.values()) or 1.0
+        return {
+            svc: {
+                "calls": calls[svc] / tca,
+                "bytes": bytes_[svc] / tb,
+                "cycles": cycles[svc] / tcy,
+            }
+            for svc in calls
+        }
+
+
+def run_fleet_study(catalog: Catalog,
+                    rng: Optional[np.random.Generator] = None,
+                    samples_per_method: int = 300,
+                    stack: Optional[StackCostModel] = None,
+                    gwp_non_rpc_multiplier: float = NON_RPC_CYCLE_MULTIPLIER,
+                    ) -> FleetSample:
+    """Sample the whole catalog and reduce to a :class:`FleetSample`."""
+    if samples_per_method < 10:
+        raise ValueError(f"need >= 10 samples per method, got {samples_per_method}")
+    rng = rng or np.random.default_rng(0)
+    stack = stack or catalog.stack
+    gwp = GwpProfiler()
+
+    summaries: List[MethodSummary] = []
+    fleet = {"rct": 0.0, "tax": 0.0, "queue": 0.0, "wire": 0.0, "proc": 0.0}
+    tail = {"rct": 0.0, "tax": 0.0, "queue": 0.0, "wire": 0.0, "proc": 0.0}
+    err_counts: Dict[StatusCode, float] = {}
+    err_cycles: Dict[StatusCode, float] = {}
+    total_app_cycles_weighted = 0.0
+    total = 0
+
+    for spec in catalog:
+        s: MethodSample = sample_method_calls(
+            spec, rng, samples_per_method, stack=stack, config=catalog.config
+        )
+        total += len(s)
+        mat = s.matrix
+        rct = mat.total()
+        queue = mat.queueing()
+        netstack = mat.wire() + mat.proc_stack()
+        taxr = mat.tax_ratio()
+
+        cyc = gwp_cycles = stack.cycles_vec(
+            s.request_bytes, s.response_bytes, s.cycles
+        )
+        total_cycles = sum(cyc.values())
+        gwp.add_rpc_batch(spec.service, spec.method, gwp_cycles,
+                          weight=spec.popularity)
+
+        pop = spec.popularity
+        fleet["rct"] += pop * float(rct.mean())
+        fleet["tax"] += pop * float(mat.tax().mean())
+        fleet["queue"] += pop * float(queue.mean())
+        fleet["wire"] += pop * float(mat.wire().mean())
+        fleet["proc"] += pop * float(mat.proc_stack().mean())
+        total_app_cycles_weighted += pop * float(np.mean(s.cycles))
+
+        tail_mask = rct >= np.percentile(rct, 95)
+        tail["rct"] += pop * float(rct[tail_mask].mean())
+        tail["tax"] += pop * float(mat.tax()[tail_mask].mean())
+        tail["queue"] += pop * float(queue[tail_mask].mean())
+        tail["wire"] += pop * float(mat.wire()[tail_mask].mean())
+        tail["proc"] += pop * float(mat.proc_stack()[tail_mask].mean())
+
+        # Error accounting: statuses sampled per call; wasted cycles are
+        # the error call's cycles scaled by the class's burn factor. Both
+        # tallies are popularity-weighted so they reflect the call mix.
+        errored = np.array([st.is_error for st in s.statuses])
+        if errored.any():
+            per_call_weight = pop / len(s)
+            for st, c in zip(s.statuses[errored], total_cycles[errored]):
+                err_counts[st] = err_counts.get(st, 0.0) + per_call_weight
+                err_cycles[st] = err_cycles.get(st, 0.0) + per_call_weight * (
+                    float(c) * spec.error_model.wasted_cycle_factor(st)
+                )
+
+        summaries.append(MethodSummary(
+            full_method=spec.full_method,
+            service=spec.service,
+            popularity=pop,
+            median_app_s=spec.median_app_s,
+            n_samples=len(s),
+            rct=np.percentile(rct, _PCTS),
+            queueing=np.percentile(queue, _PCTS),
+            netstack=np.percentile(netstack, _PCTS),
+            tax_ratio=np.percentile(taxr, _PCTS),
+            request_bytes=np.percentile(s.request_bytes, _PCTS),
+            response_bytes=np.percentile(s.response_bytes, _PCTS),
+            size_ratio=np.percentile(s.response_bytes / s.request_bytes, _PCTS),
+            cycles=np.percentile(total_cycles, _PCTS),
+            mean_rct=float(rct.mean()),
+            mean_tax=float(mat.tax().mean()),
+            mean_queue=float(queue.mean()),
+            mean_wire=float(mat.wire().mean()),
+            mean_proc=float(mat.proc_stack().mean()),
+            mean_request_bytes=float(s.request_bytes.mean()),
+            mean_response_bytes=float(s.response_bytes.mean()),
+            mean_cycles=float(np.mean(total_cycles)),
+            mean_app_cycles=float(np.mean(s.cycles)),
+        ))
+
+    # Synthesize the non-RPC remainder of the fleet so GWP's denominators
+    # mean "all fleet cycles" as in the paper. Scale is relative to the
+    # popularity-weighted RPC application cycles actually attributed.
+    rpc_app_cycles = gwp.totals["application"]
+    gwp.add_non_rpc(gwp_non_rpc_multiplier * rpc_app_cycles)
+
+    return FleetSample(
+        methods=summaries,
+        gwp=gwp,
+        fleet_mean_rct=fleet["rct"],
+        fleet_mean_tax=fleet["tax"],
+        fleet_mean_queue=fleet["queue"],
+        fleet_mean_wire=fleet["wire"],
+        fleet_mean_proc=fleet["proc"],
+        tail_mean_rct=tail["rct"],
+        tail_mean_tax=tail["tax"],
+        tail_mean_queue=tail["queue"],
+        tail_mean_wire=tail["wire"],
+        tail_mean_proc=tail["proc"],
+        error_counts=err_counts,
+        error_wasted_cycles=err_cycles,
+        total_calls_sampled=total,
+    )

@@ -1,0 +1,123 @@
+"""ASCII rendering of the paper's per-method percentile heatmaps.
+
+Fig. 2a (and its siblings 11a, 12a, 13a, 21a) plot methods on the x-axis
+sorted by median, with a colour column per method spanning its P1..P99.
+Without a plotting stack, this module renders the same structure as text:
+density characters mark each method column's percentile bands on a
+log-scaled y-axis, which is enough to *see* the paper's shapes — the
+rising median staircase, the deep P1 reach of most methods, and the tail
+ceiling.
+
+>>> # print(render_heatmap(grid, title="Fig. 2a — RCT per method"))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.stats import MethodPercentiles
+
+__all__ = ["render_heatmap", "render_cdf"]
+
+# Band characters from faint (P1-P99 envelope) to dense (median).
+_BAND_CHARS = {"outer": ".", "inner": "+", "median": "@"}
+
+
+def _log_bins(lo: float, hi: float, height: int) -> np.ndarray:
+    lo = max(lo, 1e-12)
+    hi = max(hi, lo * 10)
+    return np.logspace(math.log10(lo), math.log10(hi), height + 1)
+
+
+def render_heatmap(grid: MethodPercentiles, width: int = 72,
+                   height: int = 16, title: Optional[str] = None,
+                   unit: str = "s") -> str:
+    """Render a per-method percentile grid as an ASCII heatmap.
+
+    Methods are downsampled to ``width`` columns (preserving the median
+    sort); rows are log-spaced latency bins, largest on top. Each column
+    marks three nested bands: ``.`` spans P1-P99, ``+`` spans P10-P90, and
+    ``@`` marks the median bin.
+    """
+    if len(grid) == 0:
+        raise ValueError("empty percentile grid")
+    pcts = grid.percentiles
+    need = {1, 10, 50, 90, 99}
+    if not need <= set(pcts):
+        raise ValueError(f"grid needs percentiles {sorted(need)}, has {pcts}")
+
+    n = len(grid)
+    cols = np.linspace(0, n - 1, min(width, n)).astype(int)
+    p = {q: grid.column(q)[cols] for q in (1, 10, 50, 90, 99)}
+
+    lo = float(np.min(p[1]))
+    hi = float(np.max(p[99]))
+    edges = _log_bins(lo, hi, height)
+
+    canvas: List[List[str]] = [[" "] * len(cols) for _ in range(height)]
+    for j in range(len(cols)):
+        for i in range(height):
+            cell_lo, cell_hi = edges[i], edges[i + 1]
+            char = None
+            if p[1][j] <= cell_hi and p[99][j] >= cell_lo:
+                char = _BAND_CHARS["outer"]
+            if p[10][j] <= cell_hi and p[90][j] >= cell_lo:
+                char = _BAND_CHARS["inner"]
+            if cell_lo <= p[50][j] <= cell_hi:
+                char = _BAND_CHARS["median"]
+            if char:
+                canvas[i][j] = char
+
+    def label(v: float) -> str:
+        """Axis label for one bin edge."""
+        if v < 1e-3:
+            return f"{v * 1e6:7.0f}u{unit}"
+        if v < 1.0:
+            return f"{v * 1e3:7.1f}m{unit}"
+        return f"{v:7.2f}{unit} "
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i in reversed(range(height)):
+        prefix = label(edges[i + 1]) if i in (height - 1, height // 2, 0) \
+            else " " * 9
+        lines.append(f"{prefix}|{''.join(canvas[i])}")
+    lines.append(" " * 9 + "+" + "-" * len(cols))
+    lines.append(" " * 10 + f"methods 1..{n}, sorted by median "
+                 f"(. = P1-P99, + = P10-P90, @ = median)")
+    return "\n".join(lines)
+
+
+def render_cdf(values: Sequence[float], width: int = 60, height: int = 12,
+               title: Optional[str] = None, unit: str = "s") -> str:
+    """Render a CDF (e.g. Fig. 2b's per-method tail latencies) as ASCII."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("no values")
+    qs = np.linspace(0, 100, width)
+    xs = np.percentile(arr, qs)
+    lo, hi = max(float(xs[0]), 1e-12), float(xs[-1])
+    edges = _log_bins(lo, hi, height)
+    lines = []
+    if title:
+        lines.append(title)
+    for i in reversed(range(height)):
+        row = []
+        for j in range(width):
+            row.append("#" if edges[i] <= xs[j] <= edges[i + 1] or
+                       (xs[j] >= edges[i + 1] and i == height - 1) or
+                       (xs[j] <= edges[i] and i == 0)
+                       else " ")
+        label = ""
+        if i == height - 1:
+            label = f"{hi:9.3g}"
+        elif i == 0:
+            label = f"{lo:9.3g}"
+        lines.append(f"{label:>9}|{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"percentile of methods 0..100 ({unit}, log y)")
+    return "\n".join(lines)

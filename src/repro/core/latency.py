@@ -1,0 +1,89 @@
+"""Fig. 2: per-method RPC completion time (heatmap + CDF).
+
+The heatmap is per-method percentile columns sorted by median; the CDF
+plots one percentile across methods. The anchor statistics quoted in §2.3
+are computed exactly as stated in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.fleetsample import FleetSample
+from repro.core.report import fmt_seconds, format_table
+from repro.workloads import calibration as cal
+
+__all__ = ["LatencyDistributionResult", "analyze_latency_distribution"]
+
+
+@dataclass
+class LatencyDistributionResult:
+    """Fig. 2's content plus the §2.3 anchors."""
+
+    # Heatmap: (n_methods, n_pcts) grid sorted by median RCT.
+    method_names: List[str]
+    percentiles: tuple
+    grid: np.ndarray
+
+    frac_p1_under_657us: float
+    frac_median_over_10_7ms: float
+    frac_p99_over_1ms: float
+    median_method_p99_s: float
+    slowest5_min_p1_s: float
+    slowest5_min_p99_s: float
+
+    def cdf_of_percentile(self, p: int) -> np.ndarray:
+        """One percentile across methods, sorted (Fig. 2b series)."""
+        return np.sort(self.grid[:, self.percentiles.index(p)])
+
+    def rows(self):
+        """Paper-vs-measured rows for the bench output."""
+        return [
+            ("frac methods P1<=657us", f"{self.frac_p1_under_657us:.3f}", "0.90"),
+            ("frac methods median>=10.7ms",
+             f"{self.frac_median_over_10_7ms:.3f}", "0.90"),
+            ("frac methods P99>=1ms", f"{self.frac_p99_over_1ms:.3f}", "0.995"),
+            ("median-method P99", fmt_seconds(self.median_method_p99_s),
+             fmt_seconds(cal.P99_LATENCY_MEDIAN_METHOD_S)),
+            ("slowest-5% min P1", fmt_seconds(self.slowest5_min_p1_s),
+             fmt_seconds(cal.SLOWEST_5PCT_P1_S)),
+            ("slowest-5% min P99", fmt_seconds(self.slowest5_min_p99_s),
+             fmt_seconds(cal.SLOWEST_5PCT_P99_S)),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("statistic", "measured", "paper"), self.rows(),
+            title="Fig. 2 — per-method RPC completion time",
+        )
+
+
+def analyze_latency_distribution(fleet: FleetSample) -> LatencyDistributionResult:
+    """Compute this figure's statistics from the study output."""
+    methods = fleet.by_median_latency()
+    if not methods:
+        raise ValueError("fleet sample has no methods")
+    pcts = methods[0].percentiles
+    grid = np.vstack([m.rct for m in methods])
+    p1 = grid[:, pcts.index(1)]
+    p50 = grid[:, pcts.index(50)]
+    p99 = grid[:, pcts.index(99)]
+    n_slow = max(1, len(methods) // 20)
+    slow = np.argsort(p50)[-n_slow:]
+    return LatencyDistributionResult(
+        method_names=[m.full_method for m in methods],
+        percentiles=tuple(pcts),
+        grid=grid,
+        frac_p1_under_657us=float((p1 <= cal.P1_LATENCY_90PCT_OF_METHODS_S).mean()),
+        frac_median_over_10_7ms=float(
+            (p50 >= cal.MEDIAN_LATENCY_90PCT_OF_METHODS_S).mean()
+        ),
+        frac_p99_over_1ms=float((p99 >= 1e-3).mean()),
+        median_method_p99_s=float(np.median(p99)),
+        slowest5_min_p1_s=float(p1[slow].min()),
+        slowest5_min_p99_s=float(p99[slow].min()),
+    )

@@ -1,0 +1,87 @@
+"""Fig. 22: CPU usage distribution across clusters vs across machines.
+
+The paper's finding: usage across *clusters* is widely spread (the
+cluster-level balancer optimizes network latency, not CPU balance), while
+usage across *machines within a cluster* is much tighter — except for
+services with data-dependent load (Spanner, F1, ML Inference).
+
+The analysis reads Monarch's ``server/rpc_util`` series — the service
+task's own usage relative to its allocation, the paper's used/limit ratio
+— and reduces to two CDFs per service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.obs.monarch import Monarch
+
+__all__ = ["LoadBalanceResult", "analyze_load_balance"]
+
+
+@dataclass
+class LoadBalanceResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    service: str
+    cluster_usage: np.ndarray    # per-cluster mean CPU usage (sorted)
+    machine_spread: np.ndarray   # per-cluster (max-min) machine usage
+    cluster_spread: float        # P90-P10 spread of cluster usage
+    mean_machine_spread: float
+
+    def cross_cluster_wider(self) -> bool:
+        """The paper's qualitative claim: cluster-level imbalance exceeds
+        machine-level imbalance."""
+        return self.cluster_spread > self.mean_machine_spread
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            ("clusters", f"{len(self.cluster_usage)}", ""),
+            ("cluster usage P10..P90",
+             f"{np.quantile(self.cluster_usage, 0.1):.2f}.."
+             f"{np.quantile(self.cluster_usage, 0.9):.2f}", "widely spread"),
+            ("cluster-level spread (P90-P10)", f"{self.cluster_spread:.2f}",
+             "large"),
+            ("mean within-cluster machine spread",
+             f"{self.mean_machine_spread:.2f}", "smaller"),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("statistic", "measured", "paper"), self.rows(),
+            title=f"Fig. 22 — {self.service}: CPU usage balance",
+        )
+
+
+def analyze_load_balance(monarch: Monarch, service: str) -> LoadBalanceResult:
+    """Reduce `server/rpc_util` samples to the two Fig. 22 CDF views."""
+    series = monarch.read_matching("server/rpc_util", {"service": service})
+    if not series:
+        raise ValueError(f"no rpc_util series for service {service!r}")
+    by_cluster: Dict[str, List[float]] = {}
+    for labelset, (_times, values) in series.items():
+        labels = dict(labelset)
+        # Samples are cumulative time-averaged utilization; the last
+        # point is the whole-run mean for that machine.
+        by_cluster.setdefault(labels["cluster"], []).append(float(values[-1]))
+    cluster_means = []
+    spreads = []
+    for cluster, machine_means in sorted(by_cluster.items()):
+        cluster_means.append(float(np.mean(machine_means)))
+        if len(machine_means) > 1:
+            spreads.append(float(np.max(machine_means) - np.min(machine_means)))
+    usage = np.sort(np.array(cluster_means))
+    return LoadBalanceResult(
+        service=service,
+        cluster_usage=usage,
+        machine_spread=np.array(spreads),
+        cluster_spread=float(
+            np.quantile(usage, 0.9) - np.quantile(usage, 0.1)
+        ) if len(usage) > 1 else 0.0,
+        mean_machine_spread=float(np.mean(spreads)) if spreads else 0.0,
+    )

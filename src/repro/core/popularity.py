@@ -1,0 +1,86 @@
+"""Fig. 3: per-method call frequency and its skew (§2.3).
+
+Two orderings matter: sorted by latency (Fig. 3 itself — popularity
+concentrates at the fast end) and sorted by popularity (the top-10 = 58 %
+/ top-100 = 91 % skew). The slowest-1000 statistic crosses the two views:
+few calls, most of the total RPC time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fleetsample import FleetSample
+from repro.core.report import format_table
+from repro.workloads import calibration as cal
+
+__all__ = ["PopularityResult", "analyze_popularity"]
+
+
+@dataclass
+class PopularityResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    fastest_share: float       # call share of the fastest `head_k` methods
+    head_k: int
+    top1_share: float
+    top10_share: float
+    top100_share: float
+    slowest_call_share: float  # call share of the slowest `slow_k` methods
+    slowest_time_share: float  # ... and their share of total RPC time
+    slow_k: int
+    n_methods: int
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            (f"fastest-{self.head_k} call share", f"{self.fastest_share:.3f}",
+             f"{cal.FASTEST_100_CALL_SHARE} (fastest 100 of 10k)"),
+            ("top-1 method call share", f"{self.top1_share:.3f}",
+             f"{cal.NETWORK_DISK_WRITE_CALL_SHARE}"),
+            ("top-10 call share", f"{self.top10_share:.3f}",
+             f"{cal.TOP_10_CALL_SHARE}"),
+            ("top-100 call share", f"{self.top100_share:.3f}",
+             f"{cal.TOP_100_CALL_SHARE}"),
+            (f"slowest-{self.slow_k} call share",
+             f"{self.slowest_call_share:.4f}",
+             f"{cal.SLOWEST_1000_CALL_SHARE} (slowest 1000 of 10k)"),
+            (f"slowest-{self.slow_k} time share",
+             f"{self.slowest_time_share:.3f}",
+             f"{cal.SLOWEST_1000_TIME_SHARE}"),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 3 — method popularity skew")
+
+
+def analyze_popularity(fleet: FleetSample) -> PopularityResult:
+    """Computes Fig. 3's skew statistics, scaling the paper's absolute
+    method counts (100 fastest, 1000 slowest of 10,000) to the catalog
+    size in use."""
+    pop = fleet.popularity()
+    medians = np.array([m.pct("rct", 50) for m in fleet.methods])
+    mean_rct = np.array([m.mean_rct for m in fleet.methods])
+    n = len(pop)
+    if n == 0:
+        raise ValueError("fleet sample has no methods")
+    head_k = max(1, round(n * 100 / cal.METHOD_COUNT))
+    slow_k = max(1, round(n * 1000 / cal.METHOD_COUNT))
+    order = np.argsort(medians)
+    sorted_pop = np.sort(pop)[::-1]
+    time_weight = pop * mean_rct
+    slow_idx = order[-slow_k:]
+    return PopularityResult(
+        fastest_share=float(pop[order[:head_k]].sum()),
+        head_k=head_k,
+        top1_share=float(sorted_pop[0]),
+        top10_share=float(sorted_pop[:10].sum()),
+        top100_share=float(sorted_pop[:min(100, n)].sum()),
+        slowest_call_share=float(pop[slow_idx].sum()),
+        slowest_time_share=float(time_weight[slow_idx].sum() / time_weight.sum()),
+        slow_k=slow_k,
+        n_methods=n,
+    )

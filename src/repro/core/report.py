@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benches and examples.
+
+Every benchmark prints its figure/table as aligned rows through these
+helpers, so paper-vs-measured comparisons read uniformly across the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "fmt_seconds", "fmt_bytes", "fmt_percent", "fmt_num"]
+
+Cell = Union[str, float, int]
+
+
+def fmt_seconds(value: float) -> str:
+    """Human-scale latency: picks µs/ms/s."""
+    if value < 0:
+        return f"-{fmt_seconds(-value)}"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.2f}s"
+
+
+def fmt_bytes(value: float) -> str:
+    """Human-scale byte size (B/KB/MB)."""
+    if value < 1024:
+        return f"{value:.0f}B"
+    if value < 1024**2:
+        return f"{value / 1024:.1f}KB"
+    return f"{value / 1024**2:.2f}MB"
+
+
+def fmt_percent(value: float, digits: int = 2) -> str:
+    """Percentage with fixed digits."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def fmt_num(value: float, digits: int = 3) -> str:
+    """Compact general-format number."""
+    return f"{value:.{digits}g}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table; numeric cells are right-aligned."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([
+            cell if isinstance(cell, str) else fmt_num(float(cell))
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Fig. 8: top services by invocations, bytes transferred, and CPU cycles.
+
+The paper's three pie charts become three ranked share tables. The key
+findings to reproduce: the top-8 services carry ~60 % of invocations;
+Network Disk dominates calls *and* bytes while burning disproportionately
+few cycles; compute services (F1, ML Inference) invert that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.fleetsample import FleetSample
+from repro.core.report import fmt_percent, format_table
+from repro.workloads import calibration as cal
+
+__all__ = ["ServiceShareResult", "analyze_services"]
+
+
+@dataclass
+class ServiceShareResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    shares: Dict[str, Dict[str, float]]  # service -> {calls, bytes, cycles}
+    top8_call_share: float
+    network_disk: Dict[str, float]
+
+    def ranked(self, dimension: str, k: int = 10) -> List[Tuple[str, float]]:
+        """Top-k services by one share dimension."""
+        return sorted(
+            ((svc, v[dimension]) for svc, v in self.shares.items()),
+            key=lambda kv: -kv[1],
+        )[:k]
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        out = [
+            ("top-8 call share", fmt_percent(self.top8_call_share),
+             fmt_percent(cal.TOP8_SERVICES_CALL_SHARE)),
+            ("NetworkDisk calls", fmt_percent(self.network_disk["calls"]),
+             fmt_percent(cal.NETWORK_DISK_CALL_SHARE)),
+            ("NetworkDisk cycles", fmt_percent(self.network_disk["cycles"]),
+             f"<{fmt_percent(cal.NETWORK_DISK_CYCLE_SHARE_MAX)}"),
+        ]
+        for svc, paper_cy, paper_ca in (
+            ("F1", cal.F1_CYCLE_SHARE, cal.F1_CALL_SHARE),
+            ("MLInference", cal.ML_INFERENCE_CYCLE_SHARE,
+             cal.ML_INFERENCE_CALL_SHARE),
+        ):
+            s = self.shares.get(svc, {"calls": 0.0, "cycles": 0.0})
+            out.append((f"{svc} cycles", fmt_percent(s["cycles"]),
+                        fmt_percent(paper_cy)))
+            out.append((f"{svc} calls", fmt_percent(s["calls"]),
+                        fmt_percent(paper_ca)))
+        return out
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        head = format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 8 — service shares")
+        by_calls = format_table(
+            ("service", "calls", "bytes", "cycles"),
+            [
+                (svc, fmt_percent(self.shares[svc]["calls"]),
+                 fmt_percent(self.shares[svc]["bytes"]),
+                 fmt_percent(self.shares[svc]["cycles"]))
+                for svc, _ in self.ranked("calls", 10)
+            ],
+            title="top services by invocations",
+        )
+        return head + "\n\n" + by_calls
+
+
+def analyze_services(fleet: FleetSample) -> ServiceShareResult:
+    """Compute this figure's statistics from the study output."""
+    shares = fleet.service_shares()
+    ranked = sorted(shares.items(), key=lambda kv: -kv[1]["calls"])
+    top8 = sum(v["calls"] for _, v in ranked[:8])
+    nd = shares.get("NetworkDisk", {"calls": 0.0, "bytes": 0.0, "cycles": 0.0})
+    return ServiceShareResult(shares=shares, top8_call_share=top8,
+                              network_disk=nd)

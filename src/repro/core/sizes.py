@@ -1,0 +1,105 @@
+"""Figs. 6-7: RPC request sizes and response/request ratios (§2.5).
+
+Also computes the Zerializer-style offload-coverage statistic the paper
+derives from the size distribution: the fraction of messages that fit in a
+single MTU (what an on-NIC deserialization offload could accelerate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fleetsample import FleetSample
+from repro.core.report import fmt_bytes, format_table
+from repro.net.flows import MTU_BYTES
+from repro.workloads import calibration as cal
+
+__all__ = ["SizeResult", "analyze_sizes"]
+
+
+@dataclass
+class SizeResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    frac_req_median_under_1530: float
+    frac_resp_median_under_315: float
+    median_method_req_p90: float
+    median_method_req_p99: float
+    median_method_resp_p90: float
+    median_method_resp_p99: float
+    min_request_bytes: float
+    frac_methods_write_dominant: float   # per-method median ratio < 1 (Fig. 7)
+    median_method_ratio_p99: float       # heavy read tail
+    mtu_coverage_by_calls: float         # requests fitting one MTU (call-weighted)
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            ("frac methods req median<=1530B",
+             f"{self.frac_req_median_under_1530:.3f}", ">=0.50"),
+            ("frac methods resp median<=315B",
+             f"{self.frac_resp_median_under_315:.3f}", ">=0.50"),
+            ("median-method req P90", fmt_bytes(self.median_method_req_p90),
+             fmt_bytes(cal.P90_REQUEST_BYTES)),
+            ("median-method req P99", fmt_bytes(self.median_method_req_p99),
+             fmt_bytes(cal.P99_REQUEST_BYTES)),
+            ("median-method resp P90", fmt_bytes(self.median_method_resp_p90),
+             fmt_bytes(cal.P90_RESPONSE_BYTES)),
+            ("median-method resp P99", fmt_bytes(self.median_method_resp_p99),
+             fmt_bytes(cal.P99_RESPONSE_BYTES)),
+            ("min request size", fmt_bytes(self.min_request_bytes),
+             fmt_bytes(cal.MIN_MESSAGE_BYTES)),
+            ("frac methods write-dominant (ratio<1)",
+             f"{self.frac_methods_write_dominant:.3f}", "majority"),
+            ("1-MTU offload coverage (calls)",
+             f"{self.mtu_coverage_by_calls:.3f}", "majority but misses tail"),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Figs. 6-7 — RPC sizes")
+
+
+def analyze_sizes(fleet: FleetSample) -> SizeResult:
+    """Compute this figure's statistics from the study output."""
+    methods = fleet.methods
+    if not methods:
+        raise ValueError("fleet sample has no methods")
+    req50 = np.array([m.pct("request_bytes", 50) for m in methods])
+    resp50 = np.array([m.pct("response_bytes", 50) for m in methods])
+    req90 = np.array([m.pct("request_bytes", 90) for m in methods])
+    req99 = np.array([m.pct("request_bytes", 99) for m in methods])
+    resp90 = np.array([m.pct("response_bytes", 90) for m in methods])
+    resp99 = np.array([m.pct("response_bytes", 99) for m in methods])
+    ratio50 = np.array([m.pct("size_ratio", 50) for m in methods])
+    ratio99 = np.array([m.pct("size_ratio", 99) for m in methods])
+    req1 = np.array([m.pct("request_bytes", 1) for m in methods])
+
+    # Call-weighted single-MTU coverage: per method, fraction of its
+    # percentile ladder under the MTU approximates its per-call coverage.
+    pop = fleet.popularity()
+    pcts = np.array(methods[0].percentiles, dtype=float)
+    coverage = np.empty(len(methods))
+    for i, m in enumerate(methods):
+        under = m.request_bytes <= MTU_BYTES
+        coverage[i] = pcts[under].max() / 100.0 if under.any() else 0.0
+    mtu_cov = float((coverage * pop).sum() / pop.sum())
+
+    return SizeResult(
+        frac_req_median_under_1530=float(
+            (req50 <= cal.MEDIAN_REQUEST_BYTES_HALF_OF_METHODS).mean()
+        ),
+        frac_resp_median_under_315=float(
+            (resp50 <= cal.MEDIAN_RESPONSE_BYTES_HALF_OF_METHODS).mean()
+        ),
+        median_method_req_p90=float(np.median(req90)),
+        median_method_req_p99=float(np.median(req99)),
+        median_method_resp_p90=float(np.median(resp90)),
+        median_method_resp_p99=float(np.median(resp99)),
+        min_request_bytes=float(req1.min()),
+        frac_methods_write_dominant=float((ratio50 < 1.0).mean()),
+        median_method_ratio_p99=float(np.median(ratio99)),
+        mtu_coverage_by_calls=mtu_cov,
+    )

@@ -1,0 +1,198 @@
+"""Figs. 10-13: the RPC latency tax.
+
+- Fig. 10a/b: fleet-average tax fraction and its wire/stack/queue split.
+- Fig. 10c/d: the same at the P95 tail, where the tax balloons and skews
+  toward the network.
+- Fig. 11: per-method tax-ratio distributions.
+- Fig. 12: per-method wire + processing/stack latency distributions.
+- Fig. 13: per-method queueing latency distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.fleetsample import FleetSample
+from repro.core.report import fmt_percent, fmt_seconds, format_table
+from repro.workloads import calibration as cal
+
+__all__ = ["FleetTaxResult", "TaxRatioResult", "NetstackResult", "QueueResult",
+           "analyze_fleet_tax", "analyze_tax_ratio", "analyze_netstack",
+           "analyze_queueing"]
+
+
+# ----------------------------------------------------------------------
+# Fig. 10
+# ----------------------------------------------------------------------
+@dataclass
+class FleetTaxResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    tax_fraction: float
+    component_fractions: Dict[str, float]
+    tail_tax_fraction: float
+    tail_component_fractions: Dict[str, float]
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        f = self.component_fractions
+        tf = self.tail_component_fractions
+        return [
+            ("avg tax fraction", fmt_percent(self.tax_fraction),
+             fmt_percent(cal.FLEET_AVG_TAX_FRACTION)),
+            ("  network", fmt_percent(f["network_wire"]),
+             fmt_percent(cal.FLEET_AVG_NETWORK_FRACTION)),
+            ("  proc+stack", fmt_percent(f["proc_stack"]),
+             fmt_percent(cal.FLEET_AVG_PROC_STACK_FRACTION)),
+            ("  queueing", fmt_percent(f["queueing"]),
+             fmt_percent(cal.FLEET_AVG_QUEUE_FRACTION)),
+            ("P95-tail tax fraction", fmt_percent(self.tail_tax_fraction),
+             "significant; network-skewed"),
+            ("  tail network", fmt_percent(tf["network_wire"]), "dominant"),
+            ("  tail proc+stack", fmt_percent(tf["proc_stack"]), "-"),
+            ("  tail queueing", fmt_percent(tf["queueing"]), "-"),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 10 — fleet RPC latency tax")
+
+
+def analyze_fleet_tax(fleet: FleetSample) -> FleetTaxResult:
+    """Compute this figure's statistics from the study output."""
+    return FleetTaxResult(
+        tax_fraction=fleet.tax_fraction(),
+        component_fractions=fleet.tax_component_fractions(),
+        tail_tax_fraction=fleet.tail_tax_fraction(),
+        tail_component_fractions=fleet.tail_tax_component_fractions(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 11
+# ----------------------------------------------------------------------
+@dataclass
+class TaxRatioResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    median_method_median_ratio: float
+    top10pct_methods_median_ratio: float
+    top10pct_methods_p90_ratio: float
+    p99_ratio_span: tuple  # (min, max) of per-method P99 ratios
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            ("median-method median tax ratio",
+             fmt_percent(self.median_method_median_ratio),
+             fmt_percent(cal.MEDIAN_METHOD_TAX_RATIO)),
+            ("top-10%-methods median tax ratio",
+             fmt_percent(self.top10pct_methods_median_ratio),
+             fmt_percent(cal.TOP10PCT_TAX_RATIO_MEDIAN)),
+            ("top-10%-methods P90 tax ratio",
+             fmt_percent(self.top10pct_methods_p90_ratio),
+             fmt_percent(cal.TOP10PCT_TAX_RATIO_P90)),
+            ("per-method P99 ratio span",
+             f"{fmt_percent(self.p99_ratio_span[0])}-{fmt_percent(self.p99_ratio_span[1])}",
+             "0.5%-99.99%"),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 11 — per-method tax ratio")
+
+
+def analyze_tax_ratio(fleet: FleetSample) -> TaxRatioResult:
+    """Compute this figure's statistics from the study output."""
+    med = np.array([m.pct("tax_ratio", 50) for m in fleet.methods])
+    p90 = np.array([m.pct("tax_ratio", 90) for m in fleet.methods])
+    p99 = np.array([m.pct("tax_ratio", 99) for m in fleet.methods])
+    return TaxRatioResult(
+        median_method_median_ratio=float(np.median(med)),
+        top10pct_methods_median_ratio=float(np.quantile(med, 0.95)),
+        top10pct_methods_p90_ratio=float(np.quantile(p90, 0.95)),
+        p99_ratio_span=(float(p99.min()), float(p99.max())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 12
+# ----------------------------------------------------------------------
+@dataclass
+class NetstackResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    p99_quantiles: Dict[float, float]  # method-quantile -> P99 value (s)
+
+    PAPER = {0.01: cal.NETSTACK_P99_FASTEST_1PCT_S,
+             0.10: cal.NETSTACK_P99_FASTEST_10PCT_S,
+             0.50: cal.NETSTACK_P99_MEDIAN_METHOD_S,
+             0.90: cal.NETSTACK_P99_SLOWEST_10PCT_S,
+             0.99: cal.NETSTACK_P99_SLOWEST_1PCT_S}
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            (f"P99 wire+stack @ method-q{q:.2f}",
+             fmt_seconds(self.p99_quantiles[q]), fmt_seconds(self.PAPER[q]))
+            for q in sorted(self.p99_quantiles)
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 12 — per-method wire + proc/stack")
+
+
+def analyze_netstack(fleet: FleetSample) -> NetstackResult:
+    """Compute this figure's statistics from the study output."""
+    p99 = np.array([m.pct("netstack", 99) for m in fleet.methods])
+    return NetstackResult(p99_quantiles={
+        q: float(np.quantile(p99, q)) for q in (0.01, 0.10, 0.50, 0.90, 0.99)
+    })
+
+
+# ----------------------------------------------------------------------
+# Fig. 13
+# ----------------------------------------------------------------------
+@dataclass
+class QueueResult:
+    """Computed statistics for this analysis; ``render()`` prints the paper-vs-measured table."""
+    frac_median_under_360us: float
+    frac_p99_under_102ms: float
+    worst10pct_median_s: float
+    worst10pct_p99_s: float
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [
+            ("frac methods median queue<=360us",
+             f"{self.frac_median_under_360us:.3f}", ">=0.50"),
+            ("frac methods P99 queue<=102ms",
+             f"{self.frac_p99_under_102ms:.3f}", ">=0.50"),
+            ("worst-10% median queue", fmt_seconds(self.worst10pct_median_s),
+             fmt_seconds(cal.QUEUE_MEDIAN_WORST_10PCT_S)),
+            ("worst-10% P99 queue", fmt_seconds(self.worst10pct_p99_s),
+             fmt_seconds(cal.QUEUE_P99_WORST_10PCT_S)),
+        ]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(("statistic", "measured", "paper"), self.rows(),
+                            title="Fig. 13 — per-method queueing latency")
+
+
+def analyze_queueing(fleet: FleetSample) -> QueueResult:
+    """Compute this figure's statistics from the study output."""
+    med = np.array([m.pct("queueing", 50) for m in fleet.methods])
+    p99 = np.array([m.pct("queueing", 99) for m in fleet.methods])
+    return QueueResult(
+        frac_median_under_360us=float(
+            (med <= cal.QUEUE_MEDIAN_HALF_OF_METHODS_S).mean()
+        ),
+        frac_p99_under_102ms=float((p99 <= cal.QUEUE_P99_HALF_OF_METHODS_S).mean()),
+        worst10pct_median_s=float(np.quantile(med, 0.90)),
+        worst10pct_p99_s=float(np.quantile(p99, 0.90)),
+    )

@@ -1,0 +1,80 @@
+"""Fig. 15: the what-if tail analysis.
+
+For each service, take its (P95-)tail RPCs and, one component at a time,
+replace that component's value with the component's *median* over all of
+the service's RPCs. The reported number is the percentage of tail RPCs
+whose adjusted total falls below the original P95 threshold — i.e., how
+many tail RPCs that component alone is responsible for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.obs.dapper import DapperCollector
+from repro.rpc.stack import COMPONENTS, ComponentMatrix
+
+__all__ = ["WhatIfResult", "what_if_components", "what_if_for_service"]
+
+
+@dataclass
+class WhatIfResult:
+    """Per-component percentage of tail RPCs rescued (one service)."""
+
+    service: str
+    percent_rescued: Dict[str, float]   # component -> % of tail RPCs
+    tail_percentile: float
+    n_tail: int
+
+    def dominant(self) -> str:
+        """The component whose median-replacement rescues the most."""
+        return max(self.percent_rescued, key=self.percent_rescued.get)
+
+    def rows(self):
+        """Rows for the rendered text table."""
+        return [(c, f"{self.percent_rescued[c]:.2f}") for c in COMPONENTS]
+
+    def render(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ("component", "% of tail rescued"), self.rows(),
+            title=f"Fig. 15 — {self.service}: what-if (P{self.tail_percentile:.0f} tail)",
+        )
+
+
+def what_if_components(matrix: ComponentMatrix, service: str = "",
+                       tail_percentile: float = 95.0) -> WhatIfResult:
+    """Fig. 15's counterfactual on a component matrix."""
+    if len(matrix) < 20:
+        raise ValueError(f"need >= 20 spans, got {len(matrix)}")
+    totals = matrix.total()
+    threshold = np.percentile(totals, tail_percentile)
+    tail_mask = totals > threshold
+    n_tail = int(tail_mask.sum())
+    if n_tail == 0:
+        raise ValueError("no tail RPCs above the threshold")
+    medians = np.median(matrix.values, axis=0)
+    tail_rows = matrix.values[tail_mask]
+    rescued: Dict[str, float] = {}
+    for j, comp in enumerate(COMPONENTS):
+        adjusted = tail_rows.copy()
+        # Replace with the median only where it is an improvement; a tail
+        # RPC whose component is already below the median keeps its value.
+        adjusted[:, j] = np.minimum(adjusted[:, j], medians[j])
+        rescued[comp] = float(
+            100.0 * (adjusted.sum(axis=1) <= threshold).mean()
+        )
+    return WhatIfResult(service=service, percent_rescued=rescued,
+                        tail_percentile=tail_percentile, n_tail=n_tail)
+
+
+def what_if_for_service(dapper: DapperCollector, service: str, method: str,
+                        tail_percentile: float = 95.0) -> WhatIfResult:
+    """Fig. 15's counterfactual for one service's spans."""
+    matrix = dapper.matrix_for_method(f"{service}/{method}")
+    return what_if_components(matrix, service=service,
+                              tail_percentile=tail_percentile)

@@ -1,0 +1,42 @@
+"""Fleet substrate: geography, datacenters, clusters, and machines.
+
+The paper's fleet is Google's: hundreds of clusters across geo-distributed
+datacenters, each cluster holding machines whose *exogenous state* (CPU
+utilization, memory bandwidth, long-wakeup rate, cycles-per-instruction —
+Table 2) drives RPC latency variation (§3.3.4). This package provides the
+synthetic equivalent:
+
+- :mod:`repro.fleet.topology` — regions with geographic coordinates,
+  datacenters, clusters, machines, and fleet builders.
+- :mod:`repro.fleet.machine` — the machine model: worker pools plus the
+  exogenous-state process and its coupling into service times.
+- :mod:`repro.fleet.scheduler` — the thread-wakeup model behind the paper's
+  "long wakeup rate" variable.
+"""
+
+from repro.fleet.machine import ExogenousState, Machine, MachineProfile, populate_cluster
+from repro.fleet.scheduler import WakeupModel
+from repro.fleet.topology import (
+    Cluster,
+    Datacenter,
+    Fleet,
+    FleetSpec,
+    Region,
+    build_fleet,
+    distance_km,
+)
+
+__all__ = [
+    "Cluster",
+    "Datacenter",
+    "ExogenousState",
+    "Fleet",
+    "FleetSpec",
+    "Machine",
+    "MachineProfile",
+    "Region",
+    "WakeupModel",
+    "build_fleet",
+    "distance_km",
+    "populate_cluster",
+]

@@ -1,0 +1,245 @@
+"""The machine model: worker pools plus exogenous state.
+
+Section 3.3.4 of the paper identifies four *exogenous variables* — CPU
+utilization, memory bandwidth, long-wakeup rate, and cycles-per-instruction
+(Table 2) — whose values correlate with RPC latency. In our substrate these
+variables are produced by a per-machine stochastic process and then *fed
+through* the service-time model, so the correlations measured by the
+analyses are emergent properties of the simulation, not postulated curves:
+
+- background (non-RPC tenant) utilization follows a diurnal wave plus
+  band-limited noise, scaled by the cluster's ``speed_factor``;
+- memory bandwidth tracks total utilization (co-located tenants stream
+  memory roughly in proportion to the CPU they burn);
+- CPI rises superlinearly with memory-bandwidth saturation (bandwidth
+  contention stalls the core);
+- the long-wakeup rate comes from :class:`repro.fleet.scheduler.WakeupModel`
+  evaluated at the current utilization;
+- the *service-time multiplier* applied to RPC handlers is
+  ``CPI / base CPI``, so hot machines are slow machines.
+
+Exogenous state is a deterministic function of simulated time (random
+phases drawn at machine construction), which keeps the DES cheap: no
+periodic update events are needed, and any component can ask for
+``machine.exogenous(t)`` at arbitrary times (the Monarch scraper samples it
+every 30 simulated minutes, as in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.fleet.scheduler import WakeupModel
+from repro.fleet.topology import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.queues import Job, ServerPool
+
+__all__ = ["ExogenousState", "MachineProfile", "Machine", "DAY_SECONDS"]
+
+DAY_SECONDS = 86400.0
+
+
+@dataclass(frozen=True)
+class ExogenousState:
+    """A snapshot of Table 2's exogenous variables for one machine."""
+
+    cpu_util: float        # fraction in [0, 1] (the paper plots percent)
+    memory_bw_gbps: float  # total memory bandwidth utilized, GB/s
+    long_wakeup_rate: float  # fraction of scheduling events > 50 us
+    cycles_per_inst: float   # CPI
+
+    def as_dict(self) -> dict:
+        """Plain-dict view of the fields."""
+        return {
+            "cpu_util": self.cpu_util,
+            "memory_bw_gbps": self.memory_bw_gbps,
+            "long_wakeup_rate": self.long_wakeup_rate,
+            "cycles_per_inst": self.cycles_per_inst,
+        }
+
+
+@dataclass
+class MachineProfile:
+    """Static hardware/configuration parameters of a machine."""
+
+    cores: int = 16
+    # Dedicated network-stack worker threads (TX and RX paths).
+    tx_workers: int = 2
+    rx_workers: int = 2
+    base_cpi: float = 0.9
+    memory_bw_capacity_gbps: float = 120.0
+    # Background (non-RPC tenant) utilization: mean level, diurnal swing, and
+    # noise amplitude, all as fractions of capacity.
+    background_util_mean: float = 0.35
+    diurnal_amplitude: float = 0.15
+    noise_amplitude: float = 0.08
+    # CPI inflation: cpi = base * (1 + cpi_contention_coeff * saturation^2).
+    cpi_contention_coeff: float = 0.8
+    # Memory BW as a function of utilization: bw = cap * (idle + slope*util).
+    membw_idle_fraction: float = 0.12
+    membw_util_slope: float = 0.85
+    wakeup: WakeupModel = field(default_factory=WakeupModel)
+    # Queue discipline of the handler pool (fifo/sjf/lifo; see
+    # repro.sim.queues) - sjf is an oracle bound, not a deployable policy.
+    handler_discipline: str = "fifo"
+    # Whether RPC serving runs on reserved cores (the paper notes KV-Store
+    # does): reserved cores decouple the handler from background CPU/mem-BW
+    # pressure, leaving only CPI coupling.
+    reserved_cores: bool = False
+
+
+# Periods (seconds) of the band-limited background-noise components.
+_NOISE_PERIODS_S = (421.0, 1777.0, 6991.0)
+
+
+class Machine:
+    """One server: ``cores`` workers serving RPC handler jobs.
+
+    The machine owns a :class:`ServerPool` for handler execution and exposes
+    the exogenous-state snapshot used both by the latency model (through
+    :meth:`service_multiplier` and :meth:`sample_wakeup`) and by the
+    monitoring layer.
+    """
+
+    def __init__(self, sim: Simulator, cluster: Cluster, index: int,
+                 profile: Optional[MachineProfile] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.cluster = cluster
+        self.index = index
+        self.name = f"{cluster.name}-m{index}"
+        self.profile = profile or MachineProfile()
+        rng = rng or np.random.default_rng(index)
+        # Random phases make each machine's background wave distinct.
+        self._diurnal_phase = float(rng.uniform(0, 2 * math.pi))
+        self._noise_phases = rng.uniform(0, 2 * math.pi, size=len(_NOISE_PERIODS_S))
+        self._noise_weights = rng.dirichlet(np.ones(len(_NOISE_PERIODS_S)))
+        # Persistent per-machine offset (some machines just run hotter).
+        self._util_offset = float(rng.normal(0.0, 0.05))
+        self._exo_cache = None
+        # Buffered randomness for the wakeup hot path.
+        from repro.sim.random import BufferedDraws
+
+        wk = self.profile.wakeup
+        self._wk_fast = BufferedDraws(
+            lambda n: rng.exponential(wk.fast_mean_s, n), size=512)
+        self._wk_slow = BufferedDraws(
+            lambda n: rng.lognormal(math.log(wk.slow_median_s), wk.slow_sigma, n),
+            size=128)
+        self._wk_uniform = BufferedDraws(lambda n: rng.random(n), size=512)
+        self.pool = ServerPool(sim, self.profile.cores, name=self.name,
+                               discipline=self.profile.handler_discipline)
+        self.tx_pool = ServerPool(sim, self.profile.tx_workers, name=f"{self.name}-tx")
+        self.rx_pool = ServerPool(sim, self.profile.rx_workers, name=f"{self.name}-rx")
+        self._rng = rng
+        # The cluster speed factor shifts the whole background level: slow
+        # clusters are slow mostly because they are busy (§3.3.3-3.3.4).
+        self._cluster_pressure = min(0.35, 0.27 * math.log(cluster.speed_factor)) \
+            if cluster.speed_factor > 1.0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Exogenous state
+    # ------------------------------------------------------------------
+    def background_util(self, t: float) -> float:
+        """Non-RPC tenant CPU utilization at simulated time ``t``."""
+        p = self.profile
+        level = p.background_util_mean + self._util_offset + self._cluster_pressure
+        level += p.diurnal_amplitude * math.sin(
+            2 * math.pi * t / DAY_SECONDS + self._diurnal_phase
+        )
+        noise = sum(
+            w * math.sin(2 * math.pi * t / period + phase)
+            for w, period, phase in zip(
+                self._noise_weights, _NOISE_PERIODS_S, self._noise_phases
+            )
+        )
+        level += p.noise_amplitude * noise
+        return min(max(level, 0.0), 0.98)
+
+    def rpc_util(self) -> float:
+        """Instantaneous utilization from RPC serving on this machine."""
+        return self.pool.busy_servers / self.profile.cores
+
+    # Exogenous state changes on second-to-minute scales; cache snapshots
+    # per coarse time bucket so per-RPC lookups stay cheap.
+    _EXO_CACHE_GRANULARITY_S = 0.5
+
+    def exogenous(self, t: Optional[float] = None) -> ExogenousState:
+        """Snapshot of Table 2's variables at time ``t`` (default: now)."""
+        t = self.sim.now if t is None else t
+        bucket = int(t / self._EXO_CACHE_GRANULARITY_S)
+        cached = self._exo_cache
+        if cached is not None and cached[0] == bucket:
+            return cached[1]
+        p = self.profile
+        util = min(0.995, self.background_util(t) + self.rpc_util())
+        mem_bw = p.memory_bw_capacity_gbps * min(
+            1.0, p.membw_idle_fraction + p.membw_util_slope * util
+        )
+        saturation = mem_bw / p.memory_bw_capacity_gbps
+        cpi = p.base_cpi * (1.0 + p.cpi_contention_coeff * saturation**2)
+        state = ExogenousState(
+            cpu_util=util,
+            memory_bw_gbps=mem_bw,
+            long_wakeup_rate=p.wakeup.long_rate(util),
+            cycles_per_inst=cpi,
+        )
+        self._exo_cache = (bucket, state)
+        return state
+
+    # ------------------------------------------------------------------
+    # Coupling into service times
+    # ------------------------------------------------------------------
+    def service_multiplier(self, t: Optional[float] = None) -> float:
+        """How much slower a handler runs here than on an idle machine.
+
+        The multiplier is CPI inflation; on reserved-core machines the
+        coupling is damped (the paper observes KV-Store's latency tracks
+        CPI but not overall CPU/memory pressure).
+        """
+        state = self.exogenous(t)
+        raw = state.cycles_per_inst / self.profile.base_cpi
+        if self.profile.reserved_cores:
+            return 1.0 + 0.35 * (raw - 1.0)
+        return raw
+
+    def sample_wakeup(self, t: Optional[float] = None) -> float:
+        """One thread-wakeup delay at the machine's current utilization."""
+        state = self.exogenous(t)
+        if self._wk_uniform.next() < state.long_wakeup_rate:
+            return self._wk_slow.next()
+        return self._wk_fast.next()
+
+    def execute(self, base_service_time: float, on_done) -> Job:
+        """Run a handler whose idle-machine time is ``base_service_time``.
+
+        The actual occupancy is inflated by the current service multiplier;
+        ``on_done(wait)`` receives the queue wait experienced by the job.
+        """
+        actual = base_service_time * self.service_multiplier()
+        job = Job(service_time=actual, on_done=on_done)
+        self.pool.submit(job)
+        return job
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Machine({self.name!r})"
+
+
+def populate_cluster(sim: Simulator, cluster: Cluster, machines: int,
+                     profile: Optional[MachineProfile] = None,
+                     rng_registry=None) -> List[Machine]:
+    """Create ``machines`` machines in ``cluster`` and register them on it."""
+    created = []
+    for i in range(machines):
+        if rng_registry is not None:
+            rng = rng_registry.stream("machine", cluster.name, i)
+        else:
+            rng = np.random.default_rng(hash((cluster.name, i)) & 0xFFFFFFFF)
+        m = Machine(sim, cluster, i, profile=profile, rng=rng)
+        cluster.machines.append(m)
+        created.append(m)
+    return created

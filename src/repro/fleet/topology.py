@@ -1,0 +1,184 @@
+"""Fleet geography and containment hierarchy.
+
+The hierarchy is ``Fleet → Region → Datacenter → Cluster → Machine``.
+Regions carry 2-D coordinates (in kilometres on an equirectangular plane),
+which ground the WAN propagation delays of :mod:`repro.net.latency`: the
+paper reports a maximum WAN RTT of roughly 200 ms, i.e. speed-of-light
+distances between continents, and Fig. 19's latency-vs-distance staircase
+(same datacenter → same country → different continents) falls out of this
+geometry.
+
+The default region layout below mimics a global deployment: clusters of
+regions inside each continent, continents separated by thousands of km.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Region",
+    "Datacenter",
+    "Cluster",
+    "Fleet",
+    "FleetSpec",
+    "build_fleet",
+    "distance_km",
+    "DEFAULT_REGION_SITES",
+]
+
+# Approximate site coordinates (x, y) in km on a flattened globe. The exact
+# shape is irrelevant; what matters is that intra-continent distances are
+# O(100-2000) km and inter-continent distances are O(7000-17000) km, so that
+# WAN RTTs span ~1-200 ms as in the paper.
+DEFAULT_REGION_SITES: Sequence[Tuple[str, float, float]] = (
+    ("us-central", 0.0, 0.0),
+    ("us-east", 1600.0, 200.0),
+    ("us-west", -2400.0, 100.0),
+    ("southamerica-east", 4800.0, -7600.0),
+    ("europe-west", 7400.0, 1500.0),
+    ("europe-north", 7900.0, 2600.0),
+    ("asia-east", 11600.0, -900.0),
+    ("asia-south", 13100.0, -2400.0),
+    ("asia-northeast", 10200.0, 700.0),
+    ("australia-southeast", 15200.0, -7900.0),
+)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A geographic region hosting one or more datacenters."""
+
+    name: str
+    x_km: float
+    y_km: float
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """A physical datacenter within a region."""
+
+    name: str
+    region: Region
+
+
+@dataclass
+class Cluster:
+    """A cluster of machines within a datacenter.
+
+    ``speed_factor`` captures persistent cluster-to-cluster heterogeneity
+    (hardware generation, typical co-location pressure): the paper finds
+    1.24–10× latency spread across clusters for the *same* RPC (§3.3.3) and
+    attributes it to cluster state. Values > 1 mean a slower cluster.
+    """
+
+    name: str
+    datacenter: Datacenter
+    index: int
+    speed_factor: float = 1.0
+    machines: list = field(default_factory=list)  # populated by the DES tier
+
+    @property
+    def region(self) -> Region:
+        """The region this cluster's datacenter belongs to."""
+        return self.datacenter.region
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"Cluster({self.name!r}, dc={self.datacenter.name!r})"
+
+
+def distance_km(a: Region, b: Region) -> float:
+    """Euclidean distance between two regions on the flattened-globe plane."""
+    return math.hypot(a.x_km - b.x_km, a.y_km - b.y_km)
+
+
+@dataclass
+class FleetSpec:
+    """Parameters for :func:`build_fleet`.
+
+    The defaults produce a small but fully global fleet suitable for tests
+    and benches; scale up ``clusters_per_datacenter`` for larger studies.
+    """
+
+    datacenters_per_region: int = 2
+    clusters_per_datacenter: int = 3
+    sites: Sequence[Tuple[str, float, float]] = DEFAULT_REGION_SITES
+    # Lognormal sigma of the per-cluster speed factor; 0 disables
+    # heterogeneity. 0.45 yields roughly the 1.2-10x spread of §3.3.3.
+    cluster_speed_sigma: float = 0.45
+
+
+class Fleet:
+    """The assembled topology."""
+
+    def __init__(self, regions: List[Region], datacenters: List[Datacenter],
+                 clusters: List[Cluster]):
+        self.regions = regions
+        self.datacenters = datacenters
+        self.clusters = clusters
+        self._clusters_by_name: Dict[str, Cluster] = {c.name: c for c in clusters}
+
+    def cluster(self, name: str) -> Cluster:
+        """The cluster hosting this task's machine."""
+        return self._clusters_by_name[name]
+
+    def clusters_in_region(self, region: Region) -> List[Cluster]:
+        """All clusters whose region is ``region``."""
+        return [c for c in self.clusters if c.region is region]
+
+    def iter_cluster_pairs(self) -> Iterator[Tuple[Cluster, Cluster]]:
+        """All unordered cluster pairs."""
+        return itertools.combinations(self.clusters, 2)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __repr__(self) -> str:
+        return (
+            f"Fleet(regions={len(self.regions)}, datacenters={len(self.datacenters)}, "
+            f"clusters={len(self.clusters)})"
+        )
+
+
+def build_fleet(spec: Optional[FleetSpec] = None, *, seed: int = 0) -> Fleet:
+    """Construct a :class:`Fleet` from a :class:`FleetSpec`.
+
+    Cluster speed factors are drawn deterministically from ``seed`` so the
+    same spec+seed always yields the same fleet.
+    """
+    import numpy as np
+
+    from repro.sim.random import derive_seed
+
+    spec = spec or FleetSpec()
+    rng = np.random.default_rng(derive_seed(seed, "fleet", "speed_factors"))
+
+    regions = [Region(name, x, y) for name, x, y in spec.sites]
+    datacenters: List[Datacenter] = []
+    clusters: List[Cluster] = []
+    cluster_index = 0
+    for region in regions:
+        for d in range(spec.datacenters_per_region):
+            dc = Datacenter(f"{region.name}-dc{d}", region)
+            datacenters.append(dc)
+            for c in range(spec.clusters_per_datacenter):
+                if spec.cluster_speed_sigma > 0:
+                    speed = float(rng.lognormal(0.0, spec.cluster_speed_sigma))
+                else:
+                    speed = 1.0
+                clusters.append(
+                    Cluster(
+                        name=f"{dc.name}-c{c}",
+                        datacenter=dc,
+                        index=cluster_index,
+                        speed_factor=speed,
+                    )
+                )
+                cluster_index += 1
+    return Fleet(regions, datacenters, clusters)

@@ -1,0 +1,19 @@
+"""Network substrate: propagation geometry, congestion, and flow transfer.
+
+The paper's network observations that this package must reproduce:
+
+- WAN round trips bounded by speed-of-light geography, max RTT ≈ 200 ms
+  (§3.2), with Fig. 19's staircase of same-datacenter → same-country →
+  different-continent latencies;
+- for the *average* RPC, wire latency ≈ actual propagation (congestion is
+  not the common case, §3.3.5), yet tail network latency exceeds the
+  longest propagation delay (§5.1: "congestion still impacts the WAN");
+- heavy-tailed transfer times from heavy-tailed RPC sizes riding on
+  bandwidth-limited flows (elephant/mice head-of-line effects, §2.5).
+"""
+
+from repro.net.congestion import CongestionModel
+from repro.net.flows import FlowModel
+from repro.net.latency import NetworkModel, PathClass
+
+__all__ = ["CongestionModel", "FlowModel", "NetworkModel", "PathClass"]

@@ -1,0 +1,69 @@
+"""Episodic network congestion.
+
+Congestion in a well-engineered private WAN is rare but not absent: the
+paper finds that average network latency matches wire propagation (§3.3.5)
+while tail network latency exceeds the longest propagation delay (§3.2,
+§5.1). We model that with *episodes*: each path class has a small
+probability that a packet experiences a congested queue, and congested
+delays are lognormally heavy. Episode probability also breathes over time
+(per-path sinusoidal modulation) so that congestion clusters in time the
+way buffer buildup does, which matters for the diurnal studies (Fig. 18).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CongestionModel"]
+
+
+@dataclass
+class CongestionModel:
+    """Samples additional queueing delay for packets on a path.
+
+    Parameters
+    ----------
+    base_probability:
+        Long-run fraction of packets hitting a congested queue.
+    delay_median_s / delay_sigma:
+        Lognormal parameters of the congested-queue delay.
+    modulation_depth:
+        How strongly the episode probability swings over time (0 = constant,
+        1 = swings between 0 and 2x base).
+    modulation_period_s:
+        Period of the swing.
+    """
+
+    base_probability: float = 0.02
+    delay_median_s: float = 1.5e-3
+    delay_sigma: float = 1.6
+    modulation_depth: float = 0.8
+    modulation_period_s: float = 3600.0
+
+    def probability(self, t: float, phase: float = 0.0) -> float:
+        """Episode probability at simulated time ``t`` on a path with ``phase``."""
+        swing = 1.0 + self.modulation_depth * math.sin(
+            2 * math.pi * t / self.modulation_period_s + phase
+        )
+        return min(1.0, max(0.0, self.base_probability * swing))
+
+    def sample(self, rng: np.random.Generator, n: int, t: float = 0.0,
+               phase: float = 0.0) -> np.ndarray:
+        """Draw ``n`` congestion delays (seconds); most are exactly zero."""
+        p = self.probability(t, phase)
+        hit = rng.random(n) < p
+        delays = np.zeros(n)
+        n_hit = int(hit.sum())
+        if n_hit:
+            delays[hit] = rng.lognormal(
+                math.log(self.delay_median_s), self.delay_sigma, size=n_hit
+            )
+        return delays
+
+    def sample_one(self, rng: np.random.Generator, t: float = 0.0,
+                   phase: float = 0.0) -> float:
+        """One scalar draw."""
+        return float(self.sample(rng, 1, t, phase)[0])

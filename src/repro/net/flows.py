@@ -1,0 +1,49 @@
+"""Flow transfer-time model.
+
+RPC messages ride on network flows; a message's wire time is its
+propagation delay plus a size-dependent transfer component. The paper's
+size analysis (§2.5) shows messages from 64 B cache lines to multi-MB
+tails; for the small majority the transfer term is negligible, while for
+the elephant tail it dominates — which is what creates elephant/mouse
+head-of-line effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowModel", "MTU_BYTES"]
+
+MTU_BYTES = 1500
+
+
+@dataclass
+class FlowModel:
+    """Converts a message size into a transfer time.
+
+    ``effective_gbps`` is the per-flow goodput (well below link speed:
+    congestion control, competing flows). ``per_packet_overhead_s`` covers
+    per-MTU framing and interrupt costs.
+    """
+
+    effective_gbps: float = 8.0
+    per_packet_overhead_s: float = 0.4e-6
+
+    def packets(self, size_bytes: float) -> int:
+        """Number of MTU-sized packets needed for a message."""
+        if size_bytes <= 0:
+            return 1
+        return int(-(-size_bytes // MTU_BYTES))  # ceil division
+
+    def transfer_time_s(self, size_bytes: float) -> float:
+        """Serialization + per-packet time for a message of ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError(f"negative message size {size_bytes!r}")
+        bits = size_bytes * 8.0
+        serialization = bits / (self.effective_gbps * 1e9)
+        return serialization + self.packets(size_bytes) * self.per_packet_overhead_s
+
+    def fits_in_one_mtu(self, size_bytes: float) -> bool:
+        """Whether a message fits in a single MTU (Zerializer-style offload
+        eligibility, §2.5)."""
+        return 0 <= size_bytes <= MTU_BYTES

@@ -1,0 +1,190 @@
+"""Wire latency between clusters.
+
+One-way latency between two endpoints decomposes into:
+
+``propagation (geometry) + switching (hops) + jitter + congestion + transfer``
+
+Propagation is speed-of-light-in-fiber over the flattened-globe distance of
+:mod:`repro.fleet.topology`, inflated by a path-stretch factor (fiber does
+not follow great circles). With the default geometry the worst cross-
+continent round trip lands near the paper's ~200 ms WAN RTT ceiling, and
+Fig. 19's distance staircase reproduces directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.fleet.topology import Cluster, distance_km
+from repro.net.congestion import CongestionModel
+from repro.net.flows import FlowModel
+
+__all__ = ["PathClass", "NetworkModel", "LIGHT_SPEED_FIBER_KM_S"]
+
+# Speed of light in fiber is ~2/3 of c.
+LIGHT_SPEED_FIBER_KM_S = 200_000.0
+
+
+class PathClass(enum.Enum):
+    """Locality class of a client→server path (the Fig. 19 x-axis bands)."""
+
+    SAME_CLUSTER = "same_cluster"
+    SAME_DATACENTER = "same_datacenter"
+    SAME_REGION = "same_region"
+    WAN = "wan"
+
+
+_BASE_LATENCY_S = {
+    # Floor one-way latencies per path class (switching, ToR/aggregation
+    # hops), before distance and congestion.
+    PathClass.SAME_CLUSTER: 25e-6,
+    PathClass.SAME_DATACENTER: 80e-6,
+    PathClass.SAME_REGION: 350e-6,
+    PathClass.WAN: 600e-6,
+}
+
+_JITTER_SIGMA = {
+    # Lognormal sigma of multiplicative jitter per class; short paths are
+    # relatively noisier (switch queues dominate), long paths are stable.
+    PathClass.SAME_CLUSTER: 0.35,
+    PathClass.SAME_DATACENTER: 0.30,
+    PathClass.SAME_REGION: 0.25,
+    PathClass.WAN: 0.08,
+}
+
+
+@dataclass
+class NetworkModel:
+    """Samples one-way wire latencies between clusters.
+
+    ``path_stretch`` inflates geometric distance into fiber-route distance.
+    The default fleet coordinates already encode effective route distances
+    (the farthest pair is ~19,300 km, giving a ~194 ms max RTT — the paper's
+    ~200 ms WAN ceiling), so the default stretch is 1.0. Congestion models
+    can be overridden per class; intra-fabric congestion is rarer but the
+    WAN sees deeper queues.
+    """
+
+    path_stretch: float = 1.0
+    flow: FlowModel = field(default_factory=FlowModel)
+    intra_congestion: CongestionModel = field(
+        default_factory=lambda: CongestionModel(
+            base_probability=0.015, delay_median_s=0.5e-3, delay_sigma=1.4
+        )
+    )
+    wan_congestion: CongestionModel = field(
+        default_factory=lambda: CongestionModel(
+            base_probability=0.03, delay_median_s=4e-3, delay_sigma=1.7
+        )
+    )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def classify(src: Cluster, dst: Cluster) -> PathClass:
+        """Locality class of the (src, dst) path."""
+        if src is dst or src.name == dst.name:
+            return PathClass.SAME_CLUSTER
+        if src.datacenter is dst.datacenter or src.datacenter.name == dst.datacenter.name:
+            return PathClass.SAME_DATACENTER
+        if src.region is dst.region or src.region.name == dst.region.name:
+            return PathClass.SAME_REGION
+        return PathClass.WAN
+
+    def propagation_s(self, src: Cluster, dst: Cluster) -> float:
+        """Deterministic one-way propagation + switching latency."""
+        cls = self.classify(src, dst)
+        base = _BASE_LATENCY_S[cls]
+        if cls in (PathClass.SAME_CLUSTER, PathClass.SAME_DATACENTER):
+            return base
+        dist = distance_km(src.region, dst.region)
+        return base + self.path_stretch * dist / LIGHT_SPEED_FIBER_KM_S
+
+    def rtt_s(self, src: Cluster, dst: Cluster) -> float:
+        """Deterministic round-trip propagation latency."""
+        return 2.0 * self.propagation_s(src, dst)
+
+    # ------------------------------------------------------------------
+    def sample_oneway(self, rng: np.random.Generator, src: Cluster, dst: Cluster,
+                      size_bytes: float = 0.0, n: int = 1, t: float = 0.0) -> np.ndarray:
+        """Draw ``n`` one-way wire latencies for a message of ``size_bytes``."""
+        cls = self.classify(src, dst)
+        base = self.propagation_s(src, dst) + self.flow.transfer_time_s(size_bytes)
+        jitter = rng.lognormal(0.0, _JITTER_SIGMA[cls], size=n)
+        congestion = self._congestion_for(cls).sample(
+            rng, n, t=t, phase=self._path_phase(src, dst)
+        )
+        return base * jitter + congestion
+
+    def sample_oneway_one(self, rng: np.random.Generator, src: Cluster,
+                          dst: Cluster, size_bytes: float = 0.0,
+                          t: float = 0.0) -> float:
+        """One scalar one-way latency draw."""
+        return float(self.sample_oneway(rng, src, dst, size_bytes, 1, t)[0])
+
+    def oneway_sampler(self, rng: np.random.Generator, src: Cluster,
+                       dst: Cluster) -> "OnewaySampler":
+        """A buffered scalar sampler for one path (DES hot path)."""
+        return OnewaySampler(self, rng, src, dst)
+
+    # ------------------------------------------------------------------
+    def _congestion_for(self, cls: PathClass) -> CongestionModel:
+        if cls is PathClass.WAN:
+            return self.wan_congestion
+        return self.intra_congestion
+
+    @staticmethod
+    def _path_phase(src: Cluster, dst: Cluster) -> float:
+        """Stable per-path phase for congestion modulation."""
+        return (hash((src.name, dst.name)) % 6283) / 1000.0
+
+    def max_wan_rtt_s(self, clusters) -> float:
+        """Largest deterministic RTT over a set of clusters (~200 ms target)."""
+        best = 0.0
+        clusters = list(clusters)
+        for i, a in enumerate(clusters):
+            for b in clusters[i + 1:]:
+                best = max(best, self.rtt_s(a, b))
+        return best
+
+
+class OnewaySampler:
+    """Buffered one-way latency draws for a fixed (src, dst) path.
+
+    Semantically equivalent to :meth:`NetworkModel.sample_oneway_one` but
+    ~50x cheaper per draw: jitter and congestion randomness are pulled from
+    pre-filled buffers (see :class:`repro.sim.random.BufferedDraws`).
+    """
+
+    def __init__(self, model: NetworkModel, rng, src: Cluster, dst: Cluster):
+        import math as _math
+
+        from repro.sim.random import BufferedDraws
+
+        cls = model.classify(src, dst)
+        self._base = model.propagation_s(src, dst)
+        self._flow = model.flow
+        self._congestion = model._congestion_for(cls)
+        self._phase = model._path_phase(src, dst)
+        sigma = _JITTER_SIGMA[cls]
+        self._jitter = BufferedDraws(lambda n: rng.lognormal(0.0, sigma, n))
+        self._uniform = BufferedDraws(lambda n: rng.random(n))
+        cong = self._congestion
+        self._cong_draws = BufferedDraws(
+            lambda n: rng.lognormal(
+                _math.log(cong.delay_median_s), cong.delay_sigma, n
+            ),
+            size=256,
+        )
+
+    def sample(self, size_bytes: float, t: float) -> float:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        lat = (self._base + self._flow.transfer_time_s(size_bytes)) \
+            * self._jitter.next()
+        if self._uniform.next() < self._congestion.probability(t, self._phase):
+            lat += self._cong_draws.next()
+        return lat

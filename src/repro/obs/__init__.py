@@ -1,0 +1,37 @@
+"""Observability substrate: the paper's three measurement tools, rebuilt.
+
+The paper's methodology (§2.1) rests on three Google-internal systems; this
+package provides faithful-in-shape equivalents:
+
+- :mod:`repro.obs.monarch` — a time-series database with periodic scraping
+  (default every 30 simulated minutes, the paper's sampling interval),
+  per-series retention, and windowed aggregation queries.
+- :mod:`repro.obs.dapper` — an RPC trace collector: sampled spans carrying
+  the nine-component latency breakdown, tree structure via parent ids, and
+  annotations; queries enforce the paper's ≥100-samples-per-method rule.
+- :mod:`repro.obs.gwp` — a fleet CPU profiler attributing normalized cycles
+  to RPC-tax categories (compression, serialization, networking, RPC
+  library) versus application and non-RPC work.
+- :mod:`repro.obs.metrics` — counters/gauges/distributions that simulated
+  tasks export and the Monarch scraper collects.
+
+Analyses in :mod:`repro.core` consume **only** these interfaces — never the
+simulator's internal state — mirroring the paper's own vantage point.
+"""
+
+from repro.obs.dapper import DapperCollector, Span
+from repro.obs.gwp import GwpProfiler
+from repro.obs.metrics import Counter, DistributionMetric, Gauge, MetricRegistry
+from repro.obs.monarch import Monarch, MonarchScraper
+
+__all__ = [
+    "Counter",
+    "DapperCollector",
+    "DistributionMetric",
+    "Gauge",
+    "GwpProfiler",
+    "MetricRegistry",
+    "Monarch",
+    "MonarchScraper",
+    "Span",
+]

@@ -1,0 +1,155 @@
+"""Dapper: sampled RPC traces with component latencies.
+
+Each recorded :class:`Span` is one RPC as seen end-to-end: the nine
+component latencies of Fig. 9, identity (service/method/cluster/machine),
+tree linkage (trace id + parent id), status, sizes, CPU cost, and free-form
+annotations (our servers annotate the exogenous-state snapshot at serve
+time, which the Fig. 17 analysis joins against).
+
+Sampling follows Dapper's design: a trace is either collected whole or not
+at all (the decision is made at the root and inherited), so tree structure
+is never partial. Method-level queries enforce the paper's rule that a
+method needs ≥ 100 samples before its P99 is trusted (§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import ComponentMatrix, LatencyBreakdown
+
+__all__ = ["Span", "DapperCollector", "MIN_SAMPLES_PER_METHOD"]
+
+# §2.1: "we only consider methods with at least 100 samples so that the
+# 99th percentile is well defined".
+MIN_SAMPLES_PER_METHOD = 100
+
+
+@dataclass
+class Span:
+    """One traced RPC."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    service: str
+    method: str
+    client_cluster: str
+    server_cluster: str
+    server_machine: str
+    start_time: float
+    breakdown: LatencyBreakdown
+    status: StatusCode = StatusCode.OK
+    request_bytes: int = 0
+    response_bytes: int = 0
+    cpu_cycles: float = 0.0
+    annotations: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def full_method(self) -> str:
+        """The ``"Service/Method"`` identifier."""
+        return f"{self.service}/{self.method}"
+
+    @property
+    def completion_time(self) -> float:
+        """The span's total latency (sum of components)."""
+        return self.breakdown.total()
+
+    @property
+    def ok(self) -> bool:
+        """True when the status is OK."""
+        return self.status is StatusCode.OK
+
+
+class DapperCollector:
+    """Collects sampled spans and serves the analyses' queries."""
+
+    def __init__(self, sampling_rate: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= sampling_rate <= 1.0:
+            raise ValueError(f"sampling_rate must be in [0, 1], got {sampling_rate!r}")
+        self.sampling_rate = sampling_rate
+        self._rng = rng or np.random.default_rng(0)
+        self.spans: List[Span] = []
+        self._sampled_traces: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def trace_is_sampled(self, trace_id: int) -> bool:
+        """Root-level sampling decision, sticky for the whole trace."""
+        decision = self._sampled_traces.get(trace_id)
+        if decision is None:
+            decision = bool(self._rng.random() < self.sampling_rate)
+            self._sampled_traces[trace_id] = decision
+        return decision
+
+    def record(self, span: Span) -> bool:
+        """Record ``span`` if its trace is sampled; returns whether kept."""
+        if not self.trace_is_sampled(span.trace_id):
+            return False
+        self.spans.append(span)
+        return True
+
+    def record_all(self, spans: Iterable[Span]) -> int:
+        """Record many spans; returns how many were kept."""
+        return sum(1 for s in spans if self.record(s))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def ok_spans(self) -> List[Span]:
+        """Spans excluding errors — the paper excludes error RPCs from
+        latency measurement (§2.1)."""
+        return [s for s in self.spans if s.ok]
+
+    def spans_for_method(self, service: str, method: str,
+                         ok_only: bool = True) -> List[Span]:
+        """Spans of one method (errors excluded by default)."""
+        return [
+            s for s in self.spans
+            if s.service == service and s.method == method
+            and (s.ok or not ok_only)
+        ]
+
+    def methods(self, min_samples: int = MIN_SAMPLES_PER_METHOD,
+                ok_only: bool = True) -> List[str]:
+        """Full method names with at least ``min_samples`` usable spans."""
+        counts: Dict[str, int] = {}
+        for s in self.spans:
+            if ok_only and not s.ok:
+                continue
+            counts[s.full_method] = counts.get(s.full_method, 0) + 1
+        return sorted(m for m, c in counts.items() if c >= min_samples)
+
+    def matrix_for_method(self, full_method: str,
+                          ok_only: bool = True) -> ComponentMatrix:
+        """A ComponentMatrix over one method's spans."""
+        rows = [
+            s.breakdown for s in self.spans
+            if s.full_method == full_method and (s.ok or not ok_only)
+        ]
+        return ComponentMatrix.from_breakdowns(rows)
+
+    def group_by(self, key_fn, ok_only: bool = True) -> Dict[str, List[Span]]:
+        """Group usable spans by an arbitrary key (cluster, machine, ...)."""
+        out: Dict[str, List[Span]] = {}
+        for s in self.spans:
+            if ok_only and not s.ok:
+                continue
+            out.setdefault(key_fn(s), []).append(s)
+        return out
+
+    def traces(self) -> Dict[int, List[Span]]:
+        """Spans grouped by trace id (whole call trees)."""
+        out: Dict[int, List[Span]] = {}
+        for s in self.spans:
+            out.setdefault(s.trace_id, []).append(s)
+        return out

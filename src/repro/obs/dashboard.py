@@ -1,0 +1,71 @@
+"""Text dashboards over Monarch series (the SRE console view).
+
+Fleet operators watch Monarch through dashboards; this module renders the
+equivalent in plain text: per-series sparklines with min/mean/max gutters,
+and a multi-series panel aligned on a shared time window. Used by the
+``fleet_dashboard`` example and handy in tests for eyeballing a study's
+Monarch contents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.monarch import Monarch
+
+__all__ = ["sparkline", "render_series", "render_panel"]
+
+_TICKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """A unicode sparkline, downsampled (bucket means) to ``width``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])
+                        if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-15:
+        return _TICKS[4] * len(arr)
+    scaled = (arr - lo) / (hi - lo) * (len(_TICKS) - 2) + 1
+    return "".join(_TICKS[int(round(v))] for v in scaled)
+
+
+def render_series(monarch: Monarch, name: str,
+                  labels: Optional[Dict[str, str]] = None,
+                  width: int = 48) -> str:
+    """One series as ``name [spark] min/mean/max``."""
+    times, values = monarch.read(name, labels)
+    if len(values) == 0:
+        return f"{name}: (no data)"
+    return (f"{name}  {sparkline(values, width)}  "
+            f"min {values.min():.3g}  mean {values.mean():.3g}  "
+            f"max {values.max():.3g}  ({len(values)} pts)")
+
+
+def render_panel(monarch: Monarch, name: str,
+                 label_filter: Optional[Dict[str, str]] = None,
+                 group_label: str = "machine", width: int = 40,
+                 max_rows: int = 12) -> str:
+    """All matching series of one metric, one sparkline per label value."""
+    matching = monarch.read_matching(name, label_filter)
+    if not matching:
+        return f"{name}: (no series)"
+    rows: List[Tuple[str, str]] = []
+    for labelset, (_times, values) in sorted(matching.items()):
+        labels = dict(labelset)
+        key = labels.get(group_label, str(labelset))
+        rows.append((key, f"{sparkline(values, width)}  "
+                          f"mean {values.mean():.3g}"))
+    shown = rows[:max_rows]
+    name_w = max(len(k) for k, _ in shown)
+    lines = [f"== {name}" + (f" {label_filter}" if label_filter else "")]
+    lines += [f"  {k.ljust(name_w)}  {v}" for k, v in shown]
+    if len(rows) > max_rows:
+        lines.append(f"  ... and {len(rows) - max_rows} more series")
+    return "\n".join(lines)

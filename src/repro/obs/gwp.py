@@ -1,0 +1,151 @@
+"""GWP: fleet-wide CPU-cycle profiling.
+
+Google-Wide Profiling samples CPU execution across the fleet and attributes
+cycles to functions; the paper uses it to compute the *RPC cycle tax* —
+7.1 % of all fleet cycles, split into compression (3.1 %), networking
+(1.7 %), serialization (1.2 %) and the RPC library itself (1.1 %)
+(Fig. 20).
+
+Our profiler receives per-RPC :class:`~repro.rpc.stack.CycleCosts`
+attributions (from either simulation tier) plus non-RPC cycles (background
+tenants, batch work) and answers the Fig. 8c / Fig. 20 / Fig. 21 queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.rpc.stack import CycleCosts
+
+__all__ = ["GwpProfiler", "TAX_CATEGORIES"]
+
+TAX_CATEGORIES = ("compression", "networking", "serialization", "rpc_library")
+
+
+class GwpProfiler:
+    """Accumulates cycle attributions across the fleet.
+
+    ``sample_rate`` mimics GWP's sampling: each attribution is kept with
+    that probability and re-weighted by its inverse, so totals stay
+    unbiased while per-method sample lists stay small.
+    """
+
+    def __init__(self, sample_rate: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate!r}")
+        self.sample_rate = sample_rate
+        self._rng = rng or np.random.default_rng(0)
+        self._weight = 1.0 / sample_rate
+        # Fleet totals by category.
+        self.totals: Dict[str, float] = {
+            "application": 0.0,
+            "non_rpc": 0.0,
+            **{c: 0.0 for c in TAX_CATEGORIES},
+        }
+        # Per (service, method): total cycles and per-RPC samples.
+        self.method_totals: Dict[Tuple[str, str], float] = {}
+        self.method_samples: Dict[Tuple[str, str], List[float]] = {}
+        # Per service: total cycles (Fig. 8c).
+        self.service_totals: Dict[str, float] = {}
+        self.rpcs_profiled = 0
+
+    # ------------------------------------------------------------------
+    def add_rpc(self, service: str, method: str, costs: CycleCosts) -> None:
+        """Attribute one RPC's cycles (subject to sampling)."""
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return
+        w = self._weight
+        self.totals["application"] += w * costs.application
+        self.totals["compression"] += w * costs.compression
+        self.totals["networking"] += w * costs.networking
+        self.totals["serialization"] += w * costs.serialization
+        self.totals["rpc_library"] += w * costs.rpc_library
+        key = (service, method)
+        total = costs.total()
+        self.method_totals[key] = self.method_totals.get(key, 0.0) + w * total
+        self.method_samples.setdefault(key, []).append(total)
+        self.service_totals[service] = self.service_totals.get(service, 0.0) + w * total
+        self.rpcs_profiled += 1
+
+    def add_rpc_batch(self, service: str, method: str,
+                      cycles_by_category: Dict[str, np.ndarray],
+                      weight: float = 1.0) -> None:
+        """Vectorized attribution for Tier-A sampled RPC populations.
+
+        ``weight`` rescales the batch's contribution to all totals: the
+        Tier-A sampler draws equally many calls per method and passes the
+        method's popularity here, so fleet totals reflect the call mix.
+        """
+        n = len(cycles_by_category["application"])
+        if n == 0:
+            return
+        if self.sample_rate < 1.0:
+            keep = self._rng.random(n) < self.sample_rate
+        else:
+            keep = np.ones(n, dtype=bool)
+        w = self._weight * (weight / max(n, 1))
+        kept: Dict[str, np.ndarray] = {}
+        for cat, arr in cycles_by_category.items():
+            arr = np.asarray(arr, dtype=float)[keep]
+            kept[cat] = arr
+            self.totals[cat] += w * float(arr.sum())
+        totals = sum(kept.values())
+        key = (service, method)
+        self.method_totals[key] = self.method_totals.get(key, 0.0) + w * float(totals.sum())
+        self.method_samples.setdefault(key, []).extend(totals.tolist())
+        self.service_totals[service] = (
+            self.service_totals.get(service, 0.0) + w * float(totals.sum())
+        )
+        self.rpcs_profiled += int(keep.sum())
+
+    def add_non_rpc(self, cycles: float) -> None:
+        """Cycles burned outside RPC serving (batch jobs, other tenants)."""
+        if cycles < 0:
+            raise ValueError(f"negative cycles {cycles!r}")
+        self.totals["non_rpc"] += cycles
+
+    # ------------------------------------------------------------------
+    # Fig. 20 queries
+    # ------------------------------------------------------------------
+    def fleet_cycles(self) -> float:
+        """Total cycles across every category (incl. non-RPC)."""
+        return sum(self.totals.values())
+
+    def tax_cycles(self) -> float:
+        """Total cycles across the four tax categories."""
+        return sum(self.totals[c] for c in TAX_CATEGORIES)
+
+    def cycle_tax_fraction(self) -> float:
+        """Fraction of *all* fleet cycles spent in the RPC tax (≈ 7.1 %)."""
+        total = self.fleet_cycles()
+        return self.tax_cycles() / total if total else 0.0
+
+    def tax_fractions_of_fleet(self) -> Dict[str, float]:
+        """Each tax category as a fraction of all fleet cycles (Fig. 20b)."""
+        total = self.fleet_cycles()
+        if not total:
+            return {c: 0.0 for c in TAX_CATEGORIES}
+        return {c: self.totals[c] / total for c in TAX_CATEGORIES}
+
+    # ------------------------------------------------------------------
+    # Fig. 8c / Fig. 21 queries
+    # ------------------------------------------------------------------
+    def service_cycle_shares(self) -> Dict[str, float]:
+        """Each service's share of fleet cycles (Fig. 8c)."""
+        total = self.fleet_cycles()
+        if not total:
+            return {}
+        return {s: v / total for s, v in sorted(self.service_totals.items())}
+
+    def per_method_cost_samples(self, min_samples: int = 1
+                                ) -> Dict[Tuple[str, str], np.ndarray]:
+        """Per-method arrays of per-RPC normalized cycle costs (Fig. 21)."""
+        return {
+            k: np.asarray(v)
+            for k, v in self.method_samples.items()
+            if len(v) >= min_samples
+        }

@@ -1,0 +1,158 @@
+"""Task-exported metrics: counters, gauges, and distributions.
+
+Simulated tasks (servers, clients, machines) export metrics through a
+:class:`MetricRegistry`; the Monarch scraper walks the registry on its
+sampling interval. Distributions use bounded reservoir sampling so that a
+long simulation cannot grow memory without bound while percentile queries
+stay accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "DistributionMetric", "MetricRegistry", "LabelSet"]
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Optional[Dict[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (e.g. RPCs served)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter (non-negative amounts only)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, optionally backed by a callable."""
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None):
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge value (value-backed gauges only)."""
+        if self._fn is not None:
+            raise ValueError("cannot set a callable-backed gauge")
+        self._value = value
+
+    def read(self) -> float:
+        """Current gauge value."""
+        return self._fn() if self._fn is not None else self._value
+
+
+class DistributionMetric:
+    """A streaming distribution with bounded memory.
+
+    Keeps exact count/sum/min/max plus a uniform reservoir of up to
+    ``reservoir_size`` samples for percentile queries (Vitter's Algorithm R).
+    """
+
+    def __init__(self, reservoir_size: int = 4096,
+                 rng: Optional[np.random.Generator] = None):
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size!r}")
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: List[float] = []
+        self._rng = rng or np.random.default_rng(0)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            j = int(self._rng.integers(self.count))
+            if j < self.reservoir_size:
+                self._reservoir[j] = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for v in values:
+            self.observe(float(v))
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]; uses the reservoir (exact until it overflows)."""
+        if not self._reservoir:
+            return 0.0
+        return float(np.percentile(self._reservoir, q))
+
+    def samples(self) -> np.ndarray:
+        """The reservoir contents as an array."""
+        return np.asarray(self._reservoir, dtype=float)
+
+
+@dataclass
+class MetricRegistry:
+    """All metrics exported by one simulated process (task).
+
+    Metric identity is ``(name, labels)``; the scraper snapshots counters
+    and gauges and the current percentile summary of distributions.
+    """
+
+    counters: Dict[Tuple[str, LabelSet], Counter] = field(default_factory=dict)
+    gauges: Dict[Tuple[str, LabelSet], Gauge] = field(default_factory=dict)
+    distributions: Dict[Tuple[str, LabelSet], DistributionMetric] = field(
+        default_factory=dict
+    )
+
+    def counter(self, name: str, labels: Optional[Dict[str, str]] = None) -> Counter:
+        """Get-or-create a counter for (name, labels)."""
+        key = (name, _labelset(labels))
+        if key not in self.counters:
+            self.counters[key] = Counter()
+        return self.counters[key]
+
+    def gauge(self, name: str, labels: Optional[Dict[str, str]] = None,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        """Get-or-create a gauge for (name, labels)."""
+        key = (name, _labelset(labels))
+        if key not in self.gauges:
+            self.gauges[key] = Gauge(fn)
+        return self.gauges[key]
+
+    def distribution(self, name: str,
+                     labels: Optional[Dict[str, str]] = None) -> DistributionMetric:
+        """Get-or-create a distribution for (name, labels)."""
+        key = (name, _labelset(labels))
+        if key not in self.distributions:
+            self.distributions[key] = DistributionMetric()
+        return self.distributions[key]
+
+    def snapshot(self) -> Dict[Tuple[str, LabelSet], float]:
+        """Scalar view for the scraper: counter values and gauge reads."""
+        out: Dict[Tuple[str, LabelSet], float] = {}
+        for key, c in self.counters.items():
+            out[key] = c.value
+        for key, g in self.gauges.items():
+            out[key] = g.read()
+        return out

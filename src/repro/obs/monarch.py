@@ -1,0 +1,213 @@
+"""Monarch: the time-series database and its scraper.
+
+The real Monarch samples metrics exported by every task on a fixed cadence
+(the paper uses series with one sample every 30 minutes retained for 700
+days). Our equivalent keeps the same shape:
+
+- series are identified by ``(metric name, sorted label set)``;
+- :class:`MonarchScraper` walks registered :class:`MetricRegistry` objects
+  (and ad-hoc collector callbacks) every ``interval_s`` of simulated time;
+- retention trims old points per metric;
+- queries return aligned ``(times, values)`` arrays and support windowed
+  aggregation across label dimensions — the operation behind Fig. 1's
+  fleet-wide RPS/CPU ratio and Fig. 18's 24-hour overlays.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import LabelSet, MetricRegistry, _labelset
+from repro.sim.engine import Simulator
+
+__all__ = ["Monarch", "MonarchScraper", "SeriesKey", "DEFAULT_SCRAPE_INTERVAL_S"]
+
+# The paper's long-retention sampling cadence: one sample per 30 minutes.
+DEFAULT_SCRAPE_INTERVAL_S = 30 * 60.0
+
+SeriesKey = Tuple[str, LabelSet]
+
+
+@dataclass
+class _Series:
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        """Append a point (monotone time)."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"out-of-order write: t={t} after t={self.times[-1]}"
+            )
+        self.times.append(t)
+        self.values.append(v)
+
+    def trim_before(self, cutoff: float) -> None:
+        """Drop points before the cutoff."""
+        idx = bisect.bisect_left(self.times, cutoff)
+        if idx:
+            del self.times[:idx]
+            del self.values[:idx]
+
+
+class Monarch:
+    """The time-series store."""
+
+    def __init__(self, retention_s: Optional[float] = None):
+        self.retention_s = retention_s
+        self._series: Dict[SeriesKey, _Series] = {}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write(self, name: str, labels: Optional[Dict[str, str]],
+              t: float, value: float) -> None:
+        """Append one point to a series."""
+        key: SeriesKey = (name, _labelset(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = _Series()
+            self._series[key] = series
+        series.append(t, float(value))
+        if self.retention_s is not None:
+            series.trim_before(t - self.retention_s)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def series_keys(self, name: Optional[str] = None) -> List[SeriesKey]:
+        """All series keys, optionally for one metric."""
+        keys = list(self._series)
+        if name is not None:
+            keys = [k for k in keys if k[0] == name]
+        return sorted(keys)
+
+    def read(self, name: str, labels: Optional[Dict[str, str]] = None,
+             t_start: Optional[float] = None,
+             t_end: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """One series as ``(times, values)`` arrays (empty if absent)."""
+        series = self._series.get((name, _labelset(labels)))
+        if series is None:
+            return np.array([]), np.array([])
+        times = np.asarray(series.times)
+        values = np.asarray(series.values)
+        mask = np.ones(len(times), dtype=bool)
+        if t_start is not None:
+            mask &= times >= t_start
+        if t_end is not None:
+            mask &= times <= t_end
+        return times[mask], values[mask]
+
+    def read_matching(self, name: str,
+                      label_filter: Optional[Dict[str, str]] = None
+                      ) -> Dict[LabelSet, Tuple[np.ndarray, np.ndarray]]:
+        """All series of ``name`` whose labels include ``label_filter``."""
+        want = set((label_filter or {}).items())
+        out = {}
+        for (metric, labelset), series in self._series.items():
+            if metric != name:
+                continue
+            if want and not want <= {(k, v) for k, v in labelset}:
+                continue
+            out[labelset] = (np.asarray(series.times), np.asarray(series.values))
+        return out
+
+    def rate(self, name: str, labels: Optional[Dict[str, str]] = None
+             ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-second rate of a cumulative counter series.
+
+        Returns midpoints of consecutive sample pairs and the finite-
+        difference rate over each interval — how Monarch-style dashboards
+        derive RPS from cumulative ``rpcs_served`` counters. Counter
+        resets (value decreasing) yield a zero-rate interval rather than a
+        negative spike.
+        """
+        times, values = self.read(name, labels)
+        if len(times) < 2:
+            return np.array([]), np.array([])
+        dt = np.diff(times)
+        dv = np.diff(values)
+        rates = np.where((dv >= 0) & (dt > 0), dv / np.where(dt > 0, dt, 1),
+                         0.0)
+        return times[:-1] + dt / 2, rates
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def aggregate(self, name: str, window_s: float,
+                  label_filter: Optional[Dict[str, str]] = None,
+                  reducer: str = "sum") -> Tuple[np.ndarray, np.ndarray]:
+        """Align matching series into windows and reduce across series.
+
+        Points are bucketed into ``window_s``-wide windows by timestamp;
+        within a (series, window) pair the last point wins (gauge
+        semantics); across series the ``reducer`` ('sum' or 'mean')
+        combines them. Returns (window_start_times, reduced_values).
+        """
+        if reducer not in ("sum", "mean"):
+            raise ValueError(f"reducer must be 'sum' or 'mean', got {reducer!r}")
+        matching = self.read_matching(name, label_filter)
+        buckets: Dict[int, List[float]] = {}
+        for times, values in matching.values():
+            last_in_window: Dict[int, float] = {}
+            for t, v in zip(times, values):
+                last_in_window[int(t // window_s)] = v
+            for w, v in last_in_window.items():
+                buckets.setdefault(w, []).append(v)
+        if not buckets:
+            return np.array([]), np.array([])
+        windows = np.array(sorted(buckets))
+        if reducer == "sum":
+            vals = np.array([sum(buckets[w]) for w in windows])
+        else:
+            vals = np.array([float(np.mean(buckets[w])) for w in windows])
+        return windows * window_s, vals
+
+
+class MonarchScraper:
+    """Periodically samples registries and collector callbacks into Monarch.
+
+    ``collectors`` are callbacks ``(t) -> iterable of (name, labels, value)``
+    used for state that is cheaper to compute on demand than to export
+    continuously (machine exogenous variables, pool utilizations).
+    """
+
+    def __init__(self, sim: Simulator, monarch: Monarch,
+                 interval_s: float = DEFAULT_SCRAPE_INTERVAL_S):
+        self.sim = sim
+        self.monarch = monarch
+        self.interval_s = interval_s
+        self._registries: List[Tuple[MetricRegistry, Dict[str, str]]] = []
+        self._collectors: List[Callable[[float], Iterable[Tuple[str, Dict[str, str], float]]]] = []
+        self._task = sim.every(interval_s, self._scrape, start_after=interval_s)
+
+    def register(self, registry: MetricRegistry,
+                 base_labels: Optional[Dict[str, str]] = None) -> None:
+        """Register with this component for later collection/dispatch."""
+        self._registries.append((registry, dict(base_labels or {})))
+
+    def add_collector(
+        self,
+        fn: Callable[[float], Iterable[Tuple[str, Dict[str, str], float]]],
+    ) -> None:
+        """Register an ad-hoc collector callback."""
+        self._collectors.append(fn)
+
+    def stop(self) -> None:
+        """Stop the periodic scraping chain."""
+        self._task.cancel()
+
+    def _scrape(self) -> None:
+        t = self.sim.now
+        for registry, base_labels in self._registries:
+            for (name, labelset), value in registry.snapshot().items():
+                labels = dict(base_labels)
+                labels.update(dict(labelset))
+                self.monarch.write(name, labels, t, value)
+        for fn in self._collectors:
+            for name, labels, value in fn(t):
+                self.monarch.write(name, labels, t, value)

@@ -1,0 +1,170 @@
+"""Dapper trace serialization: spans to bytes and back.
+
+The real Dapper persists sampled traces to storage for offline analysis;
+this module provides the equivalent: spans encode to the same wire format
+RPC payloads use (length-prefixed records, so files stream), and a whole
+collector round-trips losslessly. Analyses can therefore run on trace
+files produced by an earlier simulation, mirroring how the paper's
+analysis jobs consumed stored traces rather than live systems.
+
+File layout: ``magic "DTRC" | version varint | repeated
+(varint record_len | span record)``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from repro.obs.dapper import DapperCollector, Span
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import COMPONENTS, LatencyBreakdown
+from repro.rpc.wire import (
+    FieldSpec,
+    FieldType,
+    MessageSchema,
+    WireError,
+    decode_message,
+    decode_varint,
+    encode_message,
+    encode_varint,
+)
+
+__all__ = ["SPAN_SCHEMA", "span_to_bytes", "span_from_bytes",
+           "write_traces", "read_traces", "TraceIOError"]
+
+MAGIC = b"DTRC"
+VERSION = 1
+
+
+class TraceIOError(WireError):
+    """Raised on malformed trace streams."""
+
+
+_ANNOTATION_SCHEMA = MessageSchema("Annotation", [
+    FieldSpec(1, "key", FieldType.STRING),
+    FieldSpec(2, "value", FieldType.DOUBLE),
+])
+
+SPAN_SCHEMA = MessageSchema("Span", [
+    FieldSpec(1, "trace_id", FieldType.UINT64),
+    FieldSpec(2, "span_id", FieldType.UINT64),
+    FieldSpec(3, "parent_id", FieldType.UINT64),   # 0 = root
+    FieldSpec(4, "service", FieldType.STRING),
+    FieldSpec(5, "method", FieldType.STRING),
+    FieldSpec(6, "client_cluster", FieldType.STRING),
+    FieldSpec(7, "server_cluster", FieldType.STRING),
+    FieldSpec(8, "server_machine", FieldType.STRING),
+    FieldSpec(9, "start_time", FieldType.DOUBLE),
+    FieldSpec(10, "components", FieldType.DOUBLE, repeated=True),
+    FieldSpec(11, "status", FieldType.INT64),
+    FieldSpec(12, "request_bytes", FieldType.UINT64),
+    FieldSpec(13, "response_bytes", FieldType.UINT64),
+    FieldSpec(14, "cpu_cycles", FieldType.DOUBLE),
+    FieldSpec(15, "annotations", FieldType.MESSAGE, repeated=True,
+              message_schema=_ANNOTATION_SCHEMA),
+])
+
+
+def span_to_bytes(span: Span) -> bytes:
+    """Encode one span as a wire-format record."""
+    msg = {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id or 0,
+        "service": span.service,
+        "method": span.method,
+        "client_cluster": span.client_cluster,
+        "server_cluster": span.server_cluster,
+        "server_machine": span.server_machine,
+        "start_time": span.start_time,
+        "components": [getattr(span.breakdown, c) for c in COMPONENTS],
+        "status": span.status.value,
+        "request_bytes": span.request_bytes,
+        "response_bytes": span.response_bytes,
+        "cpu_cycles": span.cpu_cycles,
+        "annotations": [
+            {"key": k, "value": float(v)}
+            for k, v in sorted(span.annotations.items())
+        ],
+    }
+    return encode_message(SPAN_SCHEMA, msg)
+
+
+def span_from_bytes(data: bytes) -> Span:
+    """Inverse of :func:`span_to_bytes`."""
+    msg = decode_message(SPAN_SCHEMA, data)
+    components = msg.get("components", [])
+    if len(components) != len(COMPONENTS):
+        raise TraceIOError(
+            f"span record has {len(components)} components, "
+            f"expected {len(COMPONENTS)}"
+        )
+    return Span(
+        trace_id=msg.get("trace_id", 0),
+        span_id=msg.get("span_id", 0),
+        parent_id=msg.get("parent_id", 0) or None,
+        service=msg.get("service", ""),
+        method=msg.get("method", ""),
+        client_cluster=msg.get("client_cluster", ""),
+        server_cluster=msg.get("server_cluster", ""),
+        server_machine=msg.get("server_machine", ""),
+        start_time=msg.get("start_time", 0.0),
+        breakdown=LatencyBreakdown(**dict(zip(COMPONENTS, components))),
+        status=StatusCode(msg.get("status", 0)),
+        request_bytes=msg.get("request_bytes", 0),
+        response_bytes=msg.get("response_bytes", 0),
+        cpu_cycles=msg.get("cpu_cycles", 0.0),
+        annotations={a["key"]: a["value"]
+                     for a in msg.get("annotations", [])},
+    )
+
+
+def write_traces(spans: Iterable[Span], sink: Union[str, BinaryIO]) -> int:
+    """Write spans as a streaming trace file; returns the span count."""
+    own = isinstance(sink, str)
+    f: BinaryIO = open(sink, "wb") if own else sink
+    try:
+        f.write(MAGIC)
+        f.write(encode_varint(VERSION))
+        n = 0
+        for span in spans:
+            record = span_to_bytes(span)
+            f.write(encode_varint(len(record)))
+            f.write(record)
+            n += 1
+        return n
+    finally:
+        if own:
+            f.close()
+
+
+def read_traces(source: Union[str, bytes, BinaryIO]) -> Iterator[Span]:
+    """Stream spans back from a trace file/buffer."""
+    if isinstance(source, str):
+        with open(source, "rb") as f:
+            data = f.read()
+    elif isinstance(source, bytes):
+        data = source
+    else:
+        data = source.read()
+    if data[:4] != MAGIC:
+        raise TraceIOError("bad trace magic")
+    version, pos = decode_varint(data, 4)
+    if version != VERSION:
+        raise TraceIOError(f"unsupported trace version {version}")
+    while pos < len(data):
+        length, pos = decode_varint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise TraceIOError("truncated span record")
+        yield span_from_bytes(data[pos:end])
+        pos = end
+
+
+def load_collector(source: Union[str, bytes, BinaryIO]) -> DapperCollector:
+    """Read a trace file into a fresh collector (sampling already applied)."""
+    collector = DapperCollector(sampling_rate=1.0)
+    for span in read_traces(source):
+        collector.spans.append(span)
+    return collector

@@ -1,0 +1,40 @@
+"""The RPC stack substrate.
+
+This package implements a Stubby/gRPC-like RPC stack — the system whose
+behaviour the paper characterizes — including:
+
+- :mod:`repro.rpc.wire` — a from-scratch protobuf-style wire codec
+  (varints, zigzag, tagged fields, length-delimited messages);
+- :mod:`repro.rpc.compression` — an LZSS compressor/decompressor (the
+  compression stage is the single largest RPC cycle-tax component, Fig. 20);
+- :mod:`repro.rpc.crypto` — a ChaCha20 stream cipher for the encryption
+  stage;
+- :mod:`repro.rpc.message` — request/response envelopes and metadata;
+- :mod:`repro.rpc.errors` — gRPC-style status codes and the fleet error
+  model behind Fig. 23;
+- :mod:`repro.rpc.stack` — the nine-component latency anatomy of Fig. 9 and
+  its vectorized sampling model;
+- :mod:`repro.rpc.calltree` — nested call-tree generation and traversal
+  (Figs. 4–5);
+- :mod:`repro.rpc.loadbalancer` — cluster- and machine-level load-balancing
+  policies (Fig. 22 and the LB ablations);
+- :mod:`repro.rpc.hedging` — hedged requests and cancellation (Fig. 23's
+  dominant error class);
+- :mod:`repro.rpc.channel` — the discrete-event client/server used by the
+  service-specific studies (Figs. 14–19).
+"""
+
+from repro.rpc.errors import RpcError, StatusCode
+from repro.rpc.message import Request, Response, RpcMetadata
+from repro.rpc.stack import COMPONENTS, LatencyBreakdown, StackCostModel
+
+__all__ = [
+    "COMPONENTS",
+    "LatencyBreakdown",
+    "Request",
+    "Response",
+    "RpcError",
+    "RpcMetadata",
+    "StackCostModel",
+    "StatusCode",
+]

@@ -1,0 +1,189 @@
+"""Nested RPC call trees (Figs. 4–5).
+
+A root RPC fans out into child RPCs, children fan out further, and the
+resulting trees are *wider than deep*: the paper finds median descendant
+counts around 13 with P99 tails beyond 1155, while ancestor counts (depth)
+stay below ~10 at P99 for half the methods.
+
+This module is workload-agnostic: the generator takes two callbacks — a
+per-method fanout distribution and a child-method chooser — and the
+catalog (:mod:`repro.workloads.catalog`) supplies layer-structured
+implementations (front-ends call mid-tiers, mid-tiers call storage, storage
+calls disk servers) that produce the wide-not-deep shape naturally through
+partition/aggregate fanout rather than by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.distributions import Distribution
+
+__all__ = ["CallNode", "CallTree", "CallTreeGenerator", "TreeShapeStats",
+           "collect_shape_samples"]
+
+
+@dataclass
+class CallNode:
+    """One RPC invocation within a tree."""
+
+    method_id: int
+    depth: int
+    children: List["CallNode"] = field(default_factory=list)
+    _subtree_size: Optional[int] = None
+
+    @property
+    def descendants(self) -> int:
+        """Number of RPCs (transitively) issued below this invocation."""
+        return self.subtree_size() - 1
+
+    def subtree_size(self) -> int:
+        """Node count of this subtree (cached)."""
+        if self._subtree_size is None:
+            self._subtree_size = 1 + sum(c.subtree_size() for c in self.children)
+        return self._subtree_size
+
+    @property
+    def ancestors(self) -> int:
+        """Return distance to the root RPC (the root has 0 ancestors)."""
+        return self.depth
+
+    def walk(self):
+        """Yield every node, pre-order, iteratively (trees can be huge)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+
+@dataclass
+class CallTree:
+    """A complete trace: the root invocation plus derived counters."""
+
+    root: CallNode
+    truncated: bool = False  # hit the node budget while generating
+
+    @property
+    def size(self) -> int:
+        """Total node count."""
+        return self.root.subtree_size()
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest node depth in the tree."""
+        return max(node.depth for node in self.root.walk())
+
+    def nodes(self) -> List[CallNode]:
+        """All nodes as a list."""
+        return list(self.root.walk())
+
+
+class CallTreeGenerator:
+    """Generates call trees from per-method fanout and routing callbacks.
+
+    Parameters
+    ----------
+    fanout_for:
+        ``method_id -> Distribution`` over the number of direct children of
+        one invocation of that method.
+    children_of:
+        ``(method_id, rng, k) -> sequence of k child method ids``.
+    max_nodes:
+        Hard budget per tree; generation stops (marking the tree truncated)
+        once reached. Hyperscale traces run to ~10K spans (Huye et al.
+        comparison in §2.4), so the default leaves the paper's P99 tails
+        reachable while bounding memory.
+    max_depth:
+        Nodes at this depth get no children (deadline/stack-depth limits).
+    """
+
+    def __init__(
+        self,
+        fanout_for: Callable[[int], Distribution],
+        children_of: Callable[[int, np.random.Generator, int], Sequence[int]],
+        max_nodes: int = 20000,
+        max_depth: int = 24,
+    ):
+        if max_nodes < 1:
+            raise ValueError(f"max_nodes must be >= 1, got {max_nodes!r}")
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth!r}")
+        self.fanout_for = fanout_for
+        self.children_of = children_of
+        self.max_nodes = max_nodes
+        self.max_depth = max_depth
+
+    def generate(self, root_method: int, rng: np.random.Generator) -> CallTree:
+        """Generate one call tree from a root method."""
+        root = CallNode(method_id=root_method, depth=0)
+        budget = self.max_nodes - 1
+        truncated = False
+        # Breadth-first expansion keeps trees wide under a node budget, the
+        # same bias real partition/aggregate fanout exhibits.
+        frontier = deque([root])
+        while frontier and budget > 0:
+            node = frontier.popleft()
+            if node.depth >= self.max_depth:
+                continue
+            k = int(self.fanout_for(node.method_id).sample_one(rng))
+            if k <= 0:
+                continue
+            if k > budget:
+                k = budget
+                truncated = True
+            child_methods = self.children_of(node.method_id, rng, k)
+            for m in child_methods:
+                child = CallNode(method_id=int(m), depth=node.depth + 1)
+                node.children.append(child)
+                frontier.append(child)
+            budget -= len(node.children)
+        if frontier and any(n.depth < self.max_depth for n in frontier):
+            # Budget exhausted with expandable nodes left.
+            truncated = truncated or budget <= 0
+        return CallTree(root=root, truncated=truncated)
+
+
+@dataclass
+class TreeShapeStats:
+    """Per-method samples of descendant and ancestor counts."""
+
+    descendants: Dict[int, List[int]] = field(default_factory=dict)
+    ancestors: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add_tree(self, tree: CallTree) -> None:
+        """Accumulate one tree's shape samples."""
+        for node in tree.root.walk():
+            self.descendants.setdefault(node.method_id, []).append(node.descendants)
+            self.ancestors.setdefault(node.method_id, []).append(node.ancestors)
+
+    def methods(self) -> List[int]:
+        """Method ids with at least one observed invocation."""
+        return sorted(self.descendants)
+
+    def filter_min_samples(self, min_samples: int) -> "TreeShapeStats":
+        """Keep methods with at least ``min_samples`` observations (the
+        paper's ≥100-samples-per-method rule, applied at whatever scale the
+        caller ran)."""
+        out = TreeShapeStats()
+        for m, vals in self.descendants.items():
+            if len(vals) >= min_samples:
+                out.descendants[m] = vals
+                out.ancestors[m] = self.ancestors[m]
+        return out
+
+
+def collect_shape_samples(
+    generator: CallTreeGenerator,
+    root_methods: Sequence[int],
+    rng: np.random.Generator,
+) -> TreeShapeStats:
+    """Generate one tree per entry of ``root_methods`` and pool the shapes."""
+    stats = TreeShapeStats()
+    for root in root_methods:
+        stats.add_tree(generator.generate(int(root), rng))
+    return stats

@@ -1,0 +1,491 @@
+"""The discrete-event RPC client/server (Tier B).
+
+This module wires the nine-stage anatomy of Fig. 9 through *causal* queues
+on simulated machines, so that queueing, interference, exogenous machine
+state and load balancing shape latency the way they do in production:
+
+- the client's TX pool produces ``client_send_queue`` (wait) and
+  ``request_proc_stack`` (service, size-dependent, inflated by the client
+  machine's CPI);
+- the network model produces both wire components;
+- the server's RX pool plus handler pool plus thread wakeup produce
+  ``server_recv_queue``; the handler itself is ``server_application``
+  (inflated by the *server* machine's CPI — this is how Fig. 17/18's
+  exogenous correlations arise);
+- the server's TX pool produces ``server_send_queue`` and
+  ``response_proc_stack``;
+- the client's RX pool produces ``client_recv_queue``.
+
+Completed calls are recorded as Dapper spans (annotated with the server's
+exogenous snapshot) and attributed to the GWP profiler. Hedged calls issue
+a backup copy after a delay; the losing copy completes as ``CANCELLED``,
+burning real server resources — the behaviour behind Fig. 23's
+cancellation costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fleet.machine import Machine
+from repro.net.latency import NetworkModel
+from repro.obs.dapper import DapperCollector, Span
+from repro.obs.gwp import GwpProfiler
+from repro.rpc.errors import ErrorModel, StatusCode
+from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
+from repro.rpc.message import new_rpc_id
+from repro.rpc.stack import LatencyBreakdown, StackCostModel
+from repro.sim.distributions import Distribution
+from repro.sim.engine import Simulator
+from repro.sim.queues import Job
+
+__all__ = ["ChildCall", "MethodRuntime", "RpcServerTask", "RpcClientTask",
+           "CallResult"]
+
+_trace_ids = itertools.count(1)
+_span_ids = itertools.count(1)
+
+
+@dataclass
+class ChildCall:
+    """A nested dependency of a method: fan out ``count`` calls to
+    ``runtime`` while handling each request (partition/aggregate)."""
+
+    runtime: "MethodRuntime"
+    count: Distribution
+
+
+@dataclass
+class MethodRuntime:
+    """Everything the DES needs to serve one RPC method.
+
+    ``app_time`` is the handler's service time on an *idle* machine; the
+    machine's CPI multiplier inflates it at run time. ``error_app_fraction``
+    is how much of the handler an erroring RPC executes before failing
+    (fail-fast validation errors burn little; cancelled hedges burn all of
+    it — handled separately by the hedging path).
+
+    ``child_calls`` declares nested RPCs: the handler runs
+    ``child_fanout_phase`` of its compute, fans out to every child in
+    parallel, waits for all of them, then finishes the remainder. As in
+    the paper (§2.1), the waiting shows up inside the parent's
+    server-application component — nesting is invisible to the caller.
+    """
+
+    service: str
+    method: str
+    app_time: Distribution
+    request_size: Distribution
+    response_size: Distribution
+    app_cycles: Distribution
+    error_model: Optional[ErrorModel] = None
+    error_app_fraction: float = 0.3
+    error_response_bytes: int = 64
+    child_calls: List[ChildCall] = field(default_factory=list)
+    child_fanout_phase: float = 0.35
+
+    @property
+    def full_method(self) -> str:
+        """The ``"Service/Method"`` identifier."""
+        return f"{self.service}/{self.method}"
+
+
+@dataclass
+class CallResult:
+    """Returned to the client's completion callback."""
+
+    span: Span
+    hedged: bool = False
+    attempts: int = 1
+
+
+class RpcServerTask:
+    """One server process on one machine, serving a set of methods."""
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 methods: Sequence[MethodRuntime],
+                 stack: Optional[StackCostModel] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.machine = machine
+        self.methods: Dict[str, MethodRuntime] = {m.method: m for m in methods}
+        self.stack = stack or StackCostModel()
+        self.rng = rng or np.random.default_rng(0)
+        self.rpcs_served = 0
+        self.cycles_burned = 0.0
+        # Buffered scalar draws (hot path; see BufferedDraws).
+        self._app_bufs = {
+            name: m.app_time.buffered(self.rng)
+            for name, m in self.methods.items()
+        }
+        self._resp_bufs = {
+            name: m.response_size.buffered(self.rng)
+            for name, m in self.methods.items()
+        }
+        self._cycle_bufs = {
+            name: m.app_cycles.buffered(self.rng)
+            for name, m in self.methods.items()
+        }
+
+        # Wired by configure_children for methods with nested calls.
+        self._child_client: Optional["RpcClientTask"] = None
+        self._child_pickers: Dict[str, Callable] = {}
+
+    @property
+    def cluster(self):
+        """The cluster hosting this task's machine."""
+        return self.machine.cluster
+
+    def load(self) -> float:
+        """Instantaneous pressure (queue depth + busy) for least-loaded LB."""
+        pool = self.machine.pool
+        return pool.queue_depth + pool.busy_servers
+
+    def configure_children(self, client: "RpcClientTask",
+                           pickers: Dict[str, Callable]) -> None:
+        """Attach the client (on this machine) and per-child-method target
+        pickers used to issue nested calls."""
+        self._child_client = client
+        self._child_pickers = dict(pickers)
+
+    # ------------------------------------------------------------------
+    def serve(self, method_name: str, request_bytes: int,
+              status: StatusCode,
+              on_reply: Callable[[float, float, float, int, float, float], None],
+              trace_id: int = 0, span_id: int = 0) -> None:
+        """Process one incoming request (already on this machine).
+
+        ``on_reply(recv_queue_s, app_s, send_queue_s, response_bytes,
+        resp_proc_s, app_cycles)`` fires when the response leaves the
+        server's TX path. ``trace_id``/``span_id`` propagate the Dapper
+        context so nested calls link into the same trace tree.
+        """
+        runtime = self.methods.get(method_name)
+        if runtime is None:
+            raise KeyError(f"method {method_name!r} not served here")
+        arrival = self.sim.now
+
+        # RX path: decrypt + parse on the RX pool.
+        parse_s = self.stack.proc_stack_time_s(request_bytes) * 0.5 \
+            * self.machine.service_multiplier()
+
+        app_buf = self._app_bufs[method_name]
+        resp_buf = self._resp_bufs[method_name]
+        cycle_buf = self._cycle_bufs[method_name]
+        has_children = bool(runtime.child_calls) and \
+            self._child_client is not None and not status.is_error
+
+        def after_parse(_parse_wait: float) -> None:
+            # Handler execution: thread wakeup + inflated app time.
+            wakeup = self.machine.sample_wakeup()
+            base_app = app_buf.next()
+            if status.is_error and status is not StatusCode.CANCELLED:
+                base_app *= runtime.error_app_fraction
+            actual_app = base_app * self.machine.service_multiplier()
+            app_cycles = cycle_buf.next()
+            if status.is_error and status is not StatusCode.CANCELLED:
+                app_cycles *= runtime.error_app_fraction
+
+            def respond(handler_started_at: float) -> None:
+                # The parent's application component is the full handler
+                # wall time (local compute + nested-call waits): nesting
+                # is invisible to the caller (§2.1).
+                app_wall = self.sim.now - handler_started_at
+                recv_queue_s = (handler_started_at - arrival)
+                if status.is_error:
+                    response_bytes = runtime.error_response_bytes
+                else:
+                    response_bytes = max(1, int(resp_buf.next()))
+                resp_proc_s = self.stack.proc_stack_time_s(response_bytes) \
+                    * self.machine.service_multiplier()
+
+                def after_tx(tx_wait: float) -> None:
+                    self.rpcs_served += 1
+                    self.cycles_burned += app_cycles
+                    on_reply(max(recv_queue_s, 0.0), app_wall, tx_wait,
+                             response_bytes, resp_proc_s, app_cycles)
+
+                self.machine.tx_pool.submit(
+                    Job(service_time=resp_proc_s, on_done=after_tx)
+                )
+
+            if not has_children:
+                def after_app(pool_wait: float) -> None:
+                    respond(self.sim.now - actual_app)
+
+                self.machine.pool.submit(
+                    Job(service_time=wakeup + actual_app, on_done=after_app)
+                )
+                return
+
+            # Nested execution: phase-1 compute, parallel fan-out to every
+            # child, then phase-2 compute. The handler thread is released
+            # while waiting (async server), so the pool does not deadlock.
+            phase1 = actual_app * runtime.child_fanout_phase
+            phase2 = actual_app - phase1
+            handler_start_box = {}
+
+            def after_phase1(_wait: float) -> None:
+                handler_start_box["t"] = self.sim.now - phase1 - wakeup
+                pending = {"n": 0}
+                issued = {"n": 0}
+
+                def child_done(_result) -> None:
+                    pending["n"] -= 1
+                    if pending["n"] == 0 and issued["done"]:
+                        start_phase2()
+
+                def start_phase2() -> None:
+                    self.machine.pool.submit(Job(
+                        service_time=phase2,
+                        on_done=lambda w: respond(handler_start_box["t"]),
+                    ))
+
+                issued["done"] = False
+                for child in runtime.child_calls:
+                    k = max(0, int(round(
+                        child.count.sample_one(self._child_client.rng))))
+                    picker = self._child_pickers.get(
+                        child.runtime.full_method)
+                    if picker is None or k == 0:
+                        continue
+                    for _ in range(k):
+                        pending["n"] += 1
+                        issued["n"] += 1
+                        self._child_client.call(
+                            child.runtime, picker,
+                            on_complete=child_done,
+                            trace_id=trace_id or None,
+                            parent_id=span_id or None,
+                        )
+                issued["done"] = True
+                if pending["n"] == 0:
+                    start_phase2()
+
+            self.machine.pool.submit(
+                Job(service_time=wakeup + phase1, on_done=after_phase1)
+            )
+
+        self.machine.rx_pool.submit(Job(service_time=parse_s, on_done=after_parse))
+
+
+class RpcClientTask:
+    """A client process on a machine, issuing calls to server tasks."""
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 network: NetworkModel,
+                 dapper: Optional[DapperCollector] = None,
+                 gwp: Optional[GwpProfiler] = None,
+                 stack: Optional[StackCostModel] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 hedging: HedgingPolicy = NO_HEDGING):
+        self.sim = sim
+        self.machine = machine
+        self.network = network
+        self.dapper = dapper
+        self.gwp = gwp
+        self.stack = stack or StackCostModel()
+        self.rng = rng or np.random.default_rng(0)
+        self.hedging = hedging
+        self.calls_issued = 0
+        self.calls_completed = 0
+        self._req_bufs: Dict[str, object] = {}
+        self._status_bufs: Dict[int, object] = {}
+        self._wire: Dict[str, object] = {}  # dst cluster name -> OnewaySampler
+
+    @property
+    def cluster(self):
+        """The cluster hosting this task's machine."""
+        return self.machine.cluster
+
+    # ------------------------------------------------------------------
+    def call(self, runtime: MethodRuntime,
+             pick_server: Callable[[np.random.Generator], RpcServerTask],
+             on_complete: Optional[Callable[[CallResult], None]] = None,
+             trace_id: Optional[int] = None,
+             parent_id: Optional[int] = None) -> None:
+        """Issue one RPC; the server is chosen per attempt by ``pick_server``.
+
+        ``trace_id``/``parent_id`` link the call into an existing Dapper
+        trace (nested calls); a fresh trace id is minted otherwise.
+        """
+        if trace_id is None:
+            trace_id = next(_trace_ids)
+        req_buf = self._req_bufs.get(runtime.full_method)
+        if req_buf is None:
+            req_buf = runtime.request_size.buffered(self.rng)
+            self._req_bufs[runtime.full_method] = req_buf
+        request_bytes = max(1, int(req_buf.next()))
+        self.calls_issued += 1
+
+        state = {"winner": None, "attempts": 0, "hedge_timer": None}
+
+        def launch_attempt(attempt_index: int) -> None:
+            server = pick_server(self.rng)
+            state["attempts"] += 1
+            self._run_attempt(
+                runtime, server, trace_id, request_bytes, attempt_index,
+                state, on_complete, parent_id,
+            )
+
+        if self.hedging.enabled:
+            def maybe_hedge() -> None:
+                if state["winner"] is None and self.hedging.should_hedge(
+                        state["attempts"]):
+                    launch_attempt(1)
+            state["hedge_timer"] = self.sim.after(self.hedging.delay_s, maybe_hedge)
+
+        launch_attempt(0)
+
+    # ------------------------------------------------------------------
+    def _run_attempt(self, runtime: MethodRuntime, server: RpcServerTask,
+                     trace_id: int, request_bytes: int, attempt_index: int,
+                     state: dict,
+                     on_complete: Optional[Callable[[CallResult], None]],
+                     parent_id: Optional[int] = None) -> None:
+        span_id = next(_span_ids)
+        t0 = self.sim.now
+        # Per-attempt outcome from the method's error model (hedging losers
+        # are turned into CANCELLED at completion time below).
+        if runtime.error_model is not None:
+            status = self._next_status(runtime)
+        else:
+            status = StatusCode.OK
+
+        req_proc_s = self.stack.proc_stack_time_s(request_bytes) \
+            * self.machine.service_multiplier()
+
+        wire = self._wire_sampler(server.cluster)
+
+        def after_client_tx(tx_wait: float) -> None:
+            client_send_queue = tx_wait
+            wire_req = wire.sample(request_bytes, self.sim.now)
+
+            def deliver() -> None:
+                server.serve(
+                    runtime.method, request_bytes, status,
+                    lambda recv_q, app_s, send_q, resp_bytes, resp_proc, app_cyc:
+                    after_server(
+                        client_send_queue, wire_req, recv_q, app_s, send_q,
+                        resp_bytes, resp_proc, app_cyc,
+                    ),
+                    trace_id=trace_id, span_id=span_id,
+                )
+
+            self.sim.after(wire_req, deliver)
+
+        def after_server(client_send_queue: float, wire_req: float,
+                         recv_q: float, app_s: float, send_q: float,
+                         resp_bytes: int, resp_proc: float,
+                         app_cycles: float) -> None:
+            wire_resp = wire.sample(resp_bytes, self.sim.now)
+
+            def arrive_back() -> None:
+                client_parse_s = self.stack.proc_stack_time_s(resp_bytes) * 0.3 \
+                    * self.machine.service_multiplier()
+
+                def after_client_rx(rx_wait: float) -> None:
+                    finalize(
+                        client_send_queue, wire_req, recv_q, app_s, send_q,
+                        resp_bytes, resp_proc, wire_resp,
+                        rx_wait + client_parse_s, app_cycles,
+                    )
+
+                self.machine.rx_pool.submit(
+                    Job(service_time=client_parse_s, on_done=after_client_rx)
+                )
+
+            self.sim.after(wire_resp, arrive_back)
+
+        def finalize(client_send_queue: float, wire_req: float, recv_q: float,
+                     app_s: float, send_q: float, resp_bytes: int,
+                     resp_proc: float, wire_resp: float,
+                     client_recv_queue: float, app_cycles: float) -> None:
+            final_status = status
+            is_winner = state["winner"] is None
+            if is_winner:
+                state["winner"] = span_id
+                if state["hedge_timer"] is not None:
+                    state["hedge_timer"].cancel()
+            else:
+                final_status = StatusCode.CANCELLED
+
+            breakdown = LatencyBreakdown(
+                client_send_queue=client_send_queue,
+                request_proc_stack=req_proc_s,
+                request_network_wire=wire_req,
+                server_recv_queue=recv_q,
+                server_application=app_s,
+                server_send_queue=send_q,
+                response_proc_stack=resp_proc,
+                response_network_wire=wire_resp,
+                client_recv_queue=client_recv_queue,
+            )
+            costs = self.stack.cycles(request_bytes, resp_bytes, app_cycles)
+            exo = server.machine.exogenous()
+            span = Span(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent_id,
+                service=runtime.service,
+                method=runtime.method,
+                client_cluster=self.cluster.name,
+                server_cluster=server.cluster.name,
+                server_machine=server.machine.name,
+                start_time=t0,
+                breakdown=breakdown,
+                status=final_status,
+                request_bytes=request_bytes,
+                response_bytes=resp_bytes,
+                cpu_cycles=costs.total(),
+                annotations={
+                    "hedge_attempt": float(attempt_index),
+                    **{f"exo_{k}": v for k, v in exo.as_dict().items()},
+                },
+            )
+            if self.dapper is not None:
+                self.dapper.record(span)
+            if self.gwp is not None:
+                self.gwp.add_rpc(runtime.service, runtime.method, costs)
+            if is_winner:
+                self.calls_completed += 1
+                if on_complete is not None:
+                    on_complete(CallResult(
+                        span=span,
+                        hedged=state["attempts"] > 1,
+                        attempts=state["attempts"],
+                    ))
+
+        self.machine.tx_pool.submit(Job(service_time=req_proc_s,
+                                        on_done=after_client_tx))
+
+    # ------------------------------------------------------------------
+    def _wire_sampler(self, dst_cluster):
+        sampler = self._wire.get(dst_cluster.name)
+        if sampler is None:
+            sampler = self.network.oneway_sampler(self.rng, self.cluster,
+                                                  dst_cluster)
+            self._wire[dst_cluster.name] = sampler
+        return sampler
+
+    def _next_status(self, runtime: MethodRuntime) -> StatusCode:
+        """Buffered per-call outcome; organic CANCELLED is mapped to OK
+        because cancellations in the DES come from hedging races."""
+        buf = self._status_bufs.get(id(runtime.error_model))
+        if buf is None:
+            buf = {"values": [], "i": 0}
+            self._status_bufs[id(runtime.error_model)] = buf
+        if buf["i"] >= len(buf["values"]):
+            buf["values"] = list(
+                runtime.error_model.sample_outcomes(self.rng, 512)
+            )
+            buf["i"] = 0
+        status = buf["values"][buf["i"]]
+        buf["i"] += 1
+        if status is StatusCode.CANCELLED:
+            return StatusCode.OK
+        return status

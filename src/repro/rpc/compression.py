@@ -1,0 +1,173 @@
+"""An LZSS compressor/decompressor.
+
+Compression is the single largest component of the paper's RPC cycle tax —
+3.1 % of *all* fleet CPU cycles (Fig. 20b) — so the substrate carries a real
+compressor, used by the example applications and to ground the per-byte
+cycle-cost constants in :mod:`repro.rpc.stack`.
+
+The format is a classic LZSS token stream:
+
+- a header: magic ``b"RLZ1"``, then the original length as a varint
+  (so decompression can pre-size its buffer and detect truncation);
+- groups of up to 8 tokens, each group preceded by a flag byte whose bits
+  mark (LSB-first) whether the token is a *match* (1) or a *literal* (0);
+- a literal token is one raw byte;
+- a match token is 3 bytes: a 16-bit little-endian backward distance
+  (1..32768) and a length byte storing ``length - MIN_MATCH`` (match lengths
+  span 4..259).
+
+The compressor uses hash chains over 4-byte prefixes with a bounded probe
+depth; ``level`` trades probe depth for ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.rpc.wire import decode_varint, encode_varint
+
+__all__ = ["compress", "decompress", "CompressionError", "compression_ratio",
+           "MIN_MATCH", "MAX_MATCH", "WINDOW_SIZE"]
+
+MAGIC = b"RLZ1"
+MIN_MATCH = 4
+MAX_MATCH = MIN_MATCH + 255
+WINDOW_SIZE = 32768
+
+# Probe depth of the hash chain per compression level.
+_LEVEL_PROBES = {1: 4, 2: 8, 3: 16, 4: 32, 5: 64, 6: 128}
+
+
+class CompressionError(ValueError):
+    """Raised on malformed compressed data."""
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    """Hash of the 4 bytes at ``pos`` (requires pos+4 <= len(data))."""
+    x = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16) | (data[pos + 3] << 24)
+    return (x * 2654435761) & 0xFFFFFFFF
+
+
+def compress(data: bytes, level: int = 3) -> bytes:
+    """Compress ``data``; higher ``level`` searches harder (1..6)."""
+    if level not in _LEVEL_PROBES:
+        raise ValueError(f"level must be in 1..6, got {level!r}")
+    max_probes = _LEVEL_PROBES[level]
+    n = len(data)
+    out = bytearray(MAGIC)
+    out += encode_varint(n)
+
+    chains: Dict[int, List[int]] = {}
+    tokens: List[bytes] = []  # up to 8 pending tokens
+    flags = 0
+    flag_count = 0
+
+    def flush_group() -> None:
+        nonlocal flags, flag_count
+        if flag_count:
+            out.append(flags)
+            for t in tokens:
+                out.extend(t)
+            tokens.clear()
+            flags = 0
+            flag_count = 0
+
+    def emit(token: bytes, is_match: bool) -> None:
+        """Write one table into the report."""
+        nonlocal flags, flag_count
+        if is_match:
+            flags |= 1 << flag_count
+        tokens.append(token)
+        flag_count += 1
+        if flag_count == 8:
+            flush_group()
+
+    pos = 0
+    while pos < n:
+        best_len = 0
+        best_dist = 0
+        if pos + MIN_MATCH <= n:
+            h = _hash4(data, pos)
+            candidates = chains.get(h)
+            if candidates:
+                limit = min(MAX_MATCH, n - pos)
+                probes = 0
+                # Probe most-recent candidates first (they are appended).
+                for cand in reversed(candidates):
+                    if pos - cand > WINDOW_SIZE:
+                        break
+                    probes += 1
+                    if probes > max_probes:
+                        break
+                    # Extend the match.
+                    length = 0
+                    while (length < limit
+                           and data[cand + length] == data[pos + length]):
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = pos - cand
+                        if length >= limit:
+                            break
+            chains.setdefault(h, []).append(pos)
+
+        if best_len >= MIN_MATCH:
+            emit(bytes((
+                best_dist & 0xFF,
+                (best_dist >> 8) & 0xFF,
+                best_len - MIN_MATCH,
+            )), is_match=True)
+            # Index the skipped positions so future matches can find them.
+            end = pos + best_len
+            idx = pos + 1
+            while idx < end and idx + MIN_MATCH <= n:
+                chains.setdefault(_hash4(data, idx), []).append(idx)
+                idx += 1
+            pos = end
+        else:
+            emit(data[pos:pos + 1], is_match=False)
+            pos += 1
+
+    flush_group()
+    return bytes(out)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    if len(blob) < len(MAGIC) or blob[:len(MAGIC)] != MAGIC:
+        raise CompressionError("bad magic")
+    original_len, pos = decode_varint(blob, len(MAGIC))
+    out = bytearray()
+    n = len(blob)
+    while pos < n and len(out) < original_len:
+        flags = blob[pos]
+        pos += 1
+        for bit in range(8):
+            if pos >= n or len(out) >= original_len:
+                break
+            if flags & (1 << bit):
+                if pos + 3 > n:
+                    raise CompressionError("truncated match token")
+                dist = blob[pos] | (blob[pos + 1] << 8)
+                length = blob[pos + 2] + MIN_MATCH
+                pos += 3
+                if dist == 0 or dist > len(out):
+                    raise CompressionError(f"invalid match distance {dist}")
+                start = len(out) - dist
+                for i in range(length):  # may self-overlap, so copy bytewise
+                    out.append(out[start + i])
+            else:
+                out.append(blob[pos])
+                pos += 1
+    if len(out) != original_len:
+        raise CompressionError(
+            f"length mismatch: header says {original_len}, got {len(out)}"
+        )
+    return bytes(out)
+
+
+def compression_ratio(data: bytes, level: int = 3) -> float:
+    """Original/compressed size ratio (≥ small values for incompressible data)."""
+    if not data:
+        return 1.0
+    return len(data) / len(compress(data, level))

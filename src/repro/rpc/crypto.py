@@ -1,0 +1,91 @@
+"""ChaCha20 stream cipher (RFC 8439).
+
+All RPCs inside the fleet are encrypted in transit; encryption shows up in
+both the latency tax's "RPC processing" stage and the cycle tax (Fig. 20b).
+This module implements ChaCha20 exactly as specified in RFC 8439 so the
+substrate's encryption stage is real code with real per-byte cost, and the
+implementation is verified against the RFC test vectors in the test suite.
+
+This is a faithful implementation of the algorithm, but a pure-Python
+cipher is **not** meant as production crypto — it exists to exercise the
+encryption code path of the RPC stack.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+__all__ = ["chacha20_block", "chacha20_encrypt", "chacha20_decrypt", "keystream"]
+
+_MASK32 = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def _rotl32(x: int, n: int) -> int:
+    return ((x << n) & _MASK32) | (x >> (32 - n))
+
+
+def _quarter_round(state: List[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """One 64-byte ChaCha20 block (RFC 8439 §2.3)."""
+    if len(key) != 32:
+        raise ValueError(f"key must be 32 bytes, got {len(key)}")
+    if len(nonce) != 12:
+        raise ValueError(f"nonce must be 12 bytes, got {len(nonce)}")
+    if not 0 <= counter <= _MASK32:
+        raise ValueError(f"counter out of range: {counter!r}")
+    state = list(_CONSTANTS)
+    state += list(struct.unpack("<8I", key))
+    state.append(counter)
+    state += list(struct.unpack("<3I", nonce))
+    working = state.copy()
+    for _ in range(10):  # 20 rounds = 10 double rounds
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    out = [(w + s) & _MASK32 for w, s in zip(working, state)]
+    return struct.pack("<16I", *out)
+
+
+def keystream(key: bytes, nonce: bytes, length: int, counter: int = 1) -> bytes:
+    """``length`` bytes of keystream starting at block ``counter``."""
+    if length < 0:
+        raise ValueError(f"negative length {length!r}")
+    blocks = []
+    produced = 0
+    block_counter = counter
+    while produced < length:
+        block = chacha20_block(key, block_counter, nonce)
+        blocks.append(block)
+        produced += len(block)
+        block_counter = (block_counter + 1) & _MASK32
+    return b"".join(blocks)[:length]
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes,
+                     counter: int = 1) -> bytes:
+    """Encrypt (XOR with keystream); RFC 8439 §2.4."""
+    stream = keystream(key, nonce, len(plaintext), counter)
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def chacha20_decrypt(key: bytes, nonce: bytes, ciphertext: bytes,
+                     counter: int = 1) -> bytes:
+    """Decrypt — identical to encryption for a stream cipher."""
+    return chacha20_encrypt(key, nonce, ciphertext, counter)

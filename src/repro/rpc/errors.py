@@ -1,0 +1,136 @@
+"""Status codes and the fleet error model.
+
+Section 4.4: 1.9 % of all RPCs end in an error; "Cancelled" dominates (45 %
+of errors and 55 % of error-wasted CPU cycles — mostly hedging), followed by
+"entity not found" (20 % / 21 %). The :class:`ErrorModel` below generates
+per-RPC outcomes with a configurable error rate and mix, and attributes a
+relative *wasted-cycle factor* to each error class: cancellations run for a
+while before the winner's response kills them, so they burn an outsized
+share of cycles; permission/argument errors fail fast and burn less.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["StatusCode", "RpcError", "ErrorModel", "DEFAULT_ERROR_MIX",
+           "DEFAULT_WASTED_CYCLE_FACTORS", "FLEET_ERROR_RATE"]
+
+# Paper §4.4: fraction of all issued RPCs that end in an error.
+FLEET_ERROR_RATE = 0.019
+
+
+class StatusCode(enum.Enum):
+    """gRPC/Stubby-style status codes (the subset the fleet analysis uses)."""
+
+    OK = 0
+    CANCELLED = 1
+    UNKNOWN = 2
+    INVALID_ARGUMENT = 3
+    DEADLINE_EXCEEDED = 4
+    NOT_FOUND = 5
+    PERMISSION_DENIED = 7
+    RESOURCE_EXHAUSTED = 8
+    UNAVAILABLE = 14
+    INTERNAL = 13
+    UNIMPLEMENTED = 12
+
+    @property
+    def is_error(self) -> bool:
+        """True for every non-OK status."""
+        return self is not StatusCode.OK
+
+
+class RpcError(Exception):
+    """An RPC failure carrying its status code."""
+
+    def __init__(self, status: StatusCode, message: str = ""):
+        if not status.is_error:
+            raise ValueError("RpcError requires a non-OK status")
+        super().__init__(message or status.name)
+        self.status = status
+
+
+# Error mix calibrated to Fig. 23 (percent of errors, not of all RPCs).
+DEFAULT_ERROR_MIX: Dict[StatusCode, float] = {
+    StatusCode.CANCELLED: 0.45,
+    StatusCode.NOT_FOUND: 0.20,
+    StatusCode.RESOURCE_EXHAUSTED: 0.10,
+    StatusCode.PERMISSION_DENIED: 0.08,
+    StatusCode.DEADLINE_EXCEEDED: 0.07,
+    StatusCode.UNAVAILABLE: 0.06,
+    StatusCode.INTERNAL: 0.04,
+}
+
+# Relative CPU cycles burned per error, normalized so that with the default
+# mix, Cancelled accounts for ~55 % of wasted cycles and NotFound ~21 %
+# (Fig. 23): cancellations (hedge losers) run until the winner returns,
+# while validation-style errors fail fast.
+DEFAULT_WASTED_CYCLE_FACTORS: Dict[StatusCode, float] = {
+    StatusCode.CANCELLED: 1.165,
+    StatusCode.NOT_FOUND: 1.0,
+    StatusCode.RESOURCE_EXHAUSTED: 0.75,
+    StatusCode.PERMISSION_DENIED: 0.30,
+    StatusCode.DEADLINE_EXCEEDED: 1.25,
+    StatusCode.UNAVAILABLE: 0.55,
+    StatusCode.INTERNAL: 0.60,
+}
+
+
+@dataclass
+class ErrorModel:
+    """Draws per-RPC outcomes (OK or a specific error class).
+
+    ``error_rate`` is the unconditional probability of any error; ``mix``
+    is the conditional distribution over error classes.
+    """
+
+    error_rate: float = FLEET_ERROR_RATE
+    mix: Dict[StatusCode, float] = field(
+        default_factory=lambda: dict(DEFAULT_ERROR_MIX)
+    )
+    wasted_cycle_factors: Dict[StatusCode, float] = field(
+        default_factory=lambda: dict(DEFAULT_WASTED_CYCLE_FACTORS)
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {self.error_rate!r}")
+        total = sum(self.mix.values())
+        if total <= 0:
+            raise ValueError("error mix weights must sum > 0")
+        self.mix = {k: v / total for k, v in self.mix.items()}
+        self._codes = list(self.mix.keys())
+        self._probs = np.array([self.mix[c] for c in self._codes])
+
+    def sample_outcomes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Array of ``StatusCode`` for ``n`` RPCs (object dtype)."""
+        out = np.full(n, StatusCode.OK, dtype=object)
+        errored = rng.random(n) < self.error_rate
+        n_err = int(errored.sum())
+        if n_err:
+            picks = rng.choice(len(self._codes), size=n_err, p=self._probs)
+            out[errored] = np.array(self._codes, dtype=object)[picks]
+        return out
+
+    def sample_one(self, rng: np.random.Generator) -> StatusCode:
+        """One scalar draw."""
+        return self.sample_outcomes(rng, 1)[0]
+
+    def wasted_cycle_factor(self, status: StatusCode) -> float:
+        """Relative cycles burned by an RPC that ended with ``status``."""
+        if not status.is_error:
+            return 0.0
+        return self.wasted_cycle_factors.get(status, 1.0)
+
+    def expected_cycle_shares(self) -> Dict[StatusCode, float]:
+        """The wasted-cycle share per error class implied by the model."""
+        weights = {
+            c: self.mix[c] * self.wasted_cycle_factor(c) for c in self.mix
+        }
+        total = sum(weights.values())
+        return {c: w / total for c, w in weights.items()}

@@ -1,0 +1,52 @@
+"""Request hedging (the tail-at-scale pattern behind most cancellations).
+
+Section 4.4 attributes the dominant error class — Cancelled, 45 % of errors
+and 55 % of error-wasted cycles — largely to request hedging: a client that
+has waited past some latency threshold issues a backup request to another
+replica and cancels the loser. Hedging trades duplicated work for tail
+latency, which is exactly the trade-off the hedging ablation bench
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["HedgingPolicy", "NO_HEDGING"]
+
+
+@dataclass(frozen=True)
+class HedgingPolicy:
+    """When and how to hedge.
+
+    ``delay_s`` is the time to wait before issuing the backup (deployments
+    typically use an estimate of the method's P95); ``max_attempts`` bounds
+    total copies in flight (2 = one hedge).
+    """
+
+    enabled: bool = True
+    delay_s: float = 10e-3
+    max_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.enabled:
+            if self.delay_s < 0:
+                raise ValueError(f"negative hedge delay {self.delay_s!r}")
+            if self.max_attempts < 2:
+                raise ValueError(
+                    f"hedging needs max_attempts >= 2, got {self.max_attempts!r}"
+                )
+
+    def should_hedge(self, attempt: int) -> bool:
+        """Whether a backup may be issued after ``attempt`` copies exist."""
+        return self.enabled and attempt < self.max_attempts
+
+    @classmethod
+    def from_percentile_estimate(cls, p95_latency_s: float,
+                                 max_attempts: int = 2) -> "HedgingPolicy":
+        """Standard deployment: hedge once the P95 estimate has elapsed."""
+        return cls(enabled=True, delay_s=p95_latency_s, max_attempts=max_attempts)
+
+
+NO_HEDGING = HedgingPolicy(enabled=False, delay_s=0.0, max_attempts=2)

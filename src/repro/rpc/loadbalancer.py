@@ -1,0 +1,149 @@
+"""Load-balancing policies.
+
+The paper's fleet balances RPCs at two levels (§4.3): a cluster-level
+balancer that is *network-latency-aware* (CPU balance across clusters is
+explicitly not a goal, which is why Fig. 22's solid lines are so spread
+out) and an intra-cluster balancer that spreads load across machines much
+more tightly (the dashed lines). This module provides both levels as
+pluggable policies so the Fig. 22 study and the LB ablation bench can swap
+them.
+
+Policies are generic over *targets*: anything with a ``load()`` callable
+(machines expose queue pressure; clusters expose aggregate utilization).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "Policy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "WeightedLatencyPolicy",
+    "pick_cluster_latency_aware",
+]
+
+T = TypeVar("T")
+
+
+class Policy(Generic[T]):
+    """Interface: choose one target out of a non-empty sequence."""
+
+    name = "abstract"
+
+    def pick(self, targets: Sequence[T], rng: np.random.Generator) -> T:
+        """Choose one target; see :meth:`Policy.pick`."""
+        raise NotImplementedError
+
+
+class RandomPolicy(Policy[T]):
+    """Uniform random assignment — the no-information baseline."""
+
+    name = "random"
+
+    def pick(self, targets: Sequence[T], rng: np.random.Generator) -> T:
+        """Choose one target; see :meth:`Policy.pick`."""
+        if not targets:
+            raise ValueError("no targets")
+        return targets[int(rng.integers(len(targets)))]
+
+
+class RoundRobinPolicy(Policy[T]):
+    """Cycle through targets; even in counts, blind to cost variance."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def pick(self, targets: Sequence[T], rng: np.random.Generator) -> T:
+        """Choose one target; see :meth:`Policy.pick`."""
+        if not targets:
+            raise ValueError("no targets")
+        return targets[next(self._counter) % len(targets)]
+
+
+class LeastLoadedPolicy(Policy[T]):
+    """Power-of-d-choices by instantaneous load.
+
+    ``load_of`` extracts a load figure from a target (defaults to calling
+    ``target.load()``); d=2 gives most of the benefit at minimal probing
+    cost, the standard result the paper's discussion of better intra-cluster
+    balancing leans on.
+    """
+
+    name = "least_loaded"
+
+    def __init__(self, d: int = 2,
+                 load_of: Optional[Callable[[T], float]] = None):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d!r}")
+        self.d = d
+        self.load_of = load_of or (lambda t: t.load())
+        self._uniform = None  # lazy BufferedDraws over the first rng seen
+
+    def pick(self, targets: Sequence[T], rng: np.random.Generator) -> T:
+        """Choose one target; see :meth:`Policy.pick`."""
+        if not targets:
+            raise ValueError("no targets")
+        if self._uniform is None:
+            from repro.sim.random import BufferedDraws
+
+            self._uniform = BufferedDraws(lambda n: rng.random(n), size=2048)
+        n = len(targets)
+        k = min(self.d, n)
+        best = None
+        best_load = None
+        seen = set()
+        for _ in range(k):
+            i = int(self._uniform.next() * n)
+            if i in seen:
+                continue
+            seen.add(i)
+            load = self.load_of(targets[i])
+            if best is None or load < best_load:
+                best = targets[i]
+                best_load = load
+        return best
+
+
+class WeightedLatencyPolicy(Policy[T]):
+    """Prefer closer targets, weighted by inverse latency.
+
+    This models the paper's cluster-level balancer: network latency is the
+    input, server CPU is not. ``latency_of(target)`` supplies the distance
+    measure; weights fall off as ``1 / (latency + floor)^power``.
+    """
+
+    name = "weighted_latency"
+
+    def __init__(self, latency_of: Callable[[T], float],
+                 power: float = 2.0, floor_s: float = 200e-6):
+        self.latency_of = latency_of
+        self.power = power
+        self.floor_s = floor_s
+
+    def pick(self, targets: Sequence[T], rng: np.random.Generator) -> T:
+        """Choose one target; see :meth:`Policy.pick`."""
+        if not targets:
+            raise ValueError("no targets")
+        lat = np.array([self.latency_of(t) for t in targets], dtype=float)
+        weights = 1.0 / np.power(lat + self.floor_s, self.power)
+        weights /= weights.sum()
+        return targets[int(rng.choice(len(targets), p=weights))]
+
+
+def pick_cluster_latency_aware(
+    clusters: Sequence[T],
+    latency_of: Callable[[T], float],
+    rng: np.random.Generator,
+    power: float = 2.0,
+) -> T:
+    """Convenience one-shot form of :class:`WeightedLatencyPolicy`."""
+    return WeightedLatencyPolicy(latency_of, power=power).pick(clusters, rng)

@@ -1,0 +1,85 @@
+"""Request/response envelopes and call metadata.
+
+These are the objects that flow through the DES-tier client/server stack
+(:mod:`repro.rpc.channel`) and into Dapper spans. Payloads may be real
+bytes (the example applications serialize real messages through
+:mod:`repro.rpc.wire`) or size-only (the simulation tiers mostly track
+sizes, since component latencies depend on size, not content).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rpc.errors import StatusCode
+
+__all__ = ["RpcMetadata", "Request", "Response", "new_rpc_id"]
+
+_rpc_id_counter = itertools.count(1)
+
+
+def new_rpc_id() -> int:
+    """Process-unique RPC identifier."""
+    return next(_rpc_id_counter)
+
+
+@dataclass
+class RpcMetadata:
+    """Call metadata propagated with a request (the Dapper context).
+
+    ``trace_id`` is shared by the whole call tree; ``parent_id`` names the
+    caller's span so the collector can rebuild tree structure.
+    """
+
+    service: str
+    method: str
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int] = None
+    deadline_s: Optional[float] = None
+    hedge_attempt: int = 0  # 0 = primary, >0 = hedged retry
+
+    @property
+    def full_method(self) -> str:
+        """The ``"Service/Method"`` identifier."""
+        return f"{self.service}/{self.method}"
+
+
+@dataclass
+class Request:
+    """An RPC request envelope."""
+
+    metadata: RpcMetadata
+    size_bytes: int
+    payload: Optional[bytes] = None
+    issued_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.payload is not None:
+            self.size_bytes = len(self.payload)
+        if self.size_bytes < 0:
+            raise ValueError(f"negative request size {self.size_bytes!r}")
+
+
+@dataclass
+class Response:
+    """An RPC response envelope."""
+
+    metadata: RpcMetadata
+    status: StatusCode = StatusCode.OK
+    size_bytes: int = 0
+    payload: Optional[bytes] = None
+    completed_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.payload is not None:
+            self.size_bytes = len(self.payload)
+        if self.size_bytes < 0:
+            raise ValueError(f"negative response size {self.size_bytes!r}")
+
+    @property
+    def ok(self) -> bool:
+        """True when the status is OK."""
+        return self.status is StatusCode.OK

@@ -1,0 +1,389 @@
+"""The nine-component RPC latency anatomy (Fig. 9) and its cost models.
+
+An RPC's completion time decomposes into nine stages:
+
+1. ``client_send_queue``     — request waits for local CPU/network
+2. ``request_proc_stack``    — marshalling, compression, encryption, TX stack
+3. ``request_network_wire``  — propagation + network queueing to the server
+4. ``server_recv_queue``     — decrypt/parse then wait for a server thread
+5. ``server_application``    — the handler (includes nested RPCs' time)
+6. ``server_send_queue``     — response waits for the network
+7. ``response_proc_stack``   — response serialization and RX stack
+8. ``response_network_wire`` — propagation back
+9. ``client_recv_queue``     — response waits for the client to process it
+
+Everything except ``server_application`` is the **RPC latency tax** (§3.1).
+
+Two representations coexist:
+
+- :class:`LatencyBreakdown` — one RPC's scalar breakdown (what a Dapper
+  span records in the DES tier);
+- :class:`ComponentMatrix` — an ``(n, 9)`` ndarray of per-RPC breakdowns
+  (what the vectorized Tier-A sampler produces), with named column access
+  and the tax/queue/wire aggregations used throughout :mod:`repro.core`.
+
+:class:`StackCostModel` maps message sizes onto stage processing *times* and
+CPU *cycles* per tax category; its constants are calibrated in
+:mod:`repro.workloads.calibration` so the fleet-wide cycle-tax shares land
+on Fig. 20 (compression 3.1 %, networking 1.7 %, serialization 1.2 %, RPC
+library 1.1 % — 7.1 % in total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.sim.distributions import Constant, Distribution
+
+__all__ = [
+    "COMPONENTS",
+    "APP_COMPONENT",
+    "QUEUE_COMPONENTS",
+    "WIRE_COMPONENTS",
+    "PROC_COMPONENTS",
+    "TAX_COMPONENTS",
+    "LatencyBreakdown",
+    "ComponentMatrix",
+    "ComponentDistributions",
+    "StackCostModel",
+    "CycleCosts",
+]
+
+COMPONENTS = (
+    "client_send_queue",
+    "request_proc_stack",
+    "request_network_wire",
+    "server_recv_queue",
+    "server_application",
+    "server_send_queue",
+    "response_proc_stack",
+    "response_network_wire",
+    "client_recv_queue",
+)
+
+APP_COMPONENT = "server_application"
+QUEUE_COMPONENTS = (
+    "client_send_queue",
+    "server_recv_queue",
+    "server_send_queue",
+    "client_recv_queue",
+)
+WIRE_COMPONENTS = ("request_network_wire", "response_network_wire")
+PROC_COMPONENTS = ("request_proc_stack", "response_proc_stack")
+TAX_COMPONENTS = tuple(c for c in COMPONENTS if c != APP_COMPONENT)
+
+_INDEX = {name: i for i, name in enumerate(COMPONENTS)}
+
+
+@dataclass
+class LatencyBreakdown:
+    """One RPC's component latencies, all in seconds."""
+
+    client_send_queue: float = 0.0
+    request_proc_stack: float = 0.0
+    request_network_wire: float = 0.0
+    server_recv_queue: float = 0.0
+    server_application: float = 0.0
+    server_send_queue: float = 0.0
+    response_proc_stack: float = 0.0
+    response_network_wire: float = 0.0
+    client_recv_queue: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in COMPONENTS:
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative component {name}: {getattr(self, name)!r}")
+
+    def total(self) -> float:
+        """RPC completion time (RCT)."""
+        return sum(getattr(self, name) for name in COMPONENTS)
+
+    def tax(self) -> float:
+        """The RPC latency tax: everything except application time."""
+        return self.total() - self.server_application
+
+    def tax_ratio(self) -> float:
+        """Tax as a fraction of completion time (0 for a zero-latency RPC)."""
+        t = self.total()
+        return self.tax() / t if t > 0 else 0.0
+
+    def queueing(self) -> float:
+        """Sum of the four queue components."""
+        return sum(getattr(self, name) for name in QUEUE_COMPONENTS)
+
+    def wire(self) -> float:
+        """Sum of the two network-wire components."""
+        return sum(getattr(self, name) for name in WIRE_COMPONENTS)
+
+    def proc_stack(self) -> float:
+        """Sum of the two processing/stack components."""
+        return sum(getattr(self, name) for name in PROC_COMPONENTS)
+
+    def as_array(self) -> np.ndarray:
+        """The nine components as an ndarray."""
+        return np.array([getattr(self, name) for name in COMPONENTS])
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view of the fields."""
+        return {name: getattr(self, name) for name in COMPONENTS}
+
+    @classmethod
+    def from_array(cls, values: Iterable[float]) -> "LatencyBreakdown":
+        """Build from nine component values."""
+        vals = list(values)
+        if len(vals) != len(COMPONENTS):
+            raise ValueError(f"need {len(COMPONENTS)} values, got {len(vals)}")
+        return cls(**dict(zip(COMPONENTS, vals)))
+
+    def replace(self, **overrides: float) -> "LatencyBreakdown":
+        """A copy with some components overridden."""
+        d = self.as_dict()
+        d.update(overrides)
+        return LatencyBreakdown(**d)
+
+
+class ComponentMatrix:
+    """``(n, 9)`` per-RPC component latencies with named column access.
+
+    This is the unit of exchange between the Tier-A sampler, the Dapper
+    collector, and every analysis in :mod:`repro.core`.
+    """
+
+    def __init__(self, values: np.ndarray):
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != len(COMPONENTS):
+            raise ValueError(
+                f"expected shape (n, {len(COMPONENTS)}), got {arr.shape}"
+            )
+        if np.any(arr < 0):
+            raise ValueError("component latencies must be non-negative")
+        self.values = arr
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    def column(self, name: str) -> np.ndarray:
+        """One percentile column / named component column."""
+        return self.values[:, _INDEX[name]]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def total(self) -> np.ndarray:
+        """Sum of all components."""
+        return self.values.sum(axis=1)
+
+    def application(self) -> np.ndarray:
+        """The server-application column."""
+        return self.column(APP_COMPONENT)
+
+    def tax(self) -> np.ndarray:
+        """Everything except application time."""
+        return self.total() - self.application()
+
+    def tax_ratio(self) -> np.ndarray:
+        """Per-row tax over total."""
+        t = self.total()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            r = np.where(t > 0, self.tax() / t, 0.0)
+        return r
+
+    def queueing(self) -> np.ndarray:
+        """Sum of the four queue components."""
+        return sum(self.column(c) for c in QUEUE_COMPONENTS)
+
+    def wire(self) -> np.ndarray:
+        """Sum of the two network-wire components."""
+        return sum(self.column(c) for c in WIRE_COMPONENTS)
+
+    def proc_stack(self) -> np.ndarray:
+        """Sum of the two processing/stack components."""
+        return sum(self.column(c) for c in PROC_COMPONENTS)
+
+    def row(self, i: int) -> LatencyBreakdown:
+        """One row as a LatencyBreakdown."""
+        return LatencyBreakdown.from_array(self.values[i])
+
+    def subset(self, mask: np.ndarray) -> "ComponentMatrix":
+        """Rows selected by a boolean mask."""
+        return ComponentMatrix(self.values[mask])
+
+    def with_component(self, name: str, values: np.ndarray) -> "ComponentMatrix":
+        """A copy with one column replaced (what-if analyses, Fig. 15)."""
+        out = self.values.copy()
+        out[:, _INDEX[name]] = values
+        return ComponentMatrix(out)
+
+    @classmethod
+    def concat(cls, parts: Iterable["ComponentMatrix"]) -> "ComponentMatrix":
+        """Stack several matrices vertically."""
+        arrays = [p.values for p in parts]
+        if not arrays:
+            return cls(np.zeros((0, len(COMPONENTS))))
+        return cls(np.vstack(arrays))
+
+    @classmethod
+    def from_breakdowns(cls, rows: Iterable[LatencyBreakdown]) -> "ComponentMatrix":
+        """Build from LatencyBreakdown rows."""
+        arrays = [r.as_array() for r in rows]
+        if not arrays:
+            return cls(np.zeros((0, len(COMPONENTS))))
+        return cls(np.vstack(arrays))
+
+
+class ComponentDistributions:
+    """Per-component sampling distributions for one RPC method (Tier A).
+
+    Missing components default to zero — e.g. leaf methods inside a fast
+    fabric may model client queues as negligible.
+    """
+
+    def __init__(self, dists: Mapping[str, Distribution]):
+        unknown = set(dists) - set(COMPONENTS)
+        if unknown:
+            raise ValueError(f"unknown components: {sorted(unknown)}")
+        self._dists: Dict[str, Distribution] = {
+            name: dists.get(name, Constant(0.0)) for name in COMPONENTS
+        }
+
+    def __getitem__(self, name: str) -> Distribution:
+        return self._dists[name]
+
+    def sample(self, rng: np.random.Generator, n: int) -> ComponentMatrix:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        cols = np.empty((n, len(COMPONENTS)))
+        for i, name in enumerate(COMPONENTS):
+            cols[:, i] = np.maximum(self._dists[name].sample(rng, n), 0.0)
+        return ComponentMatrix(cols)
+
+
+# ----------------------------------------------------------------------
+# Cost models (time and cycles)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CycleCosts:
+    """CPU cycles attributed to one RPC, split by tax category.
+
+    Units are *normalized cycles* — the paper's architecture-neutral unit.
+    ``application`` covers the handler; the remaining fields are the cycle
+    tax of Fig. 20b.
+    """
+
+    application: float
+    compression: float
+    serialization: float
+    networking: float
+    rpc_library: float
+
+    def tax(self) -> float:
+        """Everything except application time."""
+        return self.compression + self.serialization + self.networking + self.rpc_library
+
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.application + self.tax()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view of the fields."""
+        return {
+            "application": self.application,
+            "compression": self.compression,
+            "serialization": self.serialization,
+            "networking": self.networking,
+            "rpc_library": self.rpc_library,
+        }
+
+
+@dataclass
+class StackCostModel:
+    """Size → per-stage processing time and cycle costs.
+
+    Time constants model a single core working through the request path;
+    cycle constants express the same work in normalized cycles. Per-RPC
+    fixed costs dominate for the small-message majority; per-byte terms
+    take over in the elephant tail, matching the intuition that led the
+    paper to flag compression/serialization offload (§5.3).
+    """
+
+    # --- time (seconds) ---
+    serialize_base_s: float = 2.0e-6
+    serialize_per_byte_s: float = 0.6e-9
+    compress_base_s: float = 3.0e-6
+    compress_per_byte_s: float = 2.0e-9
+    encrypt_base_s: float = 1.0e-6
+    encrypt_per_byte_s: float = 0.4e-9
+    netstack_base_s: float = 4.0e-6
+    netstack_per_byte_s: float = 0.3e-9
+    rpc_library_s: float = 3.0e-6
+    # --- cycles (normalized) per RPC-side (request or response leg) ---
+    compress_cycles_base: float = 2.4e-4
+    compress_cycles_per_byte: float = 1.9e-7
+    serialize_cycles_base: float = 1.0e-4
+    serialize_cycles_per_byte: float = 7.0e-8
+    network_cycles_base: float = 1.5e-4
+    network_cycles_per_byte: float = 1.0e-7
+    rpc_library_cycles: float = 1.6e-3
+
+    # ------------------------------------------------------------------
+    def proc_stack_time_s(self, size_bytes: float) -> float:
+        """One leg's (request *or* response) processing + network stack time."""
+        if size_bytes < 0:
+            raise ValueError(f"negative size {size_bytes!r}")
+        return (
+            self.serialize_base_s + self.serialize_per_byte_s * size_bytes
+            + self.compress_base_s + self.compress_per_byte_s * size_bytes
+            + self.encrypt_base_s + self.encrypt_per_byte_s * size_bytes
+            + self.netstack_base_s + self.netstack_per_byte_s * size_bytes
+            + self.rpc_library_s
+        )
+
+    def proc_stack_time_vec(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized proc_stack_time_s."""
+        sizes = np.asarray(sizes, dtype=float)
+        per_byte = (
+            self.serialize_per_byte_s + self.compress_per_byte_s
+            + self.encrypt_per_byte_s + self.netstack_per_byte_s
+        )
+        base = (
+            self.serialize_base_s + self.compress_base_s + self.encrypt_base_s
+            + self.netstack_base_s + self.rpc_library_s
+        )
+        return base + per_byte * sizes
+
+    # ------------------------------------------------------------------
+    def cycles(self, request_bytes: float, response_bytes: float,
+               application_cycles: float) -> CycleCosts:
+        """Cycle attribution for one complete RPC (both legs)."""
+        both = request_bytes + response_bytes
+        return CycleCosts(
+            application=application_cycles,
+            compression=2 * self.compress_cycles_base
+            + self.compress_cycles_per_byte * both,
+            serialization=2 * self.serialize_cycles_base
+            + self.serialize_cycles_per_byte * both,
+            networking=2 * self.network_cycles_base
+            + self.network_cycles_per_byte * both,
+            rpc_library=2 * self.rpc_library_cycles,
+        )
+
+    def cycles_vec(self, request_bytes: np.ndarray, response_bytes: np.ndarray,
+                   application_cycles: np.ndarray) -> Dict[str, np.ndarray]:
+        """Vectorized :meth:`cycles`, returning a dict of category arrays."""
+        both = np.asarray(request_bytes, dtype=float) + np.asarray(
+            response_bytes, dtype=float
+        )
+        n = both.shape[0]
+        return {
+            "application": np.asarray(application_cycles, dtype=float),
+            "compression": 2 * self.compress_cycles_base
+            + self.compress_cycles_per_byte * both,
+            "serialization": 2 * self.serialize_cycles_base
+            + self.serialize_cycles_per_byte * both,
+            "networking": 2 * self.network_cycles_base
+            + self.network_cycles_per_byte * both,
+            "rpc_library": np.full(n, 2 * self.rpc_library_cycles),
+        }

@@ -1,0 +1,128 @@
+"""Client-stub generation (the ``protoc`` role).
+
+Real RPC stacks don't make applications call ``channel.call(service,
+method, request, schema, schema)`` by hand — a generator emits typed stubs
+from the service definition. This module provides both forms:
+
+- :func:`make_stub` builds a stub *object* at runtime: one Python method
+  per RPC, schemas bound, with per-call ``deadline_s``/trace overrides.
+- :func:`generate_stub_source` renders the equivalent stub as Python
+  source text (what a build-time generator would write into a
+  ``_pb2_grpc.py``-style file), which is importable via ``exec`` and kept
+  deterministic so it can be checked into a client repository.
+"""
+
+from __future__ import annotations
+
+import keyword
+import re
+from typing import Any, Dict, Optional
+
+from repro.rpc.framework import Channel, ServiceDef
+
+__all__ = ["make_stub", "generate_stub_source", "StubError"]
+
+
+class StubError(ValueError):
+    """Raised for service definitions a stub cannot be generated for."""
+
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _method_attr(name: str) -> str:
+    """Python attribute name for an RPC method (CamelCase -> snake_case)."""
+    snake = re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+    if not _IDENT.match(snake) or keyword.iskeyword(snake):
+        raise StubError(f"cannot derive a Python name from method {name!r}")
+    return snake
+
+
+class _Stub:
+    """A dynamically assembled client stub; see :func:`make_stub`."""
+
+    def __init__(self, channel: Channel, service: ServiceDef):
+        self._channel = channel
+        self._service = service
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self._service.name}Stub methods={sorted(self._service.methods)}>"
+
+
+def make_stub(channel: Channel, service: ServiceDef):
+    """Build a typed stub for ``service`` bound to ``channel``.
+
+    >>> # stub = make_stub(channel, kv_service)
+    >>> # stub.get({"key": "user:1"}, deadline_s=0.1)
+    """
+    if not service.methods:
+        raise StubError(f"service {service.name!r} has no methods")
+    stub = _Stub(channel, service)
+    for method_name, mdef in service.methods.items():
+        attr = _method_attr(method_name)
+
+        def call(request: Dict[str, Any], *,
+                 deadline_s: Optional[float] = None,
+                 trace_id: Optional[int] = None,
+                 parent_id: int = 0,
+                 _mdef=mdef) -> Dict[str, Any]:
+            """Issue one RPC."""
+            return channel.call(
+                service.name, _mdef.name, request,
+                _mdef.request_schema, _mdef.response_schema,
+                deadline_s=deadline_s, trace_id=trace_id,
+                parent_id=parent_id,
+            )
+
+        call.__name__ = attr
+        call.__doc__ = (f"Invoke /{service.name}/{mdef.name} "
+                        f"({mdef.request_schema.name} -> "
+                        f"{mdef.response_schema.name}).")
+        setattr(stub, attr, call)
+    return stub
+
+
+_TEMPLATE = '''\
+"""Generated client stub for service {service!r}. DO NOT EDIT.
+
+Regenerate with repro.rpc.stubgen.generate_stub_source().
+"""
+
+
+class {service}Stub:
+    """Typed client for /{service}/*; bind to a repro.rpc.framework.Channel."""
+
+    SERVICE = {service!r}
+
+    def __init__(self, channel, schemas):
+        """``schemas`` maps method name -> (request_schema, response_schema)."""
+        self._channel = channel
+        self._schemas = schemas
+{methods}
+'''
+
+_METHOD_TEMPLATE = '''\
+
+    def {attr}(self, request, *, deadline_s=None, trace_id=None, parent_id=0):
+        """Invoke /{service}/{method}."""
+        req_schema, resp_schema = self._schemas[{method!r}]
+        return self._channel.call(
+            {service!r}, {method!r}, request, req_schema, resp_schema,
+            deadline_s=deadline_s, trace_id=trace_id, parent_id=parent_id,
+        )
+'''
+
+
+def generate_stub_source(service: ServiceDef) -> str:
+    """Render the stub as deterministic Python source text."""
+    if not service.methods:
+        raise StubError(f"service {service.name!r} has no methods")
+    if not _IDENT.match(service.name) or keyword.iskeyword(service.name):
+        raise StubError(f"service name {service.name!r} is not a valid "
+                        "Python identifier")
+    methods = "".join(
+        _METHOD_TEMPLATE.format(attr=_method_attr(name),
+                                service=service.name, method=name)
+        for name in sorted(service.methods)
+    )
+    return _TEMPLATE.format(service=service.name, methods=methods)

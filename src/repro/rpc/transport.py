@@ -1,0 +1,187 @@
+"""A TCP socket transport for the RPC framework.
+
+:class:`LoopbackTransport` proves the byte format in-process; this module
+carries the *same frames* over real sockets, so the framework serves
+actual clients across processes or machines:
+
+- :class:`TcpRpcServer` — a threaded accept loop; each connection is a
+  stream of length-prefixed frames handled by a
+  :class:`~repro.rpc.framework.RpcServer`;
+- :class:`TcpTransport` — the client side, satisfying the same
+  ``round_trip(frame) -> frame`` contract as the loopback transport, so a
+  :class:`~repro.rpc.framework.Channel` (and generated stubs) work over it
+  unchanged.
+
+Stream format: each frame is prefixed with a 4-byte big-endian length.
+(The frame itself already carries magic/flags/header/body framing; the
+length prefix only delimits the TCP stream.)
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Optional, Tuple
+
+from repro.rpc.framework import RpcServer
+
+__all__ = ["TcpRpcServer", "TcpTransport", "TransportError",
+           "MAX_FRAME_BYTES"]
+
+# Guard against absurd length prefixes from corrupt/malicious peers.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+_LEN = struct.Struct(">I")
+
+
+class TransportError(ConnectionError):
+    """Raised on stream-level failures (short reads, oversized frames)."""
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise on EOF."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            raise TransportError(f"peer closed mid-frame ({remaining} bytes short)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame from the stream."""
+    (length,) = _LEN.unpack(_recv_exact(sock, 4))
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {length} bytes exceeds the "
+                             f"{MAX_FRAME_BYTES}-byte limit")
+    return _recv_exact(sock, length)
+
+
+def write_frame(sock: socket.socket, frame: bytes) -> None:
+    """Write one length-prefixed frame to the stream."""
+    if len(frame) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {len(frame)} bytes exceeds the "
+                             f"{MAX_FRAME_BYTES}-byte limit")
+    sock.sendall(_LEN.pack(len(frame)) + frame)
+
+
+class TcpRpcServer:
+    """Serves an :class:`RpcServer` over TCP.
+
+    One thread per connection (the in-process server dispatch is
+    synchronous); ``serve_in_background()`` returns once the listener is
+    accepting, and ``close()`` shuts everything down.
+    """
+
+    def __init__(self, rpc_server: RpcServer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.rpc_server = rpc_server
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._threads: list = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self.connections_accepted = 0
+
+    # ------------------------------------------------------------------
+    def serve_in_background(self) -> None:
+        """Start the accept loop on a daemon thread."""
+        if self._accept_thread is not None:
+            raise RuntimeError("server already running")
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True,
+                                               name="tcp-rpc-accept")
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.connections_accepted += 1
+            t = threading.Thread(target=self._serve_connection, args=(conn,),
+                                 daemon=True, name="tcp-rpc-conn")
+            t.start()
+            self._threads.append(t)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(5.0)
+            while not self._stop.is_set():
+                try:
+                    request = read_frame(conn)
+                except (TransportError, socket.timeout, OSError):
+                    return
+                try:
+                    reply = self.rpc_server.handle_frame(request)
+                except Exception:
+                    # A frame the dispatcher itself rejects (bad magic,
+                    # undecryptable) has no recoverable reply channel:
+                    # drop the connection, as real stacks do.
+                    return
+                try:
+                    write_frame(conn, reply)
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        """Release the underlying resources."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "TcpRpcServer":
+        self.serve_in_background()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TcpTransport:
+    """Client side: one persistent connection, synchronous round trips.
+
+    Satisfies the same contract as
+    :class:`~repro.rpc.framework.LoopbackTransport`, so it plugs directly
+    into a :class:`~repro.rpc.framework.Channel`.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 5.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def round_trip(self, frame: bytes) -> bytes:
+        """Send one frame and return the reply frame."""
+        with self._lock:  # one in-flight call per connection
+            write_frame(self._sock, frame)
+            self.bytes_sent += len(frame) + 4
+            reply = read_frame(self._sock)
+            self.bytes_received += len(reply) + 4
+            return reply
+
+    def close(self) -> None:
+        """Release the underlying resources."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,54 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event-driven core used by the fleet simulator:
+
+- :mod:`repro.sim.engine` — the event loop and simulated clock.
+- :mod:`repro.sim.queues` — FIFO/priority queues with server pools and
+  waiting-time accounting.
+- :mod:`repro.sim.random` — deterministic, named RNG streams derived from a
+  single root seed, so that independent subsystems draw from independent
+  streams and a run is reproducible end to end.
+- :mod:`repro.sim.distributions` — the distribution library (lognormal,
+  Pareto, Zipf, mixtures, ...) used to model heavy-tailed RPC behaviour.
+
+All simulated time is in **seconds**, sizes are in **bytes**, and CPU costs
+are in **normalized cycles** (the paper's architecture-neutral cycle unit).
+"""
+
+from repro.sim.distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Shifted,
+    Truncated,
+    Uniform,
+    Weibull,
+    zipf_weights,
+)
+from repro.sim.engine import Event, Simulator
+from repro.sim.queues import QueueStats, ServerPool
+from repro.sim.random import RngRegistry
+
+__all__ = [
+    "Constant",
+    "Distribution",
+    "Empirical",
+    "Event",
+    "Exponential",
+    "LogNormal",
+    "Mixture",
+    "Pareto",
+    "QueueStats",
+    "RngRegistry",
+    "ServerPool",
+    "Shifted",
+    "Simulator",
+    "Truncated",
+    "Uniform",
+    "Weibull",
+    "zipf_weights",
+]

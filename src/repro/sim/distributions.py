@@ -1,0 +1,449 @@
+"""Parametric distributions for heavy-tailed RPC behaviour.
+
+The paper's fleet-wide findings are distributional: lognormal-ish latencies
+spanning microseconds to seconds, Zipf-like method popularity, Pareto-tailed
+sizes and fanouts. This module provides a small, composable distribution
+algebra:
+
+- every distribution is vectorized (``sample(rng, n)`` returns an ndarray),
+- distributions expose analytic ``mean()`` and ``quantile(q)`` where a closed
+  form exists (used by calibration and by tests),
+- :class:`Mixture`, :class:`Truncated` and :class:`Shifted` compose the
+  primitives into the multi-modal, bounded shapes real methods exhibit.
+
+All parameters are in the unit of the quantity being modelled (seconds,
+bytes, cycles); the distributions themselves are unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "LogNormal",
+    "Pareto",
+    "Weibull",
+    "Mixture",
+    "Truncated",
+    "Shifted",
+    "Empirical",
+    "zipf_weights",
+    "lognormal_from_median_p99",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+# Standard-normal quantiles used to convert (median, p99) pairs into
+# lognormal parameters: Phi^-1(0.99).
+_Z99 = 2.3263478740408408
+
+
+def _ndtr(x: float) -> float:
+    """Standard normal CDF (avoids a scipy dependency in the core library)."""
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
+
+
+def _ndtri(p: float) -> float:
+    """Standard normal inverse CDF via Acklam's rational approximation.
+
+    Accurate to ~1e-9 over (0, 1), which is far tighter than anything the
+    calibration needs.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {p!r}")
+    # Coefficients for the central and tail rational approximations.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    plow, phigh = 0.02425, 1 - 0.02425
+    if p < plow:
+        q = math.sqrt(-2 * math.log(p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        return num / den
+    if p > phigh:
+        q = math.sqrt(-2 * math.log(1 - p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        return -num / den
+    q = p - 0.5
+    r = q * q
+    num = ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+    den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    return q * num / den
+
+
+class Distribution:
+    """Base class for all distributions.
+
+    Subclasses implement :meth:`sample`; ``mean`` and ``quantile`` are
+    optional analytic conveniences and raise :class:`NotImplementedError`
+    where no closed form exists.
+    """
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        raise NotImplementedError
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        """One scalar draw."""
+        return float(self.sample(rng, 1)[0])
+
+    def buffered(self, rng: np.random.Generator, size: int = 1024):
+        """A :class:`repro.sim.random.BufferedDraws` over this distribution
+        (cheap scalar draws for the DES hot path)."""
+        from repro.sim.random import BufferedDraws
+
+        return BufferedDraws(lambda n: self.sample(rng, n), size=size)
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        raise NotImplementedError(f"{type(self).__name__} has no analytic mean")
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        raise NotImplementedError(f"{type(self).__name__} has no analytic quantile")
+
+
+class Constant(Distribution):
+    """A degenerate distribution; useful for fixed protocol costs."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return np.full(n, self.value)
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return self.value
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+class Uniform(Distribution):
+    """Uniform over [low, high]."""
+    def __init__(self, low: float, high: float):
+        if high < low:
+            raise ValueError(f"high {high!r} < low {low!r}")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return 0.5 * (self.low + self.high)
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        return self.low + q * (self.high - self.low)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low!r}, {self.high!r})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean (scale), not rate."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return rng.exponential(self._mean, size=n)
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return self._mean
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"quantile must be in [0, 1), got {q!r}")
+        return -self._mean * math.log1p(-q)
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean!r})"
+
+
+class LogNormal(Distribution):
+    """Lognormal parameterized by the underlying normal's (mu, sigma).
+
+    Prefer :func:`lognormal_from_median_p99` or :meth:`from_median_sigma`
+    when calibrating against paper-reported percentiles.
+    """
+
+    def __init__(self, mu: float, sigma: float):
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma!r}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_median_sigma(cls, median: float, sigma: float) -> "LogNormal":
+        """Lognormal from its median and log-space sigma."""
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median!r}")
+        return cls(math.log(median), sigma)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    def median(self) -> float:
+        """Analytic median."""
+        return math.exp(self.mu)
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        if self.sigma == 0.0:
+            return math.exp(self.mu)
+        return math.exp(self.mu + self.sigma * _ndtri(q))
+
+    def cdf(self, x: float) -> float:
+        """Analytic CDF at ``x``."""
+        if x <= 0:
+            return 0.0
+        if self.sigma == 0.0:
+            return 1.0 if math.log(x) >= self.mu else 0.0
+        return _ndtr((math.log(x) - self.mu) / self.sigma)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu:.4f}, sigma={self.sigma:.4f})"
+
+
+def lognormal_from_median_p99(median: float, p99: float) -> LogNormal:
+    """Build a lognormal hitting a target (median, P99) pair.
+
+    This is the main calibration entry point: the paper reports per-method
+    medians and tail percentiles, and this converts such a pair into
+    distribution parameters exactly.
+    """
+    if median <= 0 or p99 < median:
+        raise ValueError(f"need 0 < median <= p99, got ({median!r}, {p99!r})")
+    sigma = math.log(p99 / median) / _Z99
+    return LogNormal(math.log(median), sigma)
+
+
+class Pareto(Distribution):
+    """Pareto Type I with scale ``xm`` and shape ``alpha`` (tail index)."""
+
+    def __init__(self, xm: float, alpha: float):
+        if xm <= 0 or alpha <= 0:
+            raise ValueError(f"xm and alpha must be positive, got ({xm!r}, {alpha!r})")
+        self.xm = float(xm)
+        self.alpha = float(alpha)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        # numpy's pareto is the Lomax (shifted) form; convert to Type I.
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return self.xm * (1.0 + rng.pareto(self.alpha, size=n))
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"quantile must be in [0, 1), got {q!r}")
+        return self.xm * (1.0 - q) ** (-1.0 / self.alpha)
+
+    def __repr__(self) -> str:
+        return f"Pareto(xm={self.xm!r}, alpha={self.alpha!r})"
+
+
+class Weibull(Distribution):
+    """Weibull with ``scale`` and ``shape``; sub-exponential tails for shape<1."""
+
+    def __init__(self, scale: float, shape: float):
+        if scale <= 0 or shape <= 0:
+            raise ValueError(f"scale and shape must be positive, got ({scale!r}, {shape!r})")
+        self.scale = float(scale)
+        self.shape = float(shape)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return self.scale * rng.weibull(self.shape, size=n)
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"quantile must be in [0, 1), got {q!r}")
+        return self.scale * (-math.log1p(-q)) ** (1.0 / self.shape)
+
+    def __repr__(self) -> str:
+        return f"Weibull(scale={self.scale!r}, shape={self.shape!r})"
+
+
+class Mixture(Distribution):
+    """A weighted mixture of component distributions.
+
+    Used for bimodal methods (e.g. a cache with hit/miss paths) and for the
+    "mostly fast with a heavy tail" shapes in Figs. 2, 12 and 13.
+    """
+
+    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]):
+        if len(components) != len(weights):
+            raise ValueError("components and weights must have equal length")
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError(f"weights must be non-negative and sum > 0, got {weights!r}")
+        self.components = list(components)
+        self.weights = w / w.sum()
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        choices = rng.choice(len(self.components), size=n, p=self.weights)
+        out = np.empty(n)
+        for idx, comp in enumerate(self.components):
+            mask = choices == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = comp.sample(rng, count)
+        return out
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return float(sum(w * c.mean() for w, c in zip(self.weights, self.components)))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{w:.3f}*{c!r}" for w, c in zip(self.weights, self.components)
+        )
+        return f"Mixture({parts})"
+
+
+class Truncated(Distribution):
+    """Clip another distribution into ``[low, high]``.
+
+    Clipping (rather than rejection) is deliberate: it models saturation
+    effects like minimum message sizes (a 64 B cache line) and RPC deadlines.
+    """
+
+    def __init__(self, inner: Distribution, low: Optional[float] = None,
+                 high: Optional[float] = None):
+        if low is not None and high is not None and high < low:
+            raise ValueError(f"high {high!r} < low {low!r}")
+        self.inner = inner
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        x = self.inner.sample(rng, n)
+        if self.low is not None or self.high is not None:
+            x = np.clip(x, self.low, self.high)
+        return x
+
+    def __repr__(self) -> str:
+        return f"Truncated({self.inner!r}, low={self.low!r}, high={self.high!r})"
+
+
+class Shifted(Distribution):
+    """Add a constant offset — e.g. a propagation-delay floor under jitter."""
+
+    def __init__(self, inner: Distribution, offset: float):
+        self.inner = inner
+        self.offset = float(offset)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return self.inner.sample(rng, n) + self.offset
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return self.inner.mean() + self.offset
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        return self.inner.quantile(q) + self.offset
+
+    def __repr__(self) -> str:
+        return f"Shifted({self.inner!r}, offset={self.offset!r})"
+
+
+class Empirical(Distribution):
+    """Resample (with replacement) from observed values.
+
+    Used to replay Dapper-collected component samples through what-if
+    analyses without assuming a parametric form.
+    """
+
+    def __init__(self, values: Sequence[float]):
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ValueError("empirical distribution needs at least one value")
+        self.values = arr
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Vectorized draws; see :meth:`Distribution.sample`."""
+        return rng.choice(self.values, size=n, replace=True)
+
+    def mean(self) -> float:
+        """Analytic mean; see :meth:`Distribution.mean`."""
+        return float(self.values.mean())
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile; see :meth:`Distribution.quantile`."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        return float(np.quantile(self.values, q))
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={self.values.size})"
+
+
+def zipf_weights(n: int, s: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights for ranks 1..n with exponent ``s``.
+
+    The paper's popularity skew (top-10 methods = 58 % of calls, top-100 =
+    91 %) is Zipf-like with an extra head spike; the catalog generator
+    layers the Network-Disk-Write spike on top of these weights.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n!r}")
+    if s < 0:
+        raise ValueError(f"exponent must be non-negative, got {s!r}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** (-s)
+    return w / w.sum()

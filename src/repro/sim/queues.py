@@ -1,0 +1,190 @@
+"""Queues and server pools for the discrete-event tier.
+
+A :class:`ServerPool` models the worker-thread pools that serve RPC stages:
+``c`` servers drain a queue of jobs, each job occupying one server for its
+service time. The pool records the waiting time of every job (the paper's
+"Server Recv Queue" / "Client Send Queue" components come straight out of
+these numbers) and maintains busy-time integrals so utilization can be
+sampled by the Monarch scraper.
+
+Three (non-preemptive) disciplines are available, supporting the queueing
+ablation the paper's §4.2 HOL-blocking discussion motivates:
+
+- ``fifo`` — arrival order (production default);
+- ``sjf``  — shortest job first, assuming service times are known (they
+  aren't, in general — the paper stresses that cost prediction is hard —
+  which makes this an *oracle* bound, not a deployable policy);
+- ``lifo`` — newest first (the adversarial baseline).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Job", "QueueStats", "ServerPool", "DISCIPLINES"]
+
+DISCIPLINES = ("fifo", "sjf", "lifo")
+
+
+@dataclass
+class Job:
+    """A unit of work: occupy one server for ``service_time`` seconds."""
+
+    service_time: float
+    on_start: Optional[Callable[[float], None]] = None
+    on_done: Optional[Callable[[float], None]] = None
+    enqueued_at: float = 0.0
+    started_at: Optional[float] = None
+    weight: float = 1.0  # CPU cost attributed while running (for profilers)
+
+
+@dataclass
+class QueueStats:
+    """Aggregate statistics maintained by a :class:`ServerPool`."""
+
+    jobs_enqueued: int = 0
+    jobs_completed: int = 0
+    total_wait: float = 0.0
+    total_service: float = 0.0
+    max_queue_depth: int = 0
+    waits: List[float] = field(default_factory=list)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queue wait across completed jobs."""
+        return self.total_wait / self.jobs_completed if self.jobs_completed else 0.0
+
+    @property
+    def mean_service(self) -> float:
+        """Mean service time across completed jobs."""
+        return self.total_service / self.jobs_completed if self.jobs_completed else 0.0
+
+
+class ServerPool:
+    """An M/G/c-style FIFO queue with ``servers`` parallel workers.
+
+    The pool integrates busy time so that ``utilization(since, now)`` gives
+    the average fraction of servers busy over a window — the quantity the
+    fleet's Monarch scraper exports as "CPU utilization".
+    """
+
+    def __init__(self, sim: Simulator, servers: int, name: str = "",
+                 record_waits: bool = False, discipline: str = "fifo"):
+        if servers <= 0:
+            raise ValueError(f"servers must be positive, got {servers!r}")
+        if discipline not in DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {DISCIPLINES}, got {discipline!r}"
+            )
+        self.sim = sim
+        self.servers = servers
+        self.name = name
+        self.record_waits = record_waits
+        self.discipline = discipline
+        self.stats = QueueStats()
+        self._queue: Deque[Job] = deque()
+        self._sjf_heap: List = []
+        self._sjf_seq = itertools.count()
+        self._busy = 0
+        # Busy-time integral: sum over time of (busy servers) dt.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Enqueue a job; it starts as soon as a server is free."""
+        if job.service_time < 0:
+            raise ValueError(f"negative service time {job.service_time!r}")
+        job.enqueued_at = self.sim.now
+        self.stats.jobs_enqueued += 1
+        if self._busy < self.servers:
+            self._start(job)
+        else:
+            if self.discipline == "sjf":
+                heapq.heappush(self._sjf_heap,
+                               (job.service_time, next(self._sjf_seq), job))
+            else:
+                self._queue.append(job)
+            depth = self.queue_depth
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+
+    def submit_callable(self, service_time: float,
+                        on_done: Optional[Callable[[float], None]] = None) -> Job:
+        """Convenience wrapper building a :class:`Job` from a service time."""
+        job = Job(service_time=service_time, on_done=on_done)
+        self.submit(job)
+        return job
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting (not yet started)."""
+        return len(self._queue) + len(self._sjf_heap)
+
+    @property
+    def busy_servers(self) -> int:
+        """Servers currently serving."""
+        return self._busy
+
+    def utilization(self, since: float, now: Optional[float] = None) -> float:
+        """Mean fraction of servers busy over ``[since, now]``."""
+        t = self.sim.now if now is None else now
+        self._accumulate(t)
+        window = t - since
+        if window <= 0:
+            return self._busy / self.servers
+        # _busy_integral covers [_epoch, t]; callers reset via mark().
+        return min(1.0, self._busy_integral / (window * self.servers))
+
+    def mark(self) -> None:
+        """Reset the busy-time integral (start of a new utilization window)."""
+        self._accumulate(self.sim.now)
+        self._busy_integral = 0.0
+
+    # ------------------------------------------------------------------
+    def _accumulate(self, t: float) -> None:
+        if t > self._last_change:
+            self._busy_integral += self._busy * (t - self._last_change)
+            self._last_change = t
+
+    def _start(self, job: Job) -> None:
+        now = self.sim.now
+        self._accumulate(now)
+        self._busy += 1
+        job.started_at = now
+        wait = now - job.enqueued_at
+        self.stats.total_wait += wait
+        if self.record_waits:
+            self.stats.waits.append(wait)
+        if job.on_start is not None:
+            job.on_start(wait)
+        self.sim.after(job.service_time, lambda: self._finish(job, wait))
+
+    def _finish(self, job: Job, wait: float) -> None:
+        self._accumulate(self.sim.now)
+        self._busy -= 1
+        self.stats.jobs_completed += 1
+        self.stats.total_service += job.service_time
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._start(nxt)
+        if job.on_done is not None:
+            job.on_done(wait)
+
+    def _dequeue(self) -> Optional[Job]:
+        if self.discipline == "sjf":
+            if self._sjf_heap:
+                return heapq.heappop(self._sjf_heap)[2]
+            return None
+        if not self._queue:
+            return None
+        if self.discipline == "lifo":
+            return self._queue.pop()
+        return self._queue.popleft()

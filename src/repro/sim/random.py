@@ -1,0 +1,107 @@
+"""Deterministic named RNG streams.
+
+A fleet simulation draws randomness from many logically independent sources
+(per-method latency, per-machine interference, network jitter, workload
+arrivals, ...). If they all shared one generator, adding a draw anywhere
+would perturb every downstream number and make runs impossible to compare.
+
+:class:`RngRegistry` derives an independent ``numpy.random.Generator`` per
+*name* from a single root seed using ``SeedSequence.spawn`` semantics: the
+stream for ``("method", 17)`` is the same in every run with the same root
+seed, regardless of creation order or of which other streams exist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+__all__ = ["BufferedDraws", "RngRegistry", "derive_seed"]
+
+_Key = Tuple[Union[str, int], ...]
+
+
+def derive_seed(root_seed: int, *key: Union[str, int]) -> int:
+    """Derive a stable 64-bit child seed from ``root_seed`` and a key path.
+
+    The derivation hashes the textual key path, so it is insensitive to
+    stream creation order — the property that makes runs reproducible when
+    code is reorganized.
+    """
+    material = repr((int(root_seed),) + tuple(key)).encode("utf-8")
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngRegistry:
+    """A factory of named, mutually independent RNG streams.
+
+    >>> rngs = RngRegistry(seed=42)
+    >>> a = rngs.stream("arrivals")
+    >>> b = rngs.stream("method", 3)
+    >>> a is rngs.stream("arrivals")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[_Key, np.random.Generator] = {}
+
+    def stream(self, *key: Union[str, int]) -> np.random.Generator:
+        """Return the (cached) generator for a key path like ``("net", 4)``."""
+        if not key:
+            raise ValueError("stream key must be non-empty")
+        k: _Key = tuple(key)
+        gen = self._streams.get(k)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self.seed, *key))
+            self._streams[k] = gen
+        return gen
+
+    def fresh(self, *key: Union[str, int]) -> np.random.Generator:
+        """Return a new, uncached generator for the key (same seed each call)."""
+        return np.random.default_rng(derive_seed(self.seed, *key))
+
+    def fork(self, *key: Union[str, int]) -> "RngRegistry":
+        """Derive a child registry whose streams are independent of this one."""
+        return RngRegistry(derive_seed(self.seed, "__fork__", *key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngRegistry(seed={self.seed}, streams={len(self._streams)})"
+
+
+class BufferedDraws:
+    """Amortizes numpy's per-call overhead for scalar draws.
+
+    The DES needs millions of *scalar* random draws; calling a vectorized
+    numpy sampler once per draw costs ~10 us each in dispatch overhead.
+    ``BufferedDraws`` pulls batches from a ``fill(n) -> ndarray`` callable
+    and hands out scalars, cutting the amortized cost by ~50x.
+    """
+
+    __slots__ = ("_fill", "_size", "_buf", "_i")
+
+    def __init__(self, fill, size: int = 1024):
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size!r}")
+        self._fill = fill
+        self._size = size
+        self._buf = None
+        self._i = 0
+
+    def next(self) -> float:
+        """The next buffered scalar."""
+        buf = self._buf
+        if buf is None or self._i >= len(buf):
+            buf = self._buf = self._fill(self._size)
+            self._i = 0
+        v = buf[self._i]
+        self._i += 1
+        return float(v)
+
+    def invalidate(self) -> None:
+        """Drop buffered values (e.g. when the fill parameters went stale)."""
+        self._buf = None
+        self._i = 0

@@ -1,0 +1,387 @@
+"""Pre-wired studies: the glue between substrates and analyses.
+
+These functions assemble a fleet, network, observability stack, and
+deployments, run the simulation, and hand back everything the per-figure
+analyses need. Benchmarks and examples call these rather than re-wiring
+the world each time.
+
+- :func:`run_service_study` — Tier B: the Table-1 services on a
+  multi-cluster fleet (Figs. 14-18, 22, and the ablations).
+- :func:`run_cross_cluster_study` — Tier B: one service's servers in a
+  home cluster called from clients everywhere (Fig. 19).
+- Tier A studies live in :mod:`repro.core.fleetsample`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from typing import Dict, List, Optional, Sequence
+
+from repro.fleet.topology import Cluster, Fleet, FleetSpec, build_fleet
+from repro.net.latency import NetworkModel
+from repro.obs.dapper import DapperCollector
+from repro.obs.gwp import GwpProfiler
+from repro.obs.monarch import Monarch, MonarchScraper
+from repro.rpc.errors import ErrorModel
+from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.workloads.drivers import (
+    DeploymentConfig,
+    DiurnalPattern,
+    OpenLoopDriver,
+    ServiceDeployment,
+)
+from repro.workloads.services import SERVICE_SPECS, ServiceSpec
+
+__all__ = ["ServiceStudy", "run_service_study", "run_cross_cluster_study",
+           "run_diurnal_study", "run_multitier_study"]
+
+
+@dataclass
+class ServiceStudy:
+    """Everything produced by a Tier-B run."""
+
+    sim: Simulator
+    fleet: Fleet
+    network: NetworkModel
+    dapper: DapperCollector
+    monarch: Monarch
+    gwp: GwpProfiler
+    deployments: Dict[str, ServiceDeployment]
+    drivers: List[OpenLoopDriver] = field(default_factory=list)
+
+    def clusters_by_name(self) -> Dict[str, Cluster]:
+        """Cluster lookup by name."""
+        return {c.name: c for c in self.fleet.clusters}
+
+
+def run_service_study(
+    services: Optional[Sequence[str]] = None,
+    n_clusters: int = 2,
+    duration_s: float = 8.0,
+    seed: int = 11,
+    server_machines_per_cluster: int = 3,
+    diurnal_amplitude: float = 0.0,
+    hedging: HedgingPolicy = NO_HEDGING,
+    error_model: Optional[ErrorModel] = None,
+    scrape_interval_s: Optional[float] = None,
+    rate_scale: float = 1.0,
+    per_cluster_rate_spread: float = 0.0,
+    dapper_sampling: float = 0.35,
+) -> ServiceStudy:
+    """Run the Table-1 services with co-located clients in each cluster.
+
+    ``services`` defaults to all eight; ``duration_s`` is simulated time.
+    Each service gets its own machines in each of the first ``n_clusters``
+    clusters of a default fleet, and one open-loop driver per cluster.
+    """
+    service_names = list(services) if services else list(SERVICE_SPECS)
+    unknown = set(service_names) - set(SERVICE_SPECS)
+    if unknown:
+        raise KeyError(f"unknown services: {sorted(unknown)}")
+
+    if scrape_interval_s is None:
+        # The paper's Monarch cadence is 30 minutes; short studies scale
+        # it down so several scrapes land inside the run.
+        scrape_interval_s = min(1800.0, max(duration_s / 8.0, 0.25))
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    fleet = build_fleet(FleetSpec(), seed=seed)
+    if n_clusters > len(fleet.clusters):
+        raise ValueError(
+            f"fleet has {len(fleet.clusters)} clusters, asked for {n_clusters}"
+        )
+    clusters = fleet.clusters[:n_clusters]
+    network = NetworkModel()
+    dapper = DapperCollector(sampling_rate=dapper_sampling,
+                             rng=rngs.stream("dapper"))
+    monarch = Monarch()
+    gwp = GwpProfiler()
+    scraper = MonarchScraper(sim, monarch, interval_s=scrape_interval_s)
+
+    deployments: Dict[str, ServiceDeployment] = {}
+    drivers: List[OpenLoopDriver] = []
+    for name in service_names:
+        spec: ServiceSpec = SERVICE_SPECS[name]
+        dep = ServiceDeployment(
+            sim, spec, clusters, network,
+            dapper=dapper, gwp=gwp, rngs=rngs.fork("dep", name),
+            config=DeploymentConfig(
+                server_machines_per_cluster=server_machines_per_cluster,
+                hedging=hedging,
+            ),
+            error_model=error_model,
+        )
+        deployments[name] = dep
+        scraper.add_collector(dep.monarch_collectors())
+        for cluster in clusters:
+            # Demand is geographic: with a non-zero spread, clusters see
+            # different offered loads (the cluster-level balancer optimizes
+            # network latency, not CPU balance — §4.3 / Fig. 22).
+            scale = rate_scale
+            if per_cluster_rate_spread > 0:
+                demand_rng = rngs.stream("demand", name, cluster.name)
+                # Clipped so no cluster is pushed past its stability
+                # region: the imbalance under study is utilization spread,
+                # not queue divergence.
+                scale *= float(np.clip(
+                    np.exp(demand_rng.normal(0.0, per_cluster_rate_spread)),
+                    0.7, 1.18,
+                ))
+            driver = OpenLoopDriver(
+                dep, cluster,
+                diurnal=DiurnalPattern(amplitude=diurnal_amplitude),
+                rate_scale=scale,
+            )
+            driver.start(duration_s)
+            drivers.append(driver)
+
+    sim.run_until(duration_s)
+    # Stop scraping when offered load stops: cumulative-utilization
+    # samples taken during the drain would dilute the usage figures.
+    scraper.stop()
+    # Let in-flight RPCs drain (bounded: WAN RTT + deep queues).
+    sim.run_until(duration_s + 30.0)
+    return ServiceStudy(sim=sim, fleet=fleet, network=network, dapper=dapper,
+                        monarch=monarch, gwp=gwp, deployments=deployments,
+                        drivers=drivers)
+
+
+def run_diurnal_study(
+    service: str = "Bigtable",
+    n_slices: int = 24,
+    slice_duration_s: float = 2.0,
+    seed: int = 17,
+    clusters: Optional[Sequence[int]] = None,
+) -> ServiceStudy:
+    """Fig. 18's setup: one service observed across a full simulated day.
+
+    Simulating 24 continuous hours of RPC traffic is wasteful — the daily
+    signal lives in the machines' *exogenous* state, which is a
+    deterministic function of simulated time. We therefore sample the day
+    with ``n_slices`` short traffic slices at evenly spaced wall-clock
+    offsets: each slice re-creates the same deployment (same seed → same
+    machine phases → a consistent diurnal trajectory) with its simulator
+    clock started at the slice's offset. Spans and Monarch points from all
+    slices merge into one study object covering the day.
+    """
+    from repro.fleet.machine import DAY_SECONDS
+
+    spec = SERVICE_SPECS[service]
+    merged_dapper = DapperCollector(sampling_rate=1.0)
+    merged_monarch = Monarch()
+    gwp = GwpProfiler()
+    last_study_parts = {}
+
+    for i in range(n_slices):
+        t0 = i * DAY_SECONDS / n_slices
+        sim = Simulator(start_time=t0)
+        rngs = RngRegistry(seed)  # identical phases in every slice
+        fleet = build_fleet(FleetSpec(), seed=seed)
+        if clusters is None:
+            # The paper contrasts a fast and a slow cluster: pick the
+            # extremes of the speed-factor distribution.
+            ranked = sorted(fleet.clusters, key=lambda c: c.speed_factor)
+            chosen = [ranked[0], ranked[-1]]
+        else:
+            chosen = [fleet.clusters[j] for j in clusters]
+        network = NetworkModel()
+        dep = ServiceDeployment(
+            sim, spec, chosen, network,
+            dapper=merged_dapper, gwp=gwp, rngs=rngs.fork("dep", service),
+            config=DeploymentConfig(server_machines_per_cluster=2),
+        )
+        for cluster in chosen:
+            driver = OpenLoopDriver(dep, cluster,
+                                    diurnal=DiurnalPattern(amplitude=0.25))
+            driver.start(slice_duration_s)
+        sim.run_until(t0 + slice_duration_s + 3.0)
+        # Exogenous snapshot per machine at the slice midpoint.
+        for name, labels, value in dep.monarch_collectors()(t0):
+            merged_monarch.write(name, labels, t0, value)
+        last_study_parts = dict(sim=sim, fleet=fleet, network=network,
+                                deployments={service: dep})
+
+    return ServiceStudy(dapper=merged_dapper, monarch=merged_monarch,
+                        gwp=gwp, drivers=[], **last_study_parts)
+
+
+def run_multitier_study(
+    duration_s: float = 3.0,
+    seed: int = 41,
+    frontend_rps: float = 150.0,
+    fanout_bigtable: float = 3.0,
+    fanout_kv: float = 2.0,
+    fanout_disk: float = 2.0,
+) -> ServiceStudy:
+    """A causally nested three-tier application (true Dapper trees).
+
+    ``Frontend/Search`` fans out to Bigtable and KV-Store; Bigtable fans
+    out to Network Disk — the paper's archetypal front-end → back-end →
+    network-filesystem flow (§2). Every child call is a real DES RPC
+    linked into its parent's trace, and the parent's server-application
+    component includes the child waits, exactly as Dapper reports it
+    (§2.1).
+    """
+    from repro.rpc.channel import ChildCall, MethodRuntime, RpcClientTask
+    from repro.rpc.loadbalancer import LeastLoadedPolicy
+    from repro.sim.distributions import Constant, LogNormal, Truncated
+
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    fleet = build_fleet(FleetSpec(), seed=seed)
+    cluster = fleet.clusters[0]
+    network = NetworkModel()
+    dapper = DapperCollector(sampling_rate=1.0, rng=rngs.stream("dapper"))
+    monarch = Monarch()
+    gwp = GwpProfiler()
+
+    deployments: Dict[str, ServiceDeployment] = {}
+    for name in ("Bigtable", "NetworkDisk", "KVStore"):
+        deployments[name] = ServiceDeployment(
+            sim, SERVICE_SPECS[name], [cluster], network,
+            dapper=dapper, gwp=gwp, rngs=rngs.fork("dep", name),
+            config=DeploymentConfig(server_machines_per_cluster=2),
+        )
+
+    # Wire Bigtable -> NetworkDisk.
+    disk_rt = deployments["NetworkDisk"].runtime
+    bt_dep = deployments["Bigtable"]
+    bt_dep.runtime.child_calls.append(ChildCall(
+        runtime=disk_rt,
+        count=Truncated(LogNormal.from_median_sigma(fanout_disk, 0.4),
+                        low=0.0, high=8.0),
+    ))
+    disk_servers = deployments["NetworkDisk"].servers_by_cluster[cluster.name]
+    disk_policy = LeastLoadedPolicy(d=2)
+    for server in bt_dep.servers_by_cluster[cluster.name]:
+        child_client = RpcClientTask(
+            sim, server.machine, network, dapper=dapper, gwp=gwp,
+            stack=deployments["NetworkDisk"].stack,
+            rng=rngs.stream("childcli", server.machine.name),
+        )
+        server.configure_children(child_client, {
+            disk_rt.full_method:
+                lambda rng, s=disk_servers: disk_policy.pick(s, rng),
+        })
+
+    # The synthetic front end: fans out to Bigtable and KV-Store.
+    bt_rt = deployments["Bigtable"].runtime
+    kv_rt = deployments["KVStore"].runtime
+    frontend_rt = MethodRuntime(
+        service="Frontend", method="Search",
+        app_time=LogNormal.from_median_sigma(300e-6, 0.6),
+        request_size=Constant(600.0),
+        response_size=LogNormal.from_median_sigma(8000.0, 0.8),
+        app_cycles=LogNormal.from_median_sigma(0.04, 0.6),
+        child_calls=[
+            ChildCall(bt_rt, Truncated(
+                LogNormal.from_median_sigma(fanout_bigtable, 0.4),
+                low=1.0, high=10.0)),
+            ChildCall(kv_rt, Truncated(
+                LogNormal.from_median_sigma(fanout_kv, 0.4),
+                low=0.0, high=8.0)),
+        ],
+    )
+    from repro.fleet.machine import Machine
+    from repro.rpc.channel import RpcServerTask
+    from repro.workloads.drivers import default_des_profile
+
+    fe_machines = []
+    fe_servers = []
+    for i in range(2):
+        m = Machine(sim, cluster, index=len(cluster.machines),
+                    profile=default_des_profile(),
+                    rng=rngs.stream("machine", "Frontend", i))
+        cluster.machines.append(m)
+        srv = RpcServerTask(sim, m, [frontend_rt],
+                            rng=rngs.stream("server", "Frontend", i))
+        bt_servers = deployments["Bigtable"].servers_by_cluster[cluster.name]
+        kv_servers = deployments["KVStore"].servers_by_cluster[cluster.name]
+        bt_policy = LeastLoadedPolicy(d=2)
+        kv_policy = LeastLoadedPolicy(d=2)
+        child_client = RpcClientTask(
+            sim, m, network, dapper=dapper, gwp=gwp,
+            rng=rngs.stream("fecli", i),
+        )
+        srv.configure_children(child_client, {
+            bt_rt.full_method:
+                lambda rng, s=bt_servers, p=bt_policy: p.pick(s, rng),
+            kv_rt.full_method:
+                lambda rng, s=kv_servers, p=kv_policy: p.pick(s, rng),
+        })
+        fe_machines.append(m)
+        fe_servers.append(srv)
+
+    # An end-user client drives the front end.
+    user_machine = Machine(sim, cluster, index=len(cluster.machines),
+                           profile=default_des_profile(),
+                           rng=rngs.stream("machine", "User", 0))
+    cluster.machines.append(user_machine)
+    user = RpcClientTask(sim, user_machine, network, dapper=dapper, gwp=gwp,
+                         rng=rngs.stream("user"))
+    fe_policy = LeastLoadedPolicy(d=2)
+    arrival_rng = rngs.stream("arrivals")
+
+    def fire() -> None:
+        user.call(frontend_rt,
+                  pick_server=lambda rng: fe_policy.pick(fe_servers, rng))
+        gap = float(arrival_rng.exponential(1.0 / frontend_rps))
+        if sim.now + gap <= duration_s:
+            sim.after(gap, fire)
+
+    sim.after(float(arrival_rng.exponential(1.0 / frontend_rps)), fire)
+    sim.run_until(duration_s + 20.0)
+    return ServiceStudy(sim=sim, fleet=fleet, network=network, dapper=dapper,
+                        monarch=monarch, gwp=gwp, deployments=deployments,
+                        drivers=[])
+
+
+def run_cross_cluster_study(
+    service: str = "Spanner",
+    n_client_clusters: int = 20,
+    duration_s: float = 30.0,
+    seed: int = 13,
+    calls_per_cluster_rps: float = 25.0,
+) -> ServiceStudy:
+    """Fig. 19's setup: servers in one home cluster, clients everywhere.
+
+    The home cluster is the first cluster of the fleet; client clusters
+    span the full geography so the distance staircase is visible.
+    """
+    spec = SERVICE_SPECS[service]
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    # One cluster per datacenter across all regions for geographic spread.
+    fleet = build_fleet(FleetSpec(datacenters_per_region=2,
+                                  clusters_per_datacenter=2), seed=seed)
+    if n_client_clusters > len(fleet.clusters):
+        n_client_clusters = len(fleet.clusters)
+    home = fleet.clusters[0]
+    client_clusters = fleet.clusters[:n_client_clusters]
+    network = NetworkModel()
+    dapper = DapperCollector(sampling_rate=1.0, rng=rngs.stream("dapper"))
+    monarch = Monarch()
+    gwp = GwpProfiler()
+
+    dep = ServiceDeployment(
+        sim, spec, list(client_clusters), network,
+        dapper=dapper, gwp=gwp, rngs=rngs.fork("dep", service),
+        config=DeploymentConfig(server_machines_per_cluster=2,
+                                client_machines_per_cluster=1),
+    )
+    drivers = []
+    for cluster in client_clusters:
+        driver = OpenLoopDriver(
+            dep, cluster, target_cluster=home,
+            rate_rps=calls_per_cluster_rps,
+        )
+        driver.start(duration_s)
+        drivers.append(driver)
+    sim.run_until(duration_s + 5.0)
+    return ServiceStudy(sim=sim, fleet=fleet, network=network, dapper=dapper,
+                        monarch=monarch, gwp=gwp,
+                        deployments={service: dep}, drivers=drivers)

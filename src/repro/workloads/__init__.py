@@ -1,0 +1,30 @@
+"""Workload substrate: the synthetic method catalog and the Table-1 services.
+
+- :mod:`repro.workloads.calibration` — every anchor number the paper
+  reports, as named constants (single source of truth for the generator
+  and for EXPERIMENTS.md comparisons).
+- :mod:`repro.workloads.catalog` — generates a fleet of RPC methods whose
+  joint distributions (popularity, latency, sizes, fanout, CPU cost,
+  locality) are calibrated to the paper's fleet-wide anchors.
+- :mod:`repro.workloads.services` — the eight production services of
+  Table 1, with per-service component-latency profiles for the DES tier.
+- :mod:`repro.workloads.drivers` — open-loop (Poisson + diurnal) load
+  generation against DES deployments.
+"""
+
+from repro.workloads.catalog import Catalog, CatalogConfig, MethodSpec, build_catalog
+from repro.workloads.services import (
+    SERVICE_SPECS,
+    ServiceSpec,
+    build_method_runtime,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogConfig",
+    "MethodSpec",
+    "SERVICE_SPECS",
+    "ServiceSpec",
+    "build_catalog",
+    "build_method_runtime",
+]

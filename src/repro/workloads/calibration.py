@@ -1,0 +1,128 @@
+"""Paper anchors: every number the reproduction calibrates against.
+
+Each constant cites the paper section it comes from. The catalog generator
+consumes these, the benchmarks print measured-vs-paper rows from them, and
+EXPERIMENTS.md is generated against them — so there is exactly one place
+where a paper number can live.
+
+All latencies are seconds, sizes are bytes, cycles are normalized cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [name for name in dir() if name.isupper()]  # re-computed at bottom
+
+# ----------------------------------------------------------------------
+# §2.2 / Fig. 1 — growth
+# ----------------------------------------------------------------------
+STUDY_DAYS = 700
+RPS_PER_CPU_ANNUAL_GROWTH = 0.30       # ~30 % per year
+RPS_PER_CPU_TOTAL_GROWTH = 0.64        # 64 % over the 700-day interval
+
+# ----------------------------------------------------------------------
+# §2.3 / Fig. 2 — per-method completion-time distribution
+# ----------------------------------------------------------------------
+METHOD_COUNT = 10_000                  # "over 10,000 different RPC methods"
+P1_LATENCY_90PCT_OF_METHODS_S = 657e-6   # 90 % of methods: P1 <= 657 us
+MEDIAN_LATENCY_90PCT_OF_METHODS_S = 10.7e-3  # 90 % of methods: median >= 10.7 ms
+P99_GE_1MS_FRACTION = 0.995            # 99.5 % of methods: P99 >= 1 ms
+P99_LATENCY_MEDIAN_METHOD_S = 225e-3   # 50 % of methods: P99 >= 225 ms
+SLOWEST_5PCT_P1_S = 166e-3             # slowest 5 % of methods: P1 >= 166 ms
+SLOWEST_5PCT_P99_S = 5.0               # slowest 5 % of methods: P99 >= 5 s
+
+# ----------------------------------------------------------------------
+# §2.3 / Fig. 3 — popularity skew
+# ----------------------------------------------------------------------
+FASTEST_100_CALL_SHARE = 0.40          # 100 lowest-latency methods: 40 % of calls
+NETWORK_DISK_WRITE_CALL_SHARE = 0.28   # a single Write method: 28 % of calls
+TOP_10_CALL_SHARE = 0.58               # 10 most popular methods: 58 %
+TOP_100_CALL_SHARE = 0.91              # 100 most popular: 91 %
+SLOWEST_1000_CALL_SHARE = 0.011        # slowest 1000 methods: 1.1 % of calls
+SLOWEST_1000_TIME_SHARE = 0.89         # ... but 89 % of total RPC time
+
+# ----------------------------------------------------------------------
+# §2.4 / Figs. 4-5 — call-tree shape
+# ----------------------------------------------------------------------
+MEDIAN_DESCENDANTS_HALF_OF_METHODS = 13    # half of methods: median <= 13
+P90_DESCENDANTS_90PCT_OF_METHODS = 105     # 90 % of methods: P90 > 105
+P99_DESCENDANTS_90PCT_OF_METHODS = 1155    # 90 % of methods: P99 > 1155
+P99_ANCESTORS_HALF_OF_METHODS = 10         # half of methods: P99 ancestors < 10
+
+# ----------------------------------------------------------------------
+# §2.5 / Figs. 6-7 — sizes
+# ----------------------------------------------------------------------
+MIN_MESSAGE_BYTES = 64                     # smallest observed: one cache line
+MEDIAN_REQUEST_BYTES_HALF_OF_METHODS = 1530
+MEDIAN_RESPONSE_BYTES_HALF_OF_METHODS = 315
+P90_REQUEST_BYTES = 11.8e3
+P90_RESPONSE_BYTES = 10e3
+P99_REQUEST_BYTES = 196e3
+P99_RESPONSE_BYTES = 563e3
+
+# ----------------------------------------------------------------------
+# §2.6 / Fig. 8 — services
+# ----------------------------------------------------------------------
+TOP8_SERVICES_CALL_SHARE = 0.60        # top 8 services: 60 % of invocations
+NETWORK_DISK_CALL_SHARE = 0.35         # Network Disk: 35 % of RPCs ...
+NETWORK_DISK_CYCLE_SHARE_MAX = 0.02    # ... but < 2 % of fleet cycles
+ML_INFERENCE_CYCLE_SHARE = 0.0089
+ML_INFERENCE_CALL_SHARE = 0.0017
+F1_CYCLE_SHARE = 0.018
+F1_CALL_SHARE = 0.018
+
+# ----------------------------------------------------------------------
+# §3.2 / Figs. 10-13 — the RPC latency tax
+# ----------------------------------------------------------------------
+FLEET_AVG_TAX_FRACTION = 0.020         # tax = 2.0 % of completion time
+FLEET_AVG_NETWORK_FRACTION = 0.011     # wire: 1.1 % of total time
+FLEET_AVG_PROC_STACK_FRACTION = 0.0049  # proc + net stack: 0.49 %
+FLEET_AVG_QUEUE_FRACTION = 0.0043      # queueing: 0.43 %
+MEDIAN_METHOD_TAX_RATIO = 0.086        # median method: tax = 8.6 % of RCT
+TOP10PCT_TAX_RATIO_MEDIAN = 0.38       # 10 % most-taxed methods: median 38 %
+TOP10PCT_TAX_RATIO_P90 = 0.96          # ... P90 96 %
+
+MAX_WAN_RTT_S = 0.200                  # longest WAN round trip: ~200 ms
+NETSTACK_P99_FASTEST_1PCT_S = 6e-3     # wire+stack per-method P99 quantiles
+NETSTACK_P99_FASTEST_10PCT_S = 19e-3
+NETSTACK_P99_MEDIAN_METHOD_S = 115e-3
+NETSTACK_P99_SLOWEST_10PCT_S = 271e-3
+NETSTACK_P99_SLOWEST_1PCT_S = 826e-3
+
+QUEUE_MEDIAN_HALF_OF_METHODS_S = 360e-6  # half of methods: median queue <= 360 us
+QUEUE_P99_HALF_OF_METHODS_S = 102e-3     # ... P99 <= 102 ms
+QUEUE_MEDIAN_WORST_10PCT_S = 1.1e-3      # worst 10 %: median >= 1.1 ms
+QUEUE_P99_WORST_10PCT_S = 611e-3         # ... P99 >= 611 ms
+
+# ----------------------------------------------------------------------
+# §3.3 — service-specific studies
+# ----------------------------------------------------------------------
+DOMINANT_COMPONENT_MEDIAN_SHARE = (0.25, 0.66)   # 25-66 % at the median
+DOMINANT_COMPONENT_P95_SHARE = (0.30, 0.83)      # 30-83 % at P95
+P95_OVER_MEDIAN_RANGE = (1.86, 10.6)             # P95 / median per service
+CROSS_CLUSTER_SPREAD_RANGE = (1.24, 10.0)        # same RPC across clusters
+
+# ----------------------------------------------------------------------
+# §4.1 / Fig. 20 — the RPC cycle tax
+# ----------------------------------------------------------------------
+FLEET_CYCLE_TAX_FRACTION = 0.071       # 7.1 % of all fleet cycles
+COMPRESSION_CYCLE_FRACTION = 0.031
+NETWORKING_CYCLE_FRACTION = 0.017
+SERIALIZATION_CYCLE_FRACTION = 0.012
+RPC_LIBRARY_CYCLE_FRACTION = 0.011
+
+# ----------------------------------------------------------------------
+# §4.2 / Fig. 21 — per-method CPU cost
+# ----------------------------------------------------------------------
+CHEAPEST_CALLS_P10_RANGE_CYCLES = (0.017, 0.02)   # per-method P10 band
+EXPENSIVE_CALLS_P90_RANGE_CYCLES = (0.02, 0.16)   # per-method P90 band
+
+# ----------------------------------------------------------------------
+# §4.4 / Fig. 23 — errors
+# ----------------------------------------------------------------------
+ERROR_RATE = 0.019
+CANCELLED_ERROR_SHARE = 0.45
+CANCELLED_CYCLE_SHARE = 0.55
+NOT_FOUND_ERROR_SHARE = 0.20
+NOT_FOUND_CYCLE_SHARE = 0.21
+
+__all__ = [name for name in list(globals()) if name.isupper()]

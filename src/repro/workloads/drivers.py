@@ -1,0 +1,314 @@
+"""DES deployment and open-loop load generation.
+
+A :class:`ServiceDeployment` places one Table-1 service on dedicated
+machines across a set of clusters (server tasks plus co-located client
+tasks), and an :class:`OpenLoopDriver` offers load to it:
+
+- arrivals are open-loop (they do not wait for completions — the defining
+  property of production front-end traffic, and the reason queues actually
+  build);
+- the base rate is derived from the spec's target handler-pool
+  ``offered_load``;
+- a band-limited multiplicative modulator (log-amplitude =
+  ``ln(burstiness)``) plus an optional diurnal wave shape the rate over
+  time, which is what produces queueing-heavy behaviour for the high-load
+  bursty services and the Fig. 18 daily swings.
+
+The deployment also exposes Monarch collector callbacks exporting machine
+exogenous state and CPU usage, which the Fig. 17/18/22 analyses query.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.machine import DAY_SECONDS, Machine, MachineProfile
+from repro.fleet.topology import Cluster
+from repro.net.latency import NetworkModel
+from repro.obs.dapper import DapperCollector
+from repro.obs.gwp import GwpProfiler
+from repro.obs.monarch import MonarchScraper
+from repro.rpc.channel import MethodRuntime, RpcClientTask, RpcServerTask
+from repro.rpc.errors import ErrorModel
+from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
+from repro.rpc.loadbalancer import LeastLoadedPolicy, Policy
+from repro.rpc.stack import StackCostModel
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.workloads.services import ServiceSpec, build_method_runtime
+
+__all__ = ["DeploymentConfig", "ServiceDeployment", "OpenLoopDriver",
+           "scaled_stack", "DiurnalPattern", "default_des_profile"]
+
+
+def scaled_stack(base: StackCostModel, multiplier: float) -> StackCostModel:
+    """A stack cost model with all *time* constants scaled.
+
+    Used for serialization-heavy schemas (KV-Store's proc_multiplier):
+    cycle constants stay put — schema complexity costs wall time through
+    the same categories.
+    """
+    return replace(
+        base,
+        serialize_base_s=base.serialize_base_s * multiplier,
+        serialize_per_byte_s=base.serialize_per_byte_s * multiplier,
+        compress_base_s=base.compress_base_s * multiplier,
+        compress_per_byte_s=base.compress_per_byte_s * multiplier,
+        encrypt_base_s=base.encrypt_base_s * multiplier,
+        encrypt_per_byte_s=base.encrypt_per_byte_s * multiplier,
+        netstack_base_s=base.netstack_base_s * multiplier,
+        netstack_per_byte_s=base.netstack_per_byte_s * multiplier,
+        rpc_library_s=base.rpc_library_s * multiplier,
+    )
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """A daily load wave: multiplier(t) = 1 + amplitude*sin(2πt/day + phase)."""
+
+    amplitude: float = 0.0
+    phase: float = 0.0
+
+    def multiplier(self, t: float) -> float:
+        """Rate multiplier at time t."""
+        if self.amplitude == 0.0:
+            return 1.0
+        return max(
+            0.05,
+            1.0 + self.amplitude * math.sin(2 * math.pi * t / DAY_SECONDS + self.phase),
+        )
+
+
+def default_des_profile() -> MachineProfile:
+    """Machine profile for DES studies.
+
+    Small worker pools keep simulated event rates tractable: queueing
+    behaviour depends on *utilization*, not absolute core counts, so a
+    4-core pool at 85 % load exhibits the same latency anatomy as a
+    16-core pool at 85 % load at a quarter of the event volume.
+    """
+    return MachineProfile(cores=4, tx_workers=2, rx_workers=2)
+
+
+@dataclass
+class DeploymentConfig:
+    """How a service is laid out in each cluster."""
+
+    server_machines_per_cluster: int = 2
+    client_machines_per_cluster: int = 1
+    machine_profile: Optional[MachineProfile] = None
+    hedging: HedgingPolicy = NO_HEDGING
+    sampling_rate: float = 1.0
+
+
+# Periods of the arrival-rate modulator (seconds). Kept at seconds scale
+# so even short studies see several burst cycles rather than a frozen
+# modulator phase (which would silently bias the offered load).
+_BURST_PERIODS_S = (5.3, 23.0, 97.0)
+
+
+class ServiceDeployment:
+    """One service deployed on dedicated machines in several clusters."""
+
+    def __init__(self, sim: Simulator, spec: ServiceSpec,
+                 clusters: Sequence[Cluster], network: NetworkModel,
+                 dapper: Optional[DapperCollector] = None,
+                 gwp: Optional[GwpProfiler] = None,
+                 rngs: Optional[RngRegistry] = None,
+                 config: Optional[DeploymentConfig] = None,
+                 error_model: Optional[ErrorModel] = None,
+                 base_stack: Optional[StackCostModel] = None):
+        if not clusters:
+            raise ValueError("need at least one cluster")
+        self.sim = sim
+        self.spec = spec
+        self.clusters = list(clusters)
+        self.network = network
+        self.dapper = dapper
+        self.gwp = gwp
+        self.rngs = rngs or RngRegistry(0)
+        self.config = config or DeploymentConfig()
+
+        stack = base_stack or StackCostModel()
+        if spec.proc_multiplier != 1.0:
+            stack = scaled_stack(stack, spec.proc_multiplier)
+        self.stack = stack
+        self.runtime: MethodRuntime = build_method_runtime(spec, error_model)
+
+        profile = self.config.machine_profile or default_des_profile()
+        if spec.reserved_cores and not profile.reserved_cores:
+            profile = replace(profile, reserved_cores=True)
+        self.profile = profile
+
+        self.servers_by_cluster: Dict[str, List[RpcServerTask]] = {}
+        self.clients_by_cluster: Dict[str, List[RpcClientTask]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        for cluster in self.clusters:
+            servers = []
+            for i in range(cfg.server_machines_per_cluster):
+                machine = Machine(
+                    self.sim, cluster, index=len(cluster.machines),
+                    profile=self.profile,
+                    rng=self.rngs.stream("machine", self.spec.name,
+                                         cluster.name, "srv", i),
+                )
+                cluster.machines.append(machine)
+                servers.append(RpcServerTask(
+                    self.sim, machine, [self.runtime], stack=self.stack,
+                    rng=self.rngs.stream("server", self.spec.name,
+                                         cluster.name, i),
+                ))
+            self.servers_by_cluster[cluster.name] = servers
+
+            clients = []
+            client_profile = replace(self.profile, tx_workers=16, rx_workers=16)
+            for i in range(cfg.client_machines_per_cluster):
+                machine = Machine(
+                    self.sim, cluster, index=len(cluster.machines),
+                    profile=client_profile,
+                    rng=self.rngs.stream("machine", self.spec.name,
+                                         cluster.name, "cli", i),
+                )
+                cluster.machines.append(machine)
+                clients.append(RpcClientTask(
+                    self.sim, machine, self.network,
+                    dapper=self.dapper, gwp=self.gwp, stack=self.stack,
+                    rng=self.rngs.stream("client", self.spec.name,
+                                         cluster.name, i),
+                    hedging=cfg.hedging,
+                ))
+            self.clients_by_cluster[cluster.name] = clients
+
+    # ------------------------------------------------------------------
+    def all_servers(self) -> List[RpcServerTask]:
+        """Every server task across clusters."""
+        return [s for servers in self.servers_by_cluster.values() for s in servers]
+
+    def all_server_machines(self) -> List[Machine]:
+        """Every server machine across clusters."""
+        return [s.machine for s in self.all_servers()]
+
+    def base_rate_per_cluster(self, cluster: Optional[Cluster] = None) -> float:
+        """Arrival rate (RPS per cluster) hitting the target handler load.
+
+        Pacing is per cluster: a slow cluster's machines inflate service
+        times (CPI), so its stable arrival rate is lower — production
+        autoscalers provision per cluster for exactly this reason. With no
+        ``cluster``, a fleet-average interference estimate is used.
+        """
+        # Lognormal mean from the spec's (median, sigma); the truncation at
+        # 400x the median shaves a negligible sliver off it.
+        mean_app = self.spec.app_median_s * math.exp(self.spec.app_sigma**2 / 2)
+        if cluster is not None and cluster.name in self.servers_by_cluster:
+            machines = [srv.machine
+                        for srv in self.servers_by_cluster[cluster.name]]
+            # Sample the deterministic exogenous trajectory over the first
+            # simulated hour for a stable estimate.
+            probes = [m.service_multiplier(t)
+                      for m in machines for t in (0.0, 900.0, 2700.0)]
+            interference = sum(probes) / len(probes)
+        else:
+            interference = 1.35
+        servers = (self.config.server_machines_per_cluster
+                   * self.profile.cores)
+        return self.spec.offered_load * servers / (mean_app * interference)
+
+    # ------------------------------------------------------------------
+    def monarch_collectors(self):
+        """Collector callbacks exporting exogenous state and CPU usage."""
+        def collect(t: float) -> Iterable[Tuple[str, Dict[str, str], float]]:
+            for cluster_name, servers in self.servers_by_cluster.items():
+                for s in servers:
+                    exo = s.machine.exogenous(t)
+                    labels = {
+                        "service": self.spec.name,
+                        "cluster": cluster_name,
+                        "machine": s.machine.name,
+                    }
+                    yield "machine/cpu_util", labels, exo.cpu_util
+                    yield "machine/memory_bw_gbps", labels, exo.memory_bw_gbps
+                    yield "machine/long_wakeup_rate", labels, exo.long_wakeup_rate
+                    yield "machine/cycles_per_inst", labels, exo.cycles_per_inst
+                    yield "server/rpcs_served", labels, float(s.rpcs_served)
+                    # The service task's own CPU usage relative to its
+                    # allocation (Fig. 22's used/limit ratio) — distinct
+                    # from machine-wide utilization, which background
+                    # tenants dominate.
+                    yield "server/rpc_util", labels, \
+                        s.machine.pool.utilization(since=0.0, now=t)
+        return collect
+
+
+class OpenLoopDriver:
+    """Offers open-loop load to one cluster of a deployment."""
+
+    def __init__(self, deployment: ServiceDeployment, cluster: Cluster,
+                 policy: Optional[Policy] = None,
+                 rate_rps: Optional[float] = None,
+                 diurnal: DiurnalPattern = DiurnalPattern(),
+                 target_cluster: Optional[Cluster] = None,
+                 rate_scale: float = 1.0):
+        self.deployment = deployment
+        self.cluster = cluster
+        self.target_cluster = target_cluster or cluster
+        self.policy = policy or LeastLoadedPolicy(
+            d=2, load_of=lambda s: s.load()
+        )
+        self.base_rate = (rate_rps if rate_rps is not None
+                          else deployment.base_rate_per_cluster(cluster)
+                          ) * rate_scale
+        if self.base_rate <= 0:
+            raise ValueError(f"non-positive arrival rate {self.base_rate!r}")
+        self.diurnal = diurnal
+        self.sim = deployment.sim
+        spec = deployment.spec
+        self._rng = deployment.rngs.stream("driver", spec.name, cluster.name)
+        # Burst modulator phases (deterministic per driver).
+        self._log_burst = math.log(max(spec.burstiness, 1.0))
+        self._phases = self._rng.uniform(0, 2 * math.pi, size=len(_BURST_PERIODS_S))
+        self._weights = self._rng.dirichlet(np.ones(len(_BURST_PERIODS_S)))
+        self._stop_at: Optional[float] = None
+        self.calls_offered = 0
+
+    # ------------------------------------------------------------------
+    def rate(self, t: float) -> float:
+        """Offered arrival rate at time t."""
+        burst = sum(
+            w * math.sin(2 * math.pi * t / period + phase)
+            for w, period, phase in zip(self._weights, _BURST_PERIODS_S,
+                                        self._phases)
+        )
+        return (self.base_rate * math.exp(self._log_burst * burst)
+                * self.diurnal.multiplier(t))
+
+    def start(self, duration_s: float) -> None:
+        """Begin offering load for a duration."""
+        self._stop_at = self.sim.now + duration_s
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        rate = self.rate(self.sim.now)
+        gap = float(self._rng.exponential(1.0 / rate))
+        if self._stop_at is not None and self.sim.now + gap > self._stop_at:
+            return
+        self.sim.after(gap, self._fire)
+
+    def _fire(self) -> None:
+        clients = self.deployment.clients_by_cluster[self.cluster.name]
+        servers = self.deployment.servers_by_cluster[self.target_cluster.name]
+        client = clients[int(self._rng.integers(len(clients)))]
+        client.call(
+            self.deployment.runtime,
+            pick_server=lambda rng: self.policy.pick(servers, rng),
+        )
+        self.calls_offered += 1
+        self._schedule_next()

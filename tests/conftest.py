@@ -1,0 +1,47 @@
+"""Shared fixtures: expensive studies are built once per session."""
+
+import numpy as np
+import pytest
+
+from repro.core.fleetsample import run_fleet_study
+from repro.studies import run_cross_cluster_study, run_service_study
+from repro.workloads.catalog import CatalogConfig, build_catalog
+
+
+@pytest.fixture(scope="session")
+def small_catalog():
+    return build_catalog(CatalogConfig(n_methods=300, seed=42))
+
+
+@pytest.fixture(scope="session")
+def fleet_sample(small_catalog):
+    return run_fleet_study(small_catalog, np.random.default_rng(7),
+                           samples_per_method=150)
+
+
+@pytest.fixture(scope="session")
+def service_study():
+    """A small Tier-B run: three services, one cluster, 2 s of load."""
+    return run_service_study(
+        services=["Bigtable", "SSDCache", "KVStore"],
+        n_clusters=1, duration_s=2.0, seed=5,
+        scrape_interval_s=0.5, dapper_sampling=1.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def multi_cluster_study():
+    """Bigtable across three clusters (Figs. 16/22-style queries)."""
+    return run_service_study(
+        services=["Bigtable"], n_clusters=3, duration_s=3.0, seed=9,
+        scrape_interval_s=0.5, dapper_sampling=1.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def cross_study():
+    """Spanner served from a home cluster, called from 10 clusters."""
+    return run_cross_cluster_study(
+        service="Spanner", n_client_clusters=10, duration_s=8.0,
+        calls_per_cluster_rps=30.0, seed=3,
+    )

@@ -1,0 +1,59 @@
+"""Tests for the repro-rpc command line."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_growth_command(capsys):
+    assert main(["growth", "--days", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "annual RPS/CPU growth" in out
+    assert "paper 0.30" in out
+
+
+def test_trees_command(capsys):
+    assert main(["trees", "--methods", "200", "--trees", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "call-tree shape" in out
+
+
+def test_fleet_study_command(capsys):
+    assert main(["fleet-study", "--methods", "150", "--samples", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out
+    assert "Fig. 20" in out
+    assert "RPCs sampled" in out
+
+
+def test_service_study_with_traces_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "spans.dtrc")
+    assert main(["service-study", "--services", "KVStore",
+                 "--duration", "0.5", "--save-traces", path]) == 0
+    out = capsys.readouterr().out
+    assert "KVStore" in out
+    assert "wrote" in out
+
+    assert main(["analyze-traces", path]) == 0
+    out = capsys.readouterr().out
+    assert "KVStore/SearchValue" in out
+
+
+def test_analyze_traces_empty_file(tmp_path, capsys):
+    from repro.obs.trace_io import write_traces
+
+    path = str(tmp_path / "empty.dtrc")
+    write_traces([], path)
+    assert main(["analyze-traces", path]) == 1

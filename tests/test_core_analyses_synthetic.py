@@ -1,0 +1,120 @@
+"""Exact-answer tests for the Tier-A analyzers on hand-built samples.
+
+The fixture-based tests check shapes on realistic data; these pin the
+arithmetic with tiny synthetic fleets whose statistics are known in
+closed form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import analyze_method_cycles
+from repro.core.fleetsample import FleetSample, MethodSummary, _PCTS
+from repro.core.popularity import analyze_popularity
+from repro.core.tax import analyze_fleet_tax, analyze_netstack, analyze_queueing
+from repro.obs.gwp import GwpProfiler
+from repro.rpc.errors import StatusCode
+
+
+def make_summary(name: str, median_rct: float, popularity: float,
+                 queue_p99: float = 1e-3,
+                 netstack_p99: float = 5e-3) -> MethodSummary:
+    """A summary whose percentile ladders are simple multiples."""
+    def ladder(median, p99):
+        # Piecewise-linear through (p1, p50, p99) anchor indices, so the
+        # p50 and p99 columns hold exactly the requested values.
+        idx = np.arange(len(_PCTS), dtype=float)
+        anchors_x = [0.0, float(_PCTS.index(50)), float(len(_PCTS) - 1)]
+        anchors_y = [median * 0.1, median, p99]
+        return np.interp(idx, anchors_x, anchors_y)
+
+    return MethodSummary(
+        full_method=f"Svc/{name}", service="Svc", popularity=popularity,
+        median_app_s=median_rct, n_samples=100,
+        rct=ladder(median_rct, median_rct * 10),
+        queueing=ladder(queue_p99 / 10, queue_p99),
+        netstack=ladder(netstack_p99 / 10, netstack_p99),
+        tax_ratio=np.linspace(0.01, 0.5, len(_PCTS)),
+        request_bytes=ladder(1000, 10000),
+        response_bytes=ladder(300, 3000),
+        size_ratio=np.linspace(0.1, 5.0, len(_PCTS)),
+        cycles=ladder(0.02, 0.2),
+        mean_rct=median_rct * 1.5, mean_tax=median_rct * 0.03,
+        mean_queue=median_rct * 0.01, mean_wire=median_rct * 0.015,
+        mean_proc=median_rct * 0.005,
+        mean_request_bytes=2000.0, mean_response_bytes=600.0,
+        mean_cycles=0.05, mean_app_cycles=0.04,
+    )
+
+
+def make_fleet(summaries) -> FleetSample:
+    return FleetSample(
+        methods=list(summaries), gwp=GwpProfiler(),
+        fleet_mean_rct=sum(m.popularity * m.mean_rct for m in summaries),
+        fleet_mean_tax=sum(m.popularity * m.mean_tax for m in summaries),
+        fleet_mean_queue=sum(m.popularity * m.mean_queue for m in summaries),
+        fleet_mean_wire=sum(m.popularity * m.mean_wire for m in summaries),
+        fleet_mean_proc=sum(m.popularity * m.mean_proc for m in summaries),
+        tail_mean_rct=1.0, tail_mean_tax=0.3, tail_mean_queue=0.1,
+        tail_mean_wire=0.15, tail_mean_proc=0.05,
+        error_counts={StatusCode.CANCELLED: 0.9, StatusCode.NOT_FOUND: 0.1},
+        error_wasted_cycles={StatusCode.CANCELLED: 0.95,
+                             StatusCode.NOT_FOUND: 0.05},
+        total_calls_sampled=1000,
+    )
+
+
+@pytest.fixture()
+def tiny_fleet():
+    # Three methods: hot+fast, medium, cold+slow.
+    return make_fleet([
+        make_summary("fast", 1e-3, 0.7, queue_p99=0.5e-3, netstack_p99=2e-3),
+        make_summary("mid", 30e-3, 0.25, queue_p99=5e-3, netstack_p99=50e-3),
+        make_summary("slow", 1.0, 0.05, queue_p99=200e-3, netstack_p99=800e-3),
+    ])
+
+
+def test_fleet_tax_exact(tiny_fleet):
+    r = analyze_fleet_tax(tiny_fleet)
+    # tax fraction = sum(pop*mean_tax)/sum(pop*mean_rct) = 0.03/1.5 = 0.02
+    assert r.tax_fraction == pytest.approx(0.02)
+    f = r.component_fractions
+    assert f["network_wire"] == pytest.approx(0.01)
+    assert f["queueing"] == pytest.approx(0.02 / 3)
+    assert f["proc_stack"] == pytest.approx(0.01 / 3)
+    assert r.tail_tax_fraction == pytest.approx(0.3)
+
+
+def test_netstack_quantiles_exact(tiny_fleet):
+    r = analyze_netstack(tiny_fleet)
+    # Three methods: P99 netstack values are 2ms / 50ms / 800ms.
+    assert r.p99_quantiles[0.50] == pytest.approx(50e-3)
+    # With three methods, the 1%/99% quantiles interpolate slightly
+    # inward from the extreme methods.
+    assert r.p99_quantiles[0.01] == pytest.approx(2e-3, rel=0.5)
+    assert r.p99_quantiles[0.99] == pytest.approx(800e-3, rel=0.5)
+
+
+def test_queueing_fractions_exact(tiny_fleet):
+    r = analyze_queueing(tiny_fleet)
+    # Medians are p99/10: 0.05ms, 0.5ms, 20ms -> two of three <= 360us.
+    assert r.frac_median_under_360us == pytest.approx(1 / 3)
+    # P99s: 0.5ms, 5ms, 200ms -> all <= 102ms except the slow one.
+    assert r.frac_p99_under_102ms == pytest.approx(2 / 3)
+
+
+def test_popularity_shares_exact(tiny_fleet):
+    r = analyze_popularity(tiny_fleet)
+    assert r.top1_share == pytest.approx(0.7)
+    assert r.top10_share == pytest.approx(1.0)
+    # Time shares: pop*mean_rct = 1.05e-3, 11.25e-3, 75e-3.
+    slow_share = 75e-3 / (1.05e-3 + 11.25e-3 + 75e-3)
+    assert r.slowest_time_share == pytest.approx(slow_share)
+
+
+def test_method_cycles_bands(tiny_fleet):
+    r = analyze_method_cycles(tiny_fleet)
+    # All methods share the same cycles ladder: bands collapse.
+    lo, hi = r.p10_band
+    assert lo == pytest.approx(hi)
+    assert r.p99_over_median_median == pytest.approx(0.2 / 0.02)

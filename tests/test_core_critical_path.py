@@ -1,0 +1,77 @@
+"""Tests for the critical-path analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.critical_path import (
+    CriticalPath,
+    TraceSpan,
+    critical_path,
+    run_critical_path_study,
+    synthesize_trace,
+)
+
+
+def leaf(app=1.0, tax=0.1, depth=1):
+    return TraceSpan(method_id=0, depth=depth, local_app_s=app, tax_s=tax)
+
+
+def test_total_composes_parallel_children():
+    root = TraceSpan(method_id=0, depth=0, local_app_s=1.0, tax_s=0.5,
+                     children=[leaf(app=2.0), leaf(app=7.0), leaf(app=1.0)])
+    # Parent waits for the slowest child only.
+    assert root.total_s() == pytest.approx(0.5 + 1.0 + 7.1)
+
+
+def test_critical_path_follows_slowest_child():
+    slow = leaf(app=7.0)
+    root = TraceSpan(method_id=0, depth=0, local_app_s=1.0, tax_s=0.5,
+                     children=[leaf(app=2.0), slow])
+    path = critical_path(root)
+    assert path.spans == [root, slow]
+    assert path.depth == 2
+    assert path.app_s == pytest.approx(8.0)
+    assert path.tax_s == pytest.approx(0.6)
+    assert path.total_s == pytest.approx(root.total_s())
+
+
+def test_leaf_only_path():
+    node = leaf(app=3.0, tax=1.0, depth=0)
+    path = critical_path(node)
+    assert path.depth == 1
+    assert path.tax_fraction == pytest.approx(0.25)
+
+
+def test_deep_chain_accumulates_tax():
+    # A 5-level chain of identical spans: tax stacks per level.
+    node = leaf(app=1.0, tax=0.5, depth=4)
+    for d in (3, 2, 1, 0):
+        node = TraceSpan(method_id=0, depth=d, local_app_s=1.0, tax_s=0.5,
+                         children=[node])
+    path = critical_path(node)
+    assert path.depth == 5
+    assert path.tax_s == pytest.approx(2.5)
+    assert path.app_s == pytest.approx(5.0)
+
+
+def test_synthesize_trace_from_catalog(small_catalog):
+    from repro.core.calltree import build_generator
+    rng = np.random.default_rng(1)
+    gen = build_generator(small_catalog, max_nodes=200)
+    roots = [m for m in small_catalog.methods if m.layer < 3]
+    tree = gen.generate(roots[0].method_id, rng)
+    trace = synthesize_trace(small_catalog, tree, rng)
+    assert trace.total_s() > 0
+    assert trace.local_app_s >= 0 and trace.tax_s >= 0
+    # The composed total is at least the root's own pieces.
+    assert trace.total_s() >= trace.local_app_s + trace.tax_s
+
+
+def test_run_study_shapes(small_catalog):
+    r = run_critical_path_study(small_catalog, n_traces=40,
+                                rng=np.random.default_rng(2), max_nodes=400)
+    assert r.n_traces == 40
+    assert r.mean_depth >= 1.0
+    assert 0.0 < r.mean_tax_fraction < 1.0
+    assert r.mean_total_s > 0
+    assert r.render().startswith("Critical-path")

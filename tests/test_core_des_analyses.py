@@ -1,0 +1,269 @@
+"""Tests for the DES-based analyses (Figs. 14-19, 22) and the studies glue."""
+
+import numpy as np
+import pytest
+
+from repro.core.breakdown import (
+    analyze_cluster_breakdowns,
+    breakdown_cdf,
+    breakdown_cdf_for_service,
+    dominant_component,
+)
+from repro.core.crosscluster import analyze_cross_cluster
+from repro.core.errors import analyze_span_errors
+from repro.core.exogenous import (
+    EXOGENOUS_VARIABLES,
+    correlation,
+    diurnal_series,
+    exogenous_curve,
+)
+from repro.core.loadbalance import analyze_load_balance
+from repro.core.whatif import what_if_components, what_if_for_service
+from repro.net.latency import PathClass
+from repro.rpc.stack import APP_COMPONENT, COMPONENTS, ComponentMatrix
+
+
+# ----------------------------------------------------------------------
+# Fig. 14
+# ----------------------------------------------------------------------
+class TestBreakdownCdf:
+    def test_bigtable_application_dominant(self, service_study):
+        b = breakdown_cdf_for_service(service_study.dapper, "Bigtable",
+                                      "SearchValue")
+        assert b.dominant_at(50) == APP_COMPONENT
+        assert 0.2 < b.dominant_share_at(50) < 0.95
+
+    def test_kvstore_stack_dominant(self, service_study):
+        b = breakdown_cdf_for_service(service_study.dapper, "KVStore",
+                                      "SearchValue")
+        assert b.dominant_at(50) in ("response_proc_stack",
+                                     "request_proc_stack")
+
+    def test_ssdcache_queue_dominant_at_tail(self, service_study):
+        b = breakdown_cdf_for_service(service_study.dapper, "SSDCache",
+                                      "LookupStream")
+        assert b.dominant_at(95) == "server_recv_queue"
+
+    def test_totals_monotone_in_percentile(self, service_study):
+        b = breakdown_cdf_for_service(service_study.dapper, "Bigtable",
+                                      "SearchValue")
+        totals = b.component_values.sum(axis=1)
+        # Monotone up to bin-averaging noise.
+        assert totals[-1] > totals[0]
+        assert b.total_at(95) > b.total_at(50)
+
+    def test_p95_over_median_in_paper_band(self, service_study):
+        b = breakdown_cdf_for_service(service_study.dapper, "Bigtable",
+                                      "SearchValue")
+        assert 1.3 < b.p95_over_median() < 40
+        # Queue-heavy services have burst-driven tails: the ratio can far
+        # exceed the app-heavy band, but must still show a heavy tail.
+        b = breakdown_cdf_for_service(service_study.dapper, "SSDCache",
+                                      "LookupStream")
+        assert b.p95_over_median() > 1.3
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            breakdown_cdf(ComponentMatrix(np.zeros((0, 9))))
+
+    def test_render_contains_percentiles(self, service_study):
+        out = breakdown_cdf_for_service(service_study.dapper, "Bigtable",
+                                        "SearchValue").render()
+        assert "P95" in out
+
+    def test_dominant_component_helper(self):
+        values = np.zeros((5, 9))
+        values[:, COMPONENTS.index("server_recv_queue")] = 1.0
+        assert dominant_component(ComponentMatrix(values)) == "server_recv_queue"
+
+
+# ----------------------------------------------------------------------
+# Fig. 15
+# ----------------------------------------------------------------------
+class TestWhatIf:
+    def test_dominant_component_rescues_most_tail(self, service_study):
+        r = what_if_for_service(service_study.dapper, "SSDCache",
+                                "LookupStream")
+        # Queue-heavy service: fixing the recv queue rescues the most.
+        assert r.dominant() == "server_recv_queue"
+        assert r.percent_rescued["server_recv_queue"] > 20
+
+    def test_percentages_bounded(self, service_study):
+        r = what_if_for_service(service_study.dapper, "Bigtable",
+                                "SearchValue")
+        for v in r.percent_rescued.values():
+            assert 0.0 <= v <= 100.0
+
+    def test_synthetic_known_answer(self):
+        rng = np.random.default_rng(0)
+        values = np.zeros((1000, 9))
+        app_idx = COMPONENTS.index(APP_COMPONENT)
+        queue_idx = COMPONENTS.index("server_recv_queue")
+        values[:, app_idx] = 1.0
+        # Queue is zero except for ~4% of calls where it dominates (these
+        # are exactly the >P95 tail).
+        spikes = rng.random(1000) < 0.04
+        values[spikes, queue_idx] = 10.0
+        r = what_if_components(ComponentMatrix(values), tail_percentile=95.0)
+        assert r.percent_rescued["server_recv_queue"] == 100.0
+        assert r.percent_rescued[APP_COMPONENT] == 0.0
+
+    def test_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            what_if_components(ComponentMatrix(np.ones((5, 9))))
+
+
+# ----------------------------------------------------------------------
+# Fig. 16
+# ----------------------------------------------------------------------
+class TestClusterBreakdowns:
+    def test_spread_across_clusters(self, multi_cluster_study):
+        r = analyze_cluster_breakdowns(multi_cluster_study.dapper,
+                                       "Bigtable", "SearchValue")
+        assert len(r.clusters) >= 2
+        assert r.spread >= 1.0
+        # P95 totals sorted ascending by construction.
+        totals = r.totals()
+        assert np.all(np.diff(totals) >= 0)
+
+    def test_requires_multiple_clusters(self, service_study):
+        with pytest.raises(ValueError):
+            analyze_cluster_breakdowns(service_study.dapper, "Bigtable",
+                                       "SearchValue")
+
+
+# ----------------------------------------------------------------------
+# Fig. 17-18
+# ----------------------------------------------------------------------
+class TestExogenous:
+    def test_curve_buckets_and_totals(self, multi_cluster_study):
+        spans = multi_cluster_study.dapper.spans_for_method("Bigtable",
+                                                            "SearchValue")
+        r = exogenous_curve(spans, "exo_cpu_util", n_buckets=5)
+        assert len(r.bucket_centers) >= 3
+        assert np.all(r.totals() > 0)
+        assert np.all(np.diff(r.bucket_centers) > 0)
+
+    def test_cpu_util_positively_correlates(self, multi_cluster_study):
+        """The paper's Fig. 17 headline for an app-heavy service: latency
+        rises with server CPU utilization."""
+        spans = multi_cluster_study.dapper.spans_for_method("Bigtable",
+                                                            "SearchValue")
+        r = exogenous_curve(spans, "exo_cpu_util", n_buckets=6)
+        assert r.correlation > 0.1
+
+    def test_cpi_positively_correlates(self, multi_cluster_study):
+        spans = multi_cluster_study.dapper.spans_for_method("Bigtable",
+                                                            "SearchValue")
+        r = exogenous_curve(spans, "exo_cycles_per_inst", n_buckets=6)
+        assert r.correlation > 0.1
+
+    def test_unknown_variable_rejected(self, multi_cluster_study):
+        spans = multi_cluster_study.dapper.spans_for_method("Bigtable",
+                                                            "SearchValue")
+        with pytest.raises(KeyError):
+            exogenous_curve(spans, "bogus")
+
+    def test_diurnal_series_windows(self, multi_cluster_study):
+        spans = multi_cluster_study.dapper.spans_for_method("Bigtable",
+                                                            "SearchValue")
+        cluster = spans[0].server_cluster
+        r = diurnal_series(spans, cluster, window_s=0.25)
+        assert len(r.window_starts) >= 4
+        assert set(r.correlations) == set(EXOGENOUS_VARIABLES)
+
+    def test_correlation_helper_degenerate(self):
+        assert correlation(np.array([1.0, 1.0]), np.array([1.0, 2.0])) == 0.0
+        assert correlation(np.array([1.0]), np.array([1.0])) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Fig. 19
+# ----------------------------------------------------------------------
+class TestCrossCluster:
+    def test_distance_staircase(self, cross_study):
+        home = cross_study.fleet.clusters[0].name
+        r = analyze_cross_cluster(
+            cross_study.dapper, "Spanner", "ReadRows",
+            cross_study.network, cross_study.clusters_by_name(), home,
+            min_spans=20,
+        )
+        assert len(r.client_clusters) >= 3
+        # Totals sorted ascending; the same-cluster client is fastest.
+        totals = r.totals()
+        assert np.all(np.diff(totals) >= 0)
+        assert r.path_classes[0] == PathClass.SAME_CLUSTER
+
+    def test_wire_share_grows_with_distance(self, cross_study):
+        home = cross_study.fleet.clusters[0].name
+        r = analyze_cross_cluster(
+            cross_study.dapper, "Spanner", "ReadRows",
+            cross_study.network, cross_study.clusters_by_name(), home,
+            min_spans=20,
+        )
+        wan = [i for i, c in enumerate(r.path_classes) if c == PathClass.WAN]
+        local = [i for i, c in enumerate(r.path_classes)
+                 if c == PathClass.SAME_CLUSTER]
+        if wan and local:
+            assert r.wire_fraction[wan[-1]] > r.wire_fraction[local[0]]
+            assert r.wire_fraction[wan[-1]] > 0.5  # network dominates far away
+
+    def test_median_wan_wire_tracks_propagation(self, cross_study):
+        """§3.3.5: median cross-cluster latency ~= wire propagation (the
+        typical WAN RPC is not congested)."""
+        home = cross_study.fleet.clusters[0].name
+        r = analyze_cross_cluster(
+            cross_study.dapper, "Spanner", "ReadRows",
+            cross_study.network, cross_study.clusters_by_name(), home,
+            min_spans=20,
+        )
+        ratios = r.median_wire_vs_propagation()
+        for pc, ratio in zip(r.path_classes, ratios):
+            if pc == PathClass.WAN:
+                assert 0.7 < ratio < 1.8
+
+
+# ----------------------------------------------------------------------
+# Fig. 22
+# ----------------------------------------------------------------------
+class TestLoadBalance:
+    def test_cluster_vs_machine_spread(self, multi_cluster_study):
+        r = analyze_load_balance(multi_cluster_study.monarch, "Bigtable")
+        assert len(r.cluster_usage) == 3
+        assert np.all(r.cluster_usage >= 0)
+        assert r.mean_machine_spread >= 0
+
+    def test_missing_service_rejected(self, multi_cluster_study):
+        with pytest.raises(ValueError):
+            analyze_load_balance(multi_cluster_study.monarch, "Nope")
+
+
+# ----------------------------------------------------------------------
+# Error mix from spans
+# ----------------------------------------------------------------------
+def test_span_error_mix(service_study):
+    r = analyze_span_errors(service_study.dapper.spans)
+    # No error model was configured in the fixture: error rate ~0.
+    assert r.error_rate == pytest.approx(0.0, abs=0.01)
+
+
+# ----------------------------------------------------------------------
+# Studies glue
+# ----------------------------------------------------------------------
+class TestStudies:
+    def test_all_services_recorded(self, service_study):
+        services = {s.service for s in service_study.dapper.spans}
+        assert services == {"Bigtable", "SSDCache", "KVStore"}
+
+    def test_monarch_scraped_exogenous(self, service_study):
+        keys = service_study.monarch.series_keys("machine/cpu_util")
+        assert keys
+
+    def test_gwp_attributed(self, service_study):
+        assert service_study.gwp.rpcs_profiled > 100
+        assert service_study.gwp.cycle_tax_fraction() > 0
+
+    def test_unknown_service_rejected(self):
+        from repro.studies import run_service_study
+        with pytest.raises(KeyError):
+            run_service_study(services=["Bogus"], duration_s=0.1)

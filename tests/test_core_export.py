@@ -1,0 +1,78 @@
+"""Tests for the figure-data CSV export."""
+
+import csv
+import os
+
+import pytest
+
+from repro.core.export import FIGURE_FILES, export_fleet_figures
+
+
+@pytest.fixture(scope="module")
+def exported(fleet_sample, tmp_path_factory):
+    outdir = str(tmp_path_factory.mktemp("figures"))
+    paths = export_fleet_figures(fleet_sample, outdir)
+    return outdir, paths
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def test_all_figure_files_written(exported):
+    outdir, paths = exported
+    names = {os.path.basename(p) for p in paths}
+    assert names == set(FIGURE_FILES)
+    for p in paths:
+        assert os.path.getsize(p) > 0
+
+
+def test_heatmap_sorted_by_median(exported, fleet_sample):
+    outdir, _ = exported
+    header, rows = read_csv(os.path.join(outdir, "fig02_latency_heatmap.csv"))
+    assert header[:3] == ["method", "service", "popularity"]
+    p50_idx = header.index("p50")
+    medians = [float(r[p50_idx]) for r in rows]
+    assert medians == sorted(medians)
+    assert len(rows) == len(fleet_sample.methods)
+
+
+def test_percentiles_monotone_within_rows(exported):
+    outdir, _ = exported
+    header, rows = read_csv(os.path.join(outdir, "fig02_latency_heatmap.csv"))
+    p_cols = [i for i, h in enumerate(header) if h.startswith("p")
+              and h != "popularity"]
+    for r in rows[:100]:
+        vals = [float(r[i]) for i in p_cols]
+        assert vals == sorted(vals)
+
+
+def test_popularity_sums_to_one(exported):
+    outdir, _ = exported
+    header, rows = read_csv(os.path.join(outdir, "fig03_popularity.csv"))
+    total = sum(float(r[header.index("popularity")]) for r in rows)
+    assert total == pytest.approx(1.0, rel=1e-6)
+
+
+def test_service_shares_columns(exported):
+    outdir, _ = exported
+    header, rows = read_csv(os.path.join(outdir, "fig08_service_shares.csv"))
+    assert header == ["service", "calls", "bytes", "cycles"]
+    calls = [float(r[1]) for r in rows]
+    assert sum(calls) == pytest.approx(1.0, rel=1e-6)
+    assert calls == sorted(calls, reverse=True)
+
+
+def test_fleet_tax_has_both_views(exported):
+    outdir, _ = exported
+    header, rows = read_csv(os.path.join(outdir, "fig10_fleet_tax.csv"))
+    views = {r[0] for r in rows}
+    assert views == {"average", "p95_tail"}
+
+
+def test_errors_shares_normalized(exported):
+    outdir, _ = exported
+    header, rows = read_csv(os.path.join(outdir, "fig23_errors.csv"))
+    assert sum(float(r[1]) for r in rows) == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,71 @@
+"""Tests for the ASCII heatmap/CDF renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.heatmap import render_cdf, render_heatmap
+from repro.core.stats import MethodPercentiles
+
+
+def make_grid(n=50):
+    rng = np.random.default_rng(0)
+    medians = np.sort(rng.lognormal(np.log(10e-3), 1.0, n))
+    grid = np.empty((n, 5))
+    for i, m in enumerate(medians):
+        grid[i] = [m * 0.05, m * 0.3, m, m * 4, m * 20]
+    return MethodPercentiles([f"m{i}" for i in range(n)],
+                             (1, 10, 50, 90, 99), grid)
+
+
+def test_heatmap_structure():
+    out = render_heatmap(make_grid(), title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert any("@" in line for line in lines)       # medians plotted
+    assert any("." in line for line in lines)       # envelope plotted
+    assert "sorted by median" in lines[-1]
+
+
+def test_heatmap_downsamples_wide_grids():
+    out = render_heatmap(make_grid(500), width=40)
+    body = [l for l in out.splitlines() if "|" in l]
+    assert all(len(l) <= 51 for l in body)
+
+
+def test_heatmap_requires_needed_percentiles():
+    g = MethodPercentiles(["a"], (50,), np.array([[1.0]]))
+    with pytest.raises(ValueError):
+        render_heatmap(g)
+
+
+def test_heatmap_empty_rejected():
+    g = MethodPercentiles([], (1, 10, 50, 90, 99), np.zeros((0, 5)))
+    with pytest.raises(ValueError):
+        render_heatmap(g)
+
+
+def test_median_band_monotone_up_the_columns():
+    """Medians rise left to right: the '@' rows must not descend."""
+    out = render_heatmap(make_grid(), height=12)
+    rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+    # Row index (from top) of each column's '@'.
+    positions = {}
+    for r, line in enumerate(rows):
+        for c, ch in enumerate(line):
+            if ch == "@" and c not in positions:
+                positions[c] = r
+    cols = sorted(positions)
+    tops = [positions[c] for c in cols]
+    # Non-increasing row index (top row = 0) => non-decreasing latency.
+    assert all(a >= b for a, b in zip(tops, tops[1:]))
+
+
+def test_cdf_render():
+    out = render_cdf(np.linspace(1e-3, 1.0, 200), title="CDF")
+    assert out.splitlines()[0] == "CDF"
+    assert "#" in out
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        render_cdf([])

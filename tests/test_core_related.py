@@ -1,0 +1,46 @@
+"""Tests for the §2.4 cross-study comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.calltree import run_tree_study
+from repro.core.related import (
+    ALIBABA,
+    DEATHSTARBENCH,
+    META,
+    RelatedWorkComparison,
+    compare_with_related_studies,
+)
+
+
+def test_published_bands_sane():
+    for pub in (ALIBABA, META, DEATHSTARBENCH):
+        assert pub.depth_p99_range[0] <= pub.depth_p99_range[1]
+        assert pub.size_median_range[0] <= pub.size_p99_range[1]
+
+
+def test_comparison_predicates():
+    c = RelatedWorkComparison(ours_depth_p99=8, ours_max_depth=14,
+                              ours_size_median=13, ours_size_p99=1200)
+    assert c.wider_than_deep()
+    assert c.exceeds_benchmark_suite_tail()
+    assert c.depth_consistent_with_meta()
+
+
+def test_narrow_tree_fails_predicates():
+    c = RelatedWorkComparison(ours_depth_p99=10, ours_max_depth=40,
+                              ours_size_median=5, ours_size_p99=12)
+    assert not c.wider_than_deep()
+    assert not c.exceeds_benchmark_suite_tail()
+    assert not c.depth_consistent_with_meta()
+
+
+def test_comparison_from_tree_study(small_catalog):
+    trees = run_tree_study(small_catalog, n_trees=120,
+                           rng=np.random.default_rng(3), max_nodes=5000)
+    c = compare_with_related_studies(trees)
+    # The paper's qualitative relations must hold for our fleet too.
+    assert c.wider_than_deep()
+    assert c.depth_consistent_with_meta()
+    out = c.render()
+    assert "Alibaba" in out and "Meta" in out and "DSB" in out

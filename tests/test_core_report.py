@@ -1,0 +1,60 @@
+"""Tests for the table/format helpers."""
+
+import pytest
+
+from repro.core.report import (
+    fmt_bytes,
+    fmt_num,
+    fmt_percent,
+    fmt_seconds,
+    format_table,
+)
+
+
+@pytest.mark.parametrize("value,expected", [
+    (5e-7, "0.5us"),
+    (250e-6, "250.0us"),
+    (1.5e-3, "1.50ms"),
+    (0.25, "250.00ms"),
+    (2.5, "2.50s"),
+])
+def test_fmt_seconds(value, expected):
+    assert fmt_seconds(value) == expected
+
+
+def test_fmt_seconds_negative():
+    assert fmt_seconds(-1.5e-3) == "-1.50ms"
+
+
+@pytest.mark.parametrize("value,expected", [
+    (64, "64B"),
+    (1530, "1.5KB"),
+    (11.8e3, "11.5KB"),
+    (2 * 1024**2, "2.00MB"),
+])
+def test_fmt_bytes(value, expected):
+    assert fmt_bytes(value) == expected
+
+
+def test_fmt_percent():
+    assert fmt_percent(0.02) == "2.00%"
+    assert fmt_percent(0.505, digits=1) == "50.5%"
+
+
+def test_fmt_num():
+    assert fmt_num(3.14159, 3) == "3.14"
+
+
+def test_format_table_alignment():
+    out = format_table(("a", "bb"), [("x", 1.0), ("yy", 22.5)], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # Columns aligned: all rows same length.
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [("only-one",)])

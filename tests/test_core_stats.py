@@ -1,0 +1,94 @@
+"""Tests for the percentile-grid machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    MethodPercentiles,
+    cdf_points,
+    percentile_grid,
+    weighted_mean,
+)
+
+
+def test_cdf_points_monotone():
+    x, f = cdf_points([3.0, 1.0, 2.0, 5.0], n_points=20)
+    assert np.all(np.diff(x) >= 0)
+    assert f[0] == 0.0 and f[-1] == 1.0
+
+
+def test_cdf_points_empty():
+    x, f = cdf_points([])
+    assert len(x) == 0 and len(f) == 0
+
+
+def test_weighted_mean():
+    assert weighted_mean(np.array([1.0, 3.0]), np.array([1.0, 1.0])) == 2.0
+    assert weighted_mean(np.array([1.0, 3.0]), np.array([3.0, 1.0])) == 1.5
+    with pytest.raises(ValueError):
+        weighted_mean(np.array([1.0]), np.array([0.0]))
+
+
+def make_grid():
+    samples = {
+        "slow": np.linspace(10, 100, 1000),
+        "fast": np.linspace(1, 10, 1000),
+        "mid": np.linspace(5, 50, 1000),
+    }
+    return percentile_grid(samples, percentiles=(1, 50, 99))
+
+
+def test_grid_sorted_by_median():
+    g = make_grid()
+    assert g.names == ["fast", "mid", "slow"]
+    medians = g.column(50)
+    assert np.all(np.diff(medians) >= 0)
+
+
+def test_grid_column_lookup():
+    g = make_grid()
+    assert g.column(99)[0] == pytest.approx(9.91, rel=0.01)
+    with pytest.raises(KeyError):
+        g.column(90)
+
+
+def test_quantile_of():
+    g = make_grid()
+    # The median method's P99 is "mid"'s P99.
+    assert g.quantile_of(99, 0.5) == pytest.approx(49.6, rel=0.02)
+
+
+def test_fraction_of_methods():
+    g = make_grid()
+    assert g.fraction_of_methods(50, at_most=6.0) == pytest.approx(1 / 3)
+    assert g.fraction_of_methods(50, at_least=6.0) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        g.fraction_of_methods(50)
+    with pytest.raises(ValueError):
+        g.fraction_of_methods(50, at_least=1, at_most=2)
+
+
+def test_min_samples_filter():
+    samples = {"rich": np.arange(200.0), "poor": np.arange(5.0)}
+    g = percentile_grid(samples, percentiles=(50,), min_samples=100)
+    assert g.names == ["rich"]
+
+
+def test_grid_shape_validation():
+    with pytest.raises(ValueError):
+        MethodPercentiles(["a"], (50,), np.zeros((2, 1)))
+
+
+@given(st.lists(
+    st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=10, max_size=50),
+    min_size=1, max_size=10,
+))
+@settings(max_examples=40, deadline=None)
+def test_grid_percentiles_monotone_property(method_samples):
+    samples = {f"m{i}": np.array(v) for i, v in enumerate(method_samples)}
+    g = percentile_grid(samples, percentiles=(1, 50, 99))
+    # Within every method, P1 <= P50 <= P99.
+    assert np.all(g.grid[:, 0] <= g.grid[:, 1] + 1e-9)
+    assert np.all(g.grid[:, 1] <= g.grid[:, 2] + 1e-9)

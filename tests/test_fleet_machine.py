@@ -1,0 +1,114 @@
+"""Tests for the machine model and exogenous-state process."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.machine import DAY_SECONDS, Machine, MachineProfile
+from repro.fleet.topology import Cluster, Datacenter, Region
+from repro.sim.engine import Simulator
+
+
+def make_cluster(speed_factor: float = 1.0) -> Cluster:
+    region = Region("r", 0.0, 0.0)
+    dc = Datacenter("r-dc0", region)
+    return Cluster("r-dc0-c0", dc, 0, speed_factor=speed_factor)
+
+
+def make_machine(sim=None, **profile_kwargs) -> Machine:
+    sim = sim or Simulator()
+    return Machine(sim, make_cluster(), 0,
+                   profile=MachineProfile(**profile_kwargs),
+                   rng=np.random.default_rng(7))
+
+
+def test_exogenous_fields_in_range():
+    m = make_machine()
+    for t in np.linspace(0, 2 * DAY_SECONDS, 50):
+        exo = m.exogenous(t)
+        assert 0.0 <= exo.cpu_util <= 1.0
+        assert 0.0 < exo.memory_bw_gbps <= m.profile.memory_bw_capacity_gbps
+        assert 0.0 <= exo.long_wakeup_rate <= 1.0
+        assert exo.cycles_per_inst >= m.profile.base_cpi
+
+
+def test_background_util_diurnal_variation():
+    m = make_machine(diurnal_amplitude=0.2, noise_amplitude=0.0)
+    utils = [m.background_util(t) for t in np.linspace(0, DAY_SECONDS, 200)]
+    assert max(utils) - min(utils) > 0.25  # ~2x the amplitude
+
+
+def test_exogenous_deterministic_function_of_time():
+    sim = Simulator()
+    m = make_machine(sim)
+    a = m.exogenous(1234.0)
+    b = m.exogenous(1234.0)
+    assert a == b
+
+
+def test_exogenous_cache_respects_buckets():
+    m = make_machine()
+    a = m.exogenous(10.0)
+    b = m.exogenous(10.9)  # different 0.5s bucket -> recomputed
+    assert isinstance(b, type(a))
+
+
+def test_service_multiplier_at_least_cpi_floor():
+    m = make_machine()
+    assert m.service_multiplier(0.0) >= 1.0
+
+
+def test_busy_machine_is_slower():
+    hot = make_machine(background_util_mean=0.9, diurnal_amplitude=0.0,
+                       noise_amplitude=0.0)
+    cold = make_machine(background_util_mean=0.05, diurnal_amplitude=0.0,
+                        noise_amplitude=0.0)
+    assert hot.service_multiplier(0.0) > cold.service_multiplier(0.0)
+
+
+def test_reserved_cores_damp_coupling():
+    hot_kwargs = dict(background_util_mean=0.9, diurnal_amplitude=0.0,
+                      noise_amplitude=0.0)
+    shared = make_machine(**hot_kwargs)
+    reserved = make_machine(reserved_cores=True, **hot_kwargs)
+    assert reserved.service_multiplier(0.0) < shared.service_multiplier(0.0)
+
+
+def test_slow_cluster_pressure_raises_util():
+    sim = Simulator()
+    rng = np.random.default_rng(7)
+    fast = Machine(sim, make_cluster(speed_factor=1.0), 0,
+                   profile=MachineProfile(noise_amplitude=0.0,
+                                          diurnal_amplitude=0.0),
+                   rng=np.random.default_rng(7))
+    slow = Machine(sim, make_cluster(speed_factor=3.0), 0,
+                   profile=MachineProfile(noise_amplitude=0.0,
+                                          diurnal_amplitude=0.0),
+                   rng=np.random.default_rng(7))
+    assert slow.background_util(0.0) > fast.background_util(0.0)
+
+
+def test_execute_inflates_service_time():
+    sim = Simulator()
+    m = make_machine(sim, background_util_mean=0.9, diurnal_amplitude=0.0,
+                     noise_amplitude=0.0)
+    done = []
+    m.execute(1.0, on_done=lambda w: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1
+    assert done[0] > 1.0  # CPI inflation
+
+
+def test_rpc_util_reflects_busy_pool():
+    sim = Simulator()
+    m = make_machine(sim, cores=2)
+    assert m.rpc_util() == 0.0
+    m.execute(1.0, on_done=lambda w: None)
+    assert m.rpc_util() == pytest.approx(0.5)
+    sim.run()
+    assert m.rpc_util() == 0.0
+
+
+def test_sample_wakeup_nonnegative():
+    m = make_machine()
+    for _ in range(50):
+        assert m.sample_wakeup(0.0) >= 0.0

@@ -1,0 +1,51 @@
+"""Tests for the thread-wakeup model (Table 2's long-wakeup rate)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.scheduler import LONG_WAKEUP_THRESHOLD_S, WakeupModel
+
+RNG = np.random.default_rng(11)
+
+
+def test_long_rate_monotone_in_utilization():
+    m = WakeupModel()
+    rates = [m.long_rate(u) for u in np.linspace(0, 1, 21)]
+    assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+def test_long_rate_bounds():
+    m = WakeupModel()
+    assert m.long_rate(-1.0) >= 0.0
+    assert m.long_rate(0.0) >= m.base_long_rate * 0.5
+    assert m.long_rate(2.0) <= m.max_long_rate + 1e-9
+
+
+def test_hockey_stick_shape():
+    """Flat below the knee, steep above it."""
+    m = WakeupModel()
+    low_slope = m.long_rate(0.3) - m.long_rate(0.1)
+    knee_slope = m.long_rate(0.85) - m.long_rate(0.65)
+    assert knee_slope > 5 * low_slope
+
+
+def test_sampled_long_fraction_tracks_rate():
+    m = WakeupModel()
+    for util in (0.2, 0.8):
+        delays = m.sample(RNG, util, 60_000)
+        long_frac = (delays > LONG_WAKEUP_THRESHOLD_S).mean()
+        # ~86% of slow-path draws (lognormal median 150us, sigma 1.0) clear
+        # the 50us threshold; fast-path draws essentially never do.
+        assert 0.6 * m.long_rate(util) < long_frac < 1.05 * m.long_rate(util)
+
+
+def test_delays_positive():
+    delays = WakeupModel().sample(RNG, 0.9, 1000)
+    assert np.all(delays > 0)
+
+
+def test_busy_machines_wake_slower_on_average():
+    m = WakeupModel()
+    idle = m.sample(RNG, 0.1, 50_000).mean()
+    busy = m.sample(RNG, 0.95, 50_000).mean()
+    assert busy > 3 * idle

@@ -1,0 +1,93 @@
+"""Tests for the fleet topology."""
+
+import pytest
+
+from repro.fleet.topology import (
+    FleetSpec,
+    Region,
+    build_fleet,
+    distance_km,
+)
+
+
+def test_default_fleet_counts():
+    fleet = build_fleet(FleetSpec())
+    spec = FleetSpec()
+    assert len(fleet.regions) == len(spec.sites)
+    assert len(fleet.datacenters) == len(spec.sites) * spec.datacenters_per_region
+    assert len(fleet.clusters) == (
+        len(spec.sites) * spec.datacenters_per_region
+        * spec.clusters_per_datacenter
+    )
+    assert len(fleet) == len(fleet.clusters)
+
+
+def test_cluster_lookup_by_name():
+    fleet = build_fleet(FleetSpec())
+    c = fleet.clusters[0]
+    assert fleet.cluster(c.name) is c
+
+
+def test_cluster_names_unique():
+    fleet = build_fleet(FleetSpec())
+    names = [c.name for c in fleet.clusters]
+    assert len(names) == len(set(names))
+
+
+def test_cluster_indices_sequential():
+    fleet = build_fleet(FleetSpec())
+    assert [c.index for c in fleet.clusters] == list(range(len(fleet.clusters)))
+
+
+def test_build_is_deterministic_per_seed():
+    a = build_fleet(FleetSpec(), seed=3)
+    b = build_fleet(FleetSpec(), seed=3)
+    assert [c.speed_factor for c in a.clusters] == [c.speed_factor for c in b.clusters]
+    c = build_fleet(FleetSpec(), seed=4)
+    assert [x.speed_factor for x in a.clusters] != [x.speed_factor for x in c.clusters]
+
+
+def test_speed_factor_heterogeneity_spread():
+    fleet = build_fleet(FleetSpec(clusters_per_datacenter=10), seed=0)
+    factors = [c.speed_factor for c in fleet.clusters]
+    # §3.3.3 reports 1.24-10x cross-cluster spread; the generator should
+    # produce at least a ~2x spread with enough clusters.
+    assert max(factors) / min(factors) > 2.0
+
+
+def test_speed_sigma_zero_disables_heterogeneity():
+    fleet = build_fleet(FleetSpec(cluster_speed_sigma=0.0))
+    assert all(c.speed_factor == 1.0 for c in fleet.clusters)
+
+
+def test_distance_symmetric_and_zero_on_self():
+    a = Region("a", 0.0, 0.0)
+    b = Region("b", 3.0, 4.0)
+    assert distance_km(a, b) == pytest.approx(5.0)
+    assert distance_km(b, a) == pytest.approx(5.0)
+    assert distance_km(a, a) == 0.0
+
+
+def test_clusters_in_region():
+    fleet = build_fleet(FleetSpec())
+    region = fleet.regions[0]
+    clusters = fleet.clusters_in_region(region)
+    spec = FleetSpec()
+    assert len(clusters) == spec.datacenters_per_region * spec.clusters_per_datacenter
+    assert all(c.region is region for c in clusters)
+
+
+def test_iter_cluster_pairs_count():
+    fleet = build_fleet(FleetSpec(datacenters_per_region=1,
+                                  clusters_per_datacenter=1))
+    n = len(fleet.clusters)
+    pairs = list(fleet.iter_cluster_pairs())
+    assert len(pairs) == n * (n - 1) // 2
+
+
+def test_max_distance_spans_continents():
+    fleet = build_fleet(FleetSpec())
+    dmax = max(
+        distance_km(a.region, b.region) for a, b in fleet.iter_cluster_pairs()
+    )
+    assert dmax > 15_000  # km: inter-continental

@@ -1,0 +1,84 @@
+"""End-to-end integration: every Tier-A analysis renders from one study.
+
+This is the "does the whole pipeline hold together" test: one catalog, one
+fleet study, every fleet-wide analysis computed and rendered, and the
+cross-analysis consistency relations that must hold between figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import analyze_cycle_tax, analyze_method_cycles
+from repro.core.errors import analyze_errors
+from repro.core.latency import analyze_latency_distribution
+from repro.core.popularity import analyze_popularity
+from repro.core.services import analyze_services
+from repro.core.sizes import analyze_sizes
+from repro.core.tax import (
+    analyze_fleet_tax,
+    analyze_netstack,
+    analyze_queueing,
+    analyze_tax_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def analyses(fleet_sample):
+    return {
+        "latency": analyze_latency_distribution(fleet_sample),
+        "popularity": analyze_popularity(fleet_sample),
+        "sizes": analyze_sizes(fleet_sample),
+        "services": analyze_services(fleet_sample),
+        "tax": analyze_fleet_tax(fleet_sample),
+        "tax_ratio": analyze_tax_ratio(fleet_sample),
+        "netstack": analyze_netstack(fleet_sample),
+        "queueing": analyze_queueing(fleet_sample),
+        "cycles": analyze_cycle_tax(fleet_sample.gwp),
+        "method_cycles": analyze_method_cycles(fleet_sample),
+        "errors": analyze_errors(fleet_sample),
+    }
+
+
+def test_every_analysis_renders(analyses):
+    for name, result in analyses.items():
+        text = result.render()
+        assert isinstance(text, str) and len(text) > 40, name
+        assert "paper" in text or "measured" in text, name
+
+
+def test_figures_are_mutually_consistent(fleet_sample, analyses):
+    # Fig 10's fleet tax equals the sum of its own component fractions.
+    tax = analyses["tax"]
+    assert sum(tax.component_fractions.values()) == pytest.approx(
+        tax.tax_fraction, rel=1e-9
+    )
+    # Fig 11's per-method ratios and Fig 10's fleet ratio describe the
+    # same quantity at different weightings: both must be genuine
+    # fractions.
+    assert 0 < analyses["tax_ratio"].median_method_median_ratio < 1
+    assert 0 < tax.tax_fraction < 1
+
+    # Fig 13's queueing is a subset of Fig 11's tax: per method,
+    # queue P99 <= tax-implied RCT P99.
+    for m in fleet_sample.methods[:50]:
+        assert m.pct("queueing", 99) <= m.pct("rct", 99) + 1e-12
+
+    # Fig 12's wire+stack is similarly bounded by the completion time.
+    for m in fleet_sample.methods[:50]:
+        assert m.pct("netstack", 99) <= m.pct("rct", 99) + 1e-12
+
+    # Fig 3 and Fig 8: service call shares and method popularity are one
+    # distribution rolled up two ways.
+    services_total = sum(v["calls"] for v in
+                         analyses["services"].shares.values())
+    assert services_total == pytest.approx(1.0, rel=1e-6)
+    assert fleet_sample.popularity().sum() == pytest.approx(1.0, rel=1e-6)
+
+
+def test_gwp_and_summaries_agree_on_scale(fleet_sample):
+    # GWP's popularity-weighted application total equals the summaries'
+    # weighted mean app cycles (same attribution, two bookkeepers).
+    summary_app = sum(m.popularity * m.mean_app_cycles
+                      for m in fleet_sample.methods)
+    gwp_app = fleet_sample.gwp.totals["application"]
+    assert gwp_app == pytest.approx(summary_app, rel=0.05)

@@ -1,0 +1,81 @@
+"""Tests for nested (multi-tier) DES execution."""
+
+import numpy as np
+import pytest
+
+from repro.studies import run_multitier_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_multitier_study(duration_s=1.5, frontend_rps=120.0, seed=41)
+
+
+def test_traces_are_trees(study):
+    traces = study.dapper.traces()
+    assert len(traces) > 50
+    multi = [t for t in traces.values() if len(t) > 1]
+    assert len(multi) > 0.9 * len(traces)
+    for spans in list(traces.values())[:50]:
+        ids = {s.span_id for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1
+        # Every non-root span's parent is in the same trace.
+        for s in spans:
+            if s.parent_id is not None:
+                assert s.parent_id in ids
+
+
+def test_three_levels_present(study):
+    services_by_depth = {}
+    traces = study.dapper.traces()
+    for spans in traces.values():
+        by_id = {s.span_id: s for s in spans}
+
+        def depth(s):
+            d = 0
+            while s.parent_id is not None:
+                s = by_id[s.parent_id]
+                d += 1
+            return d
+
+        for s in spans:
+            services_by_depth.setdefault(depth(s), set()).add(s.service)
+    assert "Frontend" in services_by_depth.get(0, set())
+    assert "Bigtable" in services_by_depth.get(1, set())
+    assert "NetworkDisk" in services_by_depth.get(2, set())
+
+
+def test_parent_application_includes_child_waits(study):
+    traces = study.dapper.traces()
+    checked = 0
+    for spans in traces.values():
+        roots = [s for s in spans if s.parent_id is None]
+        if not roots:
+            continue
+        root = roots[0]
+        kids = [s for s in spans if s.parent_id == root.span_id]
+        if not kids:
+            continue
+        # §2.1: nested call time is folded into the parent's application
+        # component (waits run in parallel, so >= the slowest child).
+        slowest = max(k.completion_time for k in kids)
+        assert root.breakdown.server_application >= 0.8 * slowest
+        checked += 1
+        if checked >= 30:
+            break
+    assert checked > 10
+
+
+def test_frontend_slower_than_leaves(study):
+    fe = [s.completion_time for s in study.dapper.spans
+          if s.service == "Frontend"]
+    disk = [s.completion_time for s in study.dapper.spans
+            if s.service == "NetworkDisk"]
+    assert np.median(fe) > np.median(disk)
+
+
+def test_trace_sizes_match_fanout_configuration(study):
+    sizes = [len(v) for v in study.dapper.traces().values()]
+    # 1 root + ~3 bigtable + ~2 kv + ~3*2 disk ~ 12 spans typical.
+    assert 5 < np.median(sizes) < 25

@@ -1,0 +1,74 @@
+"""Tests for congestion episodes and the flow transfer model."""
+
+import numpy as np
+import pytest
+
+from repro.net.congestion import CongestionModel
+from repro.net.flows import MTU_BYTES, FlowModel
+
+RNG = np.random.default_rng(9)
+
+
+class TestCongestion:
+    def test_most_samples_are_zero(self):
+        m = CongestionModel(base_probability=0.02, modulation_depth=0.0)
+        x = m.sample(RNG, 50_000)
+        assert abs((x > 0).mean() - 0.02) < 0.005
+
+    def test_probability_modulates_over_time(self):
+        m = CongestionModel(base_probability=0.02, modulation_depth=1.0,
+                            modulation_period_s=100.0)
+        probs = [m.probability(t) for t in np.linspace(0, 100, 50)]
+        assert max(probs) > 1.5 * m.base_probability
+        assert min(probs) < 0.5 * m.base_probability
+
+    def test_probability_clamped_to_unit_interval(self):
+        m = CongestionModel(base_probability=0.9, modulation_depth=1.0)
+        for t in np.linspace(0, 1000, 100):
+            assert 0.0 <= m.probability(t) <= 1.0
+
+    def test_congested_delays_positive_and_heavy(self):
+        m = CongestionModel(base_probability=1.0, modulation_depth=0.0,
+                            delay_median_s=1e-3, delay_sigma=1.5)
+        x = m.sample(RNG, 20_000)
+        assert np.all(x > 0)
+        assert np.median(x) == pytest.approx(1e-3, rel=0.1)
+        assert np.percentile(x, 99) > 10e-3
+
+    def test_sample_one_scalar(self):
+        m = CongestionModel(base_probability=0.5)
+        v = m.sample_one(RNG)
+        assert isinstance(v, float)
+
+
+class TestFlows:
+    def test_zero_size_single_packet(self):
+        f = FlowModel()
+        assert f.packets(0) == 1
+        assert f.packets(-5) == 1
+
+    def test_packet_count_ceils(self):
+        f = FlowModel()
+        assert f.packets(1) == 1
+        assert f.packets(MTU_BYTES) == 1
+        assert f.packets(MTU_BYTES + 1) == 2
+        assert f.packets(10 * MTU_BYTES) == 10
+
+    def test_transfer_time_scales_with_size(self):
+        f = FlowModel(effective_gbps=8.0)
+        t1 = f.transfer_time_s(1_000)
+        t2 = f.transfer_time_s(1_000_000)
+        assert t2 > 100 * t1 * 0.5
+        # 1 MB at 8 Gbps is 1 ms of serialization plus packet overhead.
+        assert t2 == pytest.approx(1e-3 + 667 * f.per_packet_overhead_s, rel=0.01)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlowModel().transfer_time_s(-1)
+
+    def test_mtu_fit_predicate(self):
+        f = FlowModel()
+        assert f.fits_in_one_mtu(64)
+        assert f.fits_in_one_mtu(MTU_BYTES)
+        assert not f.fits_in_one_mtu(MTU_BYTES + 1)
+        assert not f.fits_in_one_mtu(-1)

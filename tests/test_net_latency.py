@@ -1,0 +1,99 @@
+"""Tests for the wire-latency model."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.topology import FleetSpec, build_fleet
+from repro.net.latency import (
+    LIGHT_SPEED_FIBER_KM_S,
+    NetworkModel,
+    PathClass,
+)
+
+FLEET = build_fleet(FleetSpec())
+NET = NetworkModel()
+RNG = np.random.default_rng(5)
+
+
+def clusters_of_classes():
+    """One cluster pair per path class from the default fleet."""
+    pairs = {}
+    for a, b in FLEET.iter_cluster_pairs():
+        pairs.setdefault(NET.classify(a, b), (a, b))
+    pairs[PathClass.SAME_CLUSTER] = (FLEET.clusters[0], FLEET.clusters[0])
+    return pairs
+
+
+def test_classification_covers_all_classes():
+    assert set(clusters_of_classes()) == set(PathClass)
+
+
+def test_classification_is_symmetric():
+    for a, b in FLEET.iter_cluster_pairs():
+        assert NET.classify(a, b) is NET.classify(b, a)
+
+
+def test_propagation_ordering_by_locality():
+    pairs = clusters_of_classes()
+    lat = {cls: NET.propagation_s(*pair) for cls, pair in pairs.items()}
+    assert lat[PathClass.SAME_CLUSTER] < lat[PathClass.SAME_DATACENTER]
+    assert lat[PathClass.SAME_DATACENTER] < lat[PathClass.SAME_REGION]
+    assert lat[PathClass.SAME_REGION] < lat[PathClass.WAN]
+
+
+def test_max_wan_rtt_near_paper_200ms():
+    rtt = NET.max_wan_rtt_s(FLEET.clusters)
+    # Paper: longest WAN RTT ~200 ms; geometry should land within 25%.
+    assert 0.15 <= rtt <= 0.25
+
+
+def test_rtt_is_twice_oneway():
+    a, b = FLEET.clusters[0], FLEET.clusters[-1]
+    assert NET.rtt_s(a, b) == pytest.approx(2 * NET.propagation_s(a, b))
+
+
+def test_sampled_latency_at_least_fraction_of_propagation():
+    a, b = clusters_of_classes()[PathClass.WAN]
+    base = NET.propagation_s(a, b)
+    x = NET.sample_oneway(RNG, a, b, n=2000)
+    # WAN jitter sigma is small: samples hug the deterministic propagation.
+    assert np.median(x) == pytest.approx(base, rel=0.15)
+    assert x.min() > 0.5 * base
+
+
+def test_message_size_adds_transfer_time():
+    a, b = FLEET.clusters[0], FLEET.clusters[0]
+    small = NET.sample_oneway(RNG, a, b, size_bytes=64, n=4000).mean()
+    big = NET.sample_oneway(RNG, a, b, size_bytes=10_000_000, n=4000).mean()
+    assert big > small + 5e-3  # 10 MB at 8 Gbps is ~10 ms
+
+
+def test_congestion_creates_tail_not_median():
+    a, b = clusters_of_classes()[PathClass.WAN]
+    x = NET.sample_oneway(RNG, a, b, n=20_000)
+    base = NET.propagation_s(a, b)
+    assert np.percentile(x, 50) < 1.3 * base
+    assert np.percentile(x, 99.5) > 1.3 * base
+
+
+def test_oneway_sampler_matches_model_distribution():
+    a, b = clusters_of_classes()[PathClass.SAME_REGION]
+    sampler = NET.oneway_sampler(np.random.default_rng(1), a, b)
+    fast = np.array([sampler.sample(1000, 0.0) for _ in range(5000)])
+    slow = NET.sample_oneway(np.random.default_rng(2), a, b, 1000, 5000)
+    # Same model parameters -> matching medians within sampling noise.
+    assert np.median(fast) == pytest.approx(np.median(slow), rel=0.1)
+
+
+def test_propagation_deterministic():
+    a, b = FLEET.clusters[0], FLEET.clusters[-1]
+    assert NET.propagation_s(a, b) == NET.propagation_s(a, b)
+    assert NET.propagation_s(a, b) == NET.propagation_s(b, a)
+
+
+def test_speed_of_light_bound():
+    """No deterministic latency may beat light in fiber."""
+    from repro.fleet.topology import distance_km
+    for a, b in list(FLEET.iter_cluster_pairs())[:200]:
+        d = distance_km(a.region, b.region)
+        assert NET.propagation_s(a, b) >= d / LIGHT_SPEED_FIBER_KM_S

@@ -1,0 +1,164 @@
+"""Tests for the Dapper trace collector and GWP profiler."""
+
+import numpy as np
+import pytest
+
+from repro.obs.dapper import MIN_SAMPLES_PER_METHOD, DapperCollector, Span
+from repro.obs.gwp import GwpProfiler
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import CycleCosts, LatencyBreakdown
+
+
+def make_span(trace_id=1, span_id=1, service="S", method="M",
+              status=StatusCode.OK, app=1e-3, cluster="c0",
+              machine="c0-m0") -> Span:
+    return Span(
+        trace_id=trace_id, span_id=span_id, parent_id=None,
+        service=service, method=method,
+        client_cluster=cluster, server_cluster=cluster,
+        server_machine=machine, start_time=0.0,
+        breakdown=LatencyBreakdown(server_application=app),
+        status=status,
+    )
+
+
+class TestDapper:
+    def test_records_everything_at_rate_one(self):
+        d = DapperCollector(sampling_rate=1.0)
+        for i in range(10):
+            assert d.record(make_span(trace_id=i, span_id=i))
+        assert len(d) == 10
+
+    def test_sampling_decision_sticky_per_trace(self):
+        d = DapperCollector(sampling_rate=0.5, rng=np.random.default_rng(0))
+        for trace in range(100):
+            first = d.trace_is_sampled(trace)
+            assert d.trace_is_sampled(trace) == first
+
+    def test_sampling_rate_respected(self):
+        d = DapperCollector(sampling_rate=0.3, rng=np.random.default_rng(1))
+        kept = sum(d.record(make_span(trace_id=i, span_id=i))
+                   for i in range(5000))
+        assert abs(kept / 5000 - 0.3) < 0.03
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DapperCollector(sampling_rate=1.5)
+
+    def test_error_spans_excluded_from_latency_queries(self):
+        d = DapperCollector()
+        d.record(make_span(span_id=1))
+        d.record(make_span(trace_id=2, span_id=2, status=StatusCode.CANCELLED))
+        assert len(d.ok_spans()) == 1
+        assert len(d.spans_for_method("S", "M")) == 1
+        assert len(d.spans_for_method("S", "M", ok_only=False)) == 2
+
+    def test_methods_enforce_min_samples(self):
+        d = DapperCollector()
+        for i in range(MIN_SAMPLES_PER_METHOD - 1):
+            d.record(make_span(trace_id=i, span_id=i, method="Rare"))
+        for i in range(MIN_SAMPLES_PER_METHOD):
+            d.record(make_span(trace_id=1000 + i, span_id=1000 + i,
+                               method="Common"))
+        assert d.methods() == ["S/Common"]
+
+    def test_matrix_for_method(self):
+        d = DapperCollector()
+        for i, app in enumerate((1e-3, 2e-3, 3e-3)):
+            d.record(make_span(trace_id=i, span_id=i, app=app))
+        m = d.matrix_for_method("S/M")
+        assert len(m) == 3
+        assert sorted(m.application()) == [1e-3, 2e-3, 3e-3]
+
+    def test_group_by(self):
+        d = DapperCollector()
+        d.record(make_span(span_id=1, cluster="a"))
+        d.record(make_span(trace_id=2, span_id=2, cluster="b"))
+        groups = d.group_by(lambda s: s.server_cluster)
+        assert set(groups) == {"a", "b"}
+
+    def test_traces_grouping(self):
+        d = DapperCollector()
+        d.record(make_span(trace_id=7, span_id=1))
+        d.record(make_span(trace_id=7, span_id=2))
+        assert len(d.traces()[7]) == 2
+
+
+class TestGwp:
+    def cost(self, app=0.1):
+        return CycleCosts(application=app, compression=0.01,
+                          serialization=0.005, networking=0.008,
+                          rpc_library=0.002)
+
+    def test_totals_accumulate(self):
+        g = GwpProfiler()
+        g.add_rpc("S", "M", self.cost())
+        g.add_rpc("S", "M", self.cost())
+        assert g.totals["application"] == pytest.approx(0.2)
+        assert g.totals["compression"] == pytest.approx(0.02)
+        assert g.rpcs_profiled == 2
+
+    def test_tax_fraction(self):
+        g = GwpProfiler()
+        g.add_rpc("S", "M", self.cost(app=0.1))
+        tax = 0.01 + 0.005 + 0.008 + 0.002
+        assert g.cycle_tax_fraction() == pytest.approx(tax / (0.1 + tax))
+
+    def test_non_rpc_dilutes_tax(self):
+        g = GwpProfiler()
+        g.add_rpc("S", "M", self.cost())
+        before = g.cycle_tax_fraction()
+        g.add_non_rpc(1.0)
+        assert g.cycle_tax_fraction() < before
+
+    def test_negative_non_rpc_rejected(self):
+        with pytest.raises(ValueError):
+            GwpProfiler().add_non_rpc(-1)
+
+    def test_service_shares_sum_to_one_without_non_rpc(self):
+        g = GwpProfiler()
+        g.add_rpc("A", "M", self.cost())
+        g.add_rpc("B", "M", self.cost())
+        shares = g.service_cycle_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_batch_weighting(self):
+        g = GwpProfiler()
+        batch = {
+            "application": np.array([0.1, 0.1]),
+            "compression": np.array([0.01, 0.01]),
+            "serialization": np.array([0.0, 0.0]),
+            "networking": np.array([0.0, 0.0]),
+            "rpc_library": np.array([0.0, 0.0]),
+        }
+        g.add_rpc_batch("A", "M", batch, weight=0.5)
+        # Batch totals are weight * per-call mean.
+        assert g.totals["application"] == pytest.approx(0.05)
+        assert g.totals["compression"] == pytest.approx(0.005)
+
+    def test_empty_batch_noop(self):
+        g = GwpProfiler()
+        g.add_rpc_batch("A", "M", {"application": np.array([]),
+                                   "compression": np.array([]),
+                                   "serialization": np.array([]),
+                                   "networking": np.array([]),
+                                   "rpc_library": np.array([])})
+        assert g.fleet_cycles() == 0
+
+    def test_per_method_samples(self):
+        g = GwpProfiler()
+        for _ in range(3):
+            g.add_rpc("S", "M", self.cost())
+        samples = g.per_method_cost_samples()
+        assert len(samples[("S", "M")]) == 3
+
+    def test_sampling_rate_reweights_unbiased(self):
+        g = GwpProfiler(sample_rate=0.5, rng=np.random.default_rng(0))
+        for _ in range(4000):
+            g.add_rpc("S", "M", self.cost(app=1.0))
+        # Expectation: 4000 * 1.0 regardless of the sampling rate.
+        assert g.totals["application"] == pytest.approx(4000, rel=0.1)
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            GwpProfiler(sample_rate=0.0)

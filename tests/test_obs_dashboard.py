@@ -1,0 +1,61 @@
+"""Tests for the Monarch text dashboards."""
+
+import numpy as np
+import pytest
+
+from repro.obs.dashboard import render_panel, render_series, sparkline
+from repro.obs.monarch import Monarch
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_flat(self):
+        out = sparkline([5.0] * 10)
+        assert len(set(out)) == 1
+
+    def test_monotone_series_rises(self):
+        out = sparkline(np.linspace(0, 1, 20))
+        # First char is the lowest tick, last is the highest.
+        assert out[0] < out[-1]
+
+    def test_downsampled_to_width(self):
+        out = sparkline(np.arange(1000), width=40)
+        assert len(out) <= 40
+
+    def test_short_series_kept_verbatim(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+
+class TestRenderers:
+    def make_monarch(self):
+        m = Monarch()
+        for i in range(20):
+            for machine in ("m0", "m1"):
+                m.write("util", {"machine": machine, "service": "S"},
+                        float(i), 0.5 + 0.01 * i)
+        return m
+
+    def test_render_series_summary(self):
+        m = self.make_monarch()
+        out = render_series(m, "util", {"machine": "m0", "service": "S"})
+        assert "mean" in out and "20 pts" in out
+
+    def test_render_series_missing(self):
+        assert "(no data)" in render_series(Monarch(), "nope")
+
+    def test_render_panel_groups_by_label(self):
+        m = self.make_monarch()
+        out = render_panel(m, "util", {"service": "S"})
+        assert "m0" in out and "m1" in out
+
+    def test_render_panel_caps_rows(self):
+        m = Monarch()
+        for i in range(30):
+            m.write("x", {"machine": f"m{i:02d}"}, 0.0, 1.0)
+        out = render_panel(m, "x", max_rows=5)
+        assert "and 25 more series" in out
+
+    def test_render_panel_missing(self):
+        assert "(no series)" in render_panel(Monarch(), "nope")

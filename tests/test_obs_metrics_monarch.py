@@ -1,0 +1,208 @@
+"""Tests for the metric registry and the Monarch time-series store."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, DistributionMetric, Gauge, MetricRegistry
+from repro.obs.monarch import Monarch, MonarchScraper
+from repro.sim.engine import Simulator
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter()
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge()
+        g.set(4.2)
+        assert g.read() == 4.2
+
+    def test_callable_backed(self):
+        g = Gauge(fn=lambda: 7.0)
+        assert g.read() == 7.0
+        with pytest.raises(ValueError):
+            g.set(1.0)
+
+
+class TestDistributionMetric:
+    def test_exact_until_reservoir_full(self):
+        d = DistributionMetric(reservoir_size=100)
+        d.observe_many(range(100))
+        assert d.count == 100
+        assert d.mean == pytest.approx(49.5)
+        assert d.percentile(50) == pytest.approx(49.5)
+        assert d.min == 0 and d.max == 99
+
+    def test_reservoir_bounded(self):
+        d = DistributionMetric(reservoir_size=50)
+        d.observe_many(range(10_000))
+        assert len(d.samples()) == 50
+        assert d.count == 10_000
+
+    def test_reservoir_stays_representative(self):
+        d = DistributionMetric(reservoir_size=1000,
+                               rng=np.random.default_rng(0))
+        d.observe_many(np.random.default_rng(1).normal(10, 2, 50_000))
+        assert d.percentile(50) == pytest.approx(10.0, abs=0.5)
+
+    def test_empty_percentile(self):
+        assert DistributionMetric().percentile(99) == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DistributionMetric(reservoir_size=0)
+
+
+class TestRegistry:
+    def test_same_key_same_metric(self):
+        r = MetricRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.counter("x", {"a": "1"}) is not r.counter("x", {"a": "2"})
+
+    def test_label_order_irrelevant(self):
+        r = MetricRegistry()
+        a = r.counter("x", {"a": "1", "b": "2"})
+        b = r.counter("x", {"b": "2", "a": "1"})
+        assert a is b
+
+    def test_snapshot_contains_counters_and_gauges(self):
+        r = MetricRegistry()
+        r.counter("rpcs").add(5)
+        r.gauge("depth").set(3.0)
+        snap = r.snapshot()
+        assert snap[("rpcs", ())] == 5
+        assert snap[("depth", ())] == 3.0
+
+
+class TestMonarch:
+    def test_write_and_read(self):
+        m = Monarch()
+        m.write("x", {"c": "1"}, 0.0, 1.0)
+        m.write("x", {"c": "1"}, 10.0, 2.0)
+        t, v = m.read("x", {"c": "1"})
+        assert list(t) == [0.0, 10.0]
+        assert list(v) == [1.0, 2.0]
+
+    def test_read_missing_series_empty(self):
+        t, v = Monarch().read("nope")
+        assert len(t) == 0 and len(v) == 0
+
+    def test_out_of_order_write_rejected(self):
+        m = Monarch()
+        m.write("x", None, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            m.write("x", None, 5.0, 2.0)
+
+    def test_time_windowed_read(self):
+        m = Monarch()
+        for t in range(10):
+            m.write("x", None, float(t), float(t))
+        t, v = m.read("x", t_start=3.0, t_end=6.0)
+        assert list(t) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_retention_trims_old_points(self):
+        m = Monarch(retention_s=5.0)
+        for t in range(10):
+            m.write("x", None, float(t), float(t))
+        t, v = m.read("x")
+        assert t[0] >= 4.0
+
+    def test_read_matching_filters_labels(self):
+        m = Monarch()
+        m.write("u", {"cluster": "a", "svc": "s"}, 0.0, 1.0)
+        m.write("u", {"cluster": "b", "svc": "s"}, 0.0, 2.0)
+        m.write("u", {"cluster": "a", "svc": "t"}, 0.0, 3.0)
+        out = m.read_matching("u", {"svc": "s"})
+        assert len(out) == 2
+
+    def test_aggregate_sum_across_series(self):
+        m = Monarch()
+        m.write("rps", {"task": "1"}, 0.0, 10.0)
+        m.write("rps", {"task": "2"}, 0.0, 20.0)
+        m.write("rps", {"task": "1"}, 60.0, 30.0)
+        times, vals = m.aggregate("rps", window_s=60.0)
+        assert list(vals) == [30.0, 30.0]
+
+    def test_aggregate_mean(self):
+        m = Monarch()
+        m.write("util", {"task": "1"}, 0.0, 0.2)
+        m.write("util", {"task": "2"}, 0.0, 0.4)
+        _, vals = m.aggregate("util", window_s=60.0, reducer="mean")
+        assert vals[0] == pytest.approx(0.3)
+
+    def test_aggregate_invalid_reducer(self):
+        with pytest.raises(ValueError):
+            Monarch().aggregate("x", 60.0, reducer="max")
+
+    def test_series_keys_filtered(self):
+        m = Monarch()
+        m.write("a", None, 0.0, 1.0)
+        m.write("b", None, 0.0, 1.0)
+        assert len(m.series_keys()) == 2
+        assert len(m.series_keys("a")) == 1
+
+
+class TestScraper:
+    def test_scrapes_registry_on_interval(self):
+        sim = Simulator()
+        monarch = Monarch()
+        scraper = MonarchScraper(sim, monarch, interval_s=10.0)
+        reg = MetricRegistry()
+        reg.counter("rpcs")
+        scraper.register(reg, {"task": "t0"})
+        reg.counter("rpcs").add(5)
+        sim.run_until(25.0)
+        t, v = monarch.read("rpcs", {"task": "t0"})
+        assert list(t) == [10.0, 20.0]
+        assert list(v) == [5.0, 5.0]
+
+    def test_collector_callback(self):
+        sim = Simulator()
+        monarch = Monarch()
+        scraper = MonarchScraper(sim, monarch, interval_s=5.0)
+        scraper.add_collector(lambda t: [("x", {"m": "0"}, t)])
+        sim.run_until(11.0)
+        t, v = monarch.read("x", {"m": "0"})
+        assert list(v) == [5.0, 10.0]
+
+    def test_stop_halts_scraping(self):
+        sim = Simulator()
+        monarch = Monarch()
+        scraper = MonarchScraper(sim, monarch, interval_s=5.0)
+        scraper.add_collector(lambda t: [("x", None, 1.0)])
+        sim.run_until(6.0)
+        scraper.stop()
+        sim.run_until(30.0)
+        t, _ = monarch.read("x")
+        assert len(t) == 1
+
+
+class TestRate:
+    def test_rate_of_cumulative_counter(self):
+        m = Monarch()
+        for t, v in ((0.0, 0.0), (10.0, 50.0), (20.0, 150.0)):
+            m.write("rpcs", None, t, v)
+        mid, rates = m.rate("rpcs")
+        assert list(mid) == [5.0, 15.0]
+        assert list(rates) == [5.0, 10.0]
+
+    def test_rate_handles_counter_reset(self):
+        m = Monarch()
+        for t, v in ((0.0, 100.0), (10.0, 5.0), (20.0, 55.0)):
+            m.write("rpcs", None, t, v)
+        _, rates = m.rate("rpcs")
+        assert rates[0] == 0.0  # reset, not a negative spike
+        assert rates[1] == 5.0
+
+    def test_rate_too_few_points(self):
+        m = Monarch()
+        m.write("rpcs", None, 0.0, 1.0)
+        mid, rates = m.rate("rpcs")
+        assert len(mid) == 0 and len(rates) == 0

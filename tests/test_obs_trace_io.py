@@ -1,0 +1,126 @@
+"""Tests for Dapper trace serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.dapper import Span
+from repro.obs.trace_io import (
+    TraceIOError,
+    load_collector,
+    read_traces,
+    span_from_bytes,
+    span_to_bytes,
+    write_traces,
+)
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import COMPONENTS, LatencyBreakdown
+
+
+def make_span(span_id=1, **overrides) -> Span:
+    kwargs = dict(
+        trace_id=42, span_id=span_id, parent_id=7,
+        service="Spanner", method="ReadRows",
+        client_cluster="us-central-dc0-c0",
+        server_cluster="europe-west-dc1-c2",
+        server_machine="europe-west-dc1-c2-m3",
+        start_time=123.456,
+        breakdown=LatencyBreakdown(
+            server_application=1.5e-3, request_network_wire=40e-3,
+            response_network_wire=41e-3, server_recv_queue=0.2e-3,
+        ),
+        status=StatusCode.OK,
+        request_bytes=800, response_bytes=2500, cpu_cycles=0.031,
+        annotations={"exo_cpu_util": 0.62, "hedge_attempt": 0.0},
+    )
+    kwargs.update(overrides)
+    return Span(**kwargs)
+
+
+def test_span_roundtrip():
+    span = make_span()
+    back = span_from_bytes(span_to_bytes(span))
+    assert back.trace_id == span.trace_id
+    assert back.span_id == span.span_id
+    assert back.parent_id == span.parent_id
+    assert back.full_method == span.full_method
+    assert back.server_machine == span.server_machine
+    assert back.status is StatusCode.OK
+    assert back.breakdown == span.breakdown
+    assert back.annotations == span.annotations
+    assert back.completion_time == pytest.approx(span.completion_time)
+
+
+def test_root_span_parent_none():
+    span = make_span(parent_id=None)
+    assert span_from_bytes(span_to_bytes(span)).parent_id is None
+
+
+def test_error_status_preserved():
+    span = make_span(status=StatusCode.CANCELLED)
+    assert span_from_bytes(span_to_bytes(span)).status is StatusCode.CANCELLED
+
+
+def test_file_roundtrip(tmp_path):
+    spans = [make_span(span_id=i) for i in range(20)]
+    path = str(tmp_path / "traces.dtrc")
+    assert write_traces(spans, path) == 20
+    loaded = list(read_traces(path))
+    assert len(loaded) == 20
+    assert [s.span_id for s in loaded] == list(range(20))
+
+
+def test_buffer_roundtrip():
+    buf = io.BytesIO()
+    write_traces([make_span()], buf)
+    loaded = list(read_traces(buf.getvalue()))
+    assert len(loaded) == 1
+
+
+def test_empty_trace_file():
+    buf = io.BytesIO()
+    assert write_traces([], buf) == 0
+    assert list(read_traces(buf.getvalue())) == []
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(TraceIOError):
+        list(read_traces(b"XXXX\x01"))
+
+
+def test_truncated_record_rejected():
+    buf = io.BytesIO()
+    write_traces([make_span()], buf)
+    data = buf.getvalue()
+    with pytest.raises(TraceIOError):
+        list(read_traces(data[:-5]))
+
+
+def test_load_collector_supports_queries():
+    buf = io.BytesIO()
+    write_traces([make_span(span_id=i) for i in range(150)], buf)
+    collector = load_collector(buf.getvalue())
+    assert len(collector) == 150
+    assert collector.methods() == ["Spanner/ReadRows"]
+    matrix = collector.matrix_for_method("Spanner/ReadRows")
+    assert len(matrix) == 150
+
+
+@given(
+    components=st.lists(st.floats(0, 10, allow_nan=False),
+                        min_size=9, max_size=9),
+    req=st.integers(0, 2**40),
+    status=st.sampled_from(list(StatusCode)),
+)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(components, req, status):
+    span = make_span(
+        breakdown=LatencyBreakdown(**dict(zip(COMPONENTS, components))),
+        request_bytes=req, status=status,
+    )
+    back = span_from_bytes(span_to_bytes(span))
+    assert back.breakdown == span.breakdown
+    assert back.request_bytes == req
+    assert back.status is status

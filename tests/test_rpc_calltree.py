@@ -1,0 +1,122 @@
+"""Tests for call-tree generation and shape statistics."""
+
+import numpy as np
+import pytest
+
+from repro.rpc.calltree import (
+    CallNode,
+    CallTreeGenerator,
+    TreeShapeStats,
+    collect_shape_samples,
+)
+from repro.sim.distributions import Constant
+
+RNG = np.random.default_rng(17)
+
+
+def fixed_fanout_generator(fanout: int, leaf_beyond: int = 2,
+                           max_nodes: int = 10_000, max_depth: int = 24):
+    """Every method at layer < leaf_beyond fans out `fanout` ways."""
+
+    def fanout_for(method_id):
+        return Constant(fanout if method_id < leaf_beyond else 0)
+
+    def children_of(method_id, rng, k):
+        return [method_id + 1] * k
+
+    return CallTreeGenerator(fanout_for, children_of,
+                             max_nodes=max_nodes, max_depth=max_depth)
+
+
+def test_leaf_only_tree():
+    gen = fixed_fanout_generator(fanout=3, leaf_beyond=0)
+    tree = gen.generate(5, RNG)
+    assert tree.size == 1
+    assert tree.root.descendants == 0
+    assert tree.max_depth == 0
+    assert not tree.truncated
+
+
+def test_regular_tree_shape():
+    # method 0 -> 3 children (method 1) -> each 3 children (method 2, leaf).
+    gen = fixed_fanout_generator(fanout=3, leaf_beyond=2)
+    tree = gen.generate(0, RNG)
+    assert tree.size == 1 + 3 + 9
+    assert tree.root.descendants == 12
+    assert tree.max_depth == 2
+
+
+def test_descendant_counts_per_node():
+    gen = fixed_fanout_generator(fanout=2, leaf_beyond=2)
+    tree = gen.generate(0, RNG)
+    mids = [n for n in tree.root.walk() if n.method_id == 1]
+    assert all(n.descendants == 2 for n in mids)
+    leaves = [n for n in tree.root.walk() if n.method_id == 2]
+    assert all(n.descendants == 0 for n in leaves)
+
+
+def test_ancestor_equals_depth():
+    gen = fixed_fanout_generator(fanout=2, leaf_beyond=3)
+    tree = gen.generate(0, RNG)
+    for node in tree.root.walk():
+        assert node.ancestors == node.depth
+
+
+def test_node_budget_truncates():
+    gen = fixed_fanout_generator(fanout=10, leaf_beyond=100, max_nodes=50)
+    tree = gen.generate(0, RNG)
+    assert tree.size <= 50
+    assert tree.truncated
+
+
+def test_max_depth_stops_expansion():
+    def fanout_for(mid):
+        return Constant(1)
+
+    def children_of(mid, rng, k):
+        return [mid] * k
+
+    gen = CallTreeGenerator(fanout_for, children_of, max_nodes=1000, max_depth=5)
+    tree = gen.generate(0, RNG)
+    assert tree.max_depth == 5
+    assert tree.size == 6
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ValueError):
+        CallTreeGenerator(lambda m: Constant(0), lambda m, r, k: [], max_nodes=0)
+    with pytest.raises(ValueError):
+        CallTreeGenerator(lambda m: Constant(0), lambda m, r, k: [], max_depth=-1)
+
+
+def test_tree_shape_stats_accumulation():
+    gen = fixed_fanout_generator(fanout=2, leaf_beyond=1)
+    stats = TreeShapeStats()
+    stats.add_tree(gen.generate(0, RNG))
+    stats.add_tree(gen.generate(0, RNG))
+    assert stats.descendants[0] == [2, 2]
+    assert stats.ancestors[1] == [1, 1, 1, 1]
+
+
+def test_filter_min_samples():
+    stats = TreeShapeStats()
+    stats.descendants = {1: [1, 2, 3], 2: [5]}
+    stats.ancestors = {1: [0, 0, 0], 2: [1]}
+    filtered = stats.filter_min_samples(2)
+    assert set(filtered.descendants) == {1}
+
+
+def test_collect_shape_samples():
+    gen = fixed_fanout_generator(fanout=2, leaf_beyond=1)
+    stats = collect_shape_samples(gen, [0, 0, 0], RNG)
+    assert len(stats.descendants[0]) == 3
+
+
+def test_wide_trees_have_shallow_depth():
+    """The paper's wider-than-deep property: high fanout with few layers
+    yields descendants >> ancestors."""
+    gen = fixed_fanout_generator(fanout=30, leaf_beyond=2)
+    tree = gen.generate(0, RNG)
+    max_anc = max(n.ancestors for n in tree.root.walk())
+    assert tree.root.descendants > 900
+    assert max_anc == 2

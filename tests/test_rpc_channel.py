@@ -1,0 +1,167 @@
+"""Integration tests for the DES client/server channel."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.machine import Machine, MachineProfile
+from repro.fleet.topology import Cluster, Datacenter, Region
+from repro.net.latency import NetworkModel
+from repro.obs.dapper import DapperCollector
+from repro.obs.gwp import GwpProfiler
+from repro.rpc.channel import MethodRuntime, RpcClientTask, RpcServerTask
+from repro.rpc.errors import ErrorModel, StatusCode
+from repro.rpc.hedging import HedgingPolicy
+from repro.sim.distributions import Constant
+from repro.sim.engine import Simulator
+
+
+def quiet_profile(**kw) -> MachineProfile:
+    """A machine with no background interference (deterministic timing)."""
+    defaults = dict(cores=4, background_util_mean=0.0, diurnal_amplitude=0.0,
+                    noise_amplitude=0.0, cpi_contention_coeff=0.0)
+    defaults.update(kw)
+    return MachineProfile(**defaults)
+
+
+def build_world(error_model=None, hedging=None, seed=0):
+    sim = Simulator()
+    region = Region("r", 0.0, 0.0)
+    dc = Datacenter("dc", region)
+    cluster = Cluster("c0", dc, 0)
+    server_machine = Machine(sim, cluster, 0, profile=quiet_profile(),
+                             rng=np.random.default_rng(seed))
+    client_machine = Machine(sim, cluster, 1, profile=quiet_profile(),
+                             rng=np.random.default_rng(seed + 1))
+    runtime = MethodRuntime(
+        service="Svc", method="Do",
+        app_time=Constant(1e-3),
+        request_size=Constant(1000),
+        response_size=Constant(2000),
+        app_cycles=Constant(0.05),
+        error_model=error_model,
+    )
+    dapper = DapperCollector(sampling_rate=1.0)
+    gwp = GwpProfiler()
+    server = RpcServerTask(sim, server_machine, [runtime],
+                           rng=np.random.default_rng(seed + 2))
+    kwargs = {}
+    if hedging is not None:
+        kwargs["hedging"] = hedging
+    client = RpcClientTask(sim, client_machine, NetworkModel(),
+                           dapper=dapper, gwp=gwp,
+                           rng=np.random.default_rng(seed + 3), **kwargs)
+    return sim, client, server, runtime, dapper, gwp
+
+
+def test_single_call_completes_with_all_components():
+    sim, client, server, runtime, dapper, gwp = build_world()
+    results = []
+    client.call(runtime, pick_server=lambda rng: server,
+                on_complete=results.append)
+    sim.run()
+    assert len(results) == 1
+    span = results[0].span
+    b = span.breakdown
+    assert b.server_application == pytest.approx(1e-3, rel=0.01)
+    assert b.request_network_wire > 0
+    assert b.response_network_wire > 0
+    assert b.request_proc_stack > 0
+    assert b.response_proc_stack > 0
+    assert b.total() > 1e-3
+    assert span.status is StatusCode.OK
+    assert span.request_bytes == 1000
+    assert span.response_bytes == 2000
+
+
+def test_span_recorded_in_dapper_and_gwp():
+    sim, client, server, runtime, dapper, gwp = build_world()
+    for _ in range(5):
+        client.call(runtime, pick_server=lambda rng: server)
+    sim.run()
+    assert len(dapper) == 5
+    assert gwp.rpcs_profiled == 5
+    assert gwp.totals["application"] == pytest.approx(5 * 0.05)
+
+
+def test_span_annotated_with_exogenous_state():
+    sim, client, server, runtime, dapper, gwp = build_world()
+    client.call(runtime, pick_server=lambda rng: server)
+    sim.run()
+    ann = dapper.spans[0].annotations
+    for key in ("exo_cpu_util", "exo_memory_bw_gbps",
+                "exo_long_wakeup_rate", "exo_cycles_per_inst"):
+        assert key in ann
+
+
+def test_server_counts_rpcs():
+    sim, client, server, runtime, dapper, gwp = build_world()
+    for _ in range(3):
+        client.call(runtime, pick_server=lambda rng: server)
+    sim.run()
+    assert server.rpcs_served == 3
+    assert client.calls_completed == 3
+
+
+def test_queueing_emerges_under_contention():
+    """Simultaneous calls on a 4-core server must wait in recv queue."""
+    sim, client, server, runtime, dapper, gwp = build_world()
+    for _ in range(16):
+        client.call(runtime, pick_server=lambda rng: server)
+    sim.run()
+    waits = [s.breakdown.server_recv_queue for s in dapper.spans]
+    assert max(waits) > 1e-3  # at least one full service time of waiting
+
+
+def test_errors_sampled_and_recorded():
+    em = ErrorModel(error_rate=1.0,
+                    mix={StatusCode.NOT_FOUND: 1.0})
+    sim, client, server, runtime, dapper, gwp = build_world(error_model=em)
+    results = []
+    client.call(runtime, pick_server=lambda rng: server,
+                on_complete=results.append)
+    sim.run()
+    span = results[0].span
+    assert span.status is StatusCode.NOT_FOUND
+    assert span.response_bytes == runtime.error_response_bytes
+    # Fail-fast error burns only a fraction of the handler.
+    assert span.breakdown.server_application < 1e-3
+
+
+def test_hedging_issues_backup_and_cancels_loser():
+    hedging = HedgingPolicy(enabled=True, delay_s=0.2e-3, max_attempts=2)
+    sim, client, server, runtime, dapper, gwp = build_world(hedging=hedging)
+    results = []
+    client.call(runtime, pick_server=lambda rng: server,
+                on_complete=results.append)
+    sim.run()
+    assert len(results) == 1  # one winner reported
+    assert results[0].attempts == 2
+    statuses = sorted(s.status.name for s in dapper.spans)
+    assert statuses == ["CANCELLED", "OK"]
+
+
+def test_hedging_not_triggered_for_fast_calls():
+    hedging = HedgingPolicy(enabled=True, delay_s=10.0, max_attempts=2)
+    sim, client, server, runtime, dapper, gwp = build_world(hedging=hedging)
+    results = []
+    client.call(runtime, pick_server=lambda rng: server,
+                on_complete=results.append)
+    sim.run()
+    assert results[0].attempts == 1
+    assert len(dapper) == 1
+
+
+def test_unknown_method_raises():
+    sim, client, server, runtime, dapper, gwp = build_world()
+    with pytest.raises(KeyError):
+        server.serve("Nope", 100, StatusCode.OK, lambda *a: None)
+
+
+def test_load_reflects_pool_pressure():
+    sim, client, server, runtime, dapper, gwp = build_world()
+    assert server.load() == 0
+    for _ in range(8):
+        client.call(runtime, pick_server=lambda rng: server)
+    sim.run_until(0.0008)  # requests in flight / queued
+    assert server.load() > 0
+    sim.run()

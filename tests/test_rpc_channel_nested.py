@@ -1,0 +1,119 @@
+"""Unit tests for nested child calls at the channel level."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.machine import Machine, MachineProfile
+from repro.fleet.topology import Cluster, Datacenter, Region
+from repro.net.latency import NetworkModel
+from repro.obs.dapper import DapperCollector
+from repro.rpc.channel import (
+    ChildCall,
+    MethodRuntime,
+    RpcClientTask,
+    RpcServerTask,
+)
+from repro.sim.distributions import Constant
+from repro.sim.engine import Simulator
+
+
+def quiet_profile():
+    return MachineProfile(cores=4, background_util_mean=0.0,
+                          diurnal_amplitude=0.0, noise_amplitude=0.0,
+                          cpi_contention_coeff=0.0,
+                          wakeup=__import__("repro.fleet.scheduler",
+                                            fromlist=["WakeupModel"])
+                          .WakeupModel(base_long_rate=0.0, max_long_rate=0.0,
+                                       fast_mean_s=1e-9))
+
+
+def build():
+    sim = Simulator()
+    cluster = Cluster("c0", Datacenter("dc", Region("r", 0, 0)), 0)
+    dapper = DapperCollector(sampling_rate=1.0)
+    network = NetworkModel()
+
+    def machine(i):
+        m = Machine(sim, cluster, i, profile=quiet_profile(),
+                    rng=np.random.default_rng(i))
+        return m
+
+    leaf_rt = MethodRuntime(
+        service="Leaf", method="Get",
+        app_time=Constant(1e-3), request_size=Constant(100),
+        response_size=Constant(100), app_cycles=Constant(0.01),
+    )
+    leaf_server = RpcServerTask(sim, machine(0), [leaf_rt],
+                                rng=np.random.default_rng(10))
+
+    parent_rt = MethodRuntime(
+        service="Mid", method="Fan",
+        app_time=Constant(2e-3), request_size=Constant(100),
+        response_size=Constant(100), app_cycles=Constant(0.02),
+        child_calls=[ChildCall(leaf_rt, Constant(3.0))],
+        child_fanout_phase=0.5,
+    )
+    parent_machine = machine(1)
+    parent_server = RpcServerTask(sim, parent_machine, [parent_rt],
+                                  rng=np.random.default_rng(11))
+    child_client = RpcClientTask(sim, parent_machine, network, dapper=dapper,
+                                 rng=np.random.default_rng(12))
+    parent_server.configure_children(
+        child_client, {leaf_rt.full_method: lambda rng: leaf_server},
+    )
+
+    user = RpcClientTask(sim, machine(2), network, dapper=dapper,
+                         rng=np.random.default_rng(13))
+    return sim, user, parent_server, parent_rt, dapper
+
+
+def test_children_issued_and_linked():
+    sim, user, parent_server, parent_rt, dapper = build()
+    results = []
+    user.call(parent_rt, pick_server=lambda rng: parent_server,
+              on_complete=results.append)
+    sim.run()
+    assert len(results) == 1
+    root = results[0].span
+    children = [s for s in dapper.spans if s.parent_id == root.span_id]
+    assert len(children) == 3
+    assert all(c.trace_id == root.trace_id for c in children)
+    assert all(c.service == "Leaf" for c in children)
+
+
+def test_parent_app_contains_child_time():
+    sim, user, parent_server, parent_rt, dapper = build()
+    results = []
+    user.call(parent_rt, pick_server=lambda rng: parent_server,
+              on_complete=results.append)
+    sim.run()
+    root = results[0].span
+    children = [s for s in dapper.spans if s.parent_id == root.span_id]
+    slowest = max(c.completion_time for c in children)
+    # parent app >= own 2ms compute + the parallel child wait
+    assert root.breakdown.server_application >= 2e-3 + slowest * 0.9
+
+
+def test_zero_fanout_behaves_like_leaf():
+    sim, user, parent_server, parent_rt, dapper = build()
+    parent_rt.child_calls[0] = ChildCall(parent_rt.child_calls[0].runtime,
+                                         Constant(0.0))
+    results = []
+    user.call(parent_rt, pick_server=lambda rng: parent_server,
+              on_complete=results.append)
+    sim.run()
+    root = results[0].span
+    assert not [s for s in dapper.spans if s.parent_id == root.span_id]
+    assert root.breakdown.server_application == pytest.approx(2e-3, rel=0.05)
+
+
+def test_unconfigured_children_are_skipped():
+    sim, user, parent_server, parent_rt, dapper = build()
+    parent_server._child_pickers = {}  # picker removed -> children skipped
+    results = []
+    user.call(parent_rt, pick_server=lambda rng: parent_server,
+              on_complete=results.append)
+    sim.run()
+    assert len(results) == 1
+    root = results[0].span
+    assert not [s for s in dapper.spans if s.parent_id == root.span_id]

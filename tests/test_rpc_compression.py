@@ -1,0 +1,116 @@
+"""Tests for the LZSS compressor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.compression import (
+    MAX_MATCH,
+    MIN_MATCH,
+    CompressionError,
+    compress,
+    compression_ratio,
+    decompress,
+)
+
+
+def test_empty_roundtrip():
+    assert decompress(compress(b"")) == b""
+
+
+def test_single_byte_roundtrip():
+    assert decompress(compress(b"x")) == b"x"
+
+
+def test_repetitive_data_compresses():
+    data = b"abcd" * 1000
+    blob = compress(data)
+    assert decompress(blob) == data
+    assert len(blob) < len(data) / 5
+
+
+def test_run_of_one_byte_self_overlapping_match():
+    data = b"a" * 10_000
+    blob = compress(data)
+    assert decompress(blob) == data
+    assert len(blob) < 200
+
+
+def test_incompressible_data_roundtrips():
+    import numpy as np
+    data = np.random.default_rng(0).integers(0, 256, 5000).astype("uint8").tobytes()
+    blob = compress(data)
+    assert decompress(blob) == data
+    # Flag bytes add at most 1/8 overhead plus the header.
+    assert len(blob) <= len(data) * 9 / 8 + 16
+
+
+def test_text_like_payload():
+    data = (b"GET /api/v1/users?id=12345 HTTP/1.1\r\n"
+            b"Host: service.example.com\r\n" * 40)
+    blob = compress(data)
+    assert decompress(blob) == data
+    assert len(blob) < len(data) / 2
+
+
+def test_levels_tradeoff_monotone_ratio():
+    data = bytes(range(256)) * 100
+    sizes = [len(compress(data, level)) for level in (1, 3, 6)]
+    # Harder searching can only help (or tie).
+    assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+def test_invalid_level_rejected():
+    with pytest.raises(ValueError):
+        compress(b"abc", level=0)
+    with pytest.raises(ValueError):
+        compress(b"abc", level=7)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CompressionError):
+        decompress(b"XXXX\x00")
+
+
+def test_truncated_stream_rejected():
+    blob = compress(b"hello world, hello world, hello world")
+    with pytest.raises(CompressionError):
+        decompress(blob[:len(blob) // 2])
+
+
+def test_corrupt_distance_rejected():
+    # A match token pointing before the start of output.
+    from repro.rpc.wire import encode_varint
+    blob = b"RLZ1" + encode_varint(10) + b"\x01" + b"\xff\x7f\x00"
+    with pytest.raises(CompressionError):
+        decompress(blob)
+
+
+def test_compression_ratio_helper():
+    assert compression_ratio(b"") == 1.0
+    assert compression_ratio(b"a" * 10000) > 20
+
+
+def test_match_length_bounds_respected():
+    # A long run exercises maximum-length matches.
+    data = b"z" * (MAX_MATCH * 3 + MIN_MATCH)
+    assert decompress(compress(data)) == data
+
+
+@given(data=st.binary(max_size=2000))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_property(data):
+    assert decompress(compress(data)) == data
+
+
+@given(data=st.binary(min_size=1, max_size=500), level=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_all_levels(data, level):
+    assert decompress(compress(data, level)) == data
+
+
+@given(chunk=st.binary(min_size=1, max_size=30), reps=st.integers(2, 200))
+@settings(max_examples=40, deadline=None)
+def test_repeated_chunks_roundtrip(chunk, reps):
+    data = chunk * reps
+    assert decompress(compress(data)) == data

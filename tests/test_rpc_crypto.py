@@ -1,0 +1,110 @@
+"""ChaCha20 tests against the RFC 8439 vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.crypto import (
+    chacha20_block,
+    chacha20_decrypt,
+    chacha20_encrypt,
+    keystream,
+)
+
+# RFC 8439 §2.3.2 test vector.
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000090000004a00000000")
+RFC_BLOCK_1 = bytes.fromhex(
+    "10f1e7e4d13b5915500fdd1fa32071c4"
+    "c7d1f4c733c068030422aa9ac3d46c4e"
+    "d2826446079faa0914c2d705d98b02a2"
+    "b5129cd1de164eb9cbd083e8a2503c4e"
+)
+
+# RFC 8439 §2.4.2: encryption of the "sunscreen" plaintext.
+SUNSCREEN_KEY = bytes(range(32))
+SUNSCREEN_NONCE = bytes.fromhex("000000000000004a00000000")
+SUNSCREEN_PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+SUNSCREEN_CIPHERTEXT = bytes.fromhex(
+    "6e2e359a2568f98041ba0728dd0d6981"
+    "e97e7aec1d4360c20a27afccfd9fae0b"
+    "f91b65c5524733ab8f593dabcd62b357"
+    "1639d624e65152ab8f530c359f0861d8"
+    "07ca0dbf500d6a6156a38e088a22b65e"
+    "52bc514d16ccf806818ce91ab7793736"
+    "5af90bbf74a35be6b40b8eedf2785e42"
+    "874d"
+)
+
+
+def test_rfc8439_block_function():
+    assert chacha20_block(RFC_KEY, 1, RFC_NONCE) == RFC_BLOCK_1
+
+
+def test_rfc8439_sunscreen_encryption():
+    ct = chacha20_encrypt(SUNSCREEN_KEY, SUNSCREEN_NONCE,
+                          SUNSCREEN_PLAINTEXT, counter=1)
+    assert ct == SUNSCREEN_CIPHERTEXT
+
+
+def test_rfc8439_sunscreen_decryption():
+    pt = chacha20_decrypt(SUNSCREEN_KEY, SUNSCREEN_NONCE,
+                          SUNSCREEN_CIPHERTEXT, counter=1)
+    assert pt == SUNSCREEN_PLAINTEXT
+
+
+def test_block_is_64_bytes():
+    assert len(chacha20_block(RFC_KEY, 0, RFC_NONCE)) == 64
+
+
+def test_keystream_length_and_prefix_stability():
+    short = keystream(RFC_KEY, RFC_NONCE, 100)
+    long = keystream(RFC_KEY, RFC_NONCE, 200)
+    assert len(short) == 100 and len(long) == 200
+    assert long[:100] == short
+
+
+def test_keystream_zero_length():
+    assert keystream(RFC_KEY, RFC_NONCE, 0) == b""
+
+
+def test_keystream_negative_length_rejected():
+    with pytest.raises(ValueError):
+        keystream(RFC_KEY, RFC_NONCE, -1)
+
+
+def test_bad_key_and_nonce_sizes_rejected():
+    with pytest.raises(ValueError):
+        chacha20_block(b"short", 0, RFC_NONCE)
+    with pytest.raises(ValueError):
+        chacha20_block(RFC_KEY, 0, b"short")
+    with pytest.raises(ValueError):
+        chacha20_block(RFC_KEY, -1, RFC_NONCE)
+    with pytest.raises(ValueError):
+        chacha20_block(RFC_KEY, 2**32, RFC_NONCE)
+
+
+def test_different_nonces_different_streams():
+    a = keystream(RFC_KEY, b"\x00" * 12, 64)
+    b = keystream(RFC_KEY, b"\x01" + b"\x00" * 11, 64)
+    assert a != b
+
+
+def test_counter_advances_stream():
+    a = keystream(RFC_KEY, RFC_NONCE, 64, counter=1)
+    b = keystream(RFC_KEY, RFC_NONCE, 64, counter=2)
+    assert a != b
+    both = keystream(RFC_KEY, RFC_NONCE, 128, counter=1)
+    assert both == a + b
+
+
+@given(data=st.binary(max_size=500), counter=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_encrypt_decrypt_roundtrip(data, counter):
+    ct = chacha20_encrypt(RFC_KEY, RFC_NONCE, data, counter)
+    assert chacha20_decrypt(RFC_KEY, RFC_NONCE, ct, counter) == data
+    if data:
+        assert ct != data or len(data) == 0

@@ -1,0 +1,96 @@
+"""Tests for the status codes and fleet error model."""
+
+import numpy as np
+import pytest
+
+from repro.rpc.errors import (
+    DEFAULT_ERROR_MIX,
+    ErrorModel,
+    FLEET_ERROR_RATE,
+    RpcError,
+    StatusCode,
+)
+
+RNG = np.random.default_rng(3)
+
+
+def test_ok_is_not_error():
+    assert not StatusCode.OK.is_error
+    assert StatusCode.CANCELLED.is_error
+    assert StatusCode.NOT_FOUND.is_error
+
+
+def test_rpc_error_requires_error_status():
+    with pytest.raises(ValueError):
+        RpcError(StatusCode.OK)
+    err = RpcError(StatusCode.NOT_FOUND, "missing row")
+    assert err.status is StatusCode.NOT_FOUND
+    assert "missing row" in str(err)
+
+
+def test_default_mix_normalized():
+    m = ErrorModel()
+    assert sum(m.mix.values()) == pytest.approx(1.0)
+
+
+def test_error_rate_matches_paper_default():
+    assert ErrorModel().error_rate == FLEET_ERROR_RATE == 0.019
+
+
+def test_sampled_error_rate():
+    m = ErrorModel(error_rate=0.05)
+    out = m.sample_outcomes(RNG, 100_000)
+    errored = np.array([s.is_error for s in out])
+    assert abs(errored.mean() - 0.05) < 0.005
+
+
+def test_sampled_mix_matches_configuration():
+    m = ErrorModel(error_rate=1.0)  # every call errors: mix is observable
+    out = m.sample_outcomes(RNG, 100_000)
+    cancelled = np.mean([s is StatusCode.CANCELLED for s in out])
+    not_found = np.mean([s is StatusCode.NOT_FOUND for s in out])
+    assert cancelled == pytest.approx(DEFAULT_ERROR_MIX[StatusCode.CANCELLED],
+                                      abs=0.01)
+    assert not_found == pytest.approx(DEFAULT_ERROR_MIX[StatusCode.NOT_FOUND],
+                                      abs=0.01)
+
+
+def test_zero_error_rate_all_ok():
+    m = ErrorModel(error_rate=0.0)
+    out = m.sample_outcomes(RNG, 1000)
+    assert all(s is StatusCode.OK for s in out)
+
+
+def test_invalid_error_rate_rejected():
+    with pytest.raises(ValueError):
+        ErrorModel(error_rate=1.5)
+
+
+def test_custom_mix_renormalized():
+    m = ErrorModel(mix={StatusCode.CANCELLED: 2.0, StatusCode.INTERNAL: 2.0})
+    assert m.mix[StatusCode.CANCELLED] == pytest.approx(0.5)
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ValueError):
+        ErrorModel(mix={StatusCode.CANCELLED: 0.0})
+
+
+def test_wasted_cycle_factor_zero_for_ok():
+    assert ErrorModel().wasted_cycle_factor(StatusCode.OK) == 0.0
+
+
+def test_expected_cycle_shares_hit_fig23():
+    """The default factors must imply Fig. 23's cancellation skew:
+    ~45 % of errors but ~55 % of wasted cycles."""
+    shares = ErrorModel().expected_cycle_shares()
+    assert shares[StatusCode.CANCELLED] == pytest.approx(0.55, abs=0.03)
+    assert shares[StatusCode.NOT_FOUND] == pytest.approx(0.21, abs=0.03)
+
+
+def test_cancelled_outsized_cycle_share():
+    m = ErrorModel()
+    shares = m.expected_cycle_shares()
+    # Fig. 23's key qualitative point: cancellations burn more than their
+    # count share.
+    assert shares[StatusCode.CANCELLED] > m.mix[StatusCode.CANCELLED]

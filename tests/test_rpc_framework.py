@@ -1,0 +1,198 @@
+"""Tests for the in-process RPC framework (the runnable Stubby-alike)."""
+
+import pytest
+
+from repro.rpc.errors import RpcError, StatusCode
+from repro.rpc.framework import (
+    Channel,
+    FrameError,
+    LoopbackTransport,
+    RpcServer,
+    ServiceDef,
+    decode_frame,
+    encode_frame,
+)
+from repro.rpc.wire import FieldSpec, FieldType, MessageSchema
+
+ECHO_REQ = MessageSchema("EchoRequest", [
+    FieldSpec(1, "text", FieldType.STRING),
+    FieldSpec(2, "repeat", FieldType.INT64),
+])
+ECHO_RESP = MessageSchema("EchoResponse", [
+    FieldSpec(1, "text", FieldType.STRING),
+    FieldSpec(2, "length", FieldType.INT64),
+])
+
+
+def make_service() -> ServiceDef:
+    svc = ServiceDef("Echo")
+
+    @svc.method("Say", ECHO_REQ, ECHO_RESP)
+    def say(request):
+        text = request.get("text", "") * max(request.get("repeat", 1), 1)
+        return {"text": text, "length": len(text)}
+
+    @svc.method("Fail", ECHO_REQ, ECHO_RESP)
+    def fail(request):
+        raise RpcError(StatusCode.NOT_FOUND, "no such row")
+
+    @svc.method("Crash", ECHO_REQ, ECHO_RESP)
+    def crash(request):
+        raise RuntimeError("handler bug")
+
+    return svc
+
+
+def make_stack(**kwargs):
+    server = RpcServer(**{k: v for k, v in kwargs.items()
+                          if k in ("key", "nonce")})
+    server.register(make_service())
+    transport = LoopbackTransport(server)
+    channel = Channel(transport, **kwargs)
+    return server, channel
+
+
+class TestFraming:
+    def test_roundtrip_plain(self):
+        frame = encode_frame({"method": "/E/S", "trace_id": 7}, b"payload")
+        header, body = decode_frame(frame)
+        assert header["method"] == "/E/S"
+        assert header["trace_id"] == 7
+        assert body == b"payload"
+
+    def test_roundtrip_compressed(self):
+        body = b"abc" * 500
+        frame = encode_frame({"method": "/E/S"}, body, compress=True)
+        assert len(frame) < len(body)
+        _, decoded = decode_frame(frame)
+        assert decoded == body
+
+    def test_roundtrip_encrypted(self):
+        key, nonce = bytes(32), bytes(12)
+        frame = encode_frame({"method": "/E/S"}, b"secret", key=key,
+                             nonce=nonce)
+        assert b"secret" not in frame
+        _, body = decode_frame(frame, key=key, nonce=nonce)
+        assert body == b"secret"
+
+    def test_encrypted_frame_requires_key(self):
+        key, nonce = bytes(32), bytes(12)
+        frame = encode_frame({"method": "/E/S"}, b"x", key=key, nonce=nonce)
+        with pytest.raises(FrameError):
+            decode_frame(frame)
+
+    def test_bad_magic(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"XXXX\x00\x00\x00")
+
+    def test_truncated_frame(self):
+        frame = encode_frame({"method": "/E/S"}, b"payload")
+        with pytest.raises(FrameError):
+            decode_frame(frame[:-3])
+
+
+class TestCalls:
+    def test_successful_call(self):
+        _, channel = make_stack()
+        reply = channel.call("Echo", "Say", {"text": "hi", "repeat": 3},
+                             ECHO_REQ, ECHO_RESP)
+        assert reply == {"text": "hihihi", "length": 6}
+
+    def test_large_payload_roundtrip_compressed(self):
+        _, channel = make_stack()
+        text = "lorem ipsum " * 1000
+        reply = channel.call("Echo", "Say", {"text": text, "repeat": 1},
+                             ECHO_REQ, ECHO_RESP)
+        assert reply["length"] == len(text)
+
+    def test_encrypted_channel(self):
+        key, nonce = bytes(range(32)), bytes(12)
+        _, channel = make_stack(key=key, nonce=nonce)
+        reply = channel.call("Echo", "Say", {"text": "x", "repeat": 2},
+                             ECHO_REQ, ECHO_RESP)
+        assert reply["text"] == "xx"
+
+    def test_application_error_propagates_status(self):
+        _, channel = make_stack()
+        with pytest.raises(RpcError) as err:
+            channel.call("Echo", "Fail", {"text": "x"}, ECHO_REQ, ECHO_RESP)
+        assert err.value.status is StatusCode.NOT_FOUND
+        assert "no such row" in str(err.value)
+
+    def test_handler_crash_becomes_internal(self):
+        server, channel = make_stack()
+        with pytest.raises(RpcError) as err:
+            channel.call("Echo", "Crash", {"text": "x"}, ECHO_REQ, ECHO_RESP)
+        assert err.value.status is StatusCode.INTERNAL
+        assert server.calls_served == 1  # the server survived
+
+    def test_unknown_method_unimplemented(self):
+        _, channel = make_stack()
+        with pytest.raises(RpcError) as err:
+            channel.call("Echo", "Nope", {}, ECHO_REQ, ECHO_RESP)
+        assert err.value.status is StatusCode.UNIMPLEMENTED
+
+    def test_unknown_service_unimplemented(self):
+        _, channel = make_stack()
+        with pytest.raises(RpcError) as err:
+            channel.call("Ghost", "Say", {}, ECHO_REQ, ECHO_RESP)
+        assert err.value.status is StatusCode.UNIMPLEMENTED
+
+    def test_deadline_exceeded(self):
+        server = RpcServer()
+        server.register(make_service())
+        transport = LoopbackTransport(server, latency_s=0.05)
+        channel = Channel(transport)
+        with pytest.raises(RpcError) as err:
+            channel.call("Echo", "Say", {"text": "x"}, ECHO_REQ, ECHO_RESP,
+                         deadline_s=0.01)
+        assert err.value.status is StatusCode.DEADLINE_EXCEEDED
+
+    def test_deadline_not_exceeded(self):
+        _, channel = make_stack()
+        reply = channel.call("Echo", "Say", {"text": "x"}, ECHO_REQ,
+                             ECHO_RESP, deadline_s=5.0)
+        assert reply["text"] == "x"
+
+    def test_counters(self):
+        server, channel = make_stack()
+        for _ in range(3):
+            channel.call("Echo", "Say", {"text": "x"}, ECHO_REQ, ECHO_RESP)
+        assert channel.calls_made == 3
+        assert server.calls_served == 3
+        assert channel.transport.bytes_sent > 0
+        assert channel.transport.bytes_received > 0
+
+
+class TestInterceptors:
+    def test_client_interceptor_sees_call_info(self):
+        _, channel = make_stack()
+        seen = []
+        channel.add_interceptor(lambda info, req: seen.append(info))
+        channel.call("Echo", "Say", {"text": "x"}, ECHO_REQ, ECHO_RESP)
+        assert seen[0].full_method == "/Echo/Say"
+        assert seen[0].trace_id == seen[0].span_id
+
+    def test_server_interceptor_sees_request(self):
+        server, channel = make_stack()
+        seen = []
+        server.add_interceptor(lambda info, req: seen.append((info, req)))
+        channel.call("Echo", "Say", {"text": "ping"}, ECHO_REQ, ECHO_RESP)
+        info, req = seen[0]
+        assert info.full_method == "/Echo/Say"
+        assert req["text"] == "ping"
+
+    def test_trace_context_propagates(self):
+        server, channel = make_stack()
+        seen = []
+        server.add_interceptor(lambda info, req: seen.append(info))
+        channel.call("Echo", "Say", {"text": "x"}, ECHO_REQ, ECHO_RESP,
+                     trace_id=4242, parent_id=7)
+        assert seen[0].trace_id == 4242
+        assert seen[0].parent_id == 7
+
+    def test_duplicate_service_rejected(self):
+        server = RpcServer()
+        server.register(make_service())
+        with pytest.raises(ValueError):
+            server.register(make_service())

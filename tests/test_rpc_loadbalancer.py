@@ -1,0 +1,120 @@
+"""Tests for load-balancing policies."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.rpc.loadbalancer import (
+    LeastLoadedPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    WeightedLatencyPolicy,
+    pick_cluster_latency_aware,
+)
+
+RNG = np.random.default_rng(21)
+
+
+@dataclass
+class Target:
+    name: str
+    _load: float = 0.0
+    latency: float = 1e-3
+
+    def load(self) -> float:
+        return self._load
+
+
+TARGETS = [Target("a", 1.0), Target("b", 5.0), Target("c", 2.0)]
+
+
+def test_random_covers_all_targets():
+    p = RandomPolicy()
+    picked = {p.pick(TARGETS, RNG).name for _ in range(200)}
+    assert picked == {"a", "b", "c"}
+
+
+def test_random_roughly_uniform():
+    p = RandomPolicy()
+    counts = {"a": 0, "b": 0, "c": 0}
+    for _ in range(3000):
+        counts[p.pick(TARGETS, RNG).name] += 1
+    for v in counts.values():
+        assert 800 < v < 1200
+
+
+def test_round_robin_cycles():
+    p = RoundRobinPolicy()
+    names = [p.pick(TARGETS, RNG).name for _ in range(6)]
+    assert names == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_least_loaded_prefers_cold_target():
+    p = LeastLoadedPolicy(d=3)
+    # With d == n, the policy may still re-draw duplicates (sampling with
+    # replacement by design); over many picks the coldest must dominate.
+    counts = {"a": 0, "b": 0, "c": 0}
+    for _ in range(500):
+        counts[p.pick(TARGETS, RNG).name] += 1
+    assert counts["a"] > counts["b"]
+    assert counts["a"] > counts["c"]
+
+
+def test_least_loaded_d1_is_random():
+    p = LeastLoadedPolicy(d=1)
+    picked = {p.pick(TARGETS, RNG).name for _ in range(300)}
+    assert picked == {"a", "b", "c"}
+
+
+def test_least_loaded_custom_load_fn():
+    p = LeastLoadedPolicy(d=3, load_of=lambda t: -t._load)  # prefer hottest
+    counts = {"a": 0, "b": 0, "c": 0}
+    for _ in range(300):
+        counts[p.pick(TARGETS, RNG).name] += 1
+    assert counts["b"] == max(counts.values())
+
+
+def test_least_loaded_invalid_d():
+    with pytest.raises(ValueError):
+        LeastLoadedPolicy(d=0)
+
+
+def test_weighted_latency_prefers_close_targets():
+    near = Target("near", latency=100e-6)
+    far = Target("far", latency=50e-3)
+    p = WeightedLatencyPolicy(latency_of=lambda t: t.latency)
+    counts = {"near": 0, "far": 0}
+    for _ in range(2000):
+        counts[p.pick([near, far], RNG).name] += 1
+    assert counts["near"] > 20 * counts["far"]
+
+
+def test_weighted_latency_never_starves():
+    near = Target("near", latency=1e-3)
+    far = Target("far", latency=5e-3)
+    p = WeightedLatencyPolicy(latency_of=lambda t: t.latency, power=1.0)
+    counts = {"near": 0, "far": 0}
+    for _ in range(5000):
+        counts[p.pick([near, far], RNG).name] += 1
+    assert counts["far"] > 100
+
+
+def test_convenience_function():
+    near = Target("near", latency=1e-4)
+    far = Target("far", latency=1e-1)
+    wins = sum(
+        pick_cluster_latency_aware([near, far], lambda t: t.latency, RNG).name
+        == "near"
+        for _ in range(100)
+    )
+    assert wins > 90
+
+
+@pytest.mark.parametrize("policy", [
+    RandomPolicy(), RoundRobinPolicy(), LeastLoadedPolicy(),
+    WeightedLatencyPolicy(lambda t: t.latency),
+])
+def test_empty_targets_rejected(policy):
+    with pytest.raises(ValueError):
+        policy.pick([], RNG)

@@ -1,0 +1,63 @@
+"""Tests for message envelopes and the hedging policy."""
+
+import pytest
+
+from repro.rpc.errors import StatusCode
+from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
+from repro.rpc.message import Request, Response, RpcMetadata, new_rpc_id
+
+
+class TestMetadata:
+    def test_full_method(self):
+        md = RpcMetadata(service="S", method="M", trace_id=1, span_id=2)
+        assert md.full_method == "S/M"
+        assert md.parent_id is None
+        assert md.hedge_attempt == 0
+
+    def test_rpc_ids_unique(self):
+        ids = {new_rpc_id() for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestEnvelopes:
+    def md(self):
+        return RpcMetadata(service="S", method="M", trace_id=1, span_id=2)
+
+    def test_payload_sets_size(self):
+        req = Request(metadata=self.md(), size_bytes=0, payload=b"abcd")
+        assert req.size_bytes == 4
+
+    def test_size_only_request(self):
+        req = Request(metadata=self.md(), size_bytes=1024)
+        assert req.size_bytes == 1024
+        assert req.payload is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Request(metadata=self.md(), size_bytes=-1)
+
+    def test_response_ok_predicate(self):
+        ok = Response(metadata=self.md())
+        assert ok.ok
+        failed = Response(metadata=self.md(), status=StatusCode.NOT_FOUND)
+        assert not failed.ok
+
+
+class TestHedgingPolicy:
+    def test_should_hedge_bounds(self):
+        p = HedgingPolicy(enabled=True, delay_s=1e-3, max_attempts=2)
+        assert p.should_hedge(1)
+        assert not p.should_hedge(2)
+
+    def test_disabled_never_hedges(self):
+        assert not NO_HEDGING.should_hedge(1)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            HedgingPolicy(enabled=True, delay_s=-1.0)
+        with pytest.raises(ValueError):
+            HedgingPolicy(enabled=True, delay_s=1.0, max_attempts=1)
+
+    def test_from_percentile_estimate(self):
+        p = HedgingPolicy.from_percentile_estimate(25e-3)
+        assert p.enabled and p.delay_s == 25e-3 and p.max_attempts == 2

@@ -1,0 +1,205 @@
+"""Tests for the nine-component latency anatomy and cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.stack import (
+    APP_COMPONENT,
+    COMPONENTS,
+    PROC_COMPONENTS,
+    QUEUE_COMPONENTS,
+    TAX_COMPONENTS,
+    WIRE_COMPONENTS,
+    ComponentDistributions,
+    ComponentMatrix,
+    CycleCosts,
+    LatencyBreakdown,
+    StackCostModel,
+)
+from repro.sim.distributions import Constant, LogNormal
+
+
+def test_component_taxonomy_partitions():
+    assert len(COMPONENTS) == 9
+    grouped = set(QUEUE_COMPONENTS) | set(WIRE_COMPONENTS) | set(PROC_COMPONENTS)
+    assert grouped | {APP_COMPONENT} == set(COMPONENTS)
+    assert APP_COMPONENT not in grouped
+    assert set(TAX_COMPONENTS) == set(COMPONENTS) - {APP_COMPONENT}
+
+
+class TestLatencyBreakdown:
+    def test_total_and_tax(self):
+        b = LatencyBreakdown(server_application=1.0, request_network_wire=0.1,
+                             server_recv_queue=0.05)
+        assert b.total() == pytest.approx(1.15)
+        assert b.tax() == pytest.approx(0.15)
+        assert b.tax_ratio() == pytest.approx(0.15 / 1.15)
+
+    def test_zero_breakdown_ratio(self):
+        assert LatencyBreakdown().tax_ratio() == 0.0
+
+    def test_groupings(self):
+        b = LatencyBreakdown(
+            client_send_queue=1, request_proc_stack=2, request_network_wire=3,
+            server_recv_queue=4, server_application=5, server_send_queue=6,
+            response_proc_stack=7, response_network_wire=8, client_recv_queue=9,
+        )
+        assert b.queueing() == 1 + 4 + 6 + 9
+        assert b.wire() == 3 + 8
+        assert b.proc_stack() == 2 + 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(server_application=-1.0)
+
+    def test_array_roundtrip(self):
+        b = LatencyBreakdown(server_application=2.0, client_recv_queue=0.5)
+        assert LatencyBreakdown.from_array(b.as_array()) == b
+
+    def test_from_array_wrong_length(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown.from_array([1.0, 2.0])
+
+    def test_replace(self):
+        b = LatencyBreakdown(server_application=2.0)
+        c = b.replace(server_application=1.0, client_send_queue=0.5)
+        assert c.server_application == 1.0
+        assert c.client_send_queue == 0.5
+        assert b.server_application == 2.0  # original untouched
+
+
+class TestComponentMatrix:
+    def make(self, n=10):
+        rng = np.random.default_rng(0)
+        return ComponentMatrix(rng.random((n, 9)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ComponentMatrix(np.zeros((5, 8)))
+        with pytest.raises(ValueError):
+            ComponentMatrix(np.full((2, 9), -1.0))
+
+    def test_total_equals_row_sums(self):
+        m = self.make()
+        assert np.allclose(m.total(), m.values.sum(axis=1))
+
+    def test_tax_plus_app_equals_total(self):
+        m = self.make()
+        assert np.allclose(m.tax() + m.application(), m.total())
+
+    def test_groups_sum_to_tax(self):
+        m = self.make()
+        assert np.allclose(m.queueing() + m.wire() + m.proc_stack(), m.tax())
+
+    def test_tax_ratio_in_unit_interval(self):
+        m = self.make(100)
+        r = m.tax_ratio()
+        assert np.all(r >= 0) and np.all(r <= 1)
+
+    def test_row_accessor(self):
+        m = self.make()
+        row = m.row(3)
+        assert isinstance(row, LatencyBreakdown)
+        assert row.total() == pytest.approx(m.total()[3])
+
+    def test_with_component_replaces_column(self):
+        m = self.make()
+        replaced = m.with_component("server_application", np.zeros(len(m)))
+        assert np.all(replaced.application() == 0)
+        assert not np.all(m.application() == 0)  # original untouched
+
+    def test_subset_and_concat(self):
+        m = self.make(10)
+        mask = np.arange(10) < 4
+        sub = m.subset(mask)
+        assert len(sub) == 4
+        joined = ComponentMatrix.concat([sub, m.subset(~mask)])
+        assert len(joined) == 10
+
+    def test_concat_empty(self):
+        assert len(ComponentMatrix.concat([])) == 0
+
+    def test_from_breakdowns(self):
+        rows = [LatencyBreakdown(server_application=float(i)) for i in range(3)]
+        m = ComponentMatrix.from_breakdowns(rows)
+        assert list(m.application()) == [0.0, 1.0, 2.0]
+
+
+class TestComponentDistributions:
+    def test_missing_components_default_zero(self):
+        cd = ComponentDistributions({"server_application": Constant(1.0)})
+        m = cd.sample(np.random.default_rng(0), 5)
+        assert np.all(m.application() == 1.0)
+        assert np.all(m.tax() == 0.0)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentDistributions({"bogus": Constant(1.0)})
+
+    def test_sampling_distributions(self):
+        cd = ComponentDistributions({
+            "server_application": LogNormal.from_median_sigma(1e-3, 0.5),
+            "server_recv_queue": Constant(1e-4),
+        })
+        m = cd.sample(np.random.default_rng(1), 5000)
+        assert np.median(m.application()) == pytest.approx(1e-3, rel=0.1)
+        assert np.all(m["server_recv_queue"] == 1e-4)
+
+
+class TestStackCostModel:
+    def test_proc_time_monotone_in_size(self):
+        sm = StackCostModel()
+        assert sm.proc_stack_time_s(100) < sm.proc_stack_time_s(100_000)
+
+    def test_proc_time_vec_matches_scalar(self):
+        sm = StackCostModel()
+        sizes = np.array([64.0, 1500.0, 1e6])
+        vec = sm.proc_stack_time_vec(sizes)
+        for i, size in enumerate(sizes):
+            assert vec[i] == pytest.approx(sm.proc_stack_time_s(size))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            StackCostModel().proc_stack_time_s(-1)
+
+    def test_cycles_components_positive_and_additive(self):
+        sm = StackCostModel()
+        c = sm.cycles(1000, 2000, 0.05)
+        assert isinstance(c, CycleCosts)
+        assert c.application == 0.05
+        assert c.tax() > 0
+        assert c.total() == pytest.approx(c.application + c.tax())
+
+    def test_cycles_vec_matches_scalar(self):
+        sm = StackCostModel()
+        req = np.array([100.0, 5000.0])
+        resp = np.array([200.0, 10000.0])
+        app = np.array([0.02, 0.3])
+        vec = sm.cycles_vec(req, resp, app)
+        for i in range(2):
+            scalar = sm.cycles(req[i], resp[i], app[i])
+            for cat, arr in vec.items():
+                assert arr[i] == pytest.approx(getattr(scalar, cat)
+                                               if cat != "application"
+                                               else scalar.application)
+
+    def test_bigger_messages_cost_more_compression(self):
+        sm = StackCostModel()
+        small = sm.cycles(64, 64, 0.0)
+        big = sm.cycles(100_000, 100_000, 0.0)
+        assert big.compression > small.compression * 10
+
+
+@given(values=st.lists(
+    st.lists(st.floats(0, 1e3, allow_nan=False), min_size=9, max_size=9),
+    min_size=1, max_size=20,
+))
+@settings(max_examples=50, deadline=None)
+def test_matrix_invariants_property(values):
+    m = ComponentMatrix(np.array(values))
+    # Tax never exceeds total; groupings partition the tax exactly.
+    assert np.all(m.tax() <= m.total() + 1e-9)
+    assert np.allclose(m.queueing() + m.wire() + m.proc_stack(), m.tax())
+    assert np.all((m.tax_ratio() >= 0) & (m.tax_ratio() <= 1))

@@ -1,0 +1,97 @@
+"""Tests for the client-stub generator."""
+
+import pytest
+
+from repro.rpc.errors import RpcError, StatusCode
+from repro.rpc.framework import Channel, LoopbackTransport, RpcServer, ServiceDef
+from repro.rpc.stubgen import StubError, generate_stub_source, make_stub
+from repro.rpc.wire import FieldSpec, FieldType, MessageSchema
+
+REQ = MessageSchema("Req", [FieldSpec(1, "x", FieldType.INT64)])
+RESP = MessageSchema("Resp", [FieldSpec(1, "y", FieldType.INT64)])
+
+
+def build_service():
+    svc = ServiceDef("Math")
+
+    @svc.method("Double", REQ, RESP)
+    def double(request):
+        return {"y": 2 * request.get("x", 0)}
+
+    @svc.method("AddOne", REQ, RESP)
+    def add_one(request):
+        return {"y": request.get("x", 0) + 1}
+
+    return svc
+
+
+def build_channel(svc):
+    server = RpcServer()
+    server.register(svc)
+    return Channel(LoopbackTransport(server))
+
+
+class TestRuntimeStub:
+    def test_methods_snake_cased(self):
+        svc = build_service()
+        stub = make_stub(build_channel(svc), svc)
+        assert hasattr(stub, "double")
+        assert hasattr(stub, "add_one")
+
+    def test_calls_roundtrip(self):
+        svc = build_service()
+        stub = make_stub(build_channel(svc), svc)
+        assert stub.double({"x": 21}) == {"y": 42}
+        assert stub.add_one({"x": 41}) == {"y": 42}
+
+    def test_deadline_passthrough(self):
+        svc = build_service()
+        stub = make_stub(build_channel(svc), svc)
+        assert stub.double({"x": 1}, deadline_s=5.0) == {"y": 2}
+
+    def test_errors_propagate(self):
+        svc = ServiceDef("Boom")
+
+        @svc.method("Fail", REQ, RESP)
+        def fail(request):
+            raise RpcError(StatusCode.NOT_FOUND, "nope")
+
+        stub = make_stub(build_channel(svc), svc)
+        with pytest.raises(RpcError):
+            stub.fail({"x": 1})
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(StubError):
+            make_stub(build_channel(build_service()), ServiceDef("Empty"))
+
+    def test_docstrings_mention_schemas(self):
+        svc = build_service()
+        stub = make_stub(build_channel(svc), svc)
+        assert "Req" in stub.double.__doc__
+
+
+class TestSourceGeneration:
+    def test_source_is_deterministic(self):
+        svc = build_service()
+        assert generate_stub_source(svc) == generate_stub_source(svc)
+
+    def test_source_executes_and_calls(self):
+        svc = build_service()
+        source = generate_stub_source(svc)
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        stub_cls = namespace["MathStub"]
+        channel = build_channel(svc)
+        schemas = {name: (m.request_schema, m.response_schema)
+                   for name, m in svc.methods.items()}
+        stub = stub_cls(channel, schemas)
+        assert stub.double({"x": 5}) == {"y": 10}
+        assert stub.add_one({"x": 5}) == {"y": 6}
+
+    def test_methods_sorted_in_source(self):
+        source = generate_stub_source(build_service())
+        assert source.index("def add_one") < source.index("def double")
+
+    def test_invalid_service_name_rejected(self):
+        with pytest.raises(StubError):
+            generate_stub_source(ServiceDef("not-an-identifier"))

@@ -1,0 +1,145 @@
+"""Tests for the TCP transport (real sockets on localhost)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.rpc.errors import RpcError, StatusCode
+from repro.rpc.framework import Channel, RpcServer, ServiceDef
+from repro.rpc.stubgen import make_stub
+from repro.rpc.transport import (
+    MAX_FRAME_BYTES,
+    TcpRpcServer,
+    TcpTransport,
+    TransportError,
+    read_frame,
+    write_frame,
+)
+from repro.rpc.wire import FieldSpec, FieldType, MessageSchema
+
+REQ = MessageSchema("Req", [FieldSpec(1, "x", FieldType.INT64)])
+RESP = MessageSchema("Resp", [FieldSpec(1, "y", FieldType.INT64)])
+
+
+def build_service():
+    svc = ServiceDef("Math")
+
+    @svc.method("Double", REQ, RESP)
+    def double(request):
+        return {"y": 2 * request.get("x", 0)}
+
+    return svc
+
+
+@pytest.fixture()
+def tcp_server():
+    rpc = RpcServer()
+    rpc.register(build_service())
+    server = TcpRpcServer(rpc)
+    server.serve_in_background()
+    yield server
+    server.close()
+
+
+def test_call_over_real_socket(tcp_server):
+    host, port = tcp_server.address
+    with TcpTransport(host, port) as transport:
+        channel = Channel(transport)
+        reply = channel.call("Math", "Double", {"x": 21}, REQ, RESP)
+        assert reply == {"y": 42}
+        assert transport.bytes_sent > 0
+        assert transport.bytes_received > 0
+
+
+def test_many_sequential_calls_one_connection(tcp_server):
+    host, port = tcp_server.address
+    with TcpTransport(host, port) as transport:
+        channel = Channel(transport)
+        for i in range(50):
+            assert channel.call("Math", "Double", {"x": i},
+                                REQ, RESP) == {"y": 2 * i}
+    assert tcp_server.connections_accepted == 1
+
+
+def test_concurrent_clients(tcp_server):
+    host, port = tcp_server.address
+    errors = []
+
+    def worker(base):
+        try:
+            with TcpTransport(host, port) as transport:
+                channel = Channel(transport)
+                for i in range(20):
+                    out = channel.call("Math", "Double", {"x": base + i},
+                                       REQ, RESP)
+                    assert out == {"y": 2 * (base + i)}
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(k * 1000,))
+               for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert tcp_server.connections_accepted == 4
+
+
+def test_stub_over_tcp(tcp_server):
+    host, port = tcp_server.address
+    with TcpTransport(host, port) as transport:
+        stub = make_stub(Channel(transport), build_service())
+        assert stub.double({"x": 8}) == {"y": 16}
+
+
+def test_unknown_method_error_over_tcp(tcp_server):
+    host, port = tcp_server.address
+    with TcpTransport(host, port) as transport:
+        channel = Channel(transport)
+        with pytest.raises(RpcError) as err:
+            channel.call("Math", "Nope", {"x": 1}, REQ, RESP)
+        assert err.value.status is StatusCode.UNIMPLEMENTED
+
+
+def test_garbage_frame_drops_connection(tcp_server):
+    host, port = tcp_server.address
+    sock = socket.create_connection((host, port), timeout=2.0)
+    write_frame(sock, b"not an rpc frame")
+    # The server drops the connection rather than replying.
+    sock.settimeout(2.0)
+    with pytest.raises((TransportError, socket.timeout, ConnectionError)):
+        read_frame(sock)
+    sock.close()
+
+
+def test_frame_helpers_roundtrip():
+    a, b = socket.socketpair()
+    try:
+        write_frame(a, b"hello frames")
+        assert read_frame(b) == b"hello frames"
+    finally:
+        a.close()
+        b.close()
+
+
+def test_oversized_frame_rejected():
+    a, b = socket.socketpair()
+    try:
+        with pytest.raises(TransportError):
+            write_frame(a, b"x" * (MAX_FRAME_BYTES + 1))
+    finally:
+        a.close()
+        b.close()
+
+
+def test_short_read_raises():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"\x00\x00\x00\x10abc")  # promises 16 bytes, sends 3
+        a.close()
+        with pytest.raises(TransportError):
+            read_frame(b)
+    finally:
+        b.close()

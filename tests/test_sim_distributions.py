@@ -1,0 +1,209 @@
+"""Tests for the distribution library, including property-based checks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.distributions import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Shifted,
+    Truncated,
+    Uniform,
+    Weibull,
+    lognormal_from_median_p99,
+    zipf_weights,
+)
+
+RNG = np.random.default_rng(1234)
+
+
+def test_constant_samples_and_moments():
+    d = Constant(3.5)
+    assert np.all(d.sample(RNG, 10) == 3.5)
+    assert d.mean() == 3.5
+    assert d.quantile(0.99) == 3.5
+
+
+def test_uniform_bounds_and_mean():
+    d = Uniform(1.0, 3.0)
+    x = d.sample(RNG, 10_000)
+    assert x.min() >= 1.0 and x.max() <= 3.0
+    assert d.mean() == pytest.approx(2.0)
+    assert abs(x.mean() - 2.0) < 0.05
+    assert d.quantile(0.5) == pytest.approx(2.0)
+
+
+def test_uniform_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        Uniform(3.0, 1.0)
+
+
+def test_exponential_mean_and_quantile():
+    d = Exponential(2.0)
+    x = d.sample(RNG, 50_000)
+    assert abs(x.mean() - 2.0) < 0.05
+    assert d.quantile(0.5) == pytest.approx(2.0 * math.log(2))
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        Exponential(0.0)
+
+
+def test_lognormal_median_and_quantiles():
+    d = LogNormal.from_median_sigma(10.0, 1.0)
+    assert d.median() == pytest.approx(10.0)
+    x = d.sample(RNG, 100_000)
+    assert abs(np.median(x) - 10.0) / 10.0 < 0.03
+    # Analytic quantile vs empirical.
+    assert abs(np.percentile(x, 99) - d.quantile(0.99)) / d.quantile(0.99) < 0.08
+
+
+def test_lognormal_cdf_quantile_inverse():
+    d = LogNormal(1.0, 0.7)
+    for q in (0.01, 0.25, 0.5, 0.9, 0.99):
+        assert d.cdf(d.quantile(q)) == pytest.approx(q, abs=1e-6)
+
+
+def test_lognormal_from_median_p99_hits_targets():
+    d = lognormal_from_median_p99(5e-3, 225e-3)
+    assert d.quantile(0.5) == pytest.approx(5e-3)
+    assert d.quantile(0.99) == pytest.approx(225e-3, rel=1e-9)
+
+
+def test_lognormal_from_median_p99_rejects_inverted():
+    with pytest.raises(ValueError):
+        lognormal_from_median_p99(1.0, 0.5)
+
+
+def test_pareto_scale_and_tail():
+    d = Pareto(2.0, 1.5)
+    x = d.sample(RNG, 50_000)
+    assert x.min() >= 2.0
+    assert d.mean() == pytest.approx(6.0)
+    assert d.quantile(0.99) == pytest.approx(2.0 * 100 ** (1 / 1.5))
+
+
+def test_pareto_infinite_mean_for_alpha_le_1():
+    assert math.isinf(Pareto(1.0, 1.0).mean())
+
+
+def test_weibull_mean_and_quantile():
+    d = Weibull(scale=1.0, shape=0.5)
+    assert d.mean() == pytest.approx(math.gamma(3.0))
+    x = d.sample(RNG, 100_000)
+    assert abs(np.median(x) - d.quantile(0.5)) / d.quantile(0.5) < 0.05
+
+
+def test_mixture_weights_normalized_and_mean():
+    d = Mixture([Constant(1.0), Constant(3.0)], [1.0, 3.0])
+    assert d.mean() == pytest.approx(2.5)
+    x = d.sample(RNG, 20_000)
+    assert abs((x == 3.0).mean() - 0.75) < 0.02
+
+
+def test_mixture_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        Mixture([Constant(1.0)], [0.0])
+    with pytest.raises(ValueError):
+        Mixture([Constant(1.0), Constant(2.0)], [1.0])
+    with pytest.raises(ValueError):
+        Mixture([], [])
+
+
+def test_truncated_clips_both_sides():
+    d = Truncated(LogNormal.from_median_sigma(10.0, 2.0), low=5.0, high=20.0)
+    x = d.sample(RNG, 10_000)
+    assert x.min() >= 5.0 and x.max() <= 20.0
+
+
+def test_truncated_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        Truncated(Constant(1.0), low=2.0, high=1.0)
+
+
+def test_shifted_offsets_everything():
+    d = Shifted(Constant(1.0), 0.5)
+    assert d.mean() == pytest.approx(1.5)
+    assert np.all(d.sample(RNG, 5) == 1.5)
+    assert d.quantile(0.5) == pytest.approx(1.5)
+
+
+def test_empirical_resamples_observed_values():
+    d = Empirical([1.0, 2.0, 3.0])
+    x = d.sample(RNG, 1000)
+    assert set(np.unique(x)) <= {1.0, 2.0, 3.0}
+    assert d.mean() == pytest.approx(2.0)
+    assert d.quantile(0.5) == pytest.approx(2.0)
+
+
+def test_empirical_rejects_empty():
+    with pytest.raises(ValueError):
+        Empirical([])
+
+
+def test_zipf_weights_normalized_and_decreasing():
+    w = zipf_weights(100, 1.1)
+    assert w.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(w) <= 0)
+
+
+def test_zipf_weights_uniform_at_zero_exponent():
+    w = zipf_weights(10, 0.0)
+    assert np.allclose(w, 0.1)
+
+
+def test_zipf_rejects_bad_args():
+    with pytest.raises(ValueError):
+        zipf_weights(0)
+    with pytest.raises(ValueError):
+        zipf_weights(10, -1.0)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+@given(median=st.floats(1e-6, 1e3), sigma=st.floats(0.01, 3.0))
+@settings(max_examples=60, deadline=None)
+def test_lognormal_quantiles_monotone(median, sigma):
+    d = LogNormal.from_median_sigma(median, sigma)
+    qs = [d.quantile(q) for q in (0.01, 0.1, 0.5, 0.9, 0.99)]
+    assert all(a <= b for a, b in zip(qs, qs[1:]))
+    assert d.quantile(0.5) == pytest.approx(median, rel=1e-9)
+
+
+@given(median=st.floats(1e-6, 1.0),
+       tail_factor=st.floats(1.0 + 1e-9, 1e4))
+@settings(max_examples=60, deadline=None)
+def test_lognormal_from_median_p99_roundtrip(median, tail_factor):
+    p99 = median * tail_factor
+    d = lognormal_from_median_p99(median, p99)
+    assert d.quantile(0.99) == pytest.approx(p99, rel=1e-6)
+
+
+@given(low=st.floats(0.0, 10.0), width=st.floats(0.0, 10.0),
+       seed=st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_truncated_always_within_bounds(low, width, seed):
+    rng = np.random.default_rng(seed)
+    d = Truncated(LogNormal(0.0, 2.0), low=low, high=low + width)
+    x = d.sample(rng, 100)
+    assert np.all(x >= low) and np.all(x <= low + width)
+
+
+@given(n=st.integers(1, 500), s=st.floats(0.0, 3.0))
+@settings(max_examples=40, deadline=None)
+def test_zipf_weights_properties(n, s):
+    w = zipf_weights(n, s)
+    assert len(w) == n
+    assert w.sum() == pytest.approx(1.0)
+    assert np.all(w > 0)
+    assert np.all(np.diff(w) <= 1e-15)

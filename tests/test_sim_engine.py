@@ -1,0 +1,158 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.after(2.0, lambda: seen.append("b"))
+    sim.after(1.0, lambda: seen.append("a"))
+    sim.after(3.0, lambda: seen.append("c"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for name in "abc":
+        sim.after(1.0, lambda n=name: seen.append(n))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.after(0.5, lambda: times.append(sim.now))
+    sim.after(1.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 1.25]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    ev = sim.after(1.0, lambda: seen.append("x"))
+    assert ev.cancel()
+    sim.run()
+    assert seen == []
+    assert not ev.fired
+
+
+def test_cancel_after_fire_returns_false():
+    sim = Simulator()
+    ev = sim.after(1.0, lambda: None)
+    sim.run()
+    assert not ev.cancel()
+
+
+def test_event_pending_property():
+    sim = Simulator()
+    ev = sim.after(1.0, lambda: None)
+    assert ev.pending
+    ev.cancel()
+    assert not ev.pending
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    seen = []
+    sim.after(1.0, lambda: seen.append(1))
+    sim.after(2.0, lambda: seen.append(2))
+    sim.after(3.0, lambda: seen.append(3))
+    fired = sim.run_until(2.0)
+    assert fired == 2
+    assert seen == [1, 2]
+    assert sim.now == 2.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(1.0)
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run_until(10.0)
+    assert sim.now == 10.0
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.after(1.0, lambda: seen.append("second"))
+
+    sim.after(1.0, first)
+    sim.run()
+    assert seen == ["second"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    for i in range(10):
+        sim.after(float(i + 1), lambda: None)
+    fired = sim.run(max_events=3)
+    assert fired == 3
+    assert sim.pending_events == 7
+
+
+def test_every_fires_periodically():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now), until=5.0)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_every_start_after():
+    sim = Simulator()
+    ticks = []
+    sim.every(2.0, lambda: ticks.append(sim.now), start_after=0.5, until=5.0)
+    sim.run()
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_every_cancel_stops_chain():
+    sim = Simulator()
+    ticks = []
+    task = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.after(3.5, task.cancel)
+    sim.run(max_events=100)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert task.fires == 3
+
+
+def test_every_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.after(float(i), lambda: None)
+    sim.run()
+    assert sim.events_fired == 5

@@ -1,0 +1,198 @@
+"""Tests for the server-pool queue model."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.queues import Job, ServerPool
+
+
+def test_single_server_serializes_jobs():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    done = []
+    pool.submit(Job(1.0, on_done=lambda w: done.append((sim.now, w))))
+    pool.submit(Job(1.0, on_done=lambda w: done.append((sim.now, w))))
+    sim.run()
+    assert done == [(1.0, 0.0), (2.0, 1.0)]
+
+
+def test_parallel_servers_run_concurrently():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=2)
+    done = []
+    for _ in range(2):
+        pool.submit(Job(1.0, on_done=lambda w: done.append(sim.now)))
+    sim.run()
+    assert done == [1.0, 1.0]
+
+
+def test_fifo_order():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    order = []
+    for i in range(4):
+        pool.submit(Job(0.5, on_done=lambda w, i=i: order.append(i)))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_wait_accounting():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    for _ in range(3):
+        pool.submit(Job(2.0))
+    sim.run()
+    assert pool.stats.jobs_completed == 3
+    # Waits: 0, 2, 4 seconds.
+    assert pool.stats.total_wait == pytest.approx(6.0)
+    assert pool.stats.mean_wait == pytest.approx(2.0)
+    assert pool.stats.mean_service == pytest.approx(2.0)
+
+
+def test_record_waits_list():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1, record_waits=True)
+    for _ in range(3):
+        pool.submit(Job(1.0))
+    sim.run()
+    assert pool.stats.waits == [0.0, 1.0, 2.0]
+
+
+def test_queue_depth_and_busy():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    for _ in range(3):
+        pool.submit(Job(1.0))
+    assert pool.busy_servers == 1
+    assert pool.queue_depth == 2
+    assert pool.stats.max_queue_depth == 2
+    sim.run()
+    assert pool.busy_servers == 0
+    assert pool.queue_depth == 0
+
+
+def test_utilization_integral():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=2)
+    pool.mark()
+    pool.submit(Job(1.0))
+    pool.submit(Job(1.0))
+    sim.run()
+    sim.run_until(2.0)
+    # Both servers busy for 1s out of a 2s window with 2 servers => 0.5.
+    assert pool.utilization(since=0.0) == pytest.approx(0.5)
+
+
+def test_utilization_after_mark_resets():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    pool.submit(Job(1.0))
+    sim.run()
+    pool.mark()
+    sim.run_until(2.0)
+    assert pool.utilization(since=1.0) == pytest.approx(0.0)
+
+
+def test_jobs_started_later_by_event():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    done = []
+    sim.after(5.0, lambda: pool.submit(Job(1.0, on_done=lambda w: done.append(sim.now))))
+    sim.run()
+    assert done == [6.0]
+
+
+def test_on_start_callback_receives_wait():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    starts = []
+    pool.submit(Job(1.0, on_start=lambda w: starts.append(w)))
+    pool.submit(Job(1.0, on_start=lambda w: starts.append(w)))
+    sim.run()
+    assert starts == [0.0, 1.0]
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    with pytest.raises(ValueError):
+        pool.submit(Job(-1.0))
+
+
+def test_zero_servers_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ServerPool(sim, servers=0)
+
+
+def test_submit_callable_convenience():
+    sim = Simulator()
+    pool = ServerPool(sim, servers=1)
+    done = []
+    job = pool.submit_callable(0.7, on_done=lambda w: done.append(sim.now))
+    sim.run()
+    assert done == [0.7]
+    assert job.started_at == 0.0
+
+
+class TestDisciplines:
+    def test_invalid_discipline_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ServerPool(sim, servers=1, discipline="bogus")
+
+    def test_sjf_runs_short_jobs_first(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=1, discipline="sjf")
+        order = []
+        pool.submit(Job(1.0, on_done=lambda w: order.append("first")))
+        # Queued while busy: the 0.1s job must jump the 5s job.
+        pool.submit(Job(5.0, on_done=lambda w: order.append("long")))
+        pool.submit(Job(0.1, on_done=lambda w: order.append("short")))
+        sim.run()
+        assert order == ["first", "short", "long"]
+
+    def test_lifo_runs_newest_first(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=1, discipline="lifo")
+        order = []
+        pool.submit(Job(1.0, on_done=lambda w: order.append(0)))
+        for i in (1, 2, 3):
+            pool.submit(Job(1.0, on_done=lambda w, i=i: order.append(i)))
+        sim.run()
+        assert order == [0, 3, 2, 1]
+
+    def test_sjf_ties_broken_fifo(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=1, discipline="sjf")
+        order = []
+        pool.submit(Job(1.0, on_done=lambda w: order.append("a")))
+        pool.submit(Job(2.0, on_done=lambda w: order.append("b")))
+        pool.submit(Job(2.0, on_done=lambda w: order.append("c")))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_queue_depth_counts_sjf_heap(self):
+        sim = Simulator()
+        pool = ServerPool(sim, servers=1, discipline="sjf")
+        pool.submit(Job(1.0))
+        pool.submit(Job(1.0))
+        pool.submit(Job(1.0))
+        assert pool.queue_depth == 2
+        sim.run()
+        assert pool.queue_depth == 0
+
+    def test_sjf_reduces_mean_wait_for_heavy_tails(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        services = rng.lognormal(0.0, 1.5, 300)
+        waits = {}
+        for disc in ("fifo", "sjf"):
+            sim = Simulator()
+            pool = ServerPool(sim, servers=1, discipline=disc,
+                              record_waits=True)
+            for s in services:
+                pool.submit(Job(float(s)))
+            sim.run()
+            waits[disc] = np.mean(pool.stats.waits)
+        assert waits["sjf"] < waits["fifo"]

@@ -1,0 +1,80 @@
+"""Tests for deterministic named RNG streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import RngRegistry, derive_seed
+
+
+def test_same_key_same_stream_object():
+    rngs = RngRegistry(1)
+    assert rngs.stream("a") is rngs.stream("a")
+
+
+def test_different_keys_different_sequences():
+    rngs = RngRegistry(1)
+    a = rngs.stream("a").random(5)
+    b = rngs.stream("b").random(5)
+    assert not (a == b).all()
+
+
+def test_reproducible_across_registries():
+    x = RngRegistry(42).stream("net", 3).random(4)
+    y = RngRegistry(42).stream("net", 3).random(4)
+    assert (x == y).all()
+
+
+def test_creation_order_does_not_matter():
+    r1 = RngRegistry(7)
+    r1.stream("first")
+    a = r1.stream("target").random(3)
+    r2 = RngRegistry(7)
+    b = r2.stream("target").random(3)
+    assert (a == b).all()
+
+
+def test_fresh_returns_new_generator_same_seed():
+    rngs = RngRegistry(5)
+    a = rngs.fresh("x").random(3)
+    b = rngs.fresh("x").random(3)
+    assert (a == b).all()  # same derived seed, fresh state each time
+
+
+def test_fork_gives_independent_registry():
+    parent = RngRegistry(9)
+    child = parent.fork("worker", 1)
+    assert child.seed != parent.seed
+    a = parent.stream("k").random(3)
+    b = child.stream("k").random(3)
+    assert not (a == b).all()
+
+
+def test_empty_key_rejected():
+    rngs = RngRegistry(0)
+    try:
+        rngs.stream()
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")
+
+
+def test_derive_seed_stable_values():
+    # Regression pin: derivation must never change silently, or every
+    # recorded experiment would shift.
+    assert derive_seed(0, "a") == derive_seed(0, "a")
+    assert derive_seed(0, "a") != derive_seed(1, "a")
+    assert derive_seed(0, "a", 1) != derive_seed(0, "a", 2)
+
+
+@given(seed=st.integers(0, 2**31), key=st.text(min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_derive_seed_in_64bit_range(seed, key):
+    s = derive_seed(seed, key)
+    assert 0 <= s < 2**64
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_string_vs_int_keys_distinct(seed):
+    assert derive_seed(seed, "1") != derive_seed(seed, 1)

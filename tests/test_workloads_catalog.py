@@ -1,0 +1,170 @@
+"""Tests for the calibrated method catalog.
+
+Calibration anchors are checked with generous bands — the contract is that
+the *shape* of each paper finding reproduces at small catalog sizes, with
+the full-scale comparison recorded by the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.catalog import (
+    Catalog,
+    CatalogConfig,
+    MethodSpec,
+    build_catalog,
+    sample_method_calls,
+)
+
+CFG = CatalogConfig(n_methods=400, seed=12)
+CAT = build_catalog(CFG)
+RNG = np.random.default_rng(0)
+
+
+def test_catalog_size_and_identity():
+    assert len(CAT) == 400
+    names = {m.full_method for m in CAT}
+    assert len(names) == 400
+
+
+def test_build_is_deterministic():
+    a = build_catalog(CatalogConfig(n_methods=50, seed=5))
+    b = build_catalog(CatalogConfig(n_methods=50, seed=5))
+    assert [m.median_app_s for m in a] == [m.median_app_s for m in b]
+    assert [m.popularity for m in a] == [m.popularity for m in b]
+
+
+def test_different_seeds_differ():
+    a = build_catalog(CatalogConfig(n_methods=50, seed=5))
+    b = build_catalog(CatalogConfig(n_methods=50, seed=6))
+    assert [m.median_app_s for m in a] != [m.median_app_s for m in b]
+
+
+def test_too_small_catalog_rejected():
+    with pytest.raises(ValueError):
+        build_catalog(CatalogConfig(n_methods=5))
+
+
+def test_popularity_normalized():
+    assert CAT.popularity_weights().sum() == pytest.approx(1.0)
+
+
+def test_head_method_share():
+    assert CAT.popularity_weights().max() == pytest.approx(0.28, abs=0.001)
+
+
+def test_top10_top100_shares():
+    srt = np.sort(CAT.popularity_weights())[::-1]
+    assert srt[:10].sum() == pytest.approx(0.58, abs=0.02)
+    assert srt[:100].sum() == pytest.approx(0.91, abs=0.03)
+
+
+def test_popularity_anticorrelates_with_latency():
+    meds = np.array([m.median_app_s for m in CAT])
+    pops = CAT.popularity_weights()
+    order = np.argsort(meds)
+    fast_half = pops[order[:200]].sum()
+    assert fast_half > 0.75  # most calls go to the fast half
+
+
+def test_median_latency_quantile_anchors():
+    meds = np.array([m.median_app_s for m in CAT])
+    # q10 anchor: 10.7 ms (within quantile-construction tolerance).
+    assert np.quantile(meds, 0.10) == pytest.approx(10.7e-3, rel=0.25)
+    assert np.quantile(meds, 0.50) == pytest.approx(31e-3, rel=0.25)
+    assert meds.max() < 15.0
+
+
+def test_locality_probabilities_valid():
+    for m in CAT:
+        p_local, p_region, p_wan = m.locality
+        assert p_local >= 0 and p_region >= 0 and p_wan >= 0
+        assert p_local + p_region + p_wan == pytest.approx(1.0)
+
+
+def test_slow_methods_cross_wan_more():
+    by_lat = CAT.sorted_by_median_latency()
+    fast_wan = np.mean([m.locality[2] for m in by_lat[:50]])
+    slow_wan = np.mean([m.locality[2] for m in by_lat[-50:]])
+    assert slow_wan > 3 * fast_wan
+
+
+def test_head_services_assigned():
+    services = CAT.services()
+    for svc in ("NetworkDisk", "Spanner", "KVStore", "F1", "MLInference"):
+        assert svc in services
+
+
+def test_network_disk_call_share():
+    shares = {}
+    for m in CAT:
+        shares[m.service] = shares.get(m.service, 0.0) + m.popularity
+    assert shares["NetworkDisk"] == pytest.approx(0.35, abs=0.05)
+
+
+def test_leaf_methods_mostly_zero_fanout():
+    """Storage leaves are usually true leaves, with a minority replication
+    mode (near-critical branching gives the heavy descendant tails)."""
+    from repro.workloads.catalog import LAYER_LEAF
+    rng = np.random.default_rng(1)
+    draws = []
+    for m in CAT:
+        if m.layer == LAYER_LEAF:
+            draws.extend(m.fanout.sample(rng, 40))
+    draws = np.array(draws)
+    zero_frac = (draws == 0.0).mean()
+    assert 0.6 < zero_frac < 0.9
+    assert draws.mean() < 1.1  # subcritical on average
+
+
+def test_layers_present():
+    layers = {m.layer for m in CAT}
+    assert layers == {0, 1, 2, 3}
+
+
+class TestSampling:
+    def test_sample_shapes(self):
+        s = sample_method_calls(CAT.methods[0], RNG, 500, config=CFG)
+        assert len(s) == 500
+        assert s.request_bytes.shape == (500,)
+        assert s.response_bytes.shape == (500,)
+        assert s.cycles.shape == (500,)
+        assert len(s.statuses) == 500
+
+    def test_sizes_respect_floor_and_cap(self):
+        for spec in CAT.methods[:20]:
+            s = sample_method_calls(spec, RNG, 200, config=CFG)
+            assert s.request_bytes.min() >= 64
+            assert s.request_bytes.max() <= 8e6
+            assert s.response_bytes.min() >= 64
+
+    def test_components_nonnegative(self):
+        s = sample_method_calls(CAT.methods[3], RNG, 300, config=CFG)
+        assert np.all(s.matrix.values >= 0)
+
+    def test_app_median_near_spec(self):
+        spec = CAT.sorted_by_median_latency()[len(CAT) // 2]
+        s = sample_method_calls(spec, RNG, 4000, config=CFG)
+        app = s.matrix.application()
+        # The fast (cache-hit) mode drags the mixture median below the main
+        # mode's median by up to ~40 % at the largest fast-mode weights.
+        med = np.median(app)
+        assert 0.45 * spec.median_app_s < med < 1.25 * spec.median_app_s
+
+    def test_cycles_floor_under_every_call(self):
+        s = sample_method_calls(CAT.methods[0], RNG, 500, config=CFG)
+        assert s.cycles.min() >= CFG.cycles_floor
+
+    def test_statuses_mostly_ok(self):
+        spec = CAT.methods[0]
+        s = sample_method_calls(spec, RNG, 5000, config=CFG)
+        err = np.mean([st.is_error for st in s.statuses])
+        assert err == pytest.approx(0.019, abs=0.01)
+
+    def test_proc_stack_correlates_with_size(self):
+        spec = CAT.methods[1]
+        s = sample_method_calls(spec, RNG, 3000, config=CFG)
+        sizes = s.request_bytes + s.response_bytes
+        proc = s.matrix.proc_stack()
+        big = sizes > np.percentile(sizes, 90)
+        assert proc[big].mean() > proc[~big].mean()

@@ -1,0 +1,183 @@
+"""Tests for the Table-1 service specs and the DES drivers."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.topology import FleetSpec, build_fleet
+from repro.net.latency import NetworkModel
+from repro.obs.dapper import DapperCollector
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.workloads.drivers import (
+    DeploymentConfig,
+    DiurnalPattern,
+    OpenLoopDriver,
+    ServiceDeployment,
+    scaled_stack,
+)
+from repro.workloads.services import (
+    CATEGORY_APP,
+    CATEGORY_QUEUE,
+    CATEGORY_STACK,
+    SERVICE_SPECS,
+    build_method_runtime,
+)
+
+
+class TestServiceSpecs:
+    def test_all_eight_present(self):
+        assert set(SERVICE_SPECS) == {
+            "Bigtable", "NetworkDisk", "SSDCache", "VideoMetadata",
+            "Spanner", "F1", "MLInference", "KVStore",
+        }
+
+    def test_table1_request_sizes(self):
+        """Table 1's RPC sizes, verbatim."""
+        assert SERVICE_SPECS["Bigtable"].request_bytes == 1000
+        assert SERVICE_SPECS["NetworkDisk"].request_bytes == 32_000
+        assert SERVICE_SPECS["SSDCache"].request_bytes == 400
+        assert SERVICE_SPECS["VideoMetadata"].request_bytes == 32_000
+        assert SERVICE_SPECS["Spanner"].request_bytes == 800
+        assert SERVICE_SPECS["F1"].request_bytes == 75
+        assert SERVICE_SPECS["MLInference"].request_bytes == 512
+        assert SERVICE_SPECS["KVStore"].request_bytes == 128
+
+    def test_category_assignment_matches_paper(self):
+        app = {n for n, s in SERVICE_SPECS.items() if s.category == CATEGORY_APP}
+        queue = {n for n, s in SERVICE_SPECS.items() if s.category == CATEGORY_QUEUE}
+        stack = {n for n, s in SERVICE_SPECS.items() if s.category == CATEGORY_STACK}
+        assert app == {"Bigtable", "NetworkDisk", "F1", "MLInference", "Spanner"}
+        assert queue == {"SSDCache", "VideoMetadata"}
+        assert stack == {"KVStore"}
+
+    def test_kvstore_runs_on_reserved_cores(self):
+        assert SERVICE_SPECS["KVStore"].reserved_cores
+
+    def test_f1_has_largest_handler_variance(self):
+        sigmas = {n: s.app_sigma for n, s in SERVICE_SPECS.items()}
+        assert max(sigmas, key=sigmas.get) == "F1"
+
+    def test_runtime_conversion(self):
+        rt = build_method_runtime(SERVICE_SPECS["Bigtable"])
+        assert rt.service == "Bigtable"
+        rng = np.random.default_rng(0)
+        assert rt.app_time.sample_one(rng) > 0
+        assert rt.request_size.sample_one(rng) >= 64
+
+    def test_distributions_positive(self):
+        rng = np.random.default_rng(0)
+        for spec in SERVICE_SPECS.values():
+            assert np.all(spec.app_time().sample(rng, 100) > 0)
+            assert np.all(spec.response_size().sample(rng, 100) >= 64)
+
+
+class TestScaledStack:
+    def test_time_constants_scaled_cycles_not(self):
+        from repro.rpc.stack import StackCostModel
+        base = StackCostModel()
+        scaled = scaled_stack(base, 4.0)
+        assert scaled.proc_stack_time_s(1000) == pytest.approx(
+            4.0 * base.proc_stack_time_s(1000)
+        )
+        assert scaled.compress_cycles_per_byte == base.compress_cycles_per_byte
+
+
+class TestDiurnal:
+    def test_flat_without_amplitude(self):
+        d = DiurnalPattern()
+        assert d.multiplier(0) == d.multiplier(40_000) == 1.0
+
+    def test_wave_with_amplitude(self):
+        d = DiurnalPattern(amplitude=0.5)
+        vals = [d.multiplier(t) for t in np.linspace(0, 86400, 100)]
+        assert max(vals) == pytest.approx(1.5, abs=0.01)
+        assert min(vals) == pytest.approx(0.5, abs=0.01)
+        assert all(v > 0 for v in vals)
+
+
+class TestDeployment:
+    def build(self, service="Bigtable", n_clusters=2):
+        sim = Simulator()
+        fleet = build_fleet(FleetSpec(), seed=1)
+        dep = ServiceDeployment(
+            sim, SERVICE_SPECS[service], fleet.clusters[:n_clusters],
+            NetworkModel(), dapper=DapperCollector(),
+            rngs=RngRegistry(3),
+            config=DeploymentConfig(server_machines_per_cluster=2,
+                                    client_machines_per_cluster=1),
+        )
+        return sim, fleet, dep
+
+    def test_builds_servers_and_clients(self):
+        sim, fleet, dep = self.build()
+        assert len(dep.all_servers()) == 4
+        for cluster in fleet.clusters[:2]:
+            assert len(dep.servers_by_cluster[cluster.name]) == 2
+            assert len(dep.clients_by_cluster[cluster.name]) == 1
+
+    def test_base_rate_positive(self):
+        _, _, dep = self.build()
+        assert dep.base_rate_per_cluster() > 0
+
+    def test_kvstore_deployment_uses_reserved_cores(self):
+        _, _, dep = self.build("KVStore")
+        assert dep.profile.reserved_cores
+        # Its stack model is scaled by the proc multiplier.
+        from repro.rpc.stack import StackCostModel
+        assert dep.stack.serialize_base_s > StackCostModel().serialize_base_s
+
+    def test_driver_offers_load_and_spans_recorded(self):
+        sim, fleet, dep = self.build()
+        driver = OpenLoopDriver(dep, fleet.clusters[0], rate_rps=500.0)
+        driver.start(duration_s=1.0)
+        sim.run_until(2.0)
+        assert driver.calls_offered > 300
+        assert len(dep.dapper) > 300
+
+    def test_driver_stops_at_duration(self):
+        sim, fleet, dep = self.build()
+        driver = OpenLoopDriver(dep, fleet.clusters[0], rate_rps=200.0)
+        driver.start(duration_s=0.5)
+        sim.run_until(5.0)
+        offered_at_stop = driver.calls_offered
+        sim.run_until(10.0)
+        assert driver.calls_offered == offered_at_stop
+
+    def test_driver_rate_modulation_bounded(self):
+        sim, fleet, dep = self.build()
+        driver = OpenLoopDriver(dep, fleet.clusters[0], rate_rps=100.0)
+        rates = [driver.rate(t) for t in np.linspace(0, 100, 200)]
+        burst = SERVICE_SPECS["Bigtable"].burstiness
+        assert max(rates) <= 100.0 * burst * 1.01
+        assert min(rates) >= 100.0 / burst * 0.99
+
+    def test_cross_cluster_driver_targets_remote(self):
+        sim, fleet, dep = self.build(n_clusters=2)
+        home, remote = fleet.clusters[0], fleet.clusters[1]
+        driver = OpenLoopDriver(dep, remote, target_cluster=home,
+                                rate_rps=200.0)
+        driver.start(duration_s=1.0)
+        sim.run_until(3.0)
+        spans = dep.dapper.spans
+        assert spans
+        assert all(s.server_cluster == home.name for s in spans)
+        assert all(s.client_cluster == remote.name for s in spans)
+
+    def test_monarch_collector_yields_exogenous(self):
+        sim, fleet, dep = self.build()
+        collect = dep.monarch_collectors()
+        rows = list(collect(0.0))
+        names = {name for name, _, _ in rows}
+        assert "machine/cpu_util" in names
+        assert "machine/cycles_per_inst" in names
+
+    def test_empty_clusters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ServiceDeployment(sim, SERVICE_SPECS["Bigtable"], [],
+                              NetworkModel())
+
+    def test_zero_rate_rejected(self):
+        sim, fleet, dep = self.build()
+        with pytest.raises(ValueError):
+            OpenLoopDriver(dep, fleet.clusters[0], rate_rps=0.0)

@@ -1,0 +1,118 @@
+"""Calibration report: measured-vs-paper for every Tier-A anchor.
+
+Run: python tools/calibration_report.py [n_methods] [samples]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.fleetsample import run_fleet_study
+from repro.workloads import calibration as cal
+from repro.workloads.catalog import CatalogConfig, build_catalog
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    spm = int(sys.argv[2]) if len(sys.argv) > 2 else 250
+    t0 = time.time()
+    cat = build_catalog(CatalogConfig(n_methods=n, seed=7))
+    fs = run_fleet_study(cat, np.random.default_rng(1), samples_per_method=spm)
+    print(f"n={n} samples/method={spm} study={time.time()-t0:.1f}s  "
+          f"fleet mean RCT {fs.fleet_mean_rct*1e3:.1f} ms")
+
+    def row(label, measured, paper):
+        print(f"  {label:<52s} {measured:>10.4g}   (paper {paper})")
+
+    p = {q: np.array([m.pct("rct", q) for m in fs.methods]) for q in (1, 50, 99)}
+    print("— Fig 10: fleet tax —")
+    row("tax fraction", fs.tax_fraction(), cal.FLEET_AVG_TAX_FRACTION)
+    fr = fs.tax_component_fractions()
+    row("network fraction", fr["network_wire"], cal.FLEET_AVG_NETWORK_FRACTION)
+    row("queueing fraction", fr["queueing"], cal.FLEET_AVG_QUEUE_FRACTION)
+    row("proc+stack fraction", fr["proc_stack"], cal.FLEET_AVG_PROC_STACK_FRACTION)
+
+    print("— Fig 2: per-method RCT —")
+    row("frac methods P1<=657us", (p[1] <= 657e-6).mean(), 0.90)
+    row("frac methods median>=10.7ms", (p[50] >= 10.7e-3).mean(), 0.90)
+    row("frac methods P99>=1ms", (p[99] >= 1e-3).mean(), 0.995)
+    row("median-method P99 (ms)", np.median(p[99]) * 1e3, 225)
+    slow5 = np.argsort(p[50])[-max(len(fs.methods) // 20, 1):]
+    row("slowest-5% min P1 (ms)", p[1][slow5].min() * 1e3, 166)
+    row("slowest-5% min P99 (s)", p[99][slow5].min(), 5)
+
+    print("— Fig 3: popularity —")
+    pw = fs.popularity()
+    order = np.argsort(p[50])
+    k = max(1, round(len(pw) * 100 / 10000))
+    row("fastest-1% call share", pw[order[:k]].sum(), 0.40)
+    srt = np.sort(pw)[::-1]
+    row("top-10 share", srt[:10].sum(), 0.58)
+    row("top-100 share", srt[:min(100, len(srt))].sum(), 0.91)
+    slowk = order[-round(len(pw) * 0.1):]
+    tshare = pw * np.array([m.mean_rct for m in fs.methods])
+    row("slowest-10% call share", pw[slowk].sum(), 0.011)
+    row("slowest-10% time share", tshare[slowk].sum() / tshare.sum(), 0.89)
+
+    print("— Fig 11: tax ratio —")
+    tr = np.array([m.pct("tax_ratio", 50) for m in fs.methods])
+    row("median-method median tax ratio", np.median(tr), 0.086)
+    row("top-10%-methods median tax ratio", np.quantile(tr, 0.95), 0.38)
+
+    print("— Fig 12: wire+stack per method —")
+    ns99 = np.array([m.pct("netstack", 99) for m in fs.methods])
+    for q, paper in ((0.01, 6), (0.10, 19), (0.50, 115), (0.90, 271), (0.99, 826)):
+        row(f"netstack P99 @ method-q{q:.2f} (ms)", np.quantile(ns99, q) * 1e3, paper)
+
+    print("— Fig 13: queueing per method —")
+    qm = np.array([m.pct("queueing", 50) for m in fs.methods])
+    q99 = np.array([m.pct("queueing", 99) for m in fs.methods])
+    row("frac median<=360us", (qm <= 360e-6).mean(), 0.50)
+    row("frac P99<=102ms", (q99 <= 102e-3).mean(), 0.50)
+    row("worst-10% median queue (ms)", np.quantile(qm, 0.9) * 1e3, 1.1)
+    row("worst-10% P99 queue (ms)", np.quantile(q99, 0.9) * 1e3, 611)
+
+    print("— Fig 6/7: sizes —")
+    rq = {q: np.array([m.pct("request_bytes", q) for m in fs.methods]) for q in (50, 90, 99)}
+    rs = {q: np.array([m.pct("response_bytes", q) for m in fs.methods]) for q in (50, 90, 99)}
+    row("frac req median<=1530B", (rq[50] <= 1530).mean(), 0.50)
+    row("frac resp median<=315B", (rs[50] <= 315).mean(), 0.50)
+    row("median-method req P90 (KB)", np.median(rq[90]) / 1e3, 11.8)
+    row("median-method req P99 (KB)", np.median(rq[99]) / 1e3, 196)
+    row("median-method resp P90 (KB)", np.median(rs[90]) / 1e3, 10)
+    row("median-method resp P99 (KB)", np.median(rs[99]) / 1e3, 563)
+
+    print("— Fig 20/21: cycles —")
+    row("cycle tax fraction", fs.gwp.cycle_tax_fraction(), 0.071)
+    for c, paper in (("compression", 0.031), ("networking", 0.017),
+                     ("serialization", 0.012), ("rpc_library", 0.011)):
+        row(f"  {c}", fs.gwp.tax_fractions_of_fleet()[c], paper)
+    cy10 = np.array([m.pct("cycles", 10) for m in fs.methods])
+    row("cycles P10 @ cheapest-10% methods", np.quantile(cy10, 0.10), 0.017)
+    row("cycles P10 @ 90% methods", np.quantile(cy10, 0.90), 0.02)
+
+    print("— Fig 8: services —")
+    sh = fs.service_shares()
+    nd = sh.get("NetworkDisk", {"calls": 0, "cycles": 0, "bytes": 0})
+    row("NetworkDisk call share", nd["calls"], 0.35)
+    row("NetworkDisk cycle share", nd["cycles"], "<0.02")
+    top8 = sorted(sh.items(), key=lambda kv: -kv[1]["calls"])[:8]
+    row("top-8 services call share", sum(v["calls"] for _, v in top8), 0.60)
+    for svc, paper_cy, paper_ca in (("F1", 0.018, 0.018), ("MLInference", 0.0089, 0.0017)):
+        s = sh.get(svc, {"calls": 0, "cycles": 0})
+        row(f"{svc} cycles / calls", s["cycles"], paper_cy)
+        row(f"{svc} calls", s["calls"], paper_ca)
+
+    print("— Fig 23: errors —")
+    tot = sum(fs.error_counts.values()) or 1.0
+    totc = sum(fs.error_wasted_cycles.values()) or 1.0
+    from repro.rpc.errors import StatusCode
+    for st, paper_n, paper_c in ((StatusCode.CANCELLED, 0.45, 0.55),
+                                 (StatusCode.NOT_FOUND, 0.20, 0.21)):
+        row(f"{st.name} count share", fs.error_counts.get(st, 0) / tot, paper_n)
+        row(f"{st.name} cycle share", fs.error_wasted_cycles.get(st, 0) / totc, paper_c)
+
+
+if __name__ == "__main__":
+    main()
