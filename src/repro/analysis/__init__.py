@@ -1,0 +1,50 @@
+"""Static analysis for the repository's load-bearing invariants.
+
+The analyses in :mod:`repro.core` are only trustworthy if the simulator
+is bit-reproducible and dimensionally consistent.  Three invariants carry
+that guarantee, and all three are invisible to generic linters:
+
+1. **Seeded determinism** — simulated time comes from the engine clock,
+   never the wall clock, and every random draw is threaded from the
+   seeded generators in :mod:`repro.sim.random`.
+2. **Unit discipline** — quantities carry their unit in the identifier
+   suffix (``_us``/``_ms``/``_s``, ``_bytes``), and arithmetic never
+   mixes suffixes (the Kingman-math ``C_s`` vs ``C_s^2`` trap).
+3. **Layer purity** — imports follow the declared package DAG
+   (``sim`` → ``fleet``/``rpc``/``net`` → ``workloads``/``obs`` →
+   ``core`` → ``studies``/``cli``); analyses never reach upward into
+   the layers that feed them.
+
+``repro-lint`` (this package's console script) encodes them as AST lint
+rules.  It is deliberately **standalone**: it imports nothing from the
+rest of ``repro`` so it can never be broken by the code it checks.
+
+Rule pack
+---------
+
+========  =====================================================
+RL001     no wall-clock (``time.time``/``datetime.now``/...)
+RL002     no global RNG (``random.*`` / unseeded ``np.random``)
+RL003     unit-suffix discipline (naming + mixed-unit arithmetic)
+RL004     layer purity (no upward imports in the package DAG)
+RL005     no mutable default arguments
+========  =====================================================
+
+See ``docs/LINTING.md`` for the full rule reference, suppression
+pragmas, the baseline workflow, and how to add a rule.
+"""
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintReport, lint_paths
+from repro.analysis.rules import all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "load_config",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — same entry point as the console script."""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

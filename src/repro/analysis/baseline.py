@@ -1,0 +1,70 @@
+"""The baseline file: grandfathered findings that do not fail the build.
+
+A baseline lets the linter land with strict rules before every legacy
+finding is fixed: ``repro-lint --write-baseline`` records the current
+findings' fingerprints, and subsequent runs subtract them.  Matching is
+by :attr:`Finding.fingerprint` (path + rule + symbol, no line number),
+so baselined findings survive unrelated edits; entries whose finding
+has been fixed show up as *stale* so the file can be re-shrunk.
+
+Policy for this repository: the baseline stays empty — violations are
+fixed or carry an inline pragma with a justification (docs/LINTING.md).
+The machinery exists for downstream forks and for emergencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Entries from a baseline file; an absent file is an empty baseline."""
+    if not path.is_file():
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    return list(data.get("findings", []))
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = sorted(
+        (
+            {
+                "fingerprint": f.fingerprint,
+                "code": f.code,
+                "path": f.path,
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["code"], e["symbol"]),
+    )
+    payload = {"version": _VERSION, "findings": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding],
+                   entries: List[dict]) -> Tuple[List[Finding], int, List[dict]]:
+    """Split findings into (active, suppressed_count, stale_entries)."""
+    known = {e.get("fingerprint") for e in entries}
+    active = [f for f in findings if f.fingerprint not in known]
+    suppressed = len(findings) - len(active)
+    seen = {f.fingerprint for f in findings}
+    stale = [e for e in entries if e.get("fingerprint") not in seen]
+    return active, suppressed, stale

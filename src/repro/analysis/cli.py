@@ -1,0 +1,124 @@
+"""The ``repro-lint`` console script.
+
+Exit codes follow the usual lint contract:
+
+- ``0`` — clean (no active findings),
+- ``1`` — findings (including unparseable files, reported as RL000),
+- ``2`` — bad invocation (unknown rule code, corrupt baseline).
+
+``--write-baseline`` records the current findings and exits 0: the
+follow-up run is clean by construction, and the diff of the baseline
+file shows reviewers exactly what was grandfathered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.config import load_config
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.runner import lint_paths
+from repro.analysis.rules import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST lint for the repo's determinism, unit, and "
+                    "layering invariants (rules RL001-RL005).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--config", type=Path, default=None, metavar="PYPROJECT",
+                        help="pyproject.toml to read [tool.repro-lint] from "
+                             "(default: discovered from the first path upward)")
+    parser.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                        help="baseline file (default: from config)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any configured baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the new baseline and exit 0")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def _parse_codes(spec: Optional[str], known) -> tuple:
+    if not spec:
+        return ()
+    codes = tuple(c.strip().upper() for c in spec.split(",") if c.strip())
+    unknown = [c for c in codes if c not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return codes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.code}  {cls.name:<28} {cls.summary}")
+        return 0
+
+    first = Path(args.paths[0]) if args.paths else Path.cwd()
+    config = load_config(pyproject=args.config, search_from=first)
+    known = {cls.code for cls in all_rules()}
+    try:
+        select = _parse_codes(args.select, known)
+        ignore = _parse_codes(args.ignore, known)
+    except ValueError as err:
+        print(f"repro-lint: {err}", file=sys.stderr)
+        return 2
+    if select or ignore:
+        config = replace(config, select=select or config.select,
+                         ignore=ignore or config.ignore)
+
+    # Where the baseline lives (for both reading and --write-baseline).
+    baseline_target: Optional[Path] = args.baseline
+    if baseline_target is None and config.baseline:
+        baseline_target = Path(config.root) / config.baseline
+
+    skip_baseline = args.no_baseline or args.write_baseline
+    run_config = replace(config, baseline=None) if skip_baseline else config
+    try:
+        report = lint_paths(
+            [Path(p) for p in args.paths], run_config,
+            baseline_path=None if skip_baseline else args.baseline,
+        )
+    except ValueError as err:  # corrupt baseline file
+        print(f"repro-lint: {err}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if baseline_target is None:
+            print("repro-lint: --write-baseline needs --baseline or a "
+                  "configured baseline path", file=sys.stderr)
+            return 2
+        count = write_baseline(baseline_target, report.findings)
+        print(f"wrote {count} finding(s) to {baseline_target}")
+        return 0
+
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Configuration for ``repro-lint``: defaults plus ``[tool.repro-lint]``.
+
+The built-in defaults encode this repository's canonical invariants (the
+layer DAG, the blessed RNG module, the unit-suffix vocabulary), so the
+tool is useful with no configuration at all.  A ``[tool.repro-lint]``
+table in ``pyproject.toml`` overrides any field; parsing uses
+:mod:`tomllib` where available (Python >= 3.11) and silently falls back
+to the defaults on older interpreters rather than growing a dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Optional, Tuple
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    tomllib = None
+
+
+#: The declared package DAG, lowest layer first.  A module may import
+#: from its own layer or below, never from above.
+DEFAULT_LAYERS: Tuple[Tuple[str, ...], ...] = (
+    ("sim",),
+    ("fleet", "rpc", "net"),
+    ("workloads", "obs"),
+    ("core",),
+    ("studies", "cli"),
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Every knob the rules and runner read.  Frozen: derive with ``replace``."""
+
+    # -- runner -------------------------------------------------------
+    baseline: Optional[str] = "tools/repro_lint_baseline.json"
+    select: Tuple[str, ...] = ()          # empty = all registered rules
+    ignore: Tuple[str, ...] = ()
+    root: str = "."                       # repo root; paths reported relative to it
+
+    # -- RL001 no-wall-clock ------------------------------------------
+    #: Path prefixes (repo-relative, posix) where wall-clock use is fine:
+    #: benchmark harnesses and offline tooling measure real elapsed time.
+    wallclock_allow_paths: Tuple[str, ...] = (
+        "tools/", "benchmarks/", "examples/", "tests/",
+    )
+
+    # -- RL002 no-global-random ---------------------------------------
+    #: The one module allowed to construct generators however it likes —
+    #: everything else threads RNGs from here (or seeds explicitly).
+    random_allow_paths: Tuple[str, ...] = (
+        "src/repro/sim/random.py", "tools/", "tests/", "benchmarks/",
+    )
+
+    # -- RL003 unit-suffix discipline ---------------------------------
+    time_suffixes: Tuple[str, ...] = ("ns", "us", "ms", "s")
+    size_suffixes: Tuple[str, ...] = ("bytes", "kb", "mb", "gb", "kib", "mib")
+    #: Identifiers whose *final* segment is one of these stems must carry
+    #: a unit suffix.  ``size`` is not enforced by default because bare
+    #: ``*_size`` legitimately names element counts (buffers, reservoirs);
+    #: opt in via ``[tool.repro-lint] unit_stems`` when ready.
+    unit_stems: Tuple[str, ...] = (
+        "latency", "delay", "timeout", "deadline", "duration",
+        "elapsed", "rtt", "jitter", "interval",
+    )
+    #: A name containing any of these segments is dimensionless (a ratio,
+    #: correlation, count, ...) and exempt from the naming check.
+    dimensionless_markers: Tuple[str, ...] = (
+        "corr", "correlation", "ratio", "frac", "fraction", "count",
+        "rank", "norm", "share", "scale", "mult", "factor", "quantile",
+        "pct", "percentile", "prob", "weight", "index", "idx",
+    )
+
+    # -- RL004 layer purity -------------------------------------------
+    root_package: str = "repro"
+    layers: Tuple[Tuple[str, ...], ...] = DEFAULT_LAYERS
+    #: Packages outside the layer stack entirely: they may import only
+    #: themselves (plus stdlib/third-party), and no layered package may
+    #: import them.  The linter itself lives here.
+    standalone_packages: Tuple[str, ...] = ("analysis",)
+
+    # ------------------------------------------------------------------
+    def layer_of(self, package: str) -> Optional[int]:
+        """Layer index of a top-level subpackage, or None if unknown."""
+        for i, group in enumerate(self.layers):
+            if package in group:
+                return i
+        return None
+
+    def rule_enabled(self, code: str) -> bool:
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the first directory holding pyproject.toml."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _coerce(name: str, value):
+    """TOML arrays arrive as lists; the config stores tuples."""
+    if name == "layers":
+        return tuple(tuple(group) for group in value)
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def load_config(pyproject: Optional[Path] = None,
+                search_from: Optional[Path] = None) -> LintConfig:
+    """Build a config from defaults plus an optional ``[tool.repro-lint]``.
+
+    ``pyproject`` names the file explicitly; otherwise it is discovered
+    by walking up from ``search_from`` (default: the current directory).
+    The config's ``root`` is set to the pyproject's directory so findings
+    and allowlist paths are repo-relative regardless of invocation cwd.
+    """
+    config = LintConfig()
+    if pyproject is None:
+        pyproject = find_pyproject(search_from or Path.cwd())
+    if pyproject is None or tomllib is None:
+        return config
+    try:
+        with open(pyproject, "rb") as fh:
+            data = tomllib.load(fh)
+    except (OSError, ValueError):
+        return config
+    table = data.get("tool", {}).get("repro-lint", {})
+    config = replace(config, root=str(pyproject.parent))
+    known = {f.name for f in fields(LintConfig)}
+    overrides = {
+        key.replace("-", "_"): _coerce(key.replace("-", "_"), value)
+        for key, value in table.items()
+        if key.replace("-", "_") in known
+    }
+    return replace(config, **overrides)

@@ -1,0 +1,62 @@
+"""The unit of lint output: one finding at one source location.
+
+Findings are value objects: rules produce them, the runner filters them
+through pragmas and the baseline, and reporters render them.  The
+*fingerprint* deliberately excludes the line number so that baselined
+findings survive unrelated edits that shift code up or down a file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding", "PARSE_ERROR_CODE"]
+
+#: Pseudo-rule code used for files the runner cannot parse.
+PARSE_ERROR_CODE = "RL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``symbol`` is the stable anchor for fingerprinting: the identifier,
+    dotted name, or import that triggered the rule (e.g. ``time.sleep``
+    or ``repro.obs.dapper``).  Two findings of the same rule on the same
+    symbol in the same file share a fingerprint even if the code moves.
+    """
+
+    code: str
+    path: str          # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number independent)."""
+        material = f"{self.path}::{self.code}::{self.symbol or self.message}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the JSON reporter and baseline)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """The classic ``path:line:col: CODE message`` text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)

@@ -1,0 +1,90 @@
+"""Suppression pragmas: ``# repro-lint: disable=RL001``.
+
+Two scopes are supported:
+
+- **line**: a trailing comment on the offending line suppresses the
+  listed codes for that line only::
+
+      import time  # repro-lint: disable=RL001 - benchmark harness
+
+  Everything after the code list (a dash-prefixed justification) is
+  ignored by the parser but encouraged by policy — see docs/LINTING.md.
+
+- **file**: a standalone comment anywhere in the file suppresses the
+  listed codes for the whole file::
+
+      # repro-lint: disable-file=RL003
+
+``disable=all`` suppresses every rule.  Comments are found with
+:mod:`tokenize`, so pragma-looking text inside string literals is never
+misread as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+__all__ = ["PragmaIndex", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*="
+    r"\s*(?P<codes>all|RL\d{3}(?:\s*,\s*RL\d{3})*)",
+    re.IGNORECASE,
+)
+
+_ALL = frozenset(["all"])
+
+
+def _parse_codes(spec: str) -> FrozenSet[str]:
+    if spec.strip().lower() == "all":
+        return _ALL
+    return frozenset(c.strip().upper() for c in spec.split(",") if c.strip())
+
+
+class PragmaIndex:
+    """Per-file map of suppressed rule codes by line."""
+
+    def __init__(self) -> None:
+        self.line_codes: Dict[int, Set[str]] = {}
+        self.file_codes: Set[str] = set()
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True if ``code`` is disabled on ``line`` or for the whole file."""
+        if "all" in self.file_codes or code in self.file_codes:
+            return True
+        codes = self.line_codes.get(line)
+        if codes is None:
+            return False
+        return "all" in codes or code in codes
+
+    @property
+    def empty(self) -> bool:
+        return not self.line_codes and not self.file_codes
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Extract every pragma from ``source``.
+
+    Tolerates tokenize errors (the AST parse will report those); pragmas
+    found before the error still apply.
+    """
+    index = PragmaIndex()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if not match:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("scope").lower() == "disable-file":
+                index.file_codes.update(codes)
+            else:
+                index.line_codes.setdefault(tok.start[0], set()).update(codes)
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return index

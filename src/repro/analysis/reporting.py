@@ -1,0 +1,53 @@
+"""Text and JSON renderings of a :class:`LintReport`.
+
+The text form is the human/editor-facing ``path:line:col: CODE message``
+with a one-line summary; the JSON form is the machine-facing contract
+consumed by CI (stable keys, schema version, findings sorted by
+location).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import LintReport
+
+__all__ = ["render_text", "render_json", "REPORT_SCHEMA_VERSION"]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    lines = [f.render() for f in report.findings]
+    n = len(report.findings)
+    summary = (
+        f"{n} finding{'s' if n != 1 else ''} "
+        f"in {report.files_scanned} file{'s' if report.files_scanned != 1 else ''}"
+    )
+    extras = []
+    if report.suppressed_pragma:
+        extras.append(f"{report.suppressed_pragma} suppressed by pragmas")
+    if report.suppressed_baseline:
+        extras.append(f"{report.suppressed_baseline} baselined")
+    if report.stale_baseline:
+        extras.append(f"{len(report.stale_baseline)} stale baseline entries")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "version": REPORT_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in report.findings],
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "total": len(report.findings),
+            "suppressed_pragma": report.suppressed_pragma,
+            "suppressed_baseline": report.suppressed_baseline,
+            "stale_baseline": [e.get("fingerprint") for e in report.stale_baseline],
+            "clean": report.clean,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,23 @@
+"""The rule pack.
+
+Importing this package registers every built-in rule.  Adding a rule is
+three steps: subclass :class:`~repro.analysis.rules.base.Rule` in a new
+module here, decorate it with ``@register``, and import the module
+below so registration runs (docs/LINTING.md walks through an example).
+"""
+
+from repro.analysis.rules.base import (
+    FileContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+
+# Importing for the registration side effect.
+from repro.analysis.rules import defaults as _defaults      # noqa: F401
+from repro.analysis.rules import determinism as _determinism  # noqa: F401
+from repro.analysis.rules import layering as _layering      # noqa: F401
+from repro.analysis.rules import units as _units            # noqa: F401
+
+__all__ = ["FileContext", "Rule", "all_rules", "get_rule", "register"]

@@ -1,0 +1,118 @@
+"""Rule base class, per-file context, and the rule registry.
+
+A rule is a class with a ``code`` (``RL###``), a one-line ``summary``,
+and a ``check(ctx)`` generator yielding :class:`Finding`\\ s.  Rules are
+registered at import time via :func:`register`; the runner instantiates
+every enabled rule once per process and feeds it one
+:class:`FileContext` per file.
+
+Rules never read the filesystem: the context carries the parsed AST,
+the raw source, the repo-relative path, and the resolved dotted module
+name (``None`` when the file is outside the configured root package).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Type
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+
+__all__ = ["FileContext", "Rule", "register", "all_rules", "get_rule"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: str                    # repo-relative posix path
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    module: Optional[str] = None  # dotted name, e.g. "repro.rpc.channel"
+
+    def in_paths(self, prefixes) -> bool:
+        """True if this file sits under any of the given path prefixes."""
+        return any(
+            self.path == p.rstrip("/") or self.path.startswith(p)
+            for p in prefixes
+        )
+
+
+class Rule:
+    """Base class; subclasses set ``code``/``name``/``summary``."""
+
+    code: str = "RL000"
+    name: str = "unnamed"
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                symbol: str = "") -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            code=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=symbol,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (codes must be unique)."""
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Type[Rule]:
+    return _REGISTRY[code]
+
+
+def resolve_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> dotted origin for every import in ``tree``.
+
+    ``import time as t`` yields ``{"t": "time"}``;
+    ``from datetime import datetime`` yields ``{"datetime": "datetime.datetime"}``.
+    Relative imports are skipped (they cannot reach the banned modules).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                origin = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

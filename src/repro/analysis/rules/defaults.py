@@ -1,0 +1,74 @@
+"""RL005 no mutable default arguments.
+
+The classic Python footgun, but in a discrete-event simulator it is a
+*determinism* bug, not just a correctness one: a list default that
+accumulates across calls makes run N's output depend on runs 1..N-1
+executed in the same process, which breaks run-to-run comparison even
+with identical seeds.
+
+Flagged defaults: list/dict/set displays and comprehensions, and calls
+to the mutable builtin constructors (``list``/``dict``/``set``/
+``bytearray``) and their common collections cousins.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import FileContext, Rule, dotted_name, register
+
+__all__ = ["NoMutableDefaults"]
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def _mutable_kind(node: ast.AST) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in _MUTABLE_CALLS:
+            return name
+    return None
+
+
+@register
+class NoMutableDefaults(Rule):
+    code = "RL005"
+    name = "no-mutable-default-args"
+    summary = "mutable default argument values are shared across calls"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            args = node.args
+            positional = args.posonlyargs + args.args
+            pos_defaults = list(zip(positional[len(positional) - len(args.defaults):],
+                                    args.defaults))
+            kw_defaults = [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                           if d is not None]
+            fn = getattr(node, "name", "<lambda>")
+            for arg, default in pos_defaults + kw_defaults:
+                kind = _mutable_kind(default)
+                if kind is None:
+                    continue
+                yield self.finding(
+                    ctx, default,
+                    f"mutable default `{arg.arg}={kind}(...)` in `{fn}` is "
+                    f"shared across calls; default to None (or use "
+                    f"dataclasses.field(default_factory=...))",
+                    symbol=f"default:{fn}:{arg.arg}",
+                )

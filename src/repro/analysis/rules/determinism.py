@@ -1,0 +1,174 @@
+"""RL001 no-wall-clock and RL002 no-global-random.
+
+Both rules protect the same property: a run is a pure function of its
+seed.  RL001 bans reading the host clock (simulated time comes from
+:class:`repro.sim.engine.Simulator` or a threaded clock); RL002 bans
+drawing from process-global RNG state (draws come from seeded
+``numpy.random.Generator`` streams threaded from
+:mod:`repro.sim.random`).
+
+Resolution is alias-aware: ``import time as t; t.sleep(...)`` and
+``from time import perf_counter`` are both caught.  References count,
+not just calls — ``clock=time.monotonic`` smuggles the wall clock in as
+a default argument just as effectively as calling it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    FileContext,
+    Rule,
+    dotted_name,
+    register,
+    resolve_imports,
+)
+
+__all__ = ["NoWallClock", "NoGlobalRandom"]
+
+#: Dotted names that read or depend on the host clock.
+WALL_CLOCK_NAMES = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+    "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: ``numpy.random`` attributes that are *not* global-state draws: the
+#: Generator API itself, and bit generators used to build seeded streams.
+NP_RANDOM_ALLOWED = frozenset({
+    "Generator", "BitGenerator", "SeedSequence", "default_rng",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: ``random`` module attributes that are not draws on the global instance.
+STDLIB_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+
+def _banned_references(ctx: FileContext, banned_test) -> Iterator[ast.AST]:
+    """Yield (node, dotted) for every Name/Attribute resolving to a banned name."""
+    aliases = resolve_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        # Only the outermost attribute of a chain: skip `time` inside
+        # `time.sleep` so each reference is reported once.
+        if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+            continue
+        dotted = dotted_name(node)
+        if dotted is None:
+            continue
+        head, _, rest = dotted.partition(".")
+        origin = aliases.get(head)
+        if origin is None:
+            continue
+        resolved = f"{origin}.{rest}" if rest else origin
+        hit = banned_test(resolved)
+        if hit:
+            yield node, resolved, hit
+
+
+class _ReferenceRule(Rule):
+    """Shared driver: walk references, filter nested chains, emit findings."""
+
+    def _scan(self, ctx: FileContext, banned_test, describe) -> Iterator[Finding]:
+        reported: Set[int] = set()
+        hits = []
+        for node, resolved, hit in _banned_references(ctx, banned_test):
+            hits.append((node, resolved, hit))
+        # Suppress a Name hit when it is the base of an Attribute hit on
+        # the same chain (`time` inside `time.sleep`): prefer the most
+        # specific report.  Attribute nodes contain their base node.
+        attr_bases = set()
+        for node, _, _ in hits:
+            child = node
+            while isinstance(child, ast.Attribute):
+                child = child.value
+                attr_bases.add(id(child))
+        for node, resolved, hit in hits:
+            if id(node) in attr_bases:
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield self.finding(ctx, node, describe(resolved, hit), symbol=resolved)
+
+
+@register
+class NoWallClock(_ReferenceRule):
+    code = "RL001"
+    name = "no-wall-clock"
+    summary = ("wall-clock access outside benchmark/tool paths; simulated "
+               "time must come from the engine clock")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_paths(ctx.config.wallclock_allow_paths):
+            return
+        def banned(resolved: str):
+            return resolved if resolved in WALL_CLOCK_NAMES else None
+        def describe(resolved: str, _hit) -> str:
+            return (f"wall-clock access `{resolved}`: thread the simulation "
+                    f"clock (repro.sim) instead, or move this code under an "
+                    f"allowlisted path")
+        yield from self._scan(ctx, banned, describe)
+
+
+@register
+class NoGlobalRandom(_ReferenceRule):
+    code = "RL002"
+    name = "no-global-random"
+    summary = ("draw on process-global RNG state; thread a seeded generator "
+               "from repro.sim.random instead")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_paths(ctx.config.random_allow_paths):
+            return
+
+        def banned(resolved: str):
+            head, _, rest = resolved.partition(".")
+            if head == "random":
+                if not rest or "." in rest:
+                    return None  # bare module ref / method on an instance path
+                if rest not in STDLIB_RANDOM_ALLOWED:
+                    return "stdlib"
+            if resolved.startswith("numpy.random."):
+                attr = resolved[len("numpy.random."):]
+                if "." not in attr and attr not in NP_RANDOM_ALLOWED:
+                    return "numpy"
+            return None
+
+        def describe(resolved: str, _hit) -> str:
+            return (f"global RNG draw `{resolved}`: use a seeded "
+                    f"numpy.random.Generator threaded from repro.sim.random")
+
+        yield from self._scan(ctx, banned, describe)
+
+        # Unseeded default_rng() is the same bug through the front door:
+        # numpy seeds it from the OS entropy pool.
+        aliases = resolve_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            head, _, rest = dotted.partition(".")
+            origin = aliases.get(head)
+            if origin is None:
+                continue
+            resolved = f"{origin}.{rest}" if rest else origin
+            if resolved == "numpy.random.default_rng":
+                yield self.finding(
+                    ctx, node,
+                    "unseeded default_rng(): pass an explicit seed "
+                    "(e.g. from repro.sim.random.derive_seed)",
+                    symbol="numpy.random.default_rng()",
+                )

@@ -1,0 +1,99 @@
+"""RL004 layer purity: imports must follow the declared package DAG.
+
+The config declares layers lowest-first (``sim`` at the bottom,
+``studies``/``cli`` at the top).  A module may import from its own
+layer or any layer below it; an import that reaches *upward* couples a
+substrate to its consumers and eventually turns the DAG into a cycle.
+Packages listed as *standalone* (the linter itself) sit outside the
+stack entirely: they import nothing from the root package but
+themselves, and nothing imports them.
+
+Only the file's dotted module path and its import statements matter, so
+the rule works identically on the real tree and on test fixtures laid
+out as ``<tmp>/repro/<pkg>/mod.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import FileContext, Rule, register
+
+__all__ = ["LayerPurity"]
+
+
+def _top_package(module: str, root: str) -> Optional[str]:
+    """``repro.rpc.channel`` -> ``rpc``; ``repro.studies`` -> ``studies``."""
+    parts = module.split(".")
+    if not parts or parts[0] != root:
+        return None
+    if len(parts) == 1:
+        return None  # the root __init__ itself is unconstrained
+    return parts[1]
+
+
+@register
+class LayerPurity(Rule):
+    code = "RL004"
+    name = "layer-purity"
+    summary = "no upward imports in the declared package layer DAG"
+
+    def _imported_modules(self, tree: ast.Module):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    yield item.name, node
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                yield node.module, node
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        config = ctx.config
+        if ctx.module is None:
+            return
+        root = config.root_package
+        own_pkg = _top_package(ctx.module, root)
+        if own_pkg is None:
+            return
+        own_layer = config.layer_of(own_pkg)
+        own_standalone = own_pkg in config.standalone_packages
+        if own_layer is None and not own_standalone:
+            return  # unknown package: not part of the declared stack
+
+        for target, node in self._imported_modules(ctx.tree):
+            target_pkg = _top_package(target, root)
+            if target_pkg is None or target_pkg == own_pkg:
+                continue
+            symbol = f"{own_pkg}->{target_pkg}"
+            if own_standalone:
+                yield self.finding(
+                    ctx, node,
+                    f"standalone package `{root}.{own_pkg}` must not import "
+                    f"`{root}.{target_pkg}`: the linter stays decoupled from "
+                    f"the code it checks",
+                    symbol=symbol,
+                )
+                continue
+            if target_pkg in config.standalone_packages:
+                yield self.finding(
+                    ctx, node,
+                    f"`{root}.{target_pkg}` is standalone tooling; layered "
+                    f"code must not depend on it",
+                    symbol=symbol,
+                )
+                continue
+            target_layer = config.layer_of(target_pkg)
+            if target_layer is None:
+                continue
+            if own_layer is not None and target_layer > own_layer:
+                chain = " -> ".join(
+                    "/".join(group) for group in config.layers
+                )
+                yield self.finding(
+                    ctx, node,
+                    f"upward import: `{root}.{own_pkg}` (layer {own_layer}) "
+                    f"imports `{root}.{target_pkg}` (layer {target_layer}); "
+                    f"the DAG is {chain}",
+                    symbol=symbol,
+                )

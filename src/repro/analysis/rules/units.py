@@ -1,0 +1,135 @@
+"""RL003 unit-suffix discipline.
+
+Two sub-checks, both driven by the identifier-suffix convention the
+whole repository rides on (``_us``/``_ms``/``_s`` for durations,
+``_bytes``/``_kb``/... for sizes):
+
+- **naming**: a parameter or assignment target whose *final* name
+  segment is a unit-bearing stem (``latency``, ``delay``, ``rtt``, ...)
+  must carry a unit suffix.  Names containing a dimensionless marker
+  (``corr``, ``ratio``, ``count``, ...) are exempt — a latency
+  *correlation* is a pure number.
+
+- **mixing**: additive arithmetic (``+``/``-``, augmented or not) and
+  ordering comparisons where both operands carry unit suffixes must
+  agree on the unit.  ``queue_wait_us + service_time_ms`` is the
+  Kingman-math bug this rule exists for.  Multiplication and division
+  are exempt: that is how units legitimately convert.
+
+Both vocabularies come from the config, so a repository can grow its
+own stems (``size`` is deliberately opt-in; see config.py).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import FileContext, Rule, register
+
+__all__ = ["UnitSuffixDiscipline"]
+
+
+def _suffix_unit(name: str, config) -> Optional[Tuple[str, str]]:
+    """Return (dimension, unit) if ``name`` ends in a known unit suffix."""
+    segments = name.lower().split("_")
+    if len(segments) < 2:
+        return None
+    tail = segments[-1]
+    if tail in config.time_suffixes:
+        return ("time", tail)
+    if tail in config.size_suffixes:
+        return ("size", tail)
+    return None
+
+
+def _operand_unit(node: ast.AST, config) -> Optional[Tuple[str, str, str]]:
+    """(dimension, unit, name) for a Name/Attribute operand, else None."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    unit = _suffix_unit(name, config)
+    if unit is None:
+        return None
+    return unit + (name,)
+
+
+@register
+class UnitSuffixDiscipline(Rule):
+    code = "RL003"
+    name = "unit-suffix-discipline"
+    summary = ("quantities must carry unit suffixes and arithmetic must "
+               "not mix units")
+
+    # -- naming --------------------------------------------------------
+    def _needs_suffix(self, name: str, config) -> bool:
+        low = name.lower()
+        segments = low.split("_")
+        if not segments or segments[-1] not in config.unit_stems:
+            return False
+        if any(seg in config.dimensionless_markers for seg in segments):
+            return False
+        return _suffix_unit(low, config) is None
+
+    def _naming_targets(self, tree: ast.Module):
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+                    yield arg.arg, arg
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield target.id, target
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    yield node.target.id, node.target
+
+    # -- mixing --------------------------------------------------------
+    def _mixing_sites(self, tree: ast.Module):
+        """Yield (left, right, op_text, anchor) for additive/ordering ops."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield node.left, node.right, "+" if isinstance(node.op, ast.Add) else "-", node
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield node.target, node.value, "+=" if isinstance(node.op, ast.Add) else "-=", node
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if isinstance(node.ops[0], (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                            ast.Eq, ast.NotEq)):
+                    yield node.left, node.comparators[0], "comparison", node
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        config = ctx.config
+        for name, node in self._naming_targets(ctx.tree):
+            if self._needs_suffix(name, config):
+                stem = name.lower().split("_")[-1]
+                units = "/".join(f"_{u}" for u in config.time_suffixes)
+                yield self.finding(
+                    ctx, node,
+                    f"`{name}` holds a {stem} but carries no unit suffix "
+                    f"({units} or a size suffix)",
+                    symbol=f"name:{name}",
+                )
+        for left, right, op, anchor in self._mixing_sites(ctx.tree):
+            lhs = _operand_unit(left, config)
+            rhs = _operand_unit(right, config)
+            if lhs is None or rhs is None:
+                continue
+            ldim, lunit, lname = lhs
+            rdim, runit, rname = rhs
+            if (ldim, lunit) == (rdim, runit):
+                continue
+            if ldim != rdim:
+                detail = f"mixes dimensions ({ldim} vs {rdim})"
+            else:
+                detail = f"mixes units (_{lunit} vs _{runit})"
+            yield self.finding(
+                ctx, anchor,
+                f"{op} between `{lname}` and `{rname}` {detail}; "
+                f"convert explicitly first",
+                symbol=f"mix:{lname}:{op}:{rname}",
+            )

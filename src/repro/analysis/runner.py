@@ -1,0 +1,130 @@
+"""The lint driver: collect files, parse once, run rules, filter, report.
+
+Each file is parsed exactly once; every enabled rule sees the same
+:class:`FileContext`.  Findings then pass through two filters — inline
+pragmas (``# repro-lint: disable=...``) and the baseline file — before
+reaching the report.  Unparseable files surface as ``RL000`` findings
+rather than crashing the run: a syntax error in one file must not hide
+findings in the other two hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import PARSE_ERROR_CODE, Finding
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.base import FileContext
+
+__all__ = ["LintReport", "lint_paths", "collect_files", "module_name_for"]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run learned."""
+
+    findings: List[Finding] = field(default_factory=list)   # active, sorted
+    files_scanned: int = 0
+    suppressed_pragma: int = 0
+    suppressed_baseline: int = 0
+    stale_baseline: List[dict] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen = {}
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            seen[candidate.resolve()] = candidate
+    return [seen[key] for key in sorted(seen)]
+
+
+def module_name_for(path: Path, root_package: str) -> Optional[str]:
+    """Dotted module path, anchored at the *last* ``root_package`` dir.
+
+    ``src/repro/rpc/channel.py`` -> ``repro.rpc.channel``; a file with no
+    ``root_package`` ancestor directory gets None (layer rules skip it).
+    """
+    parts = list(path.parts)
+    if path.suffix == ".py":
+        parts[-1] = path.stem
+    ancestors = parts[:-1]
+    try:
+        anchor = len(ancestors) - 1 - ancestors[::-1].index(root_package)
+    except ValueError:
+        return None
+    module_parts = parts[anchor:]
+    if module_parts[-1] == "__init__":
+        module_parts = module_parts[:-1]
+    return ".".join(module_parts)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(paths: Sequence[Path], config: Optional[LintConfig] = None,
+               baseline_path: Optional[Path] = None) -> LintReport:
+    """Lint ``paths`` and return the filtered report.
+
+    ``baseline_path`` overrides the config's baseline location; pass a
+    nonexistent path (or configure ``baseline = ""``) for no baseline.
+    """
+    config = config or LintConfig()
+    root = Path(config.root)
+    rules = [cls() for cls in all_rules() if config.rule_enabled(cls.code)]
+
+    report = LintReport()
+    raw: List[Finding] = []
+    for path in collect_files([Path(p) for p in paths]):
+        report.files_scanned += 1
+        relpath = _relpath(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as err:
+            line = getattr(err, "lineno", 1) or 1
+            raw.append(Finding(
+                code=PARSE_ERROR_CODE, path=relpath, line=line, col=1,
+                message=f"cannot parse file: {err}", symbol="parse-error",
+            ))
+            continue
+        ctx = FileContext(
+            path=relpath, source=source, tree=tree, config=config,
+            module=module_name_for(path, config.root_package),
+        )
+        pragmas = parse_pragmas(source)
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if pragmas.is_suppressed(finding.code, finding.line):
+                    report.suppressed_pragma += 1
+                else:
+                    raw.append(finding)
+
+    if baseline_path is None and config.baseline:
+        baseline_path = root / config.baseline
+    if baseline_path is not None:
+        entries = load_baseline(Path(baseline_path))
+        raw, suppressed, stale = apply_baseline(raw, entries)
+        report.suppressed_baseline = suppressed
+        report.stale_baseline = stale
+
+    report.findings = sorted(raw, key=lambda f: f.sort_key)
+    return report

@@ -31,7 +31,7 @@ class CrossClusterResult:
     client_clusters: List[str]       # sorted by median total latency
     path_classes: List[PathClass]
     median_components: np.ndarray    # (n_clusters, 9)
-    wire_propagation_rtt: np.ndarray  # deterministic RTTs from the model
+    wire_propagation_rtt_s: np.ndarray  # deterministic RTTs from the model
     wire_fraction: np.ndarray        # wire share of the median total
 
     def totals(self) -> np.ndarray:
@@ -45,8 +45,8 @@ class CrossClusterResult:
         idx = [COMPONENTS.index(c) for c in WIRE_COMPONENTS]
         wire = self.median_components[:, idx].sum(axis=1)
         with np.errstate(divide="ignore", invalid="ignore"):
-            return np.where(self.wire_propagation_rtt > 0,
-                            wire / self.wire_propagation_rtt, np.nan)
+            return np.where(self.wire_propagation_rtt_s > 0,
+                            wire / self.wire_propagation_rtt_s, np.nan)
 
     def rows(self):
         """Rows for the rendered text table."""
@@ -111,6 +111,6 @@ def analyze_cross_cluster(dapper: DapperCollector, service: str, method: str,
         client_clusters=[r[0] for r in rows],
         path_classes=[r[1] for r in rows],
         median_components=comps,
-        wire_propagation_rtt=np.array([r[3] for r in rows]),
+        wire_propagation_rtt_s=np.array([r[3] for r in rows]),
         wire_fraction=wire / totals,
     )

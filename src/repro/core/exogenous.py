@@ -126,7 +126,7 @@ class DiurnalSeries:
     service: str
     cluster: str
     window_starts: np.ndarray
-    tail_latency: np.ndarray              # P95 per window
+    tail_latency_s: np.ndarray              # P95 per window
     variables: Dict[str, np.ndarray]      # variable -> per-window mean
     correlations: Dict[str, float]
 
@@ -172,5 +172,5 @@ def diurnal_series(spans: Sequence[Span], cluster: str, service: str = "",
         var_series[var] = series
         correlations[var] = correlation(series, tail)
     return DiurnalSeries(service=service, cluster=cluster,
-                         window_starts=starts, tail_latency=tail,
+                         window_starts=starts, tail_latency_s=tail,
                          variables=var_series, correlations=correlations)

@@ -37,6 +37,7 @@ from repro.fleet.scheduler import WakeupModel
 from repro.fleet.topology import Cluster
 from repro.sim.engine import Simulator
 from repro.sim.queues import Job, ServerPool
+from repro.sim.random import derive_seed
 
 __all__ = ["ExogenousState", "MachineProfile", "Machine", "DAY_SECONDS"]
 
@@ -238,7 +239,9 @@ def populate_cluster(sim: Simulator, cluster: Cluster, machines: int,
         if rng_registry is not None:
             rng = rng_registry.stream("machine", cluster.name, i)
         else:
-            rng = np.random.default_rng(hash((cluster.name, i)) & 0xFFFFFFFF)
+            # Not hash(): string hashing is salted per process, which would
+            # make the fallback seeds differ from run to run.
+            rng = np.random.default_rng(derive_seed(0, "machine", cluster.name, i))
         m = Machine(sim, cluster, i, profile=profile, rng=rng)
         cluster.machines.append(m)
         created.append(m)

@@ -114,11 +114,11 @@ class NetworkModel:
         """Draw ``n`` one-way wire latencies for a message of ``size_bytes``."""
         cls = self.classify(src, dst)
         base = self.propagation_s(src, dst) + self.flow.transfer_time_s(size_bytes)
-        jitter = rng.lognormal(0.0, _JITTER_SIGMA[cls], size=n)
+        jitter_factor = rng.lognormal(0.0, _JITTER_SIGMA[cls], size=n)
         congestion = self._congestion_for(cls).sample(
             rng, n, t=t, phase=self._path_phase(src, dst)
         )
-        return base * jitter + congestion
+        return base * jitter_factor + congestion
 
     def sample_oneway_one(self, rng: np.random.Generator, src: Cluster,
                           dst: Cluster, size_bytes: float = 0.0,
@@ -139,8 +139,14 @@ class NetworkModel:
 
     @staticmethod
     def _path_phase(src: Cluster, dst: Cluster) -> float:
-        """Stable per-path phase for congestion modulation."""
-        return (hash((src.name, dst.name)) % 6283) / 1000.0
+        """Stable per-path phase for congestion modulation.
+
+        Not hash(): string hashing is salted per process, which made the
+        phases — and therefore every congestion draw — differ from run
+        to run.
+        """
+        from repro.sim.random import derive_seed
+        return (derive_seed(0, "path-phase", src.name, dst.name) % 6283) / 1000.0
 
     def max_wan_rtt_s(self, clusters) -> float:
         """Largest deterministic RTT over a set of clusters (~200 ms target)."""

@@ -33,8 +33,11 @@ import numpy as np
 
 from repro.fleet.machine import Machine
 from repro.net.latency import NetworkModel
-from repro.obs.dapper import DapperCollector, Span
-from repro.obs.gwp import GwpProfiler
+# The DES client/server emits spans/profiles directly, which inverts the
+# rpc -> obs layering.  Tolerated until the span/profile sinks move behind
+# an interface owned by rpc.stack; tracked in docs/LINTING.md.
+from repro.obs.dapper import DapperCollector, Span  # repro-lint: disable=RL004 - known inversion
+from repro.obs.gwp import GwpProfiler  # repro-lint: disable=RL004 - known inversion
 from repro.rpc.errors import ErrorModel, StatusCode
 from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
 from repro.rpc.message import new_rpc_id

@@ -17,6 +17,12 @@ tests exercise genuine code paths end to end:
   and a tracing interceptor records real Dapper spans with measured stage
   timings.
 
+Time never comes from the wall clock: components share a deterministic
+:class:`~repro.sim.clock.ManualClock` by default (the loopback transport
+*advances* it by its configured latency instead of sleeping), so deadline
+behaviour is bit-identical across runs.  Code that genuinely serves real
+clients (the TCP examples) passes ``time.monotonic`` explicitly.
+
 The frame layout (little-endian):
 
 ``magic "RRPC" | flags u8 | varint header_len | header | varint body_len |
@@ -28,11 +34,11 @@ header is itself a wire-format message (method, trace/span ids, deadline).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.rpc import compression, crypto
+from repro.sim.clock import ManualClock
 from repro.rpc.errors import RpcError, StatusCode
 from repro.rpc.wire import (
     FieldSpec,
@@ -182,12 +188,12 @@ class RpcServer:
 
     def __init__(self, *, key: Optional[bytes] = None,
                  nonce: Optional[bytes] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Optional[Callable[[], float]] = None):
         self._services: Dict[str, ServiceDef] = {}
         self._interceptors: List[ServerInterceptor] = []
         self._key = key
         self._nonce = nonce
-        self._clock = clock
+        self._clock = clock if clock is not None else ManualClock()
         self.calls_served = 0
 
     def register(self, service: ServiceDef) -> None:
@@ -265,13 +271,17 @@ class RpcServer:
 class LoopbackTransport:
     """Delivers frames to a server in-process.
 
-    Byte-for-byte identical frames to what a socket transport would send;
-    optional artificial latency lets examples show deadline enforcement.
+    Byte-for-byte identical frames to what a socket transport would send.
+    Artificial latency is charged to a deterministic :class:`ManualClock`
+    (shared with any :class:`Channel` built on this transport), so examples
+    show deadline enforcement without sleeping or reading the wall clock.
     """
 
-    def __init__(self, server: RpcServer, latency_s: float = 0.0):
+    def __init__(self, server: RpcServer, latency_s: float = 0.0,
+                 clock: Optional[ManualClock] = None):
         self.server = server
         self.latency_s = latency_s
+        self.clock = clock if clock is not None else ManualClock()
         self.bytes_sent = 0
         self.bytes_received = 0
 
@@ -279,7 +289,7 @@ class LoopbackTransport:
         """Send one frame and return the reply frame."""
         self.bytes_sent += len(frame)
         if self.latency_s:
-            time.sleep(self.latency_s)
+            self.clock.advance(self.latency_s)
         reply = self.server.handle_frame(frame)
         self.bytes_received += len(reply)
         return reply
@@ -292,11 +302,15 @@ class Channel:
                  compress_threshold: int = 256,
                  key: Optional[bytes] = None,
                  nonce: Optional[bytes] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Optional[Callable[[], float]] = None):
         self.transport = transport
         self.compress_threshold = compress_threshold
         self._key = key
         self._nonce = nonce
+        # Share the transport's clock when it has one, so latency the
+        # transport charges is visible to deadline checks here.
+        if clock is None:
+            clock = getattr(transport, "clock", None) or ManualClock()
         self._clock = clock
         self._interceptors: List[ClientInterceptor] = []
         self._next_id = 1
@@ -339,14 +353,14 @@ class Channel:
             compress=len(body) >= self.compress_threshold,
             key=self._key, nonce=self._nonce,
         )
-        start = self._clock()
+        start_s = self._clock()
         reply = self.transport.round_trip(frame)
-        elapsed = self._clock() - start
+        elapsed_s = self._clock() - start_s
         self.calls_made += 1
 
-        if deadline_s is not None and elapsed > deadline_s:
+        if deadline_s is not None and elapsed_s > deadline_s:
             raise RpcError(StatusCode.DEADLINE_EXCEEDED,
-                           f"{full_method} took {elapsed:.3f}s "
+                           f"{full_method} took {elapsed_s:.3f}s "
                            f"(deadline {deadline_s:.3f}s)")
         header, payload = decode_frame(reply, key=self._key,
                                        nonce=self._nonce)

@@ -3,6 +3,9 @@
 This package provides the event-driven core used by the fleet simulator:
 
 - :mod:`repro.sim.engine` — the event loop and simulated clock.
+- :mod:`repro.sim.clock` — deterministic wall-clock stand-ins
+  (:class:`ManualClock`, :class:`SimulatorClock`) for components that need
+  elapsed time without reading the host clock.
 - :mod:`repro.sim.queues` — FIFO/priority queues with server pools and
   waiting-time accounting.
 - :mod:`repro.sim.random` — deterministic, named RNG streams derived from a
@@ -29,6 +32,7 @@ from repro.sim.distributions import (
     Weibull,
     zipf_weights,
 )
+from repro.sim.clock import ManualClock, SimulatorClock
 from repro.sim.engine import Event, Simulator
 from repro.sim.queues import QueueStats, ServerPool
 from repro.sim.random import RngRegistry
@@ -40,6 +44,7 @@ __all__ = [
     "Event",
     "Exponential",
     "LogNormal",
+    "ManualClock",
     "Mixture",
     "Pareto",
     "QueueStats",
@@ -47,6 +52,7 @@ __all__ = [
     "ServerPool",
     "Shifted",
     "Simulator",
+    "SimulatorClock",
     "Truncated",
     "Uniform",
     "Weibull",

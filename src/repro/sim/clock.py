@@ -1,0 +1,71 @@
+"""Deterministic clocks: simulated time without the wall clock.
+
+The runnable RPC framework (:mod:`repro.rpc.framework`) needs a notion
+of elapsed time for deadline enforcement, but reading the host clock
+would make runs non-reproducible (and is banned by repro-lint RL001).
+These clocks close the gap:
+
+- :class:`ManualClock` — time advances only when a component says so
+  (e.g. a transport charging its configured latency).  The default for
+  in-process stacks: deterministic, instant, and bit-identical across
+  runs.
+- :class:`SimulatorClock` — adapts a :class:`~repro.sim.engine.Simulator`
+  so framework components observe discrete-event time.
+
+Both are plain callables returning seconds, so any ``Callable[[],
+float]`` (including ``time.monotonic``, in allowlisted wall-clock code
+such as the TCP examples) satisfies the same contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["Clock", "ManualClock", "SimulatorClock"]
+
+#: Anything the framework accepts as a time source.
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A clock that moves only via :meth:`advance`.
+
+    >>> clock = ManualClock()
+    >>> clock()
+    0.0
+    >>> clock.advance(0.25)
+    >>> clock()
+    0.25
+    """
+
+    __slots__ = ("now_s",)
+
+    def __init__(self, start_s: float = 0.0):
+        self.now_s = float(start_s)
+
+    def __call__(self) -> float:
+        return self.now_s
+
+    def advance(self, delta_s: float) -> None:
+        """Move time forward by ``delta_s`` seconds (never backward)."""
+        if delta_s < 0:
+            raise ValueError(f"cannot advance by negative time {delta_s!r}")
+        self.now_s += delta_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ManualClock(now_s={self.now_s:.6f})"
+
+
+class SimulatorClock:
+    """Expose a :class:`~repro.sim.engine.Simulator`'s clock as a callable."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim):
+        self._sim = sim
+
+    def __call__(self) -> float:
+        return self._sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimulatorClock(now={self._sim.now:.6f})"

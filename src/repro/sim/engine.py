@@ -111,28 +111,28 @@ class Simulator:
         heapq.heappush(self._heap, (time, next(self._seq), event))
         return event
 
-    def after(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
-        return self.at(self.now + delay, callback)
+    def after(self, delay_s: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise SimulationError(f"negative delay {delay_s!r}")
+        return self.at(self.now + delay_s, callback)
 
     def every(
         self,
-        interval: float,
+        interval_s: float,
         callback: Callable[[], None],
         *,
         start_after: Optional[float] = None,
         until: Optional[float] = None,
     ) -> PeriodicTask:
-        """Run ``callback`` every ``interval`` seconds.
+        """Run ``callback`` every ``interval_s`` seconds.
 
-        The first occurrence is at ``now + (start_after or interval)``; the
-        chain stops after simulated time ``until`` if given, or when the
-        returned handle is cancelled.
+        The first occurrence is at ``now + (start_after or interval_s)``;
+        the chain stops after simulated time ``until`` if given, or when
+        the returned handle is cancelled.
         """
-        if interval <= 0:
-            raise SimulationError(f"non-positive interval {interval!r}")
+        if interval_s <= 0:
+            raise SimulationError(f"non-positive interval {interval_s!r}")
 
         task = PeriodicTask()
 
@@ -141,13 +141,13 @@ class Simulator:
                 return
             callback()
             task.fires += 1
-            next_time = self.now + interval
+            next_time = self.now + interval_s
             if until is not None and next_time > until:
                 return
             task._current = self.at(next_time, tick)
 
-        first_delay = interval if start_after is None else start_after
-        task._current = self.after(first_delay, tick)
+        first_delay_s = interval_s if start_after is None else start_after
+        task._current = self.after(first_delay_s, tick)
         return task
 
     # ------------------------------------------------------------------

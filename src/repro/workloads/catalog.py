@@ -318,7 +318,7 @@ def _popularity_weights(n: int, cfg: CatalogConfig) -> np.ndarray:
     return w / w.sum()
 
 
-def _assign_popularity(median_latency: np.ndarray, cfg: CatalogConfig,
+def _assign_popularity(median_latency_s: np.ndarray, cfg: CatalogConfig,
                        rng: np.random.Generator) -> np.ndarray:
     """Map popularity ranks onto methods, favouring low-latency methods.
 
@@ -328,9 +328,9 @@ def _assign_popularity(median_latency: np.ndarray, cfg: CatalogConfig,
     coexistence of "fastest 100 = 40 % of calls" with "slowest 1000 =
     1.1 % of calls".
     """
-    n = len(median_latency)
+    n = len(median_latency_s)
     weights = _popularity_weights(n, cfg)
-    latency_order = np.argsort(median_latency)  # fastest first
+    latency_order = np.argsort(median_latency_s)  # fastest first
     # Perturbed target position for each popularity rank.
     ranks = np.arange(n, dtype=float) + 1.0
     noisy = ranks * np.exp(rng.normal(0.0, cfg.popularity_latency_noise, n))

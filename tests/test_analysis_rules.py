@@ -1,0 +1,244 @@
+"""Per-rule tests: each rule fires on a known-bad fixture and stays
+silent on a known-good one."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.runner import lint_paths
+
+NO_BASELINE = Path("/nonexistent-baseline.json")
+
+
+def lint_snippet(tmp_path, source, *, subpath="repro/mod.py", **config_kwargs):
+    """Write ``source`` under tmp_path and lint it with a bare config."""
+    target = tmp_path / subpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    config_kwargs.setdefault("root", str(tmp_path))
+    config_kwargs.setdefault("baseline", None)
+    config_kwargs.setdefault("wallclock_allow_paths", ())
+    config_kwargs.setdefault("random_allow_paths", ())
+    config = LintConfig(**config_kwargs)
+    return lint_paths([target], config, baseline_path=NO_BASELINE)
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestRL001WallClock:
+    def test_fires_on_time_calls(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import time
+            start = time.perf_counter()
+            time.sleep(0.1)
+        """)
+        assert codes(report) == ["RL001", "RL001"]
+
+    def test_fires_on_aliased_and_from_imports(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import time as t
+            from time import monotonic
+            a = t.time()
+            b = monotonic()
+        """)
+        assert codes(report) == ["RL001", "RL001"]
+
+    def test_fires_on_datetime_now(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+        assert codes(report) == ["RL001"]
+
+    def test_fires_on_uncalled_reference(self, tmp_path):
+        # `clock=time.monotonic` as a default smuggles in the wall clock
+        # without a call expression.
+        report = lint_snippet(tmp_path, """\
+            import time
+            def f(clock=time.monotonic):
+                return clock()
+        """)
+        assert codes(report) == ["RL001"]
+
+    def test_silent_on_engine_clock_and_benign_time(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import time
+            def f(sim):
+                return sim.now, time.strftime("%Y")
+        """)
+        assert codes(report) == []
+
+    def test_silent_under_allowlisted_path(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import time
+            t0 = time.perf_counter()
+        """, subpath="benchmarks/bench.py",
+            wallclock_allow_paths=("benchmarks/",))
+        assert codes(report) == []
+
+
+class TestRL002GlobalRandom:
+    def test_fires_on_stdlib_random(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import random
+            x = random.randint(0, 10)
+            random.seed(4)
+        """)
+        assert codes(report) == ["RL002", "RL002"]
+
+    def test_fires_on_numpy_global_draws(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+            x = np.random.rand(3)
+            np.random.seed(0)
+        """)
+        assert codes(report) == ["RL002", "RL002"]
+
+    def test_fires_on_unseeded_default_rng(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert codes(report) == ["RL002"]
+
+    def test_silent_on_seeded_generators(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+            def f(rng: np.random.Generator, seed: int):
+                backup = np.random.default_rng(seed)
+                return rng.normal(), backup.normal()
+        """)
+        assert codes(report) == []
+
+    def test_silent_under_allowlisted_path(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng()
+        """, subpath="repro/sim/random.py",
+            random_allow_paths=("repro/sim/random.py",))
+        assert codes(report) == []
+
+
+class TestRL003Units:
+    def test_fires_on_missing_suffix(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(latency, queue_delay):
+                total_rtt = latency + queue_delay
+                return total_rtt
+        """)
+        assert codes(report).count("RL003") == 3
+
+    def test_fires_on_mixed_unit_arithmetic(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(wait_us, service_ms):
+                return wait_us + service_ms
+        """)
+        [finding] = report.findings
+        assert finding.code == "RL003"
+        assert "_us" in finding.message and "_ms" in finding.message
+
+    def test_fires_on_mixed_dimension_comparison(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(wait_ms, payload_bytes):
+                return wait_ms > payload_bytes
+        """)
+        [finding] = report.findings
+        assert "dimensions" in finding.message
+
+    def test_fires_on_augmented_assignment(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(total_us, extra_ms):
+                total_us += extra_ms
+                return total_us
+        """)
+        assert codes(report) == ["RL003"]
+
+    def test_silent_on_consistent_units_and_conversion(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(wait_us, service_us, budget_ms):
+                total_us = wait_us + service_us
+                return total_us < budget_ms * 1000.0
+        """)
+        assert codes(report) == []
+
+    def test_silent_on_dimensionless_names(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(xs, ys):
+                latency_corr = 0.5
+                hedge_ratio_latency = 0.1
+                return latency_corr, hedge_ratio_latency
+        """)
+        assert codes(report) == []
+
+
+class TestRL004Layering:
+    def test_fires_on_upward_import(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            from repro.obs.dapper import Span
+        """, subpath="repro/rpc/channel.py")
+        [finding] = report.findings
+        assert finding.code == "RL004"
+        assert "upward import" in finding.message
+
+    def test_silent_on_downward_and_same_layer_imports(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            from repro.sim.engine import Simulator
+            from repro.net.latency import NetworkModel
+        """, subpath="repro/rpc/stack.py")
+        assert codes(report) == []
+
+    def test_standalone_package_may_not_import_layers(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            from repro.sim.engine import Simulator
+        """, subpath="repro/analysis/runner.py")
+        [finding] = report.findings
+        assert finding.code == "RL004"
+        assert "standalone" in finding.message
+
+    def test_layers_may_not_import_standalone(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            from repro.analysis import lint_paths
+        """, subpath="repro/core/report.py")
+        [finding] = report.findings
+        assert finding.code == "RL004"
+
+    def test_skips_files_outside_root_package(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            from repro.studies import run_all
+        """, subpath="scripts/driver.py")
+        assert codes(report) == []
+
+
+class TestRL005MutableDefaults:
+    def test_fires_on_literal_defaults(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(items=[], mapping={}, tags=set()):
+                return items, mapping, tags
+        """)
+        assert codes(report) == ["RL005", "RL005", "RL005"]
+
+    def test_fires_on_kwonly_and_constructor_defaults(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(*, cache=dict(), queue=list()):
+                return cache, queue
+        """)
+        assert codes(report) == ["RL005", "RL005"]
+
+    def test_silent_on_immutable_defaults(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def f(items=(), name="x", count=0, other=None, flags=frozenset()):
+                return items, name, count, other, flags
+        """)
+        assert codes(report) == []
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        report = lint_snippet(tmp_path, "def broken(:\n")
+        [finding] = report.findings
+        assert finding.code == "RL000"
+        assert "cannot parse" in finding.message

@@ -1,0 +1,253 @@
+"""Framework behaviour: pragmas, baseline round-trip, reporters, CLI."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.cli import main
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.runner import lint_paths, module_name_for
+
+NO_BASELINE = Path("/nonexistent-baseline.json")
+
+BAD_SOURCE = """\
+import time
+import random
+t0 = time.perf_counter()
+x = random.random()
+"""
+
+
+def write(tmp_path, name, source):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+def bare_config(tmp_path, **kwargs):
+    kwargs.setdefault("root", str(tmp_path))
+    kwargs.setdefault("baseline", None)
+    kwargs.setdefault("wallclock_allow_paths", ())
+    kwargs.setdefault("random_allow_paths", ())
+    return LintConfig(**kwargs)
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_only_that_line(self, tmp_path):
+        target = write(tmp_path, "mod.py", """\
+            import time
+            a = time.perf_counter()  # repro-lint: disable=RL001 - harness timing
+            b = time.perf_counter()
+        """)
+        report = lint_paths([target], bare_config(tmp_path),
+                            baseline_path=NO_BASELINE)
+        assert [f.line for f in report.findings] == [3]
+        assert report.suppressed_pragma == 1
+
+    def test_multi_code_and_all_pragmas(self, tmp_path):
+        target = write(tmp_path, "mod.py", """\
+            import time, random
+            a = time.time() or random.random()  # repro-lint: disable=RL001,RL002
+            b = time.time() or random.random()  # repro-lint: disable=all
+        """)
+        report = lint_paths([target], bare_config(tmp_path),
+                            baseline_path=NO_BASELINE)
+        assert report.findings == []
+        assert report.suppressed_pragma == 4
+
+    def test_file_pragma_suppresses_whole_file(self, tmp_path):
+        target = write(tmp_path, "mod.py", """\
+            # repro-lint: disable-file=RL001
+            import time
+            a = time.time()
+            b = time.sleep(1)
+        """)
+        report = lint_paths([target], bare_config(tmp_path),
+                            baseline_path=NO_BASELINE)
+        assert report.findings == []
+        assert report.suppressed_pragma == 2
+
+    def test_pragma_inside_string_is_ignored(self, tmp_path):
+        target = write(tmp_path, "mod.py", '''\
+            import time
+            DOC = """
+            # repro-lint: disable-file=all
+            """
+            t = time.time()
+        ''')
+        report = lint_paths([target], bare_config(tmp_path),
+                            baseline_path=NO_BASELINE)
+        assert [f.code for f in report.findings] == ["RL001"]
+
+    def test_parse_pragmas_index(self):
+        index = parse_pragmas(
+            "x = 1  # repro-lint: disable=RL003\n"
+            "# repro-lint: disable-file=RL005\n"
+        )
+        assert index.is_suppressed("RL003", 1)
+        assert not index.is_suppressed("RL003", 2)
+        assert index.is_suppressed("RL005", 40)
+
+
+class TestBaseline:
+    def test_round_trip_silences_then_goes_stale(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD_SOURCE)
+        config = bare_config(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        first = lint_paths([target], config, baseline_path=NO_BASELINE)
+        assert len(first.findings) == 2
+        count = write_baseline(baseline, first.findings)
+        assert count == 2
+
+        second = lint_paths([target], config, baseline_path=baseline)
+        assert second.findings == []
+        assert second.suppressed_baseline == 2
+        assert second.stale_baseline == []
+
+        # Fix one finding: its baseline entry is now stale, the other
+        # still suppresses, and nothing new is reported.
+        target.write_text("import time\nt0 = time.perf_counter()\n")
+        third = lint_paths([target], config, baseline_path=baseline)
+        assert third.findings == []
+        assert third.suppressed_baseline == 1
+        assert len(third.stale_baseline) == 1
+
+    def test_fingerprint_survives_line_shifts(self, tmp_path):
+        target = write(tmp_path, "mod.py", "import time\nx = time.time()\n")
+        config = bare_config(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline,
+                       lint_paths([target], config,
+                                  baseline_path=NO_BASELINE).findings)
+        target.write_text("import time\n\n\n\nx = time.time()\n")
+        report = lint_paths([target], config, baseline_path=baseline)
+        assert report.findings == []
+        assert report.suppressed_baseline == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_corrupt_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+    def test_apply_baseline_split(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD_SOURCE)
+        findings = lint_paths([target], bare_config(tmp_path),
+                              baseline_path=NO_BASELINE).findings
+        entries = [{"fingerprint": findings[0].fingerprint}]
+        active, suppressed, stale = apply_baseline(findings, entries)
+        assert suppressed == 1
+        assert stale == []
+        assert active == [findings[1]]
+
+
+class TestReporters:
+    def test_text_report_shape(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD_SOURCE)
+        report = lint_paths([target], bare_config(tmp_path),
+                            baseline_path=NO_BASELINE)
+        text = render_text(report)
+        assert "mod.py:3:6: RL001" in text
+        assert "2 findings in 1 file" in text
+
+    def test_json_report_schema(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD_SOURCE)
+        report = lint_paths([target], bare_config(tmp_path),
+                            baseline_path=NO_BASELINE)
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert payload["summary"]["total"] == 2
+        assert payload["summary"]["clean"] is False
+        finding = payload["findings"][0]
+        assert set(finding) == {"code", "path", "line", "col", "message",
+                                "symbol", "fingerprint"}
+
+
+class TestConfig:
+    def test_layer_of_and_rule_enabled(self):
+        config = LintConfig()
+        assert config.layer_of("sim") == 0
+        assert config.layer_of("rpc") == 1
+        assert config.layer_of("cli") == 4
+        assert config.layer_of("nonesuch") is None
+        assert config.rule_enabled("RL001")
+        narrowed = LintConfig(select=("RL004",), ignore=("RL005",))
+        assert narrowed.rule_enabled("RL004")
+        assert not narrowed.rule_enabled("RL001")
+        assert not narrowed.rule_enabled("RL005")
+
+    def test_load_config_reads_tool_table(self, tmp_path):
+        pyproject = write(tmp_path, "pyproject.toml", """\
+            [tool.repro-lint]
+            baseline = "lint/base.json"
+            unit_stems = ["latency"]
+            layers = [["sim"], ["rpc"]]
+        """)
+        config = load_config(pyproject=pyproject)
+        assert config.baseline == "lint/base.json"
+        assert config.unit_stems == ("latency",)
+        assert config.layers == (("sim",), ("rpc",))
+        assert config.root == str(tmp_path)
+        # Unspecified fields keep their defaults.
+        assert config.root_package == "repro"
+
+    def test_load_config_discovers_pyproject_upward(self, tmp_path):
+        write(tmp_path, "pyproject.toml", "[tool.repro-lint]\nbaseline = 'b.json'\n")
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        config = load_config(search_from=nested)
+        assert config.baseline == "b.json"
+
+    def test_module_name_resolution(self):
+        assert module_name_for(Path("src/repro/rpc/channel.py"), "repro") \
+            == "repro.rpc.channel"
+        assert module_name_for(Path("src/repro/sim/__init__.py"), "repro") \
+            == "repro.sim"
+        assert module_name_for(Path("elsewhere/tool.py"), "repro") is None
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", "import time\nx = time.time()\n")
+        good = write(tmp_path, "good.py", "x = 1\n")
+        assert main([str(good), "--no-baseline"]) == 0
+        assert main([str(bad), "--no-baseline"]) == 1
+        assert main([str(bad), "--select", "RL999"]) == 2
+        capsys.readouterr()
+
+    def test_select_skips_other_rules(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", "import time\nx = time.time()\n")
+        assert main([str(bad), "--no-baseline", "--select", "RL005"]) == 0
+        capsys.readouterr()
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", "import time\nx = time.time()\n")
+        assert main([str(bad), "--no-baseline", "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] == 1
+        assert payload["findings"][0]["code"] == "RL001"
+
+    def test_write_baseline_flow(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", "import time\nx = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([str(bad), "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        assert baseline.is_file()
+        assert main([str(bad), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert code in out

@@ -1,0 +1,81 @@
+"""Deterministic clocks and their integration with the RPC framework."""
+
+import pytest
+
+from repro.rpc.errors import RpcError, StatusCode
+from repro.rpc.framework import Channel, LoopbackTransport, RpcServer, ServiceDef
+from repro.rpc.wire import FieldSpec, FieldType, MessageSchema
+from repro.sim.clock import ManualClock, SimulatorClock
+from repro.sim.engine import Simulator
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock() == 1.75
+
+    def test_custom_start(self):
+        assert ManualClock(start_s=10.0)() == 10.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-0.1)
+
+
+class TestSimulatorClock:
+    def test_tracks_simulator_time(self):
+        sim = Simulator()
+        clock = SimulatorClock(sim)
+        assert clock() == 0.0
+        sim.after(2.5, lambda: None)
+        sim.run()
+        assert clock() == 2.5
+
+
+class TestFrameworkDeterminism:
+    REQ = MessageSchema("Req", [FieldSpec(1, "x", FieldType.INT64)])
+    RESP = MessageSchema("Resp", [FieldSpec(1, "y", FieldType.INT64)])
+
+    def make_channel(self, latency_s=0.0, **channel_kwargs):
+        svc = ServiceDef("Svc")
+
+        @svc.method("Double", self.REQ, self.RESP)
+        def double(request):
+            return {"y": 2 * request.get("x", 0)}
+
+        server = RpcServer()
+        server.register(svc)
+        transport = LoopbackTransport(server, latency_s=latency_s)
+        return Channel(transport, **channel_kwargs)
+
+    def test_transport_latency_advances_shared_clock(self):
+        channel = self.make_channel(latency_s=0.05)
+        clock = channel.transport.clock
+        channel.call("Svc", "Double", {"x": 2}, self.REQ, self.RESP)
+        channel.call("Svc", "Double", {"x": 3}, self.REQ, self.RESP)
+        assert clock() == pytest.approx(0.10)
+
+    def test_deadline_enforcement_is_wall_clock_free(self):
+        # The transport charges 50 ms of *simulated* latency; a 10 ms
+        # deadline trips without any sleeping.
+        channel = self.make_channel(latency_s=0.05)
+        with pytest.raises(RpcError) as err:
+            channel.call("Svc", "Double", {"x": 1}, self.REQ, self.RESP,
+                         deadline_s=0.01)
+        assert err.value.status is StatusCode.DEADLINE_EXCEEDED
+
+    def test_explicit_clock_is_honoured(self):
+        channel = self.make_channel(clock=ManualClock(start_s=100.0))
+        reply = channel.call("Svc", "Double", {"x": 4}, self.REQ, self.RESP,
+                             deadline_s=1.0)
+        assert reply == {"y": 8}
+
+    def test_simulator_clock_drives_channel(self):
+        sim = Simulator()
+        channel = self.make_channel(clock=SimulatorClock(sim))
+        reply = channel.call("Svc", "Double", {"x": 5}, self.REQ, self.RESP,
+                             deadline_s=0.5)
+        assert reply == {"y": 10}
