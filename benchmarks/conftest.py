@@ -9,7 +9,23 @@ Scale note: the paper's fleet is 10,000 methods and 722 billion samples;
 the benches default to a 2,000-method catalog and seconds-long DES slices
 so the whole suite completes in minutes. The shapes under test are scale-
 stable; bump the constants below to run closer to paper scale.
+
+Bench trajectory: every bench's wall time (plus any stats it pushes via
+the ``record_stat`` fixture) is written to ``BENCH_PR2.json`` at the repo
+root when the session ends, one record per figure::
+
+    {"figure": "fig14_breakdown", "wall_s": 1.23, "stats": {...}}
+
+Existing records for figures *not* run this session are preserved, so a
+partial run (``pytest benchmarks/test_fig14_breakdown.py``) refreshes only
+its own entry. CI uploads the file as an artifact; comparing it across
+PRs shows harness performance drift.
 """
+
+import json
+import os
+import re
+import time
 
 import numpy as np
 import pytest
@@ -25,6 +41,68 @@ from repro.workloads.catalog import CatalogConfig, build_catalog
 BENCH_METHODS = 2000
 BENCH_SAMPLES_PER_METHOD = 300
 BENCH_SEED = 7
+
+BENCH_TRAJECTORY_FILE = os.path.join(os.path.dirname(__file__), os.pardir,
+                                     "BENCH_PR2.json")
+
+# figure name -> {"wall_s": float, "stats": dict}, accumulated per session
+_trajectory = {}
+
+
+def _figure_name(nodeid: str) -> str:
+    """``benchmarks/test_fig14_breakdown.py::test_x`` -> ``fig14_breakdown``."""
+    module = nodeid.split("::")[0]
+    stem = os.path.splitext(os.path.basename(module))[0]
+    return re.sub(r"^test_", "", stem)
+
+
+@pytest.fixture(autouse=True)
+def _bench_timer(request):
+    """Accumulate wall time per figure (module) across its tests."""
+    start_s = time.perf_counter()
+    yield
+    wall_s = time.perf_counter() - start_s
+    entry = _trajectory.setdefault(_figure_name(request.node.nodeid),
+                                   {"wall_s": 0.0, "stats": {}})
+    entry["wall_s"] += wall_s
+
+
+@pytest.fixture
+def record_stat(request):
+    """Push key result stats into this figure's ``BENCH_PR2.json`` record.
+
+    Usage::
+
+        def test_fig14(record_stat, ...):
+            record_stat(p95_over_median=2.3, services_matched=8)
+    """
+    figure = _figure_name(request.node.nodeid)
+
+    def _record(**stats) -> None:
+        entry = _trajectory.setdefault(figure, {"wall_s": 0.0, "stats": {}})
+        entry["stats"].update(stats)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's trajectory into ``BENCH_PR2.json``."""
+    if not _trajectory:
+        return
+    records = {}
+    try:
+        with open(BENCH_TRAJECTORY_FILE, "r", encoding="utf-8") as f:
+            records = {r["figure"]: r for r in json.load(f)}
+    except (OSError, ValueError, KeyError, TypeError):
+        records = {}
+    for figure, entry in _trajectory.items():
+        records[figure] = {"figure": figure,
+                           "wall_s": round(entry["wall_s"], 3),
+                           "stats": entry["stats"]}
+    with open(BENCH_TRAJECTORY_FILE, "w", encoding="utf-8") as f:
+        json.dump([records[k] for k in sorted(records)], f, indent=2,
+                  sort_keys=True)
+        f.write("\n")
 
 
 @pytest.fixture

@@ -1,0 +1,77 @@
+"""Telemetry self-overhead: an instrumented-but-unobserved engine is free.
+
+The probe hooks added to the hot paths (``Simulator.step``,
+``ServerPool`` transitions, the RPC client/server) must cost nothing
+when nobody is listening: ``resolve_probe`` folds a ``NullProbe`` to
+``None``, so every call site reduces to one pointer test that was
+already there. This bench pins that down: a pure event-churn workload
+run with ``probe=None`` versus ``probe=NullProbe()`` must land within
+5 % (min-of-repeats), and the ratio is recorded into ``BENCH_PR2.json``
+so drift shows up across PRs.
+
+An actively observing probe is *allowed* to cost — that price is
+reported (not asserted) for scale.
+"""
+
+import time
+
+from repro.obs.telemetry import MetricsProbe
+from repro.obs.metrics import MetricRegistry
+from repro.sim.engine import Simulator
+from repro.sim.instrument import NullProbe
+from repro.sim.queues import Job, ServerPool
+
+N_JOBS = 60_000
+REPEATS = 5
+MAX_NULLPROBE_RATIO = 1.05
+
+
+def _run_engine(probe) -> int:
+    """A self-propagating arrival cascade through a worker pool."""
+    sim = Simulator(probe=probe)
+    pool = ServerPool(sim, servers=4, name="w")
+
+    def arrive(i: int) -> None:
+        pool.submit(Job(service_time=1e-3))
+        if i + 1 < N_JOBS:
+            sim.after(5e-4, lambda: arrive(i + 1))
+
+    sim.after(0.0, lambda: arrive(0))
+    sim.run_until(N_JOBS * 5e-4 + 1.0)
+    return sim.events_fired
+
+
+def _min_wall_s(probe_factory) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        probe = probe_factory()
+        start_s = time.perf_counter()
+        _run_engine(probe)
+        best = min(best, time.perf_counter() - start_s)
+    return best
+
+
+def test_nullprobe_within_noise_of_uninstrumented(show, record_stat):
+    baseline_s = _min_wall_s(lambda: None)
+    nullprobe_s = _min_wall_s(NullProbe)
+
+    def observed_probe():
+        return MetricsProbe(MetricRegistry())
+
+    observed_s = _min_wall_s(observed_probe)
+
+    ratio = nullprobe_s / baseline_s
+    observed_ratio = observed_s / baseline_s
+    record_stat(baseline_wall_s=round(baseline_s, 4),
+                nullprobe_wall_s=round(nullprobe_s, 4),
+                nullprobe_ratio=round(ratio, 4),
+                metrics_probe_ratio=round(observed_ratio, 4),
+                n_jobs=N_JOBS)
+    show(f"engine churn ({N_JOBS:,} jobs, min of {REPEATS}): "
+         f"baseline {baseline_s:.3f}s, NullProbe {nullprobe_s:.3f}s "
+         f"(x{ratio:.3f}), MetricsProbe {observed_s:.3f}s "
+         f"(x{observed_ratio:.3f})")
+    assert ratio <= MAX_NULLPROBE_RATIO, (
+        f"NullProbe run is {ratio:.3f}x the uninstrumented baseline "
+        f"(limit {MAX_NULLPROBE_RATIO}x): the resolve_probe fast path "
+        f"is not folding to None somewhere on the hot path")

@@ -2,25 +2,34 @@
 """Scenario: the SRE console view of a running service.
 
 Runs a short Bigtable study across two clusters, then renders what an
-operator would watch: Monarch sparklines of each machine's exogenous state
-and the service's own CPU usage — the raw feeds behind Figs. 17, 18 and
-22 — plus the service's live latency summary from Dapper.
+operator would watch: a run heartbeat (events/s, sim-time rate, RPCs
+completed — fed by a probe on the engine), Monarch sparklines of each
+machine's exogenous state and the service's own CPU usage — the raw
+feeds behind Figs. 17, 18 and 22 — plus the service's live latency
+summary from Dapper.
 
 Run:  python examples/fleet_dashboard.py
 """
 
+import time
+
 import numpy as np
 
 from repro.core.report import fmt_seconds, format_table
-from repro.obs.dashboard import render_panel, render_series
+from repro.obs.dashboard import render_heartbeat, render_panel, render_series
+from repro.obs.telemetry import HeartbeatProbe
 from repro.studies import run_service_study
 
 
 def main() -> None:
     print("Running Bigtable on two clusters (3 s, scraping every 0.25 s) ...\n")
+    heartbeat = HeartbeatProbe(wall_clock=time.perf_counter)
     study = run_service_study(services=["Bigtable"], n_clusters=2,
                               duration_s=3.0, seed=19,
-                              scrape_interval_s=0.25, dapper_sampling=1.0)
+                              scrape_interval_s=0.25, dapper_sampling=1.0,
+                              probe=heartbeat)
+    print(render_heartbeat(heartbeat.snapshot(), "Bigtable x2 clusters"))
+    print()
 
     for metric in ("machine/cpu_util", "machine/cycles_per_inst",
                    "server/rpc_util"):

@@ -10,19 +10,27 @@ simulated RPC linked into its parent's Dapper trace, so this script can:
  2. verify the paper's §2.1 accounting rule — a parent's application time
     contains its children's completion times,
  3. persist the traces with the Dapper storage format and re-analyze them
-    offline (the `repro-rpc analyze-traces` workflow).
+    offline (the `repro-rpc analyze-traces` workflow),
+ 4. with ``--telemetry-dir DIR``, export the run as a Perfetto-loadable
+    Chrome trace plus a run manifest, and round-trip both through their
+    readers/validators (the CI telemetry-artifacts job runs this).
 
-Run:  python examples/three_tier_traces.py
+Run:  python examples/three_tier_traces.py [--telemetry-dir DIR]
 """
 
+import argparse
+import json
 import os
 import tempfile
+import time
 
 import numpy as np
 
 from repro.core.report import fmt_seconds, format_table
 from repro.obs.trace_io import load_collector, write_traces
 from repro.studies import run_multitier_study
+
+SEED = 41
 
 
 def trace_depth(spans):
@@ -37,9 +45,64 @@ def trace_depth(spans):
     return best
 
 
+def export_telemetry(study, builder, trace_probe, out_dir: str) -> None:
+    """Write + round-trip the Chrome trace and run manifest into ``out_dir``."""
+    from repro.obs.chrometrace import (span_trace_events, validate_trace_events,
+                                       write_chrome_trace)
+    from repro.obs.manifest import read_manifest, write_manifest
+
+    os.makedirs(out_dir, exist_ok=True)
+    chrome_path = os.path.join(out_dir, "three_tier.chrome.json")
+    manifest_path = os.path.join(out_dir, "three_tier.manifest.json")
+
+    with builder.phase("export-chrome", telemetry=True):
+        n_events = write_chrome_trace(chrome_path,
+                                      trace_probe.trace_events(),
+                                      span_trace_events(study.dapper.spans))
+    builder.observe_sim(study.sim)
+    builder.add_counts(spans_recorded=len(study.dapper.spans),
+                       traces_recorded=len(study.dapper.traces()))
+    write_manifest(builder.finish(), manifest_path)
+
+    # Round-trip both artifacts: what CI uploads must be loadable.
+    with open(chrome_path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    validate_trace_events(doc["traceEvents"])
+    manifest = read_manifest(manifest_path)
+    assert manifest.seed == SEED
+    assert manifest.counts["spans_recorded"] == len(study.dapper.spans)
+    print(f"\ntelemetry: {n_events:,} trace events -> {chrome_path}")
+    print(f"telemetry: run manifest -> {manifest_path} "
+          f"(events_fired={manifest.counts['events_fired']:,}, "
+          f"peak_heap={manifest.peak_heap:,})")
+    print("both artifacts round-tripped through their validators.")
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="export Chrome trace + run manifest here")
+    args = parser.parse_args()
+
+    trace_probe = None
+    builder = None
+    if args.telemetry_dir:
+        from repro.obs.manifest import ManifestBuilder
+        from repro.obs.telemetry import TraceEventProbe
+
+        trace_probe = TraceEventProbe()
+        builder = ManifestBuilder("three-tier", seed=SEED,
+                                  wall_clock=time.perf_counter)
+        builder.set_config(duration_s=2.0, frontend_rps=150.0)
+
     print("Simulating the three-tier application (2 s of user traffic) ...")
-    study = run_multitier_study(duration_s=2.0, frontend_rps=150.0)
+    if builder is not None:
+        with builder.phase("simulate"):
+            study = run_multitier_study(duration_s=2.0, seed=SEED,
+                                        frontend_rps=150.0, probe=trace_probe)
+    else:
+        study = run_multitier_study(duration_s=2.0, seed=SEED,
+                                    frontend_rps=150.0)
     traces = study.dapper.traces()
     sizes = np.array([len(v) for v in traces.values()])
     depths = np.array([trace_depth(v) for v in traces.values()])
@@ -69,6 +132,9 @@ def main() -> None:
     print(f"\npersisted {n:,} spans to {path} and reloaded "
           f"{len(reloaded):,} — byte-exact Dapper storage roundtrip.")
     print("try:  repro-rpc analyze-traces " + path)
+
+    if args.telemetry_dir:
+        export_telemetry(study, builder, trace_probe, args.telemetry_dir)
 
 
 if __name__ == "__main__":

@@ -10,10 +10,15 @@ Subcommands mirror the study structure:
 - ``repro-rpc cross-cluster``   Fig. 19
 - ``repro-rpc diurnal``         Fig. 18
 - ``repro-rpc analyze-traces``  offline analysis of a saved trace file
+- ``repro-rpc export-chrome``   convert a saved trace file to Chrome
+  trace-event JSON (open at ui.perfetto.dev)
 
 Every subcommand prints paper-vs-measured tables; ``--save-traces`` on the
 DES studies writes a Dapper trace file that ``analyze-traces`` can consume
-later (the paper's own offline-analysis workflow).
+later (the paper's own offline-analysis workflow). ``service-study`` also
+takes ``--manifest FILE`` (a run manifest: seed, config digest, counts,
+per-phase wall time) and ``--chrome-trace FILE`` (engine + span telemetry
+as a Perfetto-loadable trace).
 """
 
 from __future__ import annotations
@@ -59,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated seconds of load")
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--save-traces", metavar="FILE", default=None)
+    p.add_argument("--manifest", metavar="FILE", default=None,
+                   help="write a run-manifest JSON")
+    p.add_argument("--chrome-trace", metavar="FILE", default=None,
+                   help="write a Perfetto-loadable Chrome trace JSON")
 
     p = sub.add_parser("cross-cluster", help="Fig. 19: the WAN staircase")
     p.add_argument("--clusters", type=int, default=16)
@@ -72,7 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze-traces",
                        help="offline analysis of a saved trace file")
     p.add_argument("file")
+
+    p = sub.add_parser("export-chrome",
+                       help="convert a saved trace file to Chrome "
+                            "trace-event JSON")
+    p.add_argument("file", help="Dapper trace file (see --save-traces)")
+    p.add_argument("output", help="Chrome trace JSON to write")
     return parser
+
+
+def _wall_clock():
+    """Real elapsed-seconds clock for manifests (harness-side only)."""
+    import time
+
+    return time.perf_counter  # repro-lint: disable=RL001 - CLI harness timing for run manifests; never used by sim logic
 
 
 # ----------------------------------------------------------------------
@@ -140,10 +162,33 @@ def _cmd_service_study(args) -> int:
     from repro.studies import run_service_study
     from repro.workloads.services import SERVICE_SPECS
 
-    study = run_service_study(services=args.services,
-                              n_clusters=args.clusters,
-                              duration_s=args.duration, seed=args.seed,
-                              dapper_sampling=1.0)
+    trace_probe = None
+    if args.chrome_trace:
+        from repro.obs.telemetry import TraceEventProbe
+
+        trace_probe = TraceEventProbe()
+    builder = None
+    if args.manifest:
+        from repro.obs.manifest import ManifestBuilder
+
+        builder = ManifestBuilder("service-study", seed=args.seed,
+                                  wall_clock=_wall_clock())
+        builder.set_config(
+            services=sorted(args.services or list(SERVICE_SPECS)),
+            n_clusters=args.clusters, duration_s=args.duration,
+        )
+
+    def simulate():
+        return run_service_study(services=args.services,
+                                 n_clusters=args.clusters,
+                                 duration_s=args.duration, seed=args.seed,
+                                 dapper_sampling=1.0, probe=trace_probe)
+
+    if builder is not None:
+        with builder.phase("simulate"):
+            study = simulate()
+    else:
+        study = simulate()
     names = args.services or list(SERVICE_SPECS)
     rows = []
     for name in names:
@@ -163,6 +208,27 @@ def _cmd_service_study(args) -> int:
 
         n = write_traces(study.dapper.spans, args.save_traces)
         print(f"\nwrote {n:,} spans to {args.save_traces}")
+    if args.chrome_trace:
+        from repro.obs.chrometrace import span_trace_events, write_chrome_trace
+
+        def export_chrome():
+            n = write_chrome_trace(args.chrome_trace,
+                                   trace_probe.trace_events(),
+                                   span_trace_events(study.dapper.spans))
+            print(f"wrote {n:,} trace events to {args.chrome_trace}")
+
+        if builder is not None:
+            with builder.phase("export-chrome", telemetry=True):
+                export_chrome()
+        else:
+            export_chrome()
+    if builder is not None:
+        from repro.obs.manifest import write_manifest
+
+        builder.observe_sim(study.sim)
+        builder.add_counts(spans_recorded=len(study.dapper.spans))
+        write_manifest(builder.finish(), args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
     return 0
 
 
@@ -230,6 +296,17 @@ def _cmd_analyze_traces(args) -> int:
     return 0
 
 
+def _cmd_export_chrome(args) -> int:
+    from repro.obs.chrometrace import span_trace_events, write_chrome_trace
+    from repro.obs.trace_io import read_traces
+
+    spans = list(read_traces(args.file))
+    n = write_chrome_trace(args.output, span_trace_events(spans))
+    print(f"wrote {n:,} trace events ({len(spans):,} spans) to {args.output}")
+    print("open at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 _COMMANDS = {
     "fleet-study": _cmd_fleet_study,
     "growth": _cmd_growth,
@@ -238,6 +315,7 @@ _COMMANDS = {
     "cross-cluster": _cmd_cross_cluster,
     "diurnal": _cmd_diurnal,
     "analyze-traces": _cmd_analyze_traces,
+    "export-chrome": _cmd_export_chrome,
 }
 
 

@@ -15,14 +15,30 @@ package provides faithful-in-shape equivalents:
 - :mod:`repro.obs.metrics` — counters/gauges/distributions that simulated
   tasks export and the Monarch scraper collects.
 
+On top of those sit the runtime-telemetry additions:
+
+- :mod:`repro.obs.telemetry` — :class:`~repro.sim.instrument.Probe`
+  implementations (metrics aggregation, heartbeat, Chrome trace-event
+  recording) that plug into the engine without the sim layer ever
+  importing observability code;
+- :mod:`repro.obs.chrometrace` — Perfetto-loadable Chrome trace-event
+  export for Dapper trace trees and probe streams;
+- :mod:`repro.obs.manifest` — per-run manifests (seed, config digest,
+  counts, per-phase wall time, telemetry self-overhead).
+
 Analyses in :mod:`repro.core` consume **only** these interfaces — never the
 simulator's internal state — mirroring the paper's own vantage point.
 """
 
+from repro.obs.chrometrace import (chrome_trace, span_trace_events,
+                                   validate_trace_events, write_chrome_trace)
 from repro.obs.dapper import DapperCollector, Span
 from repro.obs.gwp import GwpProfiler
+from repro.obs.manifest import (ManifestBuilder, ManifestError, RunManifest,
+                                read_manifest, write_manifest)
 from repro.obs.metrics import Counter, DistributionMetric, Gauge, MetricRegistry
 from repro.obs.monarch import Monarch, MonarchScraper
+from repro.obs.telemetry import HeartbeatProbe, MetricsProbe, TraceEventProbe
 
 __all__ = [
     "Counter",
@@ -30,8 +46,20 @@ __all__ = [
     "DistributionMetric",
     "Gauge",
     "GwpProfiler",
+    "HeartbeatProbe",
+    "ManifestBuilder",
+    "ManifestError",
     "MetricRegistry",
+    "MetricsProbe",
     "Monarch",
     "MonarchScraper",
+    "RunManifest",
     "Span",
+    "TraceEventProbe",
+    "chrome_trace",
+    "read_manifest",
+    "span_trace_events",
+    "validate_trace_events",
+    "write_chrome_trace",
+    "write_manifest",
 ]

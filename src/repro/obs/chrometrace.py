@@ -1,0 +1,218 @@
+"""Chrome trace-event export: open a run in Perfetto.
+
+Serializes both telemetry sources into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``ui.perfetto.dev`` and ``chrome://tracing``:
+
+- :func:`span_trace_events` — Dapper trace trees. Each *service* becomes
+  a process (``pid``), each trace a named thread group within it, and
+  every span a complete ``X`` slice (``ts`` = span start, ``dur`` =
+  completion time). Because a parent's application time contains its
+  children (§2.1), parent slices visually contain child slices of the
+  same service; *sibling* spans that overlap without nesting are split
+  onto separate lanes (flame-graph layout), so the file always satisfies
+  the viewer's slice-nesting invariant.
+- :class:`~repro.obs.telemetry.TraceEventProbe` — the engine probe
+  stream (pool job slices, per-method RPC slices, a heap-size counter
+  track); :func:`chrome_trace` merges its events with span events.
+
+All timestamps are simulated microseconds (the format's native unit);
+``displayTimeUnit`` is milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import BinaryIO, Dict, Iterable, List, Optional, Sequence, \
+    TextIO, Tuple, Union
+
+from repro.rpc.tracing import Span
+
+__all__ = ["span_trace_events", "chrome_trace", "write_chrome_trace",
+           "validate_trace_events"]
+
+# Probe-stream processes use pids 1-2 (telemetry.ENGINE_PID / RPC_PID);
+# per-service span processes start here.
+SPAN_PID_BASE = 10
+
+
+def _assign_lanes(intervals: Sequence[Tuple[float, float]]) -> List[int]:
+    """Flame-graph lane assignment for ``(start, end)`` intervals.
+
+    Intervals must be sorted by ``(start, -duration)``. An interval goes
+    on the first lane where it either nests inside the currently open
+    interval or starts after everything on the lane has ended; a new
+    lane opens otherwise. Within a lane, slices therefore always nest —
+    the invariant trace viewers require of a thread track.
+    """
+    lanes: List[List[float]] = []  # per lane: stack of open end times
+    out: List[int] = []
+    for start, end in intervals:
+        placed = None
+        for i, stack in enumerate(lanes):
+            while stack and stack[-1] <= start:
+                stack.pop()
+            if not stack or stack[-1] >= end:
+                stack.append(end)
+                placed = i
+                break
+        if placed is None:
+            lanes.append([end])
+            placed = len(lanes) - 1
+        out.append(placed)
+    return out
+
+
+def span_trace_events(spans: Iterable[Span]) -> List[dict]:
+    """Dapper spans as Chrome trace events (one process per service)."""
+    span_list = list(spans)
+    services = sorted({s.service for s in span_list})
+    pids = {svc: SPAN_PID_BASE + i for i, svc in enumerate(services)}
+    events: List[dict] = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0, "ts": 0,
+         "args": {"name": svc}}
+        for svc, pid in sorted(pids.items())
+    ]
+
+    # Group spans by (service, trace): each group renders as one or more
+    # lanes (threads) named after the trace.
+    groups: Dict[Tuple[str, int], List[Span]] = {}
+    for s in span_list:
+        groups.setdefault((s.service, s.trace_id), []).append(s)
+
+    tid_alloc: Dict[int, int] = {}  # pid -> next free tid
+    for (service, trace_id), members in sorted(groups.items()):
+        pid = pids[service]
+        members.sort(key=lambda s: (s.start_time, -s.completion_time,
+                                    s.span_id))
+        lanes = _assign_lanes([
+            (s.start_time, s.start_time + s.completion_time)
+            for s in members
+        ])
+        lane_tids: Dict[int, int] = {}
+        for span, lane in zip(members, lanes):
+            tid = lane_tids.get(lane)
+            if tid is None:
+                tid = tid_alloc.get(pid, 1)
+                tid_alloc[pid] = tid + 1
+                lane_tids[lane] = tid
+                suffix = f" (lane {lane})" if lane else ""
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tid, "ts": 0,
+                    "args": {"name": f"trace {trace_id}{suffix}"},
+                })
+            events.append({
+                "ph": "X", "name": span.full_method, "cat": "span",
+                "pid": pid, "tid": tid,
+                "ts": span.start_time * 1e6,
+                "dur": span.completion_time * 1e6,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id or 0,
+                    "status": span.status.name,
+                    "server_machine": span.server_machine,
+                    "request_bytes": span.request_bytes,
+                    "response_bytes": span.response_bytes,
+                },
+            })
+    # Metadata first, then timestamp order (stable), so the list itself
+    # satisfies the monotonic-ts invariant without a chrome_trace() pass.
+    indexed = list(enumerate(events))
+    indexed.sort(key=lambda pair: (
+        0 if pair[1]["ph"] == "M" else 1, pair[1].get("ts", 0), pair[0]))
+    return [e for _i, e in indexed]
+
+
+def chrome_trace(*event_lists: Iterable[dict]) -> dict:
+    """Merge event lists into one trace document, ``ts``-sorted.
+
+    Metadata (``M``) events sort first so names are established before
+    any slice references them; everything else sorts by timestamp with
+    the original order as the tie-break.
+    """
+    merged: List[dict] = []
+    for events in event_lists:
+        merged.extend(events)
+    indexed = list(enumerate(merged))
+    indexed.sort(key=lambda pair: (
+        0 if pair[1].get("ph") == "M" else 1,
+        pair[1].get("ts", 0),
+        pair[0],
+    ))
+    return {
+        "traceEvents": [e for _i, e in indexed],
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(sink: Union[str, TextIO],
+                       *event_lists: Iterable[dict]) -> int:
+    """Write a merged trace JSON to ``sink``; returns the event count."""
+    doc = chrome_trace(*event_lists)
+    own = isinstance(sink, str)
+    f = open(sink, "w", encoding="utf-8") if own else sink
+    try:
+        json.dump(doc, f, separators=(",", ":"), sort_keys=True)
+    finally:
+        if own:
+            f.close()
+    return len(doc["traceEvents"])
+
+
+def validate_trace_events(events: Sequence[dict]) -> None:
+    """Check the invariants Perfetto's importer relies on; raise ValueError.
+
+    - every event has ``ph``/``pid``/``tid``/``name`` and a numeric
+      ``ts`` (metadata may use 0);
+    - ``X`` events carry a non-negative ``dur``;
+    - ``B``/``E`` events match up per ``(pid, tid)`` stack;
+    - non-metadata timestamps are monotonically non-decreasing in file
+      order;
+    - ``X`` slices on one ``(pid, tid)`` track nest properly (no partial
+      overlap).
+    """
+    open_bes: Dict[Tuple[int, int], int] = {}
+    slice_stacks: Dict[Tuple[int, int], List[float]] = {}
+    last_ts = None
+    for i, event in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"event #{i} missing {key!r}: {event!r}")
+        ph = event["ph"]
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event #{i} has non-numeric ts: {event!r}")
+        if ph == "M":
+            continue
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event #{i} ts {ts} goes backwards (prev {last_ts})")
+        last_ts = ts
+        track = (event["pid"], event["tid"])
+        if ph == "B":
+            open_bes[track] = open_bes.get(track, 0) + 1
+        elif ph == "E":
+            if not open_bes.get(track):
+                raise ValueError(f"event #{i}: E without matching B on "
+                                 f"track {track}")
+            open_bes[track] -= 1
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event #{i} X has bad dur: {event!r}")
+            stack = slice_stacks.setdefault(track, [])
+            while stack and stack[-1] <= ts:
+                stack.pop()
+            end = ts + dur
+            if stack and end > stack[-1] + 1e-9:
+                raise ValueError(
+                    f"event #{i}: slice [{ts}, {end}] partially overlaps "
+                    f"an open slice ending at {stack[-1]} on track {track}")
+            stack.append(end)
+        elif ph not in ("C", "i", "I"):
+            raise ValueError(f"event #{i} has unsupported ph {ph!r}")
+    unmatched = {t: n for t, n in open_bes.items() if n}
+    if unmatched:
+        raise ValueError(f"unmatched B events on tracks: {unmatched}")

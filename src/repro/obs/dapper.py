@@ -14,55 +14,21 @@ method needs ≥ 100 samples before its P99 is trusted (§2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.rpc.errors import StatusCode
-from repro.rpc.stack import ComponentMatrix, LatencyBreakdown
+from repro.rpc.stack import ComponentMatrix
+# The Span record type is owned by the RPC layer (it is what the DES
+# client emits); the collector re-exports it so analyses import it from
+# the observability vantage point they conceptually read it from.
+from repro.rpc.tracing import Span
 
 __all__ = ["Span", "DapperCollector", "MIN_SAMPLES_PER_METHOD"]
 
 # §2.1: "we only consider methods with at least 100 samples so that the
 # 99th percentile is well defined".
 MIN_SAMPLES_PER_METHOD = 100
-
-
-@dataclass
-class Span:
-    """One traced RPC."""
-
-    trace_id: int
-    span_id: int
-    parent_id: Optional[int]
-    service: str
-    method: str
-    client_cluster: str
-    server_cluster: str
-    server_machine: str
-    start_time: float
-    breakdown: LatencyBreakdown
-    status: StatusCode = StatusCode.OK
-    request_bytes: int = 0
-    response_bytes: int = 0
-    cpu_cycles: float = 0.0
-    annotations: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def full_method(self) -> str:
-        """The ``"Service/Method"`` identifier."""
-        return f"{self.service}/{self.method}"
-
-    @property
-    def completion_time(self) -> float:
-        """The span's total latency (sum of components)."""
-        return self.breakdown.total()
-
-    @property
-    def ok(self) -> bool:
-        """True when the status is OK."""
-        return self.status is StatusCode.OK
 
 
 class DapperCollector:

@@ -2,9 +2,10 @@
 
 Fleet operators watch Monarch through dashboards; this module renders the
 equivalent in plain text: per-series sparklines with min/mean/max gutters,
-and a multi-series panel aligned on a shared time window. Used by the
-``fleet_dashboard`` example and handy in tests for eyeballing a study's
-Monarch contents.
+a multi-series panel aligned on a shared time window, and a live-run
+heartbeat panel fed by a :class:`~repro.obs.telemetry.HeartbeatProbe`.
+Used by the ``fleet_dashboard`` example and handy in tests for eyeballing
+a study's Monarch contents.
 """
 
 from __future__ import annotations
@@ -15,7 +16,8 @@ import numpy as np
 
 from repro.obs.monarch import Monarch
 
-__all__ = ["sparkline", "render_series", "render_panel"]
+__all__ = ["sparkline", "render_series", "render_panel",
+           "render_heartbeat"]
 
 _TICKS = " ▁▂▃▄▅▆▇█"
 
@@ -68,4 +70,28 @@ def render_panel(monarch: Monarch, name: str,
     lines += [f"  {k.ljust(name_w)}  {v}" for k, v in shown]
     if len(rows) > max_rows:
         lines.append(f"  ... and {len(rows) - max_rows} more series")
+    return "\n".join(lines)
+
+
+def render_heartbeat(snapshot: Dict[str, float], title: str = "run") -> str:
+    """A heartbeat snapshot as a compact status panel.
+
+    Takes the dict from :meth:`HeartbeatProbe.snapshot()
+    <repro.obs.telemetry.HeartbeatProbe.snapshot>`. Rates are only shown
+    when the probe had a wall clock (``wall_s > 0``).
+    """
+    lines = [f"== heartbeat: {title}"]
+    lines.append(
+        f"  sim time   {snapshot.get('sim_time_s', 0.0):,.3f} s    "
+        f"events {int(snapshot.get('events_fired', 0)):,} fired / "
+        f"{int(snapshot.get('events_scheduled', 0)):,} scheduled")
+    lines.append(
+        f"  rpcs       {int(snapshot.get('rpcs_completed', 0)):,} completed"
+        f"    hedges {int(snapshot.get('hedges', 0)):,}")
+    wall_s = snapshot.get("wall_s", 0.0)
+    if wall_s > 0:
+        lines.append(
+            f"  wall       {wall_s:,.2f} s    "
+            f"{snapshot.get('events_per_s', 0.0):,.0f} events/s    "
+            f"sim/wall {snapshot.get('sim_time_rate', 0.0):,.1f}x")
     return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Run manifests: one JSON record describing what a run actually did.
+
+A study that only prints tables is unauditable after the fact. The
+manifest captures, in one machine-readable file per run: the seed, a
+digest of the effective configuration, event/RPC counts, the peak event
+heap, simulated time reached, wall-clock per phase, and the telemetry
+subsystem's own overhead — everything needed to (a) reproduce the run,
+(b) sanity-check that two runs are comparable, and (c) watch harness
+performance drift across PRs (together with ``BENCH_*.json``).
+
+Wall time is never read here: harness code that is allowed to measure
+real elapsed time (benchmarks, examples, the CLI) *injects* a clock
+callable; without one, phases record zero and the manifest stays a
+deterministic function of the run.
+
+Schema (``MANIFEST_VERSION`` 1)::
+
+    {
+      "schema_version": 1,
+      "run_id": "three-tier",
+      "seed": 41,
+      "config": {...},            # the effective knobs, JSON-safe
+      "config_digest": "sha256:...",
+      "phases": [{"name": "simulate", "wall_s": 1.23,
+                  "telemetry": false}, ...],
+      "counts": {"events_fired": ..., "events_cancelled": ...,
+                 "spans_recorded": ..., "rpcs_completed": ...},
+      "sim_time_s": 23.0,
+      "peak_heap": 4096,
+      "telemetry_overhead_wall_s": 0.04   # sum of telemetry phases
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TextIO, Union
+
+__all__ = ["MANIFEST_VERSION", "RunManifest", "ManifestBuilder",
+           "config_digest", "write_manifest", "read_manifest",
+           "ManifestError"]
+
+MANIFEST_VERSION = 1
+
+_REQUIRED_KEYS = ("schema_version", "run_id", "seed", "config",
+                  "config_digest", "phases", "counts", "sim_time_s",
+                  "peak_heap", "telemetry_overhead_wall_s")
+
+
+class ManifestError(ValueError):
+    """Raised on malformed or incompatible manifest files."""
+
+
+def config_digest(config: Dict[str, Any]) -> str:
+    """A stable digest of a JSON-safe config mapping."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """The completed record; see the module docstring for the schema."""
+
+    run_id: str
+    seed: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    sim_time_s: float = 0.0
+    peak_heap: int = 0
+    telemetry_overhead_wall_s: float = 0.0
+    schema_version: int = MANIFEST_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON document, digest included."""
+        return {
+            "schema_version": self.schema_version,
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "config": self.config,
+            "config_digest": config_digest(self.config),
+            "phases": self.phases,
+            "counts": self.counts,
+            "sim_time_s": self.sim_time_s,
+            "peak_heap": self.peak_heap,
+            "telemetry_overhead_wall_s": self.telemetry_overhead_wall_s,
+        }
+
+
+class ManifestBuilder:
+    """Accumulates a :class:`RunManifest` while a study runs.
+
+    >>> build = ManifestBuilder("demo", seed=7)
+    >>> with build.phase("simulate"):
+    ...     pass
+    >>> manifest = build.finish()
+    >>> manifest.phases[0]["name"]
+    'simulate'
+    """
+
+    def __init__(self, run_id: str, seed: int,
+                 wall_clock: Optional[Callable[[], float]] = None):
+        self.run_id = run_id
+        self.seed = seed
+        self._wall_clock = wall_clock
+        self._config: Dict[str, Any] = {}
+        self._phases: List[Dict[str, Any]] = []
+        self._counts: Dict[str, int] = {}
+        self._sim_time_s = 0.0
+        self._peak_heap = 0
+
+    @contextmanager
+    def phase(self, name: str, telemetry: bool = False):
+        """Record a named phase; ``telemetry=True`` marks export/probe
+        work so its cost is separable as telemetry self-overhead."""
+        start_s = self._wall_clock() if self._wall_clock is not None else 0.0
+        try:
+            yield
+        finally:
+            end_s = self._wall_clock() if self._wall_clock is not None else 0.0
+            self._phases.append({
+                "name": name,
+                "wall_s": max(end_s - start_s, 0.0),
+                "telemetry": bool(telemetry),
+            })
+
+    def set_config(self, **config: Any) -> None:
+        """Merge effective configuration knobs (JSON-safe values)."""
+        self._config.update(config)
+
+    def add_counts(self, **counts: int) -> None:
+        """Merge event/RPC counters."""
+        for key, value in counts.items():
+            self._counts[key] = int(value)
+
+    def observe_sim(self, sim) -> None:
+        """Pull the engine's own accounting off a ``Simulator``."""
+        self.add_counts(events_fired=sim.events_fired,
+                        events_cancelled=sim.events_cancelled)
+        self._sim_time_s = float(sim.now)
+        self._peak_heap = int(sim.max_heap_size)
+
+    def finish(self) -> RunManifest:
+        """Freeze the manifest."""
+        overhead_wall_s = sum(p["wall_s"] for p in self._phases
+                              if p["telemetry"])
+        return RunManifest(
+            run_id=self.run_id,
+            seed=self.seed,
+            config=dict(self._config),
+            phases=list(self._phases),
+            counts=dict(self._counts),
+            sim_time_s=self._sim_time_s,
+            peak_heap=self._peak_heap,
+            telemetry_overhead_wall_s=overhead_wall_s,
+        )
+
+
+def write_manifest(manifest: RunManifest, sink: Union[str, TextIO]) -> None:
+    """Serialize ``manifest`` as indented JSON."""
+    own = isinstance(sink, str)
+    f = open(sink, "w", encoding="utf-8") if own else sink
+    try:
+        json.dump(manifest.to_dict(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    finally:
+        if own:
+            f.close()
+
+
+def read_manifest(source: Union[str, TextIO]) -> RunManifest:
+    """Load and validate a manifest file; raises :class:`ManifestError`."""
+    own = isinstance(source, str)
+    f = open(source, "r", encoding="utf-8") if own else source
+    try:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as err:
+            raise ManifestError(f"manifest is not valid JSON: {err}") from err
+    finally:
+        if own:
+            f.close()
+    if not isinstance(doc, dict):
+        raise ManifestError(f"manifest must be an object, got {type(doc).__name__}")
+    missing = [k for k in _REQUIRED_KEYS if k not in doc]
+    if missing:
+        raise ManifestError(f"manifest missing keys: {missing}")
+    if doc["schema_version"] != MANIFEST_VERSION:
+        raise ManifestError(
+            f"unsupported manifest schema_version {doc['schema_version']!r} "
+            f"(supported: {MANIFEST_VERSION})")
+    expected = config_digest(doc["config"])
+    if doc["config_digest"] != expected:
+        raise ManifestError(
+            f"config digest mismatch: file says {doc['config_digest']}, "
+            f"config hashes to {expected}")
+    return RunManifest(
+        run_id=doc["run_id"],
+        seed=doc["seed"],
+        config=doc["config"],
+        phases=doc["phases"],
+        counts=doc["counts"],
+        sim_time_s=doc["sim_time_s"],
+        peak_heap=doc["peak_heap"],
+        telemetry_overhead_wall_s=doc["telemetry_overhead_wall_s"],
+        schema_version=doc["schema_version"],
+    )

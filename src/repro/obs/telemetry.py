@@ -1,0 +1,326 @@
+"""Probe implementations: where runtime telemetry is aggregated.
+
+The sim layer defines the hook interface
+(:class:`repro.sim.instrument.Probe`) and stays obs-free; this module
+provides the implementations a study actually attaches:
+
+- :class:`MetricsProbe` — folds every hook into counters, gauges, and
+  distributions on a :class:`~repro.obs.metrics.MetricRegistry`, so the
+  harness's own behaviour is observable through the same registry the
+  Monarch scraper walks.
+- :class:`HeartbeatProbe` — cheap run-progress accounting (events fired,
+  sim-time reached, RPCs completed, and — when a wall clock is injected —
+  events/s and the sim-time rate) behind the dashboard's heartbeat panel.
+- :class:`TraceEventProbe` — records the probe stream as Chrome
+  trace-event slices and counters (job executions per pool, RPC
+  lifetimes per method, heap-size counter track) ready for
+  :mod:`repro.obs.chrometrace` to serialize.
+
+None of these read the host clock: wall time, where wanted, is an
+*injected* callable supplied by harness code (benchmarks, examples, the
+CLI) that is allowed to measure real elapsed time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    DistributionMetric,
+    Gauge,
+    MetricRegistry,
+)
+from repro.sim.instrument import Probe
+
+__all__ = ["MetricsProbe", "HeartbeatProbe", "TraceEventProbe"]
+
+# Synthetic pid values for probe-stream trace tracks (Dapper span tracks
+# assign pids per service, starting at SPAN_PID_BASE in chrometrace).
+ENGINE_PID = 1
+RPC_PID = 2
+
+
+class MetricsProbe(Probe):
+    """Aggregates probe events into a :class:`MetricRegistry`.
+
+    Metric objects are resolved once and cached (registry lookups build
+    label tuples; the hooks themselves are hot), keyed by pool or method
+    label.
+    """
+
+    __slots__ = ("registry", "_events_scheduled", "_events_fired",
+                 "_events_cancelled", "_heap_size", "_sim_time_s",
+                 "_queue_wait", "_queue_service", "_queue_depth",
+                 "_attempts", "_hedges", "_completed", "_latency",
+                 "_stage_s", "_deadline_hits")
+
+    def __init__(self, registry: Optional[MetricRegistry] = None):
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._events_scheduled = reg.counter("telemetry/events_scheduled")
+        self._events_fired = reg.counter("telemetry/events_fired")
+        self._events_cancelled = reg.counter("telemetry/events_cancelled")
+        self._heap_size = reg.gauge("telemetry/heap_size")
+        self._sim_time_s = reg.gauge("telemetry/sim_time_s")
+        self._deadline_hits = reg.counter("telemetry/rpc_deadline_hits")
+        self._queue_wait: Dict[str, DistributionMetric] = {}
+        self._queue_service: Dict[str, DistributionMetric] = {}
+        self._queue_depth: Dict[str, Gauge] = {}
+        self._attempts: Dict[str, Counter] = {}
+        self._hedges: Dict[str, Counter] = {}
+        self._completed: Dict[str, Counter] = {}
+        self._latency: Dict[str, DistributionMetric] = {}
+        self._stage_s: Dict[str, DistributionMetric] = {}
+
+    # -- engine --------------------------------------------------------
+    def event_scheduled(self, time_s, heap_size):
+        self._events_scheduled.add()
+        self._heap_size.set(heap_size)
+
+    def event_fired(self, time_s, heap_size):
+        self._events_fired.add()
+        self._heap_size.set(heap_size)
+        self._sim_time_s.set(time_s)
+
+    def event_cancelled(self, time_s):
+        self._events_cancelled.add()
+
+    # -- queues --------------------------------------------------------
+    def job_enqueued(self, pool, time_s, depth):
+        gauge = self._queue_depth.get(pool)
+        if gauge is None:
+            gauge = self.registry.gauge("telemetry/queue_depth",
+                                        {"pool": pool})
+            self._queue_depth[pool] = gauge
+        gauge.set(depth)
+
+    def job_started(self, pool, time_s, wait_s):
+        dist = self._queue_wait.get(pool)
+        if dist is None:
+            dist = self.registry.distribution("telemetry/queue_wait_s",
+                                              {"pool": pool})
+            self._queue_wait[pool] = dist
+        dist.observe(wait_s)
+
+    def job_finished(self, pool, time_s, service_s):
+        dist = self._queue_service.get(pool)
+        if dist is None:
+            dist = self.registry.distribution("telemetry/queue_service_s",
+                                              {"pool": pool})
+            self._queue_service[pool] = dist
+        dist.observe(service_s)
+
+    # -- DES RPC channel ----------------------------------------------
+    def rpc_attempt(self, method, time_s, attempt):
+        counter = self._attempts.get(method)
+        if counter is None:
+            counter = self.registry.counter("telemetry/rpc_attempts",
+                                            {"method": method})
+            self._attempts[method] = counter
+        counter.add()
+
+    def rpc_hedge(self, method, time_s):
+        counter = self._hedges.get(method)
+        if counter is None:
+            counter = self.registry.counter("telemetry/rpc_hedges",
+                                            {"method": method})
+            self._hedges[method] = counter
+        counter.add()
+
+    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+        counter = self._completed.get(method)
+        if counter is None:
+            counter = self.registry.counter("telemetry/rpc_completed",
+                                            {"method": method})
+            self._completed[method] = counter
+        counter.add()
+        dist = self._latency.get(method)
+        if dist is None:
+            dist = self.registry.distribution("telemetry/rpc_latency_s",
+                                              {"method": method})
+            self._latency[method] = dist
+        dist.observe(latency_s)
+
+    # -- real RPC library ---------------------------------------------
+    def rpc_stage(self, stage, elapsed_s):
+        dist = self._stage_s.get(stage)
+        if dist is None:
+            dist = self.registry.distribution("telemetry/rpc_stage_s",
+                                              {"stage": stage})
+            self._stage_s[stage] = dist
+        dist.observe(elapsed_s)
+
+    def rpc_deadline_hit(self, method, elapsed_s, deadline_s):
+        self._deadline_hits.add()
+
+
+class HeartbeatProbe(Probe):
+    """Run-progress accounting for the live dashboard panel.
+
+    ``wall_clock`` is an optional zero-argument callable returning
+    seconds (e.g. ``time.perf_counter`` passed in by harness code); with
+    it, :meth:`snapshot` reports events/s and the sim-time rate
+    (simulated seconds per wall second). Without it, rates are reported
+    as 0 and only the deterministic counts are meaningful.
+    """
+
+    __slots__ = ("events_fired", "events_scheduled", "rpcs_completed",
+                 "hedges", "sim_time_s", "_wall_clock", "_wall_start_s")
+
+    def __init__(self, wall_clock: Optional[Callable[[], float]] = None):
+        self.events_fired = 0
+        self.events_scheduled = 0
+        self.rpcs_completed = 0
+        self.hedges = 0
+        self.sim_time_s = 0.0
+        self._wall_clock = wall_clock
+        self._wall_start_s = wall_clock() if wall_clock is not None else 0.0
+
+    def event_scheduled(self, time_s, heap_size):
+        self.events_scheduled += 1
+
+    def event_fired(self, time_s, heap_size):
+        self.events_fired += 1
+        self.sim_time_s = time_s
+
+    def rpc_hedge(self, method, time_s):
+        self.hedges += 1
+
+    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+        self.rpcs_completed += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        """The heartbeat: counts plus rates (0 when no wall clock)."""
+        wall_s = 0.0
+        if self._wall_clock is not None:
+            wall_s = self._wall_clock() - self._wall_start_s
+        rate = 1.0 / wall_s if wall_s > 0 else 0.0
+        return {
+            "events_fired": float(self.events_fired),
+            "events_scheduled": float(self.events_scheduled),
+            "rpcs_completed": float(self.rpcs_completed),
+            "hedges": float(self.hedges),
+            "sim_time_s": self.sim_time_s,
+            "wall_s": wall_s,
+            "events_per_s": self.events_fired * rate,
+            "sim_time_rate": self.sim_time_s * rate,
+        }
+
+
+class TraceEventProbe(Probe):
+    """Records the probe stream as Chrome trace events.
+
+    Three track families, all in the synthetic "engine"/"rpc" processes
+    (Dapper span trees get their own per-service processes from
+    :func:`repro.obs.chrometrace.span_trace_events`):
+
+    - one thread per :class:`~repro.sim.queues.ServerPool` name, with a
+      complete ``X`` slice per executed job (emitted at finish time, so
+      no begin/end matching is needed);
+    - one thread per RPC method with an ``X`` slice per completed call;
+    - a ``heap_size`` counter track sampled every ``heap_sample_every``
+      fired events (sampling keeps trace files linear in interesting
+      activity, not in total event count).
+
+    Timestamps are simulated time in microseconds — the trace-event
+    format's native unit.
+    """
+
+    __slots__ = ("events", "heap_sample_every", "_fired", "_pool_tids",
+                 "_method_tids")
+
+    def __init__(self, heap_sample_every: int = 256):
+        if heap_sample_every < 1:
+            raise ValueError(
+                f"heap_sample_every must be >= 1, got {heap_sample_every!r}")
+        self.events: List[dict] = []
+        self.heap_sample_every = heap_sample_every
+        self._fired = 0
+        self._pool_tids: Dict[str, int] = {}
+        self._method_tids: Dict[str, int] = {}
+
+    def _tid(self, table: Dict[str, int], name: str, pid: int) -> int:
+        tid = table.get(name)
+        if tid is None:
+            tid = len(table) + 1
+            table[name] = tid
+            self.events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "ts": 0, "args": {"name": name},
+            })
+        return tid
+
+    def event_fired(self, time_s, heap_size):
+        self._fired += 1
+        if self._fired % self.heap_sample_every == 0:
+            self.events.append({
+                "ph": "C", "name": "heap_size", "pid": ENGINE_PID, "tid": 0,
+                "ts": time_s * 1e6, "args": {"pending": heap_size},
+            })
+
+    def job_finished(self, pool, time_s, service_s):
+        name = pool or "(unnamed pool)"
+        tid = self._tid(self._pool_tids, name, ENGINE_PID)
+        self.events.append({
+            "ph": "X", "name": name, "cat": "pool", "pid": ENGINE_PID,
+            "tid": tid, "ts": (time_s - service_s) * 1e6,
+            "dur": service_s * 1e6, "args": {},
+        })
+
+    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+        tid = self._tid(self._method_tids, method, RPC_PID)
+        self.events.append({
+            "ph": "X", "name": method, "cat": "rpc", "pid": RPC_PID,
+            "tid": tid, "ts": (time_s - latency_s) * 1e6,
+            "dur": latency_s * 1e6,
+            "args": {"status": status, "attempts": attempts},
+        })
+
+    def trace_events(self) -> List[dict]:
+        """All recorded events plus process metadata, ready to export.
+
+        Pool workers and RPC methods execute concurrently, so the raw
+        per-thread slice streams overlap; export splits each thread into
+        flame-graph lanes (extra tids) so every track satisfies the
+        viewer's slice-nesting invariant.
+        """
+        from repro.obs.chrometrace import _assign_lanes
+
+        meta = [
+            {"ph": "M", "name": "process_name", "pid": ENGINE_PID, "tid": 0,
+             "ts": 0, "args": {"name": "engine"}},
+            {"ph": "M", "name": "process_name", "pid": RPC_PID, "tid": 0,
+             "ts": 0, "args": {"name": "rpc"}},
+        ]
+        passthrough = [e for e in self.events if e["ph"] != "X"]
+        groups: Dict[tuple, List[dict]] = {}
+        for e in self.events:
+            if e["ph"] == "X":
+                groups.setdefault((e["pid"], e["tid"]), []).append(e)
+        next_tid = {ENGINE_PID: len(self._pool_tids) + 1,
+                    RPC_PID: len(self._method_tids) + 1}
+        out: List[dict] = []
+        for (pid, tid), members in sorted(groups.items()):
+            members.sort(key=lambda e: (e["ts"], -e["dur"]))
+            lanes = _assign_lanes([(e["ts"], e["ts"] + e["dur"])
+                                   for e in members])
+            lane_tids = {0: tid}
+            for event, lane in zip(members, lanes):
+                lane_tid = lane_tids.get(lane)
+                if lane_tid is None:
+                    lane_tid = next_tid[pid]
+                    next_tid[pid] = lane_tid + 1
+                    lane_tids[lane] = lane_tid
+                    out.append({
+                        "ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": lane_tid, "ts": 0,
+                        "args": {"name": f"{event['name']} (lane {lane})"},
+                    })
+                out.append(dict(event, tid=lane_tid))
+        # Metadata first, then timestamp order (stable), so the list is
+        # directly valid — not only after chrome_trace() re-sorts it.
+        merged = list(enumerate(meta + passthrough + out))
+        merged.sort(key=lambda pair: (
+            0 if pair[1]["ph"] == "M" else 1, pair[1].get("ts", 0), pair[0]))
+        return [e for _i, e in merged]

@@ -100,6 +100,12 @@ def span_from_bytes(data: bytes) -> Span:
             f"span record has {len(components)} components, "
             f"expected {len(COMPONENTS)}"
         )
+    raw_status = msg.get("status", 0)
+    try:
+        status = StatusCode(raw_status)
+    except ValueError as err:
+        raise TraceIOError(
+            f"span record has unknown status code {raw_status}") from err
     return Span(
         trace_id=msg.get("trace_id", 0),
         span_id=msg.get("span_id", 0),
@@ -111,7 +117,7 @@ def span_from_bytes(data: bytes) -> Span:
         server_machine=msg.get("server_machine", ""),
         start_time=msg.get("start_time", 0.0),
         breakdown=LatencyBreakdown(**dict(zip(COMPONENTS, components))),
-        status=StatusCode(msg.get("status", 0)),
+        status=status,
         request_bytes=msg.get("request_bytes", 0),
         response_bytes=msg.get("response_bytes", 0),
         cpu_cycles=msg.get("cpu_cycles", 0.0),
@@ -140,7 +146,13 @@ def write_traces(spans: Iterable[Span], sink: Union[str, BinaryIO]) -> int:
 
 
 def read_traces(source: Union[str, bytes, BinaryIO]) -> Iterator[Span]:
-    """Stream spans back from a trace file/buffer."""
+    """Stream spans back from a trace file/buffer.
+
+    Every malformation raises :class:`TraceIOError` (never a bare
+    :class:`~repro.rpc.wire.WireError`) with the record index and byte
+    offset, so a corrupt archive names the damage instead of surfacing a
+    codec internal.
+    """
     if isinstance(source, str):
         with open(source, "rb") as f:
             data = f.read()
@@ -148,17 +160,46 @@ def read_traces(source: Union[str, bytes, BinaryIO]) -> Iterator[Span]:
         data = source
     else:
         data = source.read()
+    if len(data) < 4:
+        raise TraceIOError(
+            f"not a trace file: {len(data)} bytes, need at least the "
+            f"4-byte {MAGIC!r} magic")
     if data[:4] != MAGIC:
-        raise TraceIOError("bad trace magic")
-    version, pos = decode_varint(data, 4)
+        raise TraceIOError(
+            f"bad trace magic {data[:4]!r} (expected {MAGIC!r})")
+    try:
+        version, pos = decode_varint(data, 4)
+    except WireError as err:
+        raise TraceIOError(f"truncated trace header: {err}") from err
     if version != VERSION:
-        raise TraceIOError(f"unsupported trace version {version}")
+        raise TraceIOError(
+            f"unsupported trace version {version} (this reader supports "
+            f"{VERSION})")
+    index = 0
     while pos < len(data):
-        length, pos = decode_varint(data, pos)
-        end = pos + length
+        try:
+            length, body_pos = decode_varint(data, pos)
+        except WireError as err:
+            raise TraceIOError(
+                f"truncated length prefix for span record #{index} at "
+                f"byte {pos}: {err}") from err
+        end = body_pos + length
         if end > len(data):
-            raise TraceIOError("truncated span record")
-        yield span_from_bytes(data[pos:end])
+            raise TraceIOError(
+                f"truncated span record #{index} at byte {body_pos}: "
+                f"need {length} bytes, file has {len(data) - body_pos}")
+        try:
+            span = span_from_bytes(data[body_pos:end])
+        except TraceIOError as err:
+            raise TraceIOError(
+                f"corrupt span record #{index} at byte {body_pos}: "
+                f"{err}") from err
+        except WireError as err:
+            raise TraceIOError(
+                f"corrupt span record #{index} at byte {body_pos}: "
+                f"{err}") from err
+        yield span
+        index += 1
         pos = end
 
 

@@ -20,6 +20,9 @@ behaviour the paper characterizes — including:
   policies (Fig. 22 and the LB ablations);
 - :mod:`repro.rpc.hedging` — hedged requests and cancellation (Fig. 23's
   dominant error class);
+- :mod:`repro.rpc.tracing` — the :class:`Span` record and the
+  :class:`SpanSink`/:class:`ProfileSink` protocols the DES emits into
+  (observability implements them from above, keeping the layer DAG);
 - :mod:`repro.rpc.channel` — the discrete-event client/server used by the
   service-specific studies (Figs. 14–19).
 """
@@ -27,14 +30,18 @@ behaviour the paper characterizes — including:
 from repro.rpc.errors import RpcError, StatusCode
 from repro.rpc.message import Request, Response, RpcMetadata
 from repro.rpc.stack import COMPONENTS, LatencyBreakdown, StackCostModel
+from repro.rpc.tracing import ProfileSink, Span, SpanSink
 
 __all__ = [
     "COMPONENTS",
     "LatencyBreakdown",
+    "ProfileSink",
     "Request",
     "Response",
     "RpcError",
     "RpcMetadata",
+    "Span",
+    "SpanSink",
     "StackCostModel",
     "StatusCode",
 ]

@@ -16,11 +16,15 @@ state and load balancing shape latency the way they do in production:
   ``response_proc_stack``;
 - the client's RX pool produces ``client_recv_queue``.
 
-Completed calls are recorded as Dapper spans (annotated with the server's
-exogenous snapshot) and attributed to the GWP profiler. Hedged calls issue
-a backup copy after a delay; the losing copy completes as ``CANCELLED``,
-burning real server resources — the behaviour behind Fig. 23's
-cancellation costs.
+Completed calls are recorded as :class:`~repro.rpc.tracing.Span`\\ s
+(annotated with the server's exogenous snapshot) through whatever
+:class:`~repro.rpc.tracing.SpanSink` is attached — the Dapper collector
+in every study — and cycle costs go to a
+:class:`~repro.rpc.tracing.ProfileSink` (the GWP profiler). The sinks
+are *protocols owned by this layer*: observability plugs in from above,
+so the rpc → obs package DAG holds. Hedged calls issue a backup copy
+after a delay; the losing copy completes as ``CANCELLED``, burning real
+server resources — the behaviour behind Fig. 23's cancellation costs.
 """
 
 from __future__ import annotations
@@ -33,15 +37,11 @@ import numpy as np
 
 from repro.fleet.machine import Machine
 from repro.net.latency import NetworkModel
-# The DES client/server emits spans/profiles directly, which inverts the
-# rpc -> obs layering.  Tolerated until the span/profile sinks move behind
-# an interface owned by rpc.stack; tracked in docs/LINTING.md.
-from repro.obs.dapper import DapperCollector, Span  # repro-lint: disable=RL004 - known inversion
-from repro.obs.gwp import GwpProfiler  # repro-lint: disable=RL004 - known inversion
 from repro.rpc.errors import ErrorModel, StatusCode
 from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
 from repro.rpc.message import new_rpc_id
 from repro.rpc.stack import LatencyBreakdown, StackCostModel
+from repro.rpc.tracing import ProfileSink, Span, SpanSink
 from repro.sim.distributions import Distribution
 from repro.sim.engine import Simulator
 from repro.sim.queues import Job
@@ -281,8 +281,8 @@ class RpcClientTask:
 
     def __init__(self, sim: Simulator, machine: Machine,
                  network: NetworkModel,
-                 dapper: Optional[DapperCollector] = None,
-                 gwp: Optional[GwpProfiler] = None,
+                 dapper: Optional[SpanSink] = None,
+                 gwp: Optional[ProfileSink] = None,
                  stack: Optional[StackCostModel] = None,
                  rng: Optional[np.random.Generator] = None,
                  hedging: HedgingPolicy = NO_HEDGING):
@@ -330,6 +330,10 @@ class RpcClientTask:
         def launch_attempt(attempt_index: int) -> None:
             server = pick_server(self.rng)
             state["attempts"] += 1
+            probe = self.sim.probe
+            if probe is not None:
+                probe.rpc_attempt(runtime.full_method, self.sim.now,
+                                  attempt_index)
             self._run_attempt(
                 runtime, server, trace_id, request_bytes, attempt_index,
                 state, on_complete, parent_id,
@@ -339,6 +343,9 @@ class RpcClientTask:
             def maybe_hedge() -> None:
                 if state["winner"] is None and self.hedging.should_hedge(
                         state["attempts"]):
+                    probe = self.sim.probe
+                    if probe is not None:
+                        probe.rpc_hedge(runtime.full_method, self.sim.now)
                     launch_attempt(1)
             state["hedge_timer"] = self.sim.after(self.hedging.delay_s, maybe_hedge)
 
@@ -456,6 +463,13 @@ class RpcClientTask:
                 self.gwp.add_rpc(runtime.service, runtime.method, costs)
             if is_winner:
                 self.calls_completed += 1
+                probe = self.sim.probe
+                if probe is not None:
+                    probe.rpc_completed(
+                        runtime.full_method, self.sim.now,
+                        final_status.name, breakdown.total(),
+                        state["attempts"],
+                    )
                 if on_complete is not None:
                     on_complete(CallResult(
                         span=span,

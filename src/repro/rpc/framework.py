@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.rpc import compression, crypto
 from repro.sim.clock import ManualClock
+from repro.sim.instrument import Probe, resolve_probe
 from repro.rpc.errors import RpcError, StatusCode
 from repro.rpc.wire import (
     FieldSpec,
@@ -188,12 +189,17 @@ class RpcServer:
 
     def __init__(self, *, key: Optional[bytes] = None,
                  nonce: Optional[bytes] = None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 probe: Optional[Probe] = None):
         self._services: Dict[str, ServiceDef] = {}
         self._interceptors: List[ServerInterceptor] = []
         self._key = key
         self._nonce = nonce
         self._clock = clock if clock is not None else ManualClock()
+        # Stage timings are charged to the server's own clock; with the
+        # default ManualClock they are zero but the stage *markers*
+        # still fire, so probes can count dispatches deterministically.
+        self._probe = resolve_probe(probe)
         self.calls_served = 0
 
     def register(self, service: ServiceDef) -> None:
@@ -209,6 +215,8 @@ class RpcServer:
     # ------------------------------------------------------------------
     def handle_frame(self, frame: bytes) -> bytes:
         """Process one request frame; always returns a response frame."""
+        probe = self._probe
+        t_recv_s = self._clock() if probe is not None else 0.0
         header, body = decode_frame(frame, key=self._key, nonce=self._nonce)
         full_method = header.get("method", "")
         info = CallInfo(
@@ -218,12 +226,18 @@ class RpcServer:
             parent_id=header.get("parent_id", 0),
             deadline_ms=header.get("deadline_ms", 0),
         )
+        if probe is not None:
+            probe.rpc_stage("server/decode", self._clock() - t_recv_s)
         try:
             method = self._resolve(full_method)
             request = decode_message(method.request_schema, body)
             for interceptor in self._interceptors:
                 interceptor(info, request)
+            t_handler_s = self._clock() if probe is not None else 0.0
             response = method.handler(request)
+            if probe is not None:
+                probe.rpc_stage("server/handler",
+                                self._clock() - t_handler_s)
             payload = encode_message(method.response_schema, response or {})
             status = StatusCode.OK
             message = ""
@@ -236,7 +250,8 @@ class RpcServer:
         except Exception as err:  # handler bug -> INTERNAL, never a crash
             payload, status, message = b"", StatusCode.INTERNAL, repr(err)
         self.calls_served += 1
-        return encode_frame(
+        t_encode_s = self._clock() if probe is not None else 0.0
+        reply = encode_frame(
             {
                 "method": full_method,
                 "trace_id": info.trace_id,
@@ -248,6 +263,9 @@ class RpcServer:
             compress=self._should_compress(payload),
             key=self._key, nonce=self._nonce,
         )
+        if probe is not None:
+            probe.rpc_stage("server/encode", self._clock() - t_encode_s)
+        return reply
 
     # ------------------------------------------------------------------
     def _resolve(self, full_method: str) -> MethodDef:
@@ -302,7 +320,8 @@ class Channel:
                  compress_threshold: int = 256,
                  key: Optional[bytes] = None,
                  nonce: Optional[bytes] = None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 probe: Optional[Probe] = None):
         self.transport = transport
         self.compress_threshold = compress_threshold
         self._key = key
@@ -312,6 +331,7 @@ class Channel:
         if clock is None:
             clock = getattr(transport, "clock", None) or ManualClock()
         self._clock = clock
+        self._probe = resolve_probe(probe)
         self._interceptors: List[ClientInterceptor] = []
         self._next_id = 1
         self.calls_made = 0
@@ -357,8 +377,13 @@ class Channel:
         reply = self.transport.round_trip(frame)
         elapsed_s = self._clock() - start_s
         self.calls_made += 1
+        probe = self._probe
+        if probe is not None:
+            probe.rpc_stage("client/round_trip", elapsed_s)
 
         if deadline_s is not None and elapsed_s > deadline_s:
+            if probe is not None:
+                probe.rpc_deadline_hit(full_method, elapsed_s, deadline_s)
             raise RpcError(StatusCode.DEADLINE_EXCEEDED,
                            f"{full_method} took {elapsed_s:.3f}s "
                            f"(deadline {deadline_s:.3f}s)")

@@ -1,0 +1,94 @@
+"""Span records and the sink protocols the RPC layer emits into.
+
+The DES client/server (:mod:`repro.rpc.channel`) produces one
+:class:`Span` per completed RPC attempt and one cycle attribution per
+call — but *where* those records go is none of the RPC layer's business.
+Historically ``channel`` imported ``repro.obs.dapper`` and
+``repro.obs.gwp`` directly, inverting the package DAG (rpc sits below
+obs); this module is the fix: **rpc owns the record type and the sink
+interfaces, and the observability layer plugs in from above.**
+
+- :class:`Span` — the trace record itself (the nine-component breakdown
+  plus identity, tree linkage, status, sizes, cycles, annotations).
+  ``repro.obs.dapper`` re-exports it, so analyses keep importing it from
+  the observability layer they conceptually read it from.
+- :class:`SpanSink` — anything with ``record(span) -> bool``;
+  :class:`repro.obs.dapper.DapperCollector` satisfies it structurally.
+- :class:`ProfileSink` — anything with ``add_rpc(service, method,
+  costs)``; :class:`repro.obs.gwp.GwpProfiler` satisfies it.
+
+Both protocols are ``runtime_checkable`` so tests can assert the
+structural relationship with ``isinstance``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import CycleCosts, LatencyBreakdown
+
+try:  # Protocol is 3.8+; runtime_checkable decorates for isinstance().
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+__all__ = ["Span", "SpanSink", "ProfileSink"]
+
+
+@dataclass
+class Span:
+    """One traced RPC."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    service: str
+    method: str
+    client_cluster: str
+    server_cluster: str
+    server_machine: str
+    start_time: float
+    breakdown: LatencyBreakdown
+    status: StatusCode = StatusCode.OK
+    request_bytes: int = 0
+    response_bytes: int = 0
+    cpu_cycles: float = 0.0
+    annotations: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def full_method(self) -> str:
+        """The ``"Service/Method"`` identifier."""
+        return f"{self.service}/{self.method}"
+
+    @property
+    def completion_time(self) -> float:
+        """The span's total latency (sum of components)."""
+        return self.breakdown.total()
+
+    @property
+    def ok(self) -> bool:
+        """True when the status is OK."""
+        return self.status is StatusCode.OK
+
+
+@runtime_checkable
+class SpanSink(Protocol):
+    """Where completed spans go (Dapper collector, test buffers, ...)."""
+
+    def record(self, span: Span) -> bool:
+        """Accept one span; returns whether it was kept (sampling)."""
+        ...  # pragma: no cover - protocol signature
+
+
+@runtime_checkable
+class ProfileSink(Protocol):
+    """Where per-RPC cycle attributions go (the GWP profiler, ...)."""
+
+    def add_rpc(self, service: str, method: str, costs: CycleCosts) -> None:
+        """Attribute one RPC's cycle costs."""
+        ...  # pragma: no cover - protocol signature

@@ -8,6 +8,9 @@ This package provides the event-driven core used by the fleet simulator:
   elapsed time without reading the host clock.
 - :mod:`repro.sim.queues` — FIFO/priority queues with server pools and
   waiting-time accounting.
+- :mod:`repro.sim.instrument` — the :class:`Probe` telemetry interface
+  (no-op here; aggregating implementations live in ``repro.obs``, so the
+  sim layer stays free of upward dependencies).
 - :mod:`repro.sim.random` — deterministic, named RNG streams derived from a
   single root seed, so that independent subsystems draw from independent
   streams and a run is reproducible end to end.
@@ -34,6 +37,7 @@ from repro.sim.distributions import (
 )
 from repro.sim.clock import ManualClock, SimulatorClock
 from repro.sim.engine import Event, Simulator
+from repro.sim.instrument import NullProbe, Probe, ProbeGroup
 from repro.sim.queues import QueueStats, ServerPool
 from repro.sim.random import RngRegistry
 
@@ -46,7 +50,10 @@ __all__ = [
     "LogNormal",
     "ManualClock",
     "Mixture",
+    "NullProbe",
     "Pareto",
+    "Probe",
+    "ProbeGroup",
     "QueueStats",
     "RngRegistry",
     "ServerPool",

@@ -18,6 +18,8 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from repro.sim.instrument import Probe, resolve_probe
+
 __all__ = ["Event", "PeriodicTask", "Simulator", "SimulationError"]
 
 
@@ -90,11 +92,23 @@ class Simulator:
     [0.5, 1.0]
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 probe: Optional[Probe] = None):
         self.now: float = start_time
         self._heap: list[_HeapEntry] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        self._events_cancelled = 0
+        self._max_heap_size = 0
+        # None (the common case) skips all instrumentation: hot paths
+        # guard each hook behind a single pointer test. NullProbe is
+        # folded to None by resolve_probe, so "instrumented but
+        # unobserved" runs take the identical fast path.
+        self.probe: Optional[Probe] = resolve_probe(probe)
+
+    def set_probe(self, probe: Optional[Probe]) -> None:
+        """Install (or clear, with ``None``/``NullProbe``) the probe."""
+        self.probe = resolve_probe(probe)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -109,6 +123,11 @@ class Simulator:
         # The heap holds (time, seq, event) tuples: tuple comparison is
         # ~3x faster than a dataclass __lt__, and seq breaks ties FIFO.
         heapq.heappush(self._heap, (time, next(self._seq), event))
+        heap_size = len(self._heap)
+        if heap_size > self._max_heap_size:
+            self._max_heap_size = heap_size
+        if self.probe is not None:
+            self.probe.event_scheduled(time, heap_size)
         return event
 
     def after(self, delay_s: float, callback: Callable[[], None]) -> Event:
@@ -155,13 +174,19 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event. Returns False if the heap is empty."""
+        probe = self.probe
         while self._heap:
             time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._events_cancelled += 1
+                if probe is not None:
+                    probe.event_cancelled(time)
                 continue
             self.now = time
             event.fired = True
             self._events_fired += 1
+            if probe is not None:
+                probe.event_fired(time, len(self._heap))
             event.callback()
             return True
         return False
@@ -186,6 +211,9 @@ class Simulator:
             head_time, _seq, head_event = self._heap[0]
             if head_event.cancelled:
                 heapq.heappop(self._heap)
+                self._events_cancelled += 1
+                if self.probe is not None:
+                    self.probe.event_cancelled(head_time)
                 continue
             if head_time > time:
                 break
@@ -203,3 +231,13 @@ class Simulator:
     def events_fired(self) -> int:
         """Total events executed so far."""
         return self._events_fired
+
+    @property
+    def events_cancelled(self) -> int:
+        """Cancelled events discarded from the heap so far."""
+        return self._events_cancelled
+
+    @property
+    def max_heap_size(self) -> int:
+        """Peak heap size observed (cancelled entries included)."""
+        return self._max_heap_size

@@ -1,0 +1,188 @@
+"""Runtime-telemetry probes for the simulation substrate.
+
+The engine, queues, and the RPC layers built on top of them are hot
+paths: a study fires millions of events, and observability must not
+change what it observes. This module therefore defines the *interface*
+only — a :class:`Probe` with one no-op hook per instrumentation point —
+and leaves every aggregating implementation (metric counters, Chrome
+trace builders, heartbeat panels) to :mod:`repro.obs.telemetry`, keeping
+the sim layer free of upward dependencies.
+
+Two design rules keep the overhead at zero when nobody is listening:
+
+- Instrumented code guards every hook call with ``if probe is not None``
+  — one attribute load and a pointer test, nothing else.
+- :func:`resolve_probe` normalizes the canonical discard sentinel
+  (:class:`NullProbe` — the exact class, not subclasses) to ``None``, so
+  "instrumented but unobserved" runs execute the identical fast path as
+  uninstrumented ones. Subclasses that override even a single hook are
+  kept and called.
+
+Hooks receive plain scalars (simulated time, names, counts) rather than
+engine objects, so probes cannot accidentally mutate simulation state
+and events are cheap to record or serialize.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["Probe", "NullProbe", "ProbeGroup", "resolve_probe"]
+
+
+class Probe:
+    """The instrumentation interface: every hook is a no-op.
+
+    Implementations subclass and override only the hooks they care
+    about. The hooks and their call sites:
+
+    Engine (:class:`repro.sim.engine.Simulator`):
+
+    - :meth:`event_scheduled` — after every ``at``/``after`` push;
+    - :meth:`event_fired` — before a popped event's callback runs;
+    - :meth:`event_cancelled` — when a lazily-cancelled event is
+      discarded from the heap (cancellation itself is O(1) and silent;
+      the discard is the deterministic point in event order).
+
+    Queues (:class:`repro.sim.queues.ServerPool`):
+
+    - :meth:`job_enqueued` / :meth:`job_started` / :meth:`job_finished`.
+
+    DES RPC channel (:class:`repro.rpc.channel.RpcClientTask`):
+
+    - :meth:`rpc_attempt` / :meth:`rpc_hedge` / :meth:`rpc_completed`.
+
+    Real RPC library (:mod:`repro.rpc.framework`):
+
+    - :meth:`rpc_stage` — per-stage server/client timings;
+    - :meth:`rpc_deadline_hit` — a call exceeded its deadline.
+    """
+
+    __slots__ = ()
+
+    # -- engine --------------------------------------------------------
+    def event_scheduled(self, time_s: float, heap_size: int) -> None:
+        """An event was pushed for simulated ``time_s``."""
+
+    def event_fired(self, time_s: float, heap_size: int) -> None:
+        """The clock advanced to ``time_s`` and a callback is about to run."""
+
+    def event_cancelled(self, time_s: float) -> None:
+        """A cancelled event was discarded at its scheduled ``time_s``."""
+
+    # -- queues --------------------------------------------------------
+    def job_enqueued(self, pool: str, time_s: float, depth: int) -> None:
+        """A job joined ``pool``'s queue (``depth`` jobs now waiting)."""
+
+    def job_started(self, pool: str, time_s: float, wait_s: float) -> None:
+        """A job started serving after ``wait_s`` in ``pool``'s queue."""
+
+    def job_finished(self, pool: str, time_s: float, service_s: float) -> None:
+        """A job finished its ``service_s`` of work on ``pool``."""
+
+    # -- DES RPC channel ----------------------------------------------
+    def rpc_attempt(self, method: str, time_s: float, attempt: int) -> None:
+        """Attempt ``attempt`` (0 = first) of one call of ``method``."""
+
+    def rpc_hedge(self, method: str, time_s: float) -> None:
+        """A hedged backup copy of ``method`` was launched."""
+
+    def rpc_completed(self, method: str, time_s: float, status: str,
+                      latency_s: float, attempts: int) -> None:
+        """A call finished (winning attempt only) with ``latency_s``."""
+
+    # -- real RPC library ---------------------------------------------
+    def rpc_stage(self, stage: str, elapsed_s: float) -> None:
+        """One framework stage (e.g. ``server/handler``) took ``elapsed_s``."""
+
+    def rpc_deadline_hit(self, method: str, elapsed_s: float,
+                         deadline_s: float) -> None:
+        """``method`` blew its deadline: ``elapsed_s`` > ``deadline_s``."""
+
+
+class NullProbe(Probe):
+    """The canonical discard probe.
+
+    Passing this (exact class) anywhere a probe is accepted is
+    equivalent to passing ``None``: :func:`resolve_probe` folds it onto
+    the uninstrumented fast path, so its hooks are never even called.
+    """
+
+    __slots__ = ()
+
+
+class ProbeGroup(Probe):
+    """Fans every hook out to several probes, in order.
+
+    Member probes are resolved through :func:`resolve_probe`, so nested
+    ``NullProbe``\\ s cost nothing and a group of nothing behaves as
+    ``None`` at the call sites (callers should install
+    ``resolve_probe(ProbeGroup(...))``).
+    """
+
+    __slots__ = ("probes",)
+
+    def __init__(self, *probes: Optional[Probe]):
+        resolved = [resolve_probe(p) for p in probes]
+        self.probes = tuple(p for p in resolved if p is not None)
+
+    def __iter__(self) -> Iterable[Probe]:
+        return iter(self.probes)
+
+    def event_scheduled(self, time_s, heap_size):
+        for p in self.probes:
+            p.event_scheduled(time_s, heap_size)
+
+    def event_fired(self, time_s, heap_size):
+        for p in self.probes:
+            p.event_fired(time_s, heap_size)
+
+    def event_cancelled(self, time_s):
+        for p in self.probes:
+            p.event_cancelled(time_s)
+
+    def job_enqueued(self, pool, time_s, depth):
+        for p in self.probes:
+            p.job_enqueued(pool, time_s, depth)
+
+    def job_started(self, pool, time_s, wait_s):
+        for p in self.probes:
+            p.job_started(pool, time_s, wait_s)
+
+    def job_finished(self, pool, time_s, service_s):
+        for p in self.probes:
+            p.job_finished(pool, time_s, service_s)
+
+    def rpc_attempt(self, method, time_s, attempt):
+        for p in self.probes:
+            p.rpc_attempt(method, time_s, attempt)
+
+    def rpc_hedge(self, method, time_s):
+        for p in self.probes:
+            p.rpc_hedge(method, time_s)
+
+    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+        for p in self.probes:
+            p.rpc_completed(method, time_s, status, latency_s, attempts)
+
+    def rpc_stage(self, stage, elapsed_s):
+        for p in self.probes:
+            p.rpc_stage(stage, elapsed_s)
+
+    def rpc_deadline_hit(self, method, elapsed_s, deadline_s):
+        for p in self.probes:
+            p.rpc_deadline_hit(method, elapsed_s, deadline_s)
+
+
+def resolve_probe(probe: Optional[Probe]) -> Optional[Probe]:
+    """Normalize a probe argument onto the fast path.
+
+    ``None`` and the exact :class:`NullProbe` class map to ``None`` (no
+    hook calls at all); an empty :class:`ProbeGroup` likewise. Anything
+    else is returned unchanged.
+    """
+    if probe is None or type(probe) is NullProbe:
+        return None
+    if type(probe) is ProbeGroup and not probe.probes:
+        return None
+    return probe

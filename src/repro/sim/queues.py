@@ -103,6 +103,13 @@ class ServerPool:
             raise ValueError(f"negative service time {job.service_time!r}")
         job.enqueued_at = self.sim.now
         self.stats.jobs_enqueued += 1
+        probe = self.sim.probe
+        if probe is not None:
+            # Depth after this submit: 0 if a server takes the job now,
+            # else the waiting jobs including this one.
+            will_wait = self._busy >= self.servers
+            probe.job_enqueued(self.name, self.sim.now,
+                               self.queue_depth + (1 if will_wait else 0))
         if self._busy < self.servers:
             self._start(job)
         else:
@@ -163,6 +170,9 @@ class ServerPool:
         self.stats.total_wait += wait
         if self.record_waits:
             self.stats.waits.append(wait)
+        probe = self.sim.probe
+        if probe is not None:
+            probe.job_started(self.name, now, wait)
         if job.on_start is not None:
             job.on_start(wait)
         self.sim.after(job.service_time, lambda: self._finish(job, wait))
@@ -172,6 +182,9 @@ class ServerPool:
         self._busy -= 1
         self.stats.jobs_completed += 1
         self.stats.total_service += job.service_time
+        probe = self.sim.probe
+        if probe is not None:
+            probe.job_finished(self.name, self.sim.now, job.service_time)
         nxt = self._dequeue()
         if nxt is not None:
             self._start(nxt)

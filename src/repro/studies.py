@@ -27,6 +27,7 @@ from repro.obs.monarch import Monarch, MonarchScraper
 from repro.rpc.errors import ErrorModel
 from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
 from repro.sim.engine import Simulator
+from repro.sim.instrument import Probe
 from repro.sim.random import RngRegistry
 from repro.workloads.drivers import (
     DeploymentConfig,
@@ -71,12 +72,15 @@ def run_service_study(
     rate_scale: float = 1.0,
     per_cluster_rate_spread: float = 0.0,
     dapper_sampling: float = 0.35,
+    probe: Optional[Probe] = None,
 ) -> ServiceStudy:
     """Run the Table-1 services with co-located clients in each cluster.
 
     ``services`` defaults to all eight; ``duration_s`` is simulated time.
     Each service gets its own machines in each of the first ``n_clusters``
     clusters of a default fleet, and one open-loop driver per cluster.
+    ``probe`` (any :class:`~repro.sim.instrument.Probe`) observes the
+    engine; results are unchanged with or without one.
     """
     service_names = list(services) if services else list(SERVICE_SPECS)
     unknown = set(service_names) - set(SERVICE_SPECS)
@@ -87,7 +91,7 @@ def run_service_study(
         # The paper's Monarch cadence is 30 minutes; short studies scale
         # it down so several scrapes land inside the run.
         scrape_interval_s = min(1800.0, max(duration_s / 8.0, 0.25))
-    sim = Simulator()
+    sim = Simulator(probe=probe)
     rngs = RngRegistry(seed)
     fleet = build_fleet(FleetSpec(), seed=seed)
     if n_clusters > len(fleet.clusters):
@@ -156,6 +160,7 @@ def run_diurnal_study(
     slice_duration_s: float = 2.0,
     seed: int = 17,
     clusters: Optional[Sequence[int]] = None,
+    probe: Optional[Probe] = None,
 ) -> ServiceStudy:
     """Fig. 18's setup: one service observed across a full simulated day.
 
@@ -178,7 +183,7 @@ def run_diurnal_study(
 
     for i in range(n_slices):
         t0 = i * DAY_SECONDS / n_slices
-        sim = Simulator(start_time=t0)
+        sim = Simulator(start_time=t0, probe=probe)
         rngs = RngRegistry(seed)  # identical phases in every slice
         fleet = build_fleet(FleetSpec(), seed=seed)
         if clusters is None:
@@ -216,6 +221,7 @@ def run_multitier_study(
     fanout_bigtable: float = 3.0,
     fanout_kv: float = 2.0,
     fanout_disk: float = 2.0,
+    probe: Optional[Probe] = None,
 ) -> ServiceStudy:
     """A causally nested three-tier application (true Dapper trees).
 
@@ -230,7 +236,7 @@ def run_multitier_study(
     from repro.rpc.loadbalancer import LeastLoadedPolicy
     from repro.sim.distributions import Constant, LogNormal, Truncated
 
-    sim = Simulator()
+    sim = Simulator(probe=probe)
     rngs = RngRegistry(seed)
     fleet = build_fleet(FleetSpec(), seed=seed)
     cluster = fleet.clusters[0]
@@ -346,6 +352,7 @@ def run_cross_cluster_study(
     duration_s: float = 30.0,
     seed: int = 13,
     calls_per_cluster_rps: float = 25.0,
+    probe: Optional[Probe] = None,
 ) -> ServiceStudy:
     """Fig. 19's setup: servers in one home cluster, clients everywhere.
 
@@ -353,7 +360,7 @@ def run_cross_cluster_study(
     span the full geography so the distance staircase is visible.
     """
     spec = SERVICE_SPECS[service]
-    sim = Simulator()
+    sim = Simulator(probe=probe)
     rngs = RngRegistry(seed)
     # One cluster per datacenter across all regions for geographic spread.
     fleet = build_fleet(FleetSpec(datacenters_per_region=2,

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Regenerate chrome_trace_spans.json from the fixed span tree.
+
+Run after an intentional exporter format change, then review the diff:
+    PYTHONPATH=src python tests/golden/regen_chrome_trace.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from test_obs_chrometrace import GOLDEN_PATH, golden_spans  # noqa: E402
+
+from repro.obs.chrometrace import span_trace_events, write_chrome_trace
+
+
+def main() -> None:
+    n = write_chrome_trace(GOLDEN_PATH, span_trace_events(golden_spans()))
+    print(f"wrote {n} events to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

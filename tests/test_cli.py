@@ -57,3 +57,63 @@ def test_analyze_traces_empty_file(tmp_path, capsys):
     path = str(tmp_path / "empty.dtrc")
     write_traces([], path)
     assert main(["analyze-traces", path]) == 1
+
+
+def test_service_study_telemetry_artifacts(tmp_path, capsys):
+    import json
+
+    manifest_path = str(tmp_path / "run.manifest.json")
+    chrome_path = str(tmp_path / "run.chrome.json")
+    assert main(["service-study", "--services", "KVStore",
+                 "--duration", "0.5",
+                 "--manifest", manifest_path,
+                 "--chrome-trace", chrome_path]) == 0
+    out = capsys.readouterr().out
+    assert "trace events" in out
+    assert "run manifest" in out
+
+    from repro.obs.chrometrace import validate_trace_events
+    from repro.obs.manifest import read_manifest
+
+    with open(chrome_path) as f:
+        doc = json.load(f)
+    validate_trace_events(doc["traceEvents"])
+    manifest = read_manifest(manifest_path)
+    assert manifest.run_id == "service-study"
+    assert manifest.seed == 11
+    assert manifest.config["services"] == ["KVStore"]
+    assert manifest.counts["events_fired"] > 0
+    assert manifest.counts["spans_recorded"] > 0
+    assert manifest.peak_heap > 0
+    assert [p["name"] for p in manifest.phases] == ["simulate",
+                                                    "export-chrome"]
+
+
+def test_export_chrome_roundtrip(tmp_path, capsys):
+    import json
+
+    spans_path = str(tmp_path / "spans.dtrc")
+    chrome_path = str(tmp_path / "spans.chrome.json")
+    assert main(["service-study", "--services", "KVStore",
+                 "--duration", "0.5", "--save-traces", spans_path]) == 0
+    capsys.readouterr()
+
+    assert main(["export-chrome", spans_path, chrome_path]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto" in out
+
+    from repro.obs.chrometrace import validate_trace_events
+
+    with open(chrome_path) as f:
+        doc = json.load(f)
+    validate_trace_events(doc["traceEvents"])
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_export_chrome_rejects_garbage(tmp_path):
+    from repro.obs.trace_io import TraceIOError
+
+    bad = tmp_path / "bad.dtrc"
+    bad.write_bytes(b"not a trace")
+    with pytest.raises(TraceIOError, match="bad trace magic"):
+        main(["export-chrome", str(bad), str(tmp_path / "out.json")])

@@ -1,0 +1,214 @@
+"""Tests for Chrome trace-event export (`repro.obs.chrometrace`).
+
+The golden-file test pins the exact serialized output for a hand-built
+span tree (no RNG, no numpy — stable across platforms and versions); the
+DES test validates a fixed-seed three-tier run structurally, since its
+float values depend on the numpy build.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.obs.chrometrace import (
+    SPAN_PID_BASE,
+    _assign_lanes,
+    chrome_trace,
+    span_trace_events,
+    validate_trace_events,
+    write_chrome_trace,
+)
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import LatencyBreakdown
+from repro.rpc.tracing import Span
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "chrome_trace_spans.json")
+
+
+def make_span(trace_id, span_id, parent_id, service, method, start_time,
+              total_s, **overrides):
+    kwargs = dict(
+        trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+        service=service, method=method,
+        client_cluster="c0", server_cluster="c1",
+        server_machine=f"c1-m{span_id}", start_time=start_time,
+        breakdown=LatencyBreakdown(server_application=total_s),
+        status=StatusCode.OK, request_bytes=100 * span_id,
+        response_bytes=200 * span_id,
+    )
+    kwargs.update(overrides)
+    return Span(**kwargs)
+
+
+def golden_spans():
+    """A fixed two-service tree: a root with two overlapping children."""
+    return [
+        make_span(9, 1, None, "Frontend", "Search", 0.001, 0.004),
+        make_span(9, 2, 1, "Bigtable", "ReadRow", 0.002, 0.002),
+        # Starts inside span 2 and outlives it: forces a second lane.
+        make_span(9, 3, 1, "Bigtable", "ReadRow", 0.0025, 0.002,
+                  status=StatusCode.DEADLINE_EXCEEDED),
+    ]
+
+
+# ---------------------------------------------------------------- lanes
+def test_assign_lanes_nested_share_a_lane():
+    # (start, end) sorted by (start, -duration): outer first, inner nests.
+    assert _assign_lanes([(0.0, 10.0), (1.0, 3.0), (4.0, 9.0)]) == [0, 0, 0]
+
+
+def test_assign_lanes_partial_overlap_splits():
+    assert _assign_lanes([(0.0, 2.0), (1.0, 3.0)]) == [0, 1]
+
+
+def test_assign_lanes_sequential_reuse():
+    assert _assign_lanes([(0.0, 1.0), (2.0, 3.0)]) == [0, 0]
+
+
+def test_assign_lanes_identical_intervals_nest():
+    assert _assign_lanes([(0.0, 1.0), (0.0, 1.0)]) == [0, 0]
+
+
+# ----------------------------------------------------------- span export
+def test_span_events_one_process_per_service():
+    events = span_trace_events(golden_spans())
+    validate_trace_events(events)
+    procs = {e["args"]["name"]: e["pid"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    # Services sort alphabetically from SPAN_PID_BASE.
+    assert procs == {"Bigtable": SPAN_PID_BASE,
+                     "Frontend": SPAN_PID_BASE + 1}
+
+
+def test_span_events_carry_span_identity():
+    events = span_trace_events(golden_spans())
+    slices = {e["args"]["span_id"]: e for e in events if e["ph"] == "X"}
+    assert set(slices) == {1, 2, 3}
+    root = slices[1]
+    assert root["name"] == "Frontend/Search"
+    assert root["args"]["parent_id"] == 0
+    assert root["ts"] == pytest.approx(1000.0)
+    assert root["dur"] == pytest.approx(4000.0)
+    assert slices[3]["args"]["status"] == "DEADLINE_EXCEEDED"
+
+
+def test_span_events_overlapping_siblings_get_lanes():
+    events = span_trace_events(golden_spans())
+    bigtable = [e for e in events
+                if e["ph"] == "X" and e["pid"] == SPAN_PID_BASE]
+    assert len({e["tid"] for e in bigtable}) == 2
+
+
+# --------------------------------------------------------------- merging
+def test_chrome_trace_metadata_sorts_first():
+    doc = chrome_trace(
+        [{"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 5, "dur": 1}],
+        [{"ph": "M", "name": "process_name", "pid": 1, "tid": 0, "ts": 0,
+          "args": {"name": "p"}}],
+    )
+    assert [e["ph"] for e in doc["traceEvents"]] == ["M", "X"]
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_write_chrome_trace_returns_count(tmp_path):
+    path = str(tmp_path / "t.json")
+    n = write_chrome_trace(path, span_trace_events(golden_spans()))
+    with open(path) as f:
+        doc = json.load(f)
+    assert len(doc["traceEvents"]) == n
+    validate_trace_events(doc["traceEvents"])
+
+
+# ------------------------------------------------------------- validator
+def test_validator_rejects_missing_fields():
+    with pytest.raises(ValueError, match="missing 'pid'"):
+        validate_trace_events([{"ph": "X", "tid": 1, "name": "a", "ts": 0}])
+
+
+def test_validator_rejects_backwards_ts():
+    events = [
+        {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5},
+        {"ph": "i", "name": "b", "pid": 1, "tid": 1, "ts": 4},
+    ]
+    with pytest.raises(ValueError, match="goes backwards"):
+        validate_trace_events(events)
+
+
+def test_validator_rejects_unmatched_begin():
+    events = [{"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0}]
+    with pytest.raises(ValueError, match="unmatched B"):
+        validate_trace_events(events)
+
+
+def test_validator_rejects_stray_end():
+    events = [{"ph": "E", "name": "a", "pid": 1, "tid": 1, "ts": 0}]
+    with pytest.raises(ValueError, match="E without matching B"):
+        validate_trace_events(events)
+
+
+def test_validator_rejects_partial_overlap():
+    events = [
+        {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 2},
+        {"ph": "X", "name": "b", "pid": 1, "tid": 1, "ts": 1, "dur": 2},
+    ]
+    with pytest.raises(ValueError, match="partially overlaps"):
+        validate_trace_events(events)
+
+
+def test_validator_rejects_bad_dur_and_ph():
+    with pytest.raises(ValueError, match="bad dur"):
+        validate_trace_events(
+            [{"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0}])
+    with pytest.raises(ValueError, match="unsupported ph"):
+        validate_trace_events(
+            [{"ph": "Z", "name": "a", "pid": 1, "tid": 1, "ts": 0}])
+
+
+# ----------------------------------------------------------------- golden
+def test_golden_chrome_trace():
+    """The serialized document for the fixed span tree is pinned exactly.
+
+    Regenerate (after an *intentional* format change) with:
+        PYTHONPATH=src python tests/golden/regen_chrome_trace.py
+    """
+    buf = io.StringIO()
+    write_chrome_trace(buf, span_trace_events(golden_spans()))
+    produced = json.loads(buf.getvalue())
+    with open(GOLDEN_PATH) as f:
+        expected = json.load(f)
+    assert produced == expected
+
+
+# ------------------------------------------------------- fixed-seed DES
+def test_three_tier_run_exports_valid_trace():
+    from repro.obs.telemetry import TraceEventProbe
+    from repro.studies import run_multitier_study
+
+    probe = TraceEventProbe()
+    study = run_multitier_study(duration_s=0.5, seed=41, frontend_rps=60.0,
+                                probe=probe)
+    assert study.dapper.spans, "fixed-seed run produced no spans"
+
+    engine_events = probe.trace_events()
+    span_events = span_trace_events(study.dapper.spans)
+    doc = chrome_trace(engine_events, span_events)
+    events = doc["traceEvents"]
+    validate_trace_events(events)
+
+    # Every slice fully keyed; every X has machine-readable args.
+    for e in events:
+        assert {"ph", "pid", "tid", "name", "ts"} <= set(e)
+    span_slices = [e for e in events
+                   if e["ph"] == "X" and e["pid"] >= SPAN_PID_BASE]
+    assert len(span_slices) == len(study.dapper.spans)
+    for e in span_slices:
+        assert e["dur"] >= 0
+        assert {"trace_id", "span_id", "parent_id", "status"} <= set(e["args"])
+    # All four services appear as named processes.
+    proc_names = {e["args"]["name"] for e in events
+                  if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"Frontend", "Bigtable", "KVStore", "NetworkDisk",
+            "engine", "rpc"} <= proc_names

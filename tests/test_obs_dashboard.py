@@ -59,3 +59,36 @@ class TestRenderers:
 
     def test_render_panel_missing(self):
         assert "(no series)" in render_panel(Monarch(), "nope")
+
+
+class TestRenderHeartbeat:
+    def test_counts_only(self):
+        from repro.obs.dashboard import render_heartbeat
+
+        out = render_heartbeat(
+            {"sim_time_s": 1.5, "events_fired": 1200,
+             "events_scheduled": 1201, "rpcs_completed": 30, "hedges": 2,
+             "wall_s": 0.0, "events_per_s": 0.0, "sim_time_rate": 0.0},
+            "unit")
+        assert "heartbeat: unit" in out
+        assert "1,200 fired" in out
+        assert "30 completed" in out
+        assert "hedges 2" in out
+        assert "events/s" not in out  # no wall clock, no rate line
+
+    def test_rates_shown_with_wall_clock(self):
+        from repro.obs.dashboard import render_heartbeat
+
+        out = render_heartbeat(
+            {"sim_time_s": 4.0, "events_fired": 1000,
+             "events_scheduled": 1000, "rpcs_completed": 10, "hedges": 0,
+             "wall_s": 2.0, "events_per_s": 500.0, "sim_time_rate": 2.0})
+        assert "500 events/s" in out
+        assert "sim/wall 2.0x" in out
+
+    def test_missing_keys_default_to_zero(self):
+        from repro.obs.dashboard import render_heartbeat
+
+        out = render_heartbeat({})
+        assert "heartbeat: run" in out
+        assert "0 fired" in out

@@ -1,0 +1,117 @@
+"""Tests for run manifests (`repro.obs.manifest`)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ManifestBuilder,
+    ManifestError,
+    RunManifest,
+    config_digest,
+    read_manifest,
+    write_manifest,
+)
+from repro.sim.engine import Simulator
+
+
+def build_sample(wall_clock=None) -> RunManifest:
+    b = ManifestBuilder("sample", seed=7, wall_clock=wall_clock)
+    b.set_config(duration_s=3.0, services=["Bigtable"])
+    with b.phase("simulate"):
+        pass
+    with b.phase("export", telemetry=True):
+        pass
+    b.add_counts(events_fired=100, spans_recorded=40)
+    return b.finish()
+
+
+def test_digest_is_stable_and_order_independent():
+    a = config_digest({"x": 1, "y": [1, 2]})
+    b = config_digest({"y": [1, 2], "x": 1})
+    assert a == b
+    assert a.startswith("sha256:")
+    assert config_digest({"x": 2, "y": [1, 2]}) != a
+
+
+def test_roundtrip_through_file(tmp_path):
+    manifest = build_sample()
+    path = str(tmp_path / "run.manifest.json")
+    write_manifest(manifest, path)
+    back = read_manifest(path)
+    assert back.to_dict() == manifest.to_dict()
+    assert back.schema_version == MANIFEST_VERSION
+    assert back.counts == {"events_fired": 100, "spans_recorded": 40}
+
+
+def test_phases_record_wall_time_via_injected_clock():
+    ticks = iter([0.0, 2.5, 10.0, 10.75])
+    manifest = build_sample(wall_clock=lambda: next(ticks))
+    by_name = {p["name"]: p for p in manifest.phases}
+    assert by_name["simulate"]["wall_s"] == pytest.approx(2.5)
+    assert by_name["export"]["wall_s"] == pytest.approx(0.75)
+    assert by_name["export"]["telemetry"] is True
+    # Overhead = sum of telemetry-flagged phases only.
+    assert manifest.telemetry_overhead_wall_s == pytest.approx(0.75)
+
+
+def test_no_clock_means_zero_wall_time():
+    manifest = build_sample()
+    assert all(p["wall_s"] == 0.0 for p in manifest.phases)
+    assert manifest.telemetry_overhead_wall_s == 0.0
+
+
+def test_phase_records_even_when_body_raises():
+    b = ManifestBuilder("boom", seed=1)
+    with pytest.raises(RuntimeError):
+        with b.phase("explode"):
+            raise RuntimeError("boom")
+    assert b.finish().phases[0]["name"] == "explode"
+
+
+def test_observe_sim_pulls_engine_accounting():
+    sim = Simulator()
+    h = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    h.cancel()
+    sim.run_until(3.0)
+    b = ManifestBuilder("engine", seed=3)
+    b.observe_sim(sim)
+    manifest = b.finish()
+    assert manifest.counts["events_fired"] == 1
+    assert manifest.counts["events_cancelled"] == 1
+    assert manifest.sim_time_s == pytest.approx(sim.now)
+    assert manifest.peak_heap == 2
+
+
+def test_read_rejects_bad_json():
+    with pytest.raises(ManifestError, match="not valid JSON"):
+        read_manifest(io.StringIO("{nope"))
+
+
+def test_read_rejects_non_object():
+    with pytest.raises(ManifestError, match="must be an object"):
+        read_manifest(io.StringIO("[1, 2]"))
+
+
+def test_read_rejects_missing_keys():
+    doc = build_sample().to_dict()
+    del doc["counts"]
+    with pytest.raises(ManifestError, match="missing keys.*counts"):
+        read_manifest(io.StringIO(json.dumps(doc)))
+
+
+def test_read_rejects_unknown_version():
+    doc = build_sample().to_dict()
+    doc["schema_version"] = 99
+    with pytest.raises(ManifestError, match="schema_version 99"):
+        read_manifest(io.StringIO(json.dumps(doc)))
+
+
+def test_read_rejects_digest_mismatch():
+    doc = build_sample().to_dict()
+    doc["config"]["duration_s"] = 999.0  # tampered after digesting
+    with pytest.raises(ManifestError, match="digest mismatch"):
+        read_manifest(io.StringIO(json.dumps(doc)))

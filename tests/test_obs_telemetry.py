@@ -1,0 +1,182 @@
+"""Tests for the obs-layer probe implementations (`repro.obs.telemetry`)."""
+
+import pytest
+
+from repro.obs.chrometrace import validate_trace_events
+from repro.obs.dashboard import render_heartbeat
+from repro.obs.metrics import MetricRegistry
+from repro.obs.telemetry import (
+    ENGINE_PID,
+    RPC_PID,
+    HeartbeatProbe,
+    MetricsProbe,
+    TraceEventProbe,
+)
+from repro.sim.engine import Simulator
+from repro.sim.queues import Job, ServerPool
+
+
+def run_pool_workload(probe, jobs=8, servers=2):
+    sim = Simulator(probe=probe)
+    pool = ServerPool(sim, servers=servers, name="srv")
+    for i in range(jobs):
+        sim.at(0.01 * i, lambda: pool.submit(Job(service_time=0.05)))
+    sim.run_until(5.0)
+    return sim
+
+
+# ------------------------------------------------------------- metrics
+def test_metrics_probe_engine_counters():
+    reg = MetricRegistry()
+    probe = MetricsProbe(reg)
+    sim = run_pool_workload(probe)
+    assert reg.counter("telemetry/events_fired").value == sim.events_fired
+    assert reg.counter("telemetry/events_scheduled").value >= sim.events_fired
+    # The gauge tracks the last *fired* event's time, which run_until may
+    # have advanced past.
+    last_event_s = reg.gauge("telemetry/sim_time_s").read()
+    assert 0.0 < last_event_s <= sim.now
+
+
+def test_metrics_probe_cancellation_counter():
+    reg = MetricRegistry()
+    sim = Simulator(probe=MetricsProbe(reg))
+    h = sim.at(1.0, lambda: None)
+    h.cancel()
+    sim.run_until(2.0)
+    assert reg.counter("telemetry/events_cancelled").value == 1
+
+
+def test_metrics_probe_per_pool_series():
+    reg = MetricRegistry()
+    run_pool_workload(MetricsProbe(reg), jobs=10)
+    wait = reg.distribution("telemetry/queue_wait_s", {"pool": "srv"})
+    service = reg.distribution("telemetry/queue_service_s", {"pool": "srv"})
+    assert len(wait.samples()) == 10
+    assert len(service.samples()) == 10
+    assert service.mean == pytest.approx(0.05)
+
+
+def test_metrics_probe_rpc_hooks():
+    reg = MetricRegistry()
+    probe = MetricsProbe(reg)
+    probe.rpc_attempt("S/m", 0.0, 1)
+    probe.rpc_attempt("S/m", 0.1, 2)
+    probe.rpc_hedge("S/m", 0.1)
+    probe.rpc_completed("S/m", 0.2, "OK", 0.2, 2)
+    probe.rpc_stage("server/handler", 1e-4)
+    probe.rpc_deadline_hit("S/m", 0.5, 0.3)
+    assert reg.counter("telemetry/rpc_attempts", {"method": "S/m"}).value == 2
+    assert reg.counter("telemetry/rpc_hedges", {"method": "S/m"}).value == 1
+    assert reg.counter("telemetry/rpc_completed", {"method": "S/m"}).value == 1
+    assert reg.counter("telemetry/rpc_deadline_hits").value == 1
+    lat = reg.distribution("telemetry/rpc_latency_s", {"method": "S/m"})
+    assert lat.mean == pytest.approx(0.2)
+    stage = reg.distribution("telemetry/rpc_stage_s",
+                             {"stage": "server/handler"})
+    assert len(stage.samples()) == 1
+
+
+def test_metrics_probe_default_registry():
+    probe = MetricsProbe()
+    assert isinstance(probe.registry, MetricRegistry)
+
+
+# ----------------------------------------------------------- heartbeat
+def test_heartbeat_counts_without_wall_clock():
+    hb = HeartbeatProbe()
+    sim = run_pool_workload(hb, jobs=5)
+    snap = hb.snapshot()
+    assert snap["events_fired"] == sim.events_fired
+    assert snap["sim_time_s"] == pytest.approx(hb.sim_time_s)
+    assert snap["wall_s"] == 0.0
+    assert snap["events_per_s"] == 0.0
+    assert snap["sim_time_rate"] == 0.0
+
+
+def test_heartbeat_rates_with_injected_clock():
+    ticks = iter([100.0, 102.0])  # constructor, snapshot
+    hb = HeartbeatProbe(wall_clock=lambda: next(ticks))
+    hb.event_fired(4.0, 0)
+    hb.event_fired(8.0, 0)
+    snap = hb.snapshot()
+    assert snap["wall_s"] == pytest.approx(2.0)
+    assert snap["events_per_s"] == pytest.approx(1.0)
+    assert snap["sim_time_rate"] == pytest.approx(4.0)
+
+
+def test_render_heartbeat_panel():
+    hb = HeartbeatProbe()
+    run_pool_workload(hb, jobs=3)
+    text = render_heartbeat(hb.snapshot(), "unit test")
+    assert "heartbeat: unit test" in text
+    assert "fired" in text
+    # No wall clock -> no rate line.
+    assert "events/s" not in text
+
+    with_rates = render_heartbeat(
+        {"sim_time_s": 2.0, "events_fired": 100, "events_scheduled": 100,
+         "rpcs_completed": 4, "hedges": 0, "wall_s": 0.5,
+         "events_per_s": 200.0, "sim_time_rate": 4.0})
+    assert "events/s" in with_rates
+    assert "sim/wall 4.0x" in with_rates
+
+
+# ---------------------------------------------------------- trace probe
+def test_trace_probe_pool_slices_validate():
+    probe = TraceEventProbe(heap_sample_every=4)
+    run_pool_workload(probe, jobs=12, servers=3)
+    events = probe.trace_events()
+    validate_trace_events(events)
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == 12
+    assert all(e["pid"] == ENGINE_PID for e in slices)
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters and all(e["name"] == "heap_size" for e in counters)
+    names = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert names == {"engine", "rpc"}
+
+
+def test_trace_probe_overlapping_jobs_split_into_lanes():
+    # Three servers run staggered 1 s jobs that partially overlap: one tid
+    # can't hold them, so export must fan out to extra lanes.
+    probe = TraceEventProbe()
+    sim = Simulator(probe=probe)
+    pool = ServerPool(sim, servers=3, name="srv")
+    for i in range(3):
+        sim.at(0.4 * i, lambda: pool.submit(Job(service_time=1.0)))
+    sim.run_until(5.0)
+    events = probe.trace_events()
+    validate_trace_events(events)
+    tids = {e["tid"] for e in events if e["ph"] == "X"}
+    assert len(tids) == 3
+    lane_names = [e["args"]["name"] for e in events
+                  if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert any("(lane" in n for n in lane_names)
+
+
+def test_trace_probe_rpc_slices():
+    probe = TraceEventProbe()
+    probe.rpc_completed("S/m", 0.010, "OK", 0.004, 1)
+    probe.rpc_completed("S/m", 0.020, "DEADLINE_EXCEEDED", 0.005, 2)
+    events = probe.trace_events()
+    validate_trace_events(events)
+    slices = [e for e in events if e["ph"] == "X"]
+    assert [e["pid"] for e in slices] == [RPC_PID, RPC_PID]
+    assert slices[0]["ts"] == pytest.approx(6000.0)  # (0.010-0.004) s -> us
+    assert slices[0]["dur"] == pytest.approx(4000.0)
+    assert slices[1]["args"] == {"status": "DEADLINE_EXCEEDED", "attempts": 2}
+
+
+def test_trace_probe_heap_sampling_rate():
+    probe = TraceEventProbe(heap_sample_every=10)
+    for i in range(25):
+        probe.event_fired(float(i), heap_size=i)
+    counters = [e for e in probe.trace_events() if e["ph"] == "C"]
+    assert len(counters) == 2  # fired events 10 and 20
+
+
+def test_trace_probe_rejects_bad_sampling():
+    with pytest.raises(ValueError):
+        TraceEventProbe(heap_sample_every=0)

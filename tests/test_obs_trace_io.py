@@ -86,16 +86,98 @@ def test_empty_trace_file():
 
 
 def test_bad_magic_rejected():
-    with pytest.raises(TraceIOError):
+    with pytest.raises(TraceIOError, match=r"bad trace magic b'XXXX'"):
         list(read_traces(b"XXXX\x01"))
+
+
+def test_too_short_for_magic():
+    with pytest.raises(TraceIOError, match="need at least the 4-byte"):
+        list(read_traces(b"DT"))
+    with pytest.raises(TraceIOError, match="need at least the 4-byte"):
+        list(read_traces(b""))
+
+
+def test_truncated_header_varint():
+    # A continuation bit with no following byte: the version varint never
+    # terminates.
+    with pytest.raises(TraceIOError, match="truncated trace header"):
+        list(read_traces(b"DTRC\x80"))
+
+
+def test_unsupported_version():
+    with pytest.raises(TraceIOError, match="unsupported trace version 99"):
+        list(read_traces(b"DTRC\x63"))
 
 
 def test_truncated_record_rejected():
     buf = io.BytesIO()
     write_traces([make_span()], buf)
     data = buf.getvalue()
-    with pytest.raises(TraceIOError):
+    with pytest.raises(TraceIOError,
+                       match=r"truncated span record #0 at byte"):
         list(read_traces(data[:-5]))
+
+
+def test_truncated_length_prefix():
+    buf = io.BytesIO()
+    write_traces([], buf)
+    data = buf.getvalue() + b"\x80"  # unterminated length varint
+    with pytest.raises(TraceIOError,
+                       match=r"truncated length prefix for span record #0"):
+        list(read_traces(data))
+
+
+def test_corrupt_record_mid_stream():
+    buf = io.BytesIO()
+    write_traces([make_span(span_id=1), make_span(span_id=2)], buf)
+    data = bytearray(buf.getvalue())
+    # Find the second record and trample its payload so field decoding
+    # fails; the error must name record #1 and wrap the codec error.
+    first = span_to_bytes(make_span(span_id=1))
+    second_start = data.index(first) + len(first) + 1  # + its length prefix
+    for i in range(second_start, min(second_start + 8, len(data))):
+        data[i] = 0xFF
+    with pytest.raises(TraceIOError, match=r"span record #1 at byte"):
+        list(read_traces(bytes(data)))
+
+
+def test_wrong_component_count_is_trace_error():
+    span = make_span()
+    record = span_to_bytes(span)
+    # Re-encode with a truncated components vector.
+    from repro.obs.trace_io import SPAN_SCHEMA
+    from repro.rpc.wire import decode_message, encode_message
+
+    msg = decode_message(SPAN_SCHEMA, record)
+    msg["components"] = msg["components"][:3]
+    with pytest.raises(TraceIOError, match="3 components"):
+        span_from_bytes(encode_message(SPAN_SCHEMA, msg))
+
+
+def test_unknown_status_code_is_trace_error():
+    from repro.obs.trace_io import SPAN_SCHEMA
+    from repro.rpc.wire import decode_message, encode_message
+
+    msg = decode_message(SPAN_SCHEMA, span_to_bytes(make_span()))
+    msg["status"] = 9999
+    with pytest.raises(TraceIOError, match="unknown status code 9999"):
+        span_from_bytes(encode_message(SPAN_SCHEMA, msg))
+
+
+def test_errors_never_leak_bare_wire_error():
+    from repro.rpc.wire import WireError
+
+    corrupt_streams = [b"", b"DT", b"XXXX\x01", b"DTRC\x80",
+                       b"DTRC\x01\x80", b"DTRC\x01\x05\xff\xff"]
+    for data in corrupt_streams:
+        with pytest.raises(TraceIOError):
+            list(read_traces(data))
+        # TraceIOError subclasses WireError, so except WireError still
+        # works for callers — but the type must be the specific one.
+        try:
+            list(read_traces(data))
+        except WireError as err:
+            assert isinstance(err, TraceIOError), data
 
 
 def test_load_collector_supports_queries():

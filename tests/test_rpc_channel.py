@@ -165,3 +165,76 @@ def test_load_reflects_pool_pressure():
     sim.run_until(0.0008)  # requests in flight / queued
     assert server.load() > 0
     sim.run()
+
+
+# -------------------------------------------------------- sink protocols
+def test_collectors_satisfy_sink_protocols():
+    from repro.rpc.tracing import ProfileSink, SpanSink
+
+    assert isinstance(DapperCollector(sampling_rate=1.0), SpanSink)
+    assert isinstance(GwpProfiler(), ProfileSink)
+
+
+def test_custom_span_sink_receives_spans():
+    # Any object with record(span) works in DapperCollector's place: the
+    # channel depends on the SpanSink protocol, not the obs layer.
+    from repro.rpc.tracing import SpanSink
+
+    class ListSink:
+        def __init__(self):
+            self.spans = []
+
+        def record(self, span) -> bool:
+            self.spans.append(span)
+            return True
+
+    sink = ListSink()
+    assert isinstance(sink, SpanSink)
+    sim, client, server, runtime, dapper, gwp = build_world()
+    client.dapper = sink
+    client.call(runtime, pick_server=lambda rng: server)
+    sim.run()
+    assert len(sink.spans) == 1
+    assert sink.spans[0].full_method == "Svc/Do"
+
+
+def test_channel_probe_hooks_observe_rpc_lifecycle():
+    from repro.sim.instrument import Probe
+
+    class RpcProbe(Probe):
+        def __init__(self):
+            self.attempts = []
+            self.completed = []
+
+        def rpc_attempt(self, method, time_s, attempt):
+            self.attempts.append((method, attempt))
+
+        def rpc_completed(self, method, time_s, status, latency_s, attempts):
+            self.completed.append((method, status, attempts))
+
+    probe = RpcProbe()
+    sim, client, server, runtime, dapper, gwp = build_world()
+    sim.set_probe(probe)
+    client.call(runtime, pick_server=lambda rng: server)
+    sim.run()
+    assert probe.attempts == [("Svc/Do", 0)]  # attempt index, 0 = first
+    assert probe.completed == [("Svc/Do", "OK", 1)]  # total attempts made
+
+
+def test_channel_probe_sees_hedge():
+    from repro.sim.instrument import Probe
+
+    class HedgeProbe(Probe):
+        def __init__(self):
+            self.hedges = []
+
+        def rpc_hedge(self, method, time_s):
+            self.hedges.append(method)
+
+    probe = HedgeProbe()
+    hedging = HedgingPolicy(enabled=True, delay_s=1e-4, max_attempts=2)
+    sim, client, server, runtime, dapper, gwp = build_world(hedging=hedging)
+    sim.set_probe(probe)
+    client.call(runtime, pick_server=lambda rng: server)
+    sim.run()
+    assert probe.hedges == ["Svc/Do"]

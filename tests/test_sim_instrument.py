@@ -1,0 +1,171 @@
+"""Tests for the engine probe interface (`repro.sim.instrument`)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.instrument import NullProbe, Probe, ProbeGroup, resolve_probe
+from repro.sim.queues import Job, ServerPool
+
+
+class RecordingProbe(Probe):
+    def __init__(self):
+        self.calls = []
+
+    def event_scheduled(self, time_s, heap_size):
+        self.calls.append(("scheduled", time_s, heap_size))
+
+    def event_fired(self, time_s, heap_size):
+        self.calls.append(("fired", time_s, heap_size))
+
+    def event_cancelled(self, time_s):
+        self.calls.append(("cancelled", time_s))
+
+    def job_enqueued(self, pool, time_s, depth):
+        self.calls.append(("enqueued", pool, time_s, depth))
+
+    def job_started(self, pool, time_s, wait_s):
+        self.calls.append(("started", pool, time_s, wait_s))
+
+    def job_finished(self, pool, time_s, service_s):
+        self.calls.append(("finished", pool, time_s, service_s))
+
+
+def of_kind(probe, kind):
+    return [c for c in probe.calls if c[0] == kind]
+
+
+# ---------------------------------------------------------------- resolve
+def test_resolve_probe_folds_inert_probes_to_none():
+    assert resolve_probe(None) is None
+    assert resolve_probe(NullProbe()) is None
+    assert resolve_probe(ProbeGroup()) is None
+    assert resolve_probe(ProbeGroup(None, NullProbe())) is None
+
+
+def test_resolve_probe_keeps_real_probes():
+    p = RecordingProbe()
+    assert resolve_probe(p) is p
+    group = ProbeGroup(NullProbe(), p)
+    assert resolve_probe(group) is group
+    assert group.probes == (p,)
+
+
+def test_null_probe_subclass_is_not_folded():
+    # Only the exact sentinel type is free; a subclass may override hooks.
+    class Counting(NullProbe):
+        pass
+
+    p = Counting()
+    assert resolve_probe(p) is p
+
+
+def test_simulator_folds_probe_at_install():
+    assert Simulator(probe=NullProbe()).probe is None
+    sim = Simulator()
+    assert sim.probe is None
+    sim.set_probe(NullProbe())
+    assert sim.probe is None
+
+
+# ---------------------------------------------------------------- engine
+def test_engine_hooks_fire_in_order():
+    p = RecordingProbe()
+    sim = Simulator(probe=p)
+    sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    sim.run_until(5.0)
+    assert [c[0] for c in p.calls] == ["scheduled", "scheduled",
+                                       "fired", "fired"]
+    # event_fired reports the post-pop heap size.
+    assert of_kind(p, "fired")[0] == ("fired", 1.0, 1)
+    assert of_kind(p, "fired")[1] == ("fired", 2.0, 0)
+
+
+def test_engine_reports_cancellations():
+    p = RecordingProbe()
+    sim = Simulator(probe=p)
+    handle = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    handle.cancel()
+    sim.run_until(5.0)
+    assert of_kind(p, "cancelled") == [("cancelled", 1.0)]
+    assert len(of_kind(p, "fired")) == 1
+    assert sim.events_cancelled == 1
+
+
+def test_engine_counts_cancellations_without_probe():
+    sim = Simulator()
+    h = sim.at(1.0, lambda: None)
+    h.cancel()
+    sim.run_until(2.0)
+    assert sim.events_cancelled == 1
+    assert sim.events_fired == 0
+
+
+def test_max_heap_size_tracked_unconditionally():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(float(i + 1), lambda: None)
+    assert sim.max_heap_size == 10
+    sim.run_until(20.0)
+    assert sim.max_heap_size == 10
+
+
+def test_probe_group_fans_out():
+    a, b = RecordingProbe(), RecordingProbe()
+    sim = Simulator(probe=ProbeGroup(a, b))
+    sim.at(1.0, lambda: None)
+    sim.run_until(2.0)
+    assert a.calls == b.calls
+    assert len(a.calls) == 2
+
+
+# ---------------------------------------------------------------- queues
+def test_pool_hooks_report_depth_wait_service():
+    p = RecordingProbe()
+    sim = Simulator(probe=p)
+    pool = ServerPool(sim, servers=1, name="srv")
+    sim.at(0.0, lambda: pool.submit(Job(service_time=1.0)))
+    sim.at(0.0, lambda: pool.submit(Job(service_time=0.5)))
+    sim.run_until(10.0)
+
+    enqueued = of_kind(p, "enqueued")
+    started = of_kind(p, "started")
+    finished = of_kind(p, "finished")
+    assert [e[1] for e in enqueued] == ["srv", "srv"]
+    assert [e[3] for e in enqueued] == [0, 1]  # depth after enqueue
+    assert started[0][3] == pytest.approx(0.0)  # first job never waits
+    assert started[1][3] == pytest.approx(1.0)  # second waits for first
+    assert [f[3] for f in finished] == [pytest.approx(1.0),
+                                        pytest.approx(0.5)]
+
+
+# ----------------------------------------------------------- determinism
+def test_probe_does_not_change_results():
+    def run(probe):
+        sim = Simulator(probe=probe)
+        pool = ServerPool(sim, servers=2, name="w", record_waits=True)
+        for i in range(50):
+            sim.at(0.01 * i, lambda: pool.submit(Job(service_time=0.03)))
+        sim.run_until(10.0)
+        return (sim.now, sim.events_fired, pool.stats.jobs_completed,
+                tuple(pool.stats.waits))
+
+    baseline = run(None)
+    assert run(NullProbe()) == baseline
+    assert run(RecordingProbe()) == baseline
+
+
+def test_base_probe_hooks_are_noops():
+    p = Probe()
+    p.event_scheduled(0.0, 1)
+    p.event_fired(0.0, 0)
+    p.event_cancelled(0.0)
+    p.job_enqueued("x", 0.0, 1)
+    p.job_started("x", 0.0, 0.0)
+    p.job_finished("x", 0.0, 0.1)
+    p.rpc_attempt("S/m", 0.0, 1)
+    p.rpc_hedge("S/m", 0.0)
+    p.rpc_completed("S/m", 0.0, "OK", 0.001, 1)
+    p.rpc_stage("server/handler", 0.0)
+    p.rpc_deadline_hit("S/m", 1.0, 0.5)
