@@ -11,15 +11,22 @@ so the whole suite completes in minutes. The shapes under test are scale-
 stable; bump the constants below to run closer to paper scale.
 
 Bench trajectory: every bench's wall time (plus any stats it pushes via
-the ``record_stat`` fixture) is written to ``BENCH_PR2.json`` at the repo
+the ``record_stat`` fixture) is written to ``BENCH_PR3.json`` at the repo
 root when the session ends, one record per figure::
 
-    {"figure": "fig14_breakdown", "wall_s": 1.23, "stats": {...}}
+    {"figure": "fig14_breakdown", "wall_s": 1.23,
+     "stats": {"events_fired": 41000, "peak_heap": 310, ...}}
+
+Sampling figures record ``trees_generated``/``n_methods``; DES figures
+record ``events_fired``, ``events_cancelled``, and ``peak_heap`` from the
+simulator (see ``record_sim_stats``), so a perf regression shows up next
+to the workload volume that produced it.
 
 Existing records for figures *not* run this session are preserved, so a
 partial run (``pytest benchmarks/test_fig14_breakdown.py``) refreshes only
 its own entry. CI uploads the file as an artifact; comparing it across
-PRs shows harness performance drift.
+PRs shows harness performance drift (BENCH_PR2.json is the frozen PR-2
+snapshot this PR's ≥3x speedups are measured against).
 """
 
 import json
@@ -43,7 +50,7 @@ BENCH_SAMPLES_PER_METHOD = 300
 BENCH_SEED = 7
 
 BENCH_TRAJECTORY_FILE = os.path.join(os.path.dirname(__file__), os.pardir,
-                                     "BENCH_PR2.json")
+                                     "BENCH_PR3.json")
 
 # figure name -> {"wall_s": float, "stats": dict}, accumulated per session
 _trajectory = {}
@@ -69,7 +76,7 @@ def _bench_timer(request):
 
 @pytest.fixture
 def record_stat(request):
-    """Push key result stats into this figure's ``BENCH_PR2.json`` record.
+    """Push key result stats into this figure's ``BENCH_PR3.json`` record.
 
     Usage::
 
@@ -85,8 +92,25 @@ def record_stat(request):
     return _record
 
 
+@pytest.fixture
+def record_sim_stats(record_stat):
+    """Record a DES study's engine counters into the trajectory.
+
+    Usage::
+
+        def test_fig14(record_sim_stats, study8, ...):
+            record_sim_stats(study8.sim)
+    """
+    def _record(sim) -> None:
+        record_stat(events_fired=sim.events_fired,
+                    events_cancelled=sim.events_cancelled,
+                    peak_heap=sim.max_heap_size)
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Merge this session's trajectory into ``BENCH_PR2.json``."""
+    """Merge this session's trajectory into ``BENCH_PR3.json``."""
     if not _trajectory:
         return
     records = {}

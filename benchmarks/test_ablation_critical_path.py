@@ -12,7 +12,7 @@ import numpy as np
 from repro.core.critical_path import run_critical_path_study
 
 
-def test_ablation_critical_path(benchmark, show, bench_catalog):
+def test_ablation_critical_path(benchmark, show, record_stat, bench_catalog):
     result = benchmark.pedantic(
         lambda: run_critical_path_study(bench_catalog, n_traces=150,
                                         rng=np.random.default_rng(9),
@@ -20,6 +20,8 @@ def test_ablation_critical_path(benchmark, show, bench_catalog):
         rounds=1, iterations=1,
     )
     show(result.render())
+    record_stat(trees_generated=result.n_traces,
+                mean_path_depth=round(result.mean_depth, 2))
     assert result.n_traces == 150
     assert result.mean_depth >= 1.5
     assert 0.0 < result.mean_tax_fraction < 0.9

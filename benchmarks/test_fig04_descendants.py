@@ -10,7 +10,7 @@ from repro.core.calltree import run_tree_study
 from repro.core.report import format_table
 
 
-def test_fig04_descendants(benchmark, show, bench_catalog):
+def test_fig04_descendants(benchmark, show, record_stat, bench_catalog):
     result = benchmark.pedantic(
         lambda: run_tree_study(bench_catalog, n_trees=300,
                                rng=np.random.default_rng(4),
@@ -18,6 +18,7 @@ def test_fig04_descendants(benchmark, show, bench_catalog):
         rounds=1, iterations=1,
     )
     show(result.render())
+    record_stat(trees_generated=result.n_trees, n_methods=result.n_methods)
     assert result.descendants_median_q50 < 150
     # Heavy per-method tails: even modest methods occasionally sit atop
     # partition/aggregate fans or near-critical replication chains.

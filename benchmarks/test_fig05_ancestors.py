@@ -10,7 +10,7 @@ import numpy as np
 from repro.core.calltree import run_tree_study
 
 
-def test_fig05_ancestors(benchmark, show, bench_catalog):
+def test_fig05_ancestors(benchmark, show, record_stat, bench_catalog):
     result = benchmark.pedantic(
         lambda: run_tree_study(bench_catalog, n_trees=300,
                                rng=np.random.default_rng(5),
@@ -18,6 +18,7 @@ def test_fig05_ancestors(benchmark, show, bench_catalog):
         rounds=1, iterations=1,
     )
     show(result.render())
+    record_stat(trees_generated=result.n_trees, n_methods=result.n_methods)
     assert result.ancestors_p99_q50 < 10
     assert result.max_depth_seen <= 16
     # Wider than deep: typical descendant tails dwarf typical depths.

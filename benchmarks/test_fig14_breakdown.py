@@ -24,7 +24,10 @@ _CATEGORY_OF_COMPONENT = {
 }
 
 
-def test_fig14_service_breakdowns(benchmark, show, study8):
+def test_fig14_service_breakdowns(benchmark, show, record_sim_stats,
+                                  study8):
+    record_sim_stats(study8.sim)
+
     def compute():
         return {
             name: breakdown_cdf_for_service(study8.dapper, name, spec.method)

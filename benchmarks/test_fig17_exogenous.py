@@ -11,7 +11,9 @@ from repro.core.report import format_table
 from repro.workloads.services import SERVICE_SPECS
 
 
-def test_fig17_exogenous_correlations(benchmark, show, exo_study):
+def test_fig17_exogenous_correlations(benchmark, show, record_sim_stats,
+                                      exo_study):
+    record_sim_stats(exo_study.sim)
     services = ("Bigtable", "KVStore", "VideoMetadata")
 
     def compute():

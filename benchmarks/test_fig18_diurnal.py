@@ -11,7 +11,9 @@ from repro.core.exogenous import diurnal_series
 from repro.core.report import format_table
 
 
-def test_fig18_diurnal_correlation(benchmark, show, diurnal_study):
+def test_fig18_diurnal_correlation(benchmark, show, record_sim_stats,
+                                   diurnal_study):
+    record_sim_stats(diurnal_study.sim)
     spans = diurnal_study.dapper.spans_for_method("Bigtable", "SearchValue")
     clusters = sorted({s.server_cluster for s in spans})
 

@@ -12,7 +12,9 @@ from repro.core.crosscluster import analyze_cross_cluster
 from repro.net.latency import PathClass
 
 
-def test_fig19_cross_cluster(benchmark, show, cross_study):
+def test_fig19_cross_cluster(benchmark, show, record_sim_stats,
+                             cross_study):
+    record_sim_stats(cross_study.sim)
     home = cross_study.fleet.clusters[0].name
 
     result = benchmark.pedantic(

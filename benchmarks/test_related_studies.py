@@ -11,11 +11,14 @@ from repro.core.calltree import run_tree_study
 from repro.core.related import compare_with_related_studies
 
 
-def test_related_studies_comparison(benchmark, show, bench_catalog):
+def test_related_studies_comparison(benchmark, show, record_stat,
+                                    bench_catalog):
     def compute():
         trees = run_tree_study(bench_catalog, n_trees=300,
                                rng=np.random.default_rng(24),
                                max_nodes=20_000)
+        record_stat(trees_generated=trees.n_trees,
+                    n_methods=trees.n_methods)
         return compare_with_related_studies(trees)
 
     result = benchmark.pedantic(compute, rounds=1, iterations=1)

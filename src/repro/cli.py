@@ -54,6 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--methods", type=int, default=1000)
     p.add_argument("--trees", type=int, default=300)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--max-nodes", type=int, default=20000,
+                   help="per-tree node budget")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; results are bit-identical "
+                        "for any value (see docs/PERFORMANCE.md)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always recompute, never read or write the cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="study result cache directory "
+                        "(default: .repro-cache)")
 
     p = sub.add_parser("service-study",
                        help="Figs. 14-15: the Table-1 services (DES)")
@@ -144,14 +154,22 @@ def _cmd_growth(args) -> int:
 
 
 def _cmd_trees(args) -> int:
-    from repro.core.calltree import run_tree_study
+    from repro.core.cache import DEFAULT_CACHE_DIR, StudyCache
+    from repro.core.parallel import run_tree_study_cached
     from repro.workloads.catalog import CatalogConfig, build_catalog
 
     catalog = build_catalog(CatalogConfig(n_methods=args.methods,
                                           seed=args.seed))
-    r = run_tree_study(catalog, n_trees=args.trees,
-                       rng=np.random.default_rng(args.seed))
+    cache = None
+    if not args.no_cache:
+        cache = StudyCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    r, hit = run_tree_study_cached(catalog, n_trees=args.trees,
+                                   seed=args.seed, jobs=args.jobs,
+                                   max_nodes=args.max_nodes, cache=cache)
     print(r.render())
+    if hit:
+        print("\n(cache hit — loaded, not recomputed; "
+              "pass --no-cache to force regeneration)")
     return 0
 
 

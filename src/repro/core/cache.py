@@ -1,0 +1,136 @@
+"""Content-addressed cache for study results.
+
+Re-running an identical study (same catalog config, same seed, same study
+parameters) is pure recomputation: every input is deterministic, so the
+output is too. This cache keys a study result by the sha256 digest of a
+canonical JSON encoding of *all* of those inputs — the same
+:func:`repro.obs.manifest.config_digest` used by run manifests — so a
+repeated CLI or bench invocation becomes a pickle load instead of minutes
+of tree generation.
+
+Keying and invalidation:
+
+- The key covers a schema version, the study name, the seed, the catalog
+  config (as a plain dict), and any study-specific parameters. Changing
+  *any* of them — even one calibration anchor — changes the digest, so
+  stale hits are impossible without deleting fields from the config.
+- Bumping :data:`CACHE_SCHEMA` invalidates everything at once; do this
+  whenever a result dataclass changes shape.
+- Corrupt or unreadable entries behave as misses (and are removed), so a
+  killed writer can never poison later runs; writes are atomic
+  (``os.replace`` of a same-directory temp file).
+
+The module deliberately uses no wall-clock time and no randomness: cache
+behaviour must be a pure function of the study inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.manifest import config_digest
+
+__all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "StudyCache", "study_key"]
+
+#: Bump to invalidate every existing entry (e.g. result dataclass changed).
+CACHE_SCHEMA = 1
+
+#: Conventional cache location for CLI runs (relative to the working dir).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce config values into the JSON-safe shape ``config_digest`` needs."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def study_key(study: str, seed: int, config: Any,
+              params: Optional[Dict[str, Any]] = None) -> str:
+    """Content-addressed key for one study invocation.
+
+    ``config`` may be a dataclass (e.g. ``CatalogConfig``) or a plain
+    mapping; ``params`` carries study-specific knobs such as ``n_trees``.
+    The readable ``study`` prefix keeps the cache directory greppable.
+    """
+    digest = config_digest({
+        "cache_schema": CACHE_SCHEMA,
+        "study": study,
+        "seed": int(seed),
+        "config": _jsonable(config),
+        "params": _jsonable(params or {}),
+    })
+    return f"{study}-{digest.split(':', 1)[1][:20]}"
+
+
+class StudyCache:
+    """Pickle store of study results under a root directory.
+
+    >>> import tempfile
+    >>> cache = StudyCache(tempfile.mkdtemp())
+    >>> key = study_key("demo", seed=1, config={"n": 2})
+    >>> cache.load(key) is None
+    True
+    >>> cache.store(key, {"answer": 42})
+    >>> cache.load(key)
+    {'answer': 42}
+    """
+
+    def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        """Entry path for ``key`` (exists only after :meth:`store`)."""
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` on miss / corrupt entry."""
+        path = self.path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # A truncated write or a stale class layout: treat as a miss
+            # and clear the entry so it cannot fail again.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def store(self, key: str, value: Any) -> Path:
+        """Atomically persist ``value`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def get_or_compute(self, key: str, compute) -> Tuple[Any, bool]:
+        """``(value, was_hit)`` — computing and storing on a miss."""
+        value = self.load(key)
+        if value is not None:
+            return value, True
+        value = compute()
+        self.store(key, value)
+        return value, False

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.report import format_table
 from repro.rpc.calltree import CallTreeGenerator, TreeShapeStats, collect_shape_samples
+from repro.sim.distributions import AliasSampler, Mixture
 from repro.workloads import calibration as cal
 from repro.workloads.catalog import Catalog, LAYER_LEAF
 
@@ -23,8 +24,73 @@ __all__ = ["TreeShapeResult", "build_generator", "analyze_tree_shape",
            "run_tree_study"]
 
 
+class _FanoutBatcher:
+    """Frontier-wide fanout sampling for catalogs of two-part mixtures.
+
+    The catalog gives every method a two-component fanout mixture whose
+    *components* repeat fleet-wide (all leaves share one replication
+    mode; all inner methods share one small mode and one partition mode)
+    while only the mixture *weight* varies per method. Sampling a
+    frontier therefore needs one uniform draw per node to pick the
+    component plus one bulk ``sample`` per **distinct component** — a
+    handful of numpy calls however many methods the frontier spans.
+
+    Methods whose fanout is not such a mixture fall back to one grouped
+    draw per distinct method, so arbitrary catalogs stay correct.
+    """
+
+    def __init__(self, catalog: Catalog):
+        n = len(catalog.methods)
+        self._p_second = np.zeros(n)             # weight of component 1
+        self._comp_key = np.full((n, 2), -1, dtype=np.int64)
+        self._components: list = []
+        self._mixable = np.zeros(n, dtype=bool)
+        self._fanout_of = {m.method_id: m.fanout for m in catalog.methods}
+        by_repr: Dict[str, int] = {}
+
+        def intern(dist) -> int:
+            """Component table index, deduplicated by parameter identity."""
+            key = repr(dist)
+            if key not in by_repr:
+                by_repr[key] = len(self._components)
+                self._components.append(dist)
+            return by_repr[key]
+
+        for m in catalog.methods:
+            f = m.fanout
+            if isinstance(f, Mixture) and len(f.components) == 2:
+                self._mixable[m.method_id] = True
+                self._p_second[m.method_id] = float(f.weights[1])
+                self._comp_key[m.method_id, 0] = intern(f.components[0])
+                self._comp_key[m.method_id, 1] = intern(f.components[1])
+
+    def __call__(self, methods: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(methods.size, dtype=np.int64)
+        mixable = self._mixable[methods]
+        if np.any(mixable):
+            mids = methods[mixable]
+            pick = (rng.random(mids.size) < self._p_second[mids]).astype(np.int64)
+            keys = self._comp_key[mids, pick]
+            draws = np.empty(mids.size)
+            for key in np.unique(keys):
+                mask = keys == key
+                draws[mask] = self._components[key].sample(rng, int(mask.sum()))
+            out[mixable] = draws.astype(np.int64)
+        if not np.all(mixable):
+            rest = methods[~mixable]
+            draws = np.empty(rest.size, dtype=np.int64)
+            for mid in np.unique(rest):
+                mask = rest == mid
+                k = self._fanout_of[int(mid)].sample(rng, int(mask.sum()))
+                draws[mask] = np.asarray(k).astype(np.int64)
+            out[~mixable] = draws
+        return out
+
+
 def build_generator(catalog: Catalog, max_nodes: int = 20000,
-                    max_depth: int = 14) -> CallTreeGenerator:
+                    max_depth: int = 14,
+                    vectorized: bool = True) -> CallTreeGenerator:
     """Wire a :class:`CallTreeGenerator` from catalog structure.
 
     Routing is layered: a method's children come predominantly from the
@@ -37,10 +103,18 @@ def build_generator(catalog: Catalog, max_nodes: int = 20000,
     themselves occasionally fan out within their layer (replication,
     re-lookups), which is what gives even "leaf" methods a descendant
     tail.
+
+    Within-layer selection uses one precomputed :class:`AliasSampler` per
+    layer, so each child draw is O(1) and an entire frontier's children
+    are drawn with a handful of bulk RNG calls. ``vectorized=False``
+    drops the batch router and keeps the scalar one-``rng.choice``-per-
+    child reference path; both follow identical distributions (the alias
+    table is exact), which the equivalence tests assert.
     """
     specs = catalog.methods
     by_layer: Dict[int, np.ndarray] = {}
     weights: Dict[int, np.ndarray] = {}
+    samplers: Dict[int, AliasSampler] = {}
     max_layer = max(m.layer for m in specs)
     for layer in range(max_layer + 1):
         ids = np.array([m.method_id for m in specs if m.layer == layer])
@@ -49,15 +123,28 @@ def build_generator(catalog: Catalog, max_nodes: int = 20000,
         w = np.array([specs[i].popularity for i in ids]) ** 0.35
         by_layer[layer] = ids
         weights[layer] = w / w.sum()
+        samplers[layer] = AliasSampler(w)
 
     available = sorted(by_layer)
+    layer_of = np.array([m.layer for m in specs], dtype=np.int64)
+    # Per-layer routing tables: the first and second strictly deeper
+    # populated layers (falling back to the layer itself), used by both
+    # the scalar and the vectorized router.
+    first_deeper = np.empty(max_layer + 1, dtype=np.int64)
+    second_deeper = np.empty(max_layer + 1, dtype=np.int64)
+    n_deeper = np.zeros(max_layer + 1, dtype=np.int64)
+    for layer in range(max_layer + 1):
+        deeper = [l for l in available if l > layer]
+        n_deeper[layer] = len(deeper)
+        first_deeper[layer] = deeper[0] if deeper else layer
+        second_deeper[layer] = deeper[min(1, len(deeper) - 1)] if deeper else layer
 
     def fanout_for(method_id: int):
         """Fanout distribution of one method (generator callback)."""
         return specs[method_id].fanout
 
     def children_of(method_id: int, rng: np.random.Generator, k: int):
-        """Child method ids for one invocation (generator callback)."""
+        """Child method ids for one invocation (scalar reference path)."""
         layer = specs[method_id].layer
         deeper = [l for l in available if l > layer]
         out = np.empty(k, dtype=int)
@@ -75,8 +162,33 @@ def build_generator(catalog: Catalog, max_nodes: int = 20000,
             out[i] = ids[rng.choice(len(ids), p=weights[target])]
         return out
 
-    return CallTreeGenerator(fanout_for, children_of,
-                             max_nodes=max_nodes, max_depth=max_depth)
+    def children_batch(parent_methods: np.ndarray,
+                       rng: np.random.Generator) -> np.ndarray:
+        """All child method ids for a frontier in bulk (generator callback)."""
+        k = parent_methods.size
+        pl = layer_of[parent_methods]
+        u = rng.random(k)
+        # Same routing split as the scalar path: mostly the adjacent
+        # deeper layer, a minority skipping one layer, a sliver in-layer.
+        target = np.where(u < 0.72, first_deeper[pl],
+                          np.where(u < 0.92, second_deeper[pl], pl))
+        # One deeper layer: every edge goes there (the scalar `or` branch).
+        target = np.where(n_deeper[pl] == 1, first_deeper[pl], target)
+        target = np.where((n_deeper[pl] == 0) | (pl == max_layer), pl, target)
+        out = np.empty(k, dtype=np.int64)
+        for layer in available:
+            mask = target == layer
+            cnt = int(mask.sum())
+            if cnt:
+                out[mask] = by_layer[layer][samplers[layer].sample(rng, cnt)]
+        return out
+
+    return CallTreeGenerator(
+        fanout_for, children_of,
+        max_nodes=max_nodes, max_depth=max_depth,
+        children_batch=children_batch if vectorized else None,
+        fanout_batch=_FanoutBatcher(catalog) if vectorized else None,
+    )
 
 
 @dataclass
@@ -126,9 +238,10 @@ def analyze_tree_shape(stats: TreeShapeStats, min_samples: int = 5,
     max_depth = 0
     for mid, vals in filtered.descendants.items():
         arr = np.asarray(vals)
-        med_desc.append(np.median(arr))
-        p90_desc.append(np.percentile(arr, 90))
-        p99_desc.append(np.percentile(arr, 99))
+        p50, p90, p99 = np.percentile(arr, (50, 90, 99))
+        med_desc.append(p50)
+        p90_desc.append(p90)
+        p99_desc.append(p99)
         anc = np.asarray(filtered.ancestors[mid])
         p99_anc.append(np.percentile(anc, 99))
         max_depth = max(max_depth, int(anc.max()))

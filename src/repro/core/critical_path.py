@@ -21,18 +21,19 @@ specs), then:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.calltree import build_generator
 from repro.core.report import fmt_seconds, format_table
-from repro.rpc.calltree import CallNode, CallTree
+from repro.rpc.calltree import CallNode, CallTree, FlatTree
 from repro.rpc.stack import APP_COMPONENT, COMPONENTS
 from repro.workloads.catalog import Catalog, LAYER_LEAF, sample_method_calls
 
 __all__ = ["TraceSpan", "CriticalPath", "CriticalPathResult",
-           "synthesize_trace", "critical_path", "run_critical_path_study"]
+           "synthesize_trace", "critical_path", "critical_path_flat",
+           "run_critical_path_study"]
 
 
 @dataclass
@@ -180,6 +181,60 @@ class CriticalPathResult:
         return float(np.median(deep)) > float(np.median(shallow))
 
 
+def critical_path_flat(tree: FlatTree, app_s: np.ndarray,
+                       tax_s: np.ndarray) -> Tuple[int, float, float]:
+    """``(depth, app_s, tax_s)`` of a flat tree's critical path.
+
+    Completion times compose bottom-up one BFS level at a time (a parent
+    waits for its slowest child), then the path walks down from the root
+    through each slowest child — O(levels) bulk operations plus an
+    O(path-depth) descent, no per-node Python objects.
+    """
+    n = tree.size
+    total = np.zeros(n)
+    child_wait = np.zeros(n)
+    levels = tree.level_slices()
+    for sl in reversed(levels):
+        total[sl] = tax_s[sl] + app_s[sl] + child_wait[sl]
+        if sl.start > 0:  # the root has no parent to notify
+            np.maximum.at(child_wait, tree.parents[sl], total[sl])
+
+    idx = 0
+    depth = 1
+    path_app = float(app_s[0])
+    path_tax = float(tax_s[0])
+    while True:
+        children = tree.children_slice(idx)
+        if children.start >= children.stop:
+            break
+        idx = children.start + int(np.argmax(total[children]))
+        path_app += float(app_s[idx])
+        path_tax += float(tax_s[idx])
+        depth += 1
+    return depth, path_app, path_tax
+
+
+def _sample_components(catalog: Catalog, method_ids: np.ndarray,
+                       rng: np.random.Generator
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-node ``(app_s, tax_s)`` drawn in one batch per distinct method.
+
+    The scalar path sampled every node with ``n=1`` — thirty-odd numpy
+    dispatches per node. Grouping the pooled nodes of *all* traces by
+    method turns that into one vectorized draw per method actually
+    present.
+    """
+    app_s = np.empty(method_ids.size)
+    tax_s = np.empty(method_ids.size)
+    for mid in np.unique(method_ids):
+        mask = method_ids == mid
+        sample = sample_method_calls(catalog.methods[int(mid)], rng,
+                                     int(mask.sum()), config=catalog.config)
+        app_s[mask] = sample.matrix.application()
+        tax_s[mask] = sample.matrix.tax()
+    return app_s, tax_s
+
+
 def run_critical_path_study(catalog: Catalog, n_traces: int = 120,
                             rng: Optional[np.random.Generator] = None,
                             max_nodes: int = 2000) -> CriticalPathResult:
@@ -193,23 +248,35 @@ def run_critical_path_study(catalog: Catalog, n_traces: int = 120,
     weights = weights / weights.sum()
     ids = np.array([m.method_id for m in roots])
 
-    paths: List[CriticalPath] = []
-    for root_id in rng.choice(ids, size=n_traces, replace=True, p=weights):
-        tree = generator.generate(int(root_id), rng)
-        trace = synthesize_trace(catalog, tree, rng)
-        paths.append(critical_path(trace))
+    trees = [generator.generate_flat(int(root_id), rng)
+             for root_id in rng.choice(ids, size=n_traces, replace=True,
+                                       p=weights)]
+    pooled = np.concatenate([t.method_ids for t in trees])
+    app_all, tax_all = _sample_components(catalog, pooled, rng)
 
+    depths = np.empty(n_traces, dtype=np.int64)
+    apps = np.empty(n_traces)
+    taxes = np.empty(n_traces)
+    offset = 0
+    for i, tree in enumerate(trees):
+        sl = slice(offset, offset + tree.size)
+        depths[i], apps[i], taxes[i] = critical_path_flat(
+            tree, app_all[sl], tax_all[sl])
+        offset += tree.size
+
+    totals = apps + taxes
+    fractions = np.where(totals > 0, taxes / np.maximum(totals, 1e-300), 0.0)
     frac_by_depth: Dict[int, List[float]] = {}
     tax_by_depth: Dict[int, List[float]] = {}
-    for p in paths:
-        frac_by_depth.setdefault(p.depth, []).append(p.tax_fraction)
-        tax_by_depth.setdefault(p.depth, []).append(p.tax_s)
+    for d, f, t in zip(depths, fractions, taxes):
+        frac_by_depth.setdefault(int(d), []).append(float(f))
+        tax_by_depth.setdefault(int(d), []).append(float(t))
     return CriticalPathResult(
-        n_traces=len(paths),
-        mean_depth=float(np.mean([p.depth for p in paths])),
-        mean_tax_fraction=float(np.mean([p.tax_fraction for p in paths])),
-        path_depths=np.array([p.depth for p in paths]),
-        path_tax_s=np.array([p.tax_s for p in paths]),
+        n_traces=n_traces,
+        mean_depth=float(depths.mean()),
+        mean_tax_fraction=float(fractions.mean()),
+        path_depths=depths,
+        path_tax_s=taxes,
         tax_fraction_by_depth={
             d: float(np.mean(v)) for d, v in sorted(frac_by_depth.items())
             if len(v) >= 3
@@ -218,5 +285,5 @@ def run_critical_path_study(catalog: Catalog, n_traces: int = 120,
             d: float(np.mean(v)) for d, v in sorted(tax_by_depth.items())
             if len(v) >= 3
         },
-        mean_total_s=float(np.mean([p.total_s for p in paths])),
+        mean_total_s=float(totals.mean()),
     )

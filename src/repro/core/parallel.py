@@ -1,0 +1,159 @@
+"""Deterministic process-parallel study runner.
+
+The tree-shape studies are embarrassingly parallel — every tree is an
+independent draw — but naive parallelism breaks reproducibility: handing
+one shared RNG to N workers makes the result depend on scheduling. This
+runner instead fixes the *sharding* ahead of time:
+
+- the forest is split into fixed-size shards (independent of ``jobs``),
+- shard *i* gets its own RNG seeded by ``derive_seed(seed, "tree-shard",
+  i)`` and draws its own roots, trees, and shape samples,
+- shard outputs are concatenated **in shard order** before analysis.
+
+Because the per-shard work and the merge order are both functions of
+``(seed, n_trees, shard_size)`` alone, ``--jobs 8`` is bit-identical to
+``--jobs 1`` — the only thing parallelism changes is which worker happens
+to execute a shard. ``jobs=1`` short-circuits the pool entirely and runs
+shards in-process.
+
+Workers rebuild the catalog and generator once (pool initializer) from the
+picklable :class:`~repro.workloads.catalog.CatalogConfig`, so only small
+``(shard_index, n_trees, seed)`` tuples and compact result arrays cross
+process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cache import StudyCache, study_key
+from repro.core.calltree import (TreeShapeResult, analyze_tree_shape,
+                                 build_generator)
+from repro.rpc.calltree import (CallTreeGenerator, TreeShapeStats,
+                                collect_flat_samples)
+from repro.sim.random import derive_seed
+from repro.workloads.catalog import Catalog, LAYER_LEAF, build_catalog
+
+__all__ = ["DEFAULT_SHARD_SIZE", "shard_layout", "run_tree_study_parallel",
+           "run_tree_study_cached"]
+
+#: Trees per shard. Small enough to load-balance across workers, large
+#: enough that batched generation stays efficient. Part of the result's
+#: identity: changing it changes the RNG stream layout.
+DEFAULT_SHARD_SIZE = 64
+
+_ShardArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+# Per-worker state, built once by the pool initializer.
+_worker_generator: Optional[CallTreeGenerator] = None
+_worker_roots: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+
+def shard_layout(n_trees: int, shard_size: int = DEFAULT_SHARD_SIZE
+                 ) -> List[Tuple[int, int]]:
+    """``(shard_index, n_trees_in_shard)`` pairs covering the forest."""
+    if n_trees <= 0:
+        raise ValueError(f"n_trees must be positive, got {n_trees}")
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    return [(i, min(shard_size, n_trees - start))
+            for i, start in enumerate(range(0, n_trees, shard_size))]
+
+
+def _root_table(catalog: Catalog) -> Tuple[np.ndarray, np.ndarray]:
+    """Non-leaf root ids and their normalized popularity weights."""
+    roots = [m for m in catalog.methods if m.layer < LAYER_LEAF]
+    if not roots:
+        raise ValueError("catalog has no non-leaf methods to use as roots")
+    w = np.array([m.popularity for m in roots])
+    return np.array([m.method_id for m in roots]), w / w.sum()
+
+
+def _run_shard(generator: CallTreeGenerator, ids: np.ndarray, w: np.ndarray,
+               shard_index: int, n_trees: int, seed: int) -> _ShardArrays:
+    """Generate one shard's forest with its own derived RNG stream."""
+    rng = np.random.default_rng(derive_seed(seed, "tree-shard", shard_index))
+    chosen = rng.choice(ids, size=n_trees, replace=True, p=w)
+    return collect_flat_samples(generator, chosen, rng)
+
+
+def _init_worker(config, max_nodes: int) -> None:
+    """Pool initializer: build catalog + generator once per worker."""
+    global _worker_generator, _worker_roots
+    catalog = build_catalog(config)
+    _worker_generator = build_generator(catalog, max_nodes=max_nodes)
+    _worker_roots = _root_table(catalog)
+
+
+def _worker_shard(task: Tuple[int, int, int]) -> _ShardArrays:
+    """Run one shard inside a pool worker."""
+    assert _worker_generator is not None and _worker_roots is not None
+    shard_index, n_trees, seed = task
+    ids, w = _worker_roots
+    return _run_shard(_worker_generator, ids, w, shard_index, n_trees, seed)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap start), spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_tree_study_parallel(catalog: Catalog, n_trees: int = 400,
+                            seed: int = 0, jobs: int = 1,
+                            max_nodes: int = 20000,
+                            shard_size: int = DEFAULT_SHARD_SIZE
+                            ) -> TreeShapeResult:
+    """Sharded tree-shape study; bit-identical for any ``jobs`` value.
+
+    Unlike :func:`repro.core.calltree.run_tree_study` (one RNG threaded
+    through the whole forest), the RNG layout here is per-shard, so the
+    result depends on ``(seed, n_trees, shard_size)`` but never on
+    ``jobs`` or scheduling.
+    """
+    shards = shard_layout(n_trees, shard_size)
+    if jobs <= 1 or len(shards) == 1:
+        generator = build_generator(catalog, max_nodes=max_nodes)
+        ids, w = _root_table(catalog)
+        parts = [_run_shard(generator, ids, w, i, n, seed)
+                 for i, n in shards]
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(shards)),
+                      initializer=_init_worker,
+                      initargs=(catalog.config, max_nodes)) as pool:
+            parts = pool.map(_worker_shard, [(i, n, seed) for i, n in shards])
+    method_ids = np.concatenate([p[0] for p in parts])
+    descendants = np.concatenate([p[1] for p in parts])
+    ancestors = np.concatenate([p[2] for p in parts])
+    stats = TreeShapeStats.from_arrays(method_ids, descendants, ancestors)
+    return analyze_tree_shape(stats, n_trees=n_trees)
+
+
+def run_tree_study_cached(catalog: Catalog, n_trees: int = 400,
+                          seed: int = 0, jobs: int = 1,
+                          max_nodes: int = 20000,
+                          cache: Optional[StudyCache] = None
+                          ) -> Tuple[TreeShapeResult, bool]:
+    """``(result, was_cache_hit)`` for the sharded tree study.
+
+    The key covers everything the result depends on — catalog config,
+    seed, forest size, node budget, shard size — and deliberately *not*
+    ``jobs``, which by construction cannot change the output.
+    """
+    if cache is None:
+        return run_tree_study_parallel(
+            catalog, n_trees=n_trees, seed=seed, jobs=jobs,
+            max_nodes=max_nodes), False
+    key = study_key("tree-shape", seed, catalog.config, params={
+        "n_trees": n_trees,
+        "max_nodes": max_nodes,
+        "shard_size": DEFAULT_SHARD_SIZE,
+    })
+    return cache.get_or_compute(key, lambda: run_tree_study_parallel(
+        catalog, n_trees=n_trees, seed=seed, jobs=jobs, max_nodes=max_nodes))

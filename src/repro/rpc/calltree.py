@@ -15,16 +15,15 @@ partition/aggregate fanout rather than by construction.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.sim.distributions import Distribution
 
-__all__ = ["CallNode", "CallTree", "CallTreeGenerator", "TreeShapeStats",
-           "collect_shape_samples"]
+__all__ = ["CallNode", "CallTree", "FlatTree", "CallTreeGenerator",
+           "TreeShapeStats", "collect_flat_samples", "collect_shape_samples"]
 
 
 @dataclass
@@ -83,6 +82,65 @@ class CallTree:
         return list(self.root.walk())
 
 
+@dataclass
+class FlatTree:
+    """A call tree as parallel arrays (one entry per node, BFS order).
+
+    The array form is what the vectorized generator emits: no per-node
+    Python objects, and every derived statistic (subtree sizes, depths)
+    computes with bulk numpy operations. Index 0 is the root; levels are
+    contiguous, so ``depths`` is non-decreasing and ``parents`` is sorted
+    (children of lower-index parents are emitted first), which lets
+    children of node ``i`` be found with one ``searchsorted``.
+    """
+
+    method_ids: np.ndarray   # int64 method id per node
+    parents: np.ndarray      # int64 parent node index; -1 for the root
+    depths: np.ndarray       # int64 ancestors count per node
+    truncated: bool = False  # hit the node budget while generating
+
+    @property
+    def size(self) -> int:
+        """Total node count."""
+        return int(self.method_ids.size)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest node depth in the tree."""
+        return int(self.depths[-1]) if self.depths.size else 0
+
+    def level_slices(self) -> List[slice]:
+        """One slice per BFS level (depths are sorted by construction)."""
+        bounds = np.searchsorted(self.depths,
+                                 np.arange(self.max_depth + 2))
+        return [slice(int(bounds[d]), int(bounds[d + 1]))
+                for d in range(self.max_depth + 1)]
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Node count of each node's subtree, computed level by level."""
+        sizes = np.ones(self.size, dtype=np.int64)
+        for sl in reversed(self.level_slices()[1:]):
+            np.add.at(sizes, self.parents[sl], sizes[sl])
+        return sizes
+
+    def descendants(self) -> np.ndarray:
+        """Per-node transitive child counts (``subtree_sizes() - 1``)."""
+        return self.subtree_sizes() - 1
+
+    def children_slice(self, index: int) -> slice:
+        """The contiguous block of node ``index``'s direct children."""
+        lo, hi = np.searchsorted(self.parents, [index, index + 1])
+        return slice(int(lo), int(hi))
+
+    def to_call_tree(self) -> CallTree:
+        """Materialize the linked :class:`CallNode` representation."""
+        nodes = [CallNode(method_id=int(m), depth=int(d))
+                 for m, d in zip(self.method_ids, self.depths)]
+        for i in range(1, self.size):
+            nodes[self.parents[i]].children.append(nodes[i])
+        return CallTree(root=nodes[0], truncated=self.truncated)
+
+
 class CallTreeGenerator:
     """Generates call trees from per-method fanout and routing callbacks.
 
@@ -100,6 +158,22 @@ class CallTreeGenerator:
         reachable while bounding memory.
     max_depth:
         Nodes at this depth get no children (deadline/stack-depth limits).
+    children_batch:
+        Optional vectorized router: ``(parent_method_per_slot, rng) ->
+        child method ids``, one entry per child slot. Without it the
+        scalar ``children_of`` is called once per parent, which keeps any
+        existing callback pair working but forgoes most of the speedup.
+    fanout_batch:
+        Optional vectorized fanout sampler: ``(method_per_node, rng) ->
+        child counts``. Without it, fanouts are drawn with one
+        ``Distribution.sample`` per *distinct* method in the frontier.
+
+    Generation is breadth-first and batched: each level draws all its
+    fanouts grouped by method (one vectorized ``Distribution.sample`` per
+    distinct method) and all its children in one ``children_batch`` call,
+    so the per-node Python cost is O(1) amortized instead of one numpy
+    dispatch per child. Draw *order* therefore differs from the historic
+    node-at-a-time loop; draw *distributions* do not.
     """
 
     def __init__(
@@ -108,6 +182,10 @@ class CallTreeGenerator:
         children_of: Callable[[int, np.random.Generator, int], Sequence[int]],
         max_nodes: int = 20000,
         max_depth: int = 24,
+        children_batch: Optional[
+            Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+        fanout_batch: Optional[
+            Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
     ):
         if max_nodes < 1:
             raise ValueError(f"max_nodes must be >= 1, got {max_nodes!r}")
@@ -115,37 +193,102 @@ class CallTreeGenerator:
             raise ValueError(f"max_depth must be >= 0, got {max_depth!r}")
         self.fanout_for = fanout_for
         self.children_of = children_of
+        self.children_batch = children_batch
+        self.fanout_batch = fanout_batch
         self.max_nodes = max_nodes
         self.max_depth = max_depth
+        self.trees_generated = 0
 
-    def generate(self, root_method: int, rng: np.random.Generator) -> CallTree:
-        """Generate one call tree from a root method."""
-        root = CallNode(method_id=root_method, depth=0)
-        budget = self.max_nodes - 1
+    # ------------------------------------------------------------------
+    def _fanouts(self, methods: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        """Fanout draws for one frontier, grouped by distinct method."""
+        if self.fanout_batch is not None:
+            draws = np.asarray(self.fanout_batch(methods, rng)).astype(np.int64)
+        else:
+            uniq, inverse = np.unique(methods, return_inverse=True)
+            draws = np.empty(methods.size, dtype=np.int64)
+            for u, mid in enumerate(uniq):
+                mask = inverse == u
+                k = self.fanout_for(int(mid)).sample(rng, int(mask.sum()))
+                draws[mask] = np.asarray(k).astype(np.int64)
+        return np.maximum(draws, 0)
+
+    def _children(self, parent_methods: np.ndarray,
+                  rng: np.random.Generator) -> np.ndarray:
+        """Child method ids per slot, vectorized when a batch router exists."""
+        if self.children_batch is not None:
+            out = np.asarray(self.children_batch(parent_methods, rng),
+                             dtype=np.int64)
+            if out.shape != parent_methods.shape:
+                raise ValueError(
+                    f"children_batch returned {out.shape}, "
+                    f"expected {parent_methods.shape}"
+                )
+            return out
+        out = np.empty(parent_methods.size, dtype=np.int64)
+        i = 0
+        while i < parent_methods.size:
+            j = i
+            mid = parent_methods[i]
+            while j < parent_methods.size and parent_methods[j] == mid:
+                j += 1
+            out[i:j] = np.asarray(
+                self.children_of(int(mid), rng, j - i), dtype=np.int64
+            )
+            i = j
+        return out
+
+    def generate_flat(self, root_method: int,
+                      rng: np.random.Generator) -> FlatTree:
+        """Generate one call tree as a :class:`FlatTree` (the fast path)."""
+        cap = self.max_nodes
+        method_ids = np.empty(cap, dtype=np.int64)
+        parents = np.empty(cap, dtype=np.int64)
+        depths = np.empty(cap, dtype=np.int64)
+        method_ids[0] = int(root_method)
+        parents[0] = -1
+        depths[0] = 0
+        n = 1
         truncated = False
+        level = slice(0, 1)
+        depth = 0
         # Breadth-first expansion keeps trees wide under a node budget, the
         # same bias real partition/aggregate fanout exhibits.
-        frontier = deque([root])
-        while frontier and budget > 0:
-            node = frontier.popleft()
-            if node.depth >= self.max_depth:
-                continue
-            k = int(self.fanout_for(node.method_id).sample_one(rng))
-            if k <= 0:
-                continue
-            if k > budget:
-                k = budget
+        while level.start < level.stop and n < cap and depth < self.max_depth:
+            ks = self._fanouts(method_ids[level], rng)
+            total = int(ks.sum())
+            if total == 0:
+                break
+            budget = cap - n
+            if total > budget:
+                # FIFO budget semantics: earlier frontier nodes keep their
+                # fanout, the node that crosses the budget is clipped, and
+                # later nodes get nothing — same as the node-at-a-time loop.
                 truncated = True
-            child_methods = self.children_of(node.method_id, rng, k)
-            for m in child_methods:
-                child = CallNode(method_id=int(m), depth=node.depth + 1)
-                node.children.append(child)
-                frontier.append(child)
-            budget -= len(node.children)
-        if frontier and any(n.depth < self.max_depth for n in frontier):
-            # Budget exhausted with expandable nodes left.
-            truncated = truncated or budget <= 0
-        return CallTree(root=root, truncated=truncated)
+                started = np.concatenate(([0], np.cumsum(ks)[:-1]))
+                ks = np.clip(budget - started, 0, ks)
+                total = budget
+            parent_per_slot = np.repeat(
+                np.arange(level.start, level.stop), ks)
+            method_ids[n:n + total] = self._children(
+                method_ids[parent_per_slot], rng)
+            parents[n:n + total] = parent_per_slot
+            depths[n:n + total] = depth + 1
+            level = slice(n, n + total)
+            n += total
+            depth += 1
+        if n >= cap and level.start < level.stop and depth < self.max_depth:
+            truncated = True  # budget exhausted with expandable nodes left
+        self.trees_generated += 1
+        return FlatTree(method_ids=method_ids[:n].copy(),
+                        parents=parents[:n].copy(),
+                        depths=depths[:n].copy(),
+                        truncated=truncated)
+
+    def generate(self, root_method: int, rng: np.random.Generator) -> CallTree:
+        """Generate one call tree as linked :class:`CallNode` objects."""
+        return self.generate_flat(root_method, rng).to_call_tree()
 
 
 @dataclass
@@ -160,6 +303,32 @@ class TreeShapeStats:
         for node in tree.root.walk():
             self.descendants.setdefault(node.method_id, []).append(node.descendants)
             self.ancestors.setdefault(node.method_id, []).append(node.ancestors)
+
+    @classmethod
+    def from_arrays(cls, method_ids: np.ndarray, descendants: np.ndarray,
+                    ancestors: np.ndarray) -> "TreeShapeStats":
+        """Group pooled per-node samples by method in bulk.
+
+        This is the vectorized complement of :meth:`add_tree`: a stable
+        argsort on the method column replaces millions of dict/append
+        operations, and the per-method values come out as contiguous
+        arrays in the original sample order.
+        """
+        method_ids = np.asarray(method_ids, dtype=np.int64)
+        if method_ids.size == 0:
+            return cls()
+        order = np.argsort(method_ids, kind="stable")
+        sorted_mids = method_ids[order]
+        uniq, starts = np.unique(sorted_mids, return_index=True)
+        desc_sorted = np.asarray(descendants)[order]
+        anc_sorted = np.asarray(ancestors)[order]
+        out = cls()
+        bounds = np.append(starts, sorted_mids.size)
+        for i, mid in enumerate(uniq):
+            sl = slice(int(bounds[i]), int(bounds[i + 1]))
+            out.descendants[int(mid)] = desc_sorted[sl]
+            out.ancestors[int(mid)] = anc_sorted[sl]
+        return out
 
     def methods(self) -> List[int]:
         """Method ids with at least one observed invocation."""
@@ -177,13 +346,37 @@ class TreeShapeStats:
         return out
 
 
+def collect_flat_samples(
+    generator: CallTreeGenerator,
+    root_methods: Sequence[int],
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate one flat tree per root; return pooled per-node samples.
+
+    Returns ``(method_ids, descendants, ancestors)`` arrays concatenated
+    across all trees — the raw material for
+    :meth:`TreeShapeStats.from_arrays`, and the mergeable unit the
+    parallel study runner ships between processes.
+    """
+    mids: List[np.ndarray] = []
+    descs: List[np.ndarray] = []
+    ancs: List[np.ndarray] = []
+    for root in root_methods:
+        tree = generator.generate_flat(int(root), rng)
+        mids.append(tree.method_ids)
+        descs.append(tree.descendants())
+        ancs.append(tree.depths)
+    if not mids:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return np.concatenate(mids), np.concatenate(descs), np.concatenate(ancs)
+
+
 def collect_shape_samples(
     generator: CallTreeGenerator,
     root_methods: Sequence[int],
     rng: np.random.Generator,
 ) -> TreeShapeStats:
     """Generate one tree per entry of ``root_methods`` and pool the shapes."""
-    stats = TreeShapeStats()
-    for root in root_methods:
-        stats.add_tree(generator.generate(int(root), rng))
-    return stats
+    return TreeShapeStats.from_arrays(
+        *collect_flat_samples(generator, root_methods, rng))

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 __all__ = [
+    "AliasSampler",
     "Distribution",
     "Constant",
     "Uniform",
@@ -431,6 +432,67 @@ class Empirical(Distribution):
 
     def __repr__(self) -> str:
         return f"Empirical(n={self.values.size})"
+
+
+class AliasSampler:
+    """O(1) categorical sampling via Walker/Vose alias tables.
+
+    ``rng.choice(n, p=weights)`` pays an O(n) cumulative-sum walk *per
+    call*; the call-tree generator makes one such draw per child, which
+    made it the analysis pipeline's bottleneck. An alias table spends
+    O(n) once at construction and then answers every draw with one
+    uniform integer, one uniform float, and one comparison — and the
+    draws vectorize: ``sample(rng, k)`` costs two bulk RNG calls
+    regardless of the table size.
+
+    The table is exact (up to float rounding in the normalization), so
+    draws follow the given weights identically to ``rng.choice(p=...)``
+    in distribution; only the stream of RNG values consumed differs.
+    """
+
+    __slots__ = ("n", "prob", "alias", "weights")
+
+    def __init__(self, weights: Sequence[float]):
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError("weights must be a non-empty 1-d sequence")
+        if np.any(w < 0) or not np.all(np.isfinite(w)) or w.sum() <= 0:
+            raise ValueError(
+                f"weights must be finite, non-negative, and sum > 0, got {weights!r}"
+            )
+        self.n = int(w.size)
+        self.weights = w / w.sum()
+
+        scaled = self.weights * self.n
+        prob = np.ones(self.n)
+        alias = np.arange(self.n, dtype=np.int64)
+        # Vose's stable construction: pair one under-full column with one
+        # over-full column until both stacks drain.
+        small = [i for i in range(self.n) if scaled[i] < 1.0]
+        large = [i for i in range(self.n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] -= 1.0 - scaled[s]
+            (large if scaled[l] >= 1.0 else small).append(l)
+        # Residual columns (float rounding) keep probability one.
+        self.prob = prob
+        self.alias = alias
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` category indices (vectorized, O(1) per draw)."""
+        idx = rng.integers(0, self.n, size=n)
+        keep = rng.random(n) < self.prob[idx]
+        return np.where(keep, idx, self.alias[idx])
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """One scalar category index."""
+        return int(self.sample(rng, 1)[0])
+
+    def __repr__(self) -> str:
+        return f"AliasSampler(n={self.n})"
 
 
 def zipf_weights(n: int, s: float = 1.0) -> np.ndarray:

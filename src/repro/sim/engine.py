@@ -33,21 +33,28 @@ class Event:
     Instances are returned by :meth:`Simulator.at` / :meth:`Simulator.after`
     and can be cancelled before they fire. A cancelled event stays in the
     heap but is skipped by the main loop; this makes cancellation O(1).
+    The owning simulator counts dead entries so ``pending_events`` stays
+    O(1) and the heap can be compacted when mostly dead.
     """
 
-    __slots__ = ("time", "callback", "cancelled", "fired")
+    __slots__ = ("time", "callback", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable[[], None]):
+    def __init__(self, time: float, callback: Callable[[], None],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> bool:
         """Cancel the event. Returns True if it had not yet fired."""
         if self.fired:
             return False
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
         return True
 
     @property
@@ -99,6 +106,7 @@ class Simulator:
         self._seq = itertools.count()
         self._events_fired = 0
         self._events_cancelled = 0
+        self._dead = 0  # cancelled entries still sitting in the heap
         self._max_heap_size = 0
         # None (the common case) skips all instrumentation: hot paths
         # guard each hook behind a single pointer test. NullProbe is
@@ -119,7 +127,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f}, clock is already at t={self.now:.6f}"
             )
-        event = Event(time, callback)
+        event = Event(time, callback, self)
         # The heap holds (time, seq, event) tuples: tuple comparison is
         # ~3x faster than a dataclass __lt__, and seq breaks ties FIFO.
         heapq.heappush(self._heap, (time, next(self._seq), event))
@@ -170,6 +178,42 @@ class Simulator:
         return task
 
     # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    #: Below this size, compaction costs more than the dead entries do.
+    _COMPACT_MIN_HEAP = 64
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts a mostly-dead heap.
+
+        Hedging and deadline-cancellation studies cancel most of what
+        they schedule, so without compaction the heap grows with dead
+        entries and every pop wades through them. Compacting when more
+        than half the heap is dead keeps the amortized cost O(1) per
+        cancellation while preserving pop order (live entries keep their
+        ``(time, seq)`` keys).
+        """
+        self._dead += 1
+        if (self._dead * 2 > len(self._heap)
+                and len(self._heap) >= self._COMPACT_MIN_HEAP):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify."""
+        probe = self.probe
+        live = []
+        for entry in self._heap:
+            if entry[2].cancelled:
+                self._events_cancelled += 1
+                if probe is not None:
+                    probe.event_cancelled(entry[0])
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._heap = live
+        self._dead = 0
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -178,6 +222,7 @@ class Simulator:
         while self._heap:
             time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._dead -= 1
                 self._events_cancelled += 1
                 if probe is not None:
                     probe.event_cancelled(time)
@@ -211,6 +256,7 @@ class Simulator:
             head_time, _seq, head_event = self._heap[0]
             if head_event.cancelled:
                 heapq.heappop(self._heap)
+                self._dead -= 1
                 self._events_cancelled += 1
                 if self.probe is not None:
                     self.probe.event_cancelled(head_time)
@@ -224,8 +270,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """The number of not-yet-cancelled events still scheduled."""
-        return sum(1 for _t, _s, e in self._heap if not e.cancelled)
+        """The number of not-yet-cancelled events still scheduled (O(1))."""
+        return len(self._heap) - self._dead
 
     @property
     def events_fired(self) -> int:

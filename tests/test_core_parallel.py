@@ -1,0 +1,169 @@
+"""Tests for the vectorized generator, parallel runner, and study cache.
+
+Covers the PR's reproducibility contracts: vectorized and scalar tree
+generation agree on shape-statistic *distributions*; `--jobs N` is
+bit-identical to `--jobs 1`; and a warm cache hit performs no tree
+generation at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import StudyCache, study_key
+from repro.core.calltree import build_generator, run_tree_study
+from repro.core.parallel import (DEFAULT_SHARD_SIZE, run_tree_study_cached,
+                                 run_tree_study_parallel, shard_layout)
+from repro.rpc.calltree import CallTreeGenerator, collect_shape_samples
+from repro.workloads.catalog import LAYER_LEAF
+
+
+def _results_identical(a, b) -> bool:
+    """Bitwise equality of two TreeShapeResults (per-method arrays too)."""
+    if set(a.per_method_descendants) != set(b.per_method_descendants):
+        return False
+    for mid in a.per_method_descendants:
+        if not np.array_equal(a.per_method_descendants[mid],
+                              b.per_method_descendants[mid]):
+            return False
+        if not np.array_equal(a.per_method_ancestors[mid],
+                              b.per_method_ancestors[mid]):
+            return False
+    return (a.descendants_median_q50 == b.descendants_median_q50
+            and a.descendants_p90_q10 == b.descendants_p90_q10
+            and a.descendants_p99_q10 == b.descendants_p99_q10
+            and a.ancestors_p99_q50 == b.ancestors_p99_q50
+            and a.max_depth_seen == b.max_depth_seen)
+
+
+class TestVectorizedEquivalence:
+    def _forest_stats(self, small_catalog, vectorized: bool):
+        gen = build_generator(small_catalog, max_nodes=2000,
+                              vectorized=vectorized)
+        rng = np.random.default_rng(99)
+        roots = [m.method_id for m in small_catalog.methods
+                 if m.layer < LAYER_LEAF]
+        chosen = np.asarray(roots * 4)
+        stats = collect_shape_samples(gen, chosen, rng)
+        desc = np.concatenate([np.asarray(v)
+                               for v in stats.descendants.values()])
+        anc = np.concatenate([np.asarray(v) for v in stats.ancestors.values()])
+        return desc, anc
+
+    def test_same_shape_distributions(self, small_catalog):
+        """Vectorized and scalar paths draw from identical distributions.
+
+        The RNG streams differ (batched vs per-node draws), so we compare
+        distributions, not trees: means and quantiles of descendant and
+        ancestor counts across a few hundred trees must agree within
+        sampling noise.
+        """
+        vec_desc, vec_anc = self._forest_stats(small_catalog, True)
+        sca_desc, sca_anc = self._forest_stats(small_catalog, False)
+        assert np.isclose(vec_anc.mean(), sca_anc.mean(), rtol=0.15)
+        assert abs(np.median(vec_anc) - np.median(sca_anc)) <= 1
+        # Descendant tails are heavy; compare medians and log-means.
+        assert abs(np.median(vec_desc) - np.median(sca_desc)) <= 2
+        assert np.isclose(np.log1p(vec_desc).mean(),
+                          np.log1p(sca_desc).mean(), rtol=0.2)
+
+    def test_scalar_path_used_when_not_vectorized(self, small_catalog):
+        gen = build_generator(small_catalog, vectorized=False)
+        assert gen.children_batch is None and gen.fanout_batch is None
+        vec = build_generator(small_catalog, vectorized=True)
+        assert vec.children_batch is not None and vec.fanout_batch is not None
+
+
+class TestShardLayout:
+    def test_covers_forest(self):
+        layout = shard_layout(150, shard_size=64)
+        assert layout == [(0, 64), (1, 64), (2, 22)]
+
+    def test_exact_multiple(self):
+        assert shard_layout(128, shard_size=64) == [(0, 64), (1, 64)]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            shard_layout(0)
+        with pytest.raises(ValueError):
+            shard_layout(10, shard_size=0)
+
+
+class TestParallelDeterminism:
+    def test_jobs_bit_identical(self, small_catalog):
+        r1 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                     jobs=1, max_nodes=2000)
+        r2 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                     jobs=2, max_nodes=2000)
+        assert _results_identical(r1, r2)
+
+    def test_seed_changes_result(self, small_catalog):
+        r1 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                     jobs=1, max_nodes=2000)
+        r2 = run_tree_study_parallel(small_catalog, n_trees=100, seed=5,
+                                     jobs=1, max_nodes=2000)
+        assert not _results_identical(r1, r2)
+
+    def test_matches_sequential_study_distribution(self, small_catalog):
+        """Sharded runner agrees with run_tree_study distributionally."""
+        sharded = run_tree_study_parallel(small_catalog, n_trees=200, seed=4,
+                                          jobs=1, max_nodes=2000)
+        threaded = run_tree_study(small_catalog, n_trees=200,
+                                  rng=np.random.default_rng(4),
+                                  max_nodes=2000)
+        assert abs(sharded.ancestors_p99_q50
+                   - threaded.ancestors_p99_q50) <= 3
+        assert sharded.n_trees == threaded.n_trees == 200
+
+
+class TestStudyCache:
+    def test_store_load_roundtrip(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = study_key("demo", seed=1, config={"n": 3})
+        assert cache.load(key) is None
+        cache.store(key, {"x": [1, 2, 3]})
+        assert cache.load(key) == {"x": [1, 2, 3]}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = study_key("demo", seed=1, config={"n": 3})
+        cache.store(key, "fine")
+        cache.path(key).write_bytes(b"\x80\x04 truncated garbage")
+        assert cache.load(key) is None
+        assert not cache.path(key).exists()
+
+    def test_key_covers_every_input(self):
+        base = study_key("tree-shape", seed=1, config={"n": 5},
+                         params={"n_trees": 10})
+        assert base != study_key("tree-shape", seed=2, config={"n": 5},
+                                 params={"n_trees": 10})
+        assert base != study_key("tree-shape", seed=1, config={"n": 6},
+                                 params={"n_trees": 10})
+        assert base != study_key("tree-shape", seed=1, config={"n": 5},
+                                 params={"n_trees": 11})
+        assert base != study_key("other", seed=1, config={"n": 5},
+                                 params={"n_trees": 10})
+        assert base == study_key("tree-shape", seed=1, config={"n": 5},
+                                 params={"n_trees": 10})
+
+    def test_warm_hit_generates_zero_trees(self, tmp_path, small_catalog,
+                                           monkeypatch):
+        cache = StudyCache(tmp_path)
+        cold, hit = run_tree_study_cached(small_catalog, n_trees=80, seed=4,
+                                          max_nodes=2000, cache=cache)
+        assert not hit
+
+        def exploding_generate_flat(self, root_method, rng):
+            raise AssertionError("warm cache hit must not generate trees")
+
+        monkeypatch.setattr(CallTreeGenerator, "generate_flat",
+                            exploding_generate_flat)
+        warm, hit = run_tree_study_cached(small_catalog, n_trees=80, seed=4,
+                                          max_nodes=2000, cache=cache)
+        assert hit
+        assert _results_identical(cold, warm)
+
+    def test_no_cache_recomputes(self, small_catalog):
+        result, hit = run_tree_study_cached(small_catalog, n_trees=40, seed=4,
+                                            max_nodes=2000, cache=None)
+        assert not hit and result.n_trees == 40

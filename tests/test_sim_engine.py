@@ -156,3 +156,86 @@ def test_events_fired_counter():
         sim.after(float(i), lambda: None)
     sim.run()
     assert sim.events_fired == 5
+
+
+def test_pending_events_is_live_count():
+    sim = Simulator()
+    events = [sim.after(1.0 + i, lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    for e in events[:4]:
+        e.cancel()
+    assert sim.pending_events == 6
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_fired == 6
+    assert sim.events_cancelled == 4
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    e = sim.after(1.0, lambda: None)
+    sim.after(2.0, lambda: None)
+    assert e.cancel() and e.cancel()
+    assert sim.pending_events == 1
+
+
+def test_heap_compacts_when_mostly_cancelled():
+    sim = Simulator()
+    keep = [sim.after(100.0 + i, lambda: None) for i in range(10)]
+    doomed = [sim.after(1.0 + i, lambda: None) for i in range(200)]
+    for e in doomed:
+        e.cancel()
+    # Compaction triggers whenever >50% of a >=64-entry heap is dead, so
+    # the heap shrinks far below live+cancelled; dead entries may remain
+    # only once the heap is under the compaction floor.
+    assert len(sim._heap) < Simulator._COMPACT_MIN_HEAP
+    assert sim.pending_events == len(keep)
+    fired = sim.run()
+    assert fired == len(keep)
+    assert sim.events_cancelled == len(doomed)
+
+
+def test_compaction_preserves_fire_order():
+    sim = Simulator()
+    seen = []
+    live = []
+    for i in range(40):
+        live.append((i, sim.after(10.0 + i, lambda i=i: seen.append(i))))
+    doomed = [sim.after(1.0, lambda: seen.append("dead")) for _ in range(100)]
+    for e in doomed:
+        e.cancel()
+    sim.run()
+    assert seen == [i for i, _ in live]
+
+
+def test_small_heaps_are_not_compacted():
+    sim = Simulator()
+    doomed = [sim.after(1.0, lambda: None) for _ in range(10)]
+    sim.after(2.0, lambda: None)
+    for e in doomed:
+        e.cancel()
+    # Below the compaction floor the dead entries stay until popped.
+    assert len(sim._heap) == 11
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.events_cancelled == 10
+
+
+def test_compaction_reports_cancellations_to_probe():
+    from repro.sim.instrument import Probe
+
+    class CountingProbe(Probe):
+        def __init__(self):
+            self.cancelled = 0
+
+        def event_cancelled(self, time_s):
+            self.cancelled += 1
+
+    probe = CountingProbe()
+    sim = Simulator(probe=probe)
+    sim.after(500.0, lambda: None)
+    doomed = [sim.after(1.0 + i, lambda: None) for i in range(100)]
+    for e in doomed:
+        e.cancel()
+    sim.run()
+    assert probe.cancelled == 100

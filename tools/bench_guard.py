@@ -1,0 +1,74 @@
+"""Wall-time regression guard over the bench trajectory.
+
+Run: python tools/bench_guard.py --baseline OLD.json --current NEW.json
+     [--max-ratio 1.5] FIGURE [FIGURE ...]
+
+Compares each named figure's ``wall_s`` in the current trajectory against
+the committed baseline and exits non-zero if any exceeds
+``baseline * max-ratio``. Used by the CI ``bench-smoke`` job: the
+committed ``BENCH_PR3.json`` is copied aside before the bench session
+merge-writes fresh times into it, then the two are compared.
+
+Times below ``--min-wall`` (default 0.05 s) are never flagged: at that
+scale the ratio is runner jitter, not a regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_trajectory(path: str) -> dict:
+    """``figure -> wall_s`` from a trajectory file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return {r["figure"]: float(r["wall_s"]) for r in json.load(f)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed trajectory JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured trajectory JSON")
+    parser.add_argument("--max-ratio", type=float, default=1.5,
+                        help="fail when current > baseline * ratio")
+    parser.add_argument("--min-wall", type=float, default=0.05,
+                        help="ignore figures faster than this (seconds)")
+    parser.add_argument("figures", nargs="+",
+                        help="figure names to check (e.g. fig04_descendants)")
+    args = parser.parse_args(argv)
+
+    baseline = load_trajectory(args.baseline)
+    current = load_trajectory(args.current)
+    failures = []
+    for figure in args.figures:
+        if figure not in baseline:
+            failures.append(f"{figure}: missing from baseline {args.baseline}")
+            continue
+        if figure not in current:
+            failures.append(f"{figure}: missing from current {args.current} "
+                            "(bench did not run?)")
+            continue
+        old_s, new_s = baseline[figure], current[figure]
+        ratio = new_s / old_s if old_s > 0 else float("inf")
+        verdict = "ok"
+        if new_s > max(old_s * args.max_ratio, args.min_wall):
+            failures.append(f"{figure}: {new_s:.3f}s vs baseline "
+                            f"{old_s:.3f}s ({ratio:.2f}x > "
+                            f"{args.max_ratio:.2f}x allowed)")
+            verdict = "FAIL"
+        print(f"{figure}: baseline {old_s:.3f}s, current {new_s:.3f}s "
+              f"({ratio:.2f}x) {verdict}")
+
+    if failures:
+        print("\nbench regression guard failed:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(args.figures)} figure(s) within "
+          f"{args.max_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
