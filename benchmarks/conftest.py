@@ -11,7 +11,7 @@ so the whole suite completes in minutes. The shapes under test are scale-
 stable; bump the constants below to run closer to paper scale.
 
 Bench trajectory: every bench's wall time (plus any stats it pushes via
-the ``record_stat`` fixture) is written to ``BENCH_PR3.json`` at the repo
+the ``record_stat`` fixture) is written to ``BENCH_PR4.json`` at the repo
 root when the session ends, one record per figure::
 
     {"figure": "fig14_breakdown", "wall_s": 1.23,
@@ -25,8 +25,9 @@ to the workload volume that produced it.
 Existing records for figures *not* run this session are preserved, so a
 partial run (``pytest benchmarks/test_fig14_breakdown.py``) refreshes only
 its own entry. CI uploads the file as an artifact; comparing it across
-PRs shows harness performance drift (BENCH_PR2.json is the frozen PR-2
-snapshot this PR's ≥3x speedups are measured against).
+PRs shows harness performance drift (each ``BENCH_PR<N>.json`` is that
+PR's frozen snapshot; ``tools/bench_guard.py --print-newest`` names the
+latest one to compare against).
 """
 
 import json
@@ -50,7 +51,7 @@ BENCH_SAMPLES_PER_METHOD = 300
 BENCH_SEED = 7
 
 BENCH_TRAJECTORY_FILE = os.path.join(os.path.dirname(__file__), os.pardir,
-                                     "BENCH_PR3.json")
+                                     "BENCH_PR4.json")
 
 # figure name -> {"wall_s": float, "stats": dict}, accumulated per session
 _trajectory = {}
@@ -76,7 +77,7 @@ def _bench_timer(request):
 
 @pytest.fixture
 def record_stat(request):
-    """Push key result stats into this figure's ``BENCH_PR3.json`` record.
+    """Push key result stats into this figure's ``BENCH_PR4.json`` record.
 
     Usage::
 
@@ -110,7 +111,7 @@ def record_sim_stats(record_stat):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Merge this session's trajectory into ``BENCH_PR3.json``."""
+    """Merge this session's trajectory into ``BENCH_PR4.json``."""
     if not _trajectory:
         return
     records = {}

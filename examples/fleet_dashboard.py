@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
-"""Scenario: the SRE console view of a running service.
+"""Scenario: the SRE console during a latency regression.
 
-Runs a short Bigtable study across two clusters, then renders what an
-operator would watch: a run heartbeat (events/s, sim-time rate, RPCs
-completed — fed by a probe on the engine), Monarch sparklines of each
-machine's exogenous state and the service's own CPU usage — the raw
-feeds behind Figs. 17, 18 and 22 — plus the service's live latency
-summary from Dapper.
+Runs Bigtable on two clusters for 6 simulated seconds with a declarative
+SLO attached ("99% of SearchValue calls within 5 ms"). Halfway through,
+every Bigtable server's handler service time is doubled — a bad rollout.
+The observability control plane reacts on its own:
+
+- the Monarch scraper exports per-interval latency *sketches* (with tail
+  exemplar trace ids) every 0.25 s;
+- the alert manager evaluates multi-window burn rates and walks
+  pending → firing → resolved, deterministically on the sim clock;
+- the incident report links the firing alerts to the exact Dapper trace
+  ids behind the worst latencies, whose span trees show the inflated
+  server-application component.
+
+The run is fully deterministic: the same seed produces a byte-identical
+incident report (the heartbeat panel, which reads the host clock, is
+printed separately and never enters the report).
 
 Run:  python examples/fleet_dashboard.py
 """
@@ -16,41 +26,101 @@ import time
 import numpy as np
 
 from repro.core.report import fmt_seconds, format_table
-from repro.obs.dashboard import render_heartbeat, render_panel, render_series
+from repro.obs.alerting import SloSpec
+from repro.obs.dashboard import (
+    render_heartbeat,
+    render_incident_report,
+    render_panel,
+)
 from repro.obs.telemetry import HeartbeatProbe
 from repro.studies import run_service_study
 
+SEED = 19
+DURATION_S = 6.0
+REGRESSION_AT_S = 3.0
+REGRESSION_SCALE = 2.0
+SCRAPE_INTERVAL_S = 0.25
+
+
+def build_slo() -> SloSpec:
+    """The service SLO: 99% of SearchValue calls within 5 ms.
+
+    5 ms sits at the healthy run's p99, so the error budget burns at
+    ~1x before the regression; the doubled handler time saturates the
+    servers and pushes the bad fraction towards 100%, blowing through
+    the 14.4x page rule within two evaluation intervals.
+    """
+    return SloSpec(
+        name="bigtable-search-latency",
+        threshold_s=0.005,
+        window_s=720.0,
+        target=0.99,
+        labels={"method": "Bigtable/SearchValue"},
+    )
+
+
+def inject_regression(sim, deployments) -> None:
+    """At REGRESSION_AT_S, double every Bigtable server's handler time."""
+    servers = [
+        server
+        for cluster_servers in
+        deployments["Bigtable"].servers_by_cluster.values()
+        for server in cluster_servers
+    ]
+
+    def degrade() -> None:
+        for server in servers:
+            server.app_scale *= REGRESSION_SCALE
+
+    sim.at(REGRESSION_AT_S, degrade)
+
+
+def run_incident(seed: int = SEED, probe=None):
+    """Run the incident scenario; returns (study, incident_report)."""
+    study = run_service_study(
+        services=["Bigtable"], n_clusters=2, duration_s=DURATION_S,
+        seed=seed, scrape_interval_s=SCRAPE_INTERVAL_S, dapper_sampling=1.0,
+        probe=probe, slos=[build_slo()], on_setup=inject_regression,
+    )
+    report = render_incident_report(
+        study.alerts.events, study.monarch, traces=study.dapper.traces(),
+        title="incident report: Bigtable bad rollout",
+    )
+    return study, report
+
 
 def main() -> None:
-    print("Running Bigtable on two clusters (3 s, scraping every 0.25 s) ...\n")
+    print(f"Running Bigtable on two clusters ({DURATION_S:g} s, scraping "
+          f"every {SCRAPE_INTERVAL_S:g} s);")
+    print(f"at t={REGRESSION_AT_S:g} s every server's handler time doubles "
+          f"(a bad rollout) ...\n")
     heartbeat = HeartbeatProbe(wall_clock=time.perf_counter)
-    study = run_service_study(services=["Bigtable"], n_clusters=2,
-                              duration_s=3.0, seed=19,
-                              scrape_interval_s=0.25, dapper_sampling=1.0,
-                              probe=heartbeat)
+    study, report = run_incident(probe=heartbeat)
+
     print(render_heartbeat(heartbeat.snapshot(), "Bigtable x2 clusters"))
     print()
+    print(report)
+    print()
 
-    for metric in ("machine/cpu_util", "machine/cycles_per_inst",
-                   "server/rpc_util"):
+    for metric in ("machine/cpu_util", "server/rpc_util"):
         print(render_panel(study.monarch, metric, {"service": "Bigtable"},
                            group_label="machine", width=36, max_rows=8))
         print()
 
+    # The ground truth behind the alert: Dapper latency before vs after.
     spans = study.dapper.spans_for_method("Bigtable", "SearchValue")
-    lat = np.array([s.completion_time for s in spans])
-    by_cluster = {}
-    for s in spans:
-        by_cluster.setdefault(s.server_cluster, []).append(s.completion_time)
-    rows = [("fleet", len(spans), fmt_seconds(float(np.median(lat))),
-             fmt_seconds(float(np.percentile(lat, 99))))]
-    for cluster, vals in sorted(by_cluster.items()):
-        arr = np.array(vals)
-        rows.append((cluster, len(arr), fmt_seconds(float(np.median(arr))),
-                     fmt_seconds(float(np.percentile(arr, 99)))))
+    rows = []
+    for scope, sel in (("before rollout",
+                        lambda s: s.start_time < REGRESSION_AT_S),
+                       ("after rollout",
+                        lambda s: s.start_time >= REGRESSION_AT_S)):
+        lat = np.array([s.breakdown.total() for s in spans if sel(s)])
+        rows.append((scope, len(lat), fmt_seconds(float(np.median(lat))),
+                     fmt_seconds(float(np.percentile(lat, 99)))))
     print(format_table(("scope", "RPCs", "P50", "P99"), rows,
                        title="Bigtable latency (from Dapper)"))
-    print("\nThese are the exact feeds the Fig. 17/18/22 analyses consume.")
+    print("\nThe exemplar trace ids above can be exported for Perfetto via")
+    print("  repro-rpc export-chrome TRACES OUT.json --trace-ids ID [ID ...]")
 
 
 if __name__ == "__main__":

@@ -12,13 +12,18 @@ Subcommands mirror the study structure:
 - ``repro-rpc analyze-traces``  offline analysis of a saved trace file
 - ``repro-rpc export-chrome``   convert a saved trace file to Chrome
   trace-event JSON (open at ui.perfetto.dev)
+- ``repro-rpc fleet-obs``       the observability control plane: run a DES
+  study under an SLO spec (optionally injecting a latency regression) and
+  render the incident report — alert timeline, burn-rate sparklines,
+  exemplar traces
 
 Every subcommand prints paper-vs-measured tables; ``--save-traces`` on the
 DES studies writes a Dapper trace file that ``analyze-traces`` can consume
 later (the paper's own offline-analysis workflow). ``service-study`` also
 takes ``--manifest FILE`` (a run manifest: seed, config digest, counts,
-per-phase wall time) and ``--chrome-trace FILE`` (engine + span telemetry
-as a Perfetto-loadable trace).
+per-phase wall time), ``--chrome-trace FILE`` (engine + span telemetry
+as a Perfetto-loadable trace), and ``--slo FILE`` (SLO specs to evaluate
+while the study runs; firing alerts land in the manifest).
 """
 
 from __future__ import annotations
@@ -78,6 +83,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a run-manifest JSON")
     p.add_argument("--chrome-trace", metavar="FILE", default=None,
                    help="write a Perfetto-loadable Chrome trace JSON")
+    p.add_argument("--slo", metavar="FILE", default=None,
+                   help="JSON SLO spec file; evaluates burn-rate alerts "
+                        "during the run")
+
+    p = sub.add_parser("fleet-obs",
+                       help="run a DES study under SLO alerting and "
+                            "render the incident report")
+    p.add_argument("--slo", metavar="FILE", default=None,
+                   help="JSON SLO spec file (default: a built-in p99 "
+                        "latency SLO on the studied service)")
+    p.add_argument("--services", nargs="*", default=["Bigtable"],
+                   help="services to run (default: Bigtable)")
+    p.add_argument("--clusters", type=int, default=1)
+    p.add_argument("--duration", type=float, default=6.0,
+                   help="simulated seconds of load")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--scrape-interval", type=float, default=0.25,
+                   help="Monarch scrape + alert evaluation cadence "
+                        "(simulated seconds)")
+    p.add_argument("--trace-budget", type=float, default=None,
+                   help="adaptive head-sampling budget "
+                        "(root traces per scrape interval)")
+    p.add_argument("--inject-regression", metavar="SERVICE:T:SCALE",
+                   default=None,
+                   help="at sim time T, multiply SERVICE's handler "
+                        "service time by SCALE (e.g. Bigtable:3.0:2.0)")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="write the incident report to FILE as well as "
+                        "stdout")
+    p.add_argument("--manifest", metavar="FILE", default=None,
+                   help="write a run-manifest JSON (includes the alert "
+                        "timeline)")
+    p.add_argument("--from-manifest", metavar="FILE", default=None,
+                   help="skip the run; re-render the alert timeline from "
+                        "an existing manifest")
 
     p = sub.add_parser("cross-cluster", help="Fig. 19: the WAN staircase")
     p.add_argument("--clusters", type=int, default=16)
@@ -97,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "trace-event JSON")
     p.add_argument("file", help="Dapper trace file (see --save-traces)")
     p.add_argument("output", help="Chrome trace JSON to write")
+    p.add_argument("--trace-ids", type=int, nargs="*", default=None,
+                   help="export only these Dapper trace ids (e.g. the "
+                        "exemplars named by an incident report)")
     return parser
 
 
@@ -185,6 +228,11 @@ def _cmd_service_study(args) -> int:
         from repro.obs.telemetry import TraceEventProbe
 
         trace_probe = TraceEventProbe()
+    slos = None
+    if args.slo:
+        from repro.obs.alerting import load_slo_specs
+
+        slos = load_slo_specs(args.slo)
     builder = None
     if args.manifest:
         from repro.obs.manifest import ManifestBuilder
@@ -194,13 +242,15 @@ def _cmd_service_study(args) -> int:
         builder.set_config(
             services=sorted(args.services or list(SERVICE_SPECS)),
             n_clusters=args.clusters, duration_s=args.duration,
+            slos=[s.to_dict() for s in slos] if slos else [],
         )
 
     def simulate():
         return run_service_study(services=args.services,
                                  n_clusters=args.clusters,
                                  duration_s=args.duration, seed=args.seed,
-                                 dapper_sampling=1.0, probe=trace_probe)
+                                 dapper_sampling=1.0, probe=trace_probe,
+                                 slos=slos)
 
     if builder is not None:
         with builder.phase("simulate"):
@@ -240,11 +290,133 @@ def _cmd_service_study(args) -> int:
                 export_chrome()
         else:
             export_chrome()
+    if study.alerts is not None:
+        from repro.obs.dashboard import render_incident_report
+
+        print()
+        print(render_incident_report(study.alerts.events, study.monarch,
+                                     traces=study.dapper.traces()))
     if builder is not None:
         from repro.obs.manifest import write_manifest
 
         builder.observe_sim(study.sim)
         builder.add_counts(spans_recorded=len(study.dapper.spans))
+        if study.alerts is not None:
+            builder.add_alerts(study.alerts.events)
+        write_manifest(builder.finish(), args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    return 0
+
+
+def _parse_regression(spec: str):
+    """Parse an ``--inject-regression SERVICE:T:SCALE`` argument."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"--inject-regression wants SERVICE:T:SCALE, got {spec!r}")
+    return parts[0], float(parts[1]), float(parts[2])
+
+
+def _cmd_fleet_obs(args) -> int:
+    from repro.obs.dashboard import render_incident_report
+
+    if args.from_manifest:
+        from repro.obs.manifest import read_manifest
+
+        manifest = read_manifest(args.from_manifest)
+        report = render_incident_report(
+            manifest.alerts, title=f"incident report ({manifest.run_id}, "
+                                   f"seed {manifest.seed})")
+        print(report)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as f:
+                f.write(report + "\n")
+            print(f"\nwrote incident report to {args.report}")
+        return 0
+
+    from repro.obs.alerting import SloSpec, load_slo_specs
+    from repro.studies import run_service_study
+    from repro.workloads.services import SERVICE_SPECS
+
+    if args.slo:
+        slos = load_slo_specs(args.slo)
+    else:
+        # A built-in tail-latency SLO on the first studied service: 99%
+        # of calls within 8x the handler's median service time (a loose
+        # bound that healthy runs meet and queueing regressions break).
+        service = args.services[0]
+        spec = SERVICE_SPECS[service]
+        slos = [SloSpec(
+            name=f"{service.lower()}-latency",
+            threshold_s=spec.app_median_s * 8.0,
+            window_s=args.duration * 120.0,
+            target=0.99,
+            labels={"method": f"{service}/{spec.method}"},
+        )]
+
+    on_setup = None
+    if args.inject_regression:
+        service, at_s, scale = _parse_regression(args.inject_regression)
+        if service not in (args.services or []):
+            raise SystemExit(
+                f"--inject-regression service {service!r} is not part of "
+                f"this study ({args.services})")
+
+        def on_setup(sim, deployments):
+            servers = [s for cluster_servers in
+                       deployments[service].servers_by_cluster.values()
+                       for s in cluster_servers]
+
+            def degrade():
+                for server in servers:
+                    server.app_scale *= scale
+
+            sim.at(at_s, degrade)
+
+    builder = None
+    if args.manifest:
+        from repro.obs.manifest import ManifestBuilder
+
+        builder = ManifestBuilder("fleet-obs", seed=args.seed,
+                                  wall_clock=_wall_clock())
+        builder.set_config(
+            services=sorted(args.services), n_clusters=args.clusters,
+            duration_s=args.duration,
+            scrape_interval_s=args.scrape_interval,
+            trace_budget=args.trace_budget,
+            inject_regression=args.inject_regression,
+            slos=[s.to_dict() for s in slos],
+        )
+
+    def simulate():
+        return run_service_study(
+            services=args.services, n_clusters=args.clusters,
+            duration_s=args.duration, seed=args.seed,
+            scrape_interval_s=args.scrape_interval, dapper_sampling=1.0,
+            slos=slos, trace_budget=args.trace_budget, on_setup=on_setup,
+        )
+
+    if builder is not None:
+        with builder.phase("simulate"):
+            study = simulate()
+    else:
+        study = simulate()
+
+    report = render_incident_report(study.alerts.events, study.monarch,
+                                    traces=study.dapper.traces())
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(report + "\n")
+        print(f"\nwrote incident report to {args.report}")
+    if builder is not None:
+        from repro.obs.manifest import write_manifest
+
+        builder.observe_sim(study.sim)
+        builder.add_counts(spans_recorded=len(study.dapper.spans),
+                           alert_events=len(study.alerts.events),
+                           alert_evaluations=study.alerts.evaluations)
+        builder.add_alerts(study.alerts.events)
         write_manifest(builder.finish(), args.manifest)
         print(f"wrote run manifest to {args.manifest}")
     return 0
@@ -319,6 +491,12 @@ def _cmd_export_chrome(args) -> int:
     from repro.obs.trace_io import read_traces
 
     spans = list(read_traces(args.file))
+    if args.trace_ids is not None:
+        want = set(args.trace_ids)
+        spans = [s for s in spans if s.trace_id in want]
+        if not spans:
+            print(f"no spans match trace ids {sorted(want)}")
+            return 1
     n = write_chrome_trace(args.output, span_trace_events(spans))
     print(f"wrote {n:,} trace events ({len(spans):,} spans) to {args.output}")
     print("open at https://ui.perfetto.dev or chrome://tracing")
@@ -330,6 +508,7 @@ _COMMANDS = {
     "growth": _cmd_growth,
     "trees": _cmd_trees,
     "service-study": _cmd_service_study,
+    "fleet-obs": _cmd_fleet_obs,
     "cross-cluster": _cmd_cross_cluster,
     "diurnal": _cmd_diurnal,
     "analyze-traces": _cmd_analyze_traces,

@@ -24,12 +24,24 @@ On top of those sit the runtime-telemetry additions:
 - :mod:`repro.obs.chrometrace` — Perfetto-loadable Chrome trace-event
   export for Dapper trace trees and probe streams;
 - :mod:`repro.obs.manifest` — per-run manifests (seed, config digest,
-  counts, per-phase wall time, telemetry self-overhead).
+  counts, per-phase wall time, telemetry self-overhead, alert timeline).
+
+And the fleet observability control plane:
+
+- :mod:`repro.obs.sketch` — mergeable log-boundary percentile sketches
+  and tail exemplar reservoirs, the substrate behind Monarch
+  distribution series;
+- :mod:`repro.obs.alerting` — declarative SLOs compiled to multi-window
+  burn-rate rules, a deterministic alert state machine on the sim
+  clock, and adaptive per-method Dapper head sampling.
 
 Analyses in :mod:`repro.core` consume **only** these interfaces — never the
 simulator's internal state — mirroring the paper's own vantage point.
 """
 
+from repro.obs.alerting import (AdaptiveSamplingController, AlertEvent,
+                                AlertManager, BurnRateRule, SloSpec,
+                                load_slo_specs)
 from repro.obs.chrometrace import (chrome_trace, span_trace_events,
                                    validate_trace_events, write_chrome_trace)
 from repro.obs.dapper import DapperCollector, Span
@@ -37,16 +49,23 @@ from repro.obs.gwp import GwpProfiler
 from repro.obs.manifest import (ManifestBuilder, ManifestError, RunManifest,
                                 read_manifest, write_manifest)
 from repro.obs.metrics import Counter, DistributionMetric, Gauge, MetricRegistry
-from repro.obs.monarch import Monarch, MonarchScraper
+from repro.obs.monarch import Monarch, MonarchScraper, SketchPoint
+from repro.obs.sketch import ExemplarReservoir, LatencySketch
 from repro.obs.telemetry import HeartbeatProbe, MetricsProbe, TraceEventProbe
 
 __all__ = [
+    "AdaptiveSamplingController",
+    "AlertEvent",
+    "AlertManager",
+    "BurnRateRule",
     "Counter",
     "DapperCollector",
     "DistributionMetric",
+    "ExemplarReservoir",
     "Gauge",
     "GwpProfiler",
     "HeartbeatProbe",
+    "LatencySketch",
     "ManifestBuilder",
     "ManifestError",
     "MetricRegistry",
@@ -54,9 +73,12 @@ __all__ = [
     "Monarch",
     "MonarchScraper",
     "RunManifest",
+    "SketchPoint",
+    "SloSpec",
     "Span",
     "TraceEventProbe",
     "chrome_trace",
+    "load_slo_specs",
     "read_manifest",
     "span_trace_events",
     "validate_trace_events",

@@ -1,0 +1,414 @@
+"""SLO burn-rate alerting and adaptive trace sampling on the sim clock.
+
+The paper's observability triad (Monarch, Dapper, GWP) is not just a set
+of passive stores — production fleets *act* on it. This module supplies
+that control loop for the repro, deterministically:
+
+- :class:`SloSpec` declares a latency objective ("``target`` of requests
+  complete within ``threshold_s``, measured over ``window_s``") and
+  compiles into the Google-SRE multi-window multi-burn-rate rule pair: a
+  *page* rule (burn factor 14.4 over the 1h/5m analogue of the window)
+  and a *ticket* rule (factor 6 over the 6h/30m analogue). Requiring the
+  long **and** short window to burn keeps alerts fast to fire yet fast
+  to resolve.
+- :class:`AlertManager` evaluates every rule on ``sim.every``, walks the
+  pending → firing → resolved state machine, writes burn-rate and state
+  series back into Monarch (so alerts are themselves observable), and
+  attaches the long window's tail exemplar trace ids to each firing
+  event — the metric → trace pivot.
+- :class:`AdaptiveSamplingController` steers Dapper head sampling per
+  root method toward a traces-per-interval budget and boosts any method
+  touched by a firing alert, so incident evidence is dense exactly when
+  it matters.
+
+Burn rate is ``bad_fraction / (1 - target)``: the rate at which the
+error budget is being consumed, 1.0 meaning "exactly on budget". All
+evaluation uses Monarch distribution (sketch) series, so memory stays
+bounded no matter how long the study runs. Wall time is never read
+here; harness code may inject a ``wall_clock`` callable to measure
+evaluation self-overhead (``eval_wall_s``) for the bench trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.monarch import Monarch
+from repro.obs.sketch import Exemplar
+from repro.sim.engine import Simulator
+
+__all__ = ["SloSpec", "BurnRateRule", "AlertEvent", "AlertManager",
+           "AdaptiveSamplingController", "load_slo_specs",
+           "DEFAULT_ALERT_EVAL_INTERVAL_S"]
+
+# Alert evaluation cadence relative to the scrape interval: SRE practice
+# evaluates rules about once per scrape. Studies override to taste.
+DEFAULT_ALERT_EVAL_INTERVAL_S = 30 * 60.0
+
+# The classic 30-day-window burn-rate pairs, expressed as fractions of
+# the SLO window so they rescale with sim-time windows: a page at 14.4x
+# burn over (1h, 5m) of a 30d window and a ticket at 6x over (6h, 30m).
+_RULE_SHAPES = (
+    ("page", 14.4, 1.0 / 720.0, 1.0 / 8640.0),
+    ("ticket", 6.0, 1.0 / 120.0, 1.0 / 1440.0),
+)
+
+# Alert states as Monarch gauge values (alerts/state series).
+_STATE_VALUES = {"inactive": 0.0, "pending": 1.0, "firing": 2.0}
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One compiled multi-window rule: fire when *both* windows burn."""
+
+    severity: str
+    factor: float
+    long_window_s: float
+    short_window_s: float
+    for_s: float
+
+
+@dataclass
+class SloSpec:
+    """A declarative latency SLO over one Monarch distribution metric.
+
+    ``target`` is the good fraction (e.g. 0.99: 99% of requests within
+    ``threshold_s``); ``window_s`` is the SLO window in simulated
+    seconds; ``labels`` narrows the metric to one method/service the way
+    Monarch label filters do. ``for_s`` is how long a breach must
+    sustain before pending escalates to firing (default: one rule
+    short-window, the SRE convention that the short window itself is
+    the debounce).
+    """
+
+    name: str
+    threshold_s: float
+    window_s: float
+    target: float = 0.99
+    metric: str = "telemetry/rpc_latency_s"
+    labels: Dict[str, str] = field(default_factory=dict)
+    for_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target!r}")
+        if self.threshold_s <= 0:
+            raise ValueError(
+                f"threshold_s must be > 0, got {self.threshold_s!r}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s!r}")
+
+    def compile(self) -> List[BurnRateRule]:
+        """The spec's multi-window burn-rate rules (page, then ticket).
+
+        A rule with ``factor * (1 - target) > 1`` could never fire (the
+        bad fraction cannot exceed 1), which silently disables paging —
+        so an infeasible target is an error, not a no-op.
+        """
+        worst = max(shape[1] for shape in _RULE_SHAPES)
+        if worst * (1.0 - self.target) > 1.0:
+            feasible = 1.0 - 1.0 / worst
+            raise ValueError(
+                f"SLO {self.name!r}: target {self.target} is infeasible for "
+                f"a {worst}x burn rule (needs target >= {feasible:.4f})")
+        rules = []
+        for severity, factor, long_frac, short_frac in _RULE_SHAPES:
+            short_window_s = self.window_s * short_frac
+            rules.append(BurnRateRule(
+                severity=severity,
+                factor=factor,
+                long_window_s=self.window_s * long_frac,
+                short_window_s=short_window_s,
+                for_s=self.for_s if self.for_s is not None else short_window_s,
+            ))
+        return rules
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe representation (round-trips via from_dict)."""
+        doc: Dict[str, object] = {
+            "name": self.name,
+            "threshold_s": self.threshold_s,
+            "window_s": self.window_s,
+            "target": self.target,
+            "metric": self.metric,
+            "labels": dict(self.labels),
+        }
+        if self.for_s is not None:
+            doc["for_s"] = self.for_s
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "SloSpec":
+        """Build a spec from a JSON document."""
+        known = {"name", "threshold_s", "window_s", "target", "metric",
+                 "labels", "for_s"}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown SLO spec keys: {unknown}")
+        for required in ("name", "threshold_s", "window_s"):
+            if required not in doc:
+                raise ValueError(f"SLO spec missing required key {required!r}")
+        return cls(
+            name=str(doc["name"]),
+            threshold_s=float(doc["threshold_s"]),
+            window_s=float(doc["window_s"]),
+            target=float(doc.get("target", 0.99)),
+            metric=str(doc.get("metric", "telemetry/rpc_latency_s")),
+            labels={str(k): str(v)
+                    for k, v in dict(doc.get("labels", {})).items()},
+            for_s=None if doc.get("for_s") is None else float(doc["for_s"]),
+        )
+
+
+def load_slo_specs(path: str) -> List[SloSpec]:
+    """Load SLO specs from a JSON file.
+
+    Accepts either a bare list of spec objects or ``{"slos": [...]}``.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("slos")
+    if not isinstance(doc, list):
+        raise ValueError(
+            f"{path}: expected a list of SLO specs or {{'slos': [...]}}")
+    return [SloSpec.from_dict(entry) for entry in doc]
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One state transition of one (SLO, severity) alert."""
+
+    t: float
+    slo: str
+    severity: str
+    state: str  # "pending" | "firing" | "resolved"
+    burn_long: float
+    burn_short: float
+    labels: Tuple[Tuple[str, str], ...] = ()
+    exemplars: Tuple[Exemplar, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe representation for manifests and reports."""
+        return {
+            "t": self.t,
+            "slo": self.slo,
+            "severity": self.severity,
+            "state": self.state,
+            "burn_long": round(self.burn_long, 6),
+            "burn_short": round(self.burn_short, 6),
+            "labels": dict(self.labels),
+            "exemplars": [[v, tid] for v, tid in self.exemplars],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "AlertEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            t=float(doc["t"]),
+            slo=str(doc["slo"]),
+            severity=str(doc["severity"]),
+            state=str(doc["state"]),
+            burn_long=float(doc["burn_long"]),
+            burn_short=float(doc["burn_short"]),
+            labels=tuple(sorted(
+                (str(k), str(v))
+                for k, v in dict(doc.get("labels", {})).items())),
+            exemplars=tuple((float(v), int(tid))
+                            for v, tid in doc.get("exemplars", [])),
+        )
+
+
+class _AlertState:
+    """Mutable per-(spec, rule) state-machine bookkeeping."""
+
+    __slots__ = ("state", "pending_since")
+
+    def __init__(self) -> None:
+        self.state = "inactive"
+        self.pending_since = 0.0
+
+
+class AlertManager:
+    """Evaluates compiled SLO rules periodically on the sim clock.
+
+    Every evaluation writes ``alerts/burn_rate_long``,
+    ``alerts/burn_rate_short``, and ``alerts/state`` series into Monarch
+    (labels ``slo``/``severity``) and appends state transitions to
+    :attr:`events`. Construction order matters for determinism: create
+    the manager *after* the scraper so that at coincident sim times the
+    scrape lands before the evaluation reads it (the engine breaks event
+    ties FIFO).
+    """
+
+    def __init__(self, sim: Simulator, monarch: Monarch,
+                 specs: Sequence[SloSpec],
+                 interval_s: float = DEFAULT_ALERT_EVAL_INTERVAL_S,
+                 wall_clock: Optional[Callable[[], float]] = None):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s!r}")
+        self.sim = sim
+        self.monarch = monarch
+        self.specs = list(specs)
+        self.interval_s = interval_s
+        self.events: List[AlertEvent] = []
+        self.eval_wall_s = 0.0
+        self.evaluations = 0
+        self._wall_clock = wall_clock
+        self._compiled: List[Tuple[SloSpec, BurnRateRule, _AlertState]] = [
+            (spec, rule, _AlertState())
+            for spec in self.specs
+            for rule in spec.compile()
+        ]
+        self._task = sim.every(interval_s, self._evaluate,
+                               start_after=interval_s)
+
+    def stop(self) -> None:
+        """Stop the periodic evaluation chain."""
+        self._task.cancel()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def firing(self) -> List[Tuple[SloSpec, BurnRateRule]]:
+        """The (spec, rule) pairs currently in the firing state."""
+        return [(spec, rule) for spec, rule, st in self._compiled
+                if st.state == "firing"]
+
+    def firing_method_filters(self) -> List[Optional[str]]:
+        """Method label values of firing alerts (``None`` = fleet-wide).
+
+        The adaptive sampling controller boosts a method when any entry
+        is ``None`` or equals that method.
+        """
+        out: List[Optional[str]] = []
+        for spec, _rule, st in self._compiled:
+            if st.state == "firing":
+                out.append(spec.labels.get("method"))
+        return out
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _burn(self, spec: SloSpec, t: float, window_s: float
+              ) -> Tuple[float, Tuple[Exemplar, ...]]:
+        point = self.monarch.window_sketch(
+            spec.metric, spec.labels, t_start=t - window_s, t_end=t)
+        if point is None or point.sketch.count == 0:
+            return 0.0, ()
+        bad = point.sketch.count - point.sketch.count_below(spec.threshold_s)
+        bad_fraction = bad / point.sketch.count
+        return bad_fraction / (1.0 - spec.target), point.exemplars
+
+    def _evaluate(self) -> None:
+        start_s = self._wall_clock() if self._wall_clock is not None else 0.0
+        t = self.sim.now
+        self.evaluations += 1
+        for spec, rule, st in self._compiled:
+            # Rule windows narrower than the evaluation cadence are
+            # clamped to it: a window that cannot contain a scrape point
+            # could never burn, which would silently disable the rule.
+            burn_long, exemplars = self._burn(
+                spec, t, max(rule.long_window_s, self.interval_s))
+            burn_short, _ = self._burn(
+                spec, t, max(rule.short_window_s, self.interval_s))
+            breach = burn_long >= rule.factor and burn_short >= rule.factor
+            if breach:
+                if st.state == "inactive":
+                    st.state = "pending"
+                    st.pending_since = t
+                    self._emit(t, spec, rule, "pending",
+                               burn_long, burn_short)
+                elif (st.state == "pending"
+                      and t - st.pending_since >= rule.for_s):
+                    st.state = "firing"
+                    self._emit(t, spec, rule, "firing",
+                               burn_long, burn_short, exemplars)
+            else:
+                if st.state == "firing":
+                    self._emit(t, spec, rule, "resolved",
+                               burn_long, burn_short)
+                st.state = "inactive"
+            labels = {"slo": spec.name, "severity": rule.severity}
+            self.monarch.write("alerts/burn_rate_long", labels, t, burn_long)
+            self.monarch.write("alerts/burn_rate_short", labels, t,
+                               burn_short)
+            self.monarch.write("alerts/state", labels, t,
+                               _STATE_VALUES[st.state])
+        if self._wall_clock is not None:
+            self.eval_wall_s += self._wall_clock() - start_s
+
+    def _emit(self, t: float, spec: SloSpec, rule: BurnRateRule, state: str,
+              burn_long: float, burn_short: float,
+              exemplars: Tuple[Exemplar, ...] = ()) -> None:
+        self.events.append(AlertEvent(
+            t=t,
+            slo=spec.name,
+            severity=rule.severity,
+            state=state,
+            burn_long=burn_long,
+            burn_short=burn_short,
+            labels=tuple(sorted(spec.labels.items())),
+            exemplars=exemplars,
+        ))
+
+
+class AdaptiveSamplingController:
+    """Steers per-method Dapper head sampling toward a trace budget.
+
+    Each interval it drains the collector's root-offer counts and sets
+    every offered method's rate to ``trace_budget / offered`` (clipped
+    to ``[min_rate, 1.0]``) — so hot methods are thinned and cold
+    methods stay fully traced. While an alert touching a method is
+    firing, that method's rate is raised to ``boost_rate`` so the
+    incident window is densely evidenced.
+    """
+
+    def __init__(self, sim: Simulator, dapper,
+                 interval_s: float,
+                 trace_budget: float,
+                 alerts: Optional[AlertManager] = None,
+                 min_rate: float = 0.01,
+                 boost_rate: float = 1.0):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s!r}")
+        if trace_budget <= 0:
+            raise ValueError(
+                f"trace_budget must be > 0, got {trace_budget!r}")
+        if not 0.0 <= min_rate <= 1.0 or not 0.0 <= boost_rate <= 1.0:
+            raise ValueError("min_rate and boost_rate must be in [0, 1]")
+        self.sim = sim
+        self.dapper = dapper
+        self.interval_s = interval_s
+        self.trace_budget = trace_budget
+        self.alerts = alerts
+        self.min_rate = min_rate
+        self.boost_rate = boost_rate
+        #: (t, method, rate) decisions, for tests and reports.
+        self.history: List[Tuple[float, str, float]] = []
+        self._task = sim.every(interval_s, self._adjust,
+                               start_after=interval_s)
+
+    def stop(self) -> None:
+        """Stop the periodic adjustment chain."""
+        self._task.cancel()
+
+    def _boosted(self, method: str) -> bool:
+        if self.alerts is None:
+            return False
+        return any(f is None or f == method
+                   for f in self.alerts.firing_method_filters())
+
+    def _adjust(self) -> None:
+        t = self.sim.now
+        offers = self.dapper.drain_root_offers()
+        for method in sorted(offers):
+            offered = offers[method]
+            rate = min(1.0, self.trace_budget / offered)
+            rate = max(rate, self.min_rate)
+            if self._boosted(method):
+                rate = max(rate, self.boost_rate)
+            self.dapper.set_method_rate(method, rate)
+            self.history.append((t, method, rate))

@@ -10,6 +10,12 @@ Sampling follows Dapper's design: a trace is either collected whole or not
 at all (the decision is made at the root and inherited), so tree structure
 is never partial. Method-level queries enforce the paper's rule that a
 method needs ≥ 100 samples before its P99 is trusted (§2.1).
+
+Head sampling can be steered per *root method*: the RPC client offers
+each freshly minted trace to :meth:`DapperCollector.sample_root`, which
+applies that method's current rate (set by the adaptive controller in
+:mod:`repro.obs.alerting`) and counts the offer so the controller can
+estimate offered-traces-per-interval without a second bookkeeping path.
 """
 
 from __future__ import annotations
@@ -42,6 +48,8 @@ class DapperCollector:
         self._rng = rng or np.random.default_rng(0)
         self.spans: List[Span] = []
         self._sampled_traces: Dict[int, bool] = {}
+        self._method_rates: Dict[str, float] = {}
+        self._root_offers: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -53,6 +61,39 @@ class DapperCollector:
             decision = bool(self._rng.random() < self.sampling_rate)
             self._sampled_traces[trace_id] = decision
         return decision
+
+    def sample_root(self, trace_id: int, full_method: str) -> bool:
+        """Make the sticky decision for a freshly minted root trace.
+
+        Applies the root method's steered rate when one is set (falling
+        back to the global ``sampling_rate``) and counts the offer for
+        the adaptive controller. Idempotent per trace id: a repeat call
+        returns the existing decision without recounting.
+        """
+        decision = self._sampled_traces.get(trace_id)
+        if decision is not None:
+            return decision
+        self._root_offers[full_method] = self._root_offers.get(full_method, 0) + 1
+        rate = self._method_rates.get(full_method, self.sampling_rate)
+        decision = bool(self._rng.random() < rate)
+        self._sampled_traces[trace_id] = decision
+        return decision
+
+    def set_method_rate(self, full_method: str, rate: float) -> None:
+        """Steer the head-sampling rate for one root method."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate!r}")
+        self._method_rates[full_method] = rate
+
+    def method_rate(self, full_method: str) -> float:
+        """The current head-sampling rate for one root method."""
+        return self._method_rates.get(full_method, self.sampling_rate)
+
+    def drain_root_offers(self) -> Dict[str, int]:
+        """Root-trace offers per method since the last drain."""
+        out = self._root_offers
+        self._root_offers = {}
+        return out
 
     def record(self, span: Span) -> bool:
         """Record ``span`` if its trace is sampled; returns whether kept."""

@@ -17,25 +17,43 @@ import numpy as np
 from repro.obs.monarch import Monarch
 
 __all__ = ["sparkline", "render_series", "render_panel",
-           "render_heartbeat"]
+           "render_heartbeat", "render_incident_report"]
 
 _TICKS = " ▁▂▃▄▅▆▇█"
 
+#: Rendered in place of NaN points: a visible gap, not a value tick.
+_GAP_TICK = "·"
+
 
 def sparkline(values: Sequence[float], width: int = 48) -> str:
-    """A unicode sparkline, downsampled (bucket means) to ``width``."""
+    """A unicode sparkline, downsampled (bucket means) to ``width``.
+
+    NaN points render as a gap tick (``·``) instead of poisoning the
+    min/max scaling — a series with measurement holes keeps its shape.
+    """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         return ""
     if arr.size > width:
         edges = np.linspace(0, arr.size, width + 1).astype(int)
-        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])
-                        if b > a])
-    lo, hi = float(arr.min()), float(arr.max())
+        buckets = [arr[a:b] for a, b in zip(edges, edges[1:]) if b > a]
+        # A bucket of only-NaN stays NaN (still a gap after downsampling).
+        arr = np.array([np.nan if np.isnan(b).all() else np.nanmean(b)
+                        for b in buckets])
+    finite = arr[~np.isnan(arr)]
+    if finite.size == 0:
+        return _GAP_TICK * len(arr)
+    lo, hi = float(finite.min()), float(finite.max())
     if hi - lo < 1e-15:
-        return _TICKS[4] * len(arr)
-    scaled = (arr - lo) / (hi - lo) * (len(_TICKS) - 2) + 1
-    return "".join(_TICKS[int(round(v))] for v in scaled)
+        return "".join(_GAP_TICK if np.isnan(v) else _TICKS[4] for v in arr)
+    out = []
+    for v in arr:
+        if np.isnan(v):
+            out.append(_GAP_TICK)
+        else:
+            out.append(_TICKS[int(round((v - lo) / (hi - lo)
+                                        * (len(_TICKS) - 2) + 1))])
+    return "".join(out)
 
 
 def render_series(monarch: Monarch, name: str,
@@ -94,4 +112,83 @@ def render_heartbeat(snapshot: Dict[str, float], title: str = "run") -> str:
             f"  wall       {wall_s:,.2f} s    "
             f"{snapshot.get('events_per_s', 0.0):,.0f} events/s    "
             f"sim/wall {snapshot.get('sim_time_rate', 0.0):,.1f}x")
+    return "\n".join(lines)
+
+
+def render_incident_report(events: Sequence, monarch: Optional[Monarch] = None,
+                           traces: Optional[Dict[int, List]] = None,
+                           width: int = 48, max_exemplars: int = 12,
+                           title: str = "incident report") -> str:
+    """The fleet-obs incident report: timeline, burn rates, exemplars.
+
+    ``events`` are :class:`~repro.obs.alerting.AlertEvent` objects or
+    their ``to_dict`` documents (so a report renders equally from a live
+    :class:`~repro.obs.alerting.AlertManager` and from a manifest's
+    ``alerts`` list). ``monarch``, when given, adds burn-rate sparklines
+    from the ``alerts/burn_rate_*`` series; ``traces`` (Dapper's
+    ``traces()`` mapping) expands exemplar trace ids into span counts
+    and the slowest span of each tree. Output is a deterministic
+    function of its inputs — same run, byte-identical report.
+    """
+    docs = [e.to_dict() if hasattr(e, "to_dict") else dict(e)
+            for e in events]
+    lines = [f"== {title}"]
+
+    lines.append("-- alert timeline")
+    if not docs:
+        lines.append("  (no alert events)")
+    for doc in sorted(docs, key=lambda d: (d["t"], d["slo"], d["severity"])):
+        state = str(doc["state"]).upper()
+        lines.append(
+            f"  t={doc['t']:10.3f}s  {doc['slo']}  [{doc['severity']}]  "
+            f"{state:8s}  burn L={doc['burn_long']:.2f} "
+            f"S={doc['burn_short']:.2f}")
+
+    if monarch is not None:
+        lines.append("-- burn rates")
+        pairs = sorted({(d["slo"], d["severity"]) for d in docs})
+        if not pairs:
+            lines.append("  (no burning rules)")
+        for slo, severity in pairs:
+            labels = {"slo": slo, "severity": severity}
+            for metric, tag in (("alerts/burn_rate_long", "long "),
+                                ("alerts/burn_rate_short", "short")):
+                _times, values = monarch.read(metric, labels)
+                if len(values) == 0:
+                    continue
+                lines.append(
+                    f"  {slo} [{severity}] {tag}  "
+                    f"{sparkline(values, width)}  peak {values.max():.2f}")
+
+    lines.append("-- exemplar traces (worst first)")
+    exemplars = []
+    for doc in docs:
+        if doc["state"] != "firing":
+            continue
+        for value, trace_id in doc.get("exemplars", []):
+            exemplars.append((float(value), int(trace_id), doc["slo"]))
+    exemplars.sort(key=lambda e: (-e[0], e[1], e[2]))
+    if not exemplars:
+        lines.append("  (no exemplars attached)")
+    seen = set()
+    for value, trace_id, slo in exemplars:
+        if trace_id in seen:
+            continue
+        if len(seen) >= max_exemplars:
+            remaining = len({t for _v, t, _s in exemplars} - seen)
+            lines.append(f"  ... and {remaining} more exemplar traces")
+            break
+        seen.add(trace_id)
+        row = f"  trace {trace_id:<10d} latency {value * 1e3:9.3f} ms  {slo}"
+        if traces is not None:
+            spans = traces.get(trace_id, [])
+            if spans:
+                worst = max(spans,
+                            key=lambda s: (s.breakdown.total(), s.span_id))
+                row += (f"  [{len(spans)} spans, slowest "
+                        f"{worst.full_method} "
+                        f"{worst.breakdown.total() * 1e3:.3f} ms]")
+            else:
+                row += "  [trace not sampled]"
+        lines.append(row)
     return "\n".join(lines)

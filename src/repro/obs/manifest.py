@@ -27,8 +27,13 @@ Schema (``MANIFEST_VERSION`` 1)::
                  "spans_recorded": ..., "rpcs_completed": ...},
       "sim_time_s": 23.0,
       "peak_heap": 4096,
-      "telemetry_overhead_wall_s": 0.04   # sum of telemetry phases
+      "telemetry_overhead_wall_s": 0.04,  # sum of telemetry phases
+      "alerts": [{"t": ..., "slo": ..., "severity": ..., "state": ...,
+                  ...}]                   # optional: SLO alert timeline
     }
+
+The ``alerts`` key is optional (runs without an SLO spec omit it), so
+schema version 1 manifests stay readable.
 """
 
 from __future__ import annotations
@@ -72,11 +77,12 @@ class RunManifest:
     sim_time_s: float = 0.0
     peak_heap: int = 0
     telemetry_overhead_wall_s: float = 0.0
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
     schema_version: int = MANIFEST_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON document, digest included."""
-        return {
+        doc = {
             "schema_version": self.schema_version,
             "run_id": self.run_id,
             "seed": self.seed,
@@ -88,6 +94,9 @@ class RunManifest:
             "peak_heap": self.peak_heap,
             "telemetry_overhead_wall_s": self.telemetry_overhead_wall_s,
         }
+        if self.alerts:
+            doc["alerts"] = self.alerts
+        return doc
 
 
 class ManifestBuilder:
@@ -111,6 +120,7 @@ class ManifestBuilder:
         self._counts: Dict[str, int] = {}
         self._sim_time_s = 0.0
         self._peak_heap = 0
+        self._alerts: List[Dict[str, Any]] = []
 
     @contextmanager
     def phase(self, name: str, telemetry: bool = False):
@@ -136,6 +146,12 @@ class ManifestBuilder:
         for key, value in counts.items():
             self._counts[key] = int(value)
 
+    def add_alerts(self, events) -> None:
+        """Append SLO alert events (anything with ``to_dict``, or dicts)."""
+        for event in events:
+            self._alerts.append(
+                event.to_dict() if hasattr(event, "to_dict") else dict(event))
+
     def observe_sim(self, sim) -> None:
         """Pull the engine's own accounting off a ``Simulator``."""
         self.add_counts(events_fired=sim.events_fired,
@@ -156,6 +172,7 @@ class ManifestBuilder:
             sim_time_s=self._sim_time_s,
             peak_heap=self._peak_heap,
             telemetry_overhead_wall_s=overhead_wall_s,
+            alerts=list(self._alerts),
         )
 
 
@@ -206,5 +223,6 @@ def read_manifest(source: Union[str, TextIO]) -> RunManifest:
         sim_time_s=doc["sim_time_s"],
         peak_heap=doc["peak_heap"],
         telemetry_overhead_wall_s=doc["telemetry_overhead_wall_s"],
+        alerts=doc.get("alerts", []),
         schema_version=doc["schema_version"],
     )

@@ -4,7 +4,11 @@ Simulated tasks (servers, clients, machines) export metrics through a
 :class:`MetricRegistry`; the Monarch scraper walks the registry on its
 sampling interval. Distributions use bounded reservoir sampling so that a
 long simulation cannot grow memory without bound while percentile queries
-stay accurate.
+stay accurate; alongside the reservoir each distribution maintains a
+mergeable :class:`~repro.obs.sketch.LatencySketch` (what the scraper
+actually exports to Monarch as distribution points) and a tail
+:class:`~repro.obs.sketch.ExemplarReservoir` of the Dapper trace ids
+behind its worst observations.
 """
 
 from __future__ import annotations
@@ -13,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+from repro.obs.sketch import Exemplar, ExemplarReservoir, LatencySketch
 
 __all__ = ["Counter", "Gauge", "DistributionMetric", "MetricRegistry", "LabelSet"]
 
@@ -60,11 +66,17 @@ class DistributionMetric:
     """A streaming distribution with bounded memory.
 
     Keeps exact count/sum/min/max plus a uniform reservoir of up to
-    ``reservoir_size`` samples for percentile queries (Vitter's Algorithm R).
+    ``reservoir_size`` samples for percentile queries (Vitter's Algorithm
+    R), a cumulative :class:`LatencySketch` the Monarch scraper snapshots
+    into per-interval distribution points, and an exemplar reservoir of
+    up to ``exemplar_k`` tail ``(value, trace_id)`` pairs. The tail cut
+    is the sketch's running p95 estimate, refreshed every 32
+    observations so the hot path stays one log per observe.
     """
 
     def __init__(self, reservoir_size: int = 4096,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 exemplar_k: int = 4):
         if reservoir_size < 1:
             raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size!r}")
         self.reservoir_size = reservoir_size
@@ -74,9 +86,12 @@ class DistributionMetric:
         self.max = float("-inf")
         self._reservoir: List[float] = []
         self._rng = rng or np.random.default_rng(0)
+        self.sketch = LatencySketch()
+        self._exemplars = ExemplarReservoir(k=exemplar_k, rng=self._rng)
+        self._tail_cut = 0.0
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: Optional[int] = None) -> None:
+        """Record one observation, optionally tagged with a trace id."""
         self.count += 1
         self.sum += value
         if value < self.min:
@@ -89,11 +104,21 @@ class DistributionMetric:
             j = int(self._rng.integers(self.count))
             if j < self.reservoir_size:
                 self._reservoir[j] = value
+        self.sketch.observe(value)
+        if exemplar is not None:
+            if self.count % 32 == 0:
+                self._tail_cut = self.sketch.quantile(0.95)
+            if value >= self._tail_cut:
+                self._exemplars.offer(value, exemplar)
 
     def observe_many(self, values: Iterable[float]) -> None:
         """Record a batch of observations."""
         for v in values:
             self.observe(float(v))
+
+    def drain_exemplars(self) -> Tuple[Exemplar, ...]:
+        """Tail exemplars gathered since the last drain (worst first)."""
+        return self._exemplars.drain()
 
     @property
     def mean(self) -> float:

@@ -11,25 +11,41 @@ days). Our equivalent keeps the same shape:
 - queries return aligned ``(times, values)`` arrays and support windowed
   aggregation across label dimensions — the operation behind Fig. 1's
   fleet-wide RPS/CPU ratio and Fig. 18's 24-hour overlays.
+
+Beyond scalar series, Monarch stores *distribution* series: each point is
+a per-interval :class:`~repro.obs.sketch.LatencySketch` (plus up to K
+tail exemplar trace ids) the scraper derives by delta-ing a registry
+distribution's cumulative sketch. That gives :meth:`Monarch.aggregate`
+``max``/``min``/``p50``/``p95``/``p99`` reducers with bounded memory —
+the reads behind the SLO burn-rate engine in :mod:`repro.obs.alerting`
+and the dashboard's tail panels.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.obs.metrics import LabelSet, MetricRegistry, _labelset
+from repro.obs.sketch import Exemplar, LatencySketch
 from repro.sim.engine import Simulator
 
-__all__ = ["Monarch", "MonarchScraper", "SeriesKey", "DEFAULT_SCRAPE_INTERVAL_S"]
+__all__ = ["Monarch", "MonarchScraper", "SeriesKey", "SketchPoint",
+           "DEFAULT_SCRAPE_INTERVAL_S"]
 
 # The paper's long-retention sampling cadence: one sample per 30 minutes.
 DEFAULT_SCRAPE_INTERVAL_S = 30 * 60.0
 
 SeriesKey = Tuple[str, LabelSet]
+
+#: Reducers usable with :meth:`Monarch.aggregate`. Scalar reducers fold
+#: last-in-window gauge values across series; percentile reducers need
+#: distribution (sketch) series.
+_SCALAR_REDUCERS = ("sum", "mean", "max", "min")
+_PERCENTILE_REDUCERS = {"p50": 0.50, "p95": 0.95, "p99": 0.99}
 
 
 @dataclass
@@ -38,11 +54,14 @@ class _Series:
     values: List[float] = field(default_factory=list)
 
     def append(self, t: float, v: float) -> None:
-        """Append a point (monotone time)."""
+        """Append a point (monotone time; equal timestamp rewrites)."""
         if self.times and t < self.times[-1]:
             raise ValueError(
                 f"out-of-order write: t={t} after t={self.times[-1]}"
             )
+        if self.times and t == self.times[-1]:
+            self.values[-1] = v
+            return
         self.times.append(t)
         self.values.append(v)
 
@@ -54,12 +73,46 @@ class _Series:
             del self.values[:idx]
 
 
+@dataclass(frozen=True)
+class SketchPoint:
+    """One distribution-series point: an interval's sketch + exemplars."""
+
+    t: float
+    sketch: LatencySketch
+    exemplars: Tuple[Exemplar, ...] = ()
+
+
+@dataclass
+class _SketchSeries:
+    points: List[SketchPoint] = field(default_factory=list)
+
+    def append(self, point: SketchPoint) -> None:
+        """Append a point (monotone time; equal timestamp rewrites)."""
+        if self.points and point.t < self.points[-1].t:
+            raise ValueError(
+                f"out-of-order write: t={point.t} after t={self.points[-1].t}"
+            )
+        if self.points and point.t == self.points[-1].t:
+            self.points[-1] = point
+            return
+        self.points.append(point)
+
+    def trim_before(self, cutoff: float) -> None:
+        """Drop points before the cutoff."""
+        idx = 0
+        while idx < len(self.points) and self.points[idx].t < cutoff:
+            idx += 1
+        if idx:
+            del self.points[:idx]
+
+
 class Monarch:
     """The time-series store."""
 
     def __init__(self, retention_s: Optional[float] = None):
         self.retention_s = retention_s
         self._series: Dict[SeriesKey, _Series] = {}
+        self._sketch_series: Dict[SeriesKey, _SketchSeries] = {}
 
     # ------------------------------------------------------------------
     # Writes
@@ -76,12 +129,37 @@ class Monarch:
         if self.retention_s is not None:
             series.trim_before(t - self.retention_s)
 
+    def write_sketch(self, name: str, labels: Optional[Dict[str, str]],
+                     t: float, sketch: LatencySketch,
+                     exemplars: Sequence[Exemplar] = ()) -> None:
+        """Append one distribution point (an interval's sketch).
+
+        The store takes ownership of ``sketch`` — pass a copy if the
+        caller keeps accumulating into it.
+        """
+        key: SeriesKey = (name, _labelset(labels))
+        series = self._sketch_series.get(key)
+        if series is None:
+            series = _SketchSeries()
+            self._sketch_series[key] = series
+        series.append(SketchPoint(t=t, sketch=sketch,
+                                  exemplars=tuple(exemplars)))
+        if self.retention_s is not None:
+            series.trim_before(t - self.retention_s)
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def series_keys(self, name: Optional[str] = None) -> List[SeriesKey]:
-        """All series keys, optionally for one metric."""
+        """All scalar series keys, optionally for one metric."""
         keys = list(self._series)
+        if name is not None:
+            keys = [k for k in keys if k[0] == name]
+        return sorted(keys)
+
+    def sketch_keys(self, name: Optional[str] = None) -> List[SeriesKey]:
+        """All distribution series keys, optionally for one metric."""
+        keys = list(self._sketch_series)
         if name is not None:
             keys = [k for k in keys if k[0] == name]
         return sorted(keys)
@@ -103,9 +181,17 @@ class Monarch:
         return times[mask], values[mask]
 
     def read_matching(self, name: str,
-                      label_filter: Optional[Dict[str, str]] = None
+                      label_filter: Optional[Dict[str, str]] = None,
+                      t_start: Optional[float] = None,
+                      t_end: Optional[float] = None,
                       ) -> Dict[LabelSet, Tuple[np.ndarray, np.ndarray]]:
-        """All series of ``name`` whose labels include ``label_filter``."""
+        """All series of ``name`` whose labels include ``label_filter``.
+
+        ``t_start``/``t_end`` bound the returned points (inclusive), so
+        dashboard and alert queries scan only the window they need
+        rather than full retention. Series with no points in the window
+        are returned with empty arrays.
+        """
         want = set((label_filter or {}).items())
         out = {}
         for (metric, labelset), series in self._series.items():
@@ -113,8 +199,70 @@ class Monarch:
                 continue
             if want and not want <= {(k, v) for k, v in labelset}:
                 continue
-            out[labelset] = (np.asarray(series.times), np.asarray(series.values))
+            times = np.asarray(series.times)
+            values = np.asarray(series.values)
+            if t_start is not None or t_end is not None:
+                lo = bisect.bisect_left(series.times, t_start) \
+                    if t_start is not None else 0
+                hi = bisect.bisect_right(series.times, t_end) \
+                    if t_end is not None else len(series.times)
+                times, values = times[lo:hi], values[lo:hi]
+            out[labelset] = (times, values)
         return out
+
+    def read_sketches(self, name: str,
+                      label_filter: Optional[Dict[str, str]] = None,
+                      t_start: Optional[float] = None,
+                      t_end: Optional[float] = None,
+                      ) -> Dict[LabelSet, List[SketchPoint]]:
+        """All distribution series of ``name`` matching ``label_filter``.
+
+        Time bounds are inclusive, mirroring :meth:`read_matching`.
+        """
+        want = set((label_filter or {}).items())
+        out: Dict[LabelSet, List[SketchPoint]] = {}
+        for (metric, labelset), series in self._sketch_series.items():
+            if metric != name:
+                continue
+            if want and not want <= {(k, v) for k, v in labelset}:
+                continue
+            out[labelset] = [
+                p for p in series.points
+                if (t_start is None or p.t >= t_start)
+                and (t_end is None or p.t <= t_end)
+            ]
+        return out
+
+    def window_sketch(self, name: str,
+                      label_filter: Optional[Dict[str, str]] = None,
+                      t_start: Optional[float] = None,
+                      t_end: Optional[float] = None,
+                      ) -> Optional[SketchPoint]:
+        """Merge every matching distribution point in a window into one.
+
+        Returns a :class:`SketchPoint` whose sketch is the union of all
+        observations in the window and whose exemplars pool every
+        point's exemplars (worst value first), or ``None`` when nothing
+        matched — the primitive behind burn-rate and tail-panel queries.
+        """
+        merged: Optional[LatencySketch] = None
+        exemplars: List[Exemplar] = []
+        latest = t_start if t_start is not None else 0.0
+        for points in self.read_sketches(name, label_filter,
+                                         t_start, t_end).values():
+            for p in points:
+                if merged is None:
+                    merged = p.sketch.copy()
+                else:
+                    merged.merge(p.sketch)
+                exemplars.extend(p.exemplars)
+                if p.t > latest:
+                    latest = p.t
+        if merged is None:
+            return None
+        exemplars.sort(key=lambda e: (-e[0], e[1]))
+        return SketchPoint(t=latest, sketch=merged,
+                           exemplars=tuple(exemplars))
 
     def rate(self, name: str, labels: Optional[Dict[str, str]] = None
              ) -> Tuple[np.ndarray, np.ndarray]:
@@ -140,17 +288,31 @@ class Monarch:
     # ------------------------------------------------------------------
     def aggregate(self, name: str, window_s: float,
                   label_filter: Optional[Dict[str, str]] = None,
-                  reducer: str = "sum") -> Tuple[np.ndarray, np.ndarray]:
+                  reducer: str = "sum",
+                  t_start: Optional[float] = None,
+                  t_end: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Align matching series into windows and reduce across series.
 
-        Points are bucketed into ``window_s``-wide windows by timestamp;
-        within a (series, window) pair the last point wins (gauge
-        semantics); across series the ``reducer`` ('sum' or 'mean')
-        combines them. Returns (window_start_times, reduced_values).
+        Points are bucketed into ``window_s``-wide windows by timestamp.
+        Scalar reducers ('sum', 'mean', 'max', 'min') operate on scalar
+        series: within a (series, window) pair the last point wins
+        (gauge semantics), then the reducer folds across series.
+        Percentile reducers ('p50', 'p95', 'p99') operate on
+        distribution series: all sketches in a window merge into one and
+        the quantile is read off it — and 'max'/'min' likewise use the
+        sketches when the metric has distribution series, where they are
+        exact. ``t_start``/``t_end`` bound the scan (inclusive).
+        Returns (window_start_times, reduced_values).
         """
-        if reducer not in ("sum", "mean"):
-            raise ValueError(f"reducer must be 'sum' or 'mean', got {reducer!r}")
-        matching = self.read_matching(name, label_filter)
+        if reducer not in _SCALAR_REDUCERS and reducer not in _PERCENTILE_REDUCERS:
+            known = ", ".join(list(_SCALAR_REDUCERS) + sorted(_PERCENTILE_REDUCERS))
+            raise ValueError(f"reducer must be one of {known}, got {reducer!r}")
+        has_sketches = any(k[0] == name for k in self._sketch_series)
+        if reducer in _PERCENTILE_REDUCERS or (
+                reducer in ("max", "min") and has_sketches):
+            return self._aggregate_sketches(name, window_s, label_filter,
+                                            reducer, t_start, t_end)
+        matching = self.read_matching(name, label_filter, t_start, t_end)
         buckets: Dict[int, List[float]] = {}
         for times, values in matching.values():
             last_in_window: Dict[int, float] = {}
@@ -161,10 +323,37 @@ class Monarch:
         if not buckets:
             return np.array([]), np.array([])
         windows = np.array(sorted(buckets))
-        if reducer == "sum":
-            vals = np.array([sum(buckets[w]) for w in windows])
+        fold = {"sum": sum, "mean": np.mean, "max": max, "min": min}[reducer]
+        vals = np.array([float(fold(buckets[w])) for w in windows])
+        return windows * window_s, vals
+
+    def _aggregate_sketches(self, name: str, window_s: float,
+                            label_filter: Optional[Dict[str, str]],
+                            reducer: str,
+                            t_start: Optional[float],
+                            t_end: Optional[float]
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Windowed reduce over distribution series (merge, then read)."""
+        matching = self.read_sketches(name, label_filter, t_start, t_end)
+        buckets: Dict[int, LatencySketch] = {}
+        for points in matching.values():
+            for p in points:
+                w = int(p.t // window_s)
+                if w in buckets:
+                    buckets[w].merge(p.sketch)
+                else:
+                    buckets[w] = p.sketch.copy()
+        buckets = {w: s for w, s in buckets.items() if s.count}
+        if not buckets:
+            return np.array([]), np.array([])
+        windows = np.array(sorted(buckets))
+        if reducer == "max":
+            vals = np.array([buckets[w].max for w in windows])
+        elif reducer == "min":
+            vals = np.array([buckets[w].min for w in windows])
         else:
-            vals = np.array([float(np.mean(buckets[w])) for w in windows])
+            q = _PERCENTILE_REDUCERS[reducer]
+            vals = np.array([buckets[w].quantile(q) for w in windows])
         return windows * window_s, vals
 
 
@@ -174,15 +363,28 @@ class MonarchScraper:
     ``collectors`` are callbacks ``(t) -> iterable of (name, labels, value)``
     used for state that is cheaper to compute on demand than to export
     continuously (machine exogenous variables, pool utilizations).
+
+    Registry *distributions* are exported as distribution points: each
+    scrape writes the delta between the distribution's cumulative sketch
+    and its previous snapshot (so every point covers exactly one scrape
+    interval) plus the tail exemplars gathered in that interval.
+
+    ``wall_clock`` is an optional injected real-time callable (harness
+    code only); with it, :attr:`scrape_wall_s` accumulates the scraper's
+    own self-overhead for the bench trajectory.
     """
 
     def __init__(self, sim: Simulator, monarch: Monarch,
-                 interval_s: float = DEFAULT_SCRAPE_INTERVAL_S):
+                 interval_s: float = DEFAULT_SCRAPE_INTERVAL_S,
+                 wall_clock: Optional[Callable[[], float]] = None):
         self.sim = sim
         self.monarch = monarch
         self.interval_s = interval_s
         self._registries: List[Tuple[MetricRegistry, Dict[str, str]]] = []
         self._collectors: List[Callable[[float], Iterable[Tuple[str, Dict[str, str], float]]]] = []
+        self._prev_sketches: Dict[Tuple[int, str, LabelSet], LatencySketch] = {}
+        self._wall_clock = wall_clock
+        self.scrape_wall_s = 0.0
         self._task = sim.every(interval_s, self._scrape, start_after=interval_s)
 
     def register(self, registry: MetricRegistry,
@@ -202,12 +404,24 @@ class MonarchScraper:
         self._task.cancel()
 
     def _scrape(self) -> None:
+        start_s = self._wall_clock() if self._wall_clock is not None else 0.0
         t = self.sim.now
         for registry, base_labels in self._registries:
             for (name, labelset), value in registry.snapshot().items():
                 labels = dict(base_labels)
                 labels.update(dict(labelset))
                 self.monarch.write(name, labels, t, value)
+            for (name, labelset), dist in registry.distributions.items():
+                cur = dist.sketch.copy()
+                prev = self._prev_sketches.get((id(registry), name, labelset))
+                delta = cur if prev is None else cur.delta_since(prev)
+                self._prev_sketches[(id(registry), name, labelset)] = cur
+                labels = dict(base_labels)
+                labels.update(dict(labelset))
+                self.monarch.write_sketch(name, labels, t, delta,
+                                          exemplars=dist.drain_exemplars())
         for fn in self._collectors:
             for name, labels, value in fn(t):
                 self.monarch.write(name, labels, t, value)
+        if self._wall_clock is not None:
+            self.scrape_wall_s += self._wall_clock() - start_s

@@ -128,7 +128,8 @@ class MetricsProbe(Probe):
             self._hedges[method] = counter
         counter.add()
 
-    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+    def rpc_completed(self, method, time_s, status, latency_s, attempts,
+                      trace_id=0):
         counter = self._completed.get(method)
         if counter is None:
             counter = self.registry.counter("telemetry/rpc_completed",
@@ -140,7 +141,7 @@ class MetricsProbe(Probe):
             dist = self.registry.distribution("telemetry/rpc_latency_s",
                                               {"method": method})
             self._latency[method] = dist
-        dist.observe(latency_s)
+        dist.observe(latency_s, exemplar=trace_id if trace_id else None)
 
     # -- real RPC library ---------------------------------------------
     def rpc_stage(self, stage, elapsed_s):
@@ -187,7 +188,8 @@ class HeartbeatProbe(Probe):
     def rpc_hedge(self, method, time_s):
         self.hedges += 1
 
-    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+    def rpc_completed(self, method, time_s, status, latency_s, attempts,
+                      trace_id=0):
         self.rpcs_completed += 1
 
     def snapshot(self) -> Dict[str, float]:
@@ -268,7 +270,8 @@ class TraceEventProbe(Probe):
             "dur": service_s * 1e6, "args": {},
         })
 
-    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+    def rpc_completed(self, method, time_s, status, latency_s, attempts,
+                      trace_id=0):
         tid = self._tid(self._method_tids, method, RPC_PID)
         self.events.append({
             "ph": "X", "name": method, "cat": "rpc", "pid": RPC_PID,

@@ -29,7 +29,6 @@ server resources — the behaviour behind Fig. 23's cancellation costs.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -39,7 +38,6 @@ from repro.fleet.machine import Machine
 from repro.net.latency import NetworkModel
 from repro.rpc.errors import ErrorModel, StatusCode
 from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
-from repro.rpc.message import new_rpc_id
 from repro.rpc.stack import LatencyBreakdown, StackCostModel
 from repro.rpc.tracing import ProfileSink, Span, SpanSink
 from repro.sim.distributions import Distribution
@@ -48,10 +46,6 @@ from repro.sim.queues import Job
 
 __all__ = ["ChildCall", "MethodRuntime", "RpcServerTask", "RpcClientTask",
            "CallResult"]
-
-_trace_ids = itertools.count(1)
-_span_ids = itertools.count(1)
-
 
 @dataclass
 class ChildCall:
@@ -120,6 +114,10 @@ class RpcServerTask:
         self.rng = rng or np.random.default_rng(0)
         self.rpcs_served = 0
         self.cycles_burned = 0.0
+        # Handler service-time multiplier; studies flip it mid-run to
+        # inject latency regressions (e.g. a bad rollout doubling app
+        # time) without touching the method's base distribution.
+        self.app_scale = 1.0
         # Buffered scalar draws (hot path; see BufferedDraws).
         self._app_bufs = {
             name: m.app_time.buffered(self.rng)
@@ -188,7 +186,8 @@ class RpcServerTask:
             base_app = app_buf.next()
             if status.is_error and status is not StatusCode.CANCELLED:
                 base_app *= runtime.error_app_fraction
-            actual_app = base_app * self.machine.service_multiplier()
+            actual_app = base_app * self.machine.service_multiplier() \
+                * self.app_scale
             app_cycles = cycle_buf.next()
             if status.is_error and status is not StatusCode.CANCELLED:
                 app_cycles *= runtime.error_app_fraction
@@ -314,10 +313,16 @@ class RpcClientTask:
         """Issue one RPC; the server is chosen per attempt by ``pick_server``.
 
         ``trace_id``/``parent_id`` link the call into an existing Dapper
-        trace (nested calls); a fresh trace id is minted otherwise.
+        trace (nested calls); a fresh trace id is minted otherwise, and
+        the sink's root-level head-sampling decision (Dapper's
+        ``sample_root``, when the sink steers per-method rates) is made
+        eagerly so children inherit it.
         """
         if trace_id is None:
-            trace_id = next(_trace_ids)
+            trace_id = self.sim.mint_id("trace")
+            sample_root = getattr(self.dapper, "sample_root", None)
+            if sample_root is not None:
+                sample_root(trace_id, runtime.full_method)
         req_buf = self._req_bufs.get(runtime.full_method)
         if req_buf is None:
             req_buf = runtime.request_size.buffered(self.rng)
@@ -357,7 +362,7 @@ class RpcClientTask:
                      state: dict,
                      on_complete: Optional[Callable[[CallResult], None]],
                      parent_id: Optional[int] = None) -> None:
-        span_id = next(_span_ids)
+        span_id = self.sim.mint_id("span")
         t0 = self.sim.now
         # Per-attempt outcome from the method's error model (hedging losers
         # are turned into CANCELLED at completion time below).
@@ -468,7 +473,7 @@ class RpcClientTask:
                     probe.rpc_completed(
                         runtime.full_method, self.sim.now,
                         final_status.name, breakdown.total(),
-                        state["attempts"],
+                        state["attempts"], trace_id,
                     )
                 if on_complete is not None:
                     on_complete(CallResult(

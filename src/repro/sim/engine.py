@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.sim.instrument import Probe, resolve_probe
 
@@ -104,6 +104,7 @@ class Simulator:
         self.now: float = start_time
         self._heap: list[_HeapEntry] = []
         self._seq = itertools.count()
+        self._id_counters: dict[str, Iterator[int]] = {}
         self._events_fired = 0
         self._events_cancelled = 0
         self._dead = 0  # cancelled entries still sitting in the heap
@@ -117,6 +118,21 @@ class Simulator:
     def set_probe(self, probe: Optional[Probe]) -> None:
         """Install (or clear, with ``None``/``NullProbe``) the probe."""
         self.probe = resolve_probe(probe)
+
+    def mint_id(self, kind: str) -> int:
+        """Next id (1-based) from this run's ``kind`` counter.
+
+        Identifiers that end up in run artifacts (Dapper trace and span
+        ids, most notably) must be minted per simulation, not from a
+        process-global counter: a global leaks ordering between runs in
+        the same process, so the second of two identical runs gets
+        different ids and reports stop being byte-reproducible.
+        """
+        counter = self._id_counters.get(kind)
+        if counter is None:
+            counter = itertools.count(1)
+            self._id_counters[kind] = counter
+        return next(counter)
 
     # ------------------------------------------------------------------
     # Scheduling

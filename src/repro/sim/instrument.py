@@ -88,8 +88,13 @@ class Probe:
         """A hedged backup copy of ``method`` was launched."""
 
     def rpc_completed(self, method: str, time_s: float, status: str,
-                      latency_s: float, attempts: int) -> None:
-        """A call finished (winning attempt only) with ``latency_s``."""
+                      latency_s: float, attempts: int,
+                      trace_id: int = 0) -> None:
+        """A call finished (winning attempt only) with ``latency_s``.
+
+        ``trace_id`` is the Dapper trace the call belongs to (0 when the
+        caller has none) — probes that export distributions use it to
+        attach tail exemplars."""
 
     # -- real RPC library ---------------------------------------------
     def rpc_stage(self, stage: str, elapsed_s: float) -> None:
@@ -161,9 +166,11 @@ class ProbeGroup(Probe):
         for p in self.probes:
             p.rpc_hedge(method, time_s)
 
-    def rpc_completed(self, method, time_s, status, latency_s, attempts):
+    def rpc_completed(self, method, time_s, status, latency_s, attempts,
+                      trace_id=0):
         for p in self.probes:
-            p.rpc_completed(method, time_s, status, latency_s, attempts)
+            p.rpc_completed(method, time_s, status, latency_s, attempts,
+                            trace_id)
 
     def rpc_stage(self, stage, elapsed_s):
         for p in self.probes:

@@ -17,17 +17,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.fleet.topology import Cluster, Fleet, FleetSpec, build_fleet
 from repro.net.latency import NetworkModel
+from repro.obs.alerting import (
+    AdaptiveSamplingController,
+    AlertManager,
+    SloSpec,
+)
 from repro.obs.dapper import DapperCollector
 from repro.obs.gwp import GwpProfiler
+from repro.obs.metrics import MetricRegistry
 from repro.obs.monarch import Monarch, MonarchScraper
+from repro.obs.telemetry import MetricsProbe
 from repro.rpc.errors import ErrorModel
 from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
 from repro.sim.engine import Simulator
-from repro.sim.instrument import Probe
+from repro.sim.instrument import Probe, ProbeGroup, resolve_probe
 from repro.sim.random import RngRegistry
 from repro.workloads.drivers import (
     DeploymentConfig,
@@ -53,6 +60,10 @@ class ServiceStudy:
     gwp: GwpProfiler
     deployments: Dict[str, ServiceDeployment]
     drivers: List[OpenLoopDriver] = field(default_factory=list)
+    scraper: Optional[MonarchScraper] = None
+    metrics_registry: Optional[MetricRegistry] = None
+    alerts: Optional[AlertManager] = None
+    sampling: Optional[AdaptiveSamplingController] = None
 
     def clusters_by_name(self) -> Dict[str, Cluster]:
         """Cluster lookup by name."""
@@ -73,6 +84,12 @@ def run_service_study(
     per_cluster_rate_spread: float = 0.0,
     dapper_sampling: float = 0.35,
     probe: Optional[Probe] = None,
+    slos: Optional[Sequence[SloSpec]] = None,
+    alert_eval_interval_s: Optional[float] = None,
+    trace_budget: Optional[float] = None,
+    on_setup: Optional[Callable[[Simulator, Dict[str, "ServiceDeployment"]],
+                                None]] = None,
+    alert_wall_clock: Optional[Callable[[], float]] = None,
 ) -> ServiceStudy:
     """Run the Table-1 services with co-located clients in each cluster.
 
@@ -81,6 +98,21 @@ def run_service_study(
     clusters of a default fleet, and one open-loop driver per cluster.
     ``probe`` (any :class:`~repro.sim.instrument.Probe`) observes the
     engine; results are unchanged with or without one.
+
+    The observability control plane is opt-in: ``slos`` attaches an
+    :class:`~repro.obs.alerting.AlertManager` evaluating those specs
+    every ``alert_eval_interval_s`` (default: the scrape interval);
+    ``trace_budget`` attaches an
+    :class:`~repro.obs.alerting.AdaptiveSamplingController` steering
+    Dapper head sampling toward that many root traces per interval.
+    Either implies a :class:`~repro.obs.telemetry.MetricsProbe` grouped
+    with ``probe`` whose registry the scraper exports (latency
+    distributions become Monarch sketch series with exemplars).
+    ``on_setup(sim, deployments)`` runs before the simulation starts —
+    the hook studies use to schedule mid-run perturbations (e.g. a
+    latency regression flipping a server's ``app_scale``).
+    ``alert_wall_clock`` (harness code only) lets the scraper and alert
+    manager time their own overhead.
     """
     service_names = list(services) if services else list(SERVICE_SPECS)
     unknown = set(service_names) - set(SERVICE_SPECS)
@@ -91,6 +123,11 @@ def run_service_study(
         # The paper's Monarch cadence is 30 minutes; short studies scale
         # it down so several scrapes land inside the run.
         scrape_interval_s = min(1800.0, max(duration_s / 8.0, 0.25))
+    control_plane = slos is not None or trace_budget is not None
+    metrics_probe: Optional[MetricsProbe] = None
+    if control_plane:
+        metrics_probe = MetricsProbe()
+        probe = resolve_probe(ProbeGroup(probe, metrics_probe))
     sim = Simulator(probe=probe)
     rngs = RngRegistry(seed)
     fleet = build_fleet(FleetSpec(), seed=seed)
@@ -104,7 +141,25 @@ def run_service_study(
                              rng=rngs.stream("dapper"))
     monarch = Monarch()
     gwp = GwpProfiler()
-    scraper = MonarchScraper(sim, monarch, interval_s=scrape_interval_s)
+    # Created before the alert manager: at coincident sim times the
+    # engine fires FIFO, so the scrape lands before the rules read it.
+    scraper = MonarchScraper(sim, monarch, interval_s=scrape_interval_s,
+                             wall_clock=alert_wall_clock)
+    if metrics_probe is not None:
+        scraper.register(metrics_probe.registry)
+    alerts: Optional[AlertManager] = None
+    if slos is not None:
+        alerts = AlertManager(
+            sim, monarch, slos,
+            interval_s=alert_eval_interval_s or scrape_interval_s,
+            wall_clock=alert_wall_clock,
+        )
+    sampling: Optional[AdaptiveSamplingController] = None
+    if trace_budget is not None:
+        sampling = AdaptiveSamplingController(
+            sim, dapper, interval_s=scrape_interval_s,
+            trace_budget=trace_budget, alerts=alerts,
+        )
 
     deployments: Dict[str, ServiceDeployment] = {}
     drivers: List[OpenLoopDriver] = []
@@ -143,15 +198,22 @@ def run_service_study(
             driver.start(duration_s)
             drivers.append(driver)
 
+    if on_setup is not None:
+        on_setup(sim, deployments)
     sim.run_until(duration_s)
     # Stop scraping when offered load stops: cumulative-utilization
     # samples taken during the drain would dilute the usage figures.
     scraper.stop()
-    # Let in-flight RPCs drain (bounded: WAN RTT + deep queues).
+    # Let in-flight RPCs drain (bounded: WAN RTT + deep queues). Alert
+    # evaluation keeps running so firing alerts resolve as their windows
+    # empty out.
     sim.run_until(duration_s + 30.0)
     return ServiceStudy(sim=sim, fleet=fleet, network=network, dapper=dapper,
                         monarch=monarch, gwp=gwp, deployments=deployments,
-                        drivers=drivers)
+                        drivers=drivers, scraper=scraper,
+                        metrics_registry=(metrics_probe.registry
+                                          if metrics_probe else None),
+                        alerts=alerts, sampling=sampling)
 
 
 def run_diurnal_study(

@@ -1,0 +1,77 @@
+"""Tests for the bench-trajectory regression guard (`tools/bench_guard.py`)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL_PATH = (Path(__file__).resolve().parent.parent
+             / "tools" / "bench_guard.py")
+
+spec = importlib.util.spec_from_file_location("bench_guard", TOOL_PATH)
+bench_guard = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_guard)
+
+
+def write_trajectory(path, **figures):
+    records = [{"figure": name, "wall_s": wall_s, "stats": {}}
+               for name, wall_s in figures.items()]
+    path.write_text(json.dumps(records))
+
+
+def test_newest_baseline_picks_highest_pr_number(tmp_path):
+    for name in ("BENCH_PR2.json", "BENCH_PR4.json", "BENCH_PR10.json",
+                 "BENCH_PRx.json", "BENCH.json"):
+        (tmp_path / name).write_text("[]")
+    newest = bench_guard.newest_baseline(str(tmp_path))
+    assert newest.endswith("BENCH_PR10.json")  # numeric, not lexicographic
+
+
+def test_newest_baseline_missing(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        bench_guard.newest_baseline(str(tmp_path))
+
+
+def test_repo_has_a_committed_baseline():
+    # The CI bench-smoke job depends on --print-newest resolving.
+    assert Path(bench_guard.newest_baseline()).exists()
+
+
+def test_print_newest_flag(capsys):
+    assert bench_guard.main(["--print-newest"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out.endswith(".json")
+
+
+def test_guard_passes_within_ratio(tmp_path, capsys):
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    write_trajectory(base, fig04_descendants=1.0)
+    write_trajectory(cur, fig04_descendants=1.2)
+    assert bench_guard.main(["--baseline", str(base), "--current", str(cur),
+                             "fig04_descendants"]) == 0
+
+
+def test_guard_fails_on_regression(tmp_path, capsys):
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    write_trajectory(base, fig04_descendants=1.0)
+    write_trajectory(cur, fig04_descendants=2.0)
+    assert bench_guard.main(["--baseline", str(base), "--current", str(cur),
+                             "fig04_descendants"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_guard_ignores_sub_min_wall_jitter(tmp_path):
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    write_trajectory(base, quick_fig=0.001)
+    write_trajectory(cur, quick_fig=0.004)  # 4x, but under --min-wall
+    assert bench_guard.main(["--baseline", str(base), "--current", str(cur),
+                             "quick_fig"]) == 0
+
+
+def test_guard_flags_missing_figures(tmp_path, capsys):
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    write_trajectory(base, fig04_descendants=1.0)
+    write_trajectory(cur)
+    assert bench_guard.main(["--baseline", str(base), "--current", str(cur),
+                             "fig04_descendants", "absent_fig"]) == 1

@@ -117,3 +117,75 @@ def test_export_chrome_rejects_garbage(tmp_path):
     bad.write_bytes(b"not a trace")
     with pytest.raises(TraceIOError, match="bad trace magic"):
         main(["export-chrome", str(bad), str(tmp_path / "out.json")])
+
+
+def test_fleet_obs_incident_round_trip(tmp_path, capsys):
+    report_path = str(tmp_path / "incident.txt")
+    manifest_path = str(tmp_path / "manifest.json")
+    assert main(["fleet-obs", "--services", "KVStore", "--duration", "2.0",
+                 "--seed", "5", "--inject-regression", "KVStore:1.0:8.0",
+                 "--report", report_path, "--manifest", manifest_path]) == 0
+    out = capsys.readouterr().out
+    assert "incident report" in out
+    assert "-- alert timeline" in out
+    assert "FIRING" in out  # the injected regression trips the SLO
+
+    with open(report_path) as f:
+        live_report = f.read()
+    live_timeline = [ln for ln in live_report.splitlines()
+                     if ln.startswith("  t=")]
+    assert live_timeline
+
+    # Re-render from the manifest alone: the alert timeline round-trips.
+    assert main(["fleet-obs", "--from-manifest", manifest_path]) == 0
+    replay = capsys.readouterr().out
+    replay_timeline = [ln for ln in replay.splitlines()
+                       if ln.startswith("  t=")]
+    assert replay_timeline == live_timeline
+
+
+def test_fleet_obs_slo_file_and_trace_budget(tmp_path, capsys):
+    import json
+
+    slo_path = tmp_path / "slos.json"
+    slo_path.write_text(json.dumps([{
+        "name": "kv-latency", "threshold_s": 0.002, "window_s": 360.0,
+        "target": 0.99, "labels": {"method": "KVStore/SearchValue"},
+    }]))
+    assert main(["fleet-obs", "--services", "KVStore", "--duration", "1.0",
+                 "--slo", str(slo_path), "--trace-budget", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "incident report" in out
+
+
+def test_fleet_obs_rejects_regression_on_absent_service(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["fleet-obs", "--services", "KVStore",
+              "--inject-regression", "Bigtable:1.0:2.0"])
+
+
+def test_export_chrome_trace_ids_filter(tmp_path, capsys):
+    import json
+
+    spans_path = str(tmp_path / "spans.dtrc")
+    chrome_path = str(tmp_path / "one.chrome.json")
+    assert main(["service-study", "--services", "KVStore",
+                 "--duration", "0.5", "--save-traces", spans_path]) == 0
+    capsys.readouterr()
+
+    from repro.obs.trace_io import read_traces
+
+    spans = list(read_traces(spans_path))
+    target = spans[0].trace_id
+    assert main(["export-chrome", spans_path, chrome_path,
+                 "--trace-ids", str(target)]) == 0
+    capsys.readouterr()
+    with open(chrome_path) as f:
+        doc = json.load(f)
+    exported = {e["args"]["trace_id"] for e in doc["traceEvents"]
+                if e.get("ph") == "X" and "trace_id" in e.get("args", {})}
+    assert exported == {target}
+
+    # No matching ids: error exit, nothing useful to write.
+    assert main(["export-chrome", spans_path,
+                 str(tmp_path / "none.json"), "--trace-ids", "999999"]) == 1

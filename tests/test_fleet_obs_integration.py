@@ -1,0 +1,128 @@
+"""End-to-end tests of the fleet observability control plane.
+
+Exercises the full loop the ``fleet_dashboard`` example demonstrates: a
+DES study with an SLO attached, a mid-run latency regression, burn-rate
+alerts walking pending -> firing -> resolved, exemplar trace ids linking
+the alert back to Dapper span trees, and a byte-identical incident
+report under a fixed seed.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.obs.alerting import SloSpec
+from repro.obs.dashboard import render_incident_report
+from repro.studies import run_service_study
+
+EXAMPLE_PATH = (Path(__file__).resolve().parent.parent
+                / "examples" / "fleet_dashboard.py")
+
+SEED = 5
+DURATION_S = 2.0
+REGRESSION_AT_S = 1.0
+THRESHOLD_S = 0.002
+
+
+def load_example():
+    spec = importlib.util.spec_from_file_location(
+        "fleet_dashboard_example", EXAMPLE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_small_incident(seed=SEED):
+    """A compact version of the example incident (KVStore, one cluster)."""
+    slo = SloSpec(
+        name="kv-latency", threshold_s=THRESHOLD_S, window_s=240.0,
+        target=0.99, labels={"method": "KVStore/SearchValue"})
+
+    def inject(sim, deployments):
+        servers = [s for cluster_servers in
+                   deployments["KVStore"].servers_by_cluster.values()
+                   for s in cluster_servers]
+
+        def degrade():
+            for server in servers:
+                server.app_scale *= 8.0
+
+        sim.at(REGRESSION_AT_S, degrade)
+
+    study = run_service_study(
+        services=["KVStore"], n_clusters=1, duration_s=DURATION_S,
+        seed=seed, scrape_interval_s=0.25, dapper_sampling=1.0,
+        slos=[slo], on_setup=inject)
+    report = render_incident_report(
+        study.alerts.events, study.monarch, traces=study.dapper.traces(),
+        title="incident report: KVStore regression")
+    return study, report
+
+
+@pytest.fixture(scope="module")
+def incident():
+    return run_small_incident()
+
+
+class TestIncidentLifecycle:
+    def test_alert_walks_pending_firing_resolved(self, incident):
+        study, _report = incident
+        page = [e for e in study.alerts.events if e.severity == "page"]
+        states = [e.state for e in page]
+        assert states == ["pending", "firing", "resolved"]
+        # The whole lifecycle happens after the injected regression.
+        assert all(e.t > REGRESSION_AT_S for e in page)
+        assert page[0].t < page[1].t < page[2].t
+
+    def test_firing_exemplar_trace_shows_the_regression(self, incident):
+        study, _report = incident
+        firing = [e for e in study.alerts.events if e.state == "firing"]
+        assert firing and firing[0].exemplars
+        traces = study.dapper.traces()
+        value, trace_id = firing[0].exemplars[0]
+        assert value > THRESHOLD_S
+        spans = traces[trace_id]  # exemplar traces are always sampled here
+        assert spans
+        # The span tree exhibits the regression: its slowest span breaches
+        # the SLO threshold and started after the injection point.
+        worst = max(spans, key=lambda s: s.breakdown.total())
+        assert worst.breakdown.total() > THRESHOLD_S
+        assert worst.start_time >= REGRESSION_AT_S
+
+    def test_burn_rate_series_cross_the_page_factor(self, incident):
+        study, _report = incident
+        _t, burn = study.monarch.read(
+            "alerts/burn_rate_long", {"slo": "kv-latency",
+                                      "severity": "page"})
+        assert burn.min() == 0.0  # healthy before the rollout
+        assert burn.max() >= 14.4  # breach during it
+
+    def test_report_sections_render(self, incident):
+        _study, report = incident
+        assert "-- alert timeline" in report
+        assert "-- burn rates" in report
+        assert "-- exemplar traces (worst first)" in report
+        assert "FIRING" in report and "RESOLVED" in report
+        assert "spans, slowest KVStore/SearchValue" in report
+
+    def test_report_is_byte_identical_across_runs(self, incident):
+        _study, first = incident
+        _study2, second = run_small_incident()
+        assert first == second
+
+    def test_different_seed_different_run(self, incident):
+        study, _report = incident
+        study2, _report2 = run_small_incident(seed=SEED + 1)
+        assert len(study.dapper.spans) != len(study2.dapper.spans)
+
+
+class TestExampleModule:
+    def test_example_slo_compiles_and_scenario_wiring(self):
+        mod = load_example()
+        slo = mod.build_slo()
+        rules = slo.compile()
+        assert [r.severity for r in rules] == ["page", "ticket"]
+        assert slo.labels == {"method": "Bigtable/SearchValue"}
+        assert mod.REGRESSION_AT_S < mod.DURATION_S
+        assert mod.REGRESSION_SCALE > 1.0

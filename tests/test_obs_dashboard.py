@@ -92,3 +92,130 @@ class TestRenderHeartbeat:
         out = render_heartbeat({})
         assert "heartbeat: run" in out
         assert "0 fired" in out
+
+
+class TestSparklineNaN:
+    def test_nan_renders_gap_not_poison(self):
+        # Regression: a single NaN used to turn the whole line into
+        # IndexError/garbage because min/max scaling saw NaN.
+        values = [1.0, 2.0, np.nan, 4.0, 5.0]
+        out = sparkline(values)
+        assert len(out) == 5
+        assert out[2] == "·"
+        assert "·" not in (out[0] + out[-1])
+        assert out[0] < out[-1]  # shape preserved around the gap
+
+    def test_all_nan_series_is_all_gaps(self):
+        assert sparkline([np.nan] * 4) == "····"
+
+    def test_nan_in_flat_series(self):
+        out = sparkline([3.0, np.nan, 3.0])
+        assert out[1] == "·"
+        assert out[0] == out[2] != "·"
+
+    def test_downsampled_nan_bucket_stays_a_gap(self):
+        # 100 points -> width 10; one bucket is entirely NaN.
+        values = np.linspace(0, 1, 100)
+        values[20:30] = np.nan
+        out = sparkline(values, width=10)
+        assert len(out) == 10
+        assert out[2] == "·"
+        assert out.count("·") == 1  # mixed buckets use nanmean
+
+    def test_nan_mixed_bucket_uses_remaining_values(self):
+        values = np.array([1.0, np.nan, 1.0, 1.0, 5.0, 5.0, np.nan, 5.0])
+        out = sparkline(values, width=2)
+        assert "·" not in out
+        assert out[0] < out[1]
+
+
+class _StubBreakdown:
+    def __init__(self, total_s):
+        self._total_s = total_s
+
+    def total(self):
+        return self._total_s
+
+
+class _StubSpan:
+    def __init__(self, span_id, full_method, total_s):
+        self.span_id = span_id
+        self.full_method = full_method
+        self.breakdown = _StubBreakdown(total_s)
+
+
+class TestRenderIncidentReport:
+    def make_events(self):
+        from repro.obs.alerting import AlertEvent
+
+        return [
+            AlertEvent(t=2.0, slo="slo-a", severity="page", state="pending",
+                       burn_long=20.0, burn_short=25.0),
+            AlertEvent(t=3.0, slo="slo-a", severity="page", state="firing",
+                       burn_long=90.0, burn_short=95.0,
+                       exemplars=((0.25, 42), (0.10, 7))),
+            AlertEvent(t=5.0, slo="slo-a", severity="page", state="resolved",
+                       burn_long=0.0, burn_short=0.0),
+        ]
+
+    def test_empty_report(self):
+        from repro.obs.dashboard import render_incident_report
+
+        out = render_incident_report([])
+        assert "(no alert events)" in out
+        assert "(no exemplars attached)" in out
+
+    def test_timeline_and_exemplars(self):
+        from repro.obs.dashboard import render_incident_report
+
+        out = render_incident_report(self.make_events())
+        lines = out.splitlines()
+        states = [ln for ln in lines if "slo-a" in ln and "burn" in ln]
+        assert [s.split()[4] for s in states] == \
+            ["PENDING", "FIRING", "RESOLVED"]
+        # Exemplars from the firing event only, worst latency first.
+        ex_lines = [ln for ln in lines if ln.strip().startswith("trace")]
+        assert "trace 42" in ex_lines[0] and "250.000 ms" in ex_lines[0]
+        assert "trace 7" in ex_lines[1]
+
+    def test_accepts_dict_events(self):
+        from repro.obs.dashboard import render_incident_report
+
+        events = self.make_events()
+        from_objects = render_incident_report(events)
+        from_dicts = render_incident_report([e.to_dict() for e in events])
+        assert from_objects == from_dicts
+
+    def test_burn_rate_sparklines_from_monarch(self):
+        from repro.obs.dashboard import render_incident_report
+
+        m = Monarch()
+        labels = {"slo": "slo-a", "severity": "page"}
+        for t, v in ((1.0, 0.0), (2.0, 20.0), (3.0, 90.0)):
+            m.write("alerts/burn_rate_long", labels, t, v)
+            m.write("alerts/burn_rate_short", labels, t, v + 5.0)
+        out = render_incident_report(self.make_events(), m)
+        assert "-- burn rates" in out
+        assert "peak 90.00" in out
+        assert "peak 95.00" in out
+
+    def test_trace_annotations(self):
+        from repro.obs.dashboard import render_incident_report
+
+        traces = {42: [_StubSpan(1, "Bigtable/SearchValue", 0.25),
+                       _StubSpan(2, "Spanner/Get", 0.01)]}
+        out = render_incident_report(self.make_events(), traces=traces)
+        assert "[2 spans, slowest Bigtable/SearchValue 250.000 ms]" in out
+        assert "[trace not sampled]" in out  # trace 7 absent from traces
+
+    def test_exemplar_cap(self):
+        from repro.obs.alerting import AlertEvent
+        from repro.obs.dashboard import render_incident_report
+
+        exemplars = tuple((0.1 + 0.001 * i, 100 + i) for i in range(20))
+        event = AlertEvent(t=1.0, slo="s", severity="page", state="firing",
+                           burn_long=50.0, burn_short=50.0,
+                           exemplars=exemplars)
+        out = render_incident_report([event], max_exemplars=5)
+        assert out.count("trace 1") == 5
+        assert "... and 15 more exemplar traces" in out

@@ -115,3 +115,47 @@ def test_read_rejects_digest_mismatch():
     doc["config"]["duration_s"] = 999.0  # tampered after digesting
     with pytest.raises(ManifestError, match="digest mismatch"):
         read_manifest(io.StringIO(json.dumps(doc)))
+
+
+def test_alerts_round_trip_through_manifest(tmp_path):
+    from repro.obs.alerting import AlertEvent
+
+    events = [
+        AlertEvent(t=2.0, slo="s", severity="page", state="pending",
+                   burn_long=20.0, burn_short=25.0,
+                   labels=(("method", "A/B"),)),
+        AlertEvent(t=3.0, slo="s", severity="page", state="firing",
+                   burn_long=90.0, burn_short=95.0,
+                   exemplars=((0.25, 42),)),
+    ]
+    b = ManifestBuilder("alerted", seed=1)
+    b.set_config(duration_s=1.0)
+    b.add_alerts(events)
+    manifest = b.finish()
+    assert len(manifest.alerts) == 2
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest, str(path))
+    loaded = read_manifest(str(path))
+    assert loaded.alerts == manifest.alerts
+    clones = [AlertEvent.from_dict(doc) for doc in loaded.alerts]
+    assert clones[1].exemplars == ((0.25, 42),)
+    assert clones[0].labels == (("method", "A/B"),)
+
+
+def test_alerts_accepts_plain_dicts():
+    b = ManifestBuilder("alerted", seed=1)
+    b.add_alerts([{"t": 1.0, "slo": "s", "severity": "page",
+                   "state": "firing", "burn_long": 5.0, "burn_short": 6.0,
+                   "labels": {}, "exemplars": []}])
+    manifest = b.finish()
+    assert manifest.alerts[0]["state"] == "firing"
+
+
+def test_no_alerts_key_when_empty(tmp_path):
+    manifest = build_sample()
+    assert manifest.alerts == []
+    assert "alerts" not in manifest.to_dict()
+    # Old manifests (no alerts key) still load, with alerts defaulting.
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest, str(path))
+    assert read_manifest(str(path)).alerts == []

@@ -138,8 +138,9 @@ class TestMonarch:
         assert vals[0] == pytest.approx(0.3)
 
     def test_aggregate_invalid_reducer(self):
+        # "max"/"min"/"p99" are valid reducers now; "bogus" still is not.
         with pytest.raises(ValueError):
-            Monarch().aggregate("x", 60.0, reducer="max")
+            Monarch().aggregate("x", 60.0, reducer="bogus")
 
     def test_series_keys_filtered(self):
         m = Monarch()
@@ -206,3 +207,156 @@ class TestRate:
         m.write("rpcs", None, 0.0, 1.0)
         mid, rates = m.rate("rpcs")
         assert len(mid) == 0 and len(rates) == 0
+
+
+class TestMonarchBoundarySemantics:
+    def test_point_exactly_at_retention_boundary_survives(self):
+        # trim_before uses a strict `<` cutoff: the point at exactly
+        # t - retention_s is still inside the retention window.
+        m = Monarch(retention_s=5.0)
+        m.write("x", None, 0.0, 1.0)
+        m.write("x", None, 5.0, 2.0)  # cutoff lands exactly on t=0
+        t, _ = m.read("x")
+        assert list(t) == [0.0, 5.0]
+        m.write("x", None, 5.5, 3.0)  # cutoff 0.5: now t=0 is gone
+        t, _ = m.read("x")
+        assert list(t) == [5.0, 5.5]
+
+    def test_equal_timestamp_write_rewrites(self):
+        m = Monarch()
+        m.write("x", None, 1.0, 10.0)
+        m.write("x", None, 1.0, 20.0)  # same timestamp: last write wins
+        t, v = m.read("x")
+        assert list(t) == [1.0]
+        assert list(v) == [20.0]
+
+    def test_equal_timestamp_sketch_write_rewrites(self):
+        from repro.obs.sketch import LatencySketch
+
+        m = Monarch()
+        first = LatencySketch()
+        first.observe(0.001)
+        second = LatencySketch()
+        second.observe_many([0.002, 0.004])
+        m.write_sketch("d", None, 1.0, first)
+        m.write_sketch("d", None, 1.0, second)
+        points = m.read_sketches("d")[()]
+        assert len(points) == 1
+        assert points[0].sketch.count == 2
+
+    def test_sketch_out_of_order_write_rejected(self):
+        from repro.obs.sketch import LatencySketch
+
+        m = Monarch()
+        m.write_sketch("d", None, 10.0, LatencySketch())
+        with pytest.raises(ValueError, match="out-of-order"):
+            m.write_sketch("d", None, 5.0, LatencySketch())
+
+    def test_sketch_retention_boundary(self):
+        from repro.obs.sketch import LatencySketch
+
+        m = Monarch(retention_s=5.0)
+        m.write_sketch("d", None, 0.0, LatencySketch())
+        m.write_sketch("d", None, 5.0, LatencySketch())
+        points = m.read_sketches("d")[()]
+        assert [p.t for p in points] == [0.0, 5.0]
+
+
+class TestTimeBoundedQueries:
+    def setup_method(self):
+        self.m = Monarch()
+        for task in ("1", "2"):
+            for t in range(10):
+                self.m.write("util", {"task": task}, float(t), float(t))
+
+    def test_read_matching_honours_bounds(self):
+        out = self.m.read_matching("util", t_start=3.0, t_end=6.0)
+        assert len(out) == 2
+        for times, values in out.values():
+            assert list(times) == [3.0, 4.0, 5.0, 6.0]
+            assert list(values) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_read_matching_bounds_are_inclusive(self):
+        out = self.m.read_matching("util", {"task": "1"}, t_start=9.0)
+        (times, _values), = out.values()
+        assert list(times) == [9.0]
+
+    def test_read_matching_empty_window(self):
+        out = self.m.read_matching("util", t_start=100.0)
+        for times, values in out.values():
+            assert len(times) == 0 and len(values) == 0
+
+    def test_aggregate_with_time_bounds(self):
+        # Only points in [4, 7] contribute; sum across the two series.
+        times, vals = self.m.aggregate("util", window_s=100.0,
+                                       t_start=4.0, t_end=7.0)
+        assert list(times) == [0.0]
+        assert vals[0] == pytest.approx(2 * 7.0)  # last-in-window, 2 series
+
+
+class TestSketchAggregation:
+    def _store_with_sketches(self):
+        from repro.obs.sketch import LatencySketch
+
+        rng = np.random.default_rng(9)
+        m = Monarch()
+        self.all_values = []
+        for task in ("1", "2"):
+            for t in (0.0, 30.0):
+                values = rng.lognormal(-6.0, 0.8, 5000)
+                self.all_values.append(values)
+                s = LatencySketch()
+                s.observe_many(values)
+                m.write_sketch("lat", {"task": task}, t, s)
+        return m
+
+    def test_p99_across_series_matches_exact(self):
+        m = self._store_with_sketches()
+        union = np.concatenate(self.all_values)
+        times, vals = m.aggregate("lat", window_s=60.0, reducer="p99")
+        assert list(times) == [0.0]
+        exact = float(np.percentile(union, 99))
+        assert abs(vals[0] - exact) / exact < 0.02
+
+    def test_max_min_use_sketches_exactly(self):
+        m = self._store_with_sketches()
+        union = np.concatenate(self.all_values)
+        _, mx = m.aggregate("lat", window_s=60.0, reducer="max")
+        _, mn = m.aggregate("lat", window_s=60.0, reducer="min")
+        assert mx[0] == float(union.max())
+        assert mn[0] == float(union.min())
+
+    def test_percentile_reducer_windows_separately(self):
+        from repro.obs.sketch import LatencySketch
+
+        m = Monarch()
+        for t, value in ((0.0, 0.001), (60.0, 0.1)):
+            s = LatencySketch()
+            s.observe_many(np.full(100, value))
+            m.write_sketch("lat", None, t, s)
+        times, vals = m.aggregate("lat", window_s=60.0, reducer="p50")
+        assert list(times) == [0.0, 60.0]
+        assert vals[0] < 0.01 < vals[1]
+
+    def test_percentile_reducer_without_sketches_is_empty(self):
+        m = Monarch()
+        m.write("lat", None, 0.0, 1.0)  # scalar series only
+        times, vals = m.aggregate("lat", window_s=60.0, reducer="p99")
+        assert len(times) == 0 and len(vals) == 0
+
+
+class TestWindowSketch:
+    def test_merges_window_and_pools_exemplars(self):
+        from repro.obs.sketch import LatencySketch
+
+        m = Monarch()
+        for t, value, tid in ((0.0, 0.001, 1), (1.0, 0.1, 2), (2.0, 0.2, 3)):
+            s = LatencySketch()
+            s.observe_many(np.full(10, value))
+            m.write_sketch("lat", None, t, s, exemplars=((value, tid),))
+        point = m.window_sketch("lat", t_start=1.0, t_end=2.0)
+        assert point.sketch.count == 20
+        # Pooled worst-first across the window's points.
+        assert [tid for _v, tid in point.exemplars] == [3, 2]
+        assert m.window_sketch("lat", t_start=10.0, t_end=20.0) is None
+        assert m.window_sketch("absent") is None

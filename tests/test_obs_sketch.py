@@ -1,0 +1,187 @@
+"""Tests for the percentile sketch and exemplar reservoir."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    ExemplarReservoir,
+    LatencySketch,
+)
+
+
+def test_sketch_p99_within_2pct_of_exact():
+    # The acceptance bar: sketch p99 within 2% relative error of exact
+    # np.percentile over the raw samples, across several distributions.
+    rng = np.random.default_rng(7)
+    for values in (
+        rng.lognormal(-7.0, 1.0, 50_000),     # microseconds-scale tails
+        rng.lognormal(-3.0, 0.5, 50_000),     # tens of ms
+        rng.exponential(0.01, 50_000),
+        rng.uniform(1e-4, 2e-1, 50_000),
+    ):
+        sketch = LatencySketch()
+        sketch.observe_many(values)
+        for p in (50.0, 95.0, 99.0):
+            exact = float(np.percentile(values, p))
+            approx = sketch.percentile(p)
+            assert abs(approx - exact) / exact < 0.02, (p, exact, approx)
+
+
+def test_sketch_scalar_and_vector_paths_agree():
+    rng = np.random.default_rng(3)
+    values = rng.lognormal(-6.0, 0.8, 5000)
+    one = LatencySketch()
+    for v in values:
+        one.observe(v)
+    many = LatencySketch()
+    many.observe_many(values)
+    assert np.array_equal(one.counts, many.counts)
+    assert one.count == many.count
+    assert one.min == many.min and one.max == many.max
+    assert one.sum == pytest.approx(many.sum)
+
+
+def test_sketch_extremes_are_exact():
+    sketch = LatencySketch()
+    sketch.observe_many([0.001, 0.002, 0.5])
+    assert sketch.quantile(0.0) == 0.001
+    assert sketch.quantile(1.0) == 0.5
+    assert sketch.min == 0.001
+    assert sketch.max == 0.5
+
+
+def test_sketch_empty_and_bounds():
+    sketch = LatencySketch()
+    assert sketch.quantile(0.5) == 0.0
+    assert sketch.mean == 0.0
+    assert sketch.count_below(1.0) == 0
+    with pytest.raises(ValueError):
+        sketch.quantile(1.5)
+
+
+def test_sketch_clamps_out_of_range_values():
+    sketch = LatencySketch(min_value=1e-6, max_value=1e3)
+    sketch.observe(1e-12)   # below the representable range
+    sketch.observe(1e9)     # above it
+    assert sketch.count == 2
+    assert sketch.counts[0] == 1
+    assert sketch.counts[-1] == 1
+
+
+def test_sketch_merge_matches_union():
+    rng = np.random.default_rng(11)
+    a_vals = rng.lognormal(-6, 0.7, 4000)
+    b_vals = rng.lognormal(-5, 0.9, 6000)
+    a = LatencySketch()
+    a.observe_many(a_vals)
+    b = LatencySketch()
+    b.observe_many(b_vals)
+    union = LatencySketch()
+    union.observe_many(np.concatenate([a_vals, b_vals]))
+    merged = a.copy().merge(b)
+    assert np.array_equal(merged.counts, union.counts)
+    assert merged.count == union.count
+    assert merged.quantile(0.99) == union.quantile(0.99)
+
+
+def test_sketch_merge_rejects_different_layouts():
+    a = LatencySketch(relative_accuracy=0.01)
+    b = LatencySketch(relative_accuracy=0.02)
+    with pytest.raises(ValueError, match="layout"):
+        a.merge(b)
+
+
+def test_sketch_delta_since_is_the_interval():
+    sketch = LatencySketch()
+    sketch.observe_many([0.001, 0.002])
+    snap = sketch.copy()
+    sketch.observe_many([0.004, 0.008, 0.016])
+    delta = sketch.delta_since(snap)
+    assert delta.count == 3
+    assert delta.sum == pytest.approx(0.028)
+    assert int(delta.counts.sum()) == 3
+    # The original keeps accumulating independently of the delta.
+    assert sketch.count == 5
+
+
+def test_sketch_delta_since_rejects_non_prefix():
+    a = LatencySketch()
+    a.observe(0.001)
+    b = LatencySketch()
+    b.observe(0.9)
+    with pytest.raises(ValueError, match="prefix"):
+        a.delta_since(b)
+
+
+def test_sketch_count_below_brackets_threshold():
+    rng = np.random.default_rng(5)
+    values = rng.lognormal(-6, 0.8, 20_000)
+    sketch = LatencySketch()
+    sketch.observe_many(values)
+    threshold = float(np.percentile(values, 90))
+    got = sketch.count_below(threshold)
+    exact = int((values <= threshold).sum())
+    # Within one bucket's relative width of the exact count.
+    alpha = DEFAULT_RELATIVE_ACCURACY
+    lo = int((values <= threshold * (1 - 3 * alpha)).sum())
+    hi = int((values <= threshold * (1 + 3 * alpha)).sum())
+    assert lo <= got <= hi, (lo, got, hi, exact)
+    assert sketch.count_below(0.0) == 0
+    assert sketch.count_below(float(values.max())) == sketch.count
+
+
+def test_sketch_round_trips_through_dict():
+    rng = np.random.default_rng(13)
+    sketch = LatencySketch()
+    sketch.observe_many(rng.lognormal(-6, 0.8, 1000))
+    clone = LatencySketch.from_dict(sketch.to_dict())
+    assert np.array_equal(clone.counts, sketch.counts)
+    assert clone.count == sketch.count
+    assert clone.min == sketch.min and clone.max == sketch.max
+    assert clone.quantile(0.99) == sketch.quantile(0.99)
+    empty = LatencySketch.from_dict(LatencySketch().to_dict())
+    assert empty.count == 0
+    assert math.isinf(empty.min)
+
+
+def test_sketch_validates_constructor_args():
+    with pytest.raises(ValueError):
+        LatencySketch(relative_accuracy=0.0)
+    with pytest.raises(ValueError):
+        LatencySketch(min_value=1.0, max_value=0.5)
+
+
+def test_exemplar_reservoir_keeps_k_worst_first():
+    res = ExemplarReservoir(k=3, rng=np.random.default_rng(0))
+    res.offer(0.010, 101)
+    res.offer(0.030, 102)
+    res.offer(0.020, 103)
+    drained = res.drain()
+    assert drained == ((0.030, 102), (0.020, 103), (0.010, 101))
+    # Drain resets.
+    assert res.drain() == ()
+
+
+def test_exemplar_reservoir_is_uniform_over_offers():
+    # Offer many; every retained exemplar must be one of the offered, and
+    # under a fixed rng the selection is deterministic.
+    rng = np.random.default_rng(4)
+    res = ExemplarReservoir(k=4, rng=rng)
+    for i in range(1000):
+        res.offer(0.001 * (i + 1), i)
+    kept = res.drain()
+    assert len(kept) == 4
+    assert all(0 <= tid < 1000 for _v, tid in kept)
+    rng2 = np.random.default_rng(4)
+    res2 = ExemplarReservoir(k=4, rng=rng2)
+    for i in range(1000):
+        res2.offer(0.001 * (i + 1), i)
+    assert res2.drain() == kept
+
+
+def test_exemplar_reservoir_validates_k():
+    with pytest.raises(ValueError):
+        ExemplarReservoir(k=0)

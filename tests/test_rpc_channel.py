@@ -209,8 +209,10 @@ def test_channel_probe_hooks_observe_rpc_lifecycle():
         def rpc_attempt(self, method, time_s, attempt):
             self.attempts.append((method, attempt))
 
-        def rpc_completed(self, method, time_s, status, latency_s, attempts):
+        def rpc_completed(self, method, time_s, status, latency_s, attempts,
+                          trace_id=0):
             self.completed.append((method, status, attempts))
+            assert trace_id > 0  # channel passes the minted trace id
 
     probe = RpcProbe()
     sim, client, server, runtime, dapper, gwp = build_world()

@@ -1,21 +1,43 @@
 """Wall-time regression guard over the bench trajectory.
 
-Run: python tools/bench_guard.py --baseline OLD.json --current NEW.json
+Run: python tools/bench_guard.py [--baseline OLD.json] --current NEW.json
      [--max-ratio 1.5] FIGURE [FIGURE ...]
+     python tools/bench_guard.py --print-newest
 
 Compares each named figure's ``wall_s`` in the current trajectory against
 the committed baseline and exits non-zero if any exceeds
-``baseline * max-ratio``. Used by the CI ``bench-smoke`` job: the
-committed ``BENCH_PR3.json`` is copied aside before the bench session
-merge-writes fresh times into it, then the two are compared.
+``baseline * max-ratio``. When ``--baseline`` is omitted, the newest
+committed ``BENCH_PR<N>.json`` at the repo root (highest N) is used —
+each PR freezes its own snapshot, so the newest one is the reference the
+next PR measures against. ``--print-newest`` just prints that path (CI
+uses it to copy the baseline aside before the bench session merge-writes
+fresh times into the same file).
 
 Times below ``--min-wall`` (default 0.05 s) are never flagged: at that
 scale the ratio is runner jitter, not a regression.
 """
 
 import argparse
+import glob
 import json
+import os
+import re
 import sys
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir)
+
+
+def newest_baseline(root: str = _REPO_ROOT) -> str:
+    """The committed ``BENCH_PR<N>.json`` with the highest PR number."""
+    candidates = []
+    for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", os.path.basename(path))
+        if match:
+            candidates.append((int(match.group(1)), path))
+    if not candidates:
+        raise FileNotFoundError(f"no BENCH_PR*.json found under {root}")
+    return max(candidates)[1]
 
 
 def load_trajectory(path: str) -> dict:
@@ -26,24 +48,37 @@ def load_trajectory(path: str) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
-                        help="committed trajectory JSON")
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--baseline", default=None,
+                        help="committed trajectory JSON (default: the "
+                             "newest BENCH_PR*.json at the repo root)")
+    parser.add_argument("--current",
                         help="freshly measured trajectory JSON")
     parser.add_argument("--max-ratio", type=float, default=1.5,
                         help="fail when current > baseline * ratio")
     parser.add_argument("--min-wall", type=float, default=0.05,
                         help="ignore figures faster than this (seconds)")
-    parser.add_argument("figures", nargs="+",
+    parser.add_argument("--print-newest", action="store_true",
+                        help="print the newest committed baseline path "
+                             "and exit")
+    parser.add_argument("figures", nargs="*",
                         help="figure names to check (e.g. fig04_descendants)")
     args = parser.parse_args(argv)
 
-    baseline = load_trajectory(args.baseline)
+    if args.print_newest:
+        print(newest_baseline())
+        return 0
+    if not args.current or not args.figures:
+        parser.error("--current and at least one FIGURE are required "
+                     "(or use --print-newest)")
+
+    baseline_path = args.baseline or newest_baseline()
+    baseline = load_trajectory(baseline_path)
     current = load_trajectory(args.current)
     failures = []
     for figure in args.figures:
         if figure not in baseline:
-            failures.append(f"{figure}: missing from baseline {args.baseline}")
+            failures.append(f"{figure}: missing from baseline "
+                            f"{baseline_path}")
             continue
         if figure not in current:
             failures.append(f"{figure}: missing from current {args.current} "
