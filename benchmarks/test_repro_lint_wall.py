@@ -1,0 +1,49 @@
+"""Analysis-wall budget: the whole-repo lint pass must stay cheap.
+
+``repro-lint`` sits in the inner loop (pre-commit, CI gate, editor
+integration), and since v2 it builds a whole-program model and runs
+four cross-module rule families on top of the per-file pass.  Those
+passes are worth paying for only while they stay interactive: this
+bench lints the entire repository — the same invocation CI runs — and
+asserts the wall stays under ``LINT_BUDGET_S``.  The wall also lands
+in ``BENCH_PR4.json`` as figure ``repro_lint_wall``, and CI holds it
+to the same ceiling via ``tools/bench_guard.py --budget``, so a slow
+creep across PRs cannot hide behind per-PR ratio checks.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis.config import load_config
+from repro.analysis.runner import lint_paths
+
+#: Whole-repo lint wall ceiling, seconds.  ISSUE budget is 10 s; keep
+#: the local assert meaningfully tighter so CI headroom survives slower
+#: runners.
+LINT_BUDGET_S = 10.0
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_TARGETS = [REPO_ROOT / "src", REPO_ROOT / "tools",
+                REPO_ROOT / "benchmarks"]
+
+
+def test_whole_repo_lint_under_budget(show, record_stat):
+    config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
+    start_s = time.perf_counter()
+    report = lint_paths(LINT_TARGETS, config)
+    wall_s = time.perf_counter() - start_s
+
+    record_stat(files_scanned=report.files_scanned,
+                findings=len(report.findings),
+                suppressed_pragma=report.suppressed_pragma,
+                lint_wall_s=round(wall_s, 4))
+    show(f"repro-lint whole repo: {report.files_scanned} files in "
+         f"{wall_s:.3f}s (budget {LINT_BUDGET_S:g}s), "
+         f"{len(report.findings)} findings, "
+         f"{report.suppressed_pragma} pragma-suppressed")
+    assert report.files_scanned > 70, (
+        "lint scanned suspiciously few files; targets misconfigured?")
+    assert wall_s < LINT_BUDGET_S, (
+        f"whole-repo lint took {wall_s:.2f}s, over the {LINT_BUDGET_S:g}s "
+        f"analysis-wall budget: the program model or a cross-module rule "
+        f"got too expensive for the inner loop")

@@ -1,37 +1,52 @@
 """Static analysis for the repository's load-bearing invariants.
 
 The analyses in :mod:`repro.core` are only trustworthy if the simulator
-is bit-reproducible and dimensionally consistent.  Three invariants carry
-that guarantee, and all three are invisible to generic linters:
+is bit-reproducible and dimensionally consistent.  The invariants that
+carry that guarantee are invisible to generic linters:
 
 1. **Seeded determinism** — simulated time comes from the engine clock,
-   never the wall clock, and every random draw is threaded from the
-   seeded generators in :mod:`repro.sim.random`.
-2. **Unit discipline** — quantities carry their unit in the identifier
-   suffix (``_us``/``_ms``/``_s``, ``_bytes``), and arithmetic never
-   mixes suffixes (the Kingman-math ``C_s`` vs ``C_s^2`` trap).
-3. **Layer purity** — imports follow the declared package DAG
+   never the wall clock; every random draw is threaded from the seeded
+   generators in :mod:`repro.sim.random`; and no mutable module/class
+   state hides in the worker-reachable import closure.
+2. **Cache-key completeness** — every input a cached study reads is
+   covered by its ``study_key`` digest, or a stale hit silently serves
+   the old numbers after an edit.
+3. **Unit discipline** — quantities carry their unit in the identifier
+   suffix (``_us``/``_ms``/``_s``, ``_bytes``), arithmetic never mixes
+   suffixes, and units survive dataflow across assignments, calls, and
+   returns (the Kingman-math ``C_s`` vs ``C_s^2`` trap).
+4. **Layer purity** — imports follow the declared package DAG
    (``sim`` → ``fleet``/``rpc``/``net`` → ``workloads``/``obs`` →
-   ``core`` → ``studies``/``cli``); analyses never reach upward into
-   the layers that feed them.
+   ``core`` → ``studies``/``cli``); probes observe without mutating.
 
-``repro-lint`` (this package's console script) encodes them as AST lint
-rules.  It is deliberately **standalone**: it imports nothing from the
-rest of ``repro`` so it can never be broken by the code it checks.
+``repro-lint`` (this package's console script) encodes them as lint
+rules in two passes: per-file rules over one AST each, and
+whole-program rules over a model of the full linted tree
+(:mod:`repro.analysis.model` / :mod:`repro.analysis.graph`) that
+resolves names across modules, aliases, and re-exports.  The package is
+deliberately **standalone**: it imports nothing from the rest of
+``repro`` so it can never be broken by the code it checks.
 
 Rule pack
 ---------
 
-========  =====================================================
-RL001     no wall-clock (``time.time``/``datetime.now``/...)
-RL002     no global RNG (``random.*`` / unseeded ``np.random``)
-RL003     unit-suffix discipline (naming + mixed-unit arithmetic)
-RL004     layer purity (no upward imports in the package DAG)
-RL005     no mutable default arguments
-========  =====================================================
+========  =======  ====================================================
+RL001     file     no wall-clock (``time.time``/``datetime.now``/...)
+RL002     file     no global RNG (``random.*`` / unseeded ``np.random``)
+RL003     file     unit-suffix discipline (naming + mixed arithmetic)
+RL004     file     layer purity (no upward imports in the package DAG)
+RL005     file     no mutable default arguments
+RL006     program  hidden-state determinism (worker-reachable globals)
+RL007     program  cache-key completeness (config reads vs key fields)
+RL008     program  unit dataflow (suffixes across assigns/calls/returns)
+RL009     program  probe purity (hooks observe, never mutate)
+RL010     file     no star imports (they blind the program model)
+========  =======  ====================================================
 
-See ``docs/LINTING.md`` for the full rule reference, suppression
-pragmas, the baseline workflow, and how to add a rule.
+``repro-lint --explain RL###`` prints any rule's rationale with a
+bad/good example.  See ``docs/LINTING.md`` for the program-model
+architecture, suppression pragmas, the baseline workflow, and how to
+write file and cross-module rules.
 """
 
 from repro.analysis.config import LintConfig, load_config

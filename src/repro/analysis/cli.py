@@ -14,6 +14,7 @@ file shows reviewers exactly what was grandfathered.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -23,7 +24,7 @@ from repro.analysis.baseline import write_baseline
 from repro.analysis.config import load_config
 from repro.analysis.reporting import render_json, render_text
 from repro.analysis.runner import lint_paths
-from repro.analysis.rules import all_rules
+from repro.analysis.rules import all_rules, get_rule
 
 __all__ = ["main", "build_parser"]
 
@@ -31,8 +32,9 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="AST lint for the repo's determinism, unit, and "
-                    "layering invariants (rules RL001-RL005).",
+        description="Static analysis for the repo's determinism, unit, "
+                    "layering, and caching invariants (file rules "
+                    "RL001-RL005/RL010, whole-program rules RL006-RL009).",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint (default: src/repro)")
@@ -53,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule codes to skip")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
+    parser.add_argument("--explain", metavar="CODE",
+                        help="print a rule's rationale and bad/good example "
+                             "and exit")
+    parser.add_argument("--fail-stale-baseline", action="store_true",
+                        help="exit 1 when baseline entries no longer match "
+                             "any finding (time to regenerate the baseline)")
     return parser
 
 
@@ -69,6 +77,21 @@ def _parse_codes(spec: Optional[str], known) -> tuple:
     return codes
 
 
+def explain_rule(code: str) -> str:
+    """The ``--explain`` text for one rule: header plus class docstring.
+
+    The docstring *is* the documentation of record — rationale and a
+    Bad/Good example pair live on the rule class so the code and its
+    explanation cannot drift apart.
+    """
+    cls = get_rule(code)
+    header = f"{cls.code} ({cls.name})\n  {cls.summary}"
+    doc = inspect.getdoc(cls)
+    if not doc:
+        return header
+    return f"{header}\n\n{doc}"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -76,6 +99,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         for cls in all_rules():
             print(f"{cls.code}  {cls.name:<28} {cls.summary}")
+        return 0
+
+    if args.explain:
+        try:
+            print(explain_rule(args.explain.strip().upper()))
+        except KeyError:
+            known = ", ".join(cls.code for cls in all_rules())
+            print(f"repro-lint: unknown rule code {args.explain!r} "
+                  f"(known: {known})", file=sys.stderr)
+            return 2
         return 0
 
     first = Path(args.paths[0]) if args.paths else Path.cwd()
@@ -117,6 +150,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     print(render_json(report) if args.format == "json" else render_text(report))
+    if args.fail_stale_baseline and report.stale_baseline:
+        n = len(report.stale_baseline)
+        print(f"repro-lint: {n} stale baseline entr"
+              f"{'ies' if n != 1 else 'y'}: regenerate with "
+              f"--write-baseline", file=sys.stderr)
+        return 1
     return 0 if report.clean else 1
 
 

@@ -42,6 +42,9 @@ class LintConfig:
     select: Tuple[str, ...] = ()          # empty = all registered rules
     ignore: Tuple[str, ...] = ()
     root: str = "."                       # repo root; paths reported relative to it
+    #: Path prefixes (repo-relative, posix) excluded from linting
+    #: entirely — not parsed, not part of the program model.
+    exclude_paths: Tuple[str, ...] = ()
 
     # -- RL001 no-wall-clock ------------------------------------------
     #: Path prefixes (repo-relative, posix) where wall-clock use is fine:
@@ -83,6 +86,35 @@ class LintConfig:
     #: themselves (plus stdlib/third-party), and no layered package may
     #: import them.  The linter itself lives here.
     standalone_packages: Tuple[str, ...] = ("analysis",)
+
+    # -- RL006 hidden worker state ------------------------------------
+    #: Modules whose code runs inside pool workers.  Everything
+    #: import-reachable from them must be free of hidden process-local
+    #: state, or ``--jobs N`` diverges from ``--jobs 1`` under
+    #: fork vs spawn.  Modules declaring a ``WORKER_ENTRYPOINTS``
+    #: constant are added automatically.
+    worker_entrypoint_modules: Tuple[str, ...] = ("repro.core.parallel",)
+
+    # -- RL007 cache-key completeness ---------------------------------
+    #: Functions whose call marks the enclosing function as a cached
+    #: study body; their arguments define the cache key.  Modules
+    #: declaring ``CACHE_KEY_FUNCTIONS`` add their own automatically.
+    cache_key_functions: Tuple[str, ...] = ("repro.core.cache.study_key",)
+    #: Parameters of a cached study that legitimately stay out of the
+    #: key (the cache handle itself, instrumentation).
+    cache_key_ignored_params: Tuple[str, ...] = ("self", "cache", "probe")
+
+    # -- RL009 probe purity -------------------------------------------
+    #: Base classes whose subclasses are observation-only: their hook
+    #: methods must not mutate engine/queue/RPC state.
+    probe_base_classes: Tuple[str, ...] = ("repro.sim.instrument.Probe",)
+    #: Method names that mutate simulation state when called from a
+    #: probe hook (scheduling, cancellation, queue and RPC operations).
+    probe_mutating_calls: Tuple[str, ...] = (
+        "at", "after", "cancel", "schedule", "submit", "enqueue",
+        "dequeue", "send", "send_request", "complete", "reset",
+        "run", "run_until", "step", "advance", "compact",
+    )
 
     # ------------------------------------------------------------------
     def layer_of(self, package: str) -> Optional[int]:

@@ -1,0 +1,94 @@
+"""Graphs over the program model: imports, reachability, class hierarchy.
+
+Thin, pure-function queries on a built :class:`~repro.analysis.model.
+ProgramModel`.  Separated from the model so rules share one set of
+graph semantics (what counts as an edge, how cycles are handled)
+instead of five ad-hoc walkers:
+
+- the **import graph** has an edge ``a -> b`` when module ``a`` imports
+  module ``b`` (or a symbol from it) and ``b`` is part of the analyzed
+  program; external imports are not edges;
+- **reachability** is plain BFS over that graph — cycles are fine;
+- the **class hierarchy** resolves base names through each defining
+  module's alias table, so ``class MetricsProbe(Probe)`` matches
+  ``repro.sim.instrument.Probe`` whether ``Probe`` arrived by ``from
+  ... import Probe``, ``import ... as si; si.Probe``, or a re-export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.model import ClassInfo, ModuleInfo, ProgramModel
+
+__all__ = [
+    "internal_import_targets",
+    "import_graph",
+    "reachable_modules",
+    "subclasses_of",
+]
+
+
+def internal_import_targets(model: ProgramModel,
+                            module: ModuleInfo) -> Set[str]:
+    """Program modules this module imports (directly or via a symbol)."""
+    targets: Set[str] = set()
+    origins = list(module.imports.values())
+    origins.extend(module.module_imports)
+    origins.extend(origin for origin, _ in module.star_imports)
+    for origin in origins:
+        info, _ = model._split_module(origin)
+        if info is not None and info.name != module.name:
+            targets.add(info.name)
+    return targets
+
+
+def import_graph(model: ProgramModel) -> Dict[str, Set[str]]:
+    """``module -> imported program modules`` for the whole program."""
+    return {name: internal_import_targets(model, info)
+            for name, info in model.modules.items()}
+
+
+def reachable_modules(model: ProgramModel,
+                      roots: Iterable[str]) -> Set[str]:
+    """Modules reachable from ``roots`` along import edges (roots included).
+
+    Unknown roots are ignored; import cycles terminate naturally.
+    """
+    graph = import_graph(model)
+    seen: Set[str] = set()
+    frontier = [r for r in roots if r in graph]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        frontier.extend(graph.get(name, ()))
+    return seen
+
+
+def subclasses_of(model: ProgramModel,
+                  base_qualnames: Iterable[str]) -> List[ClassInfo]:
+    """Every program class that (transitively) subclasses any base.
+
+    Bases are resolved through the defining module's imports, so the
+    match works across files and through aliases.  The bases
+    themselves are not returned.  Fixpoint iteration handles chains
+    (``A <- B <- C``) in any definition order.
+    """
+    wanted = set(base_qualnames)
+    hits: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for klass in model.classes.values():
+            if klass.qualname in hits:
+                continue
+            module = model.modules[klass.module]
+            for base in klass.bases:
+                resolved = model.resolve(module, base)
+                if resolved in wanted or resolved in hits:
+                    hits.add(klass.qualname)
+                    changed = True
+                    break
+    return [model.classes[q] for q in sorted(hits)]

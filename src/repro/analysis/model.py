@@ -1,0 +1,369 @@
+"""The whole-program model: symbols, imports, and name resolution.
+
+PR 1's rules were per-file: each saw one AST and nothing else.  The
+cross-module families (RL006-RL009) need to answer questions no single
+file can — *is this module reachable from the parallel worker
+entrypoints?*, *which fields of ``config`` does the callee read?*,
+*does this class subclass ``Probe`` three imports away?*  This module
+builds the shared substrate those rules query:
+
+- one :class:`ModuleInfo` per linted file: its resolved dotted name,
+  import alias table (``import as`` handled, relative imports resolved
+  against the package), star-import records, top-level functions,
+  classes with their methods, and literal string/tuple constants
+  (the metadata hooks ``WORKER_ENTRYPOINTS`` / ``CACHE_KEY_FUNCTIONS``
+  that :mod:`repro.core.parallel` and :mod:`repro.core.cache` declare);
+- a program-wide symbol table keyed by canonical qualified name
+  (``repro.core.cache.study_key``, ``repro.obs.telemetry.MetricsProbe``);
+- :meth:`ProgramModel.resolve`: alias-aware resolution of a dotted
+  reference in some module to its canonical qualified name, following
+  re-export chains (``from repro.analysis.rules.base import Rule``)
+  with a cycle guard so circular imports terminate.
+
+Everything here is derived from the already-parsed ASTs the runner
+hands over — the model never reads the filesystem and never imports
+the code under analysis.  Names a star import would have provided are
+simply unresolvable (rules skip what they cannot resolve); RL010
+surfaces the star import itself so the blind spot is visible.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.analysis.config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - the import would be circular at runtime
+    from repro.analysis.rules.base import FileContext
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProgramModel",
+    "dotted_name",
+    "iter_refs",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+#: Containers whose display/constructor creates process-local mutable state.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter", "collections.deque",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str            # canonical: <module>.<name> or <module>.<Class>.<name>
+    module: str
+    path: str                # repo-relative posix path of the defining file
+    node: ast.AST            # FunctionDef | AsyncFunctionDef
+    params: Tuple[str, ...]  # positional parameters, in order (incl. self)
+    kwonly: Tuple[str, ...]
+    is_method: bool = False
+    decorators: Tuple[str, ...] = ()   # raw dotted decorator names
+
+    @property
+    def all_params(self) -> Tuple[str, ...]:
+        return self.params + self.kwonly
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its immediate bases and methods."""
+
+    name: str
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...]   # raw dotted base names, unresolved
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the program model knows about one file."""
+
+    name: str                # dotted module name (synthesized for files
+                             # outside the root package)
+    path: str
+    tree: ast.Module
+    is_package: bool = False
+    imports: Dict[str, str] = field(default_factory=dict)  # alias -> origin
+    #: Full dotted module targets of every import statement — the alias
+    #: table alone loses ``import repro.b`` (which binds only ``repro``
+    #: but still depends on ``repro.b``).
+    module_imports: List[str] = field(default_factory=list)
+    star_imports: List[Tuple[str, int]] = field(default_factory=list)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level literal constants: str or tuple-of-str assignments.
+    constants: Dict[str, object] = field(default_factory=dict)
+
+
+def _const_literal(node: ast.AST) -> Optional[object]:
+    """A string or tuple-of-strings literal value, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, (ast.Tuple, ast.List)):
+        items = []
+        for elt in node.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                return None
+            items.append(elt.value)
+        return tuple(items)
+    return None
+
+
+def _params_of(node) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    args = node.args
+    positional = tuple(a.arg for a in (args.posonlyargs + args.args))
+    return positional, tuple(a.arg for a in args.kwonlyargs)
+
+
+def _relative_base(module: ModuleInfo, level: int) -> Optional[str]:
+    """The package a ``level``-dot relative import resolves against."""
+    parts = module.name.split(".")
+    if not module.is_package:
+        parts = parts[:-1]          # the containing package
+    drop = level - 1                # one dot = the containing package itself
+    if drop >= len(parts):
+        return None
+    return ".".join(parts[:len(parts) - drop]) if drop else ".".join(parts)
+
+
+def iter_refs(node: ast.AST) -> Iterator[Tuple[str, Tuple[str, ...], ast.AST]]:
+    """Yield ``(root_name, attr_chain, node)`` for each outermost reference.
+
+    ``catalog.config.seed`` yields one entry ``("catalog", ("config",
+    "seed"), <Attribute>)`` — never the inner ``catalog`` Name — so a
+    rule can reason about attribute paths without double counting.
+    Bare names yield an empty chain.  Chains based on calls or
+    subscripts recurse into the base expression instead.
+    """
+    if isinstance(node, ast.Attribute):
+        chain: List[str] = []
+        cur: ast.AST = node
+        while isinstance(cur, ast.Attribute):
+            chain.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            yield cur.id, tuple(reversed(chain)), node
+            return
+        yield from iter_refs(cur)
+        return
+    if isinstance(node, ast.Name):
+        yield node.id, (), node
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from iter_refs(child)
+
+
+class ProgramModel:
+    """Project-wide symbol table plus alias-aware name resolution."""
+
+    def __init__(self, config: Optional[LintConfig] = None):
+        self.config = config or LintConfig()
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, contexts: Iterable[FileContext],
+              config: Optional[LintConfig] = None) -> "ProgramModel":
+        model = cls(config)
+        for ctx in contexts:
+            model.add_file(ctx)
+        return model
+
+    def add_file(self, ctx: FileContext) -> None:
+        name = ctx.module or ctx.path[:-3].replace("/", ".")
+        info = ModuleInfo(
+            name=name, path=ctx.path, tree=ctx.tree,
+            is_package=ctx.path.endswith("__init__.py"),
+        )
+        self._collect_imports(info)
+        self._collect_symbols(info)
+        self.modules[info.name] = info
+        self.by_path[info.path] = info
+        for fn in info.functions.values():
+            self.functions[fn.qualname] = fn
+        for klass in info.classes.values():
+            self.classes[klass.qualname] = klass
+            for method in klass.methods.values():
+                self.functions[method.qualname] = method
+
+    def _collect_imports(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    origin = item.name if item.asname else item.name.split(".")[0]
+                    info.imports[local] = origin
+                    info.module_imports.append(item.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = _relative_base(info, node.level)
+                    if base is None:
+                        continue
+                    origin_mod = f"{base}.{node.module}" if node.module else base
+                else:
+                    origin_mod = node.module or ""
+                if not origin_mod:
+                    continue
+                info.module_imports.append(origin_mod)
+                for item in node.names:
+                    if item.name == "*":
+                        info.star_imports.append((origin_mod, node.lineno))
+                        continue
+                    local = item.asname or item.name
+                    info.imports[local] = f"{origin_mod}.{item.name}"
+
+    def _collect_symbols(self, info: ModuleInfo) -> None:
+        for stmt in info.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.functions[stmt.name] = self._function(info, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                info.classes[stmt.name] = self._class(info, stmt)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                literal = _const_literal(stmt.value)
+                if literal is not None:
+                    info.constants[stmt.targets[0].id] = literal
+
+    def _function(self, info: ModuleInfo, node,
+                  owner: Optional[str] = None) -> FunctionInfo:
+        params, kwonly = _params_of(node)
+        qual = (f"{info.name}.{owner}.{node.name}" if owner
+                else f"{info.name}.{node.name}")
+        decorators = tuple(
+            d for d in (dotted_name(dec.func if isinstance(dec, ast.Call)
+                                    else dec)
+                        for dec in node.decorator_list)
+            if d is not None)
+        return FunctionInfo(
+            name=node.name, qualname=qual, module=info.name, path=info.path,
+            node=node, params=params, kwonly=kwonly,
+            is_method=owner is not None, decorators=decorators,
+        )
+
+    def _class(self, info: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+        bases = tuple(b for b in (dotted_name(base) for base in node.bases)
+                      if b is not None)
+        klass = ClassInfo(
+            name=node.name, qualname=f"{info.name}.{node.name}",
+            module=info.name, path=info.path, node=node, bases=bases,
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                klass.methods[stmt.name] = self._function(
+                    info, stmt, owner=node.name)
+        return klass
+
+    # -- resolution ----------------------------------------------------
+    def resolve(self, module: ModuleInfo, dotted: str) -> Optional[str]:
+        """Canonical qualified name for ``dotted`` as seen from ``module``.
+
+        Local definitions win over imports; import aliases are expanded
+        and re-export chains followed (bounded, so circular imports
+        terminate).  External references (``numpy.cumsum``) come back
+        as their expanded dotted path; unresolvable heads give None.
+        """
+        head, _, rest = dotted.partition(".")
+        if head in module.functions or head in module.classes:
+            return f"{module.name}.{dotted}"
+        origin = module.imports.get(head)
+        if origin is not None:
+            return self._canonical(f"{origin}.{rest}" if rest else origin)
+        if head in self.modules or dotted in self.modules:
+            return self._canonical(dotted)
+        return None
+
+    def _canonical(self, dotted: str, depth: int = 0) -> str:
+        """Follow re-exports until ``dotted`` names a definition."""
+        if depth > 8:          # re-export cycle: give up, keep the name
+            return dotted
+        info, remainder = self._split_module(dotted)
+        if info is None or not remainder:
+            return dotted
+        head, _, rest = remainder.partition(".")
+        if head in info.functions or head in info.classes:
+            return f"{info.name}.{remainder}"
+        origin = info.imports.get(head)
+        if origin is not None:
+            return self._canonical(f"{origin}.{rest}" if rest else origin,
+                                   depth + 1)
+        return dotted
+
+    def _split_module(self, dotted: str
+                      ) -> Tuple[Optional[ModuleInfo], str]:
+        """Split ``dotted`` into (longest known module, symbol remainder)."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            name = ".".join(parts[:cut])
+            info = self.modules.get(name)
+            if info is not None:
+                return info, ".".join(parts[cut:])
+        return None, dotted
+
+    # -- lookups -------------------------------------------------------
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def resolve_call(self, module: ModuleInfo,
+                     call: ast.Call) -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` a call resolves to, if known.
+
+        Plain and dotted module-level functions resolve; constructor
+        calls resolve to ``__init__``.  Method calls through instances
+        do not resolve (no type inference) and return None.
+        """
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        qual = self.resolve(module, dotted)
+        if qual is None:
+            return None
+        fn = self.functions.get(qual)
+        if fn is not None:
+            return fn
+        klass = self.classes.get(qual)
+        if klass is not None:
+            return klass.methods.get("__init__")
+        return None
+
+    def declared_constant(self, constant: str) -> Dict[str, object]:
+        """``module name -> value`` for every module declaring ``constant``."""
+        return {name: info.constants[constant]
+                for name, info in self.modules.items()
+                if constant in info.constants}

@@ -8,6 +8,7 @@ below so registration runs (docs/LINTING.md walks through an example).
 
 from repro.analysis.rules.base import (
     FileContext,
+    ProgramRule,
     Rule,
     all_rules,
     get_rule,
@@ -19,5 +20,12 @@ from repro.analysis.rules import defaults as _defaults      # noqa: F401
 from repro.analysis.rules import determinism as _determinism  # noqa: F401
 from repro.analysis.rules import layering as _layering      # noqa: F401
 from repro.analysis.rules import units as _units            # noqa: F401
+from repro.analysis.rules import hidden_state as _hidden_state  # noqa: F401
+from repro.analysis.rules import cachekeys as _cachekeys    # noqa: F401
+from repro.analysis.rules import unitflow as _unitflow      # noqa: F401
+from repro.analysis.rules import probe_purity as _probe_purity  # noqa: F401
+from repro.analysis.rules import imports as _imports        # noqa: F401
 
-__all__ = ["FileContext", "Rule", "all_rules", "get_rule", "register"]
+__all__ = [
+    "FileContext", "ProgramRule", "Rule", "all_rules", "get_rule", "register",
+]

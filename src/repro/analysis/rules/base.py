@@ -20,7 +20,8 @@ from typing import Dict, Iterator, List, Optional, Type
 from repro.analysis.config import LintConfig
 from repro.analysis.findings import Finding
 
-__all__ = ["FileContext", "Rule", "register", "all_rules", "get_rule"]
+__all__ = ["FileContext", "Rule", "ProgramRule", "register", "all_rules",
+           "get_rule"]
 
 
 @dataclass
@@ -57,6 +58,39 @@ class Rule:
         return Finding(
             code=self.code,
             path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=symbol,
+        )
+
+
+class ProgramRule(Rule):
+    """A rule that sees the whole program at once.
+
+    File rules run once per file with a :class:`FileContext`; program
+    rules run once per lint invocation with the built
+    :class:`~repro.analysis.model.ProgramModel` (symbol table, import
+    graph, class hierarchy) and may relate code across files.  Their
+    findings are still anchored to a (path, line) and still pass
+    through that file's pragmas and the baseline like any other.
+    """
+
+    program = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())          # program rules have no per-file pass
+
+    def check_program(self, program) -> Iterator[Finding]:
+        """Yield findings over a :class:`ProgramModel`."""
+        raise NotImplementedError
+
+    def module_finding(self, module, node: ast.AST, message: str,
+                       symbol: str = "") -> Finding:
+        """Build a finding anchored at ``node`` in ``module``'s file."""
+        return Finding(
+            code=self.code,
+            path=module.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
@@ -106,13 +140,7 @@ def resolve_imports(tree: ast.Module) -> Dict[str, str]:
     return aliases
 
 
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """Render ``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
+# Canonically defined on the program model (which must not import the
+# rules package, to keep the import graph acyclic); re-exported here
+# because every file rule reaches for it.
+from repro.analysis.model import dotted_name  # noqa: E402,F401

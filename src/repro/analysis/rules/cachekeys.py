@@ -1,0 +1,328 @@
+"""RL007 cache-key completeness.
+
+The content-addressed study cache (:mod:`repro.core.cache`) is only
+sound if the key digest covers **every** input the cached computation
+reads.  A config field that reaches the result but not the key is a
+stale-cache bug: change the field, re-run, and the cache silently
+serves the old result — the worst failure mode a reproduction can
+have, because nothing crashes and the numbers are merely wrong.
+
+This rule finds every function that calls a key function
+(``cache_key_functions`` config, plus functions a module names in a
+``CACHE_KEY_FUNCTIONS`` constant), treats the key call's arguments as
+the *covered* inputs, and then checks each of the enclosing function's
+parameters against them:
+
+- a parameter passed (whole) into the key is fully covered, all of its
+  attributes included;
+- a parameter with only some attributes in the key (``cfg.n`` in a
+  ``params={...}`` dict) is *partially* covered — reads of its other
+  fields are findings, and wholesale uses are chased **through the
+  call graph** (bounded depth) to discover which fields callees
+  actually read, across module boundaries;
+- a parameter read by the body but absent from the key entirely is a
+  finding, unless listed in ``cache_key_ignored_params``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import (
+    FunctionInfo,
+    ModuleInfo,
+    ProgramModel,
+    iter_refs,
+)
+from repro.analysis.rules.base import ProgramRule, register
+
+__all__ = ["CacheKeyCompleteness"]
+
+#: How deep wholesale parameter uses are chased through callees.
+_MAX_DEPTH = 3
+
+
+def _chain_covered(chain: Tuple[str, ...],
+                   covered_chains: Set[Tuple[str, ...]]) -> bool:
+    """True if some covered chain is a prefix of ``chain`` (or equal)."""
+    return any(chain[:len(c)] == c for c in covered_chains)
+
+
+@register
+class CacheKeyCompleteness(ProgramRule):
+    """An input read by a cached study must be part of its cache key.
+
+    Bad::
+
+        def run_cached(cfg, seed, cache):
+            key = study_key("toy", seed, {"n": cfg.n})   # key covers cfg.n
+            return cache.get_or_compute(
+                key, lambda: simulate(cfg.n, cfg.scale))  # ... but reads cfg.scale
+
+    Good::
+
+        def run_cached(cfg, seed, cache):
+            key = study_key("toy", seed, cfg)            # whole config keyed
+            return cache.get_or_compute(
+                key, lambda: simulate(cfg.n, cfg.scale))
+
+    With the bad version, editing ``cfg.scale`` and re-running serves
+    the stale cached result — no error, just wrong numbers.  Inputs
+    that provably cannot change the output (e.g. a ``jobs`` worker
+    count with deterministic sharding) may be suppressed with a
+    justified pragma.
+    """
+
+    code = "RL007"
+    name = "cache-key-completeness"
+    summary = ("inputs read by a cached study body must be covered by its "
+               "cache-key digest")
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        key_functions = set(program.config.cache_key_functions)
+        for mod_name, names in program.declared_constant(
+                "CACHE_KEY_FUNCTIONS").items():
+            if isinstance(names, str):
+                names = (names,)
+            key_functions.update(
+                n if "." in n else f"{mod_name}.{n}" for n in names)
+        for fn in sorted(program.functions.values(),
+                         key=lambda f: (f.path, f.node.lineno)):
+            module = program.modules.get(fn.module)
+            if module is None:
+                continue
+            yield from self._check_function(program, module, fn,
+                                            key_functions)
+
+    # ------------------------------------------------------------------
+    def _check_function(self, program: ProgramModel, module: ModuleInfo,
+                        fn: FunctionInfo,
+                        key_functions: Set[str]) -> Iterator[Finding]:
+        key_calls = [
+            node for node in ast.walk(fn.node)
+            if isinstance(node, ast.Call)
+            and self._resolves_to_key(program, module, node, key_functions)
+        ]
+        if not key_calls:
+            return
+        params = [p for p in fn.all_params
+                  if p not in program.config.cache_key_ignored_params]
+        if not params:
+            return
+
+        covered_full, covered_attrs = self._coverage(key_calls, set(params))
+        key_node_ids = {id(sub) for call in key_calls
+                        for sub in ast.walk(call)}
+
+        reads = self._param_reads(fn.node, set(params), key_node_ids)
+        reported: Set[str] = set()
+        for root, chain, node in reads:
+            if root in covered_full:
+                continue
+            attrs = covered_attrs.get(root, set())
+            if chain:
+                if _chain_covered(chain, attrs):
+                    continue
+                label = f"{root}.{'.'.join(chain)}"
+                if label in reported:
+                    continue
+                reported.add(label)
+                yield self.module_finding(
+                    module, node,
+                    f"`{label}` is read by the cached study "
+                    f"`{fn.name}` but absent from its cache key: editing it "
+                    f"re-serves the stale cached result",
+                    symbol=f"unkeyed:{fn.qualname}:{label}",
+                )
+            elif attrs:
+                # Partially covered param used wholesale: chase callees to
+                # find which fields actually flow into the computation.
+                unkeyed, opaque = self._chase(program, module, fn, root,
+                                              node, attrs)
+                if root in reported:
+                    continue
+                reported.add(root)
+                if unkeyed:
+                    detail = ", ".join(sorted(unkeyed))
+                    yield self.module_finding(
+                        module, node,
+                        f"`{root}` flows wholesale into the cached study "
+                        f"`{fn.name}` which reads {detail}, but the key "
+                        f"covers only "
+                        f"{', '.join(sorted('.'.join((root,) + a) for a in attrs))}",
+                        symbol=f"unkeyed:{fn.qualname}:{root}:wholesale",
+                    )
+                elif opaque:
+                    yield self.module_finding(
+                        module, node,
+                        f"`{root}` flows wholesale into `{opaque}` which "
+                        f"this analysis cannot see through, but the key "
+                        f"covers only "
+                        f"{', '.join(sorted('.'.join((root,) + a) for a in attrs))}; "
+                        f"key the whole object or justify with a pragma",
+                        symbol=f"unkeyed:{fn.qualname}:{root}:opaque",
+                    )
+            else:
+                if root in reported:
+                    continue
+                reported.add(root)
+                yield self.module_finding(
+                    module, node,
+                    f"parameter `{root}` is read by the cached study "
+                    f"`{fn.name}` but absent from its cache key: two runs "
+                    f"differing only in `{root}` share one cache entry",
+                    symbol=f"unkeyed:{fn.qualname}:{root}",
+                )
+
+    @staticmethod
+    def _resolves_to_key(program: ProgramModel, module: ModuleInfo,
+                         call: ast.Call, key_functions: Set[str]) -> bool:
+        from repro.analysis.rules.base import dotted_name
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return False
+        resolved = program.resolve(module, dotted)
+        return resolved in key_functions or dotted in key_functions
+
+    # -- coverage ------------------------------------------------------
+    @staticmethod
+    def _coverage(key_calls: List[ast.Call], params: Set[str]
+                  ) -> Tuple[Set[str], Dict[str, Set[Tuple[str, ...]]]]:
+        """(fully covered params, param -> covered attribute chains)."""
+        covered_full: Set[str] = set()
+        covered_attrs: Dict[str, Set[Tuple[str, ...]]] = {}
+        exprs: List[ast.AST] = []
+        for call in key_calls:
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                if isinstance(arg, ast.Dict):
+                    exprs.extend(v for v in arg.values if v is not None)
+                else:
+                    exprs.append(arg)
+        for expr in exprs:
+            for root, chain, _node in iter_refs(expr):
+                if root not in params:
+                    continue
+                if chain:
+                    covered_attrs.setdefault(root, set()).add(chain)
+                else:
+                    covered_full.add(root)
+        return covered_full, covered_attrs
+
+    # -- reads ---------------------------------------------------------
+    @staticmethod
+    def _param_reads(fn_node: ast.AST, params: Set[str],
+                     exclude_ids: Set[int]
+                     ) -> List[Tuple[str, Tuple[str, ...], ast.AST]]:
+        reads = []
+        for root, chain, node in iter_refs(fn_node):
+            if id(node) in exclude_ids or root not in params:
+                continue
+            ctx = getattr(node, "ctx", None)
+            if ctx is not None and not isinstance(ctx, ast.Load):
+                continue
+            reads.append((root, chain, node))
+        return reads
+
+    # -- interprocedural chase ----------------------------------------
+    def _chase(self, program: ProgramModel, module: ModuleInfo,
+               fn: FunctionInfo, param: str, use_node: ast.AST,
+               covered: Set[Tuple[str, ...]],
+               depth: int = 0,
+               visited: Optional[Set[Tuple[str, str]]] = None
+               ) -> Tuple[Set[str], Optional[str]]:
+        """Chase wholesale uses of ``param`` through resolvable callees.
+
+        Returns ``(unkeyed attribute labels, opaque use description)``:
+        the attribute chains (rendered ``param.field``) that some
+        callee reads but the key does not cover, and — when the chase
+        hits a use it cannot see through (unresolvable callee, return,
+        subscript, depth limit) — a description of that use.
+        """
+        if visited is None:
+            visited = set()
+        key = (fn.qualname, param)
+        if key in visited or depth > _MAX_DEPTH:
+            return set(), f"`{fn.qualname}` (depth limit)" if depth > _MAX_DEPTH else None
+        visited.add(key)
+
+        unkeyed: Set[str] = set()
+        opaque: Optional[str] = None
+        parents = {id(child): parent for parent in ast.walk(fn.node)
+                   for child in ast.iter_child_nodes(parent)}
+        for root, chain, node in iter_refs(fn.node):
+            if root != param:
+                continue
+            ctx = getattr(node, "ctx", None)
+            if ctx is not None and not isinstance(ctx, ast.Load):
+                continue
+            if chain:
+                if not _chain_covered(chain, covered):
+                    unkeyed.add(f"{param}.{'.'.join(chain)}")
+                continue
+            # Wholesale use: fine if it is an argument to a resolvable
+            # callee whose corresponding parameter we can recurse into.
+            parent = parents.get(id(node))
+            callee, callee_param = self._callee_binding(
+                program, program.modules.get(fn.module, module), parent, node)
+            if callee is None or callee_param is None:
+                opaque = opaque or self._describe_use(parent, fn)
+                continue
+            sub_unkeyed, sub_opaque = self._chase(
+                program, program.modules.get(callee.module, module),
+                callee, callee_param, node, covered, depth + 1, visited)
+            unkeyed.update(
+                u.replace(f"{callee_param}.", f"{param}.", 1)
+                if u.startswith(f"{callee_param}.") else u
+                for u in sub_unkeyed)
+            opaque = opaque or sub_opaque
+        return unkeyed, opaque
+
+    @staticmethod
+    def _callee_binding(program: ProgramModel, module: ModuleInfo,
+                        parent: Optional[ast.AST], arg_node: ast.AST
+                        ) -> Tuple[Optional[FunctionInfo], Optional[str]]:
+        """Resolve (callee, parameter name) when ``arg_node`` is a call arg."""
+        call = parent
+        keyword = None
+        if isinstance(parent, ast.keyword):
+            keyword = parent.arg
+            return CacheKeyCompleteness._bind_keyword(
+                program, module, parent, keyword)
+        if not isinstance(call, ast.Call):
+            return None, None
+        callee = program.resolve_call(module, call)
+        if callee is None:
+            return None, None
+        if arg_node in call.args:
+            index = call.args.index(arg_node)
+            params = list(callee.params)
+            if callee.is_method and params and params[0] in ("self", "cls"):
+                params = params[1:]
+            if index < len(params):
+                return callee, params[index]
+        return None, None
+
+    @staticmethod
+    def _bind_keyword(program: ProgramModel, module: ModuleInfo,
+                      kw_node: ast.keyword, keyword: Optional[str]
+                      ) -> Tuple[Optional[FunctionInfo], Optional[str]]:
+        # The keyword's parent call is not linked from the node; re-walk.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and kw_node in node.keywords:
+                callee = program.resolve_call(module, node)
+                if callee is not None and keyword in callee.all_params:
+                    return callee, keyword
+                return None, None
+        return None, None
+
+    @staticmethod
+    def _describe_use(parent: Optional[ast.AST],
+                      fn: FunctionInfo) -> str:
+        if isinstance(parent, ast.Call):
+            from repro.analysis.rules.base import dotted_name
+            name = dotted_name(parent.func)
+            if name:
+                return f"`{name}(...)`"
+        return f"an expression in `{fn.qualname}`"

@@ -45,6 +45,26 @@ def _mutable_kind(node: ast.AST) -> Optional[str]:
 
 @register
 class NoMutableDefaults(Rule):
+    """Default argument values are evaluated once and shared forever.
+
+    Bad::
+
+        def collect(sample, into=[]):     # one list for every call
+            into.append(sample)
+            return into
+
+    Good::
+
+        def collect(sample, into=None):
+            if into is None:
+                into = []                 # fresh per call
+            into.append(sample)
+            return into
+
+    A mutable default is hidden cross-call state: results depend on
+    call history, which is exactly what a reproduction cannot afford.
+    """
+
     code = "RL005"
     name = "no-mutable-default-args"
     summary = "mutable default argument values are shared across calls"

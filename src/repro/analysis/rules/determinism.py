@@ -104,6 +104,25 @@ class _ReferenceRule(Rule):
 
 @register
 class NoWallClock(_ReferenceRule):
+    """Simulation code must read the engine clock, never the wall clock.
+
+    Bad::
+
+        started = time.time()
+        ...
+        latency_s = time.time() - started    # measures the host, not the model
+
+    Good::
+
+        started_s = engine.now
+        ...
+        latency_s = engine.now - started_s   # simulated time, reproducible
+
+    A wall-clock read makes the result depend on machine load and wall
+    time; benchmark harnesses and offline tools (allowlisted paths)
+    legitimately measure real elapsed time and are exempt.
+    """
+
     code = "RL001"
     name = "no-wall-clock"
     summary = ("wall-clock access outside benchmark/tool paths; simulated "
@@ -123,6 +142,23 @@ class NoWallClock(_ReferenceRule):
 
 @register
 class NoGlobalRandom(_ReferenceRule):
+    """Randomness must flow from an explicitly seeded, threaded generator.
+
+    Bad::
+
+        jitter = random.random()             # process-global RNG state
+        rng = np.random.default_rng()        # seeded from OS entropy
+
+    Good::
+
+        def sample(rng: np.random.Generator):
+            jitter = rng.random()            # caller controls the seed
+
+    Draws on process-global or OS-seeded state cannot be replayed from
+    a run manifest; ``repro.sim.random`` owns generator construction
+    and everything else takes a ``Generator`` parameter.
+    """
+
     code = "RL002"
     name = "no-global-random"
     summary = ("draw on process-global RNG state; thread a seeded generator "

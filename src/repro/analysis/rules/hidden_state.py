@@ -1,0 +1,240 @@
+"""RL006 hidden-state determinism.
+
+``repro.core.parallel`` promises that ``--jobs N`` is bit-identical to
+``--jobs 1``.  That proof rests on worker processes being pure
+functions of their picklable inputs — and *any* process-local mutable
+state in a module a worker imports silently breaks it: under ``fork``
+the state is inherited mid-mutation, under ``spawn`` it is rebuilt
+fresh, and the two runs diverge without an error anywhere.
+
+This rule walks the import graph from the declared worker entrypoint
+modules (``worker_entrypoint_modules`` config plus every module
+declaring a ``WORKER_ENTRYPOINTS`` constant) and flags, in every
+reachable module:
+
+- **global-rebound module state** — a module-level name reassigned via
+  ``global`` inside a function (the classic lazily-initialized
+  singleton);
+- **mutated module-level containers** — a module-level dict/list/set
+  that some function mutates (``.append``/``.update``/item
+  assignment/augmented assignment).  Tables built at import time and
+  never touched afterwards are fine: import re-runs identically in
+  every process;
+- **memo caches** — ``functools.lru_cache`` / ``functools.cache``
+  decorated functions (a memo dict by another name);
+- **class-level mutable attributes** — ``x = []`` in a class body is
+  one object shared by every instance in the process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import reachable_modules
+from repro.analysis.model import ModuleInfo, ProgramModel
+from repro.analysis.rules.base import ProgramRule, dotted_name, register
+
+__all__ = ["HiddenStateDeterminism"]
+
+#: Constructors/displays whose value is process-local mutable state.
+_MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter", "collections.deque",
+})
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "remove", "discard", "clear", "pop", "popitem", "appendleft",
+})
+
+_MEMO_DECORATORS = frozenset({
+    "functools.lru_cache", "functools.cache",
+})
+
+
+def _is_mutable_value(node: ast.AST, module: ModuleInfo,
+                      model: ProgramModel) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return False
+        resolved = model.resolve(module, dotted) or dotted
+        return resolved in _MUTABLE_CALLS or dotted in _MUTABLE_CALLS
+    return False
+
+
+@register
+class HiddenStateDeterminism(ProgramRule):
+    """Process-local mutable state reachable from pool-worker code.
+
+    Bad::
+
+        _catalog_cache = {}              # module global, and ...
+
+        def lookup(name):
+            if name not in _catalog_cache:
+                _catalog_cache[name] = _build(name)   # ... mutated here
+            return _catalog_cache[name]
+
+    Good::
+
+        def lookup(name, cache):         # state is threaded, not ambient
+            if name not in cache:
+                cache[name] = _build(name)
+            return cache[name]
+
+    Each worker process gets its own copy of module state; whether that
+    copy is a fork-time snapshot or a spawn-time rebuild depends on the
+    platform, so results silently depend on ``--jobs`` and the start
+    method.  Thread state explicitly (parameters, initializer-built
+    objects passed onward) or, for deliberate per-worker state rebuilt
+    deterministically by a pool initializer, suppress with a justified
+    pragma.
+    """
+
+    code = "RL006"
+    name = "hidden-state-determinism"
+    summary = ("mutable module/class state reachable from parallel worker "
+               "entrypoints makes --jobs N diverge from --jobs 1")
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        config = program.config
+        roots = set(config.worker_entrypoint_modules)
+        roots.update(program.declared_constant("WORKER_ENTRYPOINTS"))
+        scope = reachable_modules(program, roots)
+        if not scope:
+            return
+        for name in sorted(scope):
+            module = program.modules[name]
+            yield from self._check_module(program, module)
+
+    # ------------------------------------------------------------------
+    def _check_module(self, program: ProgramModel,
+                      module: ModuleInfo) -> Iterator[Finding]:
+        top_assigns: Dict[str, ast.AST] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        top_assigns.setdefault(target.id, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                top_assigns.setdefault(stmt.target.id, stmt)
+
+        rebound, mutated = self._function_scope_writes(module)
+
+        for name_ in sorted(rebound):
+            anchor = top_assigns.get(name_, rebound[name_])
+            yield self.module_finding(
+                module, anchor,
+                f"module global `{name_}` is rebound via `global` inside a "
+                f"function: per-process hidden state diverges under fork vs "
+                f"spawn; thread it explicitly or justify with a pragma",
+                symbol=f"global-rebound:{name_}",
+            )
+        for name_ in sorted(mutated):
+            stmt = top_assigns.get(name_)
+            if stmt is None or name_ in rebound:
+                continue
+            value = stmt.value if hasattr(stmt, "value") else None
+            if value is None or not _is_mutable_value(value, module, program):
+                continue
+            yield self.module_finding(
+                module, stmt,
+                f"module-level container `{name_}` is mutated from function "
+                f"scope: workers accumulate process-local state; thread the "
+                f"container through parameters instead",
+                symbol=f"mutated-global:{name_}",
+            )
+
+        yield from self._memo_decorators(program, module)
+        yield from self._class_mutables(program, module)
+
+    def _function_scope_writes(
+            self, module: ModuleInfo
+    ) -> Tuple[Dict[str, ast.AST], Set[str]]:
+        """Names rebound via ``global`` and names mutated inside functions.
+
+        Mutation only counts from function scope: import-time
+        construction (top-level loops filling a table) re-runs
+        identically in every process and is deterministic.
+        """
+        rebound: Dict[str, ast.AST] = {}
+        mutated: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: Set[str] = set()
+            assigned: Set[str] = set()
+            touched: Set[str] = set()
+            params = {a.arg for a in (node.args.posonlyargs + node.args.args
+                                      + node.args.kwonlyargs)}
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Global):
+                    declared.update(sub.names)
+                elif isinstance(sub, ast.Assign):
+                    assigned.update(t.id for t in sub.targets
+                                    if isinstance(t, ast.Name))
+                    for target in sub.targets:
+                        if isinstance(target, ast.Subscript) and isinstance(
+                                target.value, ast.Name):
+                            touched.add(target.value.id)
+                elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                    if isinstance(sub.target, ast.Name):
+                        assigned.add(sub.target.id)
+                    elif isinstance(sub.target, ast.Subscript) and isinstance(
+                            sub.target.value, ast.Name):
+                        touched.add(sub.target.value.id)
+                elif isinstance(sub, ast.Call) and isinstance(
+                        sub.func, ast.Attribute):
+                    if sub.func.attr in _MUTATOR_METHODS and isinstance(
+                            sub.func.value, ast.Name):
+                        touched.add(sub.func.value.id)
+            for name_ in declared & assigned:
+                rebound.setdefault(name_, node)
+            # A name assigned locally (and not declared global) shadows the
+            # module global; mutating the local is fine.
+            mutated.update(touched - ((assigned | params) - declared))
+        return rebound, mutated
+
+    def _memo_decorators(self, program: ProgramModel,
+                         module: ModuleInfo) -> Iterator[Finding]:
+        functions: List = list(module.functions.values())
+        for klass in module.classes.values():
+            functions.extend(klass.methods.values())
+        for fn in functions:
+            for raw in fn.decorators:
+                resolved = program.resolve(module, raw) or raw
+                if resolved in _MEMO_DECORATORS:
+                    yield self.module_finding(
+                        module, fn.node,
+                        f"`{fn.name}` is memoized with `{resolved}`: the "
+                        f"memo dict is per-process hidden state; use the "
+                        f"threaded StudyCache or precompute instead",
+                        symbol=f"memo:{fn.qualname}",
+                    )
+
+    def _class_mutables(self, program: ProgramModel,
+                        module: ModuleInfo) -> Iterator[Finding]:
+        for klass in module.classes.values():
+            for stmt in klass.node.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not _is_mutable_value(stmt.value, module, program):
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        yield self.module_finding(
+                            module, stmt,
+                            f"class attribute `{klass.name}.{target.id}` is "
+                            f"a mutable container shared by every instance "
+                            f"in the process; move it into __init__ or make "
+                            f"it immutable",
+                            symbol=f"class-mutable:{klass.qualname}.{target.id}",
+                        )

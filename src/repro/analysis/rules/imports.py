@@ -1,0 +1,59 @@
+"""RL010 star imports defeat whole-program analysis.
+
+``from x import *`` is the one import form the program model cannot
+see through: the set of names it binds depends on runtime ``__all__``,
+so every cross-module rule (RL006-RL009) silently loses track of
+anything that arrives that way.  Rather than guessing (wrong either
+way) or crashing, the model records the star import and skips the
+names — and this rule surfaces the blind spot itself, so a clean
+report still means "the cross-module rules saw everything".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import FileContext, Rule, register
+
+__all__ = ["NoStarImports"]
+
+
+@register
+class NoStarImports(Rule):
+    """``from x import *`` hides names from cross-module analysis.
+
+    Bad::
+
+        from repro.sim.engine import *      # what did this bind?
+
+    Good::
+
+        from repro.sim.engine import Engine, Event
+
+    Names bound by a star import are unresolvable to the program
+    model, so determinism/cache-key/unit rules cannot follow them
+    across files; the import is a warning, not a crash, but code under
+    it is analyzed with one eye closed.
+    """
+
+    code = "RL010"
+    name = "no-star-imports"
+    summary = ("star imports bind an unknowable name set and blind the "
+               "cross-module rules")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if not any(item.name == "*" for item in node.names):
+                continue
+            origin = ("." * node.level) + (node.module or "")
+            yield self.finding(
+                ctx, node,
+                f"`from {origin} import *` binds an unknowable name set; "
+                f"cross-module analysis cannot resolve through it — import "
+                f"names explicitly",
+                symbol=f"star:{origin}",
+            )

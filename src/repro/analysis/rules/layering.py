@@ -36,6 +36,23 @@ def _top_package(module: str, root: str) -> Optional[str]:
 
 @register
 class LayerPurity(Rule):
+    """Imports must follow the declared package DAG, never upward.
+
+    Bad::
+
+        # in repro/sim/engine.py (bottom layer)
+        from repro.studies.figures import render   # substrate -> consumer
+
+    Good::
+
+        # in repro/studies/figures.py (top layer)
+        from repro.sim.engine import Engine        # consumer -> substrate
+
+    An upward import couples a low layer to its consumers and turns
+    the DAG into a cycle; standalone packages (the linter itself) sit
+    outside the stack and import nothing from it.
+    """
+
     code = "RL004"
     name = "layer-purity"
     summary = "no upward imports in the declared package layer DAG"

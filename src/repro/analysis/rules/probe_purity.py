@@ -1,0 +1,168 @@
+"""RL009 probe purity.
+
+Probes (:mod:`repro.sim.instrument`) are the observation plane: the
+engine invokes their hooks at every event, job, and RPC transition, and
+the contract is that **attaching a probe never changes what the
+simulation computes** — telemetry must be free.  A hook that schedules
+an event, cancels a timer, or mutates the object it was handed breaks
+that contract in the worst possible way: results now differ between
+instrumented and uninstrumented runs, which is exactly the class of
+bug the determinism suite exists to rule out.
+
+The rule finds every class that (transitively, across modules)
+subclasses a configured probe base class, takes the hook-method names
+from the base class itself, and inside each overriding hook flags:
+
+- calls whose final attribute is a known state-mutating method
+  (``config.probe_mutating_calls``: ``at``, ``cancel``, ``submit``,
+  ...) on anything that is not probe-owned (``self.…`` state is the
+  probe's to mutate);
+- attribute or subscript **stores** into hook arguments or other
+  non-probe-owned objects;
+- ``global`` / ``nonlocal`` declarations (ambient state by decree).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import subclasses_of
+from repro.analysis.model import ClassInfo, ModuleInfo, ProgramModel
+from repro.analysis.rules.base import ProgramRule, register
+
+__all__ = ["ProbePurity"]
+
+#: Hook-name prefixes used when no configured base class is part of the
+#: analyzed program (e.g. fixture tests that define their own base).
+_HOOK_PREFIXES = ("event_", "job_", "rpc_")
+
+
+@register
+class ProbePurity(ProgramRule):
+    """Probe hooks observe the simulation; they must not steer it.
+
+    Bad::
+
+        class RetryNudge(Probe):
+            def rpc_completed(self, rpc, outcome):
+                if outcome.dropped:
+                    self.engine.at(0.0, retry)   # schedules from a hook!
+
+    Good::
+
+        class DropCounter(Probe):
+            def rpc_completed(self, rpc, outcome):
+                if outcome.dropped:
+                    self.drops += 1              # probe-owned state only
+
+    A probe may mutate its own attributes freely — that is what
+    accumulating counters and reservoirs are.  What it must not do is
+    call scheduling/queue/RPC mutators on engine objects or write into
+    the arguments the engine handed it: either one makes instrumented
+    runs diverge from bare runs.
+    """
+
+    code = "RL009"
+    name = "probe-purity"
+    summary = ("Probe subclass hooks must not mutate engine, queue, or RPC "
+               "state; instrumented runs must equal bare runs")
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        bases = tuple(program.config.probe_base_classes)
+        hook_names = self._hook_names(program, bases)
+        for klass in subclasses_of(program, bases):
+            module = program.modules.get(klass.module)
+            if module is None:
+                continue
+            for method in klass.methods.values():
+                if hook_names and method.name not in hook_names:
+                    continue
+                if not hook_names and not method.name.startswith(
+                        _HOOK_PREFIXES):
+                    continue
+                yield from self._check_hook(program, module, klass, method)
+
+    @staticmethod
+    def _hook_names(program: ProgramModel,
+                    bases: Sequence[str]) -> Set[str]:
+        names: Set[str] = set()
+        for qualname in bases:
+            base = program.classes.get(qualname)
+            if base is not None:
+                names.update(m for m in base.methods
+                             if not m.startswith("_"))
+        return names
+
+    # ------------------------------------------------------------------
+    def _check_hook(self, program: ProgramModel, module: ModuleInfo,
+                    klass: ClassInfo, method) -> Iterator[Finding]:
+        mutators = set(program.config.probe_mutating_calls)
+        hook = f"{klass.name}.{method.name}"
+        for node in ast.walk(method.node):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+                yield self.module_finding(
+                    module, node,
+                    f"probe hook `{hook}` declares `{kind}`: hooks must not "
+                    f"write ambient state",
+                    symbol=f"impure:{klass.qualname}.{method.name}:{kind}",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute):
+                if node.func.attr not in mutators:
+                    continue
+                # `self.reset()` is the probe's own method; `self.engine
+                # .at(...)` reaches *through* the probe into the engine.
+                if isinstance(node.func.value, ast.Name) \
+                        and node.func.value.id == "self":
+                    continue
+                target = self._render(node.func.value)
+                yield self.module_finding(
+                    module, node,
+                    f"probe hook `{hook}` calls `{target}.{node.func.attr}"
+                    f"(...)`, a state-mutating operation: probes observe "
+                    f"the simulation, they must not steer it",
+                    symbol=f"impure:{klass.qualname}.{method.name}:"
+                           f"{node.func.attr}",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    root = self._store_root(target)
+                    if root is None or self._probe_owned(root):
+                        continue
+                    yield self.module_finding(
+                        module, target,
+                        f"probe hook `{hook}` writes into "
+                        f"`{self._render(target)}`: hooks must not mutate "
+                        f"the objects the engine hands them",
+                        symbol=f"impure:{klass.qualname}.{method.name}:store",
+                    )
+
+    @staticmethod
+    def _probe_owned(node: ast.AST) -> bool:
+        """True when the expression is rooted at ``self`` — probe state."""
+        cur = node
+        while isinstance(cur, (ast.Attribute, ast.Subscript)):
+            cur = cur.value
+        return isinstance(cur, ast.Name) and cur.id == "self"
+
+    @staticmethod
+    def _store_root(target: ast.AST):
+        """The base expression whose attribute/item is being stored into."""
+        cur = target
+        if isinstance(cur, (ast.Attribute, ast.Subscript)):
+            return cur.value
+        return None
+
+    @staticmethod
+    def _render(node: ast.AST) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            return "<expr>"

@@ -1,0 +1,281 @@
+"""RL008 unit dataflow.
+
+RL003 checks unit suffixes *syntactically*: a ``+`` whose operands
+carry different suffixes is flagged, but a ``_ms`` value that flows
+through an assignment, a return, or a function call into a ``_s``
+slot is invisible to it.  This rule upgrades the suffix convention to
+a lightweight flow-sensitive type check:
+
+- every function's **signature** is typed from its parameter suffixes
+  and its return unit (the function name's own suffix, or the
+  consistent suffix of what it returns);
+- inside each function, units **propagate through assignments**
+  (``x = wait_ms`` makes ``x`` milliseconds; multiplication/division
+  clear the unit — that is how units legitimately convert; unit-
+  preserving builtins like ``min``/``max``/``abs`` pass it through);
+- at every **call that resolves through the program model** (same
+  file or across modules), each argument's inferred unit is checked
+  against the parameter's declared suffix; keyword arguments are also
+  checked against suffix-bearing keyword names on *unresolvable*
+  calls, since the keyword name states the contract;
+- **returns** are checked against the function's own suffix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import FunctionInfo, ModuleInfo, ProgramModel
+from repro.analysis.rules.base import ProgramRule, dotted_name, register
+
+__all__ = ["UnitDataflow"]
+
+#: A unit is (dimension, suffix), e.g. ("time", "ms") or ("size", "bytes").
+Unit = Tuple[str, str]
+
+#: Builtins through which a unit passes unchanged.
+_UNIT_PRESERVING = frozenset({"min", "max", "abs", "float", "int", "round",
+                              "sum", "sorted"})
+
+
+def _suffix_unit(name: str, config) -> Optional[Unit]:
+    segments = name.lower().split("_")
+    if len(segments) < 2:
+        return None
+    tail = segments[-1]
+    if tail in config.time_suffixes:
+        return ("time", tail)
+    if tail in config.size_suffixes:
+        return ("size", tail)
+    return None
+
+
+class _FunctionTyper:
+    """Infers unit types inside one function body."""
+
+    def __init__(self, program: ProgramModel, module: ModuleInfo,
+                 fn: FunctionInfo):
+        self.program = program
+        self.module = module
+        self.fn = fn
+        self.config = program.config
+        self.env: Dict[str, Unit] = {}
+        for param in fn.all_params:
+            unit = _suffix_unit(param, self.config)
+            if unit is not None:
+                self.env[param] = unit
+
+    def unit_of(self, node: ast.AST) -> Optional[Unit]:
+        if isinstance(node, ast.Name):
+            return _suffix_unit(node.id, self.config) or self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return _suffix_unit(node.attr, self.config)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self.unit_of(node.left)
+                right = self.unit_of(node.right)
+                if left is not None and left == right:
+                    return left
+            return None          # Mult/Div convert; mixed Add is RL003's job
+        if isinstance(node, ast.Call):
+            return self.call_unit(node)
+        if isinstance(node, ast.IfExp):
+            body = self.unit_of(node.body)
+            orelse = self.unit_of(node.orelse)
+            return body if body == orelse else None
+        return None
+
+    def call_unit(self, call: ast.Call) -> Optional[Unit]:
+        dotted = dotted_name(call.func)
+        if dotted in _UNIT_PRESERVING:
+            units = {self.unit_of(a) for a in call.args}
+            units.discard(None)
+            if len(units) == 1:
+                return units.pop()
+            return None
+        callee = self.program.resolve_call(self.module, call)
+        if callee is not None:
+            return return_unit(self.program, callee)
+        return None
+
+
+_RETURN_CACHE: Dict[Tuple[int, str], Optional[Unit]] = {}
+
+
+def return_unit(program: ProgramModel, fn: FunctionInfo,
+                _depth: int = 0) -> Optional[Unit]:
+    """The unit a function returns: its name suffix, else a consistent
+    suffix across its return expressions (one level, no recursion)."""
+    cache_key = (id(program), fn.qualname)
+    if cache_key in _RETURN_CACHE:
+        return _RETURN_CACHE[cache_key]
+    unit = _suffix_unit(fn.name, program.config)
+    if unit is None and _depth == 0:
+        units = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if isinstance(node.value, ast.Name):
+                    units.add(_suffix_unit(node.value.id, program.config))
+                elif isinstance(node.value, ast.Attribute):
+                    units.add(_suffix_unit(node.value.attr, program.config))
+                else:
+                    units.add(None)
+        if len(units) == 1:
+            unit = units.pop()
+    _RETURN_CACHE[cache_key] = unit
+    return unit
+
+
+@register
+class UnitDataflow(ProgramRule):
+    """A ``_ms`` value must not flow into a ``_s`` slot, even across files.
+
+    Bad::
+
+        # a.py                          # b.py
+        def backoff_ms(attempt):        from a import backoff_ms
+            return 2.0 ** attempt       def schedule(delay_s): ...
+                                        wait = backoff_ms(3)
+                                        schedule(wait)        # ms into _s
+
+    Good::
+
+        wait_ms = backoff_ms(3)
+        schedule(wait_ms / 1000.0)      # explicit conversion clears the unit
+
+    The unit rides the identifier suffix through assignments, calls,
+    and returns; multiplication/division clear it because that is how
+    units legitimately convert.
+    """
+
+    code = "RL008"
+    name = "unit-dataflow"
+    summary = ("unit suffixes are propagated through assignments, calls, "
+               "and returns; mismatched flows are dimensional bugs")
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        _RETURN_CACHE.clear()
+        for fn in sorted(program.functions.values(),
+                         key=lambda f: (f.path, f.node.lineno)):
+            module = program.modules.get(fn.module)
+            if module is None:
+                continue
+            yield from self._check_function(program, module, fn)
+
+    # ------------------------------------------------------------------
+    def _check_function(self, program: ProgramModel, module: ModuleInfo,
+                        fn: FunctionInfo) -> Iterator[Finding]:
+        typer = _FunctionTyper(program, module, fn)
+        fn_unit = _suffix_unit(fn.name, program.config)
+        nested = {id(sub) for node in ast.walk(fn.node)
+                  if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                  and node is not fn.node
+                  for sub in ast.walk(node)}
+        for node in self._in_order(fn.node):
+            if id(node) in nested:
+                continue
+            if isinstance(node, ast.Assign):
+                yield from self._check_assign(typer, module, node)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    yield from self._bind(typer, module, node.target.id,
+                                          node.value, node)
+            elif isinstance(node, ast.AugAssign):
+                pass             # RL003 owns augmented arithmetic
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(typer, module, node)
+            elif isinstance(node, ast.Return) and node.value is not None \
+                    and fn_unit is not None:
+                value_unit = typer.unit_of(node.value)
+                if value_unit is not None and value_unit != fn_unit:
+                    yield self.module_finding(
+                        module, node,
+                        f"`{fn.name}` is suffixed _{fn_unit[1]} but returns "
+                        f"a _{value_unit[1]} value; convert before "
+                        f"returning",
+                        symbol=f"return:{fn.qualname}:_{value_unit[1]}",
+                    )
+
+    @staticmethod
+    def _in_order(fn_node: ast.AST) -> List[ast.AST]:
+        nodes = [n for n in ast.walk(fn_node)]
+        nodes.sort(key=lambda n: (getattr(n, "lineno", 0),
+                                  getattr(n, "col_offset", 0)))
+        return nodes
+
+    def _check_assign(self, typer: _FunctionTyper, module: ModuleInfo,
+                      node: ast.Assign) -> Iterator[Finding]:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                yield from self._bind(typer, module, target.id, node.value,
+                                      node)
+
+    def _bind(self, typer: _FunctionTyper, module: ModuleInfo,
+              target: str, value: ast.AST,
+              anchor: ast.AST) -> Iterator[Finding]:
+        value_unit = typer.unit_of(value)
+        target_unit = _suffix_unit(target, typer.config)
+        if target_unit is not None and value_unit is not None \
+                and target_unit != value_unit:
+            detail = (f"mixes dimensions ({target_unit[0]} vs "
+                      f"{value_unit[0]})" if target_unit[0] != value_unit[0]
+                      else f"assigns a _{value_unit[1]} value to a "
+                           f"_{target_unit[1]} name")
+            yield self.module_finding(
+                module, anchor,
+                f"`{target}` {detail}; convert explicitly first",
+                symbol=f"assign:{target}:_{value_unit[1]}",
+            )
+        if value_unit is not None and target_unit is None:
+            typer.env[target] = value_unit
+        elif target_unit is None:
+            typer.env.pop(target, None)
+
+    def _check_call(self, typer: _FunctionTyper, module: ModuleInfo,
+                    call: ast.Call) -> Iterator[Finding]:
+        program = typer.program
+        callee = program.resolve_call(module, call)
+        if callee is not None:
+            params = list(callee.params)
+            if callee.is_method and params and params[0] in ("self", "cls"):
+                params = params[1:]
+            for index, arg in enumerate(call.args):
+                if index >= len(params):
+                    break
+                yield from self._check_flow(typer, module, call, arg,
+                                            params[index], callee)
+            for kw in call.keywords:
+                if kw.arg is not None and kw.arg in callee.all_params:
+                    yield from self._check_flow(typer, module, call,
+                                                kw.value, kw.arg, callee)
+        else:
+            # Unresolvable callee: the keyword name itself still states
+            # the expected unit (`engine.after(delay_s=wait_ms)`).
+            for kw in call.keywords:
+                if kw.arg is None:
+                    continue
+                yield from self._check_flow(typer, module, call, kw.value,
+                                            kw.arg, None)
+
+    def _check_flow(self, typer: _FunctionTyper, module: ModuleInfo,
+                    call: ast.Call, arg: ast.AST, param: str,
+                    callee: Optional[FunctionInfo]) -> Iterator[Finding]:
+        param_unit = _suffix_unit(param, typer.config)
+        if param_unit is None:
+            return
+        arg_unit = typer.unit_of(arg)
+        if arg_unit is None or arg_unit == param_unit:
+            return
+        where = f" of `{callee.qualname}`" if callee is not None else ""
+        if param_unit[0] != arg_unit[0]:
+            detail = f"mixes dimensions ({arg_unit[0]} into {param_unit[0]})"
+        else:
+            detail = f"flows _{arg_unit[1]} into _{param_unit[1]}"
+        yield self.module_finding(
+            module, arg,
+            f"argument {detail} for parameter `{param}`{where}; convert "
+            f"explicitly at the call site",
+            symbol=f"flow:{callee.qualname if callee else 'kw'}:{param}:_{arg_unit[1]}",
+        )

@@ -60,6 +60,24 @@ def _operand_unit(node: ast.AST, config) -> Optional[Tuple[str, str, str]]:
 
 @register
 class UnitSuffixDiscipline(Rule):
+    """Quantities carry their unit in the name; arithmetic must agree.
+
+    Bad::
+
+        timeout = 30                      # of what? seconds? ms?
+        total = deadline_ms + budget_s    # mixed units compile fine
+
+    Good::
+
+        timeout_s = 30
+        total_ms = deadline_ms + budget_ms
+
+    Names ending in a quantity stem (``latency``, ``deadline``, ...)
+    must end in a unit suffix, and additive/comparison operands must
+    carry the same suffix.  RL008 extends the same convention across
+    assignments and calls.
+    """
+
     code = "RL003"
     name = "unit-suffix-discipline"
     summary = ("quantities must carry unit suffixes and arithmetic must "

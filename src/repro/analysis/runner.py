@@ -1,11 +1,20 @@
 """The lint driver: collect files, parse once, run rules, filter, report.
 
-Each file is parsed exactly once; every enabled rule sees the same
-:class:`FileContext`.  Findings then pass through two filters — inline
+Each file is parsed exactly once; every enabled file rule sees the same
+:class:`FileContext`.  Since v2 the runner then makes a second,
+whole-program pass: the parsed contexts are assembled into one
+:class:`~repro.analysis.model.ProgramModel` (symbol table, import
+graph, class hierarchy) and every enabled
+:class:`~repro.analysis.rules.base.ProgramRule` runs once over it —
+that is how RL006-RL009 relate a worker entrypoint in one file to a
+mutable global three imports away.
+
+Findings from both passes go through the same two filters — inline
 pragmas (``# repro-lint: disable=...``) and the baseline file — before
 reaching the report.  Unparseable files surface as ``RL000`` findings
-rather than crashing the run: a syntax error in one file must not hide
-findings in the other two hundred.
+rather than crashing the run (and are left out of the program model):
+a syntax error in one file must not hide findings in the other two
+hundred.
 """
 
 from __future__ import annotations
@@ -13,14 +22,15 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.config import LintConfig
 from repro.analysis.findings import PARSE_ERROR_CODE, Finding
-from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.model import ProgramModel
+from repro.analysis.pragmas import PragmaIndex, parse_pragmas
 from repro.analysis.rules import all_rules
-from repro.analysis.rules.base import FileContext
+from repro.analysis.rules.base import FileContext, ProgramRule
 
 __all__ = ["LintReport", "lint_paths", "collect_files", "module_name_for"]
 
@@ -80,6 +90,11 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _excluded(relpath: str, config: LintConfig) -> bool:
+    return any(relpath == p.rstrip("/") or relpath.startswith(p)
+               for p in config.exclude_paths)
+
+
 def lint_paths(paths: Sequence[Path], config: Optional[LintConfig] = None,
                baseline_path: Optional[Path] = None) -> LintReport:
     """Lint ``paths`` and return the filtered report.
@@ -90,12 +105,18 @@ def lint_paths(paths: Sequence[Path], config: Optional[LintConfig] = None,
     config = config or LintConfig()
     root = Path(config.root)
     rules = [cls() for cls in all_rules() if config.rule_enabled(cls.code)]
+    file_rules = [r for r in rules if not isinstance(r, ProgramRule)]
+    program_rules = [r for r in rules if isinstance(r, ProgramRule)]
 
     report = LintReport()
     raw: List[Finding] = []
+    contexts: List[FileContext] = []
+    pragmas_by_path: Dict[str, PragmaIndex] = {}
     for path in collect_files([Path(p) for p in paths]):
-        report.files_scanned += 1
         relpath = _relpath(path, root)
+        if _excluded(relpath, config):
+            continue
+        report.files_scanned += 1
         try:
             source = path.read_text(encoding="utf-8")
             tree = ast.parse(source, filename=str(path))
@@ -110,10 +131,23 @@ def lint_paths(paths: Sequence[Path], config: Optional[LintConfig] = None,
             path=relpath, source=source, tree=tree, config=config,
             module=module_name_for(path, config.root_package),
         )
+        contexts.append(ctx)
         pragmas = parse_pragmas(source)
-        for rule in rules:
+        pragmas_by_path[relpath] = pragmas
+        for rule in file_rules:
             for finding in rule.check(ctx):
                 if pragmas.is_suppressed(finding.code, finding.line):
+                    report.suppressed_pragma += 1
+                else:
+                    raw.append(finding)
+
+    if program_rules and contexts:
+        program = ProgramModel.build(contexts, config)
+        for rule in program_rules:
+            for finding in rule.check_program(program):
+                pragmas = pragmas_by_path.get(finding.path)
+                if pragmas is not None and pragmas.is_suppressed(
+                        finding.code, finding.line):
                     report.suppressed_pragma += 1
                 else:
                     raw.append(finding)

@@ -42,6 +42,11 @@ CACHE_SCHEMA = 1
 #: Conventional cache location for CLI runs (relative to the working dir).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Metadata for the cache-key analysis (RL007): calls to these functions
+#: mark the enclosing function as a cached study body, and their
+#: arguments define what the key covers.
+CACHE_KEY_FUNCTIONS = ("study_key",)
+
 
 def _jsonable(value: Any) -> Any:
     """Coerce config values into the JSON-safe shape ``config_digest`` needs."""

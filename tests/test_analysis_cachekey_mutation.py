@@ -1,0 +1,102 @@
+"""End-to-end proof of the RL007 contract on a seeded mutant.
+
+The mutant is a cached study that reads ``cfg.scale`` but keys only
+``cfg.n`` — exactly the bug class RL007 exists for.  The test shows
+all three sides:
+
+1. **the bug is real**: run the mutant against a real
+   :class:`~repro.core.cache.StudyCache`, change ``scale``, and watch
+   the cache serve the stale result (a hit, with the *old* number);
+2. **the rule catches it**: linting the same source yields the RL007
+   finding pointing at ``cfg.scale``;
+3. **the fix is clean**: adding ``scale`` to the key makes the lint
+   pass and the re-run a miss with the right number.
+"""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.runner import lint_paths
+from repro.core.cache import StudyCache
+
+NO_BASELINE = Path("/nonexistent-baseline.json")
+
+BUGGY = """\
+    from dataclasses import dataclass
+
+    from repro.core.cache import study_key
+
+
+    @dataclass(frozen=True)
+    class ToyConfig:
+        n: int
+        scale: float
+
+
+    def run_cached(cfg, seed, cache):
+        key = study_key("toy", seed, {"n": cfg.n})
+        return cache.get_or_compute(key, lambda: cfg.n * cfg.scale)
+"""
+
+# The fix: every field the body reads is part of the key.
+FIXED = BUGGY.replace('{"n": cfg.n}', '{"n": cfg.n, "scale": cfg.scale}')
+
+
+def write_module(tmp_path, source, stem):
+    target = tmp_path / "repro" / f"{stem}.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+def import_module(path, name):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def lint_file(tmp_path, target):
+    config = LintConfig(root=str(tmp_path), baseline=None,
+                        select=("RL007",))
+    return lint_paths([target], config, baseline_path=NO_BASELINE)
+
+
+def test_mutant_serves_stale_hit_at_runtime(tmp_path):
+    target = write_module(tmp_path, BUGGY, "toystudy")
+    toy = import_module(target, "toystudy_buggy")
+    cache = StudyCache(tmp_path / "cache")
+
+    first, hit1 = toy.run_cached(toy.ToyConfig(n=3, scale=1.0), 0, cache)
+    assert (first, hit1) == (3.0, False)
+
+    # Change an input the key does not cover: the cache cannot tell the
+    # difference and silently re-serves the old result.
+    stale, hit2 = toy.run_cached(toy.ToyConfig(n=3, scale=2.0), 0, cache)
+    assert hit2 is True
+    assert stale == 3.0          # should be 6.0 — the stale-cache bug
+
+
+def test_rule_catches_the_mutant_statically(tmp_path):
+    target = write_module(tmp_path, BUGGY, "toystudy")
+    report = lint_file(tmp_path, target)
+    assert [f.code for f in report.findings] == ["RL007"]
+    finding = report.findings[0]
+    assert finding.symbol == "unkeyed:repro.toystudy.run_cached:cfg.scale"
+    assert "stale" in finding.message
+
+
+def test_fix_is_clean_and_correct(tmp_path):
+    target = write_module(tmp_path, FIXED, "toystudy")
+    assert lint_file(tmp_path, target).findings == []
+
+    toy = import_module(target, "toystudy_fixed")
+    cache = StudyCache(tmp_path / "cache")
+    first, hit1 = toy.run_cached(toy.ToyConfig(n=3, scale=1.0), 0, cache)
+    second, hit2 = toy.run_cached(toy.ToyConfig(n=3, scale=2.0), 0, cache)
+    repeat, hit3 = toy.run_cached(toy.ToyConfig(n=3, scale=2.0), 0, cache)
+    assert (first, hit1) == (3.0, False)
+    assert (second, hit2) == (6.0, False)   # key change -> recompute
+    assert (repeat, hit3) == (6.0, True)    # identical inputs -> hit

@@ -1,0 +1,254 @@
+"""Program-model tests: symbol resolution, graphs, and the edge cases
+cross-module analysis must survive (aliases, star imports, circular
+imports, excluded files)."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.graph import (
+    import_graph,
+    reachable_modules,
+    subclasses_of,
+)
+from repro.analysis.model import ProgramModel, iter_refs
+from repro.analysis.rules.base import FileContext
+from repro.analysis.runner import lint_paths, module_name_for
+
+NO_BASELINE = Path("/nonexistent-baseline.json")
+
+
+def build_model(files, config=None):
+    """``{module_name: source}`` -> a built ProgramModel.
+
+    Paths are synthesized from the dotted names (``repro.a.b`` ->
+    ``src/repro/a/b.py``) so path- and name-based lookups both work.
+    """
+    config = config or LintConfig()
+    contexts = []
+    for name, source in files.items():
+        path = "src/" + name.replace(".", "/") + ".py"
+        contexts.append(FileContext(
+            path=path, source=textwrap.dedent(source),
+            tree=ast.parse(textwrap.dedent(source)), config=config,
+            module=name,
+        ))
+    return ProgramModel.build(contexts, config)
+
+
+def write_project(tmp_path, files):
+    """``{relpath: source}`` -> list of written Paths."""
+    written = []
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+        written.append(target)
+    return written
+
+
+class TestResolution:
+    def test_local_definition_wins_over_import(self):
+        model = build_model({
+            "repro.a": "def helper():\n    return 1\n",
+            "repro.b": ("from repro.a import helper\n"
+                        "def helper():\n    return 2\n"),
+        })
+        b = model.modules["repro.b"]
+        assert model.resolve(b, "helper") == "repro.b.helper"
+
+    def test_from_import_resolves_across_modules(self):
+        model = build_model({
+            "repro.a": "def helper():\n    return 1\n",
+            "repro.b": "from repro.a import helper\nx = helper()\n",
+        })
+        b = model.modules["repro.b"]
+        assert model.resolve(b, "helper") == "repro.a.helper"
+
+    def test_import_as_alias(self):
+        model = build_model({
+            "repro.a": "def helper():\n    return 1\n",
+            "repro.b": "import repro.a as ra\nx = ra.helper()\n",
+        })
+        b = model.modules["repro.b"]
+        assert model.resolve(b, "ra.helper") == "repro.a.helper"
+
+    def test_from_import_with_asname(self):
+        model = build_model({
+            "repro.a": "def helper():\n    return 1\n",
+            "repro.b": "from repro.a import helper as h\nx = h()\n",
+        })
+        b = model.modules["repro.b"]
+        assert model.resolve(b, "h") == "repro.a.helper"
+
+    def test_reexport_chain_is_followed(self):
+        model = build_model({
+            "repro.a": "def helper():\n    return 1\n",
+            "repro.b": "from repro.a import helper\n",
+            "repro.c": "from repro.b import helper\nx = helper()\n",
+        })
+        c = model.modules["repro.c"]
+        assert model.resolve(c, "helper") == "repro.a.helper"
+
+    def test_relative_import_resolves_against_package(self):
+        model = build_model({
+            "repro.pkg.__init__": "",
+            "repro.pkg.a": "def helper():\n    return 1\n",
+            "repro.pkg.b": "from .a import helper\nx = helper()\n",
+        })
+        # The synthesized path for the __init__ ends in __init__.py only
+        # in the real tree; mark the package flag by hand for this test.
+        model.modules["repro.pkg.__init__"].is_package = True
+        b = model.modules["repro.pkg.b"]
+        assert model.resolve(b, "helper") == "repro.pkg.a.helper"
+
+    def test_unresolvable_head_gives_none(self):
+        model = build_model({"repro.a": "x = mystery()\n"})
+        a = model.modules["repro.a"]
+        assert model.resolve(a, "mystery") is None
+
+    def test_resolve_call_constructor_hits_init(self):
+        model = build_model({
+            "repro.a": ("class Widget:\n"
+                        "    def __init__(self, size):\n"
+                        "        self.size = size\n"),
+            "repro.b": "from repro.a import Widget\nw = Widget(3)\n",
+        })
+        b = model.modules["repro.b"]
+        call = next(n for n in ast.walk(b.tree) if isinstance(n, ast.Call))
+        fn = model.resolve_call(b, call)
+        assert fn is not None and fn.qualname == "repro.a.Widget.__init__"
+
+    def test_declared_constant_collection(self):
+        model = build_model({
+            "repro.a": 'WORKER_ENTRYPOINTS = ("_run", "_init")\n',
+            "repro.b": "x = 1\n",
+        })
+        assert model.declared_constant("WORKER_ENTRYPOINTS") == {
+            "repro.a": ("_run", "_init")}
+
+
+class TestStarAndCycles:
+    def test_star_import_recorded_not_crashed(self):
+        model = build_model({
+            "repro.a": "def helper():\n    return 1\n",
+            "repro.b": "from repro.a import *\nx = helper()\n",
+        })
+        b = model.modules["repro.b"]
+        assert b.star_imports == [("repro.a", 1)]
+        # The name is invisible to resolution — the blind spot RL010 flags.
+        assert model.resolve(b, "helper") is None
+
+    def test_star_import_still_an_import_edge(self):
+        model = build_model({
+            "repro.a": "def helper():\n    return 1\n",
+            "repro.b": "from repro.a import *\n",
+        })
+        assert "repro.a" in import_graph(model)["repro.b"]
+
+    def test_circular_imports_terminate(self):
+        model = build_model({
+            "repro.a": "from repro.b import g\ndef f():\n    return g()\n",
+            "repro.b": "from repro.a import f\ndef g():\n    return f()\n",
+        })
+        a = model.modules["repro.a"]
+        assert model.resolve(a, "g") == "repro.b.g"
+        assert reachable_modules(model, ["repro.a"]) == {"repro.a", "repro.b"}
+
+    def test_reexport_cycle_terminates(self):
+        # a re-exports from b which re-exports from a: no definition
+        # anywhere, resolution must still return.
+        model = build_model({
+            "repro.a": "from repro.b import thing\n",
+            "repro.b": "from repro.a import thing\n",
+        })
+        a = model.modules["repro.a"]
+        assert model.resolve(a, "thing") is not None  # gives up, keeps name
+
+
+class TestGraphs:
+    def test_reachability_is_transitive(self):
+        model = build_model({
+            "repro.a": "import repro.b\n",
+            "repro.b": "import repro.c\n",
+            "repro.c": "x = 1\n",
+            "repro.d": "x = 2\n",
+        })
+        assert reachable_modules(model, ["repro.a"]) == {
+            "repro.a", "repro.b", "repro.c"}
+
+    def test_unknown_roots_ignored(self):
+        model = build_model({"repro.a": "x = 1\n"})
+        assert reachable_modules(model, ["repro.nope"]) == set()
+
+    def test_subclasses_across_modules_and_aliases(self):
+        model = build_model({
+            "repro.base": "class Probe:\n    def hook(self):\n        pass\n",
+            "repro.direct": ("from repro.base import Probe\n"
+                             "class A(Probe):\n    pass\n"),
+            "repro.aliased": ("import repro.base as rb\n"
+                              "class B(rb.Probe):\n    pass\n"),
+            "repro.transitive": ("from repro.direct import A\n"
+                                 "class C(A):\n    pass\n"),
+            "repro.unrelated": "class D:\n    pass\n",
+        })
+        found = {k.qualname for k in subclasses_of(model, ["repro.base.Probe"])}
+        assert found == {"repro.direct.A", "repro.aliased.B",
+                         "repro.transitive.C"}
+
+
+class TestIterRefs:
+    def test_attribute_chain_yields_once(self):
+        tree = ast.parse("y = catalog.config.seed\n")
+        refs = [(root, chain) for root, chain, _ in iter_refs(tree)]
+        # one entry for the whole chain, never the inner `catalog` Name
+        assert ("catalog", ("config", "seed")) in refs
+        assert ("catalog", ()) not in refs
+
+    def test_call_base_recurses(self):
+        tree = ast.parse("y = get(catalog).config\n")
+        refs = [(root, chain) for root, chain, _ in iter_refs(tree)]
+        # the chain on the call result is opaque; the inner refs surface
+        assert ("get", ()) in refs and ("catalog", ()) in refs
+
+
+class TestRunnerIntegration:
+    def test_module_name_for_anchors_at_root_package(self):
+        assert module_name_for(Path("src/repro/rpc/channel.py"),
+                               "repro") == "repro.rpc.channel"
+        assert module_name_for(Path("src/repro/core/__init__.py"),
+                               "repro") == "repro.core"
+        assert module_name_for(Path("tools/bench_guard.py"), "repro") is None
+
+    def test_excluded_paths_not_scanned_or_modeled(self, tmp_path):
+        files = write_project(tmp_path, {
+            "repro/good.py": "x = 1\n",
+            "repro/vendored/bad.py": "import time\nt = time.time()\n",
+        })
+        config = LintConfig(root=str(tmp_path), baseline=None,
+                            wallclock_allow_paths=(),
+                            exclude_paths=("repro/vendored/",))
+        report = lint_paths([tmp_path], config, baseline_path=NO_BASELINE)
+        assert report.files_scanned == 1
+        assert report.findings == []
+
+    def test_without_exclusion_the_same_file_fires(self, tmp_path):
+        write_project(tmp_path, {
+            "repro/vendored/bad.py": "import time\nt = time.time()\n",
+        })
+        config = LintConfig(root=str(tmp_path), baseline=None,
+                            wallclock_allow_paths=())
+        report = lint_paths([tmp_path], config, baseline_path=NO_BASELINE)
+        assert [f.code for f in report.findings] == ["RL001"]
+
+    def test_star_import_warns_via_rl010(self, tmp_path):
+        write_project(tmp_path, {
+            "repro/a.py": "def helper():\n    return 1\n",
+            "repro/b.py": "from repro.a import *\n",
+        })
+        config = LintConfig(root=str(tmp_path), baseline=None,
+                            select=("RL010",))
+        report = lint_paths([tmp_path], config, baseline_path=NO_BASELINE)
+        assert [f.code for f in report.findings] == ["RL010"]
+        assert "repro.a" in report.findings[0].message

@@ -1,0 +1,482 @@
+"""Fixture tests for the whole-program rule families (RL006-RL009).
+
+Each family gets at least one true positive that crosses a module
+boundary and one pragma-suppressed false positive — the same shape the
+real findings in ``src/repro`` take."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.runner import lint_paths
+
+NO_BASELINE = Path("/nonexistent-baseline.json")
+
+
+def lint_project(tmp_path, files, **config_kwargs):
+    """Write ``{relpath: source}`` under tmp_path and lint the tree."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    config_kwargs.setdefault("root", str(tmp_path))
+    config_kwargs.setdefault("baseline", None)
+    config = LintConfig(**config_kwargs)
+    return lint_paths([tmp_path], config, baseline_path=NO_BASELINE)
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+def symbols(report):
+    return [f.symbol for f in report.findings]
+
+
+class TestRL006HiddenState:
+    CONFIG = dict(select=("RL006",),
+                  worker_entrypoint_modules=("repro.workers",))
+
+    def test_mutated_global_two_imports_away(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/workers.py": "from repro.middle import run\n",
+            "repro/middle.py": "from repro.registry import lookup\n"
+                               "def run(name):\n"
+                               "    return lookup(name)\n",
+            "repro/registry.py": "_cache = {}\n"
+                                 "def lookup(name):\n"
+                                 "    if name not in _cache:\n"
+                                 "        _cache[name] = name.upper()\n"
+                                 "    return _cache[name]\n",
+        }, **self.CONFIG)
+        assert codes(report) == ["RL006"]
+        assert report.findings[0].path == "repro/registry.py"
+        assert report.findings[0].symbol == "mutated-global:_cache"
+
+    def test_global_rebind_and_memo_and_class_mutable(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/workers.py": """\
+                import functools
+
+                _generator = None
+
+                def init():
+                    global _generator
+                    _generator = object()
+
+                @functools.lru_cache(maxsize=None)
+                def expensive(x):
+                    return x * 2
+
+                class Shared:
+                    registry = []
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == ["RL006", "RL006", "RL006"]
+        assert set(symbols(report)) == {
+            "global-rebound:_generator",
+            "memo:repro.workers.expensive",
+            "class-mutable:repro.workers.Shared.registry",
+        }
+
+    def test_unreachable_module_not_flagged(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/workers.py": "x = 1\n",
+            "repro/elsewhere.py": "_cache = {}\n"
+                                  "def f(k):\n"
+                                  "    _cache[k] = k\n",
+        }, **self.CONFIG)
+        assert codes(report) == []
+
+    def test_import_time_table_building_ok(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/workers.py": """\
+                TABLE = {}
+                for i in range(4):
+                    TABLE[i] = i * i
+
+                def read(k):
+                    return TABLE[k]
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == []
+
+    def test_local_shadowing_not_flagged(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/workers.py": """\
+                _totals = {}
+
+                def summarize(items):
+                    _totals = {}
+                    for item in items:
+                        _totals[item] = 1
+                    return _totals
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == []
+
+    def test_worker_entrypoints_constant_registers_root(self, tmp_path):
+        # No config root: the module declares itself via the constant.
+        report = lint_project(tmp_path, {
+            "repro/pool.py": """\
+                WORKER_ENTRYPOINTS = ("_shard",)
+                _state = {}
+
+                def _shard(i):
+                    _state[i] = i
+                    return _state
+            """,
+        }, select=("RL006",), worker_entrypoint_modules=())
+        assert codes(report) == ["RL006"]
+
+    def test_pragma_suppresses_initializer_pattern(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/workers.py": """\
+                _generator = None  # repro-lint: disable=RL006 - rebuilt deterministically by the pool initializer
+
+                def init(config):
+                    global _generator
+                    _generator = config
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == []
+        assert report.suppressed_pragma == 1
+
+
+class TestRL007CacheKeys:
+    CONFIG = dict(select=("RL007",),
+                  cache_key_functions=("repro.cachelib.make_key",))
+
+    FILES = {
+        "repro/cachelib.py": """\
+            def make_key(study, seed, params):
+                return repr((study, seed, sorted(params.items())))
+        """,
+    }
+
+    def test_attribute_read_but_not_keyed(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.FILES, **{
+            "repro/study.py": """\
+                from repro.cachelib import make_key
+
+                def run_cached(cfg, seed, cache):
+                    key = make_key("toy", seed, {"n": cfg.n})
+                    if key in cache:
+                        return cache[key]
+                    cache[key] = cfg.n * cfg.scale
+                    return cache[key]
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == ["RL007"]
+        assert report.findings[0].symbol == "unkeyed:repro.study.run_cached:cfg.scale"
+
+    def test_unkeyed_parameter(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.FILES, **{
+            "repro/study.py": """\
+                from repro.cachelib import make_key
+
+                def run_cached(cfg, seed, extra, cache):
+                    key = make_key("toy", seed, {"n": cfg.n})
+                    cache[key] = cfg.n + extra
+                    return cache[key]
+            """,
+        }), **self.CONFIG)
+        assert symbols(report) == ["unkeyed:repro.study.run_cached:extra"]
+
+    def test_wholesale_flow_chased_across_modules(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.FILES, **{
+            "repro/compute.py": """\
+                def simulate(cfg):
+                    return cfg.n * cfg.scale
+            """,
+            "repro/study.py": """\
+                from repro.cachelib import make_key
+                from repro.compute import simulate
+
+                def run_cached(cfg, seed, cache):
+                    key = make_key("toy", seed, {"n": cfg.n})
+                    cache[key] = simulate(cfg)
+                    return cache[key]
+            """,
+        }), **self.CONFIG)
+        assert symbols(report) == ["unkeyed:repro.study.run_cached:cfg:wholesale"]
+        assert "cfg.scale" in report.findings[0].message
+
+    def test_fully_keyed_param_is_clean(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.FILES, **{
+            "repro/study.py": """\
+                from repro.cachelib import make_key
+
+                def run_cached(cfg, seed, cache):
+                    key = make_key("toy", seed, {"cfg": cfg})
+                    cache[key] = cfg.n * cfg.scale
+                    return cache[key]
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == []
+
+    def test_ignored_params_stay_out(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.FILES, **{
+            "repro/study.py": """\
+                from repro.cachelib import make_key
+
+                def run_cached(cfg, seed, cache, probe):
+                    key = make_key("toy", seed, {"cfg": cfg})
+                    probe.observe(cfg.n)
+                    cache[key] = cfg.n
+                    return cache[key]
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == []
+
+    def test_cache_key_functions_constant(self, tmp_path):
+        # The module declares its own key function via the constant.
+        report = lint_project(tmp_path, {
+            "repro/study.py": """\
+                CACHE_KEY_FUNCTIONS = ("make_key",)
+
+                def make_key(seed, params):
+                    return repr((seed, params))
+
+                def run_cached(cfg, seed, cache):
+                    key = make_key(seed, {"n": cfg.n})
+                    cache[key] = cfg.n * cfg.scale
+                    return cache[key]
+            """,
+        }, select=("RL007",), cache_key_functions=())
+        assert symbols(report) == ["unkeyed:repro.study.run_cached:cfg.scale"]
+
+    def test_pragma_suppresses_provably_inert_param(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.FILES, **{
+            "repro/study.py": """\
+                from repro.cachelib import make_key
+
+                def run_cached(cfg, seed, jobs, cache):
+                    key = make_key("toy", seed, {"cfg": cfg})
+                    cache[key] = compute(
+                        cfg,
+                        jobs,  # repro-lint: disable=RL007 - jobs cannot change the output, only how fast it arrives
+                    )
+                    return cache[key]
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == []
+        assert report.suppressed_pragma == 1
+
+
+class TestRL008UnitFlow:
+    CONFIG = dict(select=("RL008",))
+
+    def test_cross_module_return_flows_into_wrong_suffix(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/backoff.py": """\
+                def backoff_ms(attempt):
+                    return 2.0 ** attempt
+            """,
+            "repro/sched.py": """\
+                from repro.backoff import backoff_ms
+
+                def plan(attempt):
+                    wait = backoff_ms(attempt)
+                    delay_s = wait
+                    return delay_s
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == ["RL008"]
+        assert report.findings[0].symbol == "assign:delay_s:_ms"
+
+    def test_argument_flow_into_suffixed_param(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/engine.py": """\
+                def schedule(delay_s, fn):
+                    return (delay_s, fn)
+            """,
+            "repro/user.py": """\
+                from repro.engine import schedule
+
+                def go(fn, wait_ms):
+                    return schedule(wait_ms, fn)
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == ["RL008"]
+        assert "wait_ms" in report.findings[0].message or \
+            "_ms" in report.findings[0].message
+
+    def test_division_clears_the_unit(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/engine.py": """\
+                def schedule(delay_s, fn):
+                    return (delay_s, fn)
+            """,
+            "repro/user.py": """\
+                from repro.engine import schedule
+
+                def go(fn, wait_ms):
+                    return schedule(wait_ms / 1000.0, fn)
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == []
+
+    def test_return_against_function_suffix(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/mod.py": """\
+                def total_latency_s(parts_ms):
+                    acc_ms = sum(parts_ms)
+                    return acc_ms
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == ["RL008"]
+        assert report.findings[0].symbol.startswith("return:")
+
+    def test_dimension_mixing_flagged(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/mod.py": """\
+                def f(payload_bytes):
+                    wait_s = payload_bytes
+                    return wait_s
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == ["RL008"]
+        assert "dimensions" in report.findings[0].message
+
+    def test_keyword_name_contract_on_unresolved_call(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/mod.py": """\
+                def go(engine, wait_ms):
+                    engine.after(delay_s=wait_ms)
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == ["RL008"]
+
+    def test_pragma_suppresses_known_good_flow(self, tmp_path):
+        report = lint_project(tmp_path, {
+            "repro/mod.py": """\
+                def f(rate_s):
+                    count_ms = rate_s  # repro-lint: disable=RL008 - legacy field name, holds seconds despite the suffix
+                    return count_ms
+            """,
+        }, **self.CONFIG)
+        assert codes(report) == []
+        assert report.suppressed_pragma == 1
+
+
+class TestRL009ProbePurity:
+    CONFIG = dict(select=("RL009",),
+                  probe_base_classes=("repro.instrument.Probe",))
+
+    BASE = {
+        "repro/instrument.py": """\
+            class Probe:
+                def rpc_completed(self, rpc, outcome):
+                    pass
+
+                def job_started(self, job):
+                    pass
+        """,
+    }
+
+    def test_engine_mutation_from_hook_flagged(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.BASE, **{
+            "repro/probes.py": """\
+                from repro.instrument import Probe
+
+                class RetryNudge(Probe):
+                    def rpc_completed(self, rpc, outcome):
+                        if outcome is None:
+                            self.engine.at(0.0, rpc)
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == ["RL009"]
+        assert "self.engine.at" in report.findings[0].message
+
+    def test_argument_mutation_flagged(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.BASE, **{
+            "repro/probes.py": """\
+                from repro.instrument import Probe
+
+                class Tamper(Probe):
+                    def job_started(self, job):
+                        job.priority = 0
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == ["RL009"]
+        assert report.findings[0].symbol.endswith(":store")
+
+    def test_global_declaration_flagged(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.BASE, **{
+            "repro/probes.py": """\
+                from repro.instrument import Probe
+
+                SEEN = 0
+
+                class Count(Probe):
+                    def job_started(self, job):
+                        global SEEN
+                        SEEN = SEEN + 1
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == ["RL009"]
+
+    def test_self_owned_state_is_fine(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.BASE, **{
+            "repro/probes.py": """\
+                from repro.instrument import Probe
+
+                class DropCounter(Probe):
+                    def __init__(self):
+                        self.drops = 0
+                        self.events = []
+
+                    def rpc_completed(self, rpc, outcome):
+                        self.drops += 1
+                        self.events.append(rpc)
+
+                    def reset(self):
+                        self.drops = 0
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == []
+
+    def test_transitive_subclass_through_alias(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.BASE, **{
+            "repro/mid.py": """\
+                import repro.instrument as ri
+
+                class BaseStats(ri.Probe):
+                    pass
+            """,
+            "repro/probes.py": """\
+                from repro.mid import BaseStats
+
+                class Leaf(BaseStats):
+                    def job_started(self, job):
+                        job.queue.submit(job)
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == ["RL009"]
+        assert report.findings[0].path == "repro/probes.py"
+
+    def test_non_hook_methods_unconstrained(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.BASE, **{
+            "repro/probes.py": """\
+                from repro.instrument import Probe
+
+                class Flusher(Probe):
+                    def flush(self, sink):
+                        sink.send(self.buffer)
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == []
+
+    def test_pragma_suppresses_sanctioned_hook(self, tmp_path):
+        report = lint_project(tmp_path, dict(self.BASE, **{
+            "repro/probes.py": """\
+                from repro.instrument import Probe
+
+                class FaultInjector(Probe):
+                    def rpc_completed(self, rpc, outcome):
+                        self.engine.cancel(rpc)  # repro-lint: disable=RL009 - fault injector: mutation is this probe's documented purpose
+            """,
+        }), **self.CONFIG)
+        assert codes(report) == []
+        assert report.suppressed_pragma == 1

@@ -249,5 +249,35 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                     "RL006", "RL007", "RL008", "RL009", "RL010"):
             assert code in out
+
+    def test_explain_prints_rationale_and_example(self, capsys):
+        # Every registered rule must explain itself with a Bad/Good pair.
+        from repro.analysis.rules import all_rules
+        for cls in all_rules():
+            assert main(["--explain", cls.code]) == 0
+            out = capsys.readouterr().out
+            assert cls.code in out and cls.name in out
+            assert "Bad::" in out, f"{cls.code} docstring lacks a Bad example"
+            assert "Good::" in out, f"{cls.code} docstring lacks a Good example"
+
+    def test_explain_is_case_insensitive_and_rejects_unknown(self, capsys):
+        assert main(["--explain", "rl007"]) == 0
+        capsys.readouterr()
+        assert main(["--explain", "RL999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_fail_stale_baseline(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", "import time\nx = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([str(bad), "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        # Fix the finding: the baseline entry no longer matches anything.
+        bad.write_text("x = 1\n")
+        assert main([str(bad), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([str(bad), "--baseline", str(baseline),
+                     "--fail-stale-baseline"]) == 1
+        assert "stale baseline" in capsys.readouterr().err

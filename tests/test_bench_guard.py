@@ -75,3 +75,47 @@ def test_guard_flags_missing_figures(tmp_path, capsys):
     write_trajectory(cur)
     assert bench_guard.main(["--baseline", str(base), "--current", str(cur),
                              "fig04_descendants", "absent_fig"]) == 1
+
+
+def test_budget_within_ceiling_passes(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    write_trajectory(cur, repro_lint_wall=2.3)
+    assert bench_guard.main(["--current", str(cur),
+                             "--budget", "repro_lint_wall=10.0"]) == 0
+    assert "budget 10.000s" in capsys.readouterr().out
+
+
+def test_budget_over_ceiling_fails(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    write_trajectory(cur, repro_lint_wall=12.5)
+    assert bench_guard.main(["--current", str(cur),
+                             "--budget", "repro_lint_wall=10.0"]) == 1
+    assert "over its 10.000s budget" in capsys.readouterr().err
+
+
+def test_budget_needs_no_baseline_entry(tmp_path):
+    # A figure introduced in the same PR has no committed baseline yet;
+    # the absolute budget must still be checkable on its own.
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    write_trajectory(base)                     # baseline lacks the figure
+    write_trajectory(cur, repro_lint_wall=2.0)
+    assert bench_guard.main(["--baseline", str(base), "--current", str(cur),
+                             "--budget", "repro_lint_wall=10.0"]) == 0
+
+
+def test_budget_missing_from_current_fails(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    write_trajectory(cur)
+    assert bench_guard.main(["--current", str(cur),
+                             "--budget", "repro_lint_wall=10.0"]) == 1
+
+
+def test_budget_rejects_malformed_spec(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    write_trajectory(cur, repro_lint_wall=1.0)
+    with pytest.raises(SystemExit):
+        bench_guard.main(["--current", str(cur),
+                          "--budget", "repro_lint_wall"])
+    with pytest.raises(SystemExit):
+        bench_guard.main(["--current", str(cur),
+                          "--budget", "repro_lint_wall=-3"])

@@ -1,7 +1,7 @@
 """Wall-time regression guard over the bench trajectory.
 
 Run: python tools/bench_guard.py [--baseline OLD.json] --current NEW.json
-     [--max-ratio 1.5] FIGURE [FIGURE ...]
+     [--max-ratio 1.5] [--budget FIGURE=SECONDS ...] FIGURE [FIGURE ...]
      python tools/bench_guard.py --print-newest
 
 Compares each named figure's ``wall_s`` in the current trajectory against
@@ -15,6 +15,13 @@ fresh times into the same file).
 
 Times below ``--min-wall`` (default 0.05 s) are never flagged: at that
 scale the ratio is runner jitter, not a regression.
+
+``--budget FIGURE=SECONDS`` adds an *absolute* ceiling on top of the
+relative check: some walls (the whole-repo lint pass) must stay cheap
+enough to sit in the inner development loop, and a slow creep that
+never trips the ratio in any single PR would still break that.  A
+budgeted figure only needs to appear in the current trajectory, so new
+walls can be budgeted in the same PR that introduces them.
 """
 
 import argparse
@@ -60,6 +67,10 @@ def main(argv=None) -> int:
     parser.add_argument("--print-newest", action="store_true",
                         help="print the newest committed baseline path "
                              "and exit")
+    parser.add_argument("--budget", action="append", default=[],
+                        metavar="FIGURE=SECONDS",
+                        help="absolute wall ceiling for a figure in the "
+                             "current trajectory (repeatable)")
     parser.add_argument("figures", nargs="*",
                         help="figure names to check (e.g. fig04_descendants)")
     args = parser.parse_args(argv)
@@ -67,9 +78,19 @@ def main(argv=None) -> int:
     if args.print_newest:
         print(newest_baseline())
         return 0
-    if not args.current or not args.figures:
-        parser.error("--current and at least one FIGURE are required "
-                     "(or use --print-newest)")
+    if not args.current or not (args.figures or args.budget):
+        parser.error("--current and at least one FIGURE or --budget are "
+                     "required (or use --print-newest)")
+
+    budgets = {}
+    for spec in args.budget:
+        figure, sep, value = spec.partition("=")
+        try:
+            budgets[figure] = float(value) if sep else None
+        except ValueError:
+            budgets[figure] = None
+        if not figure or budgets[figure] is None or budgets[figure] <= 0:
+            parser.error(f"--budget wants FIGURE=SECONDS, got {spec!r}")
 
     baseline_path = args.baseline or newest_baseline()
     baseline = load_trajectory(baseline_path)
@@ -95,13 +116,27 @@ def main(argv=None) -> int:
         print(f"{figure}: baseline {old_s:.3f}s, current {new_s:.3f}s "
               f"({ratio:.2f}x) {verdict}")
 
+    for figure, budget_s in sorted(budgets.items()):
+        if figure not in current:
+            failures.append(f"{figure}: missing from current {args.current} "
+                            "(bench did not run?)")
+            continue
+        new_s = current[figure]
+        verdict = "ok"
+        if new_s > budget_s:
+            failures.append(f"{figure}: {new_s:.3f}s over its "
+                            f"{budget_s:.3f}s budget")
+            verdict = "FAIL"
+        print(f"{figure}: budget {budget_s:.3f}s, current {new_s:.3f}s "
+              f"{verdict}")
+
     if failures:
         print("\nbench regression guard failed:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"\nall {len(args.figures)} figure(s) within "
-          f"{args.max_ratio:.2f}x of baseline")
+    checked = len(args.figures) + len(budgets)
+    print(f"\nall {checked} figure(s) within bounds")
     return 0
 
 
