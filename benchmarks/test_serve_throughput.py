@@ -1,0 +1,83 @@
+"""Serve-mode throughput: sustained req/s and p99 under cache-hot load.
+
+The tentpole claim behind serve mode is that the observability stack can
+watch a live server without taxing it: spans, metrics, burn-rate
+evaluation, and admission checks all ride the request path.  This bench
+boots the real server on an ephemeral port, prewarms the study cache,
+drives it with closed-loop keep-alive users, and records sustained
+throughput and per-endpoint p99 into the bench trajectory — with the
+obs self-overhead fraction asserted under 5 % of uptime, the same bound
+the e2e dogfood enforces.
+
+CI holds the whole module under a wall budget via
+``tools/bench_guard.py --budget serve_throughput=<s>``.
+"""
+
+import asyncio
+import json
+
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.loadgen import EndpointSpec, LoadGenConfig, run_loadgen
+
+DURATION_S = 3.0
+USERS = 4
+SEED = 7
+#: Small study/what-if shapes so prewarm is seconds, not minutes; the
+#: served traffic is cache-hot either way, which is the regime under test.
+STUDY = dict(methods=12, trees=8, max_nodes=500)
+WHATIF_DURATION_S = 0.5
+MIN_RPS = 50.0
+MAX_OBS_OVERHEAD = 0.05
+
+
+def cache_hot_endpoints() -> list:
+    """Endpoints whose parameters match the app's prewarmed cache keys."""
+    study_body = json.dumps(dict(STUDY, study="trees",
+                                 seed=SEED)).encode()
+    return [
+        EndpointSpec("study", "POST", "/v1/study", study_body),
+        EndpointSpec("healthz", "GET", "/healthz"),
+        EndpointSpec("whatif", "GET",
+                     f"/v1/whatif?service=Bigtable&seed={SEED}"
+                     f"&duration_s={WHATIF_DURATION_S:g}"),
+        EndpointSpec("metrics", "GET", "/metrics"),
+    ]
+
+
+async def _run(tmp_cache: str):
+    app = ServeApp(ServeConfig(
+        port=0, seed=SEED, cache_dir=tmp_cache,
+        study_methods=STUDY["methods"], study_trees=STUDY["trees"],
+        study_max_nodes=STUDY["max_nodes"],
+        whatif_duration_s=WHATIF_DURATION_S))
+    await app.start()
+    try:
+        result = await run_loadgen("127.0.0.1", app.port, LoadGenConfig(
+            duration_s=DURATION_S, rate=0.0, users=USERS, think_s=0.002,
+            seed=SEED, endpoints=cache_hot_endpoints()))
+    finally:
+        await app.stop()
+    return app, result
+
+
+def test_serve_throughput_cache_hot(tmp_path, show, record_stat):
+    app, result = asyncio.run(_run(str(tmp_path / "cache")))
+    overhead = app.obs_overhead_fraction()
+    p99 = app.endpoint_p99_s()
+    record_stat(achieved_rps=round(result.achieved_rps, 1),
+                requests_total=app.requests_total,
+                ok=result.ok, shed=result.shed, errors=result.errors,
+                spans_recorded=len(app.dapper.spans),
+                obs_overhead_fraction=round(overhead, 5),
+                **{f"p99_{endpoint}_ms": round(value * 1e3, 3)
+                   for endpoint, value in p99.items()})
+    show(f"serve throughput ({USERS} closed-loop users, {DURATION_S:g}s, "
+         f"cache-hot): {result.achieved_rps:.0f} req/s sustained, "
+         f"study p99 {p99.get('study', 0.0) * 1e3:.2f} ms, obs overhead "
+         f"{overhead * 100:.2f}% of uptime\n{result.render()}")
+    assert result.errors == 0
+    assert result.shed == 0, "cache-hot load must not trip the SLO"
+    assert result.achieved_rps > MIN_RPS
+    assert 0.0 < overhead < MAX_OBS_OVERHEAD, (
+        f"obs self-time is {overhead * 100:.1f}% of serve uptime "
+        f"(limit {MAX_OBS_OVERHEAD * 100:.0f}%)")

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Scenario: the serve-mode incident loop, end to end, in one process.
+
+Boots the real serve-mode server (repro.serve) on an ephemeral port with
+a latency regression scheduled to start 3 s after boot, then drives it
+with the open+closed-loop load generator while the observability stack —
+the same Monarch scraper, burn-rate alert manager, and adaptive trace
+sampler every study runs on simulated time — watches the live traffic on
+the wall clock:
+
+1. prewarmed cache-hot traffic serves in single-digit milliseconds;
+2. the injected regression pushes p99 past the 50 ms SLO threshold;
+3. the page rule fires, carrying exemplar Dapper trace ids;
+4. admission control sheds work endpoints (503 + Retry-After) while the
+   burn persists — closed-loop users back off, the burn window drains;
+5. the alert resolves, shedding recovers, and the shutdown manifest's
+   alert timeline validates against the committed golden
+   (tests/golden/serve_alert_timeline.json).
+
+Stages are narrated as they happen; the incident report and the live
+dashboard are printed at the end. Wall-clock runs jitter, so exact
+timestamps differ run to run — the *transition structure* is what the
+golden pins, which is exactly what CI's serve-smoke job asserts.
+
+Run:  python examples/serve_dogfood.py          (~15 s, local sockets only)
+"""
+
+import asyncio
+import json
+import os
+import tempfile
+
+from repro.obs.dashboard import render_incident_report
+from repro.obs.manifest import config_digest, read_manifest, write_manifest
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.report import check_timeline, render_serve_dashboard
+
+SEED = 7
+SCRAPE_INTERVAL_S = 0.2
+SLOWDOWN_AFTER_S = 3.0
+SLOWDOWN_EXTRA_S = 0.15
+SLOWDOWN_DURATION_S = 2.5
+LOAD_DURATION_S = 8.0
+GOLDEN_PATH = "tests/golden/serve_alert_timeline.json"
+
+
+async def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-dogfood-") as cache_dir:
+        app = ServeApp(ServeConfig(
+            port=0, seed=SEED, cache_dir=cache_dir,
+            scrape_interval_s=SCRAPE_INTERVAL_S,
+            whatif_duration_s=1.0,
+            slowdown_after_s=SLOWDOWN_AFTER_S,
+            slowdown_extra_s=SLOWDOWN_EXTRA_S,
+            slowdown_duration_s=SLOWDOWN_DURATION_S))
+        print("== stage 1: prewarming the study cache (pre-bind, so the "
+              "first request is already cache-hot)")
+        await app.start()
+        address = app.listen_address
+        print(f"   serving on {address}; regression scheduled "
+              f"at t={SLOWDOWN_AFTER_S:g}s (+{SLOWDOWN_EXTRA_S * 1e3:g}ms "
+              f"per work request for {SLOWDOWN_DURATION_S:g}s)")
+
+        print(f"== stage 2: {LOAD_DURATION_S:g}s of Zipf + diurnal load "
+              f"(open loop 60 rps + 3 closed-loop users)")
+        loadgen = await run_loadgen("127.0.0.1", app.port, LoadGenConfig(
+            duration_s=LOAD_DURATION_S, rate=60.0, users=3, seed=SEED))
+        print(loadgen.render())
+
+        print("== stage 3: waiting for the burn to drain (alerts resolve, "
+              "admission recovers)")
+        quiet = await app.wait_for_quiet(timeout_s=20.0)
+        print(f"   quiet={quiet}  shed={app.admission.shed_total}  "
+              f"transitions={app.admission.transitions}")
+        await app.stop()
+
+        print()
+        print(render_serve_dashboard(app.heartbeat_snapshot(), app.monarch,
+                                     app.alerts, app.admission,
+                                     title=f"serve {address}"))
+        print()
+        print(render_incident_report(app.alert_timeline(), app.monarch,
+                                     traces=app.dapper.traces(),
+                                     title="serve incident report"))
+
+        print()
+        print("== stage 4: manifest round-trip + golden timeline check")
+        manifest_path = os.path.join(cache_dir, "serve.manifest.json")
+        write_manifest(app.build_manifest("serve-dogfood"), manifest_path)
+        manifest = read_manifest(manifest_path)  # digest-validated
+        print(f"   manifest: {manifest.counts['requests_total']} requests, "
+              f"{manifest.counts['shed_total']} shed, "
+              f"{manifest.counts['alert_events']} alert events "
+              f"(config digest {config_digest(manifest.config)[:12]}...)")
+        with open(GOLDEN_PATH, encoding="utf-8") as f:
+            golden = json.load(f)
+        problems = check_timeline(manifest.alerts, golden)
+        for problem in problems:
+            print(f"   MISMATCH {problem}")
+        overhead = app.obs_overhead_fraction()
+        print(f"   golden={'ok' if not problems else 'MISMATCH'}  "
+              f"obs self-overhead {overhead * 100:.2f}% of uptime "
+              f"(bound: 5%)")
+        return 1 if problems or overhead >= 0.05 else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(asyncio.run(main()))

@@ -16,6 +16,10 @@ Subcommands mirror the study structure:
   study under an SLO spec (optionally injecting a latency regression) and
   render the incident report — alert timeline, burn-rate sparklines,
   exemplar traces
+- ``repro-rpc serve``           run the study engine as a live HTTP
+  service observed by its own obs stack (see docs/SERVING.md)
+- ``repro-rpc serve-loadgen``   drive a serve-mode server with Zipf +
+  diurnal open/closed-loop traffic
 
 Every subcommand prints paper-vs-measured tables; ``--save-traces`` on the
 DES studies writes a Dapper trace file that ``analyze-traces`` can consume
@@ -118,6 +122,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-manifest", metavar="FILE", default=None,
                    help="skip the run; re-render the alert timeline from "
                         "an existing manifest")
+
+    p = sub.add_parser("serve",
+                       help="run the study engine as a live HTTP service, "
+                            "observed by its own obs stack")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for this many real seconds then exit "
+                        "(default: forever)")
+    p.add_argument("--scrape-interval", type=float, default=0.25,
+                   help="Monarch scrape + alert evaluation cadence "
+                        "(real seconds)")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="latency SLO: 99%% of requests within this many "
+                        "seconds")
+    p.add_argument("--window", type=float, default=240.0,
+                   help="SLO window (real seconds)")
+    p.add_argument("--trace-budget", type=float, default=64.0,
+                   help="adaptive head-sampling budget "
+                        "(root traces per scrape interval)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="study result cache directory "
+                        "(default: .repro-cache)")
+    p.add_argument("--no-prewarm", action="store_true",
+                   help="skip precomputing the default study/what-if "
+                        "cache entries")
+    p.add_argument("--inject-slowdown", metavar="AFTER:EXTRA[:DURATION]",
+                   default=None,
+                   help="after AFTER seconds of uptime, dwell an extra "
+                        "EXTRA seconds per work request for DURATION "
+                        "seconds (e.g. 3.0:0.15:2.0)")
+    p.add_argument("--quiesce-timeout", type=float, default=30.0,
+                   help="after --duration, wait up to this long for "
+                        "alerts to resolve and shedding to recover")
+    p.add_argument("--manifest", metavar="FILE", default=None,
+                   help="write the shutdown run-manifest JSON (listen "
+                        "address, counts, per-endpoint p99, alert "
+                        "timeline)")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="write the shutdown incident report to FILE as "
+                        "well as stdout")
+
+    p = sub.add_parser("serve-loadgen",
+                       help="drive a serve-mode server with open/closed-"
+                            "loop traffic (Zipf popularity, diurnal "
+                            "arrivals)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123)
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="real seconds of load")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="open-loop base arrival rate (req/s; 0 disables)")
+    p.add_argument("--users", type=int, default=0,
+                   help="closed-loop user connections (0 disables)")
+    p.add_argument("--think", type=float, default=0.05,
+                   help="closed-loop mean think time (seconds)")
+    p.add_argument("--zipf-alpha", type=float, default=1.2,
+                   help="endpoint popularity skew (0 = uniform)")
+    p.add_argument("--diurnal-amplitude", type=float, default=0.3,
+                   help="open-loop rate wave amplitude")
+    p.add_argument("--day", type=float, default=60.0,
+                   help="real seconds one compressed 24h day spans")
+    p.add_argument("--seed", type=int, default=7)
 
     p = sub.add_parser("cross-cluster", help="Fig. 19: the WAN staircase")
     p.add_argument("--clusters", type=int, default=16)
@@ -422,6 +491,91 @@ def _cmd_fleet_obs(args) -> int:
     return 0
 
 
+def _parse_slowdown(spec: str):
+    """Parse an ``--inject-slowdown AFTER:EXTRA[:DURATION]`` argument."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise SystemExit(
+            f"--inject-slowdown wants AFTER:EXTRA[:DURATION], got {spec!r}")
+    after_s, extra_s = float(parts[0]), float(parts[1])
+    duration_s = float(parts[2]) if len(parts) == 3 else float("inf")
+    return after_s, extra_s, duration_s
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.core.cache import DEFAULT_CACHE_DIR
+    from repro.obs.dashboard import render_incident_report
+    from repro.obs.manifest import write_manifest
+    from repro.serve import ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, seed=args.seed,
+        scrape_interval_s=args.scrape_interval,
+        latency_threshold_s=args.threshold, slo_window_s=args.window,
+        trace_budget=args.trace_budget,
+        cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+        prewarm=not args.no_prewarm,
+    )
+    if args.inject_slowdown:
+        after_s, extra_s, duration_s = _parse_slowdown(args.inject_slowdown)
+        config.slowdown_after_s = after_s
+        config.slowdown_extra_s = extra_s
+        config.slowdown_duration_s = duration_s
+
+    async def run() -> int:
+        app = ServeApp(config)
+        await app.start()
+        print(f"serving on http://{app.listen_address}  "
+              f"(scrape every {config.scrape_interval_s:g}s, latency SLO "
+              f"p99 < {config.latency_threshold_s:g}s)", flush=True)
+        try:
+            if args.duration is None:
+                while True:
+                    await asyncio.sleep(3600.0)
+            await asyncio.sleep(args.duration)
+            quiet = await app.wait_for_quiet(args.quiesce_timeout)
+            if not quiet:
+                print("warning: alerts still firing at shutdown")
+        finally:
+            await app.stop()
+            report = render_incident_report(
+                app.alert_timeline(), app.monarch,
+                traces=app.dapper.traces(),
+                title=f"incident report (serve {app.listen_address})")
+            print(report)
+            if args.report:
+                with open(args.report, "w", encoding="utf-8") as f:
+                    f.write(report + "\n")
+                print(f"\nwrote incident report to {args.report}")
+            if args.manifest:
+                write_manifest(app.build_manifest(), args.manifest)
+                print(f"wrote run manifest to {args.manifest}")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_serve_loadgen(args) -> int:
+    import asyncio
+
+    from repro.serve import LoadGenConfig, run_loadgen
+
+    config = LoadGenConfig(
+        duration_s=args.duration, rate=args.rate, users=args.users,
+        think_s=args.think, zipf_alpha=args.zipf_alpha,
+        diurnal_amplitude=args.diurnal_amplitude, day_s=args.day,
+        seed=args.seed,
+    )
+    result = asyncio.run(run_loadgen(args.host, args.port, config))
+    print(result.render())
+    return 0 if result.sent and result.ok else 1
+
+
 def _cmd_cross_cluster(args) -> int:
     from repro.core.crosscluster import analyze_cross_cluster
     from repro.studies import run_cross_cluster_study
@@ -509,6 +663,8 @@ _COMMANDS = {
     "trees": _cmd_trees,
     "service-study": _cmd_service_study,
     "fleet-obs": _cmd_fleet_obs,
+    "serve": _cmd_serve,
+    "serve-loadgen": _cmd_serve_loadgen,
     "cross-cluster": _cmd_cross_cluster,
     "diurnal": _cmd_diurnal,
     "analyze-traces": _cmd_analyze_traces,

@@ -30,7 +30,10 @@ def sparkline(values: Sequence[float], width: int = 48) -> str:
 
     NaN points render as a gap tick (``·``) instead of poisoning the
     min/max scaling — a series with measurement holes keeps its shape.
+    Degenerate inputs degrade instead of raising: an empty series is an
+    empty string, a single point a mid tick, a sub-1 width one column.
     """
+    width = max(int(width), 1)
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         return ""
@@ -80,10 +83,16 @@ def render_panel(monarch: Monarch, name: str,
     for labelset, (_times, values) in sorted(matching.items()):
         labels = dict(labelset)
         key = labels.get(group_label, str(labelset))
+        if len(values) == 0:
+            # A registered-but-unsampled series (a server that has not
+            # taken traffic yet, a retention-trimmed window): render a
+            # placeholder row, never a NaN mean.
+            rows.append((key, "(no points)"))
+            continue
         rows.append((key, f"{sparkline(values, width)}  "
                           f"mean {values.mean():.3g}"))
     shown = rows[:max_rows]
-    name_w = max(len(k) for k, _ in shown)
+    name_w = max((len(k) for k, _ in shown), default=0)
     lines = [f"== {name}" + (f" {label_filter}" if label_filter else "")]
     lines += [f"  {k.ljust(name_w)}  {v}" for k, v in shown]
     if len(rows) > max_rows:

@@ -1,0 +1,45 @@
+"""Serve mode: the study engine as a live, self-observing service.
+
+The paper characterizes RPCs by watching production services through
+Monarch, Dapper, and GWP.  This package turns the reproduction's own
+study engine into such a service: a stdlib-asyncio HTTP server fronting
+the content-addressed study cache, observed — on real time — by the
+very observability stack built in the earlier PRs, down to burn-rate
+paging and alert-driven load shedding.
+
+- :mod:`repro.serve.http` — just-enough HTTP/1.1 on asyncio streams
+- :mod:`repro.serve.app` — the wired application (:class:`ServeApp`)
+- :mod:`repro.serve.admission` — alert-driven load shedding
+- :mod:`repro.serve.loadgen` — open/closed-loop Zipf + diurnal traffic
+- :mod:`repro.serve.report` — /metrics text, dashboard, golden timeline
+
+See ``docs/SERVING.md`` for the endpoint reference and the dogfood
+walkthrough in ``examples/serve_dogfood.py``.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.app import ServeApp, ServeConfig, default_serve_slos
+from repro.serve.http import HttpRequest, HttpResponse
+from repro.serve.loadgen import (
+    EndpointSpec,
+    LoadGenConfig,
+    LoadGenResult,
+    ZipfPopularity,
+    default_endpoints,
+    run_loadgen,
+)
+from repro.serve.report import (
+    check_timeline,
+    normalize_alert_timeline,
+    render_prometheus,
+    render_serve_dashboard,
+)
+
+__all__ = [
+    "AdmissionController", "ServeApp", "ServeConfig", "default_serve_slos",
+    "HttpRequest", "HttpResponse",
+    "EndpointSpec", "LoadGenConfig", "LoadGenResult", "ZipfPopularity",
+    "default_endpoints", "run_loadgen",
+    "check_timeline", "normalize_alert_timeline", "render_prometheus",
+    "render_serve_dashboard",
+]

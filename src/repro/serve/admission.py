@@ -1,0 +1,114 @@
+"""Alert-driven admission control: shed load while the SLO burns.
+
+The robustness loop the paper's fleets close in production: when the
+latency SLO's page rule fires, serving more traffic only digs the
+latency hole deeper, so the server starts answering work endpoints with
+503 + ``Retry-After`` until the burn recovers.  The controller is a
+pure consumer of :class:`~repro.obs.alerting.AlertManager` state — it
+adds no new detection logic, which is the point: the same burn-rate
+rules that page a human also gate the server's own front door.
+
+Every transition is observable three ways:
+
+- a Monarch gauge series ``serve/shedding`` (0/1),
+- ``shedding``/``recovered`` :class:`~repro.obs.alerting.AlertEvent`
+  records (severity ``admission``) that merge into the incident report
+  and the run manifest next to the alerts that caused them,
+- per-request ``serve/shed`` counters and span annotations from the app.
+
+The controller refreshes from a ``sim.every`` task created *after* the
+alert manager, so at coincident times the engine's FIFO tie-break
+evaluates the rules first and the admission decision reads this
+interval's state, not last interval's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.obs.alerting import AlertEvent, AlertManager
+from repro.obs.monarch import Monarch
+from repro.sim.engine import Simulator
+
+__all__ = ["AdmissionController"]
+
+#: The synthetic severity admission transitions are recorded under.
+ADMISSION_SEVERITY = "admission"
+
+
+class AdmissionController:
+    """Sheds load while any gating (SLO, severity) alert is firing."""
+
+    def __init__(self, sim: Simulator, alerts: AlertManager,
+                 monarch: Optional[Monarch] = None,
+                 interval_s: Optional[float] = None,
+                 slo_names: Optional[Sequence[str]] = None,
+                 gate_severity: str = "page",
+                 retry_after_s: float = 1.0):
+        self.sim = sim
+        self.alerts = alerts
+        self.monarch = monarch
+        self.slo_names = None if slo_names is None else set(slo_names)
+        self.gate_severity = gate_severity
+        self.retry_after_s = retry_after_s
+        self.shedding = False
+        self.shed_total = 0
+        self.transitions = 0
+        #: ``shedding``/``recovered`` transition events, manifest-ready.
+        self.events: List[AlertEvent] = []
+        self._task = sim.every(interval_s or alerts.interval_s,
+                               self.refresh,
+                               start_after=interval_s or alerts.interval_s)
+
+    def stop(self) -> None:
+        """Stop the periodic refresh chain."""
+        self._task.cancel()
+
+    # ------------------------------------------------------------------
+    def _gating(self):
+        """The firing (spec, rule) pairs that gate admission."""
+        return [(spec, rule) for spec, rule in self.alerts.firing()
+                if rule.severity == self.gate_severity
+                and (self.slo_names is None or spec.name in self.slo_names)]
+
+    def refresh(self) -> None:
+        """Re-read alert state; record a transition event if it changed."""
+        gating = self._gating()
+        want_shed = bool(gating)
+        if want_shed != self.shedding:
+            self.shedding = want_shed
+            self.transitions += 1
+            slo = gating[0][0].name if gating else self._last_slo()
+            t = self.sim.now
+            self.events.append(AlertEvent(
+                t=t, slo=slo, severity=ADMISSION_SEVERITY,
+                state="shedding" if want_shed else "recovered",
+                burn_long=self._last_burn(slo, "long"),
+                burn_short=self._last_burn(slo, "short"),
+            ))
+        if self.monarch is not None:
+            self.monarch.write("serve/shedding", {}, self.sim.now,
+                               1.0 if self.shedding else 0.0)
+
+    def should_admit(self) -> bool:
+        """Cheap per-request gate (state changes only on :meth:`refresh`)."""
+        return not self.shedding
+
+    def count_shed(self) -> None:
+        """Record one request turned away."""
+        self.shed_total += 1
+
+    # ------------------------------------------------------------------
+    def _last_slo(self) -> str:
+        for event in reversed(self.events):
+            return event.slo
+        return "unknown"
+
+    def _last_burn(self, slo: str, which: str) -> float:
+        """The gating SLO's latest recorded burn rate (0 when absent)."""
+        if self.monarch is None:
+            return 0.0
+        _times, values = self.monarch.read(
+            f"alerts/burn_rate_{which}",
+            {"slo": slo, "severity": self.gate_severity})
+        return float(values[-1]) if len(values) else 0.0

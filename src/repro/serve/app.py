@@ -1,0 +1,640 @@
+"""The serve-mode application: the study engine behind an HTTP front.
+
+This is the repo's own "production service" — the workload the paper's
+observability triad exists to watch.  :class:`ServeApp` wires a normal
+:class:`~repro.sim.engine.Simulator` (the time domain every observer
+already runs on) to real time: a housekeeping task periodically calls
+``sim.run_until(wall_elapsed)``, so the Monarch scraper, the burn-rate
+alert manager, the adaptive trace sampler, and the admission controller
+all run *unchanged* against the host clock.  Nothing in the obs stack
+knows it left the simulator.
+
+Per request, the app:
+
+1. mints a trace id and offers it to Dapper head sampling
+   (:meth:`~repro.obs.dapper.DapperCollector.sample_root`, steered by
+   the :class:`~repro.obs.alerting.AdaptiveSamplingController`),
+2. times the parse → cache lookup → compute → serialize phases and, if
+   sampled, records them as a span tree,
+3. observes latency into ``serve/request_latency_s`` (with the trace id
+   as exemplar) and the error indicator into ``serve/request_error`` —
+   the two metrics the default SLO specs compile burn-rate rules over,
+4. consults the :class:`~repro.serve.admission.AdmissionController`:
+   while the latency SLO's page rule fires, work endpoints answer 503 +
+   ``Retry-After`` (shed responses are counted but *not* observed into
+   the latency distribution, so the burn window drains and the alert —
+   and the shedding — can resolve).
+
+A latency regression can be injected (``slowdown``) to rehearse the
+full incident loop: page fires with exemplar trace ids → shed →
+recover → a manifest whose alert timeline a golden can pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import DEFAULT_CACHE_DIR, StudyCache, study_key
+from repro.core.parallel import run_tree_study_cached
+from repro.obs.alerting import (
+    AdaptiveSamplingController,
+    AlertManager,
+    SloSpec,
+)
+from repro.obs.dapper import DapperCollector
+from repro.obs.manifest import ManifestBuilder, RunManifest
+from repro.obs.metrics import MetricRegistry
+from repro.obs.monarch import Monarch, MonarchScraper
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import LatencyBreakdown
+from repro.rpc.tracing import Span
+from repro.serve.admission import AdmissionController
+from repro.serve.http import (
+    BadRequest,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    write_response,
+)
+from repro.serve.report import render_prometheus, render_serve_dashboard
+from repro.sim.clock import WallClock
+from repro.sim.engine import Simulator
+from repro.sim.random import derive_seed
+
+__all__ = ["ServeConfig", "ServeApp", "default_serve_slos"]
+
+#: Request phases, in span-tree order.
+PHASES = ("parse", "cache_lookup", "compute", "serialize")
+
+#: Endpoints that admission control may shed (health and observability
+#: endpoints always answer: a shedding server must stay diagnosable).
+SHEDDABLE = frozenset({"study", "whatif"})
+
+
+def default_serve_slos(latency_threshold_s: float,
+                       window_s: float) -> List[SloSpec]:
+    """The serve-mode SLO pair: request latency and error rate.
+
+    ``for_s=0`` keeps escalation deterministic at serve cadences: a
+    breach goes pending on one evaluation and fires on the next.  The
+    error SLO reuses the latency machinery on a 0/1 indicator series —
+    an observation of 1.0 (a 5xx) lands above the 0.5 "threshold", so
+    burn rate *is* the error rate over the window, scaled by the budget.
+    """
+    return [
+        SloSpec(name="serve-latency", threshold_s=latency_threshold_s,
+                window_s=window_s, target=0.99,
+                metric="serve/request_latency_s", for_s=0.0),
+        SloSpec(name="serve-errors", threshold_s=0.5,
+                window_s=window_s, target=0.99,
+                metric="serve/request_error", for_s=0.0),
+    ]
+
+
+@dataclass
+class ServeConfig:
+    """Everything serve mode can be told; JSON-safe for the manifest."""
+
+    host: str = "127.0.0.1"
+    port: int = 8123
+    seed: int = 7
+    #: Monarch scrape + alert evaluation + sampler cadence (real seconds).
+    scrape_interval_s: float = 0.25
+    #: Housekeeping tick driving ``sim.run_until(wall)``.
+    tick_s: float = 0.05
+    #: Latency SLO: 99% of requests within this bound.
+    latency_threshold_s: float = 0.05
+    #: SLO window (real seconds); small so burn windows suit live demos.
+    slo_window_s: float = 240.0
+    #: Adaptive head-sampling budget (root traces per scrape interval).
+    trace_budget: float = 64.0
+    retry_after_s: float = 1.0
+    cache_dir: str = DEFAULT_CACHE_DIR
+    #: Precompute the default study/what-if results before serving, so
+    #: steady-state traffic is cache-hot (and demo latencies honest).
+    prewarm: bool = True
+    #: Injected regression: after ``slowdown_after_s`` of uptime, work
+    #: endpoints dwell an extra ``slowdown_extra_s`` in their compute
+    #: phase, for ``slowdown_duration_s`` seconds.
+    slowdown_after_s: Optional[float] = None
+    slowdown_extra_s: float = 0.0
+    slowdown_duration_s: float = 0.0
+    #: Default study parameters (also the prewarmed key).
+    study_methods: int = 40
+    study_trees: int = 30
+    study_max_nodes: int = 2000
+    #: Default what-if parameters (also the prewarmed key).
+    whatif_service: str = "Bigtable"
+    whatif_duration_s: float = 2.0
+
+
+def _compute_whatif(service: str, method: Optional[str], duration_s: float,
+                    seed: int, percentile: float) -> Dict[str, object]:
+    """Run a small DES study and distill one service's what-if answer."""
+    from repro.core.whatif import what_if_for_service
+    from repro.studies import run_service_study
+    from repro.workloads.services import SERVICE_SPECS
+
+    method = method or SERVICE_SPECS[service].method
+    study = run_service_study(services=[service], n_clusters=1,
+                              duration_s=duration_s, seed=seed,
+                              dapper_sampling=1.0)
+    result = what_if_for_service(study.dapper, service, method,
+                                 tail_percentile=percentile)
+    return {
+        "service": service,
+        "method": method,
+        "duration_s": duration_s,
+        "tail_percentile": percentile,
+        "dominant": result.dominant(),
+        "percent_rescued": dict(result.percent_rescued),
+        "n_tail": result.n_tail,
+    }
+
+
+def whatif_cached(cache: StudyCache, service: str, method: Optional[str],
+                  duration_s: float, seed: int, percentile: float
+                  ) -> Tuple[Dict[str, object], bool]:
+    """``(what-if document, was_cache_hit)`` through the study cache."""
+    key = study_key("serve-whatif", seed, {
+        "service": service,
+        "method": method,
+        "duration_s": duration_s,
+    }, params={"percentile": percentile})
+    return cache.get_or_compute(
+        key, lambda: _compute_whatif(service, method, duration_s, seed,
+                                     percentile))
+
+
+@dataclass
+class _RequestTimer:
+    """Wall-time phase accounting for one request's span tree."""
+
+    phase_s: Dict[str, float] = field(default_factory=dict)
+
+    def charge(self, phase: str, elapsed_s: float) -> None:
+        self.phase_s[phase] = self.phase_s.get(phase, 0.0) + elapsed_s
+
+
+class ServeApp:
+    """The wired application; see the module docstring for the loop."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 slos: Optional[Sequence[SloSpec]] = None):
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.wall = WallClock()
+        self.sim = Simulator()
+        self.monarch = Monarch()
+        self.registry = MetricRegistry()
+        self.dapper = DapperCollector(
+            sampling_rate=1.0,
+            rng=np.random.default_rng(derive_seed(cfg.seed, "serve",
+                                                  "dapper")))
+        # Construction order is load-bearing (engine FIFO tie-break):
+        # scrape, then alert evaluation, then sampling adjustment, then
+        # admission refresh, all on the same cadence.
+        self.scraper = MonarchScraper(self.sim, self.monarch,
+                                      interval_s=cfg.scrape_interval_s,
+                                      wall_clock=self.wall)
+        self.scraper.register(self.registry)
+        self.scraper.add_collector(self._collect_endpoint_percentiles)
+        self.slos = list(slos) if slos is not None else default_serve_slos(
+            cfg.latency_threshold_s, cfg.slo_window_s)
+        self.alerts = AlertManager(self.sim, self.monarch, self.slos,
+                                   interval_s=cfg.scrape_interval_s,
+                                   wall_clock=self.wall)
+        self.sampling = AdaptiveSamplingController(
+            self.sim, self.dapper, interval_s=cfg.scrape_interval_s,
+            trace_budget=cfg.trace_budget, alerts=self.alerts)
+        self.admission = AdmissionController(
+            self.sim, self.alerts, self.monarch,
+            slo_names=["serve-latency"], retry_after_s=cfg.retry_after_s)
+        self.cache = StudyCache(cfg.cache_dir)
+        self.requests_total = 0
+        self.errors_total = 0
+        self._catalogs: Dict[Tuple[int, int], object] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._housekeeping_task: Optional[asyncio.Task] = None
+        self._routes = {
+            "/healthz": ("healthz", self._handle_healthz),
+            "/metrics": ("metrics", self._handle_metrics),
+            "/debug/traces": ("traces", self._handle_traces),
+            "/debug/dashboard": ("dashboard", self._handle_dashboard),
+            "/v1/study": ("study", self._handle_study),
+            "/v1/whatif": ("whatif", self._handle_whatif),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Prewarm caches, bind the socket, start housekeeping."""
+        if self.config.prewarm:
+            self.prewarm()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        self._housekeeping_task = asyncio.ensure_future(self._housekeep())
+
+    @property
+    def listen_address(self) -> str:
+        """``host:port`` actually bound (resolves an ephemeral port 0)."""
+        if self._server is None or not self._server.sockets:
+            return f"{self.config.host}:{self.config.port}"
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return f"{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return int(self.listen_address.rsplit(":", 1)[1])
+
+    def prewarm(self) -> None:
+        """Compute the default study + what-if entries into the cache."""
+        cfg = self.config
+        self._study_result(cfg.study_methods, cfg.study_trees, cfg.seed,
+                           cfg.study_max_nodes)
+        whatif_cached(self.cache, cfg.whatif_service, None,
+                      cfg.whatif_duration_s, cfg.seed, 95.0)
+
+    async def stop(self) -> None:
+        """Tear down: close the socket, stop periodic observers."""
+        if self._housekeeping_task is not None:
+            self._housekeeping_task.cancel()
+            try:
+                await self._housekeeping_task
+            except asyncio.CancelledError:
+                pass
+            self._housekeeping_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.advance()  # final catch-up so the last scrape lands
+        self.scraper.stop()
+        self.alerts.stop()
+        self.sampling.stop()
+        self.admission.stop()
+
+    async def wait_for_quiet(self, timeout_s: float = 30.0,
+                             poll_s: float = 0.1) -> bool:
+        """Wait until no alert fires and admission recovered (or timeout)."""
+        deadline_s = self.wall() + timeout_s
+        while self.wall() < deadline_s:
+            if not self.alerts.firing() and not self.admission.shedding:
+                return True
+            await asyncio.sleep(poll_s)
+        return False
+
+    async def _housekeep(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.tick_s)
+            self.advance()
+
+    def advance(self) -> None:
+        """Drive the obs time domain up to the wall clock."""
+        target_s = self.wall()
+        if target_s > self.sim.now:
+            self.sim.run_until(target_s)
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequest:
+                    self.errors_total += 1
+                    write_response(writer, HttpResponse(
+                        status=400, body=b'{"error": "bad request"}'),
+                        keep_alive=False)
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self.handle(request)
+                keep = request.keep_alive
+                write_response(writer, response, keep_alive=keep)
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # The instrumented request path
+    # ------------------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request: trace it, meter it, maybe shed it."""
+        endpoint, handler = self._routes.get(request.path,
+                                             ("unknown", None))
+        start_s = self.wall()
+        trace_id = self.sim.mint_id("trace")
+        sampled = self.dapper.sample_root(trace_id, f"serve/{endpoint}")
+        self.requests_total += 1
+        self.registry.counter("serve/requests",
+                              {"endpoint": endpoint}).add()
+
+        if endpoint in SHEDDABLE and not self.admission.should_admit():
+            self.admission.count_shed()
+            self.registry.counter("serve/shed",
+                                  {"endpoint": endpoint}).add()
+            if sampled:
+                self._record_spans(trace_id, endpoint, start_s,
+                                   {"parse": 0.0},
+                                   status=StatusCode.RESOURCE_EXHAUSTED,
+                                   annotations={"shed": 1.0})
+            return HttpResponse(
+                status=503,
+                body=b'{"error": "shedding load: latency SLO burning"}',
+                headers={"retry-after":
+                         f"{self.admission.retry_after_s:g}"})
+
+        timer = _RequestTimer()
+        status = 200
+        try:
+            if handler is None:
+                status, body = 404, {"error": f"no route {request.path}"}
+            else:
+                status, body = await handler(request, timer)
+        except BadRequest as err:
+            status, body = 400, {"error": str(err)}
+        except Exception as err:  # the 500 backstop: serve must not die
+            status, body = 500, {"error": f"{type(err).__name__}: {err}"}
+
+        serialize_start_s = self.wall()
+        if isinstance(body, (bytes, str)):
+            payload = body.encode() if isinstance(body, str) else body
+            content_type = "text/plain; charset=utf-8"
+        else:
+            payload = json.dumps(body, sort_keys=True).encode()
+            content_type = "application/json"
+        timer.charge("serialize", self.wall() - serialize_start_s)
+
+        latency_s = self.wall() - start_s
+        self.registry.distribution(
+            "serve/request_latency_s",
+            {"endpoint": endpoint}).observe(latency_s, exemplar=trace_id)
+        self.registry.distribution(
+            "serve/request_error",
+            {"endpoint": endpoint}).observe(1.0 if status >= 500 else 0.0)
+        if status >= 500:
+            self.errors_total += 1
+            self.registry.counter("serve/errors",
+                                  {"endpoint": endpoint}).add()
+        if sampled:
+            self._record_spans(
+                trace_id, endpoint, start_s, timer.phase_s,
+                status=(StatusCode.OK if status < 500
+                        else StatusCode.INTERNAL),
+                response_bytes=len(payload))
+        return HttpResponse(status=status, body=payload,
+                            content_type=content_type)
+
+    def _record_spans(self, trace_id: int, endpoint: str, start_s: float,
+                      phase_s: Dict[str, float],
+                      status: StatusCode = StatusCode.OK,
+                      response_bytes: int = 0,
+                      annotations: Optional[Dict[str, float]] = None
+                      ) -> None:
+        """One root span + one child per timed phase."""
+        root_id = self.sim.mint_id("span")
+        total_s = sum(phase_s.values())
+        self.dapper.record(Span(
+            trace_id=trace_id, span_id=root_id, parent_id=None,
+            service="serve", method=endpoint,
+            client_cluster="client", server_cluster="serve",
+            server_machine=self.listen_address, start_time=start_s,
+            breakdown=LatencyBreakdown(server_application=total_s),
+            status=status, response_bytes=response_bytes,
+            annotations=dict(annotations or {})))
+        offset_s = start_s
+        for phase in PHASES:
+            if phase not in phase_s:
+                continue
+            self.dapper.record(Span(
+                trace_id=trace_id, span_id=self.sim.mint_id("span"),
+                parent_id=root_id, service="serve",
+                method=f"{endpoint}/{phase}",
+                client_cluster="serve", server_cluster="serve",
+                server_machine=self.listen_address, start_time=offset_s,
+                breakdown=LatencyBreakdown(
+                    server_application=phase_s[phase]),
+                status=status))
+            offset_s += phase_s[phase]
+
+    def _slowdown_active(self) -> bool:
+        cfg = self.config
+        if cfg.slowdown_after_s is None:
+            return False
+        elapsed_s = self.wall()
+        return (cfg.slowdown_after_s <= elapsed_s
+                < cfg.slowdown_after_s + cfg.slowdown_duration_s)
+
+    async def _maybe_slow(self, timer: _RequestTimer) -> None:
+        """The injected regression: an extra compute-phase dwell."""
+        if self._slowdown_active():
+            dwell_start_s = self.wall()
+            await asyncio.sleep(self.config.slowdown_extra_s)
+            timer.charge("compute", self.wall() - dwell_start_s)
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (each returns (status, body))
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, request: HttpRequest,
+                              timer: _RequestTimer):
+        return 200, {"status": "ok", "uptime_s": round(self.wall(), 3),
+                     "shedding": self.admission.shedding}
+
+    async def _handle_metrics(self, request: HttpRequest,
+                              timer: _RequestTimer):
+        return 200, render_prometheus(self.registry)
+
+    async def _handle_traces(self, request: HttpRequest,
+                             timer: _RequestTimer):
+        limit = int(request.query.get("limit", "50"))
+        traces = []
+        for tid, spans in sorted(self.dapper.traces().items(),
+                                 reverse=True)[:max(limit, 0)]:
+            root = next((s for s in spans if s.parent_id is None), spans[0])
+            traces.append({
+                "trace_id": tid,
+                "root": root.full_method,
+                "spans": len(spans),
+                "total_ms": round(root.breakdown.total() * 1e3, 3),
+            })
+        return 200, {"traces": traces, "recorded": len(self.dapper.spans)}
+
+    async def _handle_dashboard(self, request: HttpRequest,
+                                timer: _RequestTimer):
+        return 200, render_serve_dashboard(
+            self.heartbeat_snapshot(), self.monarch, self.alerts,
+            self.admission, title=f"serve {self.listen_address}")
+
+    async def _handle_study(self, request: HttpRequest,
+                            timer: _RequestTimer):
+        parse_start_s = self.wall()
+        if request.method != "POST":
+            return 405, {"error": "POST a study request"}
+        try:
+            params = json.loads(request.body or b"{}")
+        except json.JSONDecodeError as err:
+            raise BadRequest(f"study body is not JSON: {err}") from err
+        if not isinstance(params, dict):
+            raise BadRequest("study body must be a JSON object")
+        cfg = self.config
+        study = params.get("study", "trees")
+        if study != "trees":
+            raise BadRequest(f"unknown study {study!r} (have: trees)")
+        methods = min(int(params.get("methods", cfg.study_methods)), 2000)
+        trees = min(int(params.get("trees", cfg.study_trees)), 2000)
+        seed = int(params.get("seed", cfg.seed))
+        max_nodes = min(int(params.get("max_nodes", cfg.study_max_nodes)),
+                        50000)
+        timer.charge("parse", self.wall() - parse_start_s)
+
+        await self._maybe_slow(timer)
+        work_start_s = self.wall()
+        result, hit = self._study_result(methods, trees, seed, max_nodes)
+        timer.charge("cache_lookup" if hit else "compute",
+                     self.wall() - work_start_s)
+        return 200, {
+            "study": "trees",
+            "cache_hit": hit,
+            "methods": methods,
+            "trees": trees,
+            "seed": seed,
+            "render": result.render(),
+        }
+
+    def _study_result(self, methods: int, trees: int, seed: int,
+                      max_nodes: int):
+        from repro.workloads.catalog import CatalogConfig, build_catalog
+
+        catalog_key = (methods, seed)
+        if catalog_key not in self._catalogs:
+            self._catalogs[catalog_key] = build_catalog(
+                CatalogConfig(n_methods=methods, seed=seed))
+        return run_tree_study_cached(self._catalogs[catalog_key],
+                                     n_trees=trees, seed=seed,
+                                     max_nodes=max_nodes, cache=self.cache)
+
+    async def _handle_whatif(self, request: HttpRequest,
+                             timer: _RequestTimer):
+        from repro.workloads.services import SERVICE_SPECS
+
+        parse_start_s = self.wall()
+        query = request.query
+        service = query.get("service", self.config.whatif_service)
+        if service not in SERVICE_SPECS:
+            raise BadRequest(f"unknown service {service!r} "
+                             f"(have: {sorted(SERVICE_SPECS)})")
+        method = query.get("method") or None
+        duration_s = float(query.get("duration_s",
+                                     self.config.whatif_duration_s))
+        percentile = float(query.get("percentile", "95"))
+        seed = int(query.get("seed", self.config.seed))
+        timer.charge("parse", self.wall() - parse_start_s)
+
+        await self._maybe_slow(timer)
+        work_start_s = self.wall()
+        doc, hit = whatif_cached(self.cache, service, method,
+                                 duration_s, seed, percentile)
+        timer.charge("cache_lookup" if hit else "compute",
+                     self.wall() - work_start_s)
+        return 200, dict(doc, cache_hit=hit)
+
+    # ------------------------------------------------------------------
+    # Observability surfaces
+    # ------------------------------------------------------------------
+    def _collect_endpoint_percentiles(self, t: float):
+        """Scalar p99 series per endpoint (the dashboard's panels)."""
+        for (name, labelset), dist in self.registry.distributions.items():
+            if name != "serve/request_latency_s" or not dist.count:
+                continue
+            yield ("serve/p99_latency_s", dict(labelset),
+                   dist.percentile(99))
+
+    def heartbeat_snapshot(self) -> Dict[str, float]:
+        """A :func:`~repro.obs.dashboard.render_heartbeat` snapshot."""
+        wall_s = self.wall()
+        return {
+            "sim_time_s": self.sim.now,
+            "events_fired": self.sim.events_fired,
+            "events_scheduled": (self.sim.events_fired
+                                 + self.sim.pending_events),
+            "rpcs_completed": self.requests_total,
+            "hedges": 0,
+            "wall_s": wall_s,
+            "events_per_s": (self.sim.events_fired / wall_s
+                             if wall_s > 0 else 0.0),
+            "sim_time_rate": self.sim.now / wall_s if wall_s > 0 else 0.0,
+        }
+
+    def endpoint_p99_s(self) -> Dict[str, float]:
+        """Final per-endpoint p99 latency, for the shutdown manifest."""
+        out: Dict[str, float] = {}
+        for (name, labelset), dist in sorted(
+                self.registry.distributions.items()):
+            if name != "serve/request_latency_s" or not dist.count:
+                continue
+            endpoint = dict(labelset).get("endpoint", "unknown")
+            out[endpoint] = round(dist.percentile(99), 6)
+        return out
+
+    def alert_timeline(self):
+        """Alert + admission transitions, merged in time order."""
+        return sorted(self.alerts.events + self.admission.events,
+                      key=lambda e: (e.t, e.slo, e.severity, e.state))
+
+    def build_manifest(self, run_id: str = "serve") -> RunManifest:
+        """The digest-validated shutdown record of this serve session."""
+        cfg = self.config
+        builder = ManifestBuilder(run_id, seed=cfg.seed,
+                                  wall_clock=self.wall)
+        builder.set_config(serve={
+            "listen_address": self.listen_address,
+            "scrape_interval_s": cfg.scrape_interval_s,
+            "latency_threshold_s": cfg.latency_threshold_s,
+            "slo_window_s": cfg.slo_window_s,
+            "trace_budget": cfg.trace_budget,
+            "slowdown_after_s": cfg.slowdown_after_s,
+            "slowdown_extra_s": cfg.slowdown_extra_s,
+            "slowdown_duration_s": cfg.slowdown_duration_s,
+            "slos": [s.to_dict() for s in self.slos],
+            "endpoint_p99_s": self.endpoint_p99_s(),
+        })
+        builder.add_counts(
+            requests_total=self.requests_total,
+            shed_total=self.admission.shed_total,
+            errors_total=self.errors_total,
+            spans_recorded=len(self.dapper.spans),
+            alert_events=len(self.alerts.events),
+            admission_transitions=self.admission.transitions,
+            alert_evaluations=self.alerts.evaluations,
+        )
+        builder.observe_sim(self.sim)
+        builder.add_alerts(self.alert_timeline())
+        return builder.finish()
+
+    def obs_overhead_fraction(self) -> float:
+        """Scrape + alert-eval self-time as a fraction of uptime."""
+        wall_s = self.wall()
+        if wall_s <= 0:
+            return 0.0
+        return (self.scraper.scrape_wall_s
+                + self.alerts.eval_wall_s) / wall_s

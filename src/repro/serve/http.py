@@ -1,0 +1,192 @@
+"""A minimal HTTP/1.1 layer on asyncio streams (stdlib only).
+
+Serve mode needs just enough HTTP to front the study engine and be
+driven by the load generator and ``curl``: request-line + header
+parsing, ``Content-Length`` bodies, keep-alive connections, and a tiny
+client for the load generator and tests.  It is deliberately not a web
+framework — no chunked encoding, no TLS, no routing DSL — because every
+feature here is attack surface the observability story does not need.
+
+The parser is strict about what it accepts (bounded line and body
+sizes, a known method set) and maps malformed input to
+:class:`BadRequest` so the server can answer 400 instead of dying.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpRequest", "HttpResponse", "BadRequest", "read_request",
+           "write_response", "http_call", "REASON_PHRASES"]
+
+#: Request-line methods the server accepts.
+_METHODS = frozenset({"GET", "POST", "HEAD", "PUT", "DELETE"})
+
+#: Bounds that keep a misbehaving peer from ballooning memory.
+MAX_LINE_BYTES = 8192
+MAX_HEADERS = 64
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASON_PHRASES = {
+    200: "OK", 204: "No Content", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class BadRequest(ValueError):
+    """Malformed HTTP input; the server answers 400 and drops the link."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """The target's path component (query string stripped)."""
+        return urlsplit(self.target).path
+
+    @property
+    def query(self) -> Dict[str, str]:
+        """Query parameters as a flat dict (last value wins)."""
+        return dict(parse_qsl(urlsplit(self.target).query))
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should survive this exchange."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class HttpResponse:
+    """One response about to be serialized."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def reason(self) -> str:
+        """The status line's reason phrase."""
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return b""  # clean EOF between requests
+        raise BadRequest("truncated request line") from err
+    except asyncio.LimitOverrunError as err:
+        raise BadRequest("request line too long") from err
+    if len(line) > MAX_LINE_BYTES:
+        raise BadRequest("request line too long")
+    return line[:-2]
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`BadRequest` on malformed input.
+    """
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    if method not in _METHODS:
+        raise BadRequest(f"unsupported method {method!r}")
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise BadRequest("too many headers")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as err:
+            raise BadRequest("bad content-length") from err
+        if not 0 <= length <= MAX_BODY_BYTES:
+            raise BadRequest(f"content-length {length} out of bounds")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as err:
+            raise BadRequest("truncated body") from err
+    return HttpRequest(method=method, target=target, headers=headers,
+                       body=body)
+
+
+def write_response(writer: asyncio.StreamWriter, response: HttpResponse,
+                   keep_alive: bool = True) -> None:
+    """Serialize ``response`` onto the stream (caller drains)."""
+    head = [f"HTTP/1.1 {response.status} {response.reason}",
+            f"content-type: {response.content_type}",
+            f"content-length: {len(response.body)}",
+            f"connection: {'keep-alive' if keep_alive else 'close'}"]
+    head += [f"{name}: {value}" for name, value in response.headers.items()]
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+
+
+async def http_call(host: str, port: int, method: str, target: str,
+                    body: bytes = b"",
+                    reader: Optional[asyncio.StreamReader] = None,
+                    writer: Optional[asyncio.StreamWriter] = None,
+                    ) -> Tuple[int, Dict[str, str], bytes]:
+    """One client exchange: ``(status, headers, body)``.
+
+    Pass an existing ``(reader, writer)`` pair to reuse a keep-alive
+    connection (the closed-loop load generator does); otherwise a fresh
+    connection is opened and closed around the exchange.
+    """
+    own = reader is None or writer is None
+    if own:
+        reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = [f"{method} {target} HTTP/1.1",
+                f"host: {host}:{port}",
+                f"content-length: {len(body)}"]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+        status_line = await reader.readuntil(b"\r\n")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readuntil(b"\r\n")
+            if line == b"\r\n":
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        payload = await reader.readexactly(int(headers.get("content-length",
+                                                           "0")))
+        return status, headers, payload
+    finally:
+        if own:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass

@@ -1,0 +1,259 @@
+"""Open- and closed-loop load generation against a serve-mode server.
+
+The traffic model mirrors the repo's DES drivers, re-anchored to wall
+time:
+
+- **Endpoint popularity is Zipfian** (the paper's Fig. 7 observation
+  that a handful of methods dominate call volume): endpoint *rank k*
+  gets weight ``1 / k**alpha``.
+- **Arrivals are diurnal** — the open-loop Poisson rate is modulated by
+  the same ``1 + amplitude * sin`` wave as
+  :class:`repro.workloads.drivers.DiurnalPattern` (Fig. 18), with the
+  24-hour day compressed to ``day_s`` real seconds so a demo sees a
+  full cycle.
+- **Open loop** fires arrivals on the Poisson schedule regardless of
+  completions (each in-flight call is its own task), so a slow server
+  accumulates concurrency the way real front-ends do.  **Closed loop**
+  runs ``users`` keep-alive connections in request → think-time cycles
+  and backs off by the server's ``Retry-After`` when shed.
+
+Both loops share one seeded RNG stream per role, so a loadgen run's
+*schedule* is a pure function of its config; only service latencies
+come from the live server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.serve.http import http_call
+from repro.sim.clock import WallClock
+from repro.sim.random import derive_seed
+from repro.workloads.drivers import DAY_SECONDS, DiurnalPattern
+
+__all__ = ["EndpointSpec", "LoadGenConfig", "LoadGenResult",
+           "ZipfPopularity", "run_loadgen", "default_endpoints"]
+
+
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One callable endpoint: how the loadgen exercises it."""
+
+    name: str
+    method: str
+    target: str
+    body: bytes = b""
+
+
+def default_endpoints(seed: int = 7) -> List[EndpointSpec]:
+    """Popularity-ranked endpoints (hottest first, like Fig. 7)."""
+    study_body = json.dumps({"study": "trees", "methods": 40, "trees": 30,
+                             "seed": seed, "max_nodes": 2000}).encode()
+    return [
+        EndpointSpec("study", "POST", "/v1/study", study_body),
+        EndpointSpec("healthz", "GET", "/healthz"),
+        EndpointSpec("whatif", "GET",
+                     f"/v1/whatif?service=Bigtable&seed={seed}"),
+        EndpointSpec("metrics", "GET", "/metrics"),
+    ]
+
+
+class ZipfPopularity:
+    """Zipf(alpha) draw over a ranked endpoint list."""
+
+    def __init__(self, n: int, alpha: float, rng: np.random.Generator):
+        if n < 1:
+            raise ValueError(f"need at least one endpoint, got {n}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha!r}")
+        weights = 1.0 / np.arange(1, n + 1, dtype=float) ** alpha
+        self.probabilities = weights / weights.sum()
+        self._rng = rng
+
+    def draw(self) -> int:
+        """The next endpoint index (0 = most popular)."""
+        return int(self._rng.choice(len(self.probabilities),
+                                    p=self.probabilities))
+
+
+@dataclass
+class LoadGenConfig:
+    """Shape of one loadgen run."""
+
+    duration_s: float = 10.0
+    #: Open-loop base arrival rate (requests per second); 0 disables.
+    rate: float = 50.0
+    #: Closed-loop user count; 0 disables.
+    users: int = 0
+    think_s: float = 0.05
+    zipf_alpha: float = 1.2
+    seed: int = 7
+    #: Diurnal modulation of the open-loop rate; ``day_s`` compresses
+    #: the 24-hour wave into this many real seconds.
+    diurnal_amplitude: float = 0.3
+    day_s: float = 60.0
+    call_timeout_s: float = 30.0
+    endpoints: Optional[List[EndpointSpec]] = None
+
+
+@dataclass
+class LoadGenResult:
+    """What happened, per endpoint and overall."""
+
+    duration_s: float
+    sent: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    latencies_s: Dict[str, List[float]] = field(default_factory=dict)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, endpoint: str, status: int, latency_s: float) -> None:
+        """Fold one completed exchange into the tallies."""
+        self.sent += 1
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        if status == 503:
+            self.shed += 1
+        elif status >= 400 or status == 0:
+            self.errors += 1
+        else:
+            self.ok += 1
+            self.latencies_s.setdefault(endpoint, []).append(latency_s)
+
+    def percentile_s(self, endpoint: str, q: float) -> float:
+        """Latency percentile for one endpoint (0.0 when unobserved)."""
+        values = self.latencies_s.get(endpoint)
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values), q))
+
+    @property
+    def achieved_rps(self) -> float:
+        """Completed-OK throughput over the run."""
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    def render(self) -> str:
+        """An aligned per-endpoint summary table."""
+        rows = []
+        for endpoint in sorted(self.latencies_s):
+            values = self.latencies_s[endpoint]
+            rows.append((endpoint, len(values),
+                         f"{self.percentile_s(endpoint, 50) * 1e3:.2f}",
+                         f"{self.percentile_s(endpoint, 99) * 1e3:.2f}"))
+        table = format_table(("endpoint", "ok", "p50 ms", "p99 ms"), rows,
+                             title="loadgen — per-endpoint latency")
+        summary = (f"sent {self.sent}  ok {self.ok}  shed {self.shed}  "
+                   f"errors {self.errors}  "
+                   f"rps {self.achieved_rps:.1f}")
+        return f"{table}\n{summary}"
+
+
+async def _one_call(host: str, port: int, spec: EndpointSpec,
+                    config: LoadGenConfig, result: LoadGenResult,
+                    wall: WallClock,
+                    conn: Optional[Tuple[asyncio.StreamReader,
+                                         asyncio.StreamWriter]] = None
+                    ) -> Tuple[int, Dict[str, str]]:
+    """Issue one exchange and record it; returns (status, headers)."""
+    start_s = wall()
+    try:
+        status, headers, _body = await asyncio.wait_for(
+            http_call(host, port, spec.method, spec.target, spec.body,
+                      reader=conn[0] if conn else None,
+                      writer=conn[1] if conn else None),
+            timeout=config.call_timeout_s)
+    except (ConnectionError, asyncio.TimeoutError, OSError,
+            asyncio.IncompleteReadError):
+        result.record(spec.name, 0, wall() - start_s)
+        return 0, {}
+    result.record(spec.name, status, wall() - start_s)
+    return status, headers
+
+
+async def _open_loop(host: str, port: int, config: LoadGenConfig,
+                     endpoints: List[EndpointSpec],
+                     result: LoadGenResult, wall: WallClock) -> None:
+    rng = np.random.default_rng(derive_seed(config.seed, "loadgen", "open"))
+    popularity = ZipfPopularity(len(endpoints), config.zipf_alpha, rng)
+    diurnal = DiurnalPattern(amplitude=config.diurnal_amplitude)
+    in_flight: List[asyncio.Task] = []
+    while wall() < config.duration_s:
+        # Fig.-18-style wave, one "day" compressed into day_s seconds.
+        mult = diurnal.multiplier(wall() * DAY_SECONDS / config.day_s)
+        rate = max(config.rate * mult, 1e-9)
+        await asyncio.sleep(float(rng.exponential(1.0 / rate)))
+        if wall() >= config.duration_s:
+            break
+        spec = endpoints[popularity.draw()]
+        in_flight.append(asyncio.ensure_future(
+            _one_call(host, port, spec, config, result, wall)))
+        in_flight = [t for t in in_flight if not t.done()]
+    if in_flight:
+        await asyncio.gather(*in_flight, return_exceptions=True)
+
+
+async def _closed_user(host: str, port: int, config: LoadGenConfig,
+                       endpoints: List[EndpointSpec],
+                       result: LoadGenResult, wall: WallClock,
+                       user_index: int) -> None:
+    rng = np.random.default_rng(
+        derive_seed(config.seed, "loadgen", "user", user_index))
+    popularity = ZipfPopularity(len(endpoints), config.zipf_alpha, rng)
+    reader = writer = None
+    try:
+        while wall() < config.duration_s:
+            if writer is None:
+                try:
+                    reader, writer = await asyncio.open_connection(host,
+                                                                   port)
+                except (ConnectionError, OSError):
+                    await asyncio.sleep(0.05)
+                    continue
+            spec = endpoints[popularity.draw()]
+            status, headers = await _one_call(host, port, spec, config,
+                                              result, wall,
+                                              conn=(reader, writer))
+            if status == 0:  # connection died: reconnect next cycle
+                writer.close()
+                reader = writer = None
+                continue
+            if status == 503:  # shed: honor the server's Retry-After
+                await asyncio.sleep(
+                    float(headers.get("retry-after",
+                                      f"{config.think_s:g}")))
+                continue
+            await asyncio.sleep(float(rng.exponential(config.think_s)))
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+async def run_loadgen(host: str, port: int,
+                      config: Optional[LoadGenConfig] = None
+                      ) -> LoadGenResult:
+    """Run the configured open and/or closed loops to completion."""
+    config = config or LoadGenConfig()
+    endpoints = config.endpoints or default_endpoints(config.seed)
+    result = LoadGenResult(duration_s=config.duration_s)
+    wall = WallClock()
+    loops = []
+    if config.rate > 0:
+        loops.append(_open_loop(host, port, config, endpoints, result,
+                                wall))
+    for user_index in range(config.users):
+        loops.append(_closed_user(host, port, config, endpoints, result,
+                                  wall, user_index))
+    if not loops:
+        raise ValueError("loadgen needs rate > 0 or users > 0")
+    await asyncio.gather(*loops)
+    return result

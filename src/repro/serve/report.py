@@ -1,0 +1,153 @@
+"""Serve-mode views: /metrics text, the live dashboard, timeline checks.
+
+Three consumers read the same state:
+
+- :func:`render_prometheus` — the ``/metrics`` scrape body, in the
+  Prometheus exposition idiom (counters/gauges verbatim, distributions
+  as count/sum/quantile rows) so standard tooling and the CI smoke job
+  can grep it.
+- :func:`render_serve_dashboard` — the operator console: heartbeat
+  panel, per-endpoint latency sparklines from Monarch, alert and
+  admission state.
+- :func:`normalize_alert_timeline` / :func:`check_timeline` — the
+  golden comparison for wall-clock runs.  Real-time timelines cannot be
+  compared byte-for-byte (timestamps and burn values jitter), so the
+  golden pins what *must* be invariant: per-(slo, severity) state
+  transitions in order, required final states, and exemplar presence on
+  firing events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.dashboard import render_heartbeat, render_panel
+from repro.obs.metrics import MetricRegistry
+from repro.obs.monarch import Monarch
+
+__all__ = ["render_prometheus", "render_serve_dashboard",
+           "normalize_alert_timeline", "check_timeline"]
+
+_QUANTILES = ((50, "0.5"), (95, "0.95"), (99, "0.99"))
+
+
+def _metric_name(name: str) -> str:
+    """Monarch metric path -> Prometheus metric name."""
+    return name.replace("/", "_").replace("-", "_").replace(".", "_")
+
+
+def _label_text(labelset: Tuple[Tuple[str, str], ...],
+                extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labelset) + tuple(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """The registry in Prometheus exposition format (sorted, stable)."""
+    lines: List[str] = []
+    for (name, labelset), counter in sorted(registry.counters.items()):
+        lines.append(f"{_metric_name(name)}_total"
+                     f"{_label_text(labelset)} {counter.value:g}")
+    for (name, labelset), gauge in sorted(registry.gauges.items()):
+        lines.append(f"{_metric_name(name)}"
+                     f"{_label_text(labelset)} {gauge.read():g}")
+    for (name, labelset), dist in sorted(registry.distributions.items()):
+        base = _metric_name(name)
+        lines.append(f"{base}_count{_label_text(labelset)} {dist.count}")
+        lines.append(f"{base}_sum{_label_text(labelset)} {dist.sum:g}")
+        for q, tag in _QUANTILES:
+            lines.append(f"{base}{_label_text(labelset, (('quantile', tag),))}"
+                         f" {dist.percentile(q):g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_serve_dashboard(snapshot: Dict[str, float], monarch: Monarch,
+                           alerts, admission, title: str = "serve") -> str:
+    """The live operator view: heartbeat, latency panels, alert state."""
+    sections = [render_heartbeat(snapshot, title=title)]
+    sections.append(render_panel(monarch, "serve/p99_latency_s",
+                                 group_label="endpoint"))
+    sections.append(render_panel(monarch, "alerts/burn_rate_short",
+                                 group_label="severity"))
+    lines = ["-- alerts"]
+    firing = alerts.firing()
+    if not firing:
+        lines.append("  (none firing)")
+    for spec, rule in firing:
+        lines.append(f"  FIRING {spec.name} [{rule.severity}]")
+    lines.append(f"-- admission: "
+                 f"{'SHEDDING' if admission.shedding else 'admitting'} "
+                 f"({admission.shed_total} shed, "
+                 f"{admission.transitions} transitions)")
+    sections.append("\n".join(lines))
+    return "\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Golden timeline comparison
+# ----------------------------------------------------------------------
+def normalize_alert_timeline(events: Sequence) -> Dict[str, List[str]]:
+    """``"slo/severity" -> ordered state names`` from alert events.
+
+    Accepts :class:`~repro.obs.alerting.AlertEvent` objects or their
+    ``to_dict`` documents (a manifest's ``alerts`` list).  Timestamps
+    and burn values are deliberately dropped: on a wall-clock run they
+    jitter with the host, while the transition *order* is the invariant
+    the golden pins.
+    """
+    out: Dict[str, List[str]] = {}
+    docs = [e.to_dict() if hasattr(e, "to_dict") else dict(e)
+            for e in events]
+    for doc in sorted(docs, key=lambda d: (float(d["t"]), str(d["slo"]),
+                                           str(d["severity"]))):
+        key = f"{doc['slo']}/{doc['severity']}"
+        out.setdefault(key, []).append(str(doc["state"]))
+    return out
+
+
+def _is_subsequence(needle: Sequence[str], haystack: Sequence[str]) -> bool:
+    it = iter(haystack)
+    return all(any(got == want for got in it) for want in needle)
+
+
+def check_timeline(events: Sequence, golden: Dict) -> List[str]:
+    """Validate an alert timeline against a golden document.
+
+    The golden schema::
+
+        {"required": {"slo/severity": ["pending", "firing", "resolved"]},
+         "final":    {"slo/severity": "resolved"},
+         "require_exemplars": ["slo/severity"]}
+
+    ``required`` sequences must appear *in order* (as a subsequence, so
+    a flapping alert that fires twice still passes); ``final`` pins the
+    last state *ignoring trailing pending edges* (a breach that subsided
+    before escalating emits no resolution event, so a stray ``pending``
+    at the tail is noise, not an outcome); ``require_exemplars`` demands
+    at least one firing event with exemplar trace ids attached.  Returns
+    a list of human-readable problems — empty means the timeline matches.
+    """
+    problems: List[str] = []
+    observed = normalize_alert_timeline(events)
+    for key, want in golden.get("required", {}).items():
+        got = observed.get(key, [])
+        if not _is_subsequence(list(want), got):
+            problems.append(f"{key}: expected subsequence {want}, got {got}")
+    for key, want_final in golden.get("final", {}).items():
+        got = [s for s in observed.get(key, []) if s != "pending"]
+        if not got or got[-1] != want_final:
+            problems.append(f"{key}: expected final state {want_final!r}, "
+                            f"got {got[-1] if got else None!r}")
+    docs = [e.to_dict() if hasattr(e, "to_dict") else dict(e)
+            for e in events]
+    for key in golden.get("require_exemplars", []):
+        slo, _sep, severity = key.partition("/")
+        hits = [d for d in docs
+                if d["slo"] == slo and d["severity"] == severity
+                and d["state"] == "firing" and d.get("exemplars")]
+        if not hits:
+            problems.append(f"{key}: no firing event carries exemplars")
+    return problems

@@ -11,17 +11,22 @@ These clocks close the gap:
   runs.
 - :class:`SimulatorClock` — adapts a :class:`~repro.sim.engine.Simulator`
   so framework components observe discrete-event time.
+- :class:`WallClock` — the one sanctioned real-time source, for serve
+  mode (:mod:`repro.serve`), where the workload *is* wall time.  It is
+  anchored at construction so readings start near zero like the other
+  clocks, and this module is allowlisted for RL001 so the exemption
+  lives in one reviewed place instead of pragma comments.
 
-Both are plain callables returning seconds, so any ``Callable[[],
-float]`` (including ``time.monotonic``, in allowlisted wall-clock code
-such as the TCP examples) satisfies the same contract.
+All are plain callables returning seconds, so any ``Callable[[],
+float]`` satisfies the same contract.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from typing import Callable, Optional
 
-__all__ = ["Clock", "ManualClock", "SimulatorClock"]
+__all__ = ["Clock", "ManualClock", "SimulatorClock", "WallClock"]
 
 #: Anything the framework accepts as a time source.
 Clock = Callable[[], float]
@@ -69,3 +74,31 @@ class SimulatorClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimulatorClock(now={self._sim.now:.6f})"
+
+
+class WallClock:
+    """Monotonic elapsed real seconds since construction (or ``anchor_s``).
+
+    The sanctioned wall-time source for serve mode: a live server's
+    scrape/alert/sampling cadence must track the host clock, not a
+    discrete-event schedule.  Readings share the "seconds since the run
+    started" convention of the other clocks, so Monarch series, span
+    timestamps, and manifests look the same whether the time domain was
+    simulated or real.
+
+    >>> clock = WallClock()
+    >>> clock() >= 0.0
+    True
+    """
+
+    __slots__ = ("_anchor_s",)
+
+    def __init__(self, anchor_s: Optional[float] = None):
+        self._anchor_s = (time.monotonic() if anchor_s is None
+                          else float(anchor_s))
+
+    def __call__(self) -> float:
+        return time.monotonic() - self._anchor_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WallClock(elapsed_s={self():.6f})"

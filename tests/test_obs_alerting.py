@@ -310,3 +310,82 @@ class TestAdaptiveSamplingController:
         sim.run_until(2.1)
         # Boosted during the incident, steered back down after it.
         assert dapper.method_rate("S/Hot") == pytest.approx(0.05)
+
+
+class TestAdaptiveSamplingUnderBursts:
+    """Bursty open-loop arrivals: clipping, recovery, incident boost."""
+
+    @staticmethod
+    def offer(dapper, base, n, method="S/Burst"):
+        for i in range(n):
+            dapper.sample_root(base + i, method)
+
+    def make_rig(self, alerts=None, min_rate=0.02):
+        sim = Simulator()
+        dapper = DapperCollector(rng=np.random.default_rng(0))
+        ctl = AdaptiveSamplingController(sim, dapper, interval_s=1.0,
+                                         trace_budget=10.0, alerts=alerts,
+                                         min_rate=min_rate)
+        return sim, dapper, ctl
+
+    def schedule_poisson_arrivals(self, sim, dapper, interval_rates,
+                                  seed=3):
+        """One Poisson offer batch per interval, mid-interval."""
+        rng = np.random.default_rng(seed)
+        base = [10_000]
+        for index, rate in enumerate(interval_rates):
+            count = int(rng.poisson(rate))
+
+            def fire(count=count):
+                self.offer(dapper, base[0], count)
+                base[0] += count
+            sim.at(index + 0.5, fire)
+
+    def test_burst_clips_to_min_rate_then_recovers_to_cap(self):
+        sim, dapper, ctl = self.make_rig()
+        # Quiet (~8/interval, under budget), a ~1200-offer burst, quiet.
+        self.schedule_poisson_arrivals(sim, dapper, [8, 1200, 8])
+        sim.run_until(3.1)
+        rates = [rate for _t, _method, rate in ctl.history]
+        assert rates[0] == 1.0          # under budget: capped at 1.0
+        assert rates[1] == 0.02         # burst: clipped at min_rate
+        assert rates[2] == 1.0          # budget recovered after burst
+        assert dapper.method_rate("S/Burst") == 1.0
+
+    def test_between_boundaries_rate_tracks_budget(self):
+        sim, dapper, ctl = self.make_rig()
+        self.offer(dapper, 1000, 40)
+        sim.run_until(1.1)
+        # 10 budget / 40 offered: thinned but nowhere near either clip.
+        assert dapper.method_rate("S/Burst") == pytest.approx(0.25)
+
+    def test_sustained_burst_stays_clipped_each_interval(self):
+        sim, dapper, ctl = self.make_rig()
+        self.schedule_poisson_arrivals(sim, dapper, [900, 900, 900])
+        sim.run_until(3.1)
+        assert [rate for _t, _m, rate in ctl.history] == [0.02] * 3
+
+    def test_firing_alert_boosts_through_the_burst(self):
+        alerts = StubAlerts(["S/Burst"])
+        sim, dapper, ctl = self.make_rig(alerts=alerts)
+        self.schedule_poisson_arrivals(sim, dapper, [1200, 1200, 30])
+        # The incident resolves after interval 2; offers keep coming.
+        sim.at(2.6, lambda: alerts._filters.clear())
+        sim.run_until(3.1)
+        rates = [rate for _t, _method, rate in ctl.history]
+        # Boosted to full tracing while firing, despite the burst; then
+        # steered back toward the budget once the alert resolves.
+        assert rates[0] == 1.0 and rates[1] == 1.0
+        assert rates[2] == pytest.approx(10.0 / 30.0, rel=0.5)
+        assert rates[2] < 1.0
+
+    def test_burst_offers_still_counted_while_thinned(self):
+        # Offers made at a clipped 2% rate must still drive the next
+        # interval's decision (the offer count is pre-sampling).
+        sim, dapper, ctl = self.make_rig()
+        self.offer(dapper, 1000, 1000)
+        sim.run_until(1.1)
+        assert dapper.method_rate("S/Burst") == 0.02
+        self.offer(dapper, 5000, 1000)
+        sim.run_until(2.1)
+        assert ctl.history[-1][2] == 0.02

@@ -219,3 +219,52 @@ class TestRenderIncidentReport:
         out = render_incident_report([event], max_exemplars=5)
         assert out.count("trace 1") == 5
         assert "... and 15 more exemplar traces" in out
+
+
+class TestDegenerateSeries:
+    """Empty registries and single-point series must render, not raise.
+
+    The serve-mode dashboard is scraped from the first request on, when
+    Monarch may hold registered-but-empty series and one-point history.
+    """
+
+    def test_single_point_sparkline_is_one_mid_tick(self):
+        out = sparkline([1.0])
+        assert len(out) == 1 and out != ""
+
+    def test_sub_one_width_clamped(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=0)) == 1
+        assert len(sparkline([1.0, 2.0, 3.0], width=-5)) == 1
+
+    def test_single_point_series_renders(self):
+        m = Monarch()
+        m.write("util", {"machine": "m0"}, 0.0, 0.5)
+        out = render_series(m, "util", {"machine": "m0"})
+        assert "1 pts" in out and "mean 0.5" in out
+
+    def test_panel_renders_empty_series_placeholder(self):
+        import warnings
+
+        m = Monarch()
+        m.write("util", {"machine": "m0"}, 0.0, 0.5)
+        # A registered series whose points were all retention-trimmed:
+        # reach into the store to model the window render_panel can see.
+        m._series[("util", (("machine", "m1"),))] = type(
+            m._series[("util", (("machine", "m0"),))])()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # empty-mean warns -> fails
+            out = render_panel(m, "util")
+        assert "m1  (no points)" in out
+        assert "mean 0.5" in out  # the populated row still renders
+
+    def test_panel_of_only_empty_series_renders(self):
+        import warnings
+
+        m = Monarch()
+        m.write("util", {"machine": "m0"}, 0.0, 0.5)
+        m._series[("util", (("machine", "m0"),))].times.clear()
+        m._series[("util", (("machine", "m0"),))].values.clear()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = render_panel(m, "util")
+        assert "(no points)" in out

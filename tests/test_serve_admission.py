@@ -1,0 +1,145 @@
+"""Tests for alert-driven admission control (load shedding)."""
+
+import numpy as np
+
+from repro.obs.alerting import AlertManager, SloSpec
+from repro.obs.monarch import Monarch
+from repro.obs.sketch import LatencySketch
+from repro.serve.admission import ADMISSION_SEVERITY, AdmissionController
+from repro.sim.engine import Simulator
+
+METRIC = "serve/request_latency_s"
+
+
+def make_sketch(value: float, n: int = 100) -> LatencySketch:
+    sketch = LatencySketch()
+    sketch.observe_many(np.full(n, value))
+    return sketch
+
+
+def make_spec(**overrides) -> SloSpec:
+    kwargs = dict(name="serve-latency", threshold_s=0.01, window_s=720.0,
+                  target=0.99, metric=METRIC)
+    kwargs.update(overrides)
+    return SloSpec(**kwargs)
+
+
+def incident_rig(monarch, specs=None, **admission_kwargs):
+    """Simulator + alert manager + admission controller, serve-ordered.
+
+    The controller is constructed *after* the manager (as ServeApp does),
+    so the engine's FIFO tie-break evaluates rules before the admission
+    refresh reads them at coincident times.
+    """
+    sim = Simulator()
+    manager = AlertManager(sim, monarch, specs or [make_spec()],
+                           interval_s=1.0)
+    admission = AdmissionController(sim, manager, monarch,
+                                    **admission_kwargs)
+    return sim, manager, admission
+
+
+def write_incident(monarch, bad_times=(1.5, 2.5, 3.5)):
+    """Good traffic at 0.5s, then an outright breach (all requests bad)."""
+    monarch.write_sketch(METRIC, {}, 0.5, make_sketch(0.001))
+    for t in bad_times:
+        monarch.write_sketch(METRIC, {}, t, make_sketch(0.1))
+
+
+class TestAdmissionController:
+    def test_sheds_while_page_fires_and_recovers(self):
+        monarch = Monarch()
+        write_incident(monarch)
+        sim, manager, admission = incident_rig(monarch)
+        # Page goes pending at 2, fires at 3, resolves at 5 (the canned
+        # scenario from the alerting tests); admission tracks it with no
+        # extra lag because refresh runs after evaluation each interval.
+        shed_at_3, admit_at_2 = [], []
+        sim.at(2.1, lambda: admit_at_2.append(admission.should_admit()))
+        sim.at(3.1, lambda: shed_at_3.append(admission.should_admit()))
+        sim.run_until(5.2)
+        assert admit_at_2 == [True]   # pending alone does not gate
+        assert shed_at_3 == [False]   # firing page sheds
+        assert not admission.shedding  # recovered by the end
+        assert admission.transitions == 2
+
+    def test_transition_events_are_manifest_ready(self):
+        monarch = Monarch()
+        write_incident(monarch)
+        sim, _manager, admission = incident_rig(monarch)
+        sim.run_until(5.2)
+        states = [(e.t, e.state) for e in admission.events]
+        assert states == [(3.0, "shedding"), (5.0, "recovered")]
+        shedding = admission.events[0]
+        assert shedding.slo == "serve-latency"
+        assert shedding.severity == ADMISSION_SEVERITY
+        # Burns are copied from the gating SLO's Monarch burn series.
+        assert shedding.burn_long >= 14.4
+        # The recovered event still names the SLO it recovered from.
+        assert admission.events[1].slo == "serve-latency"
+
+    def test_shedding_gauge_series_written(self):
+        monarch = Monarch()
+        write_incident(monarch)
+        sim, _manager, admission = incident_rig(monarch)
+        sim.run_until(5.2)
+        _times, values = monarch.read("serve/shedding", {})
+        assert list(values) == [0.0, 0.0, 1.0, 1.0, 0.0]
+
+    def test_ticket_burn_does_not_gate_page_severity(self):
+        # 10% bad -> burn 10: above the ticket factor (6) but below the
+        # page factor (14.4). Only the ticket fires; a page-gated
+        # controller keeps admitting.
+        monarch = Monarch()
+        monarch.write_sketch(METRIC, {}, 0.5, make_sketch(0.001))
+        for t in (1.5, 2.5, 3.5):
+            sketch = make_sketch(0.001, n=90)
+            sketch.observe_many(np.full(10, 0.1))
+            monarch.write_sketch(METRIC, {}, t, sketch)
+        sim, manager, admission = incident_rig(monarch)
+        sim.run_until(5.2)
+        assert any(e.severity == "ticket" and e.state == "firing"
+                   for e in manager.events)
+        assert not any(e.severity == "page" for e in manager.events)
+        assert admission.events == []
+        assert admission.transitions == 0
+
+    def test_slo_names_filter(self):
+        # An unrelated SLO fires its page; a controller gated on
+        # serve-latency only must not shed for it.
+        monarch = Monarch()
+        write_incident(monarch)
+        other = make_spec(name="other-slo")
+        quiet = make_spec(name="serve-latency",
+                          metric="serve/other_latency_s")
+        sim, _manager, admission = incident_rig(
+            monarch, specs=[other, quiet], slo_names=["serve-latency"])
+        sim.run_until(5.2)
+        assert admission.events == []
+        assert admission.shedding is False
+
+    def test_count_shed_accumulates(self):
+        sim = Simulator()
+        manager = AlertManager(sim, Monarch(), [make_spec()],
+                               interval_s=1.0)
+        admission = AdmissionController(sim, manager)
+        for _ in range(3):
+            admission.count_shed()
+        assert admission.shed_total == 3
+
+    def test_stop_halts_refresh(self):
+        monarch = Monarch()
+        write_incident(monarch)
+        sim, _manager, admission = incident_rig(monarch)
+        sim.at(2.5, admission.stop)
+        sim.run_until(5.2)
+        # Stopped before the page fired: no transition ever recorded.
+        assert admission.events == []
+        assert admission.should_admit()
+
+    def test_retry_after_passthrough(self):
+        sim = Simulator()
+        manager = AlertManager(sim, Monarch(), [make_spec()],
+                               interval_s=1.0)
+        admission = AdmissionController(sim, manager, retry_after_s=2.5)
+        assert admission.retry_after_s == 2.5

@@ -1,0 +1,273 @@
+"""Tests for the serve-mode application's request path and manifest."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    ManifestError,
+    read_manifest,
+    write_manifest,
+)
+from repro.serve.app import ServeApp, ServeConfig, default_serve_slos
+from repro.serve.http import HttpRequest
+
+
+def make_app(tmp_path, **overrides) -> ServeApp:
+    """A small, prewarm-free app with a private cache directory."""
+    kwargs = dict(port=0, cache_dir=str(tmp_path / "cache"), prewarm=False,
+                  seed=7, study_methods=12, study_trees=8,
+                  study_max_nodes=500, whatif_duration_s=0.5)
+    kwargs.update(overrides)
+    return ServeApp(ServeConfig(**kwargs))
+
+
+def call(app, method, target, body=b""):
+    """Drive one request through the instrumented path, no sockets."""
+    return asyncio.run(app.handle(
+        HttpRequest(method=method, target=target, body=body)))
+
+
+def study_body(**overrides) -> bytes:
+    doc = dict(study="trees", methods=12, trees=8, seed=7, max_nodes=500)
+    doc.update(overrides)
+    return json.dumps(doc).encode()
+
+
+class TestDefaultServeSlos:
+    def test_latency_and_error_pair(self):
+        latency, errors = default_serve_slos(0.05, 240.0)
+        assert latency.name == "serve-latency"
+        assert latency.metric == "serve/request_latency_s"
+        assert latency.threshold_s == 0.05
+        assert errors.name == "serve-errors"
+        assert errors.metric == "serve/request_error"
+        assert errors.threshold_s == 0.5
+        # for_s=0: pending on one evaluation, firing on the next.
+        assert latency.for_s == 0.0 and errors.for_s == 0.0
+
+
+class TestRequestPath:
+    def test_healthz(self, tmp_path):
+        app = make_app(tmp_path)
+        response = call(app, "GET", "/healthz")
+        assert response.status == 200
+        doc = json.loads(response.body)
+        assert doc["status"] == "ok" and doc["shedding"] is False
+
+    def test_unknown_route_404(self, tmp_path):
+        app = make_app(tmp_path)
+        response = call(app, "GET", "/nope")
+        assert response.status == 404
+        assert app.requests_total == 1
+        # Unknown routes are still metered (as endpoint "unknown").
+        counter = app.registry.counter("serve/requests",
+                                       {"endpoint": "unknown"})
+        assert counter.value == 1
+
+    def test_study_compute_then_cache_hit(self, tmp_path):
+        app = make_app(tmp_path)
+        first = json.loads(call(app, "POST", "/v1/study",
+                                study_body()).body)
+        second = json.loads(call(app, "POST", "/v1/study",
+                                 study_body()).body)
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is True
+        assert first["render"] == second["render"]
+        assert "call tree" in first["render"].lower() or first["render"]
+
+    def test_study_requires_post(self, tmp_path):
+        response = call(make_app(tmp_path), "GET", "/v1/study")
+        assert response.status == 405
+
+    def test_study_bad_json_is_400(self, tmp_path):
+        app = make_app(tmp_path)
+        assert call(app, "POST", "/v1/study", b"not json").status == 400
+        assert call(app, "POST", "/v1/study", b"[1, 2]").status == 400
+        assert call(app, "POST", "/v1/study",
+                    study_body(study="nope")).status == 400
+
+    def test_unhandled_error_is_500_backstop(self, tmp_path):
+        app = make_app(tmp_path)
+        response = call(app, "POST", "/v1/study",
+                        study_body(methods="elephant"))
+        assert response.status == 500
+        assert app.errors_total == 1
+        counter = app.registry.counter("serve/errors",
+                                       {"endpoint": "study"})
+        assert counter.value == 1
+        # The error indicator series the serve-errors SLO watches.
+        dist = app.registry.distribution("serve/request_error",
+                                         {"endpoint": "study"})
+        assert dist.count == 1 and dist.sum == 1.0
+
+    def test_whatif_unknown_service_400(self, tmp_path):
+        response = call(make_app(tmp_path), "GET",
+                        "/v1/whatif?service=NotAService")
+        assert response.status == 400
+        assert b"unknown service" in response.body
+
+    def test_whatif_compute_then_cache_hit(self, tmp_path):
+        app = make_app(tmp_path)
+        target = "/v1/whatif?service=Bigtable&duration_s=0.5&seed=7"
+        first = json.loads(call(app, "GET", target).body)
+        second = json.loads(call(app, "GET", target).body)
+        assert first["cache_hit"] is False and second["cache_hit"] is True
+        assert first["service"] == "Bigtable"
+        assert first["dominant"] in ("server", "network", "client",
+                                     "other") or first["dominant"]
+        assert first["n_tail"] > 0
+
+    def test_metrics_endpoint_exposition(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        response = call(app, "GET", "/metrics")
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain")
+        text = response.body.decode()
+        assert 'serve_requests_total{endpoint="healthz"} 1' in text
+        assert "serve_request_latency_s_count" in text
+
+    def test_latency_observed_with_trace_exemplar(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        dist = app.registry.distribution("serve/request_latency_s",
+                                         {"endpoint": "healthz"})
+        assert dist.count == 1
+        # The exemplar is the request's minted trace id, which (at the
+        # default full sampling) is also a recorded Dapper trace.
+        (_value, trace_id), = dist.drain_exemplars()
+        assert trace_id in app.dapper.traces()
+
+    def test_spans_form_phase_tree(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "POST", "/v1/study", study_body())
+        trace = max(app.dapper.traces().items())[1]
+        roots = [s for s in trace if s.parent_id is None]
+        assert len(roots) == 1 and roots[0].full_method == "serve/study"
+        children = sorted(s.method for s in trace
+                          if s.parent_id == roots[0].span_id)
+        assert "study/parse" in children
+        assert "study/compute" in children or \
+            "study/cache_lookup" in children
+        assert "study/serialize" in children
+
+    def test_traces_endpoint(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        call(app, "GET", "/healthz")
+        doc = json.loads(call(app, "GET", "/debug/traces?limit=1").body)
+        assert len(doc["traces"]) == 1
+        assert doc["recorded"] > 0
+        assert doc["traces"][0]["root"] == "serve/healthz"
+
+    def test_dashboard_endpoint_renders_cold(self, tmp_path):
+        # First-ever request: no Monarch series yet (satellite 1's
+        # empty-registry rendering path).
+        response = call(make_app(tmp_path), "GET", "/debug/dashboard")
+        assert response.status == 200
+        assert b"heartbeat" in response.body
+
+
+class TestShedding:
+    def test_work_endpoints_shed_health_stays_up(self, tmp_path):
+        app = make_app(tmp_path)
+        app.admission.shedding = True
+        shed = call(app, "POST", "/v1/study", study_body())
+        assert shed.status == 503
+        assert shed.headers["retry-after"] == "1"
+        assert call(app, "GET", "/v1/whatif?service=Bigtable").status == 503
+        # Health and observability endpoints always answer.
+        assert call(app, "GET", "/healthz").status == 200
+        assert call(app, "GET", "/metrics").status == 200
+        assert app.admission.shed_total == 2
+
+    def test_shed_not_observed_into_latency(self, tmp_path):
+        # Shed responses must not feed the SLO distribution, or the burn
+        # window could never drain and shedding would latch forever.
+        app = make_app(tmp_path)
+        app.admission.shedding = True
+        call(app, "POST", "/v1/study", study_body())
+        dist = app.registry.distribution("serve/request_latency_s",
+                                         {"endpoint": "study"})
+        assert dist.count == 0
+        shed_counter = app.registry.counter("serve/shed",
+                                            {"endpoint": "study"})
+        assert shed_counter.value == 1
+
+    def test_shed_span_annotated(self, tmp_path):
+        app = make_app(tmp_path)
+        app.admission.shedding = True
+        call(app, "POST", "/v1/study", study_body())
+        spans = [s for spans in app.dapper.traces().values()
+                 for s in spans if s.parent_id is None]
+        assert spans[-1].annotations.get("shed") == 1.0
+
+
+class TestObservabilitySurfaces:
+    def test_heartbeat_snapshot_fields(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        snapshot = app.heartbeat_snapshot()
+        assert snapshot["rpcs_completed"] == 1
+        assert snapshot["wall_s"] > 0
+
+    def test_endpoint_p99(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        call(app, "POST", "/v1/study", study_body())
+        p99 = app.endpoint_p99_s()
+        assert set(p99) == {"healthz", "study"}
+        assert all(v > 0 for v in p99.values())
+
+    def test_obs_overhead_starts_negligible(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        assert 0.0 <= app.obs_overhead_fraction() < 0.05
+
+
+class TestServeManifest:
+    def make_manifest(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        call(app, "POST", "/v1/study", study_body())
+        call(app, "POST", "/v1/study", study_body(methods="bad"))
+        app.admission.shedding = True
+        call(app, "POST", "/v1/study", study_body())
+        return app, app.build_manifest(run_id="serve-test")
+
+    def test_serve_metadata_recorded(self, tmp_path):
+        app, manifest = self.make_manifest(tmp_path)
+        serve = manifest.config["serve"]
+        assert serve["listen_address"] == app.listen_address
+        assert serve["latency_threshold_s"] == 0.05
+        assert [s["name"] for s in serve["slos"]] == \
+            ["serve-latency", "serve-errors"]
+        assert set(serve["endpoint_p99_s"]) == {"healthz", "study"}
+        counts = manifest.counts
+        assert counts["requests_total"] == 4
+        assert counts["shed_total"] == 1
+        assert counts["errors_total"] == 1
+        assert counts["spans_recorded"] == len(app.dapper.spans)
+
+    def test_digest_validated_round_trip(self, tmp_path):
+        _app, manifest = self.make_manifest(tmp_path)
+        path = str(tmp_path / "serve_manifest.json")
+        write_manifest(manifest, path)
+        clone = read_manifest(path)
+        assert clone.run_id == "serve-test"
+        assert clone.config == manifest.config
+        assert clone.counts == manifest.counts
+
+    def test_tampered_config_rejected(self, tmp_path):
+        _app, manifest = self.make_manifest(tmp_path)
+        path = str(tmp_path / "serve_manifest.json")
+        write_manifest(manifest, path)
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        doc["config"]["serve"]["latency_threshold_s"] = 99.0
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        with pytest.raises(ManifestError, match="digest mismatch"):
+            read_manifest(path)

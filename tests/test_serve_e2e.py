@@ -1,0 +1,136 @@
+"""End-to-end serve-mode dogfood: live server, loadgen, incident loop.
+
+The one test the tentpole hangs off: boot the real server on an
+ephemeral port, drive it with the open+closed-loop generator while an
+injected latency regression is active, and assert the whole
+observability story — the page alert fires with exemplar trace ids,
+admission control sheds, the burn drains, the alert resolves, and the
+shutdown manifest replays the same timeline against the committed
+golden.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.manifest import read_manifest, write_manifest
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.http import http_call
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.report import check_timeline
+
+GOLDEN_PATH = "tests/golden/serve_alert_timeline.json"
+
+
+def load_golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as f:
+        return json.load(f)
+
+
+async def _run_incident(cache_dir: str):
+    """Serve through an injected regression; return the app + results."""
+    app = ServeApp(ServeConfig(
+        port=0, seed=7, cache_dir=cache_dir,
+        scrape_interval_s=0.2, whatif_duration_s=1.0,
+        slowdown_after_s=1.5, slowdown_extra_s=0.15,
+        slowdown_duration_s=1.5))
+    await app.start()
+    try:
+        loadgen = await run_loadgen("127.0.0.1", app.port, LoadGenConfig(
+            duration_s=5.0, rate=60.0, users=3, seed=7))
+        quiet = await app.wait_for_quiet(timeout_s=20.0)
+        status, _headers, metrics_body = await http_call(
+            "127.0.0.1", app.port, "GET", "/metrics")
+    finally:
+        await app.stop()
+    return app, loadgen, quiet, status, metrics_body.decode()
+
+
+@pytest.fixture(scope="module")
+def incident(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("serve-cache"))
+    return asyncio.run(_run_incident(cache_dir))
+
+
+@pytest.mark.slow
+class TestIncidentDogfood:
+    def test_server_took_real_traffic(self, incident):
+        app, loadgen, _quiet, _status, _metrics = incident
+        assert loadgen.sent > 100
+        assert loadgen.ok > 0
+        assert app.requests_total >= loadgen.sent
+        # The regression pushed cache-hot requests past the 50ms SLO.
+        assert app.endpoint_p99_s().get("study", 0.0) > 0.05
+
+    def test_page_fires_with_exemplar_traces(self, incident):
+        app, _loadgen, _quiet, _status, _metrics = incident
+        firing = [e for e in app.alerts.events
+                  if e.slo == "serve-latency" and e.severity == "page"
+                  and e.state == "firing"]
+        assert firing, "the injected regression must page"
+        exemplars = [tid for e in firing for _v, tid in e.exemplars]
+        assert exemplars, "firing page must carry exemplar trace ids"
+        # Exemplars are real, replayable Dapper traces with span trees.
+        traces = app.dapper.traces()
+        sampled = [tid for tid in exemplars if tid in traces]
+        assert sampled, "at least one exemplar must be a sampled trace"
+        assert any(len(traces[tid]) > 1 for tid in sampled)
+
+    def test_load_was_shed_and_recovered(self, incident):
+        app, loadgen, quiet, _status, _metrics = incident
+        assert app.admission.shed_total > 0
+        assert loadgen.shed > 0  # clients actually saw 503s
+        assert quiet, "alerts must resolve and admission recover"
+        assert not app.admission.shedding
+
+    def test_timeline_matches_committed_golden(self, incident):
+        app, _loadgen, _quiet, _status, _metrics = incident
+        problems = check_timeline(app.alert_timeline(), load_golden())
+        assert problems == []
+
+    def test_manifest_round_trip_replays_timeline(self, incident, tmp_path):
+        app, _loadgen, _quiet, _status, _metrics = incident
+        path = str(tmp_path / "incident_manifest.json")
+        write_manifest(app.build_manifest(run_id="serve-e2e"), path)
+        manifest = read_manifest(path)  # digest-validated
+        assert manifest.counts["shed_total"] == app.admission.shed_total
+        assert manifest.counts["requests_total"] == app.requests_total
+        # The persisted alert timeline passes the same golden the live
+        # one did: the incident is replayable from the manifest alone.
+        assert check_timeline(manifest.alerts, load_golden()) == []
+
+    def test_metrics_scrape_shows_the_incident(self, incident):
+        _app, _loadgen, _quiet, status, metrics = incident
+        assert status == 200
+        assert "serve_requests_total" in metrics
+        assert "serve_shed_total" in metrics
+        assert 'serve_request_latency_s{endpoint="study"' in metrics
+
+    def test_obs_self_overhead_bounded(self, incident):
+        app, _loadgen, _quiet, _status, _metrics = incident
+        assert app.obs_overhead_fraction() < 0.05
+
+
+@pytest.mark.slow
+class TestQuietRun:
+    def test_no_regression_means_no_alerts_no_shedding(self, tmp_path):
+        async def go():
+            app = ServeApp(ServeConfig(
+                port=0, seed=7, cache_dir=str(tmp_path / "cache"),
+                scrape_interval_s=0.2, whatif_duration_s=1.0))
+            await app.start()
+            try:
+                loadgen = await run_loadgen(
+                    "127.0.0.1", app.port,
+                    LoadGenConfig(duration_s=2.0, rate=40.0, seed=7))
+            finally:
+                await app.stop()
+            return app, loadgen
+
+        app, loadgen = asyncio.run(go())
+        assert loadgen.ok > 0
+        assert loadgen.errors == 0
+        assert app.alerts.events == []
+        assert app.admission.events == []
+        assert app.admission.shed_total == 0

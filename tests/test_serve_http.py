@@ -1,0 +1,170 @@
+"""Tests for the minimal asyncio HTTP layer behind serve mode."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADERS,
+    BadRequest,
+    HttpRequest,
+    HttpResponse,
+    http_call,
+    read_request,
+    write_response,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes through read_request on a detached stream."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/whatif?service=Bigtable&seed=7 HTTP/1.1\r\n"
+                        b"host: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/whatif"
+        assert request.query == {"service": "Bigtable", "seed": "7"}
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        request = parse(b"POST /v1/study HTTP/1.1\r\n"
+                        b"Content-Length: 11\r\n\r\n"
+                        b'{"seed": 1}')
+        assert request.method == "POST"
+        assert request.body == b'{"seed": 1}'
+
+    def test_header_names_lowercased_values_stripped(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Thing:  padded \r\n\r\n")
+        assert request.headers["x-thing"] == "padded"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        closed = parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+        assert not closed.keep_alive
+
+    @pytest.mark.parametrize("raw, message", [
+        (b"GET /\r\n\r\n", "malformed request line"),
+        (b"GET / SPDY/3\r\n\r\n", "malformed request line"),
+        (b"BREW /pot HTTP/1.1\r\n\r\n", "unsupported method"),
+        (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", "malformed header"),
+        (b"GET / HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+         "bad content-length"),
+        (b"GET / HTTP/1.1\r\ncontent-length: -1\r\n\r\n", "out of bounds"),
+        (b"GET / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort",
+         "truncated body"),
+        (b"GET / HTTP", "truncated request line"),
+    ])
+    def test_malformed_input_raises_bad_request(self, raw, message):
+        with pytest.raises(BadRequest, match=message):
+            parse(raw)
+
+    def test_body_size_bound(self):
+        raw = (f"POST / HTTP/1.1\r\ncontent-length: "
+               f"{MAX_BODY_BYTES + 1}\r\n\r\n").encode()
+        with pytest.raises(BadRequest, match="out of bounds"):
+            parse(raw)
+
+    def test_header_count_bound(self):
+        headers = "".join(f"h{i}: v\r\n" for i in range(MAX_HEADERS + 1))
+        with pytest.raises(BadRequest, match="too many headers"):
+            parse(f"GET / HTTP/1.1\r\n{headers}\r\n".encode())
+
+
+class TestWriteResponse:
+    def render(self, response: HttpResponse, keep_alive: bool) -> bytes:
+        chunks = []
+
+        class FakeWriter:
+            def write(self, data):
+                chunks.append(data)
+
+        write_response(FakeWriter(), response, keep_alive=keep_alive)
+        return b"".join(chunks)
+
+    def test_status_line_and_framing(self):
+        raw = self.render(HttpResponse(status=200, body=b'{"a": 1}'),
+                          keep_alive=True)
+        head, _sep, body = raw.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        assert lines[0] == b"HTTP/1.1 200 OK"
+        assert b"content-length: 8" in lines
+        assert b"connection: keep-alive" in lines
+        assert body == b'{"a": 1}'
+
+    def test_extra_headers_and_close(self):
+        raw = self.render(
+            HttpResponse(status=503, headers={"retry-after": "1"}),
+            keep_alive=False)
+        assert raw.startswith(b"HTTP/1.1 503 Service Unavailable")
+        assert b"retry-after: 1\r\n" in raw
+        assert b"connection: close" in raw
+
+    def test_unknown_status_reason(self):
+        assert HttpResponse(status=418).reason == "Unknown"
+
+
+class TestHttpCallRoundTrip:
+    """Client and server halves against each other over a loopback socket."""
+
+    def serve_and_call(self, calls, keep_alive_conn=False):
+        """Echo server: answers each request with its method and path."""
+        seen = []
+
+        async def on_connection(reader, writer):
+            while True:
+                request = await read_request(reader)
+                if request is None:
+                    break
+                seen.append(request)
+                write_response(writer, HttpResponse(
+                    body=f"{request.method} {request.path}".encode(),
+                    content_type="text/plain"), keep_alive=True)
+                await writer.drain()
+            writer.close()
+
+        async def go():
+            server = await asyncio.start_server(on_connection,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            results = []
+            conn = (await asyncio.open_connection("127.0.0.1", port)
+                    if keep_alive_conn else None)
+            try:
+                for method, target, body in calls:
+                    results.append(await http_call(
+                        "127.0.0.1", port, method, target, body,
+                        reader=conn[0] if conn else None,
+                        writer=conn[1] if conn else None))
+            finally:
+                if conn:
+                    conn[1].close()
+                server.close()
+                await server.wait_closed()
+            return results
+
+        return asyncio.run(go()), seen
+
+    def test_fresh_connection_per_call(self):
+        results, seen = self.serve_and_call(
+            [("GET", "/healthz", b""), ("POST", "/v1/study", b"{}")])
+        assert [status for status, _h, _b in results] == [200, 200]
+        assert results[0][2] == b"GET /healthz"
+        assert results[1][2] == b"POST /v1/study"
+        assert seen[1].body == b"{}"
+
+    def test_keep_alive_connection_reuse(self):
+        results, _seen = self.serve_and_call(
+            [("GET", "/a", b""), ("GET", "/b", b"")], keep_alive_conn=True)
+        assert [body for _s, _h, body in results] == [b"GET /a", b"GET /b"]

@@ -1,0 +1,188 @@
+"""Tests for the serve-mode load generator."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve.http import HttpResponse, read_request, write_response
+from repro.serve.loadgen import (
+    EndpointSpec,
+    LoadGenConfig,
+    LoadGenResult,
+    ZipfPopularity,
+    default_endpoints,
+    run_loadgen,
+)
+
+
+class TestZipfPopularity:
+    def test_probabilities_rank_ordered(self):
+        zipf = ZipfPopularity(5, 1.2, np.random.default_rng(0))
+        probs = zipf.probabilities
+        assert probs.sum() == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_alpha_zero_is_uniform(self):
+        zipf = ZipfPopularity(4, 0.0, np.random.default_rng(0))
+        assert np.allclose(zipf.probabilities, 0.25)
+
+    def test_draws_deterministic_and_skewed(self):
+        draws_a = [ZipfPopularity(4, 1.2, np.random.default_rng(7)).draw()
+                   for _ in range(1)]
+        draws_b = [ZipfPopularity(4, 1.2, np.random.default_rng(7)).draw()
+                   for _ in range(1)]
+        assert draws_a == draws_b
+        zipf = ZipfPopularity(4, 1.5, np.random.default_rng(7))
+        counts = np.bincount([zipf.draw() for _ in range(2000)],
+                             minlength=4)
+        assert counts[0] > counts[1] > counts[3]
+
+    def test_validates_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="at least one"):
+            ZipfPopularity(0, 1.0, rng)
+        with pytest.raises(ValueError, match="alpha"):
+            ZipfPopularity(3, -0.1, rng)
+
+
+class TestDefaultEndpoints:
+    def test_ranked_hottest_first(self):
+        endpoints = default_endpoints(seed=3)
+        assert [e.name for e in endpoints] == \
+            ["study", "healthz", "whatif", "metrics"]
+        study = endpoints[0]
+        assert study.method == "POST" and b'"seed": 3' in study.body
+        assert "seed=3" in endpoints[2].target
+
+
+class TestLoadGenResult:
+    def test_record_classifies_statuses(self):
+        result = LoadGenResult(duration_s=2.0)
+        result.record("study", 200, 0.01)
+        result.record("study", 200, 0.03)
+        result.record("study", 503, 0.001)
+        result.record("study", 500, 0.001)
+        result.record("study", 0, 0.0)
+        assert (result.sent, result.ok, result.shed, result.errors) == \
+            (5, 2, 1, 2)
+        assert result.status_counts[200] == 2
+        # Only OK exchanges contribute latency samples.
+        assert len(result.latencies_s["study"]) == 2
+        assert result.achieved_rps == pytest.approx(1.0)
+
+    def test_percentiles(self):
+        result = LoadGenResult(duration_s=1.0)
+        for latency_s in (0.01, 0.02, 0.03):
+            result.record("whatif", 200, latency_s)
+        assert result.percentile_s("whatif", 50) == pytest.approx(0.02)
+        assert result.percentile_s("absent", 99) == 0.0
+
+    def test_render_summary(self):
+        result = LoadGenResult(duration_s=1.0)
+        result.record("healthz", 200, 0.005)
+        result.record("study", 503, 0.001)
+        text = result.render()
+        assert "healthz" in text
+        assert "sent 2  ok 1  shed 1  errors 0" in text
+
+
+class _StubServer:
+    """A scripted endpoint: each connection answers via ``responder``."""
+
+    def __init__(self, responder):
+        self.responder = responder
+        self.requests_seen = 0
+        self._server = None
+
+    async def __aenter__(self):
+        async def on_connection(reader, writer):
+            try:
+                while True:
+                    request = await read_request(reader)
+                    if request is None:
+                        break
+                    self.requests_seen += 1
+                    write_response(writer, self.responder(request),
+                                   keep_alive=True)
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+
+        self._server = await asyncio.start_server(on_connection,
+                                                  "127.0.0.1", 0)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+ENDPOINTS = [EndpointSpec("ping", "GET", "/ping"),
+             EndpointSpec("pong", "GET", "/pong")]
+
+
+class TestRunLoadgen:
+    def test_requires_some_load(self):
+        config = LoadGenConfig(rate=0.0, users=0)
+        with pytest.raises(ValueError, match="rate > 0 or users > 0"):
+            asyncio.run(run_loadgen("127.0.0.1", 1, config))
+
+    def test_open_loop_against_stub(self):
+        async def go():
+            stub = _StubServer(lambda request: HttpResponse(body=b"{}"))
+            async with stub as port:
+                config = LoadGenConfig(duration_s=1.0, rate=80.0,
+                                       users=0, seed=3,
+                                       endpoints=ENDPOINTS)
+                result = await run_loadgen("127.0.0.1", port, config)
+            return stub, result
+
+        stub, result = asyncio.run(go())
+        assert result.sent == stub.requests_seen
+        assert result.sent > 20  # ~80 rps for 1s, diurnal-modulated
+        assert result.ok == result.sent and result.errors == 0
+        # Zipf popularity: the rank-0 endpoint dominates.
+        assert len(result.latencies_s.get("ping", [])) > \
+            len(result.latencies_s.get("pong", []))
+
+    def test_closed_loop_honors_retry_after(self):
+        shed_first = 5
+
+        def responder(request):
+            if responder.count[0] < shed_first:
+                responder.count[0] += 1
+                return HttpResponse(status=503,
+                                    headers={"retry-after": "0.01"})
+            return HttpResponse(body=b"{}")
+        responder.count = [0]
+
+        async def go():
+            async with _StubServer(responder) as port:
+                config = LoadGenConfig(duration_s=1.0, rate=0.0, users=2,
+                                       think_s=0.005, seed=3,
+                                       endpoints=ENDPOINTS)
+                return await run_loadgen("127.0.0.1", port, config)
+
+        result = asyncio.run(go())
+        assert result.shed == shed_first
+        assert result.ok > 0
+
+    def test_connection_refused_counts_as_error(self):
+        async def go():
+            # Bind-then-close: a port nothing listens on.
+            server = await asyncio.start_server(lambda r, w: None,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            config = LoadGenConfig(duration_s=0.3, rate=30.0, users=0,
+                                   seed=3, endpoints=ENDPOINTS)
+            return await run_loadgen("127.0.0.1", port, config)
+
+        result = asyncio.run(go())
+        assert result.sent > 0
+        assert result.errors == result.sent
+        assert result.status_counts.get(0, 0) == result.sent

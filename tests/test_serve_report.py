@@ -1,0 +1,188 @@
+"""Tests for serve-mode rendering and golden timeline checks."""
+
+import json
+
+from repro.obs.alerting import AlertEvent
+from repro.obs.metrics import MetricRegistry
+from repro.obs.monarch import Monarch
+from repro.serve.report import (
+    check_timeline,
+    normalize_alert_timeline,
+    render_prometheus,
+    render_serve_dashboard,
+)
+
+
+def event(t, state, slo="serve-latency", severity="page", exemplars=()):
+    return AlertEvent(t=t, slo=slo, severity=severity, state=state,
+                      burn_long=20.0, burn_short=30.0, exemplars=exemplars)
+
+
+class TestRenderPrometheus:
+    def test_counters_gauges_distributions(self):
+        registry = MetricRegistry()
+        registry.counter("serve/requests", {"endpoint": "study"}).add(3)
+        registry.gauge("serve/up").set(1.0)
+        dist = registry.distribution("serve/request_latency_s",
+                                     {"endpoint": "study"})
+        for value in (0.01, 0.02, 0.03):
+            dist.observe(value)
+        text = render_prometheus(registry)
+        assert 'serve_requests_total{endpoint="study"} 3' in text
+        assert "serve_up 1" in text
+        assert ('serve_request_latency_s_count{endpoint="study"} 3'
+                in text)
+        assert 'serve_request_latency_s_sum{endpoint="study"} 0.06' in text
+        assert ('serve_request_latency_s{endpoint="study",quantile="0.99"}'
+                in text)
+        assert text.endswith("\n")
+
+    def test_metric_names_sanitized(self):
+        registry = MetricRegistry()
+        registry.counter("serve/shed-total.raw").add()
+        assert "serve_shed_total_raw_total 1" in render_prometheus(registry)
+
+    def test_empty_registry_renders(self):
+        assert render_prometheus(MetricRegistry()) == "\n"
+
+    def test_output_is_sorted_and_stable(self):
+        registry = MetricRegistry()
+        registry.counter("b/two").add()
+        registry.counter("a/one").add()
+        text = render_prometheus(registry)
+        assert text.index("a_one_total") < text.index("b_two_total")
+        assert text == render_prometheus(registry)
+
+
+class _StubAlerts:
+    def __init__(self, firing=()):
+        self._firing = list(firing)
+
+    def firing(self):
+        return self._firing
+
+
+class _StubAdmission:
+    shedding = False
+    shed_total = 0
+    transitions = 0
+
+
+class TestRenderServeDashboard:
+    def test_renders_with_no_traffic(self):
+        # The satellite-1 regression: an empty Monarch and a zeroed
+        # heartbeat must render a dashboard, not raise or warn.
+        text = render_serve_dashboard({}, Monarch(), _StubAlerts(),
+                                      _StubAdmission(), title="fresh")
+        assert "heartbeat: fresh" in text
+        assert "serve/p99_latency_s: (no series)" in text
+        assert "(none firing)" in text
+        assert "admitting" in text
+
+    def test_renders_firing_and_shedding_state(self):
+        class Spec:
+            name = "serve-latency"
+
+        class Rule:
+            severity = "page"
+
+        monarch = Monarch()
+        monarch.write("serve/p99_latency_s", {"endpoint": "study"},
+                      1.0, 0.12)
+        admission = _StubAdmission()
+        admission.shedding = True
+        admission.shed_total = 4
+        text = render_serve_dashboard({"sim_time_s": 1.0}, monarch,
+                                      _StubAlerts([(Spec(), Rule())]),
+                                      admission)
+        assert "FIRING serve-latency [page]" in text
+        assert "SHEDDING" in text and "4 shed" in text
+        assert "study" in text
+
+
+class TestNormalizeAlertTimeline:
+    def test_groups_by_slo_severity_in_time_order(self):
+        events = [event(3.0, "resolved"), event(1.0, "pending"),
+                  event(2.0, "firing"),
+                  event(2.5, "shedding", severity="admission")]
+        normalized = normalize_alert_timeline(events)
+        assert normalized == {
+            "serve-latency/page": ["pending", "firing", "resolved"],
+            "serve-latency/admission": ["shedding"],
+        }
+
+    def test_accepts_event_dicts(self):
+        docs = [event(1.0, "pending").to_dict(),
+                event(2.0, "firing").to_dict()]
+        assert normalize_alert_timeline(docs) == {
+            "serve-latency/page": ["pending", "firing"]}
+
+
+class TestCheckTimeline:
+    GOLDEN = {
+        "required": {"serve-latency/page": ["pending", "firing",
+                                            "resolved"]},
+        "final": {"serve-latency/page": "resolved"},
+        "require_exemplars": ["serve-latency/page"],
+    }
+
+    def good_events(self):
+        return [event(1.0, "pending"),
+                event(2.0, "firing", exemplars=((0.1, 42),)),
+                event(3.0, "resolved")]
+
+    def test_matching_timeline_has_no_problems(self):
+        assert check_timeline(self.good_events(), self.GOLDEN) == []
+
+    def test_flapping_alert_still_matches_subsequence(self):
+        events = self.good_events() + [
+            event(4.0, "pending"),
+            event(5.0, "firing", exemplars=((0.2, 43),)),
+            event(6.0, "resolved")]
+        assert check_timeline(events, self.GOLDEN) == []
+
+    def test_trailing_pending_does_not_break_final(self):
+        # A breach that subsided before escalating emits no resolution
+        # event; the final check must ignore that trailing edge.
+        events = self.good_events() + [event(4.0, "pending")]
+        assert check_timeline(events, self.GOLDEN) == []
+
+    def test_missing_transition_reported(self):
+        events = [event(1.0, "pending"), event(3.0, "resolved")]
+        problems = check_timeline(events, self.GOLDEN)
+        assert any("expected subsequence" in p for p in problems)
+
+    def test_wrong_final_state_reported(self):
+        events = [event(1.0, "pending"),
+                  event(2.0, "firing", exemplars=((0.1, 42),))]
+        problems = check_timeline(events, self.GOLDEN)
+        assert any("expected final state 'resolved'" in p
+                   for p in problems)
+
+    def test_missing_exemplars_reported(self):
+        events = [event(1.0, "pending"), event(2.0, "firing"),
+                  event(3.0, "resolved")]
+        problems = check_timeline(events, self.GOLDEN)
+        assert problems == \
+            ["serve-latency/page: no firing event carries exemplars"]
+
+    def test_absent_key_reported(self):
+        problems = check_timeline([], self.GOLDEN)
+        assert len(problems) == 3  # subsequence, final, exemplars
+
+    def test_committed_golden_is_checkable(self):
+        # The repo golden must stay loadable and schema-compatible.
+        with open("tests/golden/serve_alert_timeline.json",
+                  encoding="utf-8") as f:
+            golden = json.load(f)
+        assert set(golden) <= {"_comment", "required", "final",
+                               "require_exemplars"}
+        events = []
+        for key, states in golden["required"].items():
+            slo, _sep, severity = key.partition("/")
+            for i, state in enumerate(states):
+                exemplars = ((0.1, 7),) if state == "firing" else ()
+                events.append(event(float(i), state, slo=slo,
+                                    severity=severity,
+                                    exemplars=exemplars))
+        assert check_timeline(events, golden) == []

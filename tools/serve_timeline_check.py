@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Check a serve-mode manifest's alert timeline against a golden.
+
+CI's serve-smoke job runs the real server through an injected latency
+regression, then replays the shutdown manifest's alert timeline against
+the committed golden (``tests/golden/serve_alert_timeline.json``)::
+
+    python tools/serve_timeline_check.py serve.manifest.json \
+        tests/golden/serve_alert_timeline.json
+
+Exits 0 when the timeline matches (and prints the normalized state
+sequences), 1 with one problem per line otherwise.  The manifest is
+digest-validated on load, so a tampered or truncated artifact also
+fails here rather than passing vacuously.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs.manifest import ManifestError, read_manifest
+from repro.serve.report import check_timeline, normalize_alert_timeline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a serve manifest's alert timeline "
+                    "against a golden document.")
+    parser.add_argument("manifest", help="serve-mode run manifest (JSON)")
+    parser.add_argument("golden",
+                        help="golden timeline document (JSON)")
+    args = parser.parse_args(argv)
+
+    try:
+        manifest = read_manifest(args.manifest)
+    except (OSError, ManifestError) as err:
+        print(f"error: cannot load manifest: {err}", file=sys.stderr)
+        return 1
+    try:
+        with open(args.golden, "r", encoding="utf-8") as f:
+            golden = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot load golden: {err}", file=sys.stderr)
+        return 1
+
+    if not manifest.alerts:
+        print("error: manifest carries no alert events", file=sys.stderr)
+        return 1
+    problems = check_timeline(manifest.alerts, golden)
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH {problem}")
+        return 1
+    for key, states in sorted(
+            normalize_alert_timeline(manifest.alerts).items()):
+        print(f"ok {key}: {' -> '.join(states)}")
+    print(f"timeline matches {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
