@@ -11,16 +11,22 @@ so the whole suite completes in minutes. The shapes under test are scale-
 stable; bump the constants below to run closer to paper scale.
 
 Bench trajectory: every bench's wall time (plus any stats it pushes via
-the ``record_stat`` fixture) is written to ``BENCH_PR4.json`` at the repo
+the ``record_stat`` fixture) is written to ``BENCH_PR8.json`` at the repo
 root when the session ends, one record per figure::
 
     {"figure": "fig14_breakdown", "wall_s": 1.23,
-     "stats": {"events_fired": 41000, "peak_heap": 310, ...}}
+     "stats": {"events_fired": 41000, "peak_heap": 310,
+               "peak_rss_mb": 412.0, ...}}
 
 Sampling figures record ``trees_generated``/``n_methods``; DES figures
 record ``events_fired``, ``events_cancelled``, and ``peak_heap`` from the
 simulator (see ``record_sim_stats``), so a perf regression shows up next
-to the workload volume that produced it.
+to the workload volume that produced it. Every figure additionally gets
+``peak_rss_mb`` (the process high-water RSS after its tests ran — a
+monotone session-wide mark, so attribute jumps to the figure where they
+first appear), and figures that report ``trees_generated`` get a derived
+``traces_per_s`` throughput. ``tools/bench_guard.py --rss-budget`` turns
+the RSS column into an enforceable per-figure ceiling.
 
 Existing records for figures *not* run this session are preserved, so a
 partial run (``pytest benchmarks/test_fig14_breakdown.py``) refreshes only
@@ -39,6 +45,7 @@ import numpy as np
 import pytest
 
 from repro.core.fleetsample import run_fleet_study
+from repro.obs.manifest import peak_rss_mb
 from repro.studies import (
     run_cross_cluster_study,
     run_diurnal_study,
@@ -51,7 +58,7 @@ BENCH_SAMPLES_PER_METHOD = 300
 BENCH_SEED = 7
 
 BENCH_TRAJECTORY_FILE = os.path.join(os.path.dirname(__file__), os.pardir,
-                                     "BENCH_PR4.json")
+                                     "BENCH_PR8.json")
 
 # figure name -> {"wall_s": float, "stats": dict}, accumulated per session
 _trajectory = {}
@@ -66,18 +73,22 @@ def _figure_name(nodeid: str) -> str:
 
 @pytest.fixture(autouse=True)
 def _bench_timer(request):
-    """Accumulate wall time per figure (module) across its tests."""
+    """Accumulate wall time per figure (module) across its tests, and
+    stamp each figure with the process's peak RSS after it ran."""
     start_s = time.perf_counter()
     yield
     wall_s = time.perf_counter() - start_s
     entry = _trajectory.setdefault(_figure_name(request.node.nodeid),
                                    {"wall_s": 0.0, "stats": {}})
     entry["wall_s"] += wall_s
+    # ru_maxrss is a lifetime high-water mark: values are monotone across
+    # the session, so a jump localizes to the figure where it first shows.
+    entry["stats"]["peak_rss_mb"] = round(peak_rss_mb(), 1)
 
 
 @pytest.fixture
 def record_stat(request):
-    """Push key result stats into this figure's ``BENCH_PR4.json`` record.
+    """Push key result stats into this figure's ``BENCH_PR8.json`` record.
 
     Usage::
 
@@ -111,7 +122,7 @@ def record_sim_stats(record_stat):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Merge this session's trajectory into ``BENCH_PR4.json``."""
+    """Merge this session's trajectory into ``BENCH_PR8.json``."""
     if not _trajectory:
         return
     records = {}
@@ -121,9 +132,13 @@ def pytest_sessionfinish(session, exitstatus):
     except (OSError, ValueError, KeyError, TypeError):
         records = {}
     for figure, entry in _trajectory.items():
+        stats = entry["stats"]
+        if stats.get("trees_generated") and entry["wall_s"] > 0:
+            stats["traces_per_s"] = round(
+                stats["trees_generated"] / entry["wall_s"], 1)
         records[figure] = {"figure": figure,
                            "wall_s": round(entry["wall_s"], 3),
-                           "stats": entry["stats"]}
+                           "stats": stats}
     with open(BENCH_TRAJECTORY_FILE, "w", encoding="utf-8") as f:
         json.dump([records[k] for k in sorted(records)], f, indent=2,
                   sort_keys=True)

@@ -6,7 +6,7 @@ follows similar trends; KV-Store (stack-heavy, reserved cores) responds
 mainly to CPI.
 """
 
-from repro.core.exogenous import EXOGENOUS_VARIABLES, exogenous_curve
+from repro.core.exogenous import EXOGENOUS_VARIABLES, exogenous_curves
 from repro.core.report import format_table
 from repro.workloads.services import SERVICE_SPECS
 
@@ -22,10 +22,8 @@ def test_fig17_exogenous_correlations(benchmark, show, record_sim_stats,
             spans = exo_study.dapper.spans_for_method(
                 svc, SERVICE_SPECS[svc].method
             )
-            out[svc] = {
-                var: exogenous_curve(spans, var, service=svc, n_buckets=6)
-                for var in EXOGENOUS_VARIABLES
-            }
+            out[svc] = exogenous_curves(spans, EXOGENOUS_VARIABLES,
+                                        service=svc, n_buckets=6)
         return out
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -6,7 +6,7 @@ it were slow it would tax every study that opts into SLOs. This bench
 runs a service study with an SLO attached and a wall clock injected into
 the alert manager, and asserts that alert evaluation stays under 5 % of
 the total DES wall time. The split (plus the scraper's own wall share)
-is recorded into ``BENCH_PR4.json`` so drift shows up across PRs.
+is recorded into ``BENCH_PR8.json`` so drift shows up across PRs.
 """
 
 import time

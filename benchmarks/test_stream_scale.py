@@ -1,0 +1,53 @@
+"""Out-of-core streaming study at scale — the PR-8 tentpole figure.
+
+Generates ``REPRO_STREAM_TRACES`` call trees (default 1M; the committed
+``BENCH_PR8.json`` entry is a 10M-trace run) through the spill-and-fold
+pipeline: shards stream to disk as columnar ``.npy`` segments and are
+folded back into count histograms, so peak RSS stays bounded by one
+shard plus the fold state no matter how many traces run through.
+
+The figure records ``trees_generated`` (hence ``traces_per_s``) and, like
+every figure, ``peak_rss_mb``; CI's stream-smoke job runs this bench in
+its own process and enforces the memory ceiling via
+``tools/bench_guard.py --rss-budget stream_scale=2048``. In-process
+assertion of the ceiling is opt-in (``REPRO_STREAM_ASSERT_RSS=1``)
+because ``ru_maxrss`` is a session-wide high-water mark: inside the full
+bench suite this figure would inherit the DES fixtures' peak.
+"""
+
+import os
+
+from repro.core.parallel import run_tree_study_parallel
+from repro.obs.manifest import peak_rss_mb
+from repro.workloads.catalog import CatalogConfig, build_catalog
+
+STREAM_TRACES = int(os.environ.get("REPRO_STREAM_TRACES", "1000000"))
+STREAM_METHODS = 300
+STREAM_MAX_NODES = 48
+STREAM_SHARD_SIZE = 8192
+RSS_BUDGET_MB = 2048.0
+
+
+def test_stream_scale(benchmark, show, record_stat, tmp_path):
+    catalog = build_catalog(CatalogConfig(n_methods=STREAM_METHODS, seed=7))
+
+    def compute():
+        return run_tree_study_parallel(
+            catalog, n_trees=STREAM_TRACES, seed=7, jobs=1,
+            max_nodes=STREAM_MAX_NODES, shard_size=STREAM_SHARD_SIZE,
+            spill_dir=str(tmp_path / "spill"),
+        )
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    assert result.n_trees == STREAM_TRACES
+    assert result.per_method_descendants  # the fold produced real stats
+    rss_mb = peak_rss_mb()
+    record_stat(trees_generated=result.n_trees, n_methods=STREAM_METHODS,
+                max_nodes=STREAM_MAX_NODES, shard_size=STREAM_SHARD_SIZE)
+    show(f"stream_scale: {STREAM_TRACES:,} traces through the spill/fold "
+         f"pipeline, peak RSS {rss_mb:.0f} MB "
+         f"(budget {RSS_BUDGET_MB:.0f} MB when run isolated)")
+    if os.environ.get("REPRO_STREAM_ASSERT_RSS"):
+        assert rss_mb <= RSS_BUDGET_MB, (
+            f"peak RSS {rss_mb:.0f} MB exceeds {RSS_BUDGET_MB:.0f} MB")

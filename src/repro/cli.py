@@ -73,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="study result cache directory "
                         "(default: .repro-cache)")
+    p.add_argument("--stream", action="store_true",
+                   help="out-of-core mode: spill shard arrays to disk and "
+                        "fold them back in bounded-memory chunks "
+                        "(bit-identical to in-memory)")
+    p.add_argument("--spill-dir", default=None, metavar="DIR",
+                   help="shard spill directory for --stream "
+                        "(default: <cache-dir>/spill); implies --stream")
+    p.add_argument("--shard-size", type=int, default=None, metavar="N",
+                   help="trees generated/spilled per shard "
+                        "(default: 2048)")
+    p.add_argument("--max-rss-mb", type=float, default=None, metavar="MB",
+                   help="exit 1 if this process's peak RSS exceeds MB")
 
     p = sub.add_parser("service-study",
                        help="Figs. 14-15: the Table-1 services (DES)")
@@ -90,6 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo", metavar="FILE", default=None,
                    help="JSON SLO spec file; evaluates burn-rate alerts "
                         "during the run")
+    p.add_argument("--max-rss-mb", type=float, default=None, metavar="MB",
+                   help="exit 1 if this process's peak RSS exceeds MB")
 
     p = sub.add_parser("fleet-obs",
                        help="run a DES study under SLO alerting and "
@@ -265,9 +279,24 @@ def _cmd_growth(args) -> int:
     return 0
 
 
+def _check_rss_budget(max_rss_mb) -> int:
+    """Report peak RSS against a ``--max-rss-mb`` budget; 1 if exceeded."""
+    if max_rss_mb is None:
+        return 0
+    from repro.obs.manifest import peak_rss_mb
+
+    rss = peak_rss_mb()
+    within = rss <= max_rss_mb
+    print(f"\npeak RSS: {rss:.0f} MB "
+          f"({'within' if within else 'EXCEEDS'} budget {max_rss_mb:.0f} MB)")
+    return 0 if within else 1
+
+
 def _cmd_trees(args) -> int:
+    import os
+
     from repro.core.cache import DEFAULT_CACHE_DIR, StudyCache
-    from repro.core.parallel import run_tree_study_cached
+    from repro.core.parallel import DEFAULT_SHARD_SIZE, run_tree_study_cached
     from repro.workloads.catalog import CatalogConfig, build_catalog
 
     catalog = build_catalog(CatalogConfig(n_methods=args.methods,
@@ -275,14 +304,23 @@ def _cmd_trees(args) -> int:
     cache = None
     if not args.no_cache:
         cache = StudyCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    spill_dir = None
+    if args.stream or args.spill_dir:
+        spill_dir = args.spill_dir or os.path.join(
+            args.cache_dir or DEFAULT_CACHE_DIR, "spill")
     r, hit = run_tree_study_cached(catalog, n_trees=args.trees,
                                    seed=args.seed, jobs=args.jobs,
-                                   max_nodes=args.max_nodes, cache=cache)
+                                   max_nodes=args.max_nodes,
+                                   shard_size=args.shard_size
+                                   or DEFAULT_SHARD_SIZE,
+                                   spill_dir=spill_dir, cache=cache)
     print(r.render())
     if hit:
         print("\n(cache hit — loaded, not recomputed; "
               "pass --no-cache to force regeneration)")
-    return 0
+    if spill_dir is not None and not hit:
+        print(f"(streamed via spill dir {spill_dir})")
+    return _check_rss_budget(args.max_rss_mb)
 
 
 def _cmd_service_study(args) -> int:
@@ -374,7 +412,7 @@ def _cmd_service_study(args) -> int:
             builder.add_alerts(study.alerts.events)
         write_manifest(builder.finish(), args.manifest)
         print(f"wrote run manifest to {args.manifest}")
-    return 0
+    return _check_rss_budget(args.max_rss_mb)
 
 
 def _parse_regression(spec: str):

@@ -37,7 +37,8 @@ from repro.obs.manifest import config_digest
 __all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "StudyCache", "study_key"]
 
 #: Bump to invalidate every existing entry (e.g. result dataclass changed).
-CACHE_SCHEMA = 1
+#: 2: tree studies cache folded accumulator state instead of results.
+CACHE_SCHEMA = 2
 
 #: Conventional cache location for CLI runs (relative to the working dir).
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -15,13 +15,15 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.report import format_table
-from repro.rpc.calltree import CallTreeGenerator, TreeShapeStats, collect_shape_samples
+from repro.core.stats import percentiles_from_counts
+from repro.rpc.calltree import (CallTreeGenerator, TreeShapeAccumulator,
+                                TreeShapeStats, collect_shape_samples)
 from repro.sim.distributions import AliasSampler, Mixture
 from repro.workloads import calibration as cal
 from repro.workloads.catalog import Catalog, LAYER_LEAF
 
 __all__ = ["TreeShapeResult", "build_generator", "analyze_tree_shape",
-           "run_tree_study"]
+           "analyze_tree_shape_counts", "run_tree_study"]
 
 
 class _FanoutBatcher:
@@ -201,6 +203,12 @@ class TreeShapeResult:
     max_depth_seen: int
     n_methods: int
     n_trees: int
+    #: Per-method sample data. The in-memory analyzers store raw sample
+    #: arrays here; the streaming analyzer
+    #: (:func:`analyze_tree_shape_counts`) stores compact ``(2, k)``
+    #: arrays of ``[values, counts]`` rows instead, since materializing
+    #: hundreds of millions of samples would defeat the bounded-RSS
+    #: pipeline. The headline statistics above are exact either way.
     per_method_descendants: Dict[int, np.ndarray]
     per_method_ancestors: Dict[int, np.ndarray]
 
@@ -257,6 +265,63 @@ def analyze_tree_shape(stats: TreeShapeStats, min_samples: int = 5,
                                 for k, v in filtered.descendants.items()},
         per_method_ancestors={k: np.asarray(v)
                               for k, v in filtered.ancestors.items()},
+    )
+
+
+def analyze_tree_shape_counts(acc: TreeShapeAccumulator,
+                              min_samples: int = 5,
+                              n_trees: int = 0) -> TreeShapeResult:
+    """Compute the figure's statistics from folded count histograms.
+
+    The streaming counterpart of :func:`analyze_tree_shape`: the input
+    is a :class:`~repro.rpc.calltree.TreeShapeAccumulator` folded over
+    any number of forest shards, and every reported statistic is *exact*
+    — :func:`~repro.core.stats.percentiles_from_counts` reproduces
+    ``np.percentile`` of the expanded samples bit for bit, so a streamed
+    study and an in-memory fold of the same shards agree bitwise.
+    """
+    d_mids, d_vals, d_counts = acc.descendant_items()
+    a_mids, a_vals, a_counts = acc.ancestor_items()
+    if d_mids.size == 0:
+        raise ValueError("no methods with enough tree samples")
+    uniq, d_starts = np.unique(d_mids, return_index=True)
+    a_uniq, a_starts = np.unique(a_mids, return_index=True)
+    # Every node contributes one descendant and one ancestor sample, so
+    # the two histograms always cover the same method set.
+    assert np.array_equal(uniq, a_uniq)
+    d_bounds = np.append(d_starts, d_mids.size)
+    a_bounds = np.append(a_starts, a_mids.size)
+    med_desc, p90_desc, p99_desc, p99_anc = [], [], [], []
+    max_depth = 0
+    kept_desc: Dict[int, np.ndarray] = {}
+    kept_anc: Dict[int, np.ndarray] = {}
+    for i, mid in enumerate(uniq):
+        dsl = slice(int(d_bounds[i]), int(d_bounds[i + 1]))
+        if int(d_counts[dsl].sum()) < min_samples:
+            continue
+        p50, p90, p99 = percentiles_from_counts(
+            d_vals[dsl], d_counts[dsl], (50, 90, 99))
+        med_desc.append(p50)
+        p90_desc.append(p90)
+        p99_desc.append(p99)
+        asl = slice(int(a_bounds[i]), int(a_bounds[i + 1]))
+        p99_anc.append(percentiles_from_counts(
+            a_vals[asl], a_counts[asl], (99,))[0])
+        max_depth = max(max_depth, int(a_vals[asl].max()))
+        kept_desc[int(mid)] = np.vstack([d_vals[dsl], d_counts[dsl]])
+        kept_anc[int(mid)] = np.vstack([a_vals[asl], a_counts[asl]])
+    if not kept_desc:
+        raise ValueError("no methods with enough tree samples")
+    return TreeShapeResult(
+        descendants_median_q50=float(np.median(med_desc)),
+        descendants_p90_q10=float(np.quantile(p90_desc, 0.10)),
+        descendants_p99_q10=float(np.quantile(p99_desc, 0.10)),
+        ancestors_p99_q50=float(np.median(p99_anc)),
+        max_depth_seen=max_depth,
+        n_methods=len(kept_desc),
+        n_trees=n_trees or acc.n_trees,
+        per_method_descendants=kept_desc,
+        per_method_ancestors=kept_anc,
     )
 
 

@@ -27,12 +27,13 @@ import numpy as np
 
 from repro.core.calltree import build_generator
 from repro.core.report import fmt_seconds, format_table
-from repro.rpc.calltree import CallNode, CallTree, FlatTree
+from repro.rpc.calltree import CallNode, CallTree, FlatForest, FlatTree
 from repro.rpc.stack import APP_COMPONENT, COMPONENTS
 from repro.workloads.catalog import Catalog, LAYER_LEAF, sample_method_calls
 
 __all__ = ["TraceSpan", "CriticalPath", "CriticalPathResult",
-           "synthesize_trace", "critical_path", "critical_path_flat",
+           "CriticalPathAccumulator", "synthesize_trace", "critical_path",
+           "critical_path_flat", "critical_path_forest",
            "run_critical_path_study"]
 
 
@@ -214,6 +215,130 @@ def critical_path_flat(tree: FlatTree, app_s: np.ndarray,
     return depth, path_app, path_tax
 
 
+def critical_path_forest(forest: FlatForest, app_s: np.ndarray,
+                         tax_s: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-tree ``(depths, app_s, tax_s)`` critical paths for a shard.
+
+    The forest counterpart of :func:`critical_path_flat`: completion
+    times compose bottom-up across the forest's global BFS levels, and
+    then *every tree's* path walks down one level per iteration — the
+    per-level numpy dispatch amortizes over the whole shard instead of
+    being paid per tree. For each tree the result is bitwise what
+    :func:`critical_path_flat` computes on the extracted
+    :meth:`~repro.rpc.calltree.FlatForest.tree` (same composition order,
+    same first-max tie-break), which the equivalence tests assert.
+    """
+    n = forest.size
+    levels = forest.level_slices()
+    total = np.zeros(n)
+    child_wait = np.zeros(n)
+    for sl in reversed(levels):
+        total[sl] = tax_s[sl] + app_s[sl] + child_wait[sl]
+        if sl.start > 0:
+            np.maximum.at(child_wait, forest.parents[sl], total[sl])
+
+    # Best (slowest, earliest on ties) child of every node: a child lies
+    # on its parent's critical path iff its total equals the parent's
+    # child_wait — the same element np.argmax would pick, found without
+    # per-node blocks.
+    best = np.full(n, -1, dtype=np.int64)
+    for sl in levels[1:]:
+        parents_l = np.asarray(forest.parents[sl], dtype=np.int64)
+        on_path = total[sl] == child_wait[parents_l]
+        winners = np.flatnonzero(on_path)
+        uniq, first = np.unique(parents_l[winners], return_index=True)
+        best[uniq] = winners[first] + sl.start
+
+    n_trees = forest.n_trees
+    depths = np.ones(n_trees, dtype=np.int64)
+    apps = np.asarray(app_s[:n_trees], dtype=np.float64).copy()
+    taxes = np.asarray(tax_s[:n_trees], dtype=np.float64).copy()
+    # Roots are the first n_trees nodes, in tree order.
+    cur = np.arange(n_trees, dtype=np.int64)
+    alive = best[cur] >= 0
+    while np.any(alive):
+        cur[alive] = best[cur[alive]]
+        step = cur[alive]
+        apps[alive] += app_s[step]
+        taxes[alive] += tax_s[step]
+        depths[alive] += 1
+        alive[alive] = best[step] >= 0
+    return depths, apps, taxes
+
+
+class CriticalPathAccumulator:
+    """Shard-keyed fold state for the streaming critical-path study.
+
+    Each shard contributes its per-path ``(depths, apps, taxes)``
+    arrays, keyed by shard index; :meth:`result` assembles them in shard
+    order and aggregates exactly like the in-memory study. Because the
+    per-shard arrays are pure functions of ``(seed, shard_index)`` and
+    assembly order is fixed, the result is bitwise independent of how
+    shards were scheduled, transported, or spilled.
+    """
+
+    def __init__(self) -> None:
+        self._parts: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    @property
+    def n_traces(self) -> int:
+        """Paths folded so far."""
+        return sum(p[0].size for p in self._parts.values())
+
+    def fold(self, shard_index: int, depths: np.ndarray, apps: np.ndarray,
+             taxes: np.ndarray) -> None:
+        """Fold one shard's per-path arrays."""
+        if shard_index in self._parts:
+            raise ValueError(f"shard {shard_index} already folded")
+        self._parts[shard_index] = (np.asarray(depths, dtype=np.int64),
+                                    np.asarray(apps, dtype=np.float64),
+                                    np.asarray(taxes, dtype=np.float64))
+
+    def merge(self, other: "CriticalPathAccumulator") -> None:
+        """Adopt another accumulator's shards (indices must not collide)."""
+        for shard_index, (d, a, t) in other._parts.items():
+            self.fold(shard_index, d, a, t)
+
+    def result(self) -> "CriticalPathResult":
+        """Aggregate all folded shards, in shard order."""
+        if not self._parts:
+            raise ValueError("no shards folded")
+        order = sorted(self._parts)
+        depths = np.concatenate([self._parts[i][0] for i in order])
+        apps = np.concatenate([self._parts[i][1] for i in order])
+        taxes = np.concatenate([self._parts[i][2] for i in order])
+        return _aggregate_paths(depths, apps, taxes)
+
+
+def _aggregate_paths(depths: np.ndarray, apps: np.ndarray,
+                     taxes: np.ndarray) -> CriticalPathResult:
+    """Shared tail of the in-memory and streaming studies."""
+    totals = apps + taxes
+    fractions = np.where(totals > 0, taxes / np.maximum(totals, 1e-300), 0.0)
+    frac_by_depth: Dict[int, List[float]] = {}
+    tax_by_depth: Dict[int, List[float]] = {}
+    for d, f, t in zip(depths, fractions, taxes):
+        frac_by_depth.setdefault(int(d), []).append(float(f))
+        tax_by_depth.setdefault(int(d), []).append(float(t))
+    return CriticalPathResult(
+        n_traces=int(depths.size),
+        mean_depth=float(depths.mean()),
+        mean_tax_fraction=float(fractions.mean()),
+        path_depths=depths,
+        path_tax_s=taxes,
+        tax_fraction_by_depth={
+            d: float(np.mean(v)) for d, v in sorted(frac_by_depth.items())
+            if len(v) >= 3
+        },
+        tax_seconds_by_depth={
+            d: float(np.mean(v)) for d, v in sorted(tax_by_depth.items())
+            if len(v) >= 3
+        },
+        mean_total_s=float(totals.mean()),
+    )
+
+
 def _sample_components(catalog: Catalog, method_ids: np.ndarray,
                        rng: np.random.Generator
                        ) -> Tuple[np.ndarray, np.ndarray]:
@@ -264,26 +389,4 @@ def run_critical_path_study(catalog: Catalog, n_traces: int = 120,
             tree, app_all[sl], tax_all[sl])
         offset += tree.size
 
-    totals = apps + taxes
-    fractions = np.where(totals > 0, taxes / np.maximum(totals, 1e-300), 0.0)
-    frac_by_depth: Dict[int, List[float]] = {}
-    tax_by_depth: Dict[int, List[float]] = {}
-    for d, f, t in zip(depths, fractions, taxes):
-        frac_by_depth.setdefault(int(d), []).append(float(f))
-        tax_by_depth.setdefault(int(d), []).append(float(t))
-    return CriticalPathResult(
-        n_traces=n_traces,
-        mean_depth=float(depths.mean()),
-        mean_tax_fraction=float(fractions.mean()),
-        path_depths=depths,
-        path_tax_s=taxes,
-        tax_fraction_by_depth={
-            d: float(np.mean(v)) for d, v in sorted(frac_by_depth.items())
-            if len(v) >= 3
-        },
-        tax_seconds_by_depth={
-            d: float(np.mean(v)) for d, v in sorted(tax_by_depth.items())
-            if len(v) >= 3
-        },
-        mean_total_s=float(totals.mean()),
-    )
+    return _aggregate_paths(depths, apps, taxes)

@@ -22,7 +22,8 @@ from repro.obs.dapper import DapperCollector, Span
 from repro.rpc.stack import ComponentMatrix
 
 __all__ = ["ExogenousCurve", "DiurnalSeries", "EXOGENOUS_VARIABLES",
-           "exogenous_curve", "diurnal_series", "correlation"]
+           "exogenous_curve", "exogenous_curves", "diurnal_series",
+           "correlation"]
 
 # Table 2's variables, as annotated on spans by the DES servers.
 EXOGENOUS_VARIABLES = (
@@ -71,7 +72,9 @@ def exogenous_curve(spans: Sequence[Span], variable: str, service: str = "",
 
     Mirrors §3.3.4: samples are bucketed by the exogenous value, and within
     each bucket the RPCs with total latency near that bucket's P95 are
-    averaged per component.
+    averaged per component. To analyze several variables over the *same*
+    spans, prefer :func:`exogenous_curves`, which extracts the latency and
+    component arrays once instead of once per variable.
     """
     if variable not in EXOGENOUS_VARIABLES:
         raise KeyError(f"unknown exogenous variable {variable!r}")
@@ -81,7 +84,56 @@ def exogenous_curve(spans: Sequence[Span], variable: str, service: str = "",
     values = np.array([s.annotations[variable] for s in spans])
     totals = np.array([s.completion_time for s in spans])
     comps = np.vstack([s.breakdown.as_array() for s in spans])
+    return _curve_from_arrays(values, totals, comps, variable=variable,
+                              service=service, n_buckets=n_buckets,
+                              tail_percentile=tail_percentile,
+                              tail_tolerance=tail_tolerance)
 
+
+def exogenous_curves(spans: Sequence[Span],
+                     variables: Sequence[str] = EXOGENOUS_VARIABLES,
+                     service: str = "", n_buckets: int = 8,
+                     tail_percentile: float = 95.0,
+                     tail_tolerance: float = 0.35
+                     ) -> Dict[str, ExogenousCurve]:
+    """All of :func:`exogenous_curve` for several variables in one pass.
+
+    Extracting ``completion_time`` and the component breakdown from a span
+    walks Python attribute chains per span; over a DES study's ~100k spans
+    that extraction dominates Fig. 17's analysis wall time, and it does not
+    depend on the variable. This batch form hoists it out of the
+    per-variable loop, then buckets per variable exactly as the scalar
+    function does — each returned curve is bit-identical to calling
+    :func:`exogenous_curve` with the same arguments.
+    """
+    for variable in variables:
+        if variable not in EXOGENOUS_VARIABLES:
+            raise KeyError(f"unknown exogenous variable {variable!r}")
+    spans = list(spans)
+    totals = np.array([s.completion_time for s in spans])
+    comps = np.vstack([s.breakdown.as_array() for s in spans]) \
+        if spans else np.empty((0, 0))
+    curves: Dict[str, ExogenousCurve] = {}
+    for variable in variables:
+        have = np.fromiter((variable in s.annotations for s in spans),
+                           dtype=bool, count=len(spans))
+        if int(have.sum()) < n_buckets * 10:
+            raise ValueError(f"need >= {n_buckets * 10} annotated spans, "
+                             f"got {int(have.sum())}")
+        values = np.array([s.annotations[variable]
+                           for s, h in zip(spans, have) if h])
+        curves[variable] = _curve_from_arrays(
+            values, totals[have], comps[have], variable=variable,
+            service=service, n_buckets=n_buckets,
+            tail_percentile=tail_percentile, tail_tolerance=tail_tolerance)
+    return curves
+
+
+def _curve_from_arrays(values: np.ndarray, totals: np.ndarray,
+                       comps: np.ndarray, variable: str, service: str,
+                       n_buckets: int, tail_percentile: float,
+                       tail_tolerance: float) -> ExogenousCurve:
+    """The bucketing core shared by the scalar and batch entry points."""
     edges = np.quantile(values, np.linspace(0, 1, n_buckets + 1))
     edges[-1] += 1e-12
     centers, rows, counts = [], [], []

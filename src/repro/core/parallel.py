@@ -1,66 +1,102 @@
-"""Deterministic process-parallel study runner.
+"""Deterministic out-of-core map-reduce runner for the tree studies.
 
-The tree-shape studies are embarrassingly parallel — every tree is an
-independent draw — but naive parallelism breaks reproducibility: handing
-one shared RNG to N workers makes the result depend on scheduling. This
-runner instead fixes the *sharding* ahead of time:
+The tree studies are embarrassingly parallel — every tree is an
+independent draw — but naive parallelism breaks reproducibility and
+naive materialization breaks memory: holding 10M generated trees (or
+even their pooled per-node sample arrays) in process RSS caps studies
+around 10^5 trees. This module fixes both with one plan:
 
 - the forest is split into fixed-size shards (independent of ``jobs``),
 - shard *i* gets its own RNG seeded by ``derive_seed(seed, "tree-shard",
-  i)`` and draws its own roots, trees, and shape samples,
-- shard outputs are concatenated **in shard order** before analysis.
+  i)``, draws its own roots, and generates its trees in one batched
+  breadth-first sweep (:meth:`~repro.rpc.calltree.CallTreeGenerator.
+  generate_forest_flat`),
+- **map** workers optionally spill each shard's columnar arrays through
+  :class:`~repro.core.shardstore.ShardStore` (zero-copy ``np.memmap``
+  on the way back in),
+- **reduce** workers fold shards into bounded accumulator state —
+  integer count histograms for tree shape
+  (:class:`~repro.rpc.calltree.TreeShapeAccumulator`), shard-keyed path
+  arrays for the critical path
+  (:class:`~repro.core.critical_path.CriticalPathAccumulator`) — and
+  the driver merges partial states in shard order.
 
-Because the per-shard work and the merge order are both functions of
-``(seed, n_trees, shard_size)`` alone, ``--jobs 8`` is bit-identical to
-``--jobs 1`` — the only thing parallelism changes is which worker happens
-to execute a shard. ``jobs=1`` short-circuits the pool entirely and runs
-shards in-process.
+Working-set math: at no point does more than one shard's forest exist
+per process (spilled shards are memory-mapped and folded level by
+level), and the fold state is O(methods × distinct values), so peak RSS
+is bounded by ``shard_size × mean tree size`` plus the histograms —
+independent of ``n_trees``. That is what lets 10M-trace studies run in
+well under 2 GB (see docs/PERFORMANCE.md, "Out-of-core streaming").
 
-Workers rebuild the catalog and generator once (pool initializer) from the
-picklable :class:`~repro.workloads.catalog.CatalogConfig`, so only small
-``(shard_index, n_trees, seed)`` tuples and compact result arrays cross
-process boundaries.
+Determinism: per-shard outputs are pure functions of ``(seed,
+shard_index)`` and the generation parameters; shape histograms merge by
+integer addition (order-free) and critical-path arrays are keyed by
+shard index, so the result is bit-identical for any ``jobs`` value,
+with spill on or off, and whether a shard was generated fresh or
+replayed from disk. A corrupt or truncated spill segment behaves as a
+miss (:meth:`ShardStore.get` unlinks it) and the shard is simply
+regenerated from its derived seed — the recovery path *is* the normal
+path.
+
+Workers rebuild the catalog and generator once (pool initializer) from
+the picklable :class:`~repro.workloads.catalog.CatalogConfig`, so only
+small task tuples and compact folded states cross process boundaries.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cache import StudyCache, study_key
-from repro.core.calltree import (TreeShapeResult, analyze_tree_shape,
+from repro.core.calltree import (TreeShapeResult, analyze_tree_shape_counts,
                                  build_generator)
-from repro.rpc.calltree import (CallTreeGenerator, TreeShapeStats,
-                                collect_flat_samples)
+from repro.core.critical_path import (CriticalPathAccumulator,
+                                      CriticalPathResult,
+                                      _sample_components,
+                                      critical_path_forest)
+from repro.core.shardstore import SPILL_SCHEMA, ShardStore
+from repro.obs.manifest import config_digest
+from repro.rpc.calltree import (CallTreeGenerator, FlatForest,
+                                TreeShapeAccumulator)
+from repro.sim.instrument import Probe, resolve_probe
 from repro.sim.random import derive_seed
 from repro.workloads.catalog import Catalog, LAYER_LEAF, build_catalog
 
-__all__ = ["DEFAULT_SHARD_SIZE", "shard_layout", "run_tree_study_parallel",
-           "run_tree_study_cached"]
+__all__ = ["DEFAULT_SHARD_SIZE", "shard_layout", "spill_run_key",
+           "run_tree_study_parallel", "run_tree_study_cached",
+           "run_critical_path_study_parallel"]
 
-#: Trees per shard. Small enough to load-balance across workers, large
-#: enough that batched generation stays efficient. Part of the result's
-#: identity: changing it changes the RNG stream layout.
-DEFAULT_SHARD_SIZE = 64
+#: Trees per shard. Large enough that the batched per-level RNG draws
+#: amortize across thousands of trees (the streaming throughput lever),
+#: small enough that one shard's forest stays a few-MB working set.
+#: Part of the result's identity: changing it changes the RNG stream
+#: layout.
+DEFAULT_SHARD_SIZE = 2048
 
 #: Metadata for the determinism analysis (RL006): functions in this
 #: module run inside pool workers, so everything import-reachable from
 #: here is scanned for hidden process-local state.
-WORKER_ENTRYPOINTS = ("_init_worker", "_worker_shard")
-
-_ShardArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+WORKER_ENTRYPOINTS = ("_init_worker", "_worker_map_shard",
+                      "_worker_fold_range")
 
 # Per-worker state, built once by the pool initializer, and rebuilt
 # identically in every worker from the picklable catalog config — the
 # pragmas below are the one sanctioned exception to RL006.
+_worker_catalog: Optional[Catalog] = None  # repro-lint: disable=RL006 - rebuilt deterministically from keyed config by _init_worker
 _worker_generator: Optional[CallTreeGenerator] = None  # repro-lint: disable=RL006 - rebuilt deterministically from keyed config by _init_worker
 _worker_roots: Optional[Tuple[np.ndarray, np.ndarray]] = None  # repro-lint: disable=RL006 - rebuilt deterministically from keyed config by _init_worker
+_worker_store: Optional[ShardStore] = None  # repro-lint: disable=RL006 - rebuilt deterministically from the spill path + run key by _init_worker
+
+#: Shard descriptor: ``(shard_index, n_trees_in_shard)``.
+_Shard = Tuple[int, int]
 
 
 def shard_layout(n_trees: int, shard_size: int = DEFAULT_SHARD_SIZE
-                 ) -> List[Tuple[int, int]]:
+                 ) -> List[_Shard]:
     """``(shard_index, n_trees_in_shard)`` pairs covering the forest."""
     if n_trees <= 0:
         raise ValueError(f"n_trees must be positive, got {n_trees}")
@@ -68,6 +104,26 @@ def shard_layout(n_trees: int, shard_size: int = DEFAULT_SHARD_SIZE
         raise ValueError(f"shard_size must be positive, got {shard_size}")
     return [(i, min(shard_size, n_trees - start))
             for i, start in enumerate(range(0, n_trees, shard_size))]
+
+
+def spill_run_key(config, seed: int, n_trees: int, shard_size: int,
+                  max_nodes: int) -> str:
+    """Directory name covering everything the spilled bytes depend on.
+
+    Two runs share spilled shards iff they would generate identical
+    forests, so the key digests the catalog config plus every
+    generation parameter (and the spill schema so a format change
+    orphans old directories instead of misreading them).
+    """
+    digest = config_digest({
+        "spill_schema": SPILL_SCHEMA,
+        "config": config.__dict__ if hasattr(config, "__dict__") else config,
+        "seed": int(seed),
+        "n_trees": int(n_trees),
+        "shard_size": int(shard_size),
+        "max_nodes": int(max_nodes),
+    })
+    return f"trees-{digest.split(':', 1)[1][:20]}"
 
 
 def _root_table(catalog: Catalog) -> Tuple[np.ndarray, np.ndarray]:
@@ -79,28 +135,118 @@ def _root_table(catalog: Catalog) -> Tuple[np.ndarray, np.ndarray]:
     return np.array([m.method_id for m in roots]), w / w.sum()
 
 
-def _run_shard(generator: CallTreeGenerator, ids: np.ndarray, w: np.ndarray,
-               shard_index: int, n_trees: int, seed: int) -> _ShardArrays:
+def _generate_shard(generator: CallTreeGenerator, ids: np.ndarray,
+                    w: np.ndarray, shard_index: int, n_trees: int,
+                    seed: int) -> FlatForest:
     """Generate one shard's forest with its own derived RNG stream."""
     rng = np.random.default_rng(derive_seed(seed, "tree-shard", shard_index))
     chosen = rng.choice(ids, size=n_trees, replace=True, p=w)
-    return collect_flat_samples(generator, chosen, rng)
+    return generator.generate_forest_flat(chosen, rng)
 
 
-def _init_worker(config, max_nodes: int) -> None:
-    """Pool initializer: build catalog + generator once per worker."""
-    global _worker_generator, _worker_roots
-    catalog = build_catalog(config)
-    _worker_generator = build_generator(catalog, max_nodes=max_nodes)
-    _worker_roots = _root_table(catalog)
+def _obtain_shard(generator: CallTreeGenerator, ids: np.ndarray,
+                  w: np.ndarray, store: Optional[ShardStore],
+                  shard_index: int, n_trees: int, seed: int
+                  ) -> Tuple[FlatForest, int]:
+    """``(forest, spilled_bytes)`` — replayed from the store when valid,
+    regenerated (and re-spilled) otherwise. ``spilled_bytes`` is 0 for a
+    replay."""
+    if store is not None:
+        forest = store.get(shard_index, expect_trees=n_trees)
+        if forest is not None:
+            return forest, 0
+    forest = _generate_shard(generator, ids, w, shard_index, n_trees, seed)
+    if store is not None:
+        return forest, store.put(shard_index, forest)
+    return forest, 0
 
 
-def _worker_shard(task: Tuple[int, int, int]) -> _ShardArrays:
-    """Run one shard inside a pool worker."""
+# ----------------------------------------------------------------------
+# Reducers: per-shard fold bodies, dispatched by name so tasks pickle.
+# ----------------------------------------------------------------------
+
+def _fold_shape(acc: Optional[TreeShapeAccumulator], catalog: Catalog,
+                forest: FlatForest, seed: int, shard_index: int,
+                max_nodes: int) -> TreeShapeAccumulator:
+    """Fold one forest into the tree-shape histogram state."""
+    if acc is None:
+        acc = TreeShapeAccumulator(value_cap=max_nodes)
+    acc.fold_forest(forest)
+    return acc
+
+
+def _fold_critical_path(acc: Optional[CriticalPathAccumulator],
+                        catalog: Catalog, forest: FlatForest, seed: int,
+                        shard_index: int, max_nodes: int
+                        ) -> CriticalPathAccumulator:
+    """Fold one forest's critical paths; latencies use a per-shard RNG."""
+    if acc is None:
+        acc = CriticalPathAccumulator()
+    rng = np.random.default_rng(derive_seed(seed, "cp-latency", shard_index))
+    app_s, tax_s = _sample_components(
+        catalog, np.asarray(forest.method_ids), rng)
+    acc.fold(shard_index, *critical_path_forest(forest, app_s, tax_s))
+    return acc
+
+
+_REDUCERS = {
+    "shape": _fold_shape,
+    "critical-path": _fold_critical_path,
+}
+
+
+# ----------------------------------------------------------------------
+# Pool workers
+# ----------------------------------------------------------------------
+
+def _init_worker(config, max_nodes: int, spill_root: Optional[str],
+                 run_key: Optional[str]) -> None:
+    """Pool initializer: build catalog + generator (+ store) once."""
+    global _worker_catalog, _worker_generator, _worker_roots, _worker_store
+    _worker_catalog = build_catalog(config)
+    _worker_generator = build_generator(_worker_catalog, max_nodes=max_nodes)
+    _worker_roots = _root_table(_worker_catalog)
+    _worker_store = (ShardStore(Path(spill_root), run_key)
+                     if spill_root is not None else None)
+
+
+def _worker_map_shard(task: Tuple[int, int, int]) -> Dict[str, int]:
+    """Map phase: generate one shard, spill it, return its metadata."""
     assert _worker_generator is not None and _worker_roots is not None
+    assert _worker_store is not None
     shard_index, n_trees, seed = task
     ids, w = _worker_roots
-    return _run_shard(_worker_generator, ids, w, shard_index, n_trees, seed)
+    forest = _generate_shard(_worker_generator, ids, w, shard_index,
+                             n_trees, seed)
+    n_bytes = _worker_store.put(shard_index, forest)
+    return {"index": shard_index, "n_trees": n_trees,
+            "n_nodes": forest.size, "n_bytes": n_bytes}
+
+
+def _worker_fold_range(task) -> Tuple[object, List[Dict[str, int]]]:
+    """Reduce phase: fold a contiguous shard range, return partial state.
+
+    With a store, shards stream back as memmap views; a miss (corrupt or
+    never-spilled segment) falls back to regeneration, which reproduces
+    the shard bit for bit from its derived seed.
+    """
+    assert _worker_generator is not None and _worker_roots is not None
+    assert _worker_catalog is not None
+    shards, seed, reducer, max_nodes = task
+    fold = _REDUCERS[reducer]
+    ids, w = _worker_roots
+    acc = None
+    metas: List[Dict[str, int]] = []
+    for shard_index, n_trees in shards:
+        forest, n_bytes = _obtain_shard(_worker_generator, ids, w,
+                                        _worker_store, shard_index,
+                                        n_trees, seed)
+        acc = fold(acc, _worker_catalog, forest, seed, shard_index,
+                   max_nodes)
+        metas.append({"index": shard_index, "n_trees": n_trees,
+                      "n_nodes": forest.size, "n_bytes": n_bytes})
+    state = acc.to_state() if reducer == "shape" else acc
+    return state, metas
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -111,58 +257,181 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("spawn")
 
 
-def run_tree_study_parallel(catalog: Catalog, n_trees: int = 400,
-                            seed: int = 0, jobs: int = 1,
-                            max_nodes: int = 20000,
-                            shard_size: int = DEFAULT_SHARD_SIZE
-                            ) -> TreeShapeResult:
-    """Sharded tree-shape study; bit-identical for any ``jobs`` value.
+def _ranges(shards: Sequence[_Shard], n_ranges: int) -> List[List[_Shard]]:
+    """Split shards into at most ``n_ranges`` contiguous runs."""
+    n_ranges = max(1, min(n_ranges, len(shards)))
+    bounds = np.linspace(0, len(shards), n_ranges + 1).astype(int)
+    return [list(shards[bounds[i]:bounds[i + 1]]) for i in range(n_ranges)
+            if bounds[i] < bounds[i + 1]]
 
-    Unlike :func:`repro.core.calltree.run_tree_study` (one RNG threaded
-    through the whole forest), the RNG layout here is per-shard, so the
-    result depends on ``(seed, n_trees, shard_size)`` but never on
-    ``jobs`` or scheduling.
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def _fold_study(catalog: Catalog, n_trees: int, seed: int, jobs: int,
+                max_nodes: int, shard_size: int, reducer: str,
+                spill_dir=None, probe: Optional[Probe] = None):
+    """Run the map-reduce plan; returns the merged accumulator.
+
+    ``spill_dir`` turns on the out-of-core path: every shard is written
+    to (or replayed from) ``spill_dir/<run_key>/`` and folded back as a
+    memmap view, and the run is committed with a manifest. Without it,
+    shards are folded straight from the generator — the same fold code
+    on the same arrays, which is why the two paths agree bitwise.
     """
+    probe = resolve_probe(probe)
     shards = shard_layout(n_trees, shard_size)
+    fold = _REDUCERS[reducer]
+    store = None
+    if spill_dir is not None:
+        store = ShardStore(Path(spill_dir),
+                           spill_run_key(catalog.config, seed, n_trees,
+                                         shard_size, max_nodes))
+    all_metas: Dict[int, Dict[str, int]] = {}
+
     if jobs <= 1 or len(shards) == 1:
         generator = build_generator(catalog, max_nodes=max_nodes)
         ids, w = _root_table(catalog)
-        parts = [_run_shard(generator, ids, w, i, n, seed)
-                 for i, n in shards]
+        acc = None
+        for shard_index, n in shards:
+            forest, n_bytes = _obtain_shard(generator, ids, w, store,
+                                            shard_index, n, seed)
+            if probe is not None and n_bytes:
+                probe.shard_spilled(shard_index, n, forest.size, n_bytes)
+            acc = fold(acc, catalog, forest, seed, shard_index, max_nodes)
+            if probe is not None:
+                probe.shard_folded(shard_index, n, forest.size)
+            all_metas[shard_index] = {"index": shard_index, "n_trees": n,
+                                      "n_nodes": forest.size,
+                                      "n_bytes": n_bytes}
     else:
         ctx = _pool_context()
+        spill_root = str(store.root) if store is not None else None
+        run_key = store.run_key if store is not None else None
         with ctx.Pool(processes=min(jobs, len(shards)),
                       initializer=_init_worker,
-                      initargs=(catalog.config, max_nodes)) as pool:
-            parts = pool.map(_worker_shard, [(i, n, seed) for i, n in shards])
-    method_ids = np.concatenate([p[0] for p in parts])
-    descendants = np.concatenate([p[1] for p in parts])
-    ancestors = np.concatenate([p[2] for p in parts])
-    stats = TreeShapeStats.from_arrays(method_ids, descendants, ancestors)
-    return analyze_tree_shape(stats, n_trees=n_trees)
+                      initargs=(catalog.config, max_nodes, spill_root,
+                                run_key)) as pool:
+            if store is not None:
+                # Map phase: spill every shard the store cannot already
+                # replay (get() validates and unlinks corrupt segments).
+                missing = [(i, n, seed) for i, n in shards
+                           if store.get(i, expect_trees=n) is None]
+                for meta in pool.map(_worker_map_shard, missing):
+                    if probe is not None:
+                        probe.shard_spilled(meta["index"], meta["n_trees"],
+                                            meta["n_nodes"],
+                                            meta["n_bytes"])
+            # Reduce phase: fold contiguous ranges; merge in shard order.
+            tasks = [(r, seed, reducer, max_nodes)
+                     for r in _ranges(shards, jobs * 4)]
+            acc = None
+            for state, metas in pool.map(_worker_fold_range, tasks):
+                part = (TreeShapeAccumulator.from_state(state)
+                        if reducer == "shape" else state)
+                if acc is None:
+                    acc = part
+                else:
+                    acc.merge(part)
+                for meta in metas:
+                    if probe is not None:
+                        if meta["n_bytes"]:
+                            probe.shard_spilled(meta["index"],
+                                                meta["n_trees"],
+                                                meta["n_nodes"],
+                                                meta["n_bytes"])
+                        probe.shard_folded(meta["index"], meta["n_trees"],
+                                           meta["n_nodes"])
+                    all_metas[meta["index"]] = meta
+
+    if store is not None:
+        store.finalize([{k: v for k, v in all_metas[i].items()
+                         if k != "n_bytes"}
+                        for i, _ in shards if i in all_metas])
+    return acc
+
+
+def run_tree_study_parallel(catalog: Catalog, n_trees: int = 400,
+                            seed: int = 0, jobs: int = 1,
+                            max_nodes: int = 20000,
+                            shard_size: int = DEFAULT_SHARD_SIZE,
+                            spill_dir=None,
+                            probe: Optional[Probe] = None
+                            ) -> TreeShapeResult:
+    """Sharded streaming tree-shape study.
+
+    Bit-identical for any ``jobs`` value and with spill on or off: the
+    RNG layout is per-shard, the fold state is integer histograms, and
+    percentiles are computed once from the merged counts
+    (:func:`~repro.core.calltree.analyze_tree_shape_counts` matches
+    ``np.percentile`` of the expanded samples bitwise). The result
+    depends on ``(seed, n_trees, shard_size, max_nodes)`` and the
+    catalog config — never on ``jobs``, scheduling, or transport.
+    """
+    acc = _fold_study(catalog, n_trees, seed, jobs, max_nodes, shard_size,
+                      "shape", spill_dir=spill_dir, probe=probe)
+    return analyze_tree_shape_counts(acc, n_trees=n_trees)
+
+
+def run_critical_path_study_parallel(catalog: Catalog, n_traces: int = 120,
+                                     seed: int = 0, jobs: int = 1,
+                                     max_nodes: int = 2000,
+                                     shard_size: int = DEFAULT_SHARD_SIZE,
+                                     spill_dir=None,
+                                     probe: Optional[Probe] = None
+                                     ) -> CriticalPathResult:
+    """Sharded streaming critical-path study.
+
+    Same plan as :func:`run_tree_study_parallel` with a different
+    reducer: each shard synthesizes component latencies with its own
+    ``derive_seed(seed, "cp-latency", shard_index)`` stream and folds
+    per-path ``(depth, app, tax)`` arrays keyed by shard index, so the
+    merged result is bitwise independent of ``jobs`` and spill. A spill
+    directory written by the tree-shape study with identical generation
+    parameters is replayed as-is — the spilled trees are the same.
+    """
+    acc = _fold_study(catalog, n_traces, seed, jobs, max_nodes, shard_size,
+                      "critical-path", spill_dir=spill_dir, probe=probe)
+    return acc.result()
 
 
 def run_tree_study_cached(catalog: Catalog, n_trees: int = 400,
                           seed: int = 0, jobs: int = 1,
                           max_nodes: int = 20000,
+                          shard_size: int = DEFAULT_SHARD_SIZE,
+                          spill_dir=None,
                           cache: Optional[StudyCache] = None
                           ) -> Tuple[TreeShapeResult, bool]:
     """``(result, was_cache_hit)`` for the sharded tree study.
 
-    The key covers everything the result depends on — catalog config,
+    The cache stores the *folded study state* — the compact count
+    histograms, a few KB however many trees streamed through — rather
+    than a result full of per-method arrays, and the final statistics
+    are recomputed from the counts on every hit (exact, order-free).
+    The key covers everything the state depends on — catalog config,
     seed, forest size, node budget, shard size — and deliberately *not*
-    ``jobs``, which by construction cannot change the output.
+    ``jobs`` or ``spill_dir``, which by construction cannot change the
+    output.
     """
     if cache is None:
         return run_tree_study_parallel(
             catalog,  # repro-lint: disable=RL007 - catalog is rebuilt deterministically from catalog.config, which the key covers
             n_trees=n_trees, seed=seed,
             jobs=jobs,  # repro-lint: disable=RL007 - sharding is fixed ahead of time; jobs provably cannot change the result
-            max_nodes=max_nodes), False
+            max_nodes=max_nodes, shard_size=shard_size,
+            spill_dir=spill_dir,  # repro-lint: disable=RL007 - spill is transport, not semantics: folded state is bit-identical with spill on or off
+        ), False
     key = study_key("tree-shape", seed, catalog.config, params={
         "n_trees": n_trees,
         "max_nodes": max_nodes,
-        "shard_size": DEFAULT_SHARD_SIZE,
+        "shard_size": shard_size,
     })
-    return cache.get_or_compute(key, lambda: run_tree_study_parallel(
-        catalog, n_trees=n_trees, seed=seed, jobs=jobs, max_nodes=max_nodes))
+    state = cache.load(key)
+    if state is not None:
+        acc = TreeShapeAccumulator.from_state(state)
+        return analyze_tree_shape_counts(acc, n_trees=n_trees), True
+    acc = _fold_study(catalog, n_trees, seed, jobs, max_nodes, shard_size,
+                      "shape", spill_dir=spill_dir)
+    cache.store(key, acc.to_state())
+    return analyze_tree_shape_counts(acc, n_trees=n_trees), False

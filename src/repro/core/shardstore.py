@@ -1,0 +1,180 @@
+"""Columnar on-disk spill format for generated forest shards.
+
+The streaming study pipeline caps its working set by writing each shard's
+:class:`~repro.rpc.calltree.FlatForest` to disk as one ``.npy`` file per
+column and folding it back through a zero-copy ``np.load(mmap_mode="r")``
+view. The formats are deliberately boring:
+
+- ``<root>/<run_key>/shard-00042.method_ids.npy`` (int32), plus
+  ``.parents.npy`` (int32), ``.depths.npy`` (int16), ``.tree_ids.npy``
+  (int32) and ``.truncated.npy`` (bool, one flag per tree) — standard
+  ``np.save`` output, so any numpy can open a spill directory.
+- ``<root>/<run_key>/manifest.json`` — written *last*, atomically, as the
+  commit point: per-shard tree/node counts plus the run key. A run
+  directory without a manifest is an unfinished spill.
+
+Durability follows :mod:`repro.core.cache`: every file is written to a
+same-directory temp name and ``os.replace``d into place, and any
+unreadable, truncated, or inconsistent shard behaves as a **miss** — the
+corrupt files are unlinked and the caller regenerates that shard from its
+derived seed, which by construction reproduces it bit for bit. A killed
+writer can therefore never poison a later run.
+
+The ``run_key`` names everything the spilled bytes depend on (catalog
+config, seed, forest size, shard size, node budget — the same inputs as
+the study-cache key), so a reused ``--spill-dir`` can only ever replay
+shards into the run that would have generated them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.rpc.calltree import FlatForest
+
+__all__ = ["SPILL_SCHEMA", "ShardStore"]
+
+#: Bump to invalidate every existing spill directory (column set or
+#: dtype change).
+SPILL_SCHEMA = 1
+
+#: Column name -> on-disk dtype. int32 node indices bound a shard to
+#: 2**31 nodes (a shard is a few hundred thousand); int16 depths bound
+#: trees to 32k levels (the generator caps at ``max_depth`` ~ dozens).
+_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("method_ids", "int32"),
+    ("parents", "int32"),
+    ("depths", "int16"),
+    ("tree_ids", "int32"),
+)
+
+
+class ShardStore:
+    """One spill run directory: put/get forests by shard index.
+
+    >>> import tempfile
+    >>> store = ShardStore(tempfile.mkdtemp(), run_key="demo-run")
+    >>> store.get(0) is None
+    True
+    """
+
+    def __init__(self, root: os.PathLike, run_key: str):
+        if not run_key or any(c in run_key for c in "/\\"):
+            raise ValueError(f"run_key must be a plain name, got {run_key!r}")
+        self.root = Path(root)
+        self.run_key = run_key
+        self.run_dir = self.root / run_key
+        self.bytes_written = 0
+        self.shards_reused = 0
+
+    # -- paths ---------------------------------------------------------
+    def shard_paths(self, shard_index: int) -> Dict[str, Path]:
+        """Column name -> file path for one shard."""
+        stem = f"shard-{shard_index:05d}"
+        paths = {name: self.run_dir / f"{stem}.{name}.npy"
+                 for name, _ in _COLUMNS}
+        paths["truncated"] = self.run_dir / f"{stem}.truncated.npy"
+        return paths
+
+    @property
+    def manifest_path(self) -> Path:
+        """The run's commit point; absent until :meth:`finalize`."""
+        return self.run_dir / "manifest.json"
+
+    # -- writing -------------------------------------------------------
+    def _atomic_save(self, path: Path, array: np.ndarray) -> int:
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                np.save(fh, array)
+            nbytes = tmp.stat().st_size
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return nbytes
+
+    def put(self, shard_index: int, forest: FlatForest) -> int:
+        """Spill one forest; returns bytes written."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        paths = self.shard_paths(shard_index)
+        nbytes = 0
+        for name, dtype in _COLUMNS:
+            column = np.asarray(getattr(forest, name), dtype=dtype)
+            nbytes += self._atomic_save(paths[name], column)
+        nbytes += self._atomic_save(
+            paths["truncated"], np.asarray(forest.truncated, dtype=bool))
+        self.bytes_written += nbytes
+        return nbytes
+
+    def finalize(self, shards: List[Dict[str, int]]) -> None:
+        """Atomically write the manifest that marks the run complete."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SPILL_SCHEMA,
+            "run_key": self.run_key,
+            "n_shards": len(shards),
+            "shards": shards,
+        }
+        tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, self.manifest_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- reading -------------------------------------------------------
+    def manifest(self) -> Optional[dict]:
+        """The committed manifest, or ``None`` (missing/corrupt/foreign)."""
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != SPILL_SCHEMA
+                or payload.get("run_key") != self.run_key):
+            return None
+        return payload
+
+    def drop(self, shard_index: int) -> None:
+        """Remove one shard's files (used when a shard fails validation)."""
+        for path in self.shard_paths(shard_index).values():
+            path.unlink(missing_ok=True)
+
+    def get(self, shard_index: int,
+            expect_trees: Optional[int] = None) -> Optional[FlatForest]:
+        """Memory-mapped view of one spilled shard, or ``None`` on miss.
+
+        Any failure to load — absent files, truncated ``.npy`` payloads,
+        inconsistent column lengths, or a tree count that contradicts
+        ``expect_trees`` — unlinks the shard and reports a miss, the
+        same corrupt→miss+remove contract as the study cache, so the
+        caller's only recovery path is the always-correct one:
+        regenerate the shard from its derived seed.
+        """
+        paths = self.shard_paths(shard_index)
+        columns: Dict[str, np.ndarray] = {}
+        try:
+            for name in paths:
+                columns[name] = np.load(paths[name], mmap_mode="r",
+                                        allow_pickle=False)
+        except (OSError, ValueError):
+            self.drop(shard_index)
+            return None
+        n_nodes = columns["method_ids"].shape
+        n_trees = int(columns["truncated"].size)
+        if (any(columns[name].shape != n_nodes for name, _ in _COLUMNS)
+                or (expect_trees is not None and n_trees != expect_trees)):
+            self.drop(shard_index)
+            return None
+        self.shards_reused += 1
+        return FlatForest(method_ids=columns["method_ids"],
+                          parents=columns["parents"],
+                          depths=columns["depths"],
+                          tree_ids=columns["tree_ids"],
+                          n_trees=n_trees,
+                          truncated=columns["truncated"])

@@ -16,7 +16,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = ["percentile_grid", "MethodPercentiles", "cdf_points",
-           "weighted_mean", "DEFAULT_PERCENTILES"]
+           "weighted_mean", "percentiles_from_counts",
+           "DEFAULT_PERCENTILES"]
 
 DEFAULT_PERCENTILES = (1, 10, 25, 50, 75, 90, 99)
 
@@ -29,6 +30,49 @@ def cdf_points(values: Sequence[float],
         return np.array([]), np.array([])
     qs = np.linspace(0, 100, n_points)
     return np.percentile(arr, qs), qs / 100.0
+
+
+def percentiles_from_counts(values: Sequence[float], counts: Sequence[int],
+                            qs: Sequence[float]) -> np.ndarray:
+    """Exact percentiles of a multiset given as (value, count) pairs.
+
+    Returns bitwise the same floats as
+    ``np.percentile(np.repeat(values, counts), qs)`` (linear
+    interpolation) without materializing the expansion, which is what
+    lets the streaming study reducers report percentiles over hundreds
+    of millions of samples from a histogram a few kilobytes wide.
+    Percentiles depend only on order statistics, so the count
+    representation loses nothing; the two order statistics bracketing
+    each requested quantile are looked up with a ``searchsorted`` into
+    the cumulative counts, and the interpolation replicates numpy's
+    ``_lerp`` branch structure so round-off matches bit for bit.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if values.shape != counts.shape or values.ndim != 1:
+        raise ValueError("values and counts must be 1-D and equal length")
+    if values.size == 0 or counts.sum() <= 0:
+        raise ValueError("empty multiset has no percentiles")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    csum = np.cumsum(counts[order])
+    n = int(csum[-1])
+    h = (np.asarray(qs, dtype=np.float64) / 100.0) * (n - 1)
+    lo = np.clip(np.floor(h).astype(np.int64), 0, n - 1)
+    t = h - lo
+    hi = np.minimum(lo + 1, n - 1)
+    # sorted_multiset[k] == values[searchsorted(csum, k, side="right")]
+    a = values[np.searchsorted(csum, lo, side="right")]
+    b = values[np.searchsorted(csum, hi, side="right")]
+    diff = b - a
+    out = a + diff * t
+    # numpy's _lerp computes from the right endpoint when t >= 0.5 to
+    # keep the result monotone in t; mirror it exactly.
+    mask = t >= 0.5
+    out[mask] = b[mask] - diff[mask] * (1.0 - t[mask])
+    return out
 
 
 def weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:

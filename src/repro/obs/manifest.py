@@ -45,8 +45,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO, Union
 
 __all__ = ["MANIFEST_VERSION", "RunManifest", "ManifestBuilder",
-           "config_digest", "write_manifest", "read_manifest",
-           "ManifestError"]
+           "config_digest", "peak_rss_mb", "write_manifest",
+           "read_manifest", "ManifestError"]
 
 MANIFEST_VERSION = 1
 
@@ -63,6 +63,26 @@ def config_digest(config: Dict[str, Any]) -> str:
     """A stable digest of a JSON-safe config mapping."""
     canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
     return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident set size, in MB.
+
+    ``ru_maxrss`` is a high-water mark for the whole process lifetime
+    (kilobytes on Linux, bytes on macOS), so per-phase readings are
+    monotone: attribute a figure to the value *after* it ran, and run a
+    memory-budgeted workload in its own process for a clean number —
+    that is how the streaming study's RSS ceiling is enforced in CI.
+    Returns 0.0 where the ``resource`` module is unavailable (non-POSIX).
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return float(peak) / scale
 
 
 @dataclass

@@ -22,8 +22,9 @@ import numpy as np
 
 from repro.sim.distributions import Distribution
 
-__all__ = ["CallNode", "CallTree", "FlatTree", "CallTreeGenerator",
-           "TreeShapeStats", "collect_flat_samples", "collect_shape_samples"]
+__all__ = ["CallNode", "CallTree", "FlatTree", "FlatForest",
+           "CallTreeGenerator", "TreeShapeStats", "TreeShapeAccumulator",
+           "collect_flat_samples", "collect_shape_samples"]
 
 
 @dataclass
@@ -139,6 +140,82 @@ class FlatTree:
         for i in range(1, self.size):
             nodes[self.parents[i]].children.append(nodes[i])
         return CallTree(root=nodes[0], truncated=self.truncated)
+
+
+@dataclass
+class FlatForest:
+    """A whole shard of call trees as parallel arrays, level-major order.
+
+    Where :class:`FlatTree` packs one tree, a forest packs *many*: nodes
+    are ordered by BFS level across the entire shard (all roots first,
+    then every tree's level-1 nodes, and so on), so one frontier loop —
+    and one batched RNG draw per level — generates hundreds of trees at
+    once. ``depths`` is therefore non-decreasing and ``parents`` is
+    sorted exactly as in :class:`FlatTree`, so the same level-order bulk
+    passes (subtree sizes, critical-path composition) apply unchanged;
+    ``tree_ids`` says which tree each node belongs to.
+
+    This is the unit the out-of-core study pipeline spills to columnar
+    segment files and folds back as memory-mapped views — see
+    :mod:`repro.core.shardstore`.
+    """
+
+    method_ids: np.ndarray   # int64 method id per node
+    parents: np.ndarray      # int64 forest-local parent index; -1 for roots
+    depths: np.ndarray       # int64 ancestors count per node
+    tree_ids: np.ndarray     # int64 tree index within the forest per node
+    n_trees: int
+    truncated: np.ndarray    # bool per tree: hit its node budget
+
+    @property
+    def size(self) -> int:
+        """Total node count across all trees."""
+        return int(self.method_ids.size)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest node depth anywhere in the forest."""
+        return int(self.depths[-1]) if self.depths.size else 0
+
+    def level_slices(self) -> List[slice]:
+        """One slice per BFS level (depths are sorted by construction)."""
+        bounds = np.searchsorted(self.depths,
+                                 np.arange(self.max_depth + 2))
+        return [slice(int(bounds[d]), int(bounds[d + 1]))
+                for d in range(self.max_depth + 1)]
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Node count of each node's subtree, computed level by level."""
+        sizes = np.ones(self.size, dtype=np.int64)
+        for sl in reversed(self.level_slices()[1:]):
+            np.add.at(sizes, self.parents[sl], sizes[sl])
+        return sizes
+
+    def descendants(self) -> np.ndarray:
+        """Per-node transitive child counts (``subtree_sizes() - 1``)."""
+        return self.subtree_sizes() - 1
+
+    def tree_sizes(self) -> np.ndarray:
+        """Node count per tree."""
+        return np.bincount(self.tree_ids, minlength=self.n_trees)
+
+    def tree(self, index: int) -> FlatTree:
+        """Extract one tree as a standalone :class:`FlatTree`.
+
+        The forest's level-major order restricted to one tree *is* that
+        tree's BFS order, so extraction only remaps parent indices.
+        """
+        if not 0 <= index < self.n_trees:
+            raise IndexError(f"tree {index} not in forest of {self.n_trees}")
+        idx = np.flatnonzero(self.tree_ids == index)
+        parents = self.parents[idx]
+        local = np.full(parents.shape, -1, dtype=np.int64)
+        nonroot = parents >= 0
+        local[nonroot] = np.searchsorted(idx, parents[nonroot])
+        return FlatTree(method_ids=self.method_ids[idx].copy(),
+                        parents=local,
+                        depths=self.depths[idx].copy(),
+                        truncated=bool(self.truncated[index]))
 
 
 class CallTreeGenerator:
@@ -286,6 +363,88 @@ class CallTreeGenerator:
                         depths=depths[:n].copy(),
                         truncated=truncated)
 
+    def generate_forest_flat(self, root_methods: Sequence[int],
+                             rng: np.random.Generator) -> FlatForest:
+        """Generate a whole shard of trees in one breadth-first sweep.
+
+        Per-tree generation pays the fixed numpy dispatch cost of a
+        frontier expansion once per *level per tree*; at streaming scale
+        (10M+ small trees) that fixed cost dominates. Here every tree in
+        the shard advances one level per iteration, so the per-level RNG
+        draws amortize across hundreds of trees and throughput becomes a
+        function of total node count, not tree count.
+
+        The node budget (``max_nodes``) still applies *per tree* with the
+        same FIFO semantics as :meth:`generate_flat`: within a tree,
+        earlier frontier nodes keep their fanout, the node that crosses
+        the budget is clipped, later nodes get nothing. Draw order (and
+        therefore the RNG stream) differs from generating the same trees
+        one at a time; draw distributions do not.
+        """
+        roots = np.asarray(root_methods, dtype=np.int64)
+        n_trees = int(roots.size)
+        truncated = np.zeros(n_trees, dtype=bool)
+        if n_trees == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return FlatForest(method_ids=empty, parents=empty.copy(),
+                              depths=empty.copy(), tree_ids=empty.copy(),
+                              n_trees=0, truncated=truncated)
+        chunks_m = [roots.copy()]
+        chunks_p = [np.full(n_trees, -1, dtype=np.int64)]
+        chunks_d = [np.zeros(n_trees, dtype=np.int64)]
+        chunks_t = [np.arange(n_trees, dtype=np.int64)]
+        tree_counts = np.ones(n_trees, dtype=np.int64)  # nodes so far / tree
+        level_methods = chunks_m[0]
+        level_trees = chunks_t[0]
+        level_start = 0
+        n = n_trees
+        depth = 0
+        while level_methods.size and depth < self.max_depth:
+            budgets = self.max_nodes - tree_counts
+            alive = budgets[level_trees] > 0
+            # A tree with frontier nodes but no budget left is truncated:
+            # those nodes would have expanded (same post-loop rule as the
+            # single-tree path).
+            truncated[level_trees[~alive]] = True
+            f_methods = level_methods[alive]
+            f_trees = level_trees[alive]
+            f_index = np.flatnonzero(alive) + level_start
+            if f_methods.size == 0:
+                break
+            ks = self._fanouts(f_methods, rng)
+            # Per-tree FIFO clipping: exclusive cumsum of fanouts *within
+            # each tree's run* of the frontier (frontier order groups by
+            # tree, so runs are contiguous) against that tree's remaining
+            # budget.
+            started = np.cumsum(ks) - ks
+            first_of_tree = np.searchsorted(f_trees, f_trees, side="left")
+            started_in_tree = started - started[first_of_tree]
+            allowed = np.clip(budgets[f_trees] - started_in_tree, 0, ks)
+            truncated[f_trees[allowed < ks]] = True
+            ks = allowed
+            total = int(ks.sum())
+            if total == 0:
+                break
+            parent_slot = np.repeat(np.arange(f_methods.size), ks)
+            child_methods = self._children(f_methods[parent_slot], rng)
+            child_trees = f_trees[parent_slot]
+            chunks_m.append(child_methods)
+            chunks_p.append(f_index[parent_slot])
+            chunks_d.append(np.full(total, depth + 1, dtype=np.int64))
+            chunks_t.append(child_trees)
+            tree_counts += np.bincount(child_trees, minlength=n_trees)
+            level_methods = child_methods
+            level_trees = child_trees
+            level_start = n
+            n += total
+            depth += 1
+        self.trees_generated += n_trees
+        return FlatForest(method_ids=np.concatenate(chunks_m),
+                          parents=np.concatenate(chunks_p),
+                          depths=np.concatenate(chunks_d),
+                          tree_ids=np.concatenate(chunks_t),
+                          n_trees=n_trees, truncated=truncated)
+
     def generate(self, root_method: int, rng: np.random.Generator) -> CallTree:
         """Generate one call tree as linked :class:`CallNode` objects."""
         return self.generate_flat(root_method, rng).to_call_tree()
@@ -344,6 +503,173 @@ class TreeShapeStats:
                 out.descendants[m] = vals
                 out.ancestors[m] = self.ancestors[m]
         return out
+
+
+class _CountSet:
+    """A multiset of int64 keys held as (key, count) pairs, chunk-buffered.
+
+    ``add`` appends raw key arrays to a pending list; once the buffered
+    row count crosses ``compact_at`` the whole thing collapses through
+    one ``np.unique``. The working set is therefore bounded by
+    ``distinct keys + compact_at`` regardless of how many keys stream
+    through — the property the out-of-core fold relies on.
+    """
+
+    def __init__(self, compact_at: int = 4_000_000):
+        self._keys = np.empty(0, dtype=np.int64)
+        self._counts = np.empty(0, dtype=np.int64)
+        self._pending: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._pending_rows = 0
+        self._compact_at = int(compact_at)
+
+    def add(self, keys: np.ndarray,
+            counts: Optional[np.ndarray] = None) -> None:
+        """Fold in keys (each counted once, or per ``counts``)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        if counts is None:
+            counts = np.ones(keys.size, dtype=np.int64)
+        self._pending.append((keys, np.asarray(counts, dtype=np.int64)))
+        self._pending_rows += keys.size
+        if self._pending_rows >= self._compact_at:
+            self._compact()
+
+    def _compact(self) -> None:
+        keys = np.concatenate([self._keys] + [k for k, _ in self._pending])
+        counts = np.concatenate([self._counts]
+                                + [c for _, c in self._pending])
+        self._pending = []
+        self._pending_rows = 0
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        # bincount-with-weights sums in float64: exact for totals < 2^53,
+        # far beyond any reachable node count, and much faster than add.at.
+        self._keys = uniq
+        self._counts = np.bincount(inverse, weights=counts).astype(np.int64)
+
+    def items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keys, counts)`` with keys sorted ascending and unique."""
+        if self._pending_rows:
+            self._compact()
+        return self._keys, self._counts
+
+    @property
+    def total(self) -> int:
+        """Total multiplicity across all keys."""
+        return int(self._counts.sum()
+                   + sum(int(c.sum()) for _, c in self._pending))
+
+
+class TreeShapeAccumulator:
+    """Streaming fold of forest shards into exact shape histograms.
+
+    The multiset of per-node (method, descendants) and (method,
+    ancestors) samples fully determines every statistic the tree-shape
+    analysis reports — percentiles are order-invariant — so folding
+    shards into *count* histograms loses nothing while keeping the
+    working set O(methods × distinct values), independent of how many
+    trees stream through. This is the reducer state of the out-of-core
+    pipeline: map workers generate (and optionally spill) forests, the
+    reducer folds them shard by shard, and equal fold order gives
+    bit-identical state however the shards were transported.
+
+    ``value_cap`` must bound every folded value; ``max_nodes`` works for
+    both descendants (≤ max_nodes - 1) and ancestors (a depth-d node has
+    d ancestors *in its own tree*, so d < max_nodes).
+    """
+
+    def __init__(self, value_cap: int, compact_at: int = 4_000_000):
+        if value_cap < 1:
+            raise ValueError(f"value_cap must be >= 1, got {value_cap!r}")
+        self.value_cap = int(value_cap)
+        self._mult = self.value_cap + 1
+        self._desc = _CountSet(compact_at)
+        self._anc = _CountSet(compact_at)
+        self._sizes = _CountSet(compact_at)
+        self.n_trees = 0
+        self.n_nodes = 0
+        self.n_truncated = 0
+
+    # -- folding -------------------------------------------------------
+    def fold_forest(self, forest: FlatForest) -> None:
+        """Fold one shard's forest (in-memory or memmap-backed)."""
+        mids = np.asarray(forest.method_ids, dtype=np.int64)
+        if mids.size:
+            desc = forest.descendants()
+            if int(desc.max()) > self.value_cap or \
+                    int(forest.depths[-1]) > self.value_cap:
+                raise ValueError(
+                    f"forest values exceed value_cap={self.value_cap}; "
+                    "construct the accumulator with the generator's "
+                    "max_nodes")
+            self._desc.add(mids * self._mult + desc)
+            self._anc.add(mids * self._mult
+                          + np.asarray(forest.depths, dtype=np.int64))
+            self._sizes.add(forest.tree_sizes().astype(np.int64))
+        self.n_trees += int(forest.n_trees)
+        self.n_nodes += int(mids.size)
+        self.n_truncated += int(np.count_nonzero(forest.truncated))
+
+    def merge(self, other: "TreeShapeAccumulator") -> None:
+        """Fold another accumulator's state into this one (shard order
+        is the caller's responsibility; counts commute, so merge order
+        cannot change the final histograms)."""
+        if other.value_cap != self.value_cap:
+            raise ValueError(
+                f"cannot merge accumulators with different value caps "
+                f"({self.value_cap} vs {other.value_cap})")
+        self._desc.add(*other._desc.items())
+        self._anc.add(*other._anc.items())
+        self._sizes.add(*other._sizes.items())
+        self.n_trees += other.n_trees
+        self.n_nodes += other.n_nodes
+        self.n_truncated += other.n_truncated
+
+    # -- accessors -----------------------------------------------------
+    def _decode(self, cs: _CountSet
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        keys, counts = cs.items()
+        return keys // self._mult, keys % self._mult, counts
+
+    def descendant_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(method_ids, values, counts)`` sorted by (method, value)."""
+        return self._decode(self._desc)
+
+    def ancestor_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(method_ids, values, counts)`` sorted by (method, value)."""
+        return self._decode(self._anc)
+
+    def tree_size_items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(sizes, counts)`` over whole trees, sizes ascending."""
+        return self._sizes.items()
+
+    # -- cache round-trip ----------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """Compact picklable state (the unit the study cache stores)."""
+        dk, dc = self._desc.items()
+        ak, ac = self._anc.items()
+        sk, sc = self._sizes.items()
+        return {
+            "value_cap": self.value_cap,
+            "desc_keys": dk, "desc_counts": dc,
+            "anc_keys": ak, "anc_counts": ac,
+            "size_keys": sk, "size_counts": sc,
+            "n_trees": self.n_trees,
+            "n_nodes": self.n_nodes,
+            "n_truncated": self.n_truncated,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "TreeShapeAccumulator":
+        """Rebuild an accumulator from :meth:`to_state` output."""
+        acc = cls(int(state["value_cap"]))
+        acc._desc.add(state["desc_keys"], state["desc_counts"])
+        acc._anc.add(state["anc_keys"], state["anc_counts"])
+        acc._sizes.add(state["size_keys"], state["size_counts"])
+        acc.n_trees = int(state["n_trees"])
+        acc.n_nodes = int(state["n_nodes"])
+        acc.n_truncated = int(state["n_truncated"])
+        return acc
 
 
 def collect_flat_samples(

@@ -56,6 +56,12 @@ class Probe:
 
     - :meth:`rpc_stage` — per-stage server/client timings;
     - :meth:`rpc_deadline_hit` — a call exceeded its deadline.
+
+    Streaming study pipeline (:mod:`repro.core.parallel`):
+
+    - :meth:`shard_spilled` — a generated shard was written to the
+      columnar spill store;
+    - :meth:`shard_folded` — a shard was folded into reducer state.
     """
 
     __slots__ = ()
@@ -103,6 +109,15 @@ class Probe:
     def rpc_deadline_hit(self, method: str, elapsed_s: float,
                          deadline_s: float) -> None:
         """``method`` blew its deadline: ``elapsed_s`` > ``deadline_s``."""
+
+    # -- streaming study pipeline --------------------------------------
+    def shard_spilled(self, shard_index: int, n_trees: int, n_nodes: int,
+                      n_bytes: int) -> None:
+        """Shard ``shard_index`` was spilled (``n_bytes`` on disk)."""
+
+    def shard_folded(self, shard_index: int, n_trees: int,
+                     n_nodes: int) -> None:
+        """Shard ``shard_index`` was folded into the reducer state."""
 
 
 class NullProbe(Probe):
@@ -179,6 +194,14 @@ class ProbeGroup(Probe):
     def rpc_deadline_hit(self, method, elapsed_s, deadline_s):
         for p in self.probes:
             p.rpc_deadline_hit(method, elapsed_s, deadline_s)
+
+    def shard_spilled(self, shard_index, n_trees, n_nodes, n_bytes):
+        for p in self.probes:
+            p.shard_spilled(shard_index, n_trees, n_nodes, n_bytes)
+
+    def shard_folded(self, shard_index, n_trees, n_nodes):
+        for p in self.probes:
+            p.shard_folded(shard_index, n_trees, n_nodes)
 
 
 def resolve_probe(probe: Optional[Probe]) -> Optional[Probe]:

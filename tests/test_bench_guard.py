@@ -20,6 +20,12 @@ def write_trajectory(path, **figures):
     path.write_text(json.dumps(records))
 
 
+def write_trajectory_with_stats(path, **figures):
+    records = [{"figure": name, "wall_s": 1.0, "stats": stats}
+               for name, stats in figures.items()]
+    path.write_text(json.dumps(records))
+
+
 def test_newest_baseline_picks_highest_pr_number(tmp_path):
     for name in ("BENCH_PR2.json", "BENCH_PR4.json", "BENCH_PR10.json",
                  "BENCH_PRx.json", "BENCH.json"):
@@ -119,3 +125,41 @@ def test_budget_rejects_malformed_spec(tmp_path, capsys):
     with pytest.raises(SystemExit):
         bench_guard.main(["--current", str(cur),
                           "--budget", "repro_lint_wall=-3"])
+
+
+def test_rss_budget_within_ceiling_passes(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    write_trajectory_with_stats(cur, stream_scale={"peak_rss_mb": 812.4})
+    assert bench_guard.main(["--current", str(cur),
+                             "--rss-budget", "stream_scale=2048"]) == 0
+    assert "RSS budget 2048 MB" in capsys.readouterr().out
+
+
+def test_rss_budget_over_ceiling_fails(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    write_trajectory_with_stats(cur, stream_scale={"peak_rss_mb": 3100.0})
+    assert bench_guard.main(["--current", str(cur),
+                             "--rss-budget", "stream_scale=2048"]) == 1
+    assert "over its 2048 MB budget" in capsys.readouterr().err
+
+
+def test_rss_budget_missing_stat_fails(tmp_path, capsys):
+    # Figure present but never recorded peak_rss_mb (bench did not run).
+    cur = tmp_path / "cur.json"
+    write_trajectory(cur, stream_scale=1.0)
+    assert bench_guard.main(["--current", str(cur),
+                             "--rss-budget", "stream_scale=2048"]) == 1
+    assert "no peak_rss_mb" in capsys.readouterr().err
+
+
+def test_rss_budget_combines_with_wall_checks(tmp_path):
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    write_trajectory(base, fig04_descendants=1.0)
+    cur.write_text(json.dumps([
+        {"figure": "fig04_descendants", "wall_s": 1.1, "stats": {}},
+        {"figure": "stream_scale", "wall_s": 30.0,
+         "stats": {"peak_rss_mb": 500.0}},
+    ]))
+    assert bench_guard.main(["--baseline", str(base), "--current", str(cur),
+                             "--rss-budget", "stream_scale=2048",
+                             "fig04_descendants"]) == 0

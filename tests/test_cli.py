@@ -30,6 +30,42 @@ def test_trees_command(capsys):
     assert "call-tree shape" in out
 
 
+def test_trees_stream_command(tmp_path, capsys):
+    spill = str(tmp_path / "spill")
+    args = ["trees", "--methods", "200", "--trees", "64", "--no-cache",
+            "--max-nodes", "200", "--shard-size", "32",
+            "--spill-dir", spill, "--max-rss-mb", "4096"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "call-tree shape" in out
+    assert f"streamed via spill dir {spill}" in out
+    assert "within budget 4096 MB" in out
+    # The spill run directory committed a manifest.
+    import os
+
+    run_dirs = os.listdir(spill)
+    assert len(run_dirs) == 1
+    assert "manifest.json" in os.listdir(os.path.join(spill, run_dirs[0]))
+
+
+def test_trees_stream_matches_in_memory(tmp_path, capsys):
+    base = ["trees", "--methods", "200", "--trees", "64", "--no-cache",
+            "--max-nodes", "200", "--shard-size", "32"]
+    assert main(base) == 0
+    plain = capsys.readouterr().out
+    assert main(base + ["--stream", "--spill-dir",
+                        str(tmp_path / "spill"), "--jobs", "2"]) == 0
+    streamed = capsys.readouterr().out
+    # Identical rendered tables: streaming and jobs change nothing.
+    assert plain.strip() in streamed
+
+
+def test_trees_rss_budget_exceeded_fails(tmp_path, capsys):
+    assert main(["trees", "--methods", "200", "--trees", "30", "--no-cache",
+                 "--max-rss-mb", "1"]) == 1
+    assert "EXCEEDS budget 1 MB" in capsys.readouterr().out
+
+
 def test_fleet_study_command(capsys):
     assert main(["fleet-study", "--methods", "150", "--samples", "60"]) == 0
     out = capsys.readouterr().out

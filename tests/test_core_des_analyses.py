@@ -16,6 +16,7 @@ from repro.core.exogenous import (
     correlation,
     diurnal_series,
     exogenous_curve,
+    exogenous_curves,
 )
 from repro.core.loadbalance import analyze_load_balance
 from repro.core.whatif import what_if_components, what_if_for_service
@@ -157,6 +158,32 @@ class TestExogenous:
                                                             "SearchValue")
         r = exogenous_curve(spans, "exo_cycles_per_inst", n_buckets=6)
         assert r.correlation > 0.1
+
+    def test_batch_curves_bit_identical_to_scalar(self, multi_cluster_study):
+        """exogenous_curves hoists span extraction out of the variable loop
+        but must produce exactly the scalar function's curves."""
+        spans = multi_cluster_study.dapper.spans_for_method("Bigtable",
+                                                            "SearchValue")
+        batch = exogenous_curves(spans, EXOGENOUS_VARIABLES,
+                                 service="Bigtable", n_buckets=5)
+        assert set(batch) == set(EXOGENOUS_VARIABLES)
+        for var in EXOGENOUS_VARIABLES:
+            one = exogenous_curve(spans, var, service="Bigtable", n_buckets=5)
+            got = batch[var]
+            assert got.service == one.service
+            assert got.variable == one.variable
+            assert np.array_equal(got.bucket_centers, one.bucket_centers)
+            assert np.array_equal(got.component_values, one.component_values)
+            assert np.array_equal(got.counts, one.counts)
+            assert got.correlation == one.correlation
+
+    def test_batch_curves_rejects_unknown_and_sparse(self, multi_cluster_study):
+        spans = multi_cluster_study.dapper.spans_for_method("Bigtable",
+                                                            "SearchValue")
+        with pytest.raises(KeyError):
+            exogenous_curves(spans, ("exo_cpu_util", "bogus"))
+        with pytest.raises(ValueError):
+            exogenous_curves(spans[:12], ("exo_cpu_util",), n_buckets=8)
 
     def test_unknown_variable_rejected(self, multi_cluster_study):
         spans = multi_cluster_study.dapper.spans_for_method("Bigtable",

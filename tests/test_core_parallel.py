@@ -2,8 +2,9 @@
 
 Covers the PR's reproducibility contracts: vectorized and scalar tree
 generation agree on shape-statistic *distributions*; `--jobs N` is
-bit-identical to `--jobs 1`; and a warm cache hit performs no tree
-generation at all.
+bit-identical to `--jobs 1` with spill on or off; a corrupt spill
+segment is regenerated rather than trusted; and a warm cache hit
+performs no tree generation at all.
 """
 
 import numpy as np
@@ -11,9 +12,14 @@ import pytest
 
 from repro.core.cache import StudyCache, study_key
 from repro.core.calltree import build_generator, run_tree_study
-from repro.core.parallel import (DEFAULT_SHARD_SIZE, run_tree_study_cached,
-                                 run_tree_study_parallel, shard_layout)
+from repro.core.parallel import (DEFAULT_SHARD_SIZE,
+                                 run_critical_path_study_parallel,
+                                 run_tree_study_cached,
+                                 run_tree_study_parallel, shard_layout,
+                                 spill_run_key)
+from repro.core.shardstore import ShardStore
 from repro.rpc.calltree import CallTreeGenerator, collect_shape_samples
+from repro.sim.instrument import Probe
 from repro.workloads.catalog import LAYER_LEAF
 
 
@@ -90,11 +96,23 @@ class TestShardLayout:
 
 class TestParallelDeterminism:
     def test_jobs_bit_identical(self, small_catalog):
+        # shard_size=32 forces 4 shards so the merge order actually
+        # differs between the two runs.
         r1 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
-                                     jobs=1, max_nodes=2000)
+                                     jobs=1, max_nodes=2000, shard_size=32)
         r2 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
-                                     jobs=2, max_nodes=2000)
+                                     jobs=2, max_nodes=2000, shard_size=32)
         assert _results_identical(r1, r2)
+
+    def test_shard_size_is_part_of_the_result(self, small_catalog):
+        """Shard boundaries seed the per-shard RNG streams, so shard_size
+        is a study parameter, not a tuning knob — changing it changes the
+        (valid) sample drawn."""
+        r1 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                     jobs=1, max_nodes=2000, shard_size=32)
+        r2 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                     jobs=1, max_nodes=2000, shard_size=64)
+        assert not _results_identical(r1, r2)
 
     def test_seed_changes_result(self, small_catalog):
         r1 = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
@@ -113,6 +131,123 @@ class TestParallelDeterminism:
         assert abs(sharded.ancestors_p99_q50
                    - threaded.ancestors_p99_q50) <= 3
         assert sharded.n_trees == threaded.n_trees == 200
+
+
+class _SpillProbe(Probe):
+    """Counts spill/fold events emitted by the streaming pipeline."""
+
+    def __init__(self):
+        self.spilled = []
+        self.folded = []
+
+    def shard_spilled(self, shard_index, n_trees, n_nodes, n_bytes):
+        self.spilled.append((shard_index, n_trees, n_nodes, n_bytes))
+
+    def shard_folded(self, shard_index, n_trees, n_nodes):
+        self.folded.append((shard_index, n_trees, n_nodes))
+
+
+class TestStreamingSpill:
+    def test_spill_bit_identical_to_in_memory(self, small_catalog, tmp_path):
+        mem = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                      jobs=1, max_nodes=2000, shard_size=32)
+        spilled = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                          jobs=1, max_nodes=2000,
+                                          shard_size=32,
+                                          spill_dir=str(tmp_path))
+        assert _results_identical(mem, spilled)
+
+    def test_spill_with_jobs_bit_identical(self, small_catalog, tmp_path):
+        mem = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                      jobs=1, max_nodes=2000, shard_size=32)
+        spilled = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                          jobs=2, max_nodes=2000,
+                                          shard_size=32,
+                                          spill_dir=str(tmp_path))
+        assert _results_identical(mem, spilled)
+
+    def test_spill_reuse_generates_zero_trees(self, small_catalog, tmp_path,
+                                              monkeypatch):
+        first = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                        jobs=1, max_nodes=2000, shard_size=32,
+                                        spill_dir=str(tmp_path))
+
+        def exploding_forest(self, root_methods, rng):
+            raise AssertionError("spill replay must not generate trees")
+
+        monkeypatch.setattr(CallTreeGenerator, "generate_forest_flat",
+                            exploding_forest)
+        replay = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                         jobs=1, max_nodes=2000,
+                                         shard_size=32,
+                                         spill_dir=str(tmp_path))
+        assert _results_identical(first, replay)
+
+    def test_corrupt_spill_segment_regenerated(self, small_catalog,
+                                               tmp_path):
+        """A chopped column behaves as a miss: that shard (and only that
+        shard) is regenerated from its derived seed, and the study result
+        is still bit-identical."""
+        first = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                        jobs=1, max_nodes=2000, shard_size=32,
+                                        spill_dir=str(tmp_path))
+        key = spill_run_key(small_catalog.config, seed=4, n_trees=100,
+                            shard_size=32, max_nodes=2000)
+        store = ShardStore(tmp_path, run_key=key)
+        victim = store.shard_paths(1)["parents"]
+        data = victim.read_bytes()
+        victim.write_bytes(data[: len(data) // 2])
+
+        probe = _SpillProbe()
+        again = run_tree_study_parallel(small_catalog, n_trees=100, seed=4,
+                                        jobs=1, max_nodes=2000, shard_size=32,
+                                        spill_dir=str(tmp_path), probe=probe)
+        assert _results_identical(first, again)
+        # Exactly the corrupt shard was respilled; all four were folded.
+        assert [s[0] for s in probe.spilled] == [1]
+        assert [f[0] for f in probe.folded] == [0, 1, 2, 3]
+        assert store.get(1, expect_trees=32) is not None  # healed on disk
+
+    def test_probe_sees_every_shard_on_a_cold_run(self, small_catalog,
+                                                  tmp_path):
+        probe = _SpillProbe()
+        run_tree_study_parallel(small_catalog, n_trees=100, seed=4, jobs=1,
+                                max_nodes=2000, shard_size=32,
+                                spill_dir=str(tmp_path), probe=probe)
+        assert [s[0] for s in probe.spilled] == [0, 1, 2, 3]
+        assert [s[1] for s in probe.spilled] == [32, 32, 32, 4]
+        assert all(s[3] > 0 for s in probe.spilled)  # real bytes on disk
+        assert [f[:2] for f in probe.folded] == [(0, 32), (1, 32), (2, 32),
+                                                 (3, 4)]
+
+    def test_critical_path_spill_and_jobs_bit_identical(self, small_catalog,
+                                                        tmp_path):
+        mem = run_critical_path_study_parallel(small_catalog, n_traces=60,
+                                               seed=9, jobs=1,
+                                               max_nodes=2000, shard_size=16)
+        spilled = run_critical_path_study_parallel(
+            small_catalog, n_traces=60, seed=9, jobs=2, max_nodes=2000,
+            shard_size=16, spill_dir=str(tmp_path))
+        assert np.array_equal(mem.path_depths, spilled.path_depths)
+        assert np.array_equal(mem.path_tax_s, spilled.path_tax_s)
+        assert mem.mean_tax_fraction == spilled.mean_tax_fraction
+        assert mem.mean_total_s == spilled.mean_total_s
+        assert mem.tax_fraction_by_depth == spilled.tax_fraction_by_depth
+
+    def test_shape_and_critical_path_share_a_spill_run(self, small_catalog,
+                                                       tmp_path):
+        """Both studies key the spill by generation inputs only, so a
+        critical-path run replays shards a shape run spilled."""
+        run_tree_study_parallel(small_catalog, n_trees=64, seed=4, jobs=1,
+                                max_nodes=2000, shard_size=32,
+                                spill_dir=str(tmp_path))
+        probe = _SpillProbe()
+        run_critical_path_study_parallel(small_catalog, n_traces=64, seed=4,
+                                         jobs=1, max_nodes=2000,
+                                         shard_size=32,
+                                         spill_dir=str(tmp_path), probe=probe)
+        assert probe.spilled == []  # pure replay, nothing regenerated
+        assert [f[0] for f in probe.folded] == [0, 1]
 
 
 class TestStudyCache:
@@ -156,8 +291,13 @@ class TestStudyCache:
         def exploding_generate_flat(self, root_method, rng):
             raise AssertionError("warm cache hit must not generate trees")
 
+        def exploding_forest(self, root_methods, rng):
+            raise AssertionError("warm cache hit must not generate forests")
+
         monkeypatch.setattr(CallTreeGenerator, "generate_flat",
                             exploding_generate_flat)
+        monkeypatch.setattr(CallTreeGenerator, "generate_forest_flat",
+                            exploding_forest)
         warm, hit = run_tree_study_cached(small_catalog, n_trees=80, seed=4,
                                           max_nodes=2000, cache=cache)
         assert hit

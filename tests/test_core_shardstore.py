@@ -1,0 +1,142 @@
+"""Tests for the columnar spill format (`repro.core.shardstore`).
+
+The contract under test is the cache family's: atomic writes, a manifest
+as the commit point, and *any* unreadable or inconsistent shard behaving
+as a miss that unlinks itself — so the caller's only recovery path is
+regenerating the shard from its derived seed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.shardstore import SPILL_SCHEMA, ShardStore
+from repro.rpc.calltree import FlatForest
+
+
+def _forest(n_trees=3, seed=0):
+    """A small well-formed forest: roots first, then a child per root."""
+    rng = np.random.default_rng(seed)
+    n = n_trees * 2
+    return FlatForest(
+        method_ids=rng.integers(0, 50, size=n).astype(np.int64),
+        parents=np.concatenate([np.full(n_trees, -1),
+                                np.arange(n_trees)]),
+        depths=np.concatenate([np.zeros(n_trees, dtype=np.int64),
+                               np.ones(n_trees, dtype=np.int64)]),
+        tree_ids=np.concatenate([np.arange(n_trees), np.arange(n_trees)]),
+        n_trees=n_trees,
+        truncated=np.zeros(n_trees, dtype=bool),
+    )
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        forest = _forest()
+        nbytes = store.put(0, forest)
+        assert nbytes > 0 and store.bytes_written == nbytes
+        back = store.get(0, expect_trees=forest.n_trees)
+        assert back is not None
+        assert np.array_equal(back.method_ids, forest.method_ids)
+        assert np.array_equal(back.parents, forest.parents)
+        assert np.array_equal(back.depths, forest.depths)
+        assert np.array_equal(back.tree_ids, forest.tree_ids)
+        assert np.array_equal(back.truncated, forest.truncated)
+        assert back.n_trees == forest.n_trees
+        assert store.shards_reused == 1
+
+    def test_get_returns_memmap_views(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        store.put(0, _forest())
+        back = store.get(0)
+        assert isinstance(back.method_ids, np.memmap)
+
+    def test_missing_shard_is_a_miss(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        assert store.get(7) is None
+
+    def test_run_key_must_be_plain(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardStore(tmp_path, run_key="../escape")
+        with pytest.raises(ValueError):
+            ShardStore(tmp_path, run_key="")
+
+
+class TestCorruption:
+    def test_truncated_column_is_a_miss_and_unlinked(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        store.put(0, _forest())
+        paths = store.shard_paths(0)
+        # Chop the parents column mid-payload, as a killed writer would.
+        data = paths["parents"].read_bytes()
+        paths["parents"].write_bytes(data[: len(data) // 2])
+        assert store.get(0, expect_trees=3) is None
+        assert not any(p.exists() for p in paths.values())
+
+    def test_garbage_column_is_a_miss(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        store.put(0, _forest())
+        store.shard_paths(0)["method_ids"].write_bytes(b"not an npy file")
+        assert store.get(0) is None
+
+    def test_inconsistent_column_lengths_are_a_miss(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        store.put(0, _forest())
+        paths = store.shard_paths(0)
+        with paths["depths"].open("wb") as fh:
+            np.save(fh, np.zeros(99, dtype=np.int16))
+        assert store.get(0) is None
+        assert not paths["depths"].exists()
+
+    def test_wrong_tree_count_is_a_miss(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        store.put(0, _forest(n_trees=3))
+        assert store.get(0, expect_trees=5) is None
+        assert store.get(0) is None  # dropped, not just rejected
+
+    def test_regeneration_after_corruption_roundtrips(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        forest = _forest(seed=3)
+        store.put(0, forest)
+        store.shard_paths(0)["tree_ids"].write_bytes(b"junk")
+        assert store.get(0) is None
+        store.put(0, forest)  # the caller regenerates and respills
+        back = store.get(0, expect_trees=forest.n_trees)
+        assert back is not None
+        assert np.array_equal(back.tree_ids, forest.tree_ids)
+
+
+class TestManifest:
+    def test_finalize_then_manifest(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        assert store.manifest() is None
+        shards = [{"shard": 0, "n_trees": 3, "n_nodes": 6}]
+        store.finalize(shards)
+        payload = store.manifest()
+        assert payload is not None
+        assert payload["schema"] == SPILL_SCHEMA
+        assert payload["run_key"] == "demo"
+        assert payload["n_shards"] == 1
+        assert payload["shards"] == shards
+
+    def test_foreign_run_key_rejected(self, tmp_path):
+        ShardStore(tmp_path, run_key="demo").finalize([])
+        other = ShardStore(tmp_path, run_key="demo")
+        other.run_key = "other"  # same dir read under a different key
+        assert other.manifest() is None
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        store.finalize([])
+        store.manifest_path.write_text("{ not json")
+        assert store.manifest() is None
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        store = ShardStore(tmp_path, run_key="demo")
+        store.finalize([])
+        payload = json.loads(store.manifest_path.read_text())
+        payload["schema"] = SPILL_SCHEMA + 1
+        store.manifest_path.write_text(json.dumps(payload))
+        assert store.manifest() is None

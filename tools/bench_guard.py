@@ -1,7 +1,8 @@
-"""Wall-time regression guard over the bench trajectory.
+"""Wall-time and memory regression guard over the bench trajectory.
 
 Run: python tools/bench_guard.py [--baseline OLD.json] --current NEW.json
-     [--max-ratio 1.5] [--budget FIGURE=SECONDS ...] FIGURE [FIGURE ...]
+     [--max-ratio 1.5] [--budget FIGURE=SECONDS ...]
+     [--rss-budget FIGURE=MB ...] FIGURE [FIGURE ...]
      python tools/bench_guard.py --print-newest
 
 Compares each named figure's ``wall_s`` in the current trajectory against
@@ -22,6 +23,15 @@ enough to sit in the inner development loop, and a slow creep that
 never trips the ratio in any single PR would still break that.  A
 budgeted figure only needs to appear in the current trajectory, so new
 walls can be budgeted in the same PR that introduces them.
+
+``--rss-budget FIGURE=MB`` does the same for the figure's recorded
+``peak_rss_mb`` stat (written by ``benchmarks/conftest.py`` for every
+figure). This is what makes "out-of-core" falsifiable: the streaming
+study's whole point is bounded memory, so its figure carries an RSS
+ceiling and CI fails if a change silently re-materializes the forest.
+Note ``ru_maxrss`` is a process-lifetime high-water mark — budget a
+figure measured in its own process (CI runs the streaming bench
+isolated) or the ceiling inherits every earlier figure's peak.
 """
 
 import argparse
@@ -53,6 +63,28 @@ def load_trajectory(path: str) -> dict:
         return {r["figure"]: float(r["wall_s"]) for r in json.load(f)}
 
 
+def load_stat(path: str, stat: str) -> dict:
+    """``figure -> stats[stat]`` for figures that recorded it."""
+    with open(path, "r", encoding="utf-8") as f:
+        records = json.load(f)
+    return {r["figure"]: float(r["stats"][stat]) for r in records
+            if stat in r.get("stats", {})}
+
+
+def parse_budgets(specs, flag: str, parser) -> dict:
+    """``FIGURE=NUMBER`` specs -> ``{figure: number}``; errors via parser."""
+    budgets = {}
+    for spec in specs:
+        figure, sep, value = spec.partition("=")
+        try:
+            budgets[figure] = float(value) if sep else None
+        except ValueError:
+            budgets[figure] = None
+        if not figure or budgets[figure] is None or budgets[figure] <= 0:
+            parser.error(f"{flag} wants FIGURE=NUMBER, got {spec!r}")
+    return budgets
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=None,
@@ -71,6 +103,10 @@ def main(argv=None) -> int:
                         metavar="FIGURE=SECONDS",
                         help="absolute wall ceiling for a figure in the "
                              "current trajectory (repeatable)")
+    parser.add_argument("--rss-budget", action="append", default=[],
+                        metavar="FIGURE=MB",
+                        help="absolute peak-RSS ceiling (MB) on a figure's "
+                             "recorded peak_rss_mb stat (repeatable)")
     parser.add_argument("figures", nargs="*",
                         help="figure names to check (e.g. fig04_descendants)")
     args = parser.parse_args(argv)
@@ -78,19 +114,13 @@ def main(argv=None) -> int:
     if args.print_newest:
         print(newest_baseline())
         return 0
-    if not args.current or not (args.figures or args.budget):
-        parser.error("--current and at least one FIGURE or --budget are "
-                     "required (or use --print-newest)")
+    if not args.current or not (args.figures or args.budget
+                                or args.rss_budget):
+        parser.error("--current and at least one FIGURE, --budget, or "
+                     "--rss-budget are required (or use --print-newest)")
 
-    budgets = {}
-    for spec in args.budget:
-        figure, sep, value = spec.partition("=")
-        try:
-            budgets[figure] = float(value) if sep else None
-        except ValueError:
-            budgets[figure] = None
-        if not figure or budgets[figure] is None or budgets[figure] <= 0:
-            parser.error(f"--budget wants FIGURE=SECONDS, got {spec!r}")
+    budgets = parse_budgets(args.budget, "--budget", parser)
+    rss_budgets = parse_budgets(args.rss_budget, "--rss-budget", parser)
 
     baseline_path = args.baseline or newest_baseline()
     baseline = load_trajectory(baseline_path)
@@ -130,12 +160,28 @@ def main(argv=None) -> int:
         print(f"{figure}: budget {budget_s:.3f}s, current {new_s:.3f}s "
               f"{verdict}")
 
+    if rss_budgets:
+        current_rss = load_stat(args.current, "peak_rss_mb")
+        for figure, budget_mb in sorted(rss_budgets.items()):
+            if figure not in current_rss:
+                failures.append(f"{figure}: no peak_rss_mb in current "
+                                f"{args.current} (bench did not run?)")
+                continue
+            rss_mb = current_rss[figure]
+            verdict = "ok"
+            if rss_mb > budget_mb:
+                failures.append(f"{figure}: peak RSS {rss_mb:.0f} MB over "
+                                f"its {budget_mb:.0f} MB budget")
+                verdict = "FAIL"
+            print(f"{figure}: RSS budget {budget_mb:.0f} MB, current "
+                  f"{rss_mb:.0f} MB {verdict}")
+
     if failures:
         print("\nbench regression guard failed:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    checked = len(args.figures) + len(budgets)
+    checked = len(args.figures) + len(budgets) + len(rss_budgets)
     print(f"\nall {checked} figure(s) within bounds")
     return 0
 
