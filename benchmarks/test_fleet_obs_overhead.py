@@ -5,46 +5,66 @@ every scrape interval. That evaluation runs inside the DES loop, so if
 it were slow it would tax every study that opts into SLOs. This bench
 runs a service study with an SLO attached and a wall clock injected into
 the alert manager, and asserts that alert evaluation stays under 5 % of
-the total DES wall time. The split (plus the scraper's own wall share)
-is recorded into ``BENCH_PR8.json`` so drift shows up across PRs.
+the total DES wall time.
+
+Since the span-warehouse PR the study also streams every sampled span
+through a :class:`~repro.obs.spanstore.SpanStoreSink` with the in-memory
+span list disabled — the production configuration for long corpora — so
+the bench measures the *whole* observability tax: scraping, alerting,
+and columnar spill. Span throughput (``spans_per_s``) and the process
+peak RSS land in ``BENCH_PR9.json`` so drift shows up across PRs.
 """
 
 import time
 
 from repro.obs.alerting import SloSpec
+from repro.obs.spanstore import SpanStore, SpanStoreSink, SpanWarehouse
 from repro.studies import run_service_study
 
 DURATION_S = 2.0
 SCRAPE_INTERVAL_S = 0.25
 MAX_ALERT_EVAL_FRACTION = 0.05
+WAREHOUSE_SHARD_SIZE = 4096
 
 
 def test_alert_eval_under_5pct_of_des_wall(show, record_stat,
-                                           record_sim_stats):
+                                           record_sim_stats, tmp_path):
     slo = SloSpec(
         name="kv-latency", threshold_s=0.002, window_s=240.0,
         target=0.99, labels={"method": "KVStore/SearchValue"})
+    sink = SpanStoreSink(SpanStore(str(tmp_path), "bench"),
+                         shard_size=WAREHOUSE_SHARD_SIZE)
     start_s = time.perf_counter()
     study = run_service_study(
         services=["KVStore"], n_clusters=1, duration_s=DURATION_S,
         seed=5, scrape_interval_s=SCRAPE_INTERVAL_S, dapper_sampling=1.0,
-        slos=[slo], alert_wall_clock=time.perf_counter)
+        slos=[slo], alert_wall_clock=time.perf_counter,
+        span_sink=sink, keep_spans_in_memory=False)
+    warehouse = sink.close()
     total_s = time.perf_counter() - start_s
 
     eval_s = study.alerts.eval_wall_s
     fraction = eval_s / total_s
+    n_spans = warehouse.n_spans
     record_sim_stats(study.sim)
     record_stat(total_wall_s=round(total_s, 4),
                 alert_eval_wall_s=round(eval_s, 4),
                 alert_eval_fraction=round(fraction, 4),
                 alert_evaluations=study.alerts.evaluations,
-                scrape_wall_s=round(study.scraper.scrape_wall_s, 4))
+                scrape_wall_s=round(study.scraper.scrape_wall_s, 4),
+                spans_spilled=n_spans,
+                spans_per_s=round(n_spans / total_s, 1))
     show(f"fleet-obs overhead ({DURATION_S:g}s sim, scrape every "
          f"{SCRAPE_INTERVAL_S:g}s): study {total_s:.3f}s wall, alert eval "
          f"{eval_s * 1e3:.2f}ms across {study.alerts.evaluations} "
          f"evaluations ({fraction * 100:.2f}%), scraper "
-         f"{study.scraper.scrape_wall_s * 1e3:.2f}ms")
+         f"{study.scraper.scrape_wall_s * 1e3:.2f}ms, "
+         f"{n_spans} spans spilled ({n_spans / total_s:,.0f}/s)")
     assert study.alerts.evaluations > 0
+    # The study kept no span list: the warehouse is the only copy.
+    assert not study.dapper.spans
+    assert n_spans == study.dapper.spans_recorded
+    assert isinstance(warehouse, SpanWarehouse)
     assert fraction < MAX_ALERT_EVAL_FRACTION, (
         f"alert evaluation took {fraction * 100:.1f}% of DES wall time "
         f"(limit {MAX_ALERT_EVAL_FRACTION * 100:.0f}%): burn-rate "

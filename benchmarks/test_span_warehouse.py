@@ -1,0 +1,139 @@
+"""Span-warehouse scale bench: a million-span corpus under bounded RSS.
+
+The acceptance bar for the warehouse PR: a >= 1M-span corpus (set
+``REPRO_WAREHOUSE_SPANS`` to go bigger) is built shard by shard with
+vectorized columnar synthesis, committed, and then queried — group-by
+with sketch percentiles, exact component-matrix extraction, and the
+Fig. 20 cycle-tax replay — all through zero-copy mmap shard views, so
+peak RSS stays far below the corpus size. Build and query throughput
+(``spans_per_s``) land in ``BENCH_PR9.json``; ``tools/bench_guard.py
+--rss-budget`` turns the RSS column into a ceiling.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.observer import observer_cycle_tax
+from repro.obs.query import SpanFilter, group_by_method, method_matrix
+from repro.obs.spanstore import (
+    SpanColumns,
+    SpanStore,
+    SpanWarehouse,
+    StringTables,
+)
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import COMPONENTS
+
+N_SPANS = int(os.environ.get("REPRO_WAREHOUSE_SPANS", "1000000"))
+SHARD_SIZE = 65536
+SERVICES = ("KVStore", "Spanner", "Bigtable", "Frontend")
+METHODS = ("Get", "ReadRows", "Mutate", "Serve")
+N_CLUSTERS = 4
+N_MACHINES = 16
+
+
+def synthesize_shard(rng, tables, size, first_span_id):
+    """One shard of synthetic spans, built column-wise (no Span objects)."""
+    service_ids = rng.integers(len(SERVICES), size=size, dtype=np.int64)
+    method_ids = rng.integers(len(METHODS), size=size, dtype=np.int64)
+    components = rng.exponential(1e-3, size=(size, len(COMPONENTS)))
+    statuses = np.where(rng.random(size) < 0.02,
+                        StatusCode.DEADLINE_EXCEEDED.value,
+                        StatusCode.OK.value)
+    span_ids = np.arange(first_span_id, first_span_id + size,
+                         dtype=np.uint64)
+    # ~8 spans per trace, parent = previous span in the same trace.
+    trace_ids = (span_ids // 8) + 1
+    parent_ids = np.where(span_ids % 8 == 0, 0, span_ids - 1)
+    ann_rows = np.flatnonzero(rng.random(size) < 0.1).astype(np.int32)
+    return SpanColumns(
+        trace_ids=trace_ids,
+        span_ids=span_ids,
+        parent_ids=parent_ids.astype(np.uint64),
+        service_ids=service_ids.astype(np.int32),
+        method_ids=method_ids.astype(np.int32),
+        client_cluster_ids=rng.integers(
+            N_CLUSTERS, size=size, dtype=np.int64).astype(np.int32),
+        server_cluster_ids=rng.integers(
+            N_CLUSTERS, size=size, dtype=np.int64).astype(np.int32),
+        machine_ids=rng.integers(
+            N_MACHINES, size=size, dtype=np.int64).astype(np.int32),
+        statuses=statuses.astype(np.int16),
+        start_times=np.sort(rng.uniform(0.0, 3600.0, size=size)),
+        request_bytes=rng.integers(64, 1 << 16, size=size),
+        response_bytes=rng.integers(64, 1 << 18, size=size),
+        cpu_cycles=rng.uniform(1e4, 1e6, size=size),
+        components=components,
+        ann_rows=ann_rows,
+        ann_keys=np.zeros(ann_rows.size, dtype=np.int32),
+        ann_values=rng.random(ann_rows.size)[: ann_rows.size],
+    )
+
+
+def build_corpus(root):
+    tables = StringTables()
+    for name in SERVICES:
+        tables.services.intern(name)
+    for name in METHODS:
+        tables.methods.intern(name)
+    for c in range(N_CLUSTERS):
+        tables.clusters.intern(f"dc{c}")
+    for m in range(N_MACHINES):
+        tables.machines.intern(f"m{m}")
+    tables.ann_keys.intern("exo_cpu_util")
+
+    store = SpanStore(root, "scale")
+    rng = np.random.default_rng(1234)
+    shards = []
+    written = 0
+    index = 0
+    while written < N_SPANS:
+        size = min(SHARD_SIZE, N_SPANS - written)
+        columns = synthesize_shard(rng, tables, size, first_span_id=written)
+        store.put(index, columns)
+        shards.append({"n_spans": size,
+                       "n_annotations": columns.n_annotations})
+        written += size
+        index += 1
+    store.finalize(shards, tables)
+    return store.bytes_written
+
+
+def test_million_span_corpus_queryable(tmp_path, show, record_stat):
+    build_start_s = time.perf_counter()
+    bytes_written = build_corpus(tmp_path)
+    build_s = time.perf_counter() - build_start_s
+
+    warehouse = SpanWarehouse.open(tmp_path, "scale")
+    assert warehouse.n_spans == N_SPANS
+
+    query_start_s = time.perf_counter()
+    groups = group_by_method(warehouse)
+    matrix = method_matrix(warehouse, "KVStore", "Get")
+    tax = observer_cycle_tax(warehouse)
+    query_s = time.perf_counter() - query_start_s
+
+    assert len(groups) == len(SERVICES) * len(METHODS)
+    n_ok = sum(g.count for g in groups.values())
+    n_err = sum(g.error_count for g in groups.values())
+    assert n_ok + n_err == N_SPANS
+    assert matrix.values.shape[1] == len(COMPONENTS)
+    assert matrix.values.shape[0] == groups[("KVStore", "Get")].count
+    assert 0.0 < tax.tax_fraction < 1.0
+    p99 = groups[("KVStore", "Get")].quantile(0.99)
+    assert p99 > 0.0
+    assert not warehouse.missing_shards
+
+    record_stat(n_spans=N_SPANS,
+                n_shards=warehouse.n_shards,
+                corpus_mb=round(bytes_written / 2**20, 1),
+                build_wall_s=round(build_s, 3),
+                query_wall_s=round(query_s, 3),
+                spans_per_s=round(N_SPANS / query_s, 1))
+    show(f"span warehouse: {N_SPANS:,} spans / {warehouse.n_shards} shards "
+         f"({bytes_written / 2**20:.0f} MB) built in {build_s:.2f}s; "
+         f"group-by + matrix + cycle-tax queried in {query_s:.2f}s "
+         f"({N_SPANS / query_s:,.0f} spans/s), KVStore/Get p99 "
+         f"{p99 * 1e3:.2f} ms, tax {tax.tax_fraction * 100:.1f}%")

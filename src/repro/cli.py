@@ -20,6 +20,10 @@ Subcommands mirror the study structure:
   service observed by its own obs stack (see docs/SERVING.md)
 - ``repro-rpc serve-loadgen``   drive a serve-mode server with Zipf +
   diurnal open/closed-loop traffic
+- ``repro-rpc span-query``      build a columnar span warehouse (stream a
+  study through it, or ingest a saved trace file) and run the paper's
+  analysis jobs observer-side, optionally cross-validated against the
+  engine (``--self-check``)
 
 Every subcommand prints paper-vs-measured tables; ``--save-traces`` on the
 DES studies writes a Dapper trace file that ``analyze-traces`` can consume
@@ -179,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", metavar="FILE", default=None,
                    help="write the shutdown incident report to FILE as "
                         "well as stdout")
+    p.add_argument("--warehouse-dir", metavar="DIR", default=None,
+                   help="spool sampled spans into a columnar span "
+                        "warehouse under DIR (run key 'serve') instead "
+                        "of memory; committed at shutdown")
 
     p = sub.add_parser("serve-loadgen",
                        help="drive a serve-mode server with open/closed-"
@@ -223,6 +231,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-ids", type=int, nargs="*", default=None,
                    help="export only these Dapper trace ids (e.g. the "
                         "exemplars named by an incident report)")
+
+    p = sub.add_parser("span-query",
+                       help="build and query a columnar span warehouse "
+                            "(observer-side characterization)")
+    p.add_argument("--root", required=True, metavar="DIR",
+                   help="warehouse root directory")
+    p.add_argument("--run-key", default="study",
+                   help="warehouse run key under --root")
+    p.add_argument("--ingest", metavar="TRACEFILE", default=None,
+                   help="build the warehouse from a saved Dapper trace "
+                        "file (see --save-traces) before querying")
+    p.add_argument("--generate", action="store_true",
+                   help="build the warehouse by streaming a DES service "
+                        "study's spans through the warehouse sink")
+    p.add_argument("--services", nargs="*", default=["KVStore"],
+                   help="services for --generate (default: KVStore)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="simulated seconds for --generate")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--sampling", type=float, default=1.0,
+                   help="Dapper head-sampling rate for --generate")
+    p.add_argument("--shard-size", type=int, default=8192,
+                   help="spans per columnar shard")
+    p.add_argument("--self-check", action="store_true",
+                   help="with --generate: keep engine-side ground truth "
+                        "and cross-validate the observer-side figures "
+                        "(exit 1 on any mismatch)")
+    p.add_argument("--service", default=None,
+                   help="filter queries to one service")
+    p.add_argument("--method", default=None,
+                   help="filter queries to one method")
+    p.add_argument("--metric", default="total",
+                   help="group-by metric: total, tax, cycles, or "
+                        "component:<name>")
+    p.add_argument("--percentiles", default="50,95,99",
+                   help="comma-separated percentiles for the group-by "
+                        "table")
+    p.add_argument("--figures", action="store_true",
+                   help="also render the observer-side Fig. 14 breakdown, "
+                        "Fig. 20 cycle tax, and tree-shape summary")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write query results (and the self-check report) "
+                        "as JSON to FILE")
+    p.add_argument("--max-rss-mb", type=float, default=None, metavar="MB",
+                   help="exit 1 if this process's peak RSS exceeds MB")
     return parser
 
 
@@ -407,7 +460,7 @@ def _cmd_service_study(args) -> int:
         from repro.obs.manifest import write_manifest
 
         builder.observe_sim(study.sim)
-        builder.add_counts(spans_recorded=len(study.dapper.spans))
+        builder.add_counts(spans_recorded=study.dapper.spans_recorded)
         if study.alerts is not None:
             builder.add_alerts(study.alerts.events)
         write_manifest(builder.finish(), args.manifest)
@@ -520,7 +573,7 @@ def _cmd_fleet_obs(args) -> int:
         from repro.obs.manifest import write_manifest
 
         builder.observe_sim(study.sim)
-        builder.add_counts(spans_recorded=len(study.dapper.spans),
+        builder.add_counts(spans_recorded=study.dapper.spans_recorded,
                            alert_events=len(study.alerts.events),
                            alert_evaluations=study.alerts.evaluations)
         builder.add_alerts(study.alerts.events)
@@ -555,6 +608,7 @@ def _cmd_serve(args) -> int:
         trace_budget=args.trace_budget,
         cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
         prewarm=not args.no_prewarm,
+        warehouse_dir=args.warehouse_dir,
     )
     if args.inject_slowdown:
         after_s, extra_s, duration_s = _parse_slowdown(args.inject_slowdown)
@@ -580,7 +634,7 @@ def _cmd_serve(args) -> int:
             await app.stop()
             report = render_incident_report(
                 app.alert_timeline(), app.monarch,
-                traces=app.dapper.traces(),
+                traces=app.trace_trees(),
                 title=f"incident report (serve {app.listen_address})")
             print(report)
             if args.report:
@@ -695,6 +749,126 @@ def _cmd_export_chrome(args) -> int:
     return 0
 
 
+def _cmd_span_query(args) -> int:
+    import json
+
+    from repro.core.report import format_table
+    from repro.obs.query import SpanFilter, group_by_method, tree_shape_stats
+    from repro.obs.spanstore import (SpanStore, SpanStoreError, SpanStoreSink,
+                                     SpanWarehouse, ingest_trace_file)
+
+    try:
+        quantiles = [float(q) / 100.0
+                     for q in args.percentiles.split(",") if q]
+    except ValueError:
+        raise SystemExit(f"bad --percentiles {args.percentiles!r}")
+
+    study = None
+    if args.generate:
+        from repro.studies import run_service_study
+
+        sink = SpanStoreSink(SpanStore(args.root, args.run_key),
+                             shard_size=args.shard_size)
+        study = run_service_study(
+            services=args.services, n_clusters=1, duration_s=args.duration,
+            seed=args.seed, dapper_sampling=args.sampling,
+            span_sink=sink, keep_spans_in_memory=args.self_check,
+        )
+        warehouse = sink.close()
+        print(f"streamed {warehouse.n_spans:,} spans into "
+              f"{warehouse.n_shards} shards under {args.root}")
+    elif args.ingest:
+        warehouse = ingest_trace_file(args.ingest, args.root, args.run_key,
+                                      shard_size=args.shard_size)
+        print(f"ingested {warehouse.n_spans:,} spans from {args.ingest} "
+              f"into {warehouse.n_shards} shards under {args.root}")
+    else:
+        try:
+            warehouse = SpanWarehouse.open(args.root, args.run_key)
+        except SpanStoreError as err:
+            raise SystemExit(f"cannot open warehouse: {err}")
+
+    document = {"n_spans": warehouse.n_spans,
+                "n_shards": warehouse.n_shards}
+
+    where = SpanFilter(service=args.service, method=args.method)
+    try:
+        groups = group_by_method(warehouse, where, metric=args.metric)
+    except KeyError as err:
+        raise SystemExit(str(err))
+    rows, json_rows = [], []
+    for (service, method), agg in sorted(groups.items()):
+        quantile_values = {q: agg.quantile(q) for q in quantiles}
+        rows.append((f"{service}/{method}", f"{agg.count:,}",
+                     f"{agg.error_count:,}", f"{agg.mean_value_s * 1e3:.3f}",
+                     *(f"{quantile_values[q] * 1e3:.3f}"
+                       for q in quantiles)))
+        json_rows.append({
+            "service": service, "method": method, "count": agg.count,
+            "errors": agg.error_count, "mean_s": agg.mean_value_s,
+            **{f"p{q * 100:g}_s": quantile_values[q] for q in quantiles},
+        })
+    print(format_table(
+        ("method", "spans", "errors", "mean ms",
+         *(f"p{q * 100:g} ms" for q in quantiles)),
+        rows, title=f"span warehouse group-by ({args.metric}, "
+                    f"{warehouse.n_spans:,} spans)",
+    ))
+    document["groups"] = json_rows
+
+    if args.figures:
+        from repro.core.observer import (observer_breakdown_cdf,
+                                         observer_cycle_tax)
+
+        if args.service and args.method:
+            fig_targets = [(args.service, args.method)]
+        else:
+            best = max(groups.values(), key=lambda a: a.count, default=None)
+            fig_targets = [(best.service, best.method)] if best else []
+        for service, method in fig_targets:
+            try:
+                print()
+                print(observer_breakdown_cdf(warehouse, service,
+                                             method).render())
+            except ValueError as err:
+                print(f"fig14 {service}/{method}: {err}")
+        print()
+        print(observer_cycle_tax(warehouse).render())
+        shape = tree_shape_stats(warehouse)
+        print()
+        print(format_table(
+            ("statistic", "value"),
+            [("traces", f"{shape.n_traces:,}"),
+             ("spans", f"{shape.n_spans:,}"),
+             ("orphan spans", f"{shape.n_orphans:,}"),
+             ("spans/trace p50", f"{shape.size_quantile(0.5):.0f}"),
+             ("spans/trace p99", f"{shape.size_quantile(0.99):.0f}"),
+             ("max depth p99", f"{shape.depth_quantile(0.99):.0f}")],
+            title="call-tree shape (parent joins over the warehouse)",
+        ))
+
+    check_failed = False
+    if args.self_check:
+        if study is None:
+            raise SystemExit("--self-check requires --generate")
+        from repro.core.observer import validate_against_engine
+
+        report = validate_against_engine(warehouse, study.dapper,
+                                         gwp=study.gwp)
+        print()
+        print(report.render())
+        document["self_check"] = report.to_dict()
+        check_failed = not report.ok
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(document, f, indent=2, sort_keys=True)
+        print(f"\nwrote query results to {args.json}")
+
+    rss_failed = _check_rss_budget(args.max_rss_mb)
+    return 1 if check_failed else rss_failed
+
+
 _COMMANDS = {
     "fleet-study": _cmd_fleet_study,
     "growth": _cmd_growth,
@@ -707,6 +881,7 @@ _COMMANDS = {
     "diurnal": _cmd_diurnal,
     "analyze-traces": _cmd_analyze_traces,
     "export-chrome": _cmd_export_chrome,
+    "span-query": _cmd_span_query,
 }
 
 

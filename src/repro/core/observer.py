@@ -1,0 +1,329 @@
+"""Observer-side characterization: the paper's analysis jobs over stored spans.
+
+The paper's figures came from offline jobs over *stored* fleet telemetry
+(Dapper traces, GWP profiles), not from hooks inside the serving stack.
+This module is that vantage point for our repro: every function here
+computes a characterization figure **solely from the span warehouse**
+(:mod:`repro.obs.spanstore` via :mod:`repro.obs.query`) — no access to
+the live collector, the DES, or any engine-side state — and
+:func:`validate_against_engine` cross-checks the results against
+engine-side ground truth.
+
+Fidelity contract (asserted by tests and the CI ``span-query-smoke`` job):
+
+* **Fig. 9/14 component breakdown** — bit-identical. The warehouse
+  preserves record order (shard order is append order), so the observer
+  component matrix has exactly the engine's rows in the engine's order.
+* **Fig. 17 exogenous joins** — bit-identical: reconstructed spans carry
+  the same float64 annotations, so :func:`~repro.core.exogenous
+  .exogenous_curves` sees identical inputs.
+* **Fig. 8c/20 cycle tax** — per-RPC samples are exactly equal (a span's
+  ``cpu_cycles`` *is* the engine's ``costs.total()``); fleet totals are
+  recomputed by vectorized per-shard sums whose float additions happen
+  in a different order than the engine's per-call scalar adds, so totals
+  agree to ~1e-9 relative, not bitwise.
+* Under **head sampling** (``dapper_sampling < 1``) the warehouse only
+  holds sampled traces while the engine's GWP profiled every call, so
+  cycle totals diverge by the sampling noise; the breakdown/exogenous
+  checks still hold bit-identically *over the sampled corpus*. Validate
+  with an unsampled corpus when you need the strict contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.breakdown import BreakdownCdf, breakdown_cdf
+from repro.core.cycles import CycleTaxResult, analyze_cycle_tax
+from repro.core.exogenous import EXOGENOUS_VARIABLES, ExogenousCurve, \
+    exogenous_curves
+from repro.core.report import format_table
+from repro.obs.dapper import DapperCollector
+from repro.obs.gwp import TAX_CATEGORIES, GwpProfiler
+from repro.obs.query import SpanFilter, method_matrix, spans_matching, \
+    tree_shape_stats
+from repro.rpc.stack import StackCostModel
+
+__all__ = [
+    "observer_breakdown_cdf",
+    "observer_exogenous_curves",
+    "observer_cycle_tax",
+    "replay_gwp",
+    "ValidationCheck",
+    "ValidationReport",
+    "validate_against_engine",
+]
+
+
+# ----------------------------------------------------------------------
+# Observer-side figures
+# ----------------------------------------------------------------------
+def observer_breakdown_cdf(source, service: str, method: str,
+                           intra_cluster_only: bool = True) -> BreakdownCdf:
+    """Fig. 14 completion-time breakdown CDF, from the warehouse only.
+
+    Mirrors :func:`repro.core.breakdown.breakdown_cdf_for_service`
+    (ok-only spans, optional same-cluster filter) and is bit-identical
+    to it over the same corpus.
+    """
+    matrix = method_matrix(source, service, method, ok_only=True,
+                           intra_cluster_only=intra_cluster_only)
+    return breakdown_cdf(matrix, service=service)
+
+
+def observer_exogenous_curves(source, service: str, method: str,
+                              variables: Sequence[str] = EXOGENOUS_VARIABLES,
+                              n_buckets: int = 8
+                              ) -> Dict[str, ExogenousCurve]:
+    """Fig. 17 exogenous-variable curves, from the warehouse only.
+
+    Reconstructs the method's ok spans (record order, annotations
+    intact) and runs the engine-side batch extraction on them.
+    """
+    spans = spans_matching(source, SpanFilter(service=service, method=method))
+    return exogenous_curves(spans, variables, service=service,
+                            n_buckets=n_buckets)
+
+
+def replay_gwp(source, stack: Optional[StackCostModel] = None,
+               non_rpc_cycles: float = 0.0) -> GwpProfiler:
+    """Rebuild a :class:`GwpProfiler` from stored spans (Fig. 8c/20/21).
+
+    The warehouse stores each span's total CPU cost (``cpu_cycles``,
+    which the engine set to ``costs.total()``) plus the message sizes.
+    The four tax categories are deterministic linear functions of sizes
+    under the :class:`StackCostModel`, so the replay recomputes them
+    with :meth:`~repro.rpc.stack.StackCostModel.cycles_vec` and backs
+    application cycles out as ``cpu_cycles - tax``. Every stored span is
+    attributed — the engine profiles errors and hedged losers too.
+
+    ``non_rpc_cycles`` reinstates the background-tenant cycles the
+    engine's profiler saw via ``add_non_rpc`` (spans cannot carry them).
+    """
+    stack = stack or StackCostModel()
+    gwp = GwpProfiler(sample_rate=1.0)
+    if non_rpc_cycles:
+        gwp.add_non_rpc(non_rpc_cycles)
+    tables = source.tables
+    for columns in source.iter_columns():
+        n = columns.n_spans
+        if n == 0:
+            continue
+        cycles = np.asarray(columns.cpu_cycles, dtype=float)
+        tax = stack.cycles_vec(columns.request_bytes, columns.response_bytes,
+                               np.zeros(n))
+        tax_sum = np.zeros(n)
+        for cat in TAX_CATEGORIES:
+            gwp.totals[cat] += float(tax[cat].sum())
+            tax_sum += tax[cat]
+        gwp.totals["application"] += float((cycles - tax_sum).sum())
+        gwp.rpcs_profiled += n
+
+        service_ids = np.asarray(columns.service_ids, dtype=np.int64)
+        method_ids = np.asarray(columns.method_ids, dtype=np.int64)
+        packed = (service_ids << 32) | method_ids
+        for packed_key in np.unique(packed):
+            rows = packed == packed_key
+            key = (tables.services.names[int(packed_key) >> 32],
+                   tables.methods.names[int(packed_key) & 0xFFFFFFFF])
+            group_cycles = cycles[rows]
+            gwp.method_totals[key] = (gwp.method_totals.get(key, 0.0)
+                                      + float(group_cycles.sum()))
+            gwp.method_samples.setdefault(key, []).extend(
+                group_cycles.tolist())
+            gwp.service_totals[key[0]] = (
+                gwp.service_totals.get(key[0], 0.0)
+                + float(group_cycles.sum()))
+    return gwp
+
+
+def observer_cycle_tax(source, stack: Optional[StackCostModel] = None,
+                       non_rpc_cycles: float = 0.0) -> CycleTaxResult:
+    """Fig. 20 cycle-tax result, from the warehouse only."""
+    return analyze_cycle_tax(replay_gwp(source, stack=stack,
+                                        non_rpc_cycles=non_rpc_cycles))
+
+
+# ----------------------------------------------------------------------
+# Cross-validation against engine-side ground truth
+# ----------------------------------------------------------------------
+#: Relative tolerance for float totals whose summation *order* differs
+#: between engine (per-call scalar adds) and observer (per-shard
+#: vectorized sums). The values themselves are identical.
+SUMMATION_ORDER_RTOL = 1e-9
+
+
+@dataclass
+class ValidationCheck:
+    """One observer-vs-engine comparison and its outcome."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_against_engine`."""
+
+    checks: List[ValidationCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(c.passed for c in self.checks)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for manifests/CI artifacts."""
+        return {
+            "ok": self.ok,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+
+    def render(self) -> str:
+        """Render the report as an aligned text table."""
+        return format_table(
+            ("check", "result", "detail"),
+            [(c.name, "ok" if c.passed else "FAIL", c.detail)
+             for c in self.checks],
+            title="observer-side vs engine-side cross-validation",
+        )
+
+
+def _rel_err(a: float, b: float) -> float:
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale else 0.0
+
+
+def validate_against_engine(source, dapper: DapperCollector,
+                            gwp: Optional[GwpProfiler] = None,
+                            stack: Optional[StackCostModel] = None,
+                            service: Optional[str] = None,
+                            method: Optional[str] = None,
+                            non_rpc_cycles: float = 0.0
+                            ) -> ValidationReport:
+    """Cross-validate warehouse-derived figures against engine state.
+
+    ``dapper`` must be the collector whose spans fed the warehouse.
+    When ``service``/``method`` are omitted, the collector's most
+    sampled method is validated. Pass the engine's ``gwp`` (and the
+    study's ``stack``/``non_rpc_cycles``) to also check the Fig. 20
+    replay — meaningful only for unsampled corpora, where the span set
+    equals the profiled set.
+    """
+    report = ValidationReport()
+
+    n_engine = len(dapper.spans)
+    n_observer = sum(c.n_spans for c in source.iter_columns())
+    report.checks.append(ValidationCheck(
+        name="span count", passed=n_observer == n_engine,
+        detail=f"observer {n_observer} vs engine {n_engine}"))
+
+    if service is None or method is None:
+        counts: Dict[Tuple[str, str], int] = {}
+        for s in dapper.spans:
+            counts[(s.service, s.method)] = counts.get(
+                (s.service, s.method), 0) + 1
+        if not counts:
+            report.checks.append(ValidationCheck(
+                name="method selection", passed=False, detail="no spans"))
+            return report
+        service, method = max(counts, key=lambda k: (counts[k], k))
+
+    # Fig. 9 rows: exact, including order.
+    engine_matrix = dapper.matrix_for_method(f"{service}/{method}")
+    obs_matrix = method_matrix(source, service, method, ok_only=True,
+                               intra_cluster_only=False)
+    report.checks.append(ValidationCheck(
+        name=f"fig9 matrix {service}/{method}",
+        passed=engine_matrix.values.shape == obs_matrix.values.shape
+        and bool(np.array_equal(engine_matrix.values, obs_matrix.values)),
+        detail=f"{obs_matrix.values.shape[0]} rows, bit-identical"))
+
+    # Fig. 14 CDF: derived from the matrix, still exact.
+    try:
+        from repro.core.breakdown import breakdown_cdf_for_service
+        engine_cdf = breakdown_cdf_for_service(dapper, service, method)
+        obs_cdf = observer_breakdown_cdf(source, service, method)
+        report.checks.append(ValidationCheck(
+            name=f"fig14 cdf {service}/{method}",
+            passed=bool(np.array_equal(engine_cdf.component_values,
+                                       obs_cdf.component_values)),
+            detail=f"{obs_cdf.n_spans} spans, bit-identical"))
+    except ValueError as exc:
+        report.checks.append(ValidationCheck(
+            name=f"fig14 cdf {service}/{method}", passed=False,
+            detail=str(exc)))
+
+    # Fig. 17 joins: exact when enough annotated spans exist.
+    engine_spans = dapper.spans_for_method(service, method)
+    annotated = [s for s in engine_spans
+                 if EXOGENOUS_VARIABLES[0] in s.annotations]
+    if len(annotated) >= 80:
+        engine_curves = exogenous_curves(engine_spans, service=service)
+        obs_curves = observer_exogenous_curves(source, service, method)
+        exact = all(
+            np.array_equal(engine_curves[v].bucket_centers,
+                           obs_curves[v].bucket_centers)
+            and np.array_equal(engine_curves[v].component_values,
+                               obs_curves[v].component_values)
+            and np.array_equal(engine_curves[v].counts, obs_curves[v].counts)
+            for v in engine_curves
+        )
+        report.checks.append(ValidationCheck(
+            name=f"fig17 curves {service}/{method}", passed=exact,
+            detail=f"{len(engine_curves)} variables, bit-identical"))
+
+    # Trace reassembly: same trees.
+    engine_traces = dapper.traces()
+    from repro.obs.query import traces as warehouse_traces
+    obs_traces = warehouse_traces(source)
+    same_trees = (
+        set(obs_traces) == set(engine_traces)
+        and all(len(obs_traces[t]) == len(engine_traces[t])
+                for t in engine_traces)
+    )
+    report.checks.append(ValidationCheck(
+        name="trace reassembly", passed=same_trees,
+        detail=f"{len(obs_traces)} traces"))
+
+    # Fig. 20 replay (unsampled corpora only — see docstring).
+    if gwp is not None:
+        replay = replay_gwp(source, stack=stack,
+                            non_rpc_cycles=non_rpc_cycles)
+        errs = {cat: _rel_err(replay.totals[cat], gwp.totals[cat])
+                for cat in list(TAX_CATEGORIES) + ["application", "non_rpc"]}
+        worst = max(errs.values())
+        report.checks.append(ValidationCheck(
+            name="fig20 cycle totals",
+            passed=worst <= SUMMATION_ORDER_RTOL,
+            detail=f"max rel err {worst:.2e} (tol {SUMMATION_ORDER_RTOL:.0e})"))
+        key = (service, method)
+        engine_samples = np.asarray(gwp.method_samples.get(key, []))
+        replay_samples = np.asarray(replay.method_samples.get(key, []))
+        report.checks.append(ValidationCheck(
+            name=f"fig21 samples {service}/{method}",
+            passed=bool(np.array_equal(engine_samples, replay_samples)),
+            detail=f"{len(replay_samples)} samples, bit-identical"))
+        report.checks.append(ValidationCheck(
+            name="gwp rpcs profiled",
+            passed=replay.rpcs_profiled == gwp.rpcs_profiled,
+            detail=f"observer {replay.rpcs_profiled} "
+                   f"vs engine {gwp.rpcs_profiled}"))
+
+    # Tree shape is warehouse-only (the engine has no such query); just
+    # assert internal consistency: every span accounted for, no orphans
+    # in a whole-trace-sampled corpus.
+    shape = tree_shape_stats(source)
+    report.checks.append(ValidationCheck(
+        name="tree shape accounting",
+        passed=shape.n_spans == n_observer and shape.n_orphans == 0,
+        detail=f"{shape.n_traces} traces, {shape.n_spans} spans, "
+               f"{shape.n_orphans} orphans"))
+    return report

@@ -35,6 +35,16 @@ And the fleet observability control plane:
   burn-rate rules, a deterministic alert state machine on the sim
   clock, and adaptive per-method Dapper head sampling.
 
+And the span warehouse:
+
+- :mod:`repro.obs.spanstore` — a columnar, spill-to-disk span warehouse
+  (one ``.npy`` per column, atomic shards committed by a manifest,
+  zero-copy mmap replay) fed live by a streaming
+  :class:`~repro.rpc.tracing.SpanSink` or converted from trace files;
+- :mod:`repro.obs.query` — vectorized queries over stored spans:
+  compiled filters, group-by service·method with merge-order-free
+  sketch folds, exact component matrices, parent-join trace reassembly.
+
 Analyses in :mod:`repro.core` consume **only** these interfaces — never the
 simulator's internal state — mirroring the paper's own vantage point.
 """
@@ -50,7 +60,13 @@ from repro.obs.manifest import (ManifestBuilder, ManifestError, RunManifest,
                                 read_manifest, write_manifest)
 from repro.obs.metrics import Counter, DistributionMetric, Gauge, MetricRegistry
 from repro.obs.monarch import Monarch, MonarchScraper, SketchPoint
+from repro.obs.query import (MethodAggregate, SpanFilter, SpanListSource,
+                             group_by_method, method_matrix, spans_matching,
+                             trace_spans, tree_shape_stats)
 from repro.obs.sketch import ExemplarReservoir, LatencySketch
+from repro.obs.spanstore import (SpanStore, SpanStoreError, SpanStoreSink,
+                                 SpanWarehouse, ingest_spans,
+                                 ingest_trace_file)
 from repro.obs.telemetry import HeartbeatProbe, MetricsProbe, TraceEventProbe
 
 __all__ = [
@@ -68,6 +84,7 @@ __all__ = [
     "LatencySketch",
     "ManifestBuilder",
     "ManifestError",
+    "MethodAggregate",
     "MetricRegistry",
     "MetricsProbe",
     "Monarch",
@@ -76,11 +93,24 @@ __all__ = [
     "SketchPoint",
     "SloSpec",
     "Span",
+    "SpanFilter",
+    "SpanListSource",
+    "SpanStore",
+    "SpanStoreError",
+    "SpanStoreSink",
+    "SpanWarehouse",
     "TraceEventProbe",
     "chrome_trace",
+    "group_by_method",
+    "ingest_spans",
+    "ingest_trace_file",
     "load_slo_specs",
+    "method_matrix",
     "read_manifest",
     "span_trace_events",
+    "spans_matching",
+    "trace_spans",
+    "tree_shape_stats",
     "validate_trace_events",
     "write_chrome_trace",
     "write_manifest",

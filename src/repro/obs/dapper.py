@@ -28,7 +28,7 @@ from repro.rpc.stack import ComponentMatrix
 # The Span record type is owned by the RPC layer (it is what the DES
 # client emits); the collector re-exports it so analyses import it from
 # the observability vantage point they conceptually read it from.
-from repro.rpc.tracing import Span
+from repro.rpc.tracing import Span, SpanSink
 
 __all__ = ["Span", "DapperCollector", "MIN_SAMPLES_PER_METHOD"]
 
@@ -47,9 +47,12 @@ class DapperCollector:
         self.sampling_rate = sampling_rate
         self._rng = rng or np.random.default_rng(0)
         self.spans: List[Span] = []
+        self.spans_recorded = 0
         self._sampled_traces: Dict[int, bool] = {}
         self._method_rates: Dict[str, float] = {}
         self._root_offers: Dict[str, int] = {}
+        self._spool: Optional[SpanSink] = None
+        self._keep_in_memory = True
 
     # ------------------------------------------------------------------
     # Recording
@@ -95,11 +98,27 @@ class DapperCollector:
         self._root_offers = {}
         return out
 
+    def spool_to(self, sink: SpanSink, keep_in_memory: bool = True) -> None:
+        """Stream every kept span into ``sink`` as it is recorded.
+
+        With ``keep_in_memory=False`` the collector stops accumulating
+        ``self.spans`` — the sink (typically a
+        :class:`~repro.obs.spanstore.SpanStoreSink`) becomes the only
+        copy, and analyses query the warehouse instead. Spans already in
+        memory are not replayed; spool before the study runs.
+        """
+        self._spool = sink
+        self._keep_in_memory = keep_in_memory
+
     def record(self, span: Span) -> bool:
         """Record ``span`` if its trace is sampled; returns whether kept."""
         if not self.trace_is_sampled(span.trace_id):
             return False
-        self.spans.append(span)
+        self.spans_recorded += 1
+        if self._spool is not None:
+            self._spool.record(span)
+        if self._keep_in_memory:
+            self.spans.append(span)
         return True
 
     def record_all(self, spans: Iterable[Span]) -> int:

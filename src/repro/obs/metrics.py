@@ -13,6 +13,7 @@ behind its worst observations.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -66,12 +67,15 @@ class DistributionMetric:
     """A streaming distribution with bounded memory.
 
     Keeps exact count/sum/min/max plus a uniform reservoir of up to
-    ``reservoir_size`` samples for percentile queries (Vitter's Algorithm
-    R), a cumulative :class:`LatencySketch` the Monarch scraper snapshots
-    into per-interval distribution points, and an exemplar reservoir of
-    up to ``exemplar_k`` tail ``(value, trace_id)`` pairs. The tail cut
-    is the sketch's running p95 estimate, refreshed every 32
-    observations so the hot path stays one log per observe.
+    ``reservoir_size`` samples for percentile queries (skip-based
+    reservoir sampling — Li's Algorithm L — so once the reservoir is
+    full the RNG is consulted only at the O(k·log(n/k)) replacement
+    events, not per observation), a cumulative :class:`LatencySketch`
+    the Monarch scraper snapshots into per-interval distribution points,
+    and an exemplar reservoir of up to ``exemplar_k`` tail
+    ``(value, trace_id)`` pairs. The tail cut is the sketch's running
+    p95 estimate, refreshed every 32 observations so the hot path stays
+    cheap.
     """
 
     def __init__(self, reservoir_size: int = 4096,
@@ -86,9 +90,30 @@ class DistributionMetric:
         self.max = float("-inf")
         self._reservoir: List[float] = []
         self._rng = rng or np.random.default_rng(0)
+        self._skip_w = 1.0
+        self._next_replace = 0
         self.sketch = LatencySketch()
         self._exemplars = ExemplarReservoir(k=exemplar_k, rng=self._rng)
         self._tail_cut = 0.0
+
+    def _draw_skip(self) -> None:
+        """Algorithm L: draw the absolute count of the next replacement.
+
+        ``w`` is the running ``prod(u_i^(1/k))`` tracking the largest of
+        the k reservoir keys; the geometric skip says how many incoming
+        observations lose to it. Zero draws from the open interval are
+        floored so the logs stay finite.
+        """
+        u1 = self._rng.random()
+        self._skip_w *= math.exp(
+            math.log(u1 if u1 > 0.0 else 1e-300) / self.reservoir_size)
+        log_keep = math.log1p(-self._skip_w)
+        if log_keep >= 0.0:  # w rounded to 0: no replacement ever again
+            self._next_replace = 1 << 62
+            return
+        u2 = self._rng.random()
+        skip = int(math.log(u2 if u2 > 0.0 else 1e-300) / log_keep)
+        self._next_replace = self.count + skip + 1
 
     def observe(self, value: float, exemplar: Optional[int] = None) -> None:
         """Record one observation, optionally tagged with a trace id."""
@@ -100,10 +125,12 @@ class DistributionMetric:
             self.max = value
         if len(self._reservoir) < self.reservoir_size:
             self._reservoir.append(value)
-        else:
-            j = int(self._rng.integers(self.count))
-            if j < self.reservoir_size:
-                self._reservoir[j] = value
+            if len(self._reservoir) == self.reservoir_size:
+                self._draw_skip()
+        elif self.count >= self._next_replace:
+            j = int(self._rng.integers(self.reservoir_size))
+            self._reservoir[j] = value
+            self._draw_skip()
         self.sketch.observe(value)
         if exemplar is not None:
             if self.count % 32 == 0:

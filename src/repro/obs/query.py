@@ -1,0 +1,394 @@
+"""Vectorized queries over the span warehouse (fold-based, mmap-backed).
+
+The analysis jobs in :mod:`repro.core` consume spans; this module is the
+layer between them and :mod:`repro.obs.spanstore`: filters compiled to
+boolean masks over id columns, group-by service·method aggregation with
+sketch-fold percentiles, exact component-matrix extraction, and
+parent-join trace reassembly.
+
+Every aggregation here follows the PR 8 **merge-order-free fold
+contract**: state is updated one shard at a time via operations that
+commute across shards (integer adds, float component sums,
+:meth:`~repro.obs.sketch.LatencySketch.merge` vector adds), so the
+result is independent of shard visit order and a future parallel fold
+cannot change any answer. The one deliberate exception is
+:func:`method_matrix`, whose *rows* are emitted in shard order — which
+is record order — precisely so observer-side analyses reproduce
+engine-side results bit for bit.
+
+A *source* is anything with ``iter_columns()`` yielding
+:class:`~repro.obs.spanstore.SpanColumns` and a ``tables`` attribute: a
+committed :class:`~repro.obs.spanstore.SpanWarehouse`, a live
+:class:`~repro.obs.spanstore.SpanStoreSink` (spilled shards + buffered
+tail), or the :class:`SpanListSource` adapter over a plain span list.
+
+Memory: group-by and percentile queries hold one aggregate per group —
+independent of corpus size. Trace reassembly and tree-shape statistics
+index by trace/span id and are O(corpus ids) (~tens of bytes per span),
+the documented cost of joining parents across shard boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.sketch import LatencySketch
+from repro.obs.spanstore import SpanColumns, StringTables
+from repro.rpc.stack import APP_COMPONENT, COMPONENTS, ComponentMatrix
+from repro.rpc.tracing import Span
+
+__all__ = [
+    "SpanFilter",
+    "MethodAggregate",
+    "SpanListSource",
+    "group_by_method",
+    "method_matrix",
+    "spans_matching",
+    "trace_spans",
+    "traces",
+    "tree_shape_stats",
+    "TreeShapeStats",
+]
+
+_COMPONENT_INDEX = {name: i for i, name in enumerate(COMPONENTS)}
+
+
+def _tables(source) -> StringTables:
+    return source.tables
+
+
+@dataclass(frozen=True)
+class SpanFilter:
+    """A declarative span predicate, compiled to id-column masks.
+
+    ``ok_only`` mirrors the paper's §2.1 rule (errors excluded from
+    latency measurement); ``intra_cluster_only`` is the Fig. 14/16
+    same-cluster filter.
+    """
+
+    service: Optional[str] = None
+    method: Optional[str] = None
+    ok_only: bool = True
+    intra_cluster_only: bool = False
+
+    def _ids(self, tables: StringTables
+             ) -> Tuple[Optional[int], Optional[int], bool]:
+        """``(service_id, method_id, possible)`` under ``tables``."""
+        service_id = method_id = None
+        if self.service is not None:
+            service_id = tables.services.id_of(self.service)
+            if service_id is None:
+                return None, None, False
+        if self.method is not None:
+            method_id = tables.methods.id_of(self.method)
+            if method_id is None:
+                return None, None, False
+        return service_id, method_id, True
+
+    def mask(self, columns: SpanColumns,
+             tables: StringTables) -> np.ndarray:
+        """Boolean row mask over one shard."""
+        service_id, method_id, possible = self._ids(tables)
+        n = columns.n_spans
+        if not possible:
+            return np.zeros(n, dtype=bool)
+        mask = np.ones(n, dtype=bool)
+        if service_id is not None:
+            mask &= np.asarray(columns.service_ids) == service_id
+        if method_id is not None:
+            mask &= np.asarray(columns.method_ids) == method_id
+        if self.ok_only:
+            mask &= columns.ok_mask()
+        if self.intra_cluster_only:
+            mask &= (np.asarray(columns.client_cluster_ids)
+                     == np.asarray(columns.server_cluster_ids))
+        return mask
+
+
+def _metric_values(columns: SpanColumns, metric: str) -> np.ndarray:
+    """One value per span for a named metric."""
+    if metric == "total":
+        return columns.totals()
+    if metric == "tax":
+        comps = np.asarray(columns.components, dtype=float)
+        return comps.sum(axis=1) - comps[:, _COMPONENT_INDEX[APP_COMPONENT]]
+    if metric == "cycles":
+        return np.asarray(columns.cpu_cycles, dtype=float)
+    if metric.startswith("component:"):
+        name = metric.split(":", 1)[1]
+        if name not in _COMPONENT_INDEX:
+            raise KeyError(f"unknown component {name!r}")
+        return np.asarray(columns.components, dtype=float)[
+            :, _COMPONENT_INDEX[name]]
+    raise KeyError(
+        f"unknown metric {metric!r} (want total, tax, cycles, "
+        f"or component:<name>)")
+
+
+@dataclass
+class MethodAggregate:
+    """Merge-order-free per-(service, method) aggregate state."""
+
+    service: str
+    method: str
+    count: int = 0
+    error_count: int = 0
+    sum_value_s: float = 0.0
+    component_sums: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(COMPONENTS)))
+    sketch: LatencySketch = field(default_factory=LatencySketch)
+
+    @property
+    def full_method(self) -> str:
+        """The ``"Service/Method"`` identifier."""
+        return f"{self.service}/{self.method}"
+
+    @property
+    def mean_value_s(self) -> float:
+        """Mean of the folded metric (exact)."""
+        return self.sum_value_s / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Sketch quantile of the folded metric (within alpha)."""
+        return self.sketch.quantile(q)
+
+    def merge(self, other: "MethodAggregate") -> "MethodAggregate":
+        """Fold another shard's aggregate in; commutative."""
+        self.count += other.count
+        self.error_count += other.error_count
+        self.sum_value_s += other.sum_value_s
+        self.component_sums = self.component_sums + other.component_sums
+        self.sketch.merge(other.sketch)
+        return self
+
+
+def group_by_method(source, where: Optional[SpanFilter] = None,
+                    metric: str = "total"
+                    ) -> Dict[Tuple[str, str], MethodAggregate]:
+    """Per-(service, method) counts, component sums, and a value sketch.
+
+    One pass over the shards; per shard, rows are bucketed by the packed
+    ``(service_id, method_id)`` key and each group's values feed its
+    sketch via ``observe_many``. All state merges commutatively, so
+    shard order cannot affect the result.
+
+    ``error_count`` counts the spans the ``ok_only`` filter *excluded*
+    for that method (only meaningful when ``where.ok_only`` is true).
+    """
+    where = where or SpanFilter()
+    tables = _tables(source)
+    groups: Dict[Tuple[str, str], MethodAggregate] = {}
+    id_filter = SpanFilter(service=where.service, method=where.method,
+                           ok_only=False,
+                           intra_cluster_only=where.intra_cluster_only)
+    for columns in source.iter_columns():
+        base = id_filter.mask(columns, tables)
+        if not base.any():
+            continue
+        ok = columns.ok_mask()
+        used = base & ok if where.ok_only else base
+        service_ids = np.asarray(columns.service_ids, dtype=np.int64)
+        method_ids = np.asarray(columns.method_ids, dtype=np.int64)
+        packed = (service_ids << 32) | method_ids
+        values = _metric_values(columns, metric)
+        comps = np.asarray(columns.components, dtype=float)
+        for key in np.unique(packed[base]):
+            service_id, method_id = int(key) >> 32, int(key) & 0xFFFFFFFF
+            name = (tables.services.names[service_id],
+                    tables.methods.names[method_id])
+            agg = groups.get(name)
+            if agg is None:
+                agg = groups[name] = MethodAggregate(service=name[0],
+                                                     method=name[1])
+            in_group = packed == key
+            rows = used & in_group
+            n = int(rows.sum())
+            if n:
+                group_values = values[rows]
+                agg.count += n
+                agg.sum_value_s += float(group_values.sum())
+                agg.component_sums = (agg.component_sums
+                                      + comps[rows].sum(axis=0))
+                agg.sketch.observe_many(group_values)
+            if where.ok_only:
+                agg.error_count += int((base & in_group & ~ok).sum())
+    return groups
+
+
+def method_matrix(source, service: str, method: str,
+                  ok_only: bool = True,
+                  intra_cluster_only: bool = False) -> ComponentMatrix:
+    """One method's Fig. 9 component rows, in exact record order.
+
+    Row order is shard order = record order, so this reproduces
+    :meth:`DapperCollector.matrix_for_method` bit for bit over the same
+    corpus.
+    """
+    where = SpanFilter(service=service, method=method, ok_only=ok_only,
+                       intra_cluster_only=intra_cluster_only)
+    tables = _tables(source)
+    parts: List[np.ndarray] = []
+    for columns in source.iter_columns():
+        mask = where.mask(columns, tables)
+        if mask.any():
+            parts.append(np.asarray(columns.components, dtype=float)[mask])
+    if not parts:
+        return ComponentMatrix(np.zeros((0, len(COMPONENTS))))
+    return ComponentMatrix(np.vstack(parts))
+
+
+def spans_matching(source, where: Optional[SpanFilter] = None) -> List[Span]:
+    """Reconstructed spans passing the filter, in record order."""
+    where = where or SpanFilter()
+    tables = _tables(source)
+    out: List[Span] = []
+    for columns in source.iter_columns():
+        mask = where.mask(columns, tables)
+        if not mask.any():
+            continue
+        spans = columns.to_spans(tables)
+        out.extend(s for s, keep in zip(spans, mask) if keep)
+    return out
+
+
+def trace_spans(source, trace_id: int) -> List[Span]:
+    """One trace's spans, reassembled across shard boundaries."""
+    tables = _tables(source)
+    out: List[Span] = []
+    for columns in source.iter_columns():
+        mask = np.asarray(columns.trace_ids) == np.uint64(trace_id)
+        if not mask.any():
+            continue
+        spans = columns.to_spans(tables)
+        out.extend(s for s, keep in zip(spans, mask) if keep)
+    return out
+
+
+def traces(source, limit: Optional[int] = None) -> Dict[int, List[Span]]:
+    """All spans grouped by trace id (the incident-report drill-down).
+
+    Reproduces :meth:`DapperCollector.traces` over the same corpus.
+    ``limit`` keeps only the ``limit`` largest trace ids (the newest
+    traces, since ids are minted monotonically). Memory is O(corpus).
+    """
+    out: Dict[int, List[Span]] = {}
+    tables = _tables(source)
+    for columns in source.iter_columns():
+        for span in columns.to_spans(tables):
+            out.setdefault(span.trace_id, []).append(span)
+    if limit is not None and len(out) > limit:
+        keep = sorted(out, reverse=True)[:max(limit, 0)]
+        out = {tid: out[tid] for tid in keep}
+    return out
+
+
+@dataclass
+class TreeShapeStats:
+    """Per-trace size/depth distributions (the call-tree shape queries)."""
+
+    sizes: np.ndarray    # spans per trace
+    depths: np.ndarray   # max span depth per trace (root = 1)
+    n_orphans: int       # spans whose parent id was never stored
+
+    @property
+    def n_traces(self) -> int:
+        """Distinct traces seen."""
+        return int(self.sizes.shape[0])
+
+    @property
+    def n_spans(self) -> int:
+        """Total spans across traces."""
+        return int(self.sizes.sum())
+
+    def size_quantile(self, q: float) -> float:
+        """Quantile of spans-per-trace."""
+        return float(np.quantile(self.sizes, q)) if self.n_traces else 0.0
+
+    def depth_quantile(self, q: float) -> float:
+        """Quantile of per-trace max depth."""
+        return float(np.quantile(self.depths, q)) if self.n_traces else 0.0
+
+
+def tree_shape_stats(source) -> TreeShapeStats:
+    """Spans-per-trace and max-depth distributions via parent joins.
+
+    Two logical passes folded into one scan: per-shard id arrays append
+    into flat index structures (O(corpus ids) memory), then depths are
+    resolved by chasing parent pointers with memoization. A span whose
+    parent id is absent from the corpus (e.g. head-sampled partial
+    trees) is treated as a root and counted in ``n_orphans``.
+    """
+    span_parent: Dict[int, int] = {}
+    span_trace: Dict[int, int] = {}
+    for columns in source.iter_columns():
+        for sid, pid, tid in zip(columns.span_ids.tolist(),
+                                 columns.parent_ids.tolist(),
+                                 columns.trace_ids.tolist()):
+            span_parent[sid] = pid
+            span_trace[sid] = tid
+
+    depth_of: Dict[int, int] = {}
+    n_orphans = 0
+
+    def resolve(sid: int) -> int:
+        chain: List[int] = []
+        cur = sid
+        depth = 0
+        while True:
+            cached = depth_of.get(cur)
+            if cached is not None:
+                depth = cached
+                break
+            parent = span_parent.get(cur, 0)
+            if parent == 0 or parent not in span_parent:
+                depth = 1
+                depth_of[cur] = 1
+                break
+            chain.append(cur)
+            cur = parent
+        for node in reversed(chain):
+            depth += 1
+            depth_of[node] = depth
+        return depth_of.get(sid, depth)
+
+    trace_sizes: Dict[int, int] = {}
+    trace_depths: Dict[int, int] = {}
+    for sid, tid in span_trace.items():
+        parent = span_parent.get(sid, 0)
+        if parent != 0 and parent not in span_parent:
+            n_orphans += 1
+        d = resolve(sid)
+        trace_sizes[tid] = trace_sizes.get(tid, 0) + 1
+        if d > trace_depths.get(tid, 0):
+            trace_depths[tid] = d
+    tids = sorted(trace_sizes)
+    return TreeShapeStats(
+        sizes=np.asarray([trace_sizes[t] for t in tids], dtype=np.int64),
+        depths=np.asarray([trace_depths[t] for t in tids], dtype=np.int64),
+        n_orphans=n_orphans,
+    )
+
+
+class SpanListSource:
+    """Query any in-memory span list with the warehouse query API.
+
+    Columnarizes once at construction; useful for querying a live
+    :class:`~repro.obs.dapper.DapperCollector` (or test fixtures) with
+    the same code paths the warehouse uses.
+    """
+
+    def __init__(self, spans: Iterable[Span]):
+        self.tables = StringTables()
+        self._columns = SpanColumns.from_spans(list(spans), self.tables)
+
+    @property
+    def n_spans(self) -> int:
+        """Rows in the single backing shard."""
+        return self._columns.n_spans
+
+    def iter_columns(self) -> Iterator[SpanColumns]:
+        """The single in-memory shard."""
+        yield self._columns

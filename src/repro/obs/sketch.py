@@ -54,8 +54,12 @@ class LatencySketch:
     """
 
     __slots__ = ("relative_accuracy", "min_value", "max_value", "_gamma",
-                 "_inv_log_gamma", "n_buckets", "counts", "count", "sum",
-                 "min", "max")
+                 "_inv_log_gamma", "n_buckets", "_counts", "_pending",
+                 "count", "sum", "min", "max")
+
+    #: Scalar observations buffer up to this many values before the
+    #: bucket math runs vectorized over the batch.
+    PENDING_FLUSH = 512
 
     def __init__(self, relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
                  min_value: float = 1e-9, max_value: float = 1e6):
@@ -72,7 +76,8 @@ class LatencySketch:
         self._inv_log_gamma = 1.0 / math.log(self._gamma)
         self.n_buckets = int(math.ceil(
             math.log(max_value / min_value) * self._inv_log_gamma)) + 1
-        self.counts = np.zeros(self.n_buckets, dtype=np.int64)
+        self._counts = np.zeros(self.n_buckets, dtype=np.int64)
+        self._pending: List[float] = []
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -87,16 +92,47 @@ class LatencySketch:
         idx = int(math.log(value / self.min_value) * self._inv_log_gamma)
         return idx if idx < self.n_buckets else self.n_buckets - 1
 
+    def _flush_pending(self) -> None:
+        """Drain buffered scalar observations into the bucket array.
+
+        The vectorized bucket math lands every value in the same bucket
+        the scalar ``_bucket_of`` would (the identity the batch-path
+        tests pin), so buffering only defers *when* counts appear in the
+        array, never *where* — and ``count``/``sum``/``min``/``max`` are
+        maintained eagerly, so only bucket reads need a flush.
+        """
+        if not self._pending:
+            return
+        arr = np.asarray(self._pending, dtype=float)
+        self._pending = []
+        clipped = np.maximum(arr / self.min_value, 1.0)
+        idx = (np.log(clipped) * self._inv_log_gamma).astype(np.int64)
+        np.clip(idx, 0, self.n_buckets - 1, out=idx)
+        np.add.at(self._counts, idx, 1)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The bucket array (flushes the scalar buffer first)."""
+        self._flush_pending()
+        return self._counts
+
+    @counts.setter
+    def counts(self, values: np.ndarray) -> None:
+        self._pending = []
+        self._counts = values
+
     def observe(self, value: float) -> None:
-        """Record one observation (scalar hot path)."""
+        """Record one observation (scalar hot path; buffered)."""
         value = float(value)
-        self.counts[self._bucket_of(value)] += 1
+        self._pending.append(value)
         self.count += 1
         self.sum += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._pending) >= self.PENDING_FLUSH:
+            self._flush_pending()
 
     def observe_many(self, values: Sequence[float]) -> None:
         """Record a batch of observations (vectorized)."""
@@ -106,7 +142,7 @@ class LatencySketch:
         clipped = np.maximum(arr / self.min_value, 1.0)
         idx = (np.log(clipped) * self._inv_log_gamma).astype(np.int64)
         np.clip(idx, 0, self.n_buckets - 1, out=idx)
-        np.add.at(self.counts, idx, 1)
+        np.add.at(self._counts, idx, 1)
         self.count += int(arr.size)
         self.sum += float(arr.sum())
         self.min = min(self.min, float(arr.min()))

@@ -1,0 +1,614 @@
+"""Columnar on-disk span warehouse: the telemetry side of the spill design.
+
+The paper's analysis jobs ran over *stored* fleet telemetry — Dapper
+spans persisted to a trace warehouse — not over live collectors. This
+module is that warehouse for our spans, mirroring the
+:mod:`repro.core.shardstore` spill design byte for byte in spirit:
+
+- ``<root>/<run_key>/shard-00042.<column>.npy`` — one standard ``.npy``
+  per span column (trace/span/parent ids, interned service/method ids,
+  status, start time, sizes, CPU cycles), plus one ``(n, 9)`` matrix of
+  the nine Fig. 9 component latencies and a COO annotation triplet
+  (``ann_rows``/``ann_keys``/``ann_values``) for the sparse
+  exogenous-state annotations the Fig. 17 joins consume.
+- ``<root>/<run_key>/manifest.json`` — written *last*, atomically, as
+  the commit point. It carries the per-shard span counts **and the
+  string tables** (service, method, cluster, machine, annotation-key
+  names), so id columns decode without touching any Python object that
+  produced them. A run directory without a manifest is an unfinished
+  spill.
+
+Durability follows :class:`~repro.core.shardstore.ShardStore`: every
+file is written to a same-directory temp name and ``os.replace``d into
+place; any unreadable, truncated, or inconsistent shard behaves as a
+**miss** — the corrupt files are unlinked and the reader reports the
+shard as missing rather than surfacing garbage rows. Unlike forest
+shards, spans are *not* regenerable from a seed, so readers surface the
+miss (``SpanWarehouse.missing_shards``) instead of silently recreating
+data.
+
+Three front doors:
+
+- :class:`SpanStoreSink` — a streaming :class:`~repro.rpc.tracing.SpanSink`:
+  spans buffer in columnar builders and spill one shard to disk every
+  ``shard_size`` records, so a live DES study (or serve mode) can feed
+  the warehouse with bounded memory. ``close()`` commits the manifest.
+- :func:`ingest_trace_file` — converts an existing ``trace_io`` file
+  (the ``--save-traces`` output) into a warehouse.
+- :class:`SpanWarehouse` — the read handle: zero-copy
+  ``np.load(mmap_mode="r")`` replay of shards for the fold-based query
+  layer in :mod:`repro.obs.query`.
+
+Round-trips are lossless: ``float64`` columns, exact integer ids, and
+the manifest's string tables reconstruct every :class:`Span` bit for
+bit, which is what lets the observer-side analyses in
+:mod:`repro.core.observer` match engine-side ground truth exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (BinaryIO, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+import numpy as np
+
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import COMPONENTS, ComponentMatrix, LatencyBreakdown
+from repro.rpc.tracing import Span
+
+__all__ = [
+    "SPANSTORE_SCHEMA",
+    "DEFAULT_SHARD_SIZE",
+    "SpanStoreError",
+    "StringTables",
+    "SpanColumns",
+    "SpanStore",
+    "SpanStoreSink",
+    "SpanWarehouse",
+    "ingest_trace_file",
+    "ingest_spans",
+]
+
+#: Bump to invalidate every existing warehouse (column set or dtype change).
+SPANSTORE_SCHEMA = 1
+
+#: Spans buffered per shard before spilling. At ~150 bytes/span of
+#: columnar data this bounds the sink's working set to ~1-2 MB.
+DEFAULT_SHARD_SIZE = 8192
+
+#: Per-span columns: name -> on-disk dtype. uint64 ids match the wire
+#: schema (``parent_id`` 0 = root, as in trace files); int32 interned
+#: ids bound a warehouse to 2**31 distinct strings per table.
+_SPAN_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("trace_ids", "uint64"),
+    ("span_ids", "uint64"),
+    ("parent_ids", "uint64"),
+    ("service_ids", "int32"),
+    ("method_ids", "int32"),
+    ("client_cluster_ids", "int32"),
+    ("server_cluster_ids", "int32"),
+    ("machine_ids", "int32"),
+    ("statuses", "int16"),
+    ("start_times", "float64"),
+    ("request_bytes", "int64"),
+    ("response_bytes", "int64"),
+    ("cpu_cycles", "float64"),
+)
+
+#: Sparse annotation triplet: (row within shard, interned key, value).
+_ANN_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("ann_rows", "int32"),
+    ("ann_keys", "int32"),
+    ("ann_values", "float64"),
+)
+
+#: The (n, 9) Fig. 9 component matrix travels as one 2-D ``.npy``.
+_MATRIX_COLUMN = "components"
+
+
+class SpanStoreError(Exception):
+    """Raised on unusable warehouses (no manifest, schema mismatch)."""
+
+
+class _Interner:
+    """Stable string -> small-int interning (insertion order = id order)."""
+
+    __slots__ = ("names", "_ids")
+
+    def __init__(self, names: Optional[Sequence[str]] = None):
+        self.names: List[str] = list(names or [])
+        self._ids: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+
+    def intern(self, name: str) -> int:
+        idx = self._ids.get(name)
+        if idx is None:
+            idx = len(self.names)
+            self._ids[name] = idx
+            self.names.append(name)
+        return idx
+
+    def id_of(self, name: str) -> Optional[int]:
+        """The id for ``name``, or ``None`` if never interned."""
+        return self._ids.get(name)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+class StringTables:
+    """The five interning tables a warehouse carries in its manifest."""
+
+    __slots__ = ("services", "methods", "clusters", "machines", "ann_keys")
+
+    def __init__(self) -> None:
+        self.services = _Interner()
+        self.methods = _Interner()
+        self.clusters = _Interner()
+        self.machines = _Interner()
+        self.ann_keys = _Interner()
+
+    def to_dict(self) -> Dict[str, List[str]]:
+        """JSON-safe form for the manifest."""
+        return {
+            "services": list(self.services.names),
+            "methods": list(self.methods.names),
+            "clusters": list(self.clusters.names),
+            "machines": list(self.machines.names),
+            "ann_keys": list(self.ann_keys.names),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, List[str]]) -> "StringTables":
+        """Rebuild tables from manifest JSON."""
+        out = cls()
+        out.services = _Interner(doc.get("services", []))
+        out.methods = _Interner(doc.get("methods", []))
+        out.clusters = _Interner(doc.get("clusters", []))
+        out.machines = _Interner(doc.get("machines", []))
+        out.ann_keys = _Interner(doc.get("ann_keys", []))
+        return out
+
+
+@dataclass
+class SpanColumns:
+    """One shard's spans in columnar form (arrays may be mmap views)."""
+
+    trace_ids: np.ndarray
+    span_ids: np.ndarray
+    parent_ids: np.ndarray
+    service_ids: np.ndarray
+    method_ids: np.ndarray
+    client_cluster_ids: np.ndarray
+    server_cluster_ids: np.ndarray
+    machine_ids: np.ndarray
+    statuses: np.ndarray
+    start_times: np.ndarray
+    request_bytes: np.ndarray
+    response_bytes: np.ndarray
+    cpu_cycles: np.ndarray
+    components: np.ndarray          # (n, 9) float64
+    ann_rows: np.ndarray
+    ann_keys: np.ndarray
+    ann_values: np.ndarray
+
+    @property
+    def n_spans(self) -> int:
+        """Rows in this shard."""
+        return int(self.trace_ids.shape[0])
+
+    @property
+    def n_annotations(self) -> int:
+        """Annotation triplets in this shard."""
+        return int(self.ann_rows.shape[0])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spans(cls, spans: Sequence[Span],
+                   tables: StringTables) -> "SpanColumns":
+        """Columnarize spans, interning strings into ``tables``."""
+        n = len(spans)
+        cols: Dict[str, np.ndarray] = {
+            name: np.empty(n, dtype=dtype) for name, dtype in _SPAN_COLUMNS
+        }
+        components = np.empty((n, len(COMPONENTS)), dtype=np.float64)
+        ann_rows: List[int] = []
+        ann_keys: List[int] = []
+        ann_values: List[float] = []
+        for i, s in enumerate(spans):
+            cols["trace_ids"][i] = s.trace_id
+            cols["span_ids"][i] = s.span_id
+            cols["parent_ids"][i] = s.parent_id or 0
+            cols["service_ids"][i] = tables.services.intern(s.service)
+            cols["method_ids"][i] = tables.methods.intern(s.method)
+            cols["client_cluster_ids"][i] = tables.clusters.intern(
+                s.client_cluster)
+            cols["server_cluster_ids"][i] = tables.clusters.intern(
+                s.server_cluster)
+            cols["machine_ids"][i] = tables.machines.intern(s.server_machine)
+            cols["statuses"][i] = s.status.value
+            cols["start_times"][i] = s.start_time
+            cols["request_bytes"][i] = s.request_bytes
+            cols["response_bytes"][i] = s.response_bytes
+            cols["cpu_cycles"][i] = s.cpu_cycles
+            b = s.breakdown
+            for j, comp in enumerate(COMPONENTS):
+                components[i, j] = getattr(b, comp)
+            for key, value in s.annotations.items():
+                ann_rows.append(i)
+                ann_keys.append(tables.ann_keys.intern(key))
+                ann_values.append(float(value))
+        return cls(components=components,
+                   ann_rows=np.asarray(ann_rows, dtype=np.int32),
+                   ann_keys=np.asarray(ann_keys, dtype=np.int32),
+                   ann_values=np.asarray(ann_values, dtype=np.float64),
+                   **cols)
+
+    def to_spans(self, tables: StringTables) -> List[Span]:
+        """Lossless reconstruction of the shard's :class:`Span` records."""
+        annotations: Dict[int, Dict[str, float]] = {}
+        key_names = tables.ann_keys.names
+        for r, k, v in zip(self.ann_rows.tolist(), self.ann_keys.tolist(),
+                           self.ann_values.tolist()):
+            annotations.setdefault(r, {})[key_names[k]] = v
+        out: List[Span] = []
+        services = tables.services.names
+        methods = tables.methods.names
+        clusters = tables.clusters.names
+        machines = tables.machines.names
+        for i in range(self.n_spans):
+            parent = int(self.parent_ids[i])
+            out.append(Span(
+                trace_id=int(self.trace_ids[i]),
+                span_id=int(self.span_ids[i]),
+                parent_id=parent or None,
+                service=services[int(self.service_ids[i])],
+                method=methods[int(self.method_ids[i])],
+                client_cluster=clusters[int(self.client_cluster_ids[i])],
+                server_cluster=clusters[int(self.server_cluster_ids[i])],
+                server_machine=machines[int(self.machine_ids[i])],
+                start_time=float(self.start_times[i]),
+                breakdown=LatencyBreakdown(**dict(zip(
+                    COMPONENTS, self.components[i].tolist()))),
+                status=StatusCode(int(self.statuses[i])),
+                request_bytes=int(self.request_bytes[i]),
+                response_bytes=int(self.response_bytes[i]),
+                cpu_cycles=float(self.cpu_cycles[i]),
+                annotations=annotations.get(i, {}),
+            ))
+        return out
+
+    # ------------------------------------------------------------------
+    def totals(self) -> np.ndarray:
+        """Per-span completion time (sum of the nine components)."""
+        return np.asarray(self.components, dtype=float).sum(axis=1)
+
+    def ok_mask(self) -> np.ndarray:
+        """Boolean mask of OK-status spans (the paper's §2.1 filter)."""
+        return np.asarray(self.statuses) == StatusCode.OK.value
+
+    def matrix(self, mask: Optional[np.ndarray] = None) -> ComponentMatrix:
+        """Rows as a :class:`ComponentMatrix` (optionally masked)."""
+        values = np.asarray(self.components, dtype=float)
+        if mask is not None:
+            values = values[mask]
+        return ComponentMatrix(values)
+
+    def annotation_values(self, key_id: int
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row_indices, values)`` of one annotation key in this shard."""
+        sel = np.asarray(self.ann_keys) == key_id
+        return (np.asarray(self.ann_rows)[sel],
+                np.asarray(self.ann_values)[sel])
+
+
+class SpanStore:
+    """One warehouse run directory: put/get span shards by index.
+
+    Mirrors :class:`~repro.core.shardstore.ShardStore`: atomic column
+    writes, a manifest as the commit point, and the corrupt→miss+unlink
+    read contract.
+    """
+
+    def __init__(self, root: Union[os.PathLike, str], run_key: str):
+        if not run_key or any(c in run_key for c in "/\\"):
+            raise ValueError(f"run_key must be a plain name, got {run_key!r}")
+        self.root = Path(root)
+        self.run_key = run_key
+        self.run_dir = self.root / run_key
+        self.bytes_written = 0
+
+    # -- paths ---------------------------------------------------------
+    def shard_paths(self, shard_index: int) -> Dict[str, Path]:
+        """Column name -> file path for one shard."""
+        stem = f"shard-{shard_index:05d}"
+        names = ([name for name, _ in _SPAN_COLUMNS]
+                 + [name for name, _ in _ANN_COLUMNS] + [_MATRIX_COLUMN])
+        return {name: self.run_dir / f"{stem}.{name}.npy" for name in names}
+
+    @property
+    def manifest_path(self) -> Path:
+        """The run's commit point; absent until :meth:`finalize`."""
+        return self.run_dir / "manifest.json"
+
+    # -- writing -------------------------------------------------------
+    def _atomic_save(self, path: Path, array: np.ndarray) -> int:
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                np.save(fh, array)
+            nbytes = tmp.stat().st_size
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return nbytes
+
+    def put(self, shard_index: int, columns: SpanColumns) -> int:
+        """Spill one shard; returns bytes written."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        paths = self.shard_paths(shard_index)
+        nbytes = 0
+        for name, dtype in _SPAN_COLUMNS + _ANN_COLUMNS:
+            column = np.asarray(getattr(columns, name), dtype=dtype)
+            nbytes += self._atomic_save(paths[name], column)
+        nbytes += self._atomic_save(
+            paths[_MATRIX_COLUMN],
+            np.asarray(columns.components, dtype=np.float64))
+        self.bytes_written += nbytes
+        return nbytes
+
+    def finalize(self, shards: List[Dict[str, int]],
+                 tables: StringTables) -> None:
+        """Atomically write the manifest that commits the warehouse."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SPANSTORE_SCHEMA,
+            "run_key": self.run_key,
+            "n_shards": len(shards),
+            "n_spans": int(sum(s["n_spans"] for s in shards)),
+            "shards": shards,
+            "tables": tables.to_dict(),
+        }
+        tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, self.manifest_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- reading -------------------------------------------------------
+    def manifest(self) -> Optional[dict]:
+        """The committed manifest, or ``None`` (missing/corrupt/foreign)."""
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != SPANSTORE_SCHEMA
+                or payload.get("run_key") != self.run_key):
+            return None
+        return payload
+
+    def drop(self, shard_index: int) -> None:
+        """Remove one shard's files (used when a shard fails validation)."""
+        for path in self.shard_paths(shard_index).values():
+            path.unlink(missing_ok=True)
+
+    def get(self, shard_index: int,
+            expect_spans: Optional[int] = None) -> Optional[SpanColumns]:
+        """Memory-mapped view of one shard, or ``None`` on miss.
+
+        Any failure to load — absent files, truncated ``.npy`` payloads,
+        inconsistent column lengths, a malformed component matrix, or a
+        span count contradicting ``expect_spans`` — unlinks the shard
+        and reports a miss. Spans are not regenerable, so callers must
+        surface the miss rather than fabricate data (see
+        :attr:`SpanWarehouse.missing_shards`).
+        """
+        paths = self.shard_paths(shard_index)
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for name in paths:
+                arrays[name] = np.load(paths[name], mmap_mode="r",
+                                       allow_pickle=False)
+        except (OSError, ValueError):
+            self.drop(shard_index)
+            return None
+        n = arrays["trace_ids"].shape[0]
+        n_ann = arrays["ann_rows"].shape[0]
+        matrix = arrays[_MATRIX_COLUMN]
+        bad = (
+            any(arrays[name].shape != (n,) for name, _ in _SPAN_COLUMNS)
+            or any(arrays[name].shape != (n_ann,) for name, _ in _ANN_COLUMNS)
+            or matrix.shape != (n, len(COMPONENTS))
+            or (n_ann > 0 and (int(arrays["ann_rows"].max()) >= n
+                               or int(arrays["ann_rows"].min()) < 0))
+            or (expect_spans is not None and n != expect_spans)
+        )
+        if bad:
+            self.drop(shard_index)
+            return None
+        return SpanColumns(
+            components=matrix,
+            **{name: arrays[name]
+               for name, _ in _SPAN_COLUMNS + _ANN_COLUMNS})
+
+
+class SpanStoreSink:
+    """A streaming :class:`~repro.rpc.tracing.SpanSink` over a store.
+
+    Spans buffer in memory and spill one columnar shard every
+    ``shard_size`` records, so feeding a million-span study needs the
+    working set of one shard, not the corpus. ``close()`` flushes the
+    tail shard and commits the manifest; until then the run directory is
+    an unfinished spill that readers refuse.
+
+    Accepts every span offered (returns ``True``): sampling is the
+    collector's job — plug this sink behind
+    :meth:`~repro.obs.dapper.DapperCollector.spool_to` so head-sampling
+    decisions stay in one place.
+    """
+
+    def __init__(self, store: SpanStore,
+                 shard_size: int = DEFAULT_SHARD_SIZE):
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size!r}")
+        self.store = store
+        self.shard_size = shard_size
+        self.tables = StringTables()
+        self.shards: List[Dict[str, int]] = []
+        self.spans_spilled = 0
+        self._pending: List[Span] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_spans(self) -> int:
+        """Spans accepted so far (spilled + buffered)."""
+        return self.spans_spilled + len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the manifest has been committed."""
+        return self._closed
+
+    def record(self, span: Span) -> bool:
+        """Accept one span (always kept); spills a shard when full."""
+        if self._closed:
+            raise SpanStoreError("sink is closed")
+        self._pending.append(span)
+        if len(self._pending) >= self.shard_size:
+            self.flush()
+        return True
+
+    def record_all(self, spans: Iterable[Span]) -> int:
+        """Accept many spans; returns the count."""
+        n = 0
+        for span in spans:
+            self.record(span)
+            n += 1
+        return n
+
+    def flush(self) -> None:
+        """Spill the buffered tail as a (possibly short) shard."""
+        if not self._pending:
+            return
+        columns = SpanColumns.from_spans(self._pending, self.tables)
+        index = len(self.shards)
+        self.store.put(index, columns)
+        self.shards.append({"n_spans": columns.n_spans,
+                            "n_annotations": columns.n_annotations})
+        self.spans_spilled += columns.n_spans
+        self._pending = []
+
+    def close(self) -> "SpanWarehouse":
+        """Flush, commit the manifest, and open the finished warehouse."""
+        if not self._closed:
+            self.flush()
+            self.store.finalize(self.shards, self.tables)
+            self._closed = True
+        return SpanWarehouse.open(self.store.root, self.store.run_key)
+
+    def __enter__(self) -> "SpanStoreSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Commit only on clean exit: a crashed writer must leave an
+        # unfinished (manifest-less) spill, never a half-true warehouse.
+        if exc_type is None:
+            self.close()
+
+    # ------------------------------------------------------------------
+    def iter_columns(self) -> Iterator[SpanColumns]:
+        """Live query view: spilled shards (mmap) plus the buffered tail.
+
+        This is what serve mode's ``/debug/query`` reads — queries see
+        every span recorded so far without forcing an early commit.
+        """
+        for index, meta in enumerate(self.shards):
+            columns = self.store.get(index, expect_spans=meta["n_spans"])
+            if columns is not None:
+                yield columns
+        if self._pending:
+            yield SpanColumns.from_spans(self._pending, self.tables)
+
+
+class SpanWarehouse:
+    """Read handle over a committed warehouse run.
+
+    ``iter_columns()`` yields zero-copy mmap shard views in shard order
+    — which is record order, so analyses that fold shards sequentially
+    see spans exactly as the collector recorded them.
+    """
+
+    def __init__(self, store: SpanStore, manifest: dict):
+        self.store = store
+        self.manifest = manifest
+        self.tables = StringTables.from_dict(manifest["tables"])
+        self.shard_counts: List[int] = [
+            int(s["n_spans"]) for s in manifest["shards"]]
+        self.missing_shards: List[int] = []
+
+    @classmethod
+    def open(cls, root: Union[os.PathLike, str],
+             run_key: str) -> "SpanWarehouse":
+        """Open a committed run; raises :class:`SpanStoreError` if not."""
+        store = SpanStore(root, run_key)
+        manifest = store.manifest()
+        if manifest is None:
+            raise SpanStoreError(
+                f"no committed span warehouse at {store.run_dir} "
+                f"(missing, corrupt, or foreign manifest)")
+        return cls(store, manifest)
+
+    @property
+    def n_shards(self) -> int:
+        """Shards in the committed run."""
+        return len(self.shard_counts)
+
+    @property
+    def n_spans(self) -> int:
+        """Total spans committed (manifest count; misses not deducted)."""
+        return int(self.manifest["n_spans"])
+
+    def iter_columns(self) -> Iterator[SpanColumns]:
+        """Shard views in record order; corrupt shards become misses."""
+        for index, expect in enumerate(self.shard_counts):
+            columns = self.store.get(index, expect_spans=expect)
+            if columns is None:
+                if index not in self.missing_shards:
+                    self.missing_shards.append(index)
+                continue
+            yield columns
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Reconstructed :class:`Span` records in record order."""
+        for columns in self.iter_columns():
+            for span in columns.to_spans(self.tables):
+                yield span
+
+
+def ingest_spans(spans: Iterable[Span], root: Union[os.PathLike, str],
+                 run_key: str,
+                 shard_size: int = DEFAULT_SHARD_SIZE) -> SpanWarehouse:
+    """Build a committed warehouse from an in-memory span iterable."""
+    sink = SpanStoreSink(SpanStore(root, run_key), shard_size=shard_size)
+    sink.record_all(spans)
+    return sink.close()
+
+
+def ingest_trace_file(source: Union[str, bytes, BinaryIO],
+                      root: Union[os.PathLike, str], run_key: str,
+                      shard_size: int = DEFAULT_SHARD_SIZE) -> SpanWarehouse:
+    """Convert a ``trace_io`` file (``--save-traces``) into a warehouse.
+
+    Streams record by record, so the trace file never materializes as a
+    span list.
+    """
+    from repro.obs.trace_io import read_traces
+
+    return ingest_spans(read_traces(source), root, run_key,
+                        shard_size=shard_size)

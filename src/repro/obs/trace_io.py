@@ -13,7 +13,6 @@ File layout: ``magic "DTRC" | version varint | repeated
 
 from __future__ import annotations
 
-import io
 from typing import BinaryIO, Iterable, Iterator, List, Union
 
 from repro.obs.dapper import DapperCollector, Span
@@ -31,7 +30,7 @@ from repro.rpc.wire import (
 )
 
 __all__ = ["SPAN_SCHEMA", "span_to_bytes", "span_from_bytes",
-           "write_traces", "read_traces", "TraceIOError"]
+           "TraceWriter", "write_traces", "read_traces", "TraceIOError"]
 
 MAGIC = b"DTRC"
 VERSION = 1
@@ -126,23 +125,90 @@ def span_from_bytes(data: bytes) -> Span:
     )
 
 
+class TraceWriter:
+    """Incremental trace-file writer with bounded buffering.
+
+    Spans are encoded the moment they are appended and staged in a small
+    byte buffer that drains to the file every ``flush_every`` records or
+    ``max_buffer_bytes`` encoded bytes, whichever comes first — so a
+    long-running study can export its corpus as it runs without ever
+    materializing the span list. The byte stream is identical to the
+    one-shot :func:`write_traces` path (which is now built on this
+    class), and because records are length-prefixed every flushed prefix
+    is itself a readable trace file.
+
+    Also a :class:`~repro.rpc.tracing.SpanSink` (``record()``), so a
+    collector can :meth:`~repro.obs.dapper.DapperCollector.spool_to` a
+    trace file directly.
+    """
+
+    def __init__(self, sink: Union[str, BinaryIO], flush_every: int = 512,
+                 max_buffer_bytes: int = 1 << 20):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every!r}")
+        if max_buffer_bytes < 1:
+            raise ValueError(
+                f"max_buffer_bytes must be >= 1, got {max_buffer_bytes!r}")
+        self.flush_every = flush_every
+        self.max_buffer_bytes = max_buffer_bytes
+        self._own = isinstance(sink, str)
+        self._f: BinaryIO = open(sink, "wb") if self._own else sink
+        self._chunks: List[bytes] = [MAGIC + encode_varint(VERSION)]
+        self._buffered_bytes = len(self._chunks[0])
+        self._buffered_records = 0
+        self.spans_written = 0
+        self._closed = False
+
+    def append(self, span: Span) -> None:
+        """Encode and stage one span; drains the buffer at thresholds."""
+        if self._closed:
+            raise TraceIOError("trace writer is closed")
+        record = span_to_bytes(span)
+        self._chunks.append(encode_varint(len(record)))
+        self._chunks.append(record)
+        self._buffered_bytes += len(self._chunks[-2]) + len(record)
+        self._buffered_records += 1
+        self.spans_written += 1
+        if (self._buffered_records >= self.flush_every
+                or self._buffered_bytes >= self.max_buffer_bytes):
+            self.flush()
+
+    def record(self, span: Span) -> bool:
+        """:class:`~repro.rpc.tracing.SpanSink` protocol: always kept."""
+        self.append(span)
+        return True
+
+    def flush(self) -> None:
+        """Drain the staged bytes to the underlying file."""
+        if self._chunks:
+            self._f.write(b"".join(self._chunks))
+            self._chunks = []
+            self._buffered_bytes = 0
+            self._buffered_records = 0
+        self._f.flush()
+
+    def close(self) -> None:
+        """Flush and (for path-opened sinks) close the file. Idempotent."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        if self._own:
+            self._f.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def write_traces(spans: Iterable[Span], sink: Union[str, BinaryIO]) -> int:
     """Write spans as a streaming trace file; returns the span count."""
-    own = isinstance(sink, str)
-    f: BinaryIO = open(sink, "wb") if own else sink
-    try:
-        f.write(MAGIC)
-        f.write(encode_varint(VERSION))
-        n = 0
+    with TraceWriter(sink) as writer:
         for span in spans:
-            record = span_to_bytes(span)
-            f.write(encode_varint(len(record)))
-            f.write(record)
-            n += 1
-        return n
-    finally:
-        if own:
-            f.close()
+            writer.append(span)
+        return writer.spans_written
 
 
 def read_traces(source: Union[str, bytes, BinaryIO]) -> Iterator[Span]:

@@ -50,6 +50,9 @@ from repro.obs.dapper import DapperCollector
 from repro.obs.manifest import ManifestBuilder, RunManifest
 from repro.obs.metrics import MetricRegistry
 from repro.obs.monarch import Monarch, MonarchScraper
+from repro.obs.query import SpanListSource, group_by_method
+from repro.obs.query import traces as warehouse_traces
+from repro.obs.spanstore import SpanStore, SpanStoreSink
 from repro.rpc.errors import StatusCode
 from repro.rpc.stack import LatencyBreakdown
 from repro.rpc.tracing import Span
@@ -131,6 +134,11 @@ class ServeConfig:
     #: Default what-if parameters (also the prewarmed key).
     whatif_service: str = "Bigtable"
     whatif_duration_s: float = 2.0
+    #: When set, spool sampled spans into a columnar span warehouse under
+    #: this directory (run key ``serve``) instead of an in-memory list;
+    #: ``/debug/traces`` and ``/debug/query`` then read the warehouse.
+    warehouse_dir: Optional[str] = None
+    warehouse_shard_size: int = 4096
 
 
 def _compute_whatif(service: str, method: Optional[str], duration_s: float,
@@ -196,6 +204,12 @@ class ServeApp:
             sampling_rate=1.0,
             rng=np.random.default_rng(derive_seed(cfg.seed, "serve",
                                                   "dapper")))
+        self.span_sink: Optional[SpanStoreSink] = None
+        if cfg.warehouse_dir is not None:
+            self.span_sink = SpanStoreSink(
+                SpanStore(cfg.warehouse_dir, "serve"),
+                shard_size=cfg.warehouse_shard_size)
+            self.dapper.spool_to(self.span_sink, keep_in_memory=False)
         # Construction order is load-bearing (engine FIFO tie-break):
         # scrape, then alert evaluation, then sampling adjustment, then
         # admission refresh, all on the same cadence.
@@ -225,6 +239,7 @@ class ServeApp:
             "/healthz": ("healthz", self._handle_healthz),
             "/metrics": ("metrics", self._handle_metrics),
             "/debug/traces": ("traces", self._handle_traces),
+            "/debug/query": ("query", self._handle_query),
             "/debug/dashboard": ("dashboard", self._handle_dashboard),
             "/v1/study": ("study", self._handle_study),
             "/v1/whatif": ("whatif", self._handle_whatif),
@@ -280,6 +295,9 @@ class ServeApp:
         self.alerts.stop()
         self.sampling.stop()
         self.admission.stop()
+        if self.span_sink is not None and not self.span_sink.closed:
+            # Commit the warehouse so the run's spans survive shutdown.
+            self.span_sink.close()
 
     async def wait_for_quiet(self, timeout_s: float = 30.0,
                              poll_s: float = 0.1) -> bool:
@@ -464,11 +482,23 @@ class ServeApp:
                               timer: _RequestTimer):
         return 200, render_prometheus(self.registry)
 
+    def span_source(self):
+        """Where span queries read from: warehouse sink or memory."""
+        if self.span_sink is not None:
+            return self.span_sink
+        return SpanListSource(self.dapper.spans)
+
+    def trace_trees(self) -> Dict[int, List[Span]]:
+        """Spans grouped by trace id, from whichever store holds them."""
+        if self.span_sink is not None:
+            return warehouse_traces(self.span_sink)
+        return self.dapper.traces()
+
     async def _handle_traces(self, request: HttpRequest,
                              timer: _RequestTimer):
         limit = int(request.query.get("limit", "50"))
         traces = []
-        for tid, spans in sorted(self.dapper.traces().items(),
+        for tid, spans in sorted(self.trace_trees().items(),
                                  reverse=True)[:max(limit, 0)]:
             root = next((s for s in spans if s.parent_id is None), spans[0])
             traces.append({
@@ -477,7 +507,50 @@ class ServeApp:
                 "spans": len(spans),
                 "total_ms": round(root.breakdown.total() * 1e3, 3),
             })
-        return 200, {"traces": traces, "recorded": len(self.dapper.spans)}
+        return 200, {"traces": traces,
+                     "recorded": self.dapper.spans_recorded}
+
+    async def _handle_query(self, request: HttpRequest,
+                            timer: _RequestTimer):
+        """Warehouse drill-down: group-by service·method with percentiles."""
+        from repro.obs.query import SpanFilter
+
+        query = request.query
+        try:
+            quantiles = [float(q) / 100.0 for q in
+                         query.get("percentiles", "50,95,99").split(",")]
+        except ValueError as err:
+            raise BadRequest(f"bad percentiles: {err}") from err
+        if not all(0.0 <= q <= 1.0 for q in quantiles):
+            raise BadRequest("percentiles must be in [0, 100]")
+        where = SpanFilter(
+            service=query.get("service") or None,
+            method=query.get("method") or None,
+            ok_only=query.get("ok_only", "1") not in ("0", "false"),
+        )
+        metric = query.get("metric", "total")
+        try:
+            groups = group_by_method(self.span_source(), where,
+                                     metric=metric)
+        except KeyError as err:
+            raise BadRequest(str(err)) from err
+        rows = []
+        for (service, method), agg in sorted(groups.items()):
+            rows.append({
+                "service": service,
+                "method": method,
+                "count": agg.count,
+                "errors": agg.error_count,
+                "mean_ms": round(agg.mean_value_s * 1e3, 6),
+                **{f"p{q * 100:g}_ms": round(agg.quantile(q) * 1e3, 6)
+                   for q in quantiles},
+            })
+        return 200, {
+            "metric": metric,
+            "warehouse": self.span_sink is not None,
+            "recorded": self.dapper.spans_recorded,
+            "groups": rows,
+        }
 
     async def _handle_dashboard(self, request: HttpRequest,
                                 timer: _RequestTimer):
@@ -622,7 +695,7 @@ class ServeApp:
             requests_total=self.requests_total,
             shed_total=self.admission.shed_total,
             errors_total=self.errors_total,
-            spans_recorded=len(self.dapper.spans),
+            spans_recorded=self.dapper.spans_recorded,
             alert_events=len(self.alerts.events),
             admission_transitions=self.admission.transitions,
             alert_evaluations=self.alerts.evaluations,

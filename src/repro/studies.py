@@ -33,6 +33,7 @@ from repro.obs.monarch import Monarch, MonarchScraper
 from repro.obs.telemetry import MetricsProbe
 from repro.rpc.errors import ErrorModel
 from repro.rpc.hedging import NO_HEDGING, HedgingPolicy
+from repro.rpc.tracing import SpanSink
 from repro.sim.engine import Simulator
 from repro.sim.instrument import Probe, ProbeGroup, resolve_probe
 from repro.sim.random import RngRegistry
@@ -90,6 +91,8 @@ def run_service_study(
     on_setup: Optional[Callable[[Simulator, Dict[str, "ServiceDeployment"]],
                                 None]] = None,
     alert_wall_clock: Optional[Callable[[], float]] = None,
+    span_sink: Optional[SpanSink] = None,
+    keep_spans_in_memory: bool = True,
 ) -> ServiceStudy:
     """Run the Table-1 services with co-located clients in each cluster.
 
@@ -113,6 +116,12 @@ def run_service_study(
     latency regression flipping a server's ``app_scale``).
     ``alert_wall_clock`` (harness code only) lets the scraper and alert
     manager time their own overhead.
+    ``span_sink`` streams every sampled span into a
+    :class:`~repro.rpc.tracing.SpanSink` (e.g. a warehouse
+    :class:`~repro.obs.spanstore.SpanStoreSink`) as it is recorded;
+    ``keep_spans_in_memory=False`` additionally stops the collector from
+    accumulating ``dapper.spans``, bounding study RSS by the sink's
+    shard size instead of the span count.
     """
     service_names = list(services) if services else list(SERVICE_SPECS)
     unknown = set(service_names) - set(SERVICE_SPECS)
@@ -139,6 +148,11 @@ def run_service_study(
     network = NetworkModel()
     dapper = DapperCollector(sampling_rate=dapper_sampling,
                              rng=rngs.stream("dapper"))
+    if span_sink is not None:
+        # Stream sampled spans straight into the warehouse sink; with
+        # keep_spans_in_memory=False the sink holds the only copy and
+        # dapper.spans stays empty (out-of-core span corpus).
+        dapper.spool_to(span_sink, keep_in_memory=keep_spans_in_memory)
     monarch = Monarch()
     gwp = GwpProfiler()
     # Created before the alert manager: at coincident sim times the

@@ -225,3 +225,70 @@ def test_export_chrome_trace_ids_filter(tmp_path, capsys):
     # No matching ids: error exit, nothing useful to write.
     assert main(["export-chrome", spans_path,
                  str(tmp_path / "none.json"), "--trace-ids", "999999"]) == 1
+
+
+def test_span_query_generate_self_check_figures(tmp_path, capsys):
+    root = str(tmp_path / "wh")
+    out_json = str(tmp_path / "query.json")
+    args = ["span-query", "--root", root, "--generate",
+            "--duration", "0.8", "--seed", "3", "--shard-size", "1024",
+            "--self-check", "--figures", "--json", out_json,
+            "--max-rss-mb", "8192"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "streamed" in out and "shards under" in out
+    assert "span warehouse group-by" in out
+    assert "observer-side vs engine-side cross-validation" in out
+    assert "FAIL" not in out
+    assert "call-tree shape (parent joins over the warehouse)" in out
+    import json as json_mod
+
+    with open(out_json, encoding="utf-8") as f:
+        doc = json_mod.load(f)
+    assert doc["n_spans"] > 0
+    assert doc["self_check"]["ok"] is True
+    assert doc["groups"], "expected at least one method group"
+    assert {"service", "method", "count", "p95_s"} <= set(doc["groups"][0])
+
+
+def test_span_query_reopens_committed_warehouse(tmp_path, capsys):
+    root = str(tmp_path / "wh")
+    assert main(["span-query", "--root", root, "--generate",
+                 "--duration", "0.5", "--seed", "3"]) == 0
+    capsys.readouterr()
+    # Second invocation: pure reads, no --generate.
+    assert main(["span-query", "--root", root,
+                 "--service", "KVStore", "--metric", "tax",
+                 "--percentiles", "50,99"]) == 0
+    out = capsys.readouterr().out
+    assert "span warehouse group-by (tax" in out
+    assert "KVStore/" in out
+
+
+def test_span_query_ingest_trace_file(tmp_path, capsys):
+    traces = str(tmp_path / "spans.dtrc")
+    assert main(["service-study", "--services", "KVStore",
+                 "--duration", "0.5", "--seed", "3",
+                 "--save-traces", traces]) == 0
+    capsys.readouterr()
+    root = str(tmp_path / "wh")
+    assert main(["span-query", "--root", root, "--ingest", traces]) == 0
+    out = capsys.readouterr().out
+    assert "ingested" in out
+
+
+def test_span_query_missing_warehouse_fails(tmp_path):
+    with pytest.raises(SystemExit, match="cannot open warehouse"):
+        main(["span-query", "--root", str(tmp_path / "nope")])
+
+
+def test_span_query_rejects_bad_args(tmp_path):
+    root = str(tmp_path / "wh")
+    assert main(["span-query", "--root", root, "--generate",
+                 "--duration", "0.3", "--seed", "3"]) == 0
+    with pytest.raises(SystemExit, match="bad --percentiles"):
+        main(["span-query", "--root", root, "--percentiles", "abc"])
+    with pytest.raises(SystemExit, match="unknown metric"):
+        main(["span-query", "--root", root, "--metric", "bogus"])
+    with pytest.raises(SystemExit, match="requires --generate"):
+        main(["span-query", "--root", root, "--self-check"])

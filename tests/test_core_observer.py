@@ -1,0 +1,143 @@
+"""Observer-side figures vs engine-side ground truth.
+
+The contract under test: every characterization figure recomputed from
+the committed span warehouse matches what the engine computed live —
+bit-identical where the derivation is exact (Figs. 9/14/17/21), within
+``SUMMATION_ORDER_RTOL`` for fleet cycle totals whose float additions
+happen in a different order (Fig. 20).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.breakdown import breakdown_cdf_for_service
+from repro.core.cycles import analyze_cycle_tax
+from repro.core.observer import (
+    SUMMATION_ORDER_RTOL,
+    ValidationCheck,
+    ValidationReport,
+    observer_breakdown_cdf,
+    observer_cycle_tax,
+    replay_gwp,
+    validate_against_engine,
+)
+from repro.obs.gwp import TAX_CATEGORIES
+from repro.obs.query import SpanListSource
+from repro.obs.spanstore import ingest_spans
+from repro.studies import run_service_study
+
+
+@pytest.fixture(scope="module")
+def unsampled_study():
+    """A fully-sampled study: the strict bit-identical contract applies."""
+    return run_service_study(
+        services=["KVStore"], n_clusters=1, duration_s=1.5, seed=3,
+        dapper_sampling=1.0)
+
+
+@pytest.fixture(scope="module")
+def unsampled_warehouse(unsampled_study, tmp_path_factory):
+    root = tmp_path_factory.mktemp("wh")
+    return ingest_spans(unsampled_study.dapper.spans, root, "study",
+                        shard_size=997)  # prime: shards straddle traces
+
+
+def test_full_validation_passes_unsampled(unsampled_study,
+                                          unsampled_warehouse):
+    report = validate_against_engine(
+        unsampled_warehouse, unsampled_study.dapper,
+        gwp=unsampled_study.gwp)
+    assert report.ok, report.render()
+    names = [c.name for c in report.checks]
+    assert "span count" in names
+    assert any(n.startswith("fig9 matrix") for n in names)
+    assert any(n.startswith("fig14 cdf") for n in names)
+    assert "trace reassembly" in names
+    assert "fig20 cycle totals" in names
+    assert any(n.startswith("fig21 samples") for n in names)
+    assert "tree shape accounting" in names
+
+
+def test_breakdown_cdf_bit_identical(unsampled_study, unsampled_warehouse):
+    dapper = unsampled_study.dapper
+    full = dapper.methods()[0]
+    service, method = full.split("/")
+    engine = breakdown_cdf_for_service(dapper, service, method)
+    observer = observer_breakdown_cdf(unsampled_warehouse, service, method)
+    assert np.array_equal(engine.component_values, observer.component_values)
+    assert engine.n_spans == observer.n_spans
+
+
+def test_cycle_tax_within_summation_tolerance(unsampled_study,
+                                              unsampled_warehouse):
+    engine = analyze_cycle_tax(unsampled_study.gwp)
+    observer = observer_cycle_tax(unsampled_warehouse)
+    assert observer.tax_fraction == pytest.approx(
+        engine.tax_fraction, rel=1e-6)
+    replay = replay_gwp(unsampled_warehouse)
+    for cat in TAX_CATEGORIES:
+        engine_total = unsampled_study.gwp.totals[cat]
+        assert replay.totals[cat] == pytest.approx(
+            engine_total, rel=SUMMATION_ORDER_RTOL, abs=1e-12)
+
+
+def test_replay_gwp_samples_exactly_equal(unsampled_study,
+                                          unsampled_warehouse):
+    replay = replay_gwp(unsampled_warehouse)
+    gwp = unsampled_study.gwp
+    assert replay.rpcs_profiled == gwp.rpcs_profiled
+    assert set(replay.method_samples) == set(gwp.method_samples)
+    for key, engine_samples in gwp.method_samples.items():
+        assert np.array_equal(np.asarray(engine_samples),
+                              np.asarray(replay.method_samples[key])), key
+
+
+def test_non_rpc_cycles_reinstated(unsampled_warehouse):
+    base = replay_gwp(unsampled_warehouse)
+    with_bg = replay_gwp(unsampled_warehouse, non_rpc_cycles=1e9)
+    assert with_bg.totals["non_rpc"] == base.totals["non_rpc"] + 1e9
+    assert with_bg.cycle_tax_fraction() < base.cycle_tax_fraction()
+
+
+def test_sampled_corpus_still_bit_identical_over_sampled_set(tmp_path):
+    # Under head sampling the warehouse holds a subset; breakdown and
+    # trace checks still hold over that subset (GWP totals would not).
+    study = run_service_study(services=["KVStore"], n_clusters=1,
+                              duration_s=1.5, seed=3, dapper_sampling=0.4)
+    warehouse = ingest_spans(study.dapper.spans, tmp_path, "sampled",
+                             shard_size=512)
+    report = validate_against_engine(warehouse, study.dapper)  # no gwp
+    assert report.ok, report.render()
+
+
+def test_validation_catches_divergence(unsampled_study, tmp_path):
+    # Drop a span before ingesting: span count, reassembly, and the
+    # method figures must notice.
+    spans = unsampled_study.dapper.spans[:-50]
+    warehouse = ingest_spans(spans, tmp_path, "short", shard_size=512)
+    report = validate_against_engine(warehouse, unsampled_study.dapper)
+    assert not report.ok
+    failed = {c.name for c in report.checks if not c.passed}
+    assert "span count" in failed
+    rendered = report.render()
+    assert "FAIL" in rendered
+
+
+def test_validation_report_shapes():
+    report = ValidationReport(checks=[
+        ValidationCheck(name="a", passed=True, detail="fine"),
+        ValidationCheck(name="b", passed=False, detail="broke"),
+    ])
+    assert not report.ok
+    doc = report.to_dict()
+    assert doc["ok"] is False
+    assert [c["name"] for c in doc["checks"]] == ["a", "b"]
+
+
+def test_observer_works_on_span_list_source(unsampled_study):
+    # The query contract is source-generic: a plain span list behaves
+    # exactly like the mmap-backed warehouse.
+    source = SpanListSource(unsampled_study.dapper.spans)
+    report = validate_against_engine(source, unsampled_study.dapper,
+                                     gwp=unsampled_study.gwp)
+    assert report.ok, report.render()

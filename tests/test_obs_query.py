@@ -1,0 +1,192 @@
+"""Tests for the vectorized span-warehouse query layer."""
+
+import numpy as np
+import pytest
+
+from repro.obs.dapper import DapperCollector, Span
+from repro.obs.query import (
+    SpanFilter,
+    SpanListSource,
+    group_by_method,
+    method_matrix,
+    spans_matching,
+    trace_spans,
+    traces,
+    tree_shape_stats,
+)
+from repro.obs.spanstore import ingest_spans
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import APP_COMPONENT, COMPONENTS, LatencyBreakdown
+
+
+def make_span(span_id, trace_id=1, parent_id=None, service="KVStore",
+              method="Get", status=StatusCode.OK, same_cluster=True,
+              server_application=1e-3, **overrides) -> Span:
+    kwargs = dict(
+        trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+        service=service, method=method,
+        client_cluster="dc0",
+        server_cluster="dc0" if same_cluster else "dc1",
+        server_machine="dc0-m1",
+        start_time=float(span_id),
+        breakdown=LatencyBreakdown(
+            server_application=server_application,
+            request_network_wire=2e-3 * (span_id % 3 + 1),
+            response_network_wire=1e-3,
+            server_recv_queue=0.5e-3,
+        ),
+        status=status,
+        request_bytes=100 * span_id, response_bytes=50 * span_id,
+        cpu_cycles=1e4 * span_id,
+        annotations={"exo_cpu_util": span_id / 100.0},
+    )
+    kwargs.update(overrides)
+    return Span(**kwargs)
+
+
+@pytest.fixture
+def mixed_spans():
+    spans = []
+    sid = 1
+    for trace_id in range(1, 7):
+        root = make_span(sid, trace_id=trace_id,
+                         service="Frontend", method="Serve")
+        spans.append(root)
+        sid += 1
+        for child in range(trace_id % 3 + 1):
+            spans.append(make_span(
+                sid, trace_id=trace_id, parent_id=root.span_id,
+                service="KVStore" if child % 2 else "Spanner",
+                method="Get" if child % 2 else "ReadRows",
+                status=(StatusCode.OK if sid % 5
+                        else StatusCode.UNAVAILABLE),
+                same_cluster=sid % 4 != 0))
+            sid += 1
+    return spans
+
+
+def sharded(tmp_path, spans, shard_size=4):
+    return ingest_spans(spans, tmp_path, "q", shard_size=shard_size)
+
+
+def test_group_by_is_merge_order_free(tmp_path, mixed_spans):
+    # The same corpus queried unsharded and split into tiny shards must
+    # produce identical aggregates: the fold contract.
+    one = group_by_method(SpanListSource(mixed_spans))
+    many = group_by_method(sharded(tmp_path, mixed_spans, shard_size=3))
+    assert set(one) == set(many)
+    for key, a in one.items():
+        b = many[key]
+        assert a.count == b.count
+        assert a.error_count == b.error_count
+        assert a.sum_value_s == pytest.approx(b.sum_value_s, rel=1e-12)
+        assert np.allclose(a.component_sums, b.component_sums)
+        assert np.array_equal(a.sketch.counts, b.sketch.counts)
+        assert a.quantile(0.95) == b.quantile(0.95)
+
+
+def test_group_by_counts_and_errors(mixed_spans):
+    groups = group_by_method(SpanListSource(mixed_spans))
+    ok = [s for s in mixed_spans if s.status is StatusCode.OK]
+    errors = [s for s in mixed_spans if s.status is not StatusCode.OK]
+    assert sum(g.count for g in groups.values()) == len(ok)
+    assert sum(g.error_count for g in groups.values()) == len(errors)
+    frontend = groups[("Frontend", "Serve")]
+    assert frontend.full_method == "Frontend/Serve"
+    expect = [s.completion_time for s in ok if s.service == "Frontend"]
+    assert frontend.count == len(expect)
+    assert frontend.mean_value_s == pytest.approx(float(np.mean(expect)))
+
+
+def test_group_by_metric_variants(mixed_spans):
+    source = SpanListSource(mixed_spans)
+    tax = group_by_method(source, metric="tax")
+    cycles = group_by_method(source, metric="cycles")
+    app = group_by_method(source, metric=f"component:{APP_COMPONENT}")
+    for key in tax:
+        # total = tax + application, per definition of the tax metric.
+        total = group_by_method(source)[key]
+        assert tax[key].sum_value_s + app[key].sum_value_s == pytest.approx(
+            total.sum_value_s)
+        assert cycles[key].count == total.count
+    with pytest.raises(KeyError, match="unknown metric"):
+        group_by_method(source, metric="bogus")
+    with pytest.raises(KeyError, match="unknown component"):
+        group_by_method(source, metric="component:bogus")
+
+
+def test_filters_compile_to_masks(tmp_path, mixed_spans):
+    warehouse = sharded(tmp_path, mixed_spans)
+    only_kv = spans_matching(
+        warehouse, SpanFilter(service="KVStore", ok_only=False))
+    assert only_kv == [s for s in mixed_spans if s.service == "KVStore"]
+    intra = spans_matching(
+        warehouse, SpanFilter(ok_only=False, intra_cluster_only=True))
+    assert intra == [s for s in mixed_spans
+                     if s.client_cluster == s.server_cluster]
+    # Unknown names are an empty result, not an error.
+    assert spans_matching(warehouse, SpanFilter(service="NoSuch")) == []
+    assert group_by_method(warehouse, SpanFilter(service="NoSuch")) == {}
+
+
+def test_method_matrix_matches_collector_bit_for_bit(tmp_path, mixed_spans):
+    collector = DapperCollector(sampling_rate=1.0)
+    for s in mixed_spans:
+        collector.record(s)
+    warehouse = sharded(tmp_path, mixed_spans)
+    for service, method in (("Frontend", "Serve"), ("Spanner", "ReadRows")):
+        engine = collector.matrix_for_method(f"{service}/{method}")
+        observer = method_matrix(warehouse, service, method)
+        assert np.array_equal(engine.values, observer.values)
+    empty = method_matrix(warehouse, "NoSuch", "Method")
+    assert empty.values.shape == (0, len(COMPONENTS))
+
+
+def test_trace_reassembly_across_shards(tmp_path, mixed_spans):
+    warehouse = sharded(tmp_path, mixed_spans, shard_size=3)
+    by_trace = traces(warehouse)
+    assert set(by_trace) == {s.trace_id for s in mixed_spans}
+    for tid, spans in by_trace.items():
+        assert spans == [s for s in mixed_spans if s.trace_id == tid]
+        assert trace_spans(warehouse, tid) == spans
+    newest = traces(warehouse, limit=2)
+    assert sorted(newest, reverse=True) == sorted(by_trace, reverse=True)[:2]
+
+
+def test_tree_shape_stats(tmp_path, mixed_spans):
+    warehouse = sharded(tmp_path, mixed_spans, shard_size=5)
+    shape = tree_shape_stats(warehouse)
+    assert shape.n_traces == 6
+    assert shape.n_spans == len(mixed_spans)
+    assert shape.n_orphans == 0
+    # Every trace here is a root plus direct children: depth exactly 2.
+    assert list(shape.depths) == [2] * 6
+    assert shape.size_quantile(1.0) == max(
+        sum(1 for s in mixed_spans if s.trace_id == t) for t in range(1, 7))
+    assert shape.depth_quantile(0.5) == 2.0
+
+
+def test_tree_shape_orphans_counted_as_roots():
+    # A child whose parent span was never stored (head-sampled partial
+    # tree): treated as a root, counted as an orphan.
+    orphan = make_span(99, trace_id=5, parent_id=12345)
+    shape = tree_shape_stats(SpanListSource([orphan]))
+    assert shape.n_orphans == 1
+    assert shape.n_traces == 1
+    assert list(shape.depths) == [1]
+
+
+def test_deep_chain_depth_resolution():
+    spans = [make_span(1, trace_id=9)]
+    for i in range(2, 40):
+        spans.append(make_span(i, trace_id=9, parent_id=i - 1))
+    shape = tree_shape_stats(SpanListSource(spans))
+    assert list(shape.sizes) == [39]
+    assert list(shape.depths) == [39]
+
+
+def test_span_list_source_empty():
+    source = SpanListSource([])
+    assert source.n_spans == 0
+    assert group_by_method(source) == {}
+    assert tree_shape_stats(source).n_traces == 0

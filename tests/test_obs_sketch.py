@@ -154,6 +154,124 @@ def test_sketch_validates_constructor_args():
         LatencySketch(min_value=1.0, max_value=0.5)
 
 
+def test_sketch_merge_with_empty_is_identity():
+    rng = np.random.default_rng(19)
+    values = rng.lognormal(-6, 0.8, 3000)
+    full = LatencySketch()
+    full.observe_many(values)
+    before = full.counts.copy()
+
+    # Folding an empty sketch in changes nothing, either direction.
+    merged = full.copy().merge(LatencySketch())
+    assert np.array_equal(merged.counts, before)
+    assert merged.count == full.count
+    assert merged.min == full.min and merged.max == full.max
+    assert merged.quantile(0.99) == full.quantile(0.99)
+
+    other_way = LatencySketch().merge(full)
+    assert np.array_equal(other_way.counts, before)
+    assert other_way.count == full.count
+    assert other_way.min == full.min and other_way.max == full.max
+
+    both_empty = LatencySketch().merge(LatencySketch())
+    assert both_empty.count == 0
+    assert math.isinf(both_empty.min)
+    assert both_empty.quantile(0.5) == 0.0
+
+
+def test_sketch_merge_disjoint_buckets():
+    # Two sketches whose observations land in completely disjoint bucket
+    # ranges: microsecond-scale vs second-scale latencies.
+    fast = LatencySketch()
+    fast.observe_many([1e-6, 2e-6, 3e-6, 4e-6])
+    slow = LatencySketch()
+    slow.observe_many([1.0, 2.0, 4.0, 8.0])
+    assert not np.any((fast.counts > 0) & (slow.counts > 0))
+
+    merged = fast.copy().merge(slow)
+    assert merged.count == 8
+    assert int(merged.counts.sum()) == 8
+    assert merged.min == 1e-6 and merged.max == 8.0
+    # The median sits between the two populations; quantile queries must
+    # bridge the empty gap rather than land inside it.
+    assert merged.quantile(0.25) < 1e-5
+    assert merged.quantile(0.99) >= 1.0
+    assert merged.count_below(1e-3) == 4
+    assert merged.count_below(10.0) == 8
+
+
+def test_sketch_count_below_at_exact_bucket_boundaries():
+    sketch = LatencySketch()
+    # Place one observation exactly on each of several bucket lower
+    # boundaries: value = min_value * gamma^i.
+    gamma = (1.0 + sketch.relative_accuracy) / (1.0 - sketch.relative_accuracy)
+    boundary_values = [sketch.min_value * gamma ** i
+                       for i in (100, 200, 300, 400)]
+    sketch.observe_many(boundary_values)
+    # A threshold exactly on a boundary includes that boundary's bucket:
+    # whole buckets at or below the threshold's bucket count.
+    for i, value in enumerate(boundary_values):
+        assert sketch.count_below(value) >= i + 1
+    # Exact extremes stay exact regardless of bucket rounding.
+    assert sketch.count_below(boundary_values[0] * 0.5) == 0
+    assert sketch.count_below(boundary_values[-1]) == 4
+    assert sketch.count_below(sketch.min) >= 1
+    # min_value itself is the floor of bucket 0.
+    edge = LatencySketch()
+    edge.observe(edge.min_value)
+    assert edge.counts[0] == 1
+    assert edge.count_below(edge.min_value) == 1
+
+
+def test_sketch_delta_since_after_rate_reset():
+    # A Monarch scraper holds a snapshot of a task's cumulative sketch.
+    # If the task restarts (rate reset), the fresh stream is NOT a
+    # superset of the snapshot and the delta must refuse loudly instead
+    # of returning negative bucket counts.
+    stream = LatencySketch()
+    stream.observe_many([0.001, 0.002, 0.004, 0.008])
+    snap = stream.copy()
+    stream.observe_many([0.016, 0.032])
+    ok = stream.delta_since(snap)
+    assert ok.count == 2
+
+    restarted = LatencySketch()
+    restarted.observe_many([0.001])  # restarted task, counters from zero
+    with pytest.raises(ValueError, match="prefix"):
+        restarted.delta_since(snap)
+    # And the failed delta must not have corrupted the restarted stream.
+    assert restarted.count == 1
+    assert int(restarted.counts.sum()) == 1
+
+
+def test_sketch_scalar_buffer_is_invisible_to_queries():
+    # Scalar observes buffer below PENDING_FLUSH; every query and the
+    # mergeable algebra must see through the buffer.
+    rng = np.random.default_rng(29)
+    values = rng.lognormal(-6, 0.8, LatencySketch.PENDING_FLUSH - 1)
+    buffered = LatencySketch()
+    for v in values:
+        buffered.observe(v)
+    flushed = LatencySketch()
+    flushed.observe_many(values)
+    # count/sum/min/max are eager; bucket reads flush on demand.
+    assert buffered.count == flushed.count
+    assert buffered.min == flushed.min and buffered.max == flushed.max
+    assert buffered.quantile(0.95) == flushed.quantile(0.95)
+    assert np.array_equal(buffered.counts, flushed.counts)
+
+    # merge/copy/delta/serialize all agree with the unbuffered stream.
+    half = LatencySketch()
+    for v in values[:100]:
+        half.observe(v)
+    snap = half.copy()
+    for v in values[100:200]:
+        half.observe(v)
+    assert half.delta_since(snap).count == 100
+    clone = LatencySketch.from_dict(half.to_dict())
+    assert np.array_equal(clone.counts, half.counts)
+
+
 def test_exemplar_reservoir_keeps_k_worst_first():
     res = ExemplarReservoir(k=3, rng=np.random.default_rng(0))
     res.offer(0.010, 101)

@@ -1,0 +1,191 @@
+"""Tests for the columnar on-disk span warehouse."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.dapper import Span
+from repro.obs.spanstore import (
+    SpanColumns,
+    SpanStore,
+    SpanStoreError,
+    SpanStoreSink,
+    SpanWarehouse,
+    StringTables,
+    ingest_spans,
+    ingest_trace_file,
+)
+from repro.obs.trace_io import write_traces
+from repro.rpc.errors import StatusCode
+from repro.rpc.stack import COMPONENTS, LatencyBreakdown
+
+
+def make_span(span_id=1, trace_id=42, parent_id=7, status=StatusCode.OK,
+              **overrides) -> Span:
+    kwargs = dict(
+        trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+        service="Spanner", method="ReadRows",
+        client_cluster="us-central-dc0-c0",
+        server_cluster="europe-west-dc1-c2",
+        server_machine="europe-west-dc1-c2-m3",
+        start_time=123.456 + span_id,
+        breakdown=LatencyBreakdown(
+            server_application=1.5e-3, request_network_wire=40e-3,
+            response_network_wire=41e-3, server_recv_queue=0.2e-3,
+        ),
+        status=status,
+        request_bytes=800, response_bytes=2500, cpu_cycles=0.031,
+        annotations={"exo_cpu_util": 0.62, "hedge_attempt": float(span_id)},
+    )
+    kwargs.update(overrides)
+    return Span(**kwargs)
+
+
+def corpus(n=25):
+    # A few traces, mixed services/statuses, some annotation-free spans.
+    spans = []
+    for i in range(n):
+        spans.append(make_span(
+            span_id=i + 1,
+            trace_id=100 + i // 5,
+            parent_id=(i % 5) or None,   # first span of each trace is a root
+            service="Spanner" if i % 3 else "KVStore",
+            method="ReadRows" if i % 2 else "SearchValue",
+            status=StatusCode.OK if i % 7 else StatusCode.DEADLINE_EXCEEDED,
+            annotations={} if i % 4 == 0 else {"exo_cpu_util": i / n},
+        ))
+    return spans
+
+
+def test_span_columns_roundtrip_is_lossless():
+    spans = corpus(17)
+    tables = StringTables()
+    columns = SpanColumns.from_spans(spans, tables)
+    assert columns.n_spans == 17
+    back = columns.to_spans(tables)
+    assert back == spans  # Span is a dataclass: field-exact equality
+
+
+def test_sink_spills_shards_and_commits_manifest(tmp_path):
+    spans = corpus(25)
+    sink = SpanStoreSink(SpanStore(tmp_path, "run"), shard_size=10)
+    for s in spans:
+        assert sink.record(s) is True
+    assert sink.spans_spilled == 20          # two full shards
+    assert sink.n_spans == 25                # plus the buffered tail
+    assert not sink.closed
+
+    # Pre-commit the run is unreadable: no manifest, readers refuse.
+    with pytest.raises(SpanStoreError, match="no committed span warehouse"):
+        SpanWarehouse.open(tmp_path, "run")
+
+    warehouse = sink.close()
+    assert sink.closed
+    assert warehouse.n_shards == 3
+    assert warehouse.n_spans == 25
+    assert [c.n_spans for c in warehouse.iter_columns()] == [10, 10, 5]
+    assert list(warehouse.iter_spans()) == spans
+    # Closing twice is idempotent; recording after close raises.
+    sink.close()
+    with pytest.raises(SpanStoreError, match="closed"):
+        sink.record(spans[0])
+
+
+def test_sink_live_view_sees_spilled_and_buffered(tmp_path):
+    spans = corpus(25)
+    sink = SpanStoreSink(SpanStore(tmp_path, "run"), shard_size=10)
+    sink.record_all(spans)
+    live = [c.n_spans for c in sink.iter_columns()]
+    assert live == [10, 10, 5]
+    got = []
+    for c in sink.iter_columns():
+        got.extend(c.to_spans(sink.tables))
+    assert got == spans
+
+
+def test_sink_context_manager_commits_only_on_clean_exit(tmp_path):
+    with SpanStoreSink(SpanStore(tmp_path, "ok"), shard_size=4) as sink:
+        sink.record_all(corpus(9))
+    assert SpanWarehouse.open(tmp_path, "ok").n_spans == 9
+
+    with pytest.raises(RuntimeError):
+        with SpanStoreSink(SpanStore(tmp_path, "crash"), shard_size=4) as s2:
+            s2.record_all(corpus(9))
+            raise RuntimeError("writer died")
+    with pytest.raises(SpanStoreError):
+        SpanWarehouse.open(tmp_path, "crash")
+
+
+def test_corrupt_shard_is_a_miss_not_garbage(tmp_path):
+    warehouse = ingest_spans(corpus(25), tmp_path, "run", shard_size=10)
+    # Truncate one column of shard 1: the whole shard must read as a miss
+    # and its files must be unlinked, never surfaced as partial rows.
+    victim = warehouse.store.shard_paths(1)["span_ids"]
+    victim.write_bytes(victim.read_bytes()[:16])
+    seen = [c.n_spans for c in warehouse.iter_columns()]
+    assert seen == [10, 5]
+    assert warehouse.missing_shards == [1]
+    assert not victim.exists()
+    # n_spans still reports the manifest count (misses are surfaced, not
+    # silently deducted).
+    assert warehouse.n_spans == 25
+
+
+def test_shard_with_wrong_span_count_is_dropped(tmp_path):
+    warehouse = ingest_spans(corpus(25), tmp_path, "run", shard_size=10)
+    store = warehouse.store
+    # Overwrite shard 0 with a shard of the wrong length (manifest says 10).
+    tables = StringTables()
+    store.put(0, SpanColumns.from_spans(corpus(3), tables))
+    assert [c.n_spans for c in warehouse.iter_columns()] == [10, 5]
+    assert warehouse.missing_shards == [0]
+
+
+def test_manifest_rejects_foreign_and_corrupt(tmp_path):
+    ingest_spans(corpus(5), tmp_path, "run", shard_size=10)
+    # Foreign run_key: the manifest names another run.
+    doc = json.loads((tmp_path / "run" / "manifest.json").read_text())
+    assert doc["run_key"] == "run"
+    other = SpanStore(tmp_path, "other")
+    assert other.manifest() is None
+    # Corrupt JSON reads as missing.
+    (tmp_path / "run" / "manifest.json").write_text("{not json")
+    with pytest.raises(SpanStoreError):
+        SpanWarehouse.open(tmp_path, "run")
+
+
+def test_ingest_trace_file_matches_direct_ingest(tmp_path):
+    spans = corpus(25)
+    trace_file = tmp_path / "spans.dtrc"
+    write_traces(spans, str(trace_file))
+    via_file = ingest_trace_file(str(trace_file), tmp_path, "from-file",
+                                 shard_size=8)
+    via_spans = ingest_spans(spans, tmp_path, "direct", shard_size=8)
+    assert via_file.n_spans == via_spans.n_spans == 25
+    assert list(via_file.iter_spans()) == list(via_spans.iter_spans()) == spans
+
+
+def test_columns_helpers_match_span_semantics():
+    spans = corpus(20)
+    tables = StringTables()
+    columns = SpanColumns.from_spans(spans, tables)
+    assert np.allclose(columns.totals(),
+                       [s.completion_time for s in spans])
+    assert list(columns.ok_mask()) == [s.status is StatusCode.OK
+                                       for s in spans]
+    matrix = columns.matrix(columns.ok_mask())
+    assert matrix.values.shape == (sum(columns.ok_mask()), len(COMPONENTS))
+    key_id = tables.ann_keys.id_of("exo_cpu_util")
+    rows, values = columns.annotation_values(key_id)
+    expect = [(i, s.annotations["exo_cpu_util"])
+              for i, s in enumerate(spans) if "exo_cpu_util" in s.annotations]
+    assert list(rows) == [r for r, _ in expect]
+    assert list(values) == [v for _, v in expect]
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="run_key"):
+        SpanStore("/tmp", "a/b")
+    with pytest.raises(ValueError, match="shard_size"):
+        SpanStoreSink(SpanStore("/tmp", "x"), shard_size=0)

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.obs.dapper import Span
 from repro.obs.trace_io import (
     TraceIOError,
+    TraceWriter,
     load_collector,
     read_traces,
     span_from_bytes,
@@ -56,6 +57,76 @@ def test_span_roundtrip():
 def test_root_span_parent_none():
     span = make_span(parent_id=None)
     assert span_from_bytes(span_to_bytes(span)).parent_id is None
+
+
+def test_trace_writer_byte_identical_to_one_shot():
+    spans = [make_span(span_id=i) for i in range(100)]
+    one_shot = io.BytesIO()
+    write_traces(spans, one_shot)
+    for flush_every in (1, 7, 512):
+        streamed = io.BytesIO()
+        with TraceWriter(streamed, flush_every=flush_every) as writer:
+            for span in spans:
+                writer.append(span)
+        assert streamed.getvalue() == one_shot.getvalue(), flush_every
+
+
+def test_trace_writer_flushed_prefix_is_readable(tmp_path):
+    # Because records are length-prefixed, every flushed prefix must be a
+    # complete, readable trace file — the crash-durability property.
+    path = str(tmp_path / "partial.dtrc")
+    writer = TraceWriter(path, flush_every=10)
+    for i in range(25):
+        writer.append(make_span(span_id=i))
+    # 20 spans flushed (two batches of 10), 5 still staged.
+    with open(path, "rb") as f:
+        prefix = f.read()
+    assert [s.span_id for s in read_traces(prefix)] == list(range(20))
+    writer.close()
+    assert [s.span_id for s in read_traces(path)] == list(range(25))
+
+
+def test_trace_writer_byte_threshold_flushes(tmp_path):
+    path = str(tmp_path / "bytes.dtrc")
+    writer = TraceWriter(path, flush_every=10_000, max_buffer_bytes=1)
+    writer.append(make_span())
+    # Every append overflows a 1-byte buffer: nothing stays staged.
+    with open(path, "rb") as f:
+        assert list(read_traces(f.read()))
+    writer.close()
+
+
+def test_trace_writer_is_a_span_sink(tmp_path):
+    path = str(tmp_path / "sink.dtrc")
+    with TraceWriter(path) as writer:
+        assert writer.record(make_span(span_id=9)) is True
+        assert writer.spans_written == 1
+    assert [s.span_id for s in read_traces(path)] == [9]
+
+
+def test_trace_writer_close_is_idempotent_append_after_raises(tmp_path):
+    path = str(tmp_path / "closed.dtrc")
+    writer = TraceWriter(path)
+    writer.append(make_span())
+    writer.close()
+    writer.close()
+    with pytest.raises(TraceIOError, match="closed"):
+        writer.append(make_span())
+
+
+def test_trace_writer_does_not_close_caller_streams():
+    buf = io.BytesIO()
+    with TraceWriter(buf) as writer:
+        writer.append(make_span())
+    assert not buf.closed  # caller-owned stream stays open
+    assert list(read_traces(buf.getvalue()))
+
+
+def test_trace_writer_validates_thresholds():
+    with pytest.raises(ValueError, match="flush_every"):
+        TraceWriter(io.BytesIO(), flush_every=0)
+    with pytest.raises(ValueError, match="max_buffer_bytes"):
+        TraceWriter(io.BytesIO(), max_buffer_bytes=0)
 
 
 def test_error_status_preserved():

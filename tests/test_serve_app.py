@@ -271,3 +271,74 @@ class TestServeManifest:
             json.dump(doc, f)
         with pytest.raises(ManifestError, match="digest mismatch"):
             read_manifest(path)
+
+
+class TestWarehouseQuery:
+    def test_query_over_in_memory_spans(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        call(app, "GET", "/healthz")
+        doc = json.loads(call(app, "GET", "/debug/query").body)
+        assert doc["warehouse"] is False
+        assert doc["recorded"] > 0
+        groups = {(g["service"], g["method"]): g for g in doc["groups"]}
+        assert ("serve", "healthz") in groups
+        row = groups[("serve", "healthz")]
+        assert row["count"] >= 1
+        assert set(row) >= {"count", "errors", "mean_ms",
+                            "p50_ms", "p95_ms", "p99_ms"}
+
+    def test_query_streams_through_warehouse_sink(self, tmp_path):
+        app = make_app(tmp_path, warehouse_dir=str(tmp_path / "wh"),
+                       warehouse_shard_size=2)
+        for _ in range(5):
+            call(app, "GET", "/healthz")
+        # keep_in_memory=False: the sink is the only copy.
+        assert app.dapper.spans == []
+        assert app.span_sink is not None
+        assert app.span_sink.spans_spilled > 0  # shards hit disk live
+        doc = json.loads(call(app, "GET", "/debug/query").body)
+        assert doc["warehouse"] is True
+        groups = {(g["service"], g["method"]): g for g in doc["groups"]}
+        # The query span for this very request is buffered but not yet
+        # recorded when the handler runs; at least the 5 healthz + the
+        # spilled shards must be visible.
+        assert groups[("serve", "healthz")]["count"] >= 5
+
+    def test_query_filters_and_metrics(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        call(app, "GET", "/debug/dashboard")
+        doc = json.loads(call(
+            app, "GET",
+            "/debug/query?service=serve&method=healthz"
+            "&metric=tax&percentiles=50").body)
+        assert doc["metric"] == "tax"
+        assert [(g["service"], g["method"]) for g in doc["groups"]] == \
+            [("serve", "healthz")]
+        assert "p50_ms" in doc["groups"][0]
+
+    def test_query_bad_inputs_are_400(self, tmp_path):
+        app = make_app(tmp_path)
+        call(app, "GET", "/healthz")
+        assert call(app, "GET", "/debug/query?metric=bogus").status == 400
+        assert call(app, "GET",
+                    "/debug/query?percentiles=abc").status == 400
+        assert call(app, "GET",
+                    "/debug/query?percentiles=150").status == 400
+
+    def test_stop_commits_warehouse(self, tmp_path):
+        from repro.obs.spanstore import SpanWarehouse
+
+        app = make_app(tmp_path, warehouse_dir=str(tmp_path / "wh"),
+                       warehouse_shard_size=4)
+        for _ in range(3):
+            call(app, "GET", "/healthz")
+        asyncio.run(app.stop())
+        assert app.span_sink.closed
+        warehouse = SpanWarehouse.open(str(tmp_path / "wh"), "serve")
+        assert warehouse.n_spans == app.dapper.spans_recorded
+        # Post-commit the stored trees match what the app reported live.
+        trees = app.trace_trees()
+        assert len(trees) == len({s.trace_id
+                                  for s in warehouse.iter_spans()})
