@@ -11,7 +11,7 @@ so the whole suite completes in minutes. The shapes under test are scale-
 stable; bump the constants below to run closer to paper scale.
 
 Bench trajectory: every bench's wall time (plus any stats it pushes via
-the ``record_stat`` fixture) is written to ``BENCH_PR9.json`` at the repo
+the ``record_stat`` fixture) is written to ``BENCH_PR10.json`` at the repo
 root when the session ends, one record per figure::
 
     {"figure": "fig14_breakdown", "wall_s": 1.23,
@@ -58,7 +58,7 @@ BENCH_SAMPLES_PER_METHOD = 300
 BENCH_SEED = 7
 
 BENCH_TRAJECTORY_FILE = os.path.join(os.path.dirname(__file__), os.pardir,
-                                     "BENCH_PR9.json")
+                                     "BENCH_PR10.json")
 
 # figure name -> {"wall_s": float, "stats": dict}, accumulated per session
 _trajectory = {}
@@ -88,7 +88,7 @@ def _bench_timer(request):
 
 @pytest.fixture
 def record_stat(request):
-    """Push key result stats into this figure's ``BENCH_PR9.json`` record.
+    """Push key result stats into this figure's ``BENCH_PR10.json`` record.
 
     Usage::
 
@@ -122,7 +122,7 @@ def record_sim_stats(record_stat):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Merge this session's trajectory into ``BENCH_PR9.json``."""
+    """Merge this session's trajectory into ``BENCH_PR10.json``."""
     if not _trajectory:
         return
     records = {}

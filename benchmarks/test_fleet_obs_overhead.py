@@ -12,7 +12,7 @@ through a :class:`~repro.obs.spanstore.SpanStoreSink` with the in-memory
 span list disabled — the production configuration for long corpora — so
 the bench measures the *whole* observability tax: scraping, alerting,
 and columnar spill. Span throughput (``spans_per_s``) and the process
-peak RSS land in ``BENCH_PR9.json`` so drift shows up across PRs.
+peak RSS land in ``BENCH_PR10.json`` so drift shows up across PRs.
 """
 
 import time

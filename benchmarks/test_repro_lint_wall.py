@@ -6,7 +6,7 @@ four cross-module rule families on top of the per-file pass.  Those
 passes are worth paying for only while they stay interactive: this
 bench lints the entire repository — the same invocation CI runs — and
 asserts the wall stays under ``LINT_BUDGET_S``.  The wall also lands
-in ``BENCH_PR9.json`` as figure ``repro_lint_wall``, and CI holds it
+in ``BENCH_PR10.json`` as figure ``repro_lint_wall``, and CI holds it
 to the same ceiling via ``tools/bench_guard.py --budget``, so a slow
 creep across PRs cannot hide behind per-PR ratio checks.
 """

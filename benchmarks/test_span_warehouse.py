@@ -6,7 +6,7 @@ vectorized columnar synthesis, committed, and then queried — group-by
 with sketch percentiles, exact component-matrix extraction, and the
 Fig. 20 cycle-tax replay — all through zero-copy mmap shard views, so
 peak RSS stays far below the corpus size. Build and query throughput
-(``spans_per_s``) land in ``BENCH_PR9.json``; ``tools/bench_guard.py
+(``spans_per_s``) land in ``BENCH_PR10.json``; ``tools/bench_guard.py
 --rss-budget`` turns the RSS column into a ceiling.
 """
 
@@ -115,6 +115,26 @@ def test_million_span_corpus_queryable(tmp_path, show, record_stat):
     tax = observer_cycle_tax(warehouse)
     query_s = time.perf_counter() - query_start_s
 
+    # The parallel fold must reproduce the serial result bit for bit
+    # (per-shard partials merged in shard order replay its float adds).
+    # At least 2 workers even on a 1-CPU runner so the pool path — not
+    # the serial fallback — is what gets verified.
+    fold_jobs = max(2, min(4, os.cpu_count() or 1))
+    parallel_start_s = time.perf_counter()
+    parallel_groups = group_by_method(warehouse, jobs=fold_jobs)
+    parallel_s = time.perf_counter() - parallel_start_s
+    assert set(parallel_groups) == set(groups)
+    for key, serial_agg in groups.items():
+        par_agg = parallel_groups[key]
+        assert par_agg.count == serial_agg.count
+        assert par_agg.error_count == serial_agg.error_count
+        assert par_agg.sum_value_s == serial_agg.sum_value_s
+        assert np.array_equal(par_agg.component_sums,
+                              serial_agg.component_sums)
+        assert np.array_equal(par_agg.sketch.counts,
+                              serial_agg.sketch.counts)
+        assert par_agg.sketch.sum == serial_agg.sketch.sum
+
     assert len(groups) == len(SERVICES) * len(METHODS)
     n_ok = sum(g.count for g in groups.values())
     n_err = sum(g.error_count for g in groups.values())
@@ -131,9 +151,14 @@ def test_million_span_corpus_queryable(tmp_path, show, record_stat):
                 corpus_mb=round(bytes_written / 2**20, 1),
                 build_wall_s=round(build_s, 3),
                 query_wall_s=round(query_s, 3),
-                spans_per_s=round(N_SPANS / query_s, 1))
+                spans_per_s=round(N_SPANS / query_s, 1),
+                fold_jobs=fold_jobs,
+                parallel_fold_wall_s=round(parallel_s, 3),
+                parallel_fold_spans_per_s=round(N_SPANS / parallel_s, 1))
     show(f"span warehouse: {N_SPANS:,} spans / {warehouse.n_shards} shards "
          f"({bytes_written / 2**20:.0f} MB) built in {build_s:.2f}s; "
          f"group-by + matrix + cycle-tax queried in {query_s:.2f}s "
-         f"({N_SPANS / query_s:,.0f} spans/s), KVStore/Get p99 "
+         f"({N_SPANS / query_s:,.0f} spans/s); parallel group-by "
+         f"(jobs={fold_jobs}) bit-identical in {parallel_s:.2f}s "
+         f"({N_SPANS / parallel_s:,.0f} spans/s), KVStore/Get p99 "
          f"{p99 * 1e3:.2f} ms, tax {tax.tax_fraction * 100:.1f}%")

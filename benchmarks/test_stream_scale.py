@@ -1,7 +1,7 @@
 """Out-of-core streaming study at scale — the PR-8 tentpole figure.
 
 Generates ``REPRO_STREAM_TRACES`` call trees (default 1M; the committed
-``BENCH_PR9.json`` entry is a 10M-trace run) through the spill-and-fold
+``BENCH_PR10.json`` entry is a 10M-trace run) through the spill-and-fold
 pipeline: shards stream to disk as columnar ``.npy`` segments and are
 folded back into count histograms, so peak RSS stays bounded by one
 shard plus the fold state no matter how many traces run through.

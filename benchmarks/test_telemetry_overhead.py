@@ -6,7 +6,7 @@ when nobody is listening: ``resolve_probe`` folds a ``NullProbe`` to
 ``None``, so every call site reduces to one pointer test that was
 already there. This bench pins that down: a pure event-churn workload
 run with ``probe=None`` versus ``probe=NullProbe()`` must land within
-5 % (min-of-repeats), and the ratio is recorded into ``BENCH_PR9.json``
+5 % (min-of-repeats), and the ratio is recorded into ``BENCH_PR10.json``
 so drift shows up across PRs.
 
 An actively observing probe is *allowed* to cost — that price is

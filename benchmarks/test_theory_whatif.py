@@ -1,0 +1,119 @@
+"""Theory fast path bench: closed-form what-if vs the matched DES path.
+
+The analytic engine answers ``/v1/whatif?mode=analytic`` from a cached
+:class:`~repro.theory.convolve.ComponentProfile` (percentile-only
+telemetry distilled from one ground-truth DES run). This bench times
+the three tiers of that path against the DES path serve mode uses for
+``mode=des``:
+
+1. **DES point** — ``run_service_study`` + ``what_if_for_service``,
+   exactly what ``_compute_whatif`` does per cache-miss query.
+2. **Engine build** — profile -> per-component DDists + prefix/suffix
+   convolutions. Paid once per profile (serve memoizes the engine).
+3. **Steady-state query** — ``engine.result(percentile)``: pure array
+   lookups. This is the per-query cost after warmup, and the one the
+   >= 100x acceptance bar applies to.
+
+The fig15-style sweep compares ``engine.sweep`` over several tail
+percentiles against the matched DES cost: serve's DES cache key
+includes the percentile, so each DES sweep point re-runs the study —
+the honest baseline is ``n_points * des_wall``.
+
+Walls, speedups, and the agreement deltas land in the bench trajectory
+(``BENCH_PR10.json``); ``tools/bench_guard.py --budget theory_whatif=10``
+caps the whole figure's wall in CI.
+"""
+
+import time
+
+from repro.core.whatif import what_if_for_service
+from repro.studies import run_service_study
+from repro.theory.convolve import (
+    WHATIF_RESCUED_TOLERANCE_PTS,
+    AnalyticWhatIf,
+    ComponentProfile,
+)
+from repro.workloads.services import SERVICE_SPECS
+
+SERVICE = "Bigtable"
+DURATION_S = 2.0
+SEED = 7
+SWEEP_PERCENTILES = (90.0, 95.0, 99.0, 99.5, 99.9)
+QUERY_ROUNDS = 5
+MIN_SPEEDUP = 100.0
+
+
+def test_analytic_whatif_speedup(show, record_stat):
+    method = SERVICE_SPECS[SERVICE].method
+
+    # 1. The matched DES path (what serve computes per mode=des miss).
+    des_start_s = time.perf_counter()
+    study = run_service_study(services=[SERVICE], n_clusters=1,
+                              duration_s=DURATION_S, seed=SEED,
+                              dapper_sampling=1.0)
+    des = what_if_for_service(study.dapper, SERVICE, method)
+    des_wall_s = time.perf_counter() - des_start_s
+
+    # Profile distillation: once per (service, study), cached on disk by
+    # serve mode, so it is not on the query path.
+    matrix = study.dapper.matrix_for_method(f"{SERVICE}/{method}")
+    doc = ComponentProfile.from_matrix(matrix, service=SERVICE).to_dict()
+
+    # 2. Engine build (convolutions) — amortized across queries.
+    build_start_s = time.perf_counter()
+    engine = AnalyticWhatIf(ComponentProfile.from_dict(doc))
+    build_wall_s = time.perf_counter() - build_start_s
+
+    # 3. Steady-state query: best-of-N to shave scheduler noise.
+    query_wall_s = min(
+        _timed(lambda: engine.result(95.0)) for _ in range(QUERY_ROUNDS))
+    analytic = engine.result(95.0)
+
+    # Cross-validation: same dominant component, rescued mass within
+    # the stated tolerance band.
+    assert analytic.dominant() == des.dominant()
+    delta_pts = abs(analytic.percent_rescued[analytic.dominant()]
+                    - des.percent_rescued[des.dominant()])
+    assert delta_pts <= WHATIF_RESCUED_TOLERANCE_PTS
+
+    speedup = des_wall_s / query_wall_s
+    assert speedup >= MIN_SPEEDUP, (
+        f"analytic query {query_wall_s * 1e3:.2f} ms is only {speedup:.0f}x "
+        f"faster than the {des_wall_s:.2f}s DES path (need >= "
+        f"{MIN_SPEEDUP:.0f}x)")
+
+    # The fig15-style sweep: distributions reused across percentiles.
+    sweep_start_s = time.perf_counter()
+    sweep = engine.sweep(SWEEP_PERCENTILES)
+    sweep_wall_s = time.perf_counter() - sweep_start_s
+    assert len(sweep) == len(SWEEP_PERCENTILES)
+    # Matched DES sweep re-runs the study per percentile (the serve
+    # cache key includes it), so the baseline is n_points DES walls.
+    sweep_speedup = len(SWEEP_PERCENTILES) * des_wall_s / sweep_wall_s
+    assert sweep_speedup >= MIN_SPEEDUP, (
+        f"analytic sweep {sweep_wall_s * 1e3:.1f} ms is only "
+        f"{sweep_speedup:.0f}x faster than {len(SWEEP_PERCENTILES)} DES "
+        f"points (need >= {MIN_SPEEDUP:.0f}x)")
+
+    record_stat(des_wall_s=round(des_wall_s, 3),
+                engine_build_s=round(build_wall_s, 4),
+                analytic_query_s=round(query_wall_s, 6),
+                sweep_wall_s=round(sweep_wall_s, 4),
+                sweep_points=len(SWEEP_PERCENTILES),
+                speedup=round(speedup, 1),
+                sweep_speedup=round(sweep_speedup, 1),
+                rescued_delta_pts=round(delta_pts, 2))
+    show(f"theory what-if [{SERVICE}/{method}]: DES {des_wall_s:.2f}s vs "
+         f"analytic {query_wall_s * 1e6:.0f}us/query "
+         f"({speedup:,.0f}x; engine built once in "
+         f"{build_wall_s * 1e3:.0f} ms); {len(SWEEP_PERCENTILES)}-point "
+         f"sweep {sweep_wall_s * 1e3:.1f} ms ({sweep_speedup:,.0f}x); "
+         f"dominant '{analytic.dominant()}' agrees, rescued delta "
+         f"{delta_pts:.1f} pts (tolerance "
+         f"{WHATIF_RESCUED_TOLERANCE_PTS:.0f})")
+
+
+def _timed(fn) -> float:
+    start_s = time.perf_counter()
+    fn()
+    return time.perf_counter() - start_s

@@ -24,6 +24,9 @@ Subcommands mirror the study structure:
   study through it, or ingest a saved trace file) and run the paper's
   analysis jobs observer-side, optionally cross-validated against the
   engine (``--self-check``)
+- ``repro-rpc theory``          the closed-form M/G/k what-if engine:
+  sweep the analytic models across utilization x variability x fanout
+  against matched DES runs and report agreement (exit 1 on breach)
 
 Every subcommand prints paper-vs-measured tables; ``--save-traces`` on the
 DES studies writes a Dapper trace file that ``analyze-traces`` can consume
@@ -274,8 +277,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", default=None,
                    help="write query results (and the self-check report) "
                         "as JSON to FILE")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the group-by fold; results "
+                        "are bit-identical for any value")
     p.add_argument("--max-rss-mb", type=float, default=None, metavar="MB",
                    help="exit 1 if this process's peak RSS exceeds MB")
+
+    p = sub.add_parser("theory",
+                       help="closed-form M/G/k what-if engine: run the "
+                            "analytic-vs-DES validation sweep")
+    p.add_argument("--sweep", action="store_true",
+                   help="run the utilization x variability x fanout "
+                        "agreement sweep against matched DES points "
+                        "(the default action)")
+    p.add_argument("--grid", choices=("ci", "full"), default="ci",
+                   help="sweep grid size (ci: fast, full: denser + "
+                        "longer DES runs)")
+    p.add_argument("--sweeps", nargs="*", default=None,
+                   choices=("queueing", "fanout", "whatif"),
+                   help="subset of sweep families (default: all)")
+    p.add_argument("--seed", type=int, default=23)
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the agreement report as JSON to FILE")
     return parser
 
 
@@ -793,7 +816,8 @@ def _cmd_span_query(args) -> int:
 
     where = SpanFilter(service=args.service, method=args.method)
     try:
-        groups = group_by_method(warehouse, where, metric=args.metric)
+        groups = group_by_method(warehouse, where, metric=args.metric,
+                                 jobs=args.jobs)
     except KeyError as err:
         raise SystemExit(str(err))
     rows, json_rows = [], []
@@ -869,6 +893,23 @@ def _cmd_span_query(args) -> int:
     return 1 if check_failed else rss_failed
 
 
+def _cmd_theory(args) -> int:
+    import json
+
+    from repro.theory.validate import run_validation
+
+    # --sweep is the default (and currently only) action; accepting the
+    # flag keeps the documented invocation stable if more modes appear.
+    report = run_validation(grid=args.grid, seed=args.seed,
+                            sweeps=args.sweeps)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+        print(f"\nwrote agreement report to {args.json}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "fleet-study": _cmd_fleet_study,
     "growth": _cmd_growth,
@@ -882,6 +923,7 @@ _COMMANDS = {
     "analyze-traces": _cmd_analyze_traces,
     "export-chrome": _cmd_export_chrome,
     "span-query": _cmd_span_query,
+    "theory": _cmd_theory,
 }
 
 

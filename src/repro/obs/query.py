@@ -30,13 +30,14 @@ the documented cost of joining parents across shard boundaries.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.obs.sketch import LatencySketch
-from repro.obs.spanstore import SpanColumns, StringTables
+from repro.obs.spanstore import SpanColumns, SpanWarehouse, StringTables
 from repro.rpc.stack import APP_COMPONENT, COMPONENTS, ComponentMatrix
 from repro.rpc.tracing import Span
 
@@ -54,6 +55,16 @@ __all__ = [
 ]
 
 _COMPONENT_INDEX = {name: i for i, name in enumerate(COMPONENTS)}
+
+#: Metadata for the determinism analysis (RL006): the functions below
+#: run inside pool workers, so everything import-reachable from this
+#: module is scanned for hidden process-local state.
+WORKER_ENTRYPOINTS = ("_init_query_worker", "_worker_fold_shards")
+
+# Per-worker warehouse handle, reopened once by the pool initializer
+# from the picklable (root, run_key) pair — the sanctioned RL006
+# exception, mirroring repro.core.parallel.
+_worker_warehouse: Optional[SpanWarehouse] = None  # repro-lint: disable=RL006 - reopened deterministically from (root, run_key) by _init_query_worker
 
 
 def _tables(source) -> StringTables:
@@ -165,8 +176,132 @@ class MethodAggregate:
         return self
 
 
+def _fold_shard(groups: Dict[Tuple[str, str], MethodAggregate],
+                columns: SpanColumns, tables: StringTables,
+                where: SpanFilter, id_filter: SpanFilter,
+                metric: str) -> None:
+    """Fold one shard's rows into ``groups`` (shared serial/worker body).
+
+    Serial and parallel paths call this exact code on each shard, so
+    the only difference between them is *which process* runs the fold —
+    never what arithmetic it performs.
+    """
+    base = id_filter.mask(columns, tables)
+    if not base.any():
+        return
+    ok = columns.ok_mask()
+    used = base & ok if where.ok_only else base
+    service_ids = np.asarray(columns.service_ids, dtype=np.int64)
+    method_ids = np.asarray(columns.method_ids, dtype=np.int64)
+    packed = (service_ids << 32) | method_ids
+    values = _metric_values(columns, metric)
+    comps = np.asarray(columns.components, dtype=float)
+    for key in np.unique(packed[base]):
+        service_id, method_id = int(key) >> 32, int(key) & 0xFFFFFFFF
+        name = (tables.services.names[service_id],
+                tables.methods.names[method_id])
+        agg = groups.get(name)
+        if agg is None:
+            agg = groups[name] = MethodAggregate(service=name[0],
+                                                 method=name[1])
+        in_group = packed == key
+        rows = used & in_group
+        n = int(rows.sum())
+        if n:
+            group_values = values[rows]
+            agg.count += n
+            agg.sum_value_s += float(group_values.sum())
+            agg.component_sums = (agg.component_sums
+                                  + comps[rows].sum(axis=0))
+            agg.sketch.observe_many(group_values)
+        if where.ok_only:
+            agg.error_count += int((base & in_group & ~ok).sum())
+
+
+def _init_query_worker(root: str, run_key: str) -> None:
+    """Pool initializer: reopen the committed warehouse once."""
+    global _worker_warehouse
+    _worker_warehouse = SpanWarehouse.open(root, run_key)
+
+
+def _worker_fold_shards(task):
+    """Fold a contiguous shard range; one partial dict per shard.
+
+    Returns ``[(shard_index, groups | None), ...]`` — ``None`` marks a
+    corrupt/missing shard (the driver records it like
+    :meth:`SpanWarehouse.iter_columns` would). Per-shard partials (not
+    a per-range fold) let the driver merge in global shard order, which
+    replays the serial fold's float-accumulation sequence exactly.
+    """
+    shard_indices, where, metric = task
+    warehouse = _worker_warehouse
+    assert warehouse is not None, "pool initializer did not run"
+    id_filter = SpanFilter(service=where.service, method=where.method,
+                           ok_only=False,
+                           intra_cluster_only=where.intra_cluster_only)
+    out = []
+    for index in shard_indices:
+        columns = warehouse.store.get(
+            index, expect_spans=warehouse.shard_counts[index])
+        if columns is None:
+            out.append((index, None))
+            continue
+        partial: Dict[Tuple[str, str], MethodAggregate] = {}
+        _fold_shard(partial, columns, warehouse.tables, where, id_filter,
+                    metric)
+        out.append((index, partial))
+    return out
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap start), spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _shard_ranges(n_shards: int, n_ranges: int) -> List[List[int]]:
+    """Split shard indices into at most ``n_ranges`` contiguous runs."""
+    n_ranges = max(1, min(n_ranges, n_shards))
+    bounds = np.linspace(0, n_shards, n_ranges + 1).astype(int)
+    return [list(range(bounds[i], bounds[i + 1])) for i in range(n_ranges)
+            if bounds[i] < bounds[i + 1]]
+
+
+def _group_by_method_parallel(source: SpanWarehouse, where: SpanFilter,
+                              metric: str, jobs: int
+                              ) -> Dict[Tuple[str, str], MethodAggregate]:
+    """Fan the per-shard fold across a process pool, merge in order."""
+    ranges = _shard_ranges(source.n_shards, jobs)
+    tasks = [(tuple(r), where, metric) for r in ranges]
+    ctx = _pool_context()
+    with ctx.Pool(processes=len(tasks),
+                  initializer=_init_query_worker,
+                  initargs=(str(source.store.root),
+                            source.store.run_key)) as pool:
+        results = pool.map(_worker_fold_shards, tasks)
+    groups: Dict[Tuple[str, str], MethodAggregate] = {}
+    # pool.map preserves task order and tasks are contiguous ascending
+    # ranges, so flattening visits shards in global index order — the
+    # serial fold's exact accumulation sequence.
+    for batch in results:
+        for index, partial in batch:
+            if partial is None:
+                if index not in source.missing_shards:
+                    source.missing_shards.append(index)
+                continue
+            for name, part in partial.items():
+                agg = groups.get(name)
+                if agg is None:
+                    agg = groups[name] = MethodAggregate(service=name[0],
+                                                         method=name[1])
+                agg.merge(part)
+    return groups
+
+
 def group_by_method(source, where: Optional[SpanFilter] = None,
-                    metric: str = "total"
+                    metric: str = "total", jobs: int = 1
                     ) -> Dict[Tuple[str, str], MethodAggregate]:
     """Per-(service, method) counts, component sums, and a value sketch.
 
@@ -175,46 +310,27 @@ def group_by_method(source, where: Optional[SpanFilter] = None,
     sketch via ``observe_many``. All state merges commutatively, so
     shard order cannot affect the result.
 
+    ``jobs > 1`` folds shards in a process pool when the source is a
+    committed :class:`~repro.obs.spanstore.SpanWarehouse` (other sources
+    fold serially). Workers emit one partial aggregate per shard and the
+    driver merges them in shard-index order, so every float accumulation
+    replays the serial fold's left-to-right sequence — the result is
+    bit-identical to ``jobs=1``, not merely close.
+
     ``error_count`` counts the spans the ``ok_only`` filter *excluded*
     for that method (only meaningful when ``where.ok_only`` is true).
     """
     where = where or SpanFilter()
+    if (jobs > 1 and isinstance(source, SpanWarehouse)
+            and source.n_shards > 1):
+        return _group_by_method_parallel(source, where, metric, jobs)
     tables = _tables(source)
     groups: Dict[Tuple[str, str], MethodAggregate] = {}
     id_filter = SpanFilter(service=where.service, method=where.method,
                            ok_only=False,
                            intra_cluster_only=where.intra_cluster_only)
     for columns in source.iter_columns():
-        base = id_filter.mask(columns, tables)
-        if not base.any():
-            continue
-        ok = columns.ok_mask()
-        used = base & ok if where.ok_only else base
-        service_ids = np.asarray(columns.service_ids, dtype=np.int64)
-        method_ids = np.asarray(columns.method_ids, dtype=np.int64)
-        packed = (service_ids << 32) | method_ids
-        values = _metric_values(columns, metric)
-        comps = np.asarray(columns.components, dtype=float)
-        for key in np.unique(packed[base]):
-            service_id, method_id = int(key) >> 32, int(key) & 0xFFFFFFFF
-            name = (tables.services.names[service_id],
-                    tables.methods.names[method_id])
-            agg = groups.get(name)
-            if agg is None:
-                agg = groups[name] = MethodAggregate(service=name[0],
-                                                     method=name[1])
-            in_group = packed == key
-            rows = used & in_group
-            n = int(rows.sum())
-            if n:
-                group_values = values[rows]
-                agg.count += n
-                agg.sum_value_s += float(group_values.sum())
-                agg.component_sums = (agg.component_sums
-                                      + comps[rows].sum(axis=0))
-                agg.sketch.observe_many(group_values)
-            if where.ok_only:
-                agg.error_count += int((base & in_group & ~ok).sum())
+        _fold_shard(groups, columns, tables, where, id_filter, metric)
     return groups
 
 

@@ -177,6 +177,46 @@ class LatencySketch:
         """``p`` in [0, 100]; convenience mirror of numpy's percentile."""
         return self.quantile(p / 100.0)
 
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        """Batch quantile inversion (``qs`` in [0, 1]), one cumsum.
+
+        Matches :meth:`quantile` value-for-value; the batch form exists
+        because warehouse scans ask for p50/p95/p99 of thousands of
+        method sketches, and the cumsum dominates the per-call cost.
+        """
+        if any(not 0.0 <= q <= 1.0 for q in qs):
+            raise ValueError(f"quantiles must be in [0, 1], got {list(qs)!r}")
+        if self.count == 0:
+            return [0.0 for _ in qs]
+        ranks = np.asarray(qs, dtype=float) * (self.count - 1)
+        cum = np.cumsum(self.counts)
+        idx = np.searchsorted(cum, ranks + 1.0)
+        reps = self.min_value * self._gamma ** (idx + 0.5)
+        return [float(min(max(r, self.min), self.max)) for r in reps]
+
+    def fit_lognormal(self) -> Optional[Tuple[float, float]]:
+        """Fit ``ln X ~ N(mu, sigma)`` from the bucket histogram.
+
+        Weighted first/second moments of the bucket log-midpoints —
+        every bucket contributes, unlike a three-point percentile fit.
+        Returns ``(mu, sigma)``, or ``None`` with fewer than two
+        observations (no spread estimate). Plain floats only, so the
+        obs layer stays ignorant of :mod:`repro.theory` (which wraps
+        this as ``LognormalFit.from_sketch``).
+        """
+        if self.count < 2:
+            return None
+        counts = self.counts
+        nz = np.flatnonzero(counts)
+        log_gamma = math.log(self._gamma)
+        # Bucket i's geometric midpoint is min_value * gamma^(i + 0.5).
+        log_mids = math.log(self.min_value) + (nz + 0.5) * log_gamma
+        w = counts[nz].astype(float)
+        total = w.sum()
+        mu = float(np.dot(w, log_mids) / total)
+        var = float(np.dot(w, (log_mids - mu) ** 2) / total)
+        return mu, math.sqrt(max(var, 0.0))
+
     def count_below(self, threshold: float) -> int:
         """How many observations were <= ``threshold`` (within accuracy).
 

@@ -179,6 +179,86 @@ def whatif_cached(cache: StudyCache, service: str, method: Optional[str],
                                      percentile))
 
 
+def _compute_theory_profile(service: str, method: Optional[str],
+                            duration_s: float, seed: int) -> Dict[str, object]:
+    """Run the ground-truth DES once and distill its component profile."""
+    from repro.studies import run_service_study
+    from repro.theory.convolve import ComponentProfile
+    from repro.workloads.services import SERVICE_SPECS
+
+    method = method or SERVICE_SPECS[service].method
+    study = run_service_study(services=[service], n_clusters=1,
+                              duration_s=duration_s, seed=seed,
+                              dapper_sampling=1.0)
+    matrix = study.dapper.matrix_for_method(f"{service}/{method}")
+    profile = ComponentProfile.from_matrix(matrix, service=service)
+    return profile.to_dict()
+
+
+def _theory_profile_key(service: str, method: Optional[str],
+                        duration_s: float, seed: int) -> str:
+    return study_key("serve-theory-profile", seed, {
+        "service": service,
+        "method": method,
+        "duration_s": duration_s,
+    })
+
+
+def theory_profile_cached(cache: StudyCache, service: str,
+                          method: Optional[str], duration_s: float,
+                          seed: int) -> Tuple[Dict[str, object], bool]:
+    """``(profile document, was_cache_hit)`` through the study cache.
+
+    The profile is percentile-only telemetry — a few hundred bytes —
+    and is the *only* DES-derived input the analytic path needs, so one
+    cached study answers every (percentile, mode=analytic) query.
+    """
+    key = _theory_profile_key(service, method, duration_s, seed)
+    return cache.get_or_compute(
+        key, lambda: _compute_theory_profile(service, method, duration_s,
+                                             seed))
+
+
+def whatif_analytic(cache: StudyCache, service: str, method: Optional[str],
+                    duration_s: float, seed: int, percentile: float,
+                    engines: Optional[Dict[str, object]] = None
+                    ) -> Tuple[Dict[str, object], bool]:
+    """The closed-form what-if answer from the cached profile.
+
+    ``was_cache_hit`` reports the *profile* lookup. ``engines`` is an
+    optional in-process memo (profile key -> :class:`AnalyticWhatIf`):
+    the engine's component convolutions are built once per profile and
+    every subsequent query is pure array lookups — the steady-state
+    per-query cost serve mode advertises (see docs/PERFORMANCE.md,
+    "Analytic fast path").
+    """
+    from repro.theory.convolve import (WHATIF_RESCUED_TOLERANCE_PTS,
+                                       AnalyticWhatIf, ComponentProfile)
+    from repro.workloads.services import SERVICE_SPECS
+
+    doc, hit = theory_profile_cached(cache, service, method, duration_s,
+                                     seed)
+    key = _theory_profile_key(service, method, duration_s, seed)
+    engine = engines.get(key) if engines is not None else None
+    if engine is None:
+        engine = AnalyticWhatIf(ComponentProfile.from_dict(doc))
+        if engines is not None:
+            engines[key] = engine
+    result = engine.result(percentile)
+    return {
+        "service": service,
+        "method": method or SERVICE_SPECS[service].method,
+        "duration_s": duration_s,
+        "tail_percentile": percentile,
+        "dominant": result.dominant(),
+        "percent_rescued": dict(result.percent_rescued),
+        "n_tail": result.n_tail,
+        "mode": "analytic",
+        "tolerance_pts": WHATIF_RESCUED_TOLERANCE_PTS,
+        "profile_n_samples": engine.profile.n_samples,
+    }, hit
+
+
 @dataclass
 class _RequestTimer:
     """Wall-time phase accounting for one request's span tree."""
@@ -230,6 +310,9 @@ class ServeApp:
             self.sim, self.alerts, self.monarch,
             slo_names=["serve-latency"], retry_after_s=cfg.retry_after_s)
         self.cache = StudyCache(cfg.cache_dir)
+        # Profile key -> AnalyticWhatIf: the convolution engines behind
+        # /v1/whatif?mode=analytic, built once per profile.
+        self._whatif_engines: Dict[str, object] = {}
         self.requests_total = 0
         self.errors_total = 0
         self._catalogs: Dict[Tuple[int, int], object] = {}
@@ -276,6 +359,8 @@ class ServeApp:
                            cfg.study_max_nodes)
         whatif_cached(self.cache, cfg.whatif_service, None,
                       cfg.whatif_duration_s, cfg.seed, 95.0)
+        theory_profile_cached(self.cache, cfg.whatif_service, None,
+                              cfg.whatif_duration_s, cfg.seed)
 
     async def stop(self) -> None:
         """Tear down: close the socket, stop periodic observers."""
@@ -621,12 +706,21 @@ class ServeApp:
                                      self.config.whatif_duration_s))
         percentile = float(query.get("percentile", "95"))
         seed = int(query.get("seed", self.config.seed))
+        mode = query.get("mode", "des")
+        if mode not in ("des", "analytic"):
+            raise BadRequest(f"unknown mode {mode!r} (have: des, analytic)")
         timer.charge("parse", self.wall() - parse_start_s)
 
         await self._maybe_slow(timer)
         work_start_s = self.wall()
-        doc, hit = whatif_cached(self.cache, service, method,
-                                 duration_s, seed, percentile)
+        if mode == "analytic":
+            doc, hit = whatif_analytic(self.cache, service, method,
+                                       duration_s, seed, percentile,
+                                       engines=self._whatif_engines)
+        else:
+            doc, hit = whatif_cached(self.cache, service, method,
+                                     duration_s, seed, percentile)
+            doc = dict(doc, mode="des")
         timer.charge("cache_lookup" if hit else "compute",
                      self.wall() - work_start_s)
         return 200, dict(doc, cache_hit=hit)

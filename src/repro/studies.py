@@ -45,8 +45,9 @@ from repro.workloads.drivers import (
 )
 from repro.workloads.services import SERVICE_SPECS, ServiceSpec
 
-__all__ = ["ServiceStudy", "run_service_study", "run_cross_cluster_study",
-           "run_diurnal_study", "run_multitier_study"]
+__all__ = ["ServiceStudy", "QueueingStudy", "run_service_study",
+           "run_cross_cluster_study", "run_diurnal_study",
+           "run_multitier_study", "run_queueing_study"]
 
 
 @dataclass
@@ -420,6 +421,100 @@ def run_multitier_study(
     return ServiceStudy(sim=sim, fleet=fleet, network=network, dapper=dapper,
                         monarch=monarch, gwp=gwp, deployments=deployments,
                         drivers=[])
+
+
+@dataclass
+class QueueingStudy:
+    """A single-station M/G/k run: the theory layer's ground truth.
+
+    ``waits`` holds every post-warmup job's queueing delay in arrival
+    order, so means, quantiles, and the wait CCDF can all be checked
+    against closed forms at the sample level.
+    """
+
+    waits: np.ndarray
+    arrival_rate: float
+    servers: int
+    mean_service_s: float
+    utilization: float
+
+    @property
+    def n_jobs(self) -> int:
+        return int(self.waits.size)
+
+    def mean_wait_s(self) -> float:
+        """Mean queueing delay over the measured jobs."""
+        return float(self.waits.mean()) if self.waits.size else 0.0
+
+    def wait_quantile(self, q: float) -> float:
+        """Empirical wait quantile (0 when no jobs survived warmup)."""
+        return float(np.quantile(self.waits, q)) if self.waits.size else 0.0
+
+    def stderr_mean_wait_s(self) -> float:
+        """Standard error of the mean wait (i.i.d. approximation).
+
+        Queue waits are autocorrelated, so this *understates* the true
+        error; validation tolerances account for that with explicit
+        regime bands rather than trusting the CI alone.
+        """
+        if self.waits.size < 2:
+            return 0.0
+        return float(self.waits.std(ddof=1) / np.sqrt(self.waits.size))
+
+
+def run_queueing_study(
+    arrival_rate: float,
+    service,
+    servers: int = 1,
+    n_jobs: int = 20_000,
+    seed: int = 23,
+    warmup_fraction: float = 0.1,
+) -> QueueingStudy:
+    """One M/G/k station under Poisson arrivals, measured exactly.
+
+    This is the matched DES point for the theory layer's validation
+    sweep (:mod:`repro.theory.validate`): ``service`` is any
+    :class:`~repro.sim.distributions.Distribution`; ``n_jobs`` arrivals
+    are offered, the first ``warmup_fraction`` of completed waits are
+    discarded (transient from the empty start), and the rest are
+    returned in arrival order. Deterministic in ``seed``.
+    """
+    from repro.sim.queues import Job, ServerPool
+
+    if arrival_rate <= 0.0:
+        raise ValueError(f"arrival_rate must be > 0, got {arrival_rate!r}")
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs!r}")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}")
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    arrival_rng = rngs.stream("queueing", "arrivals")
+    service_rng = rngs.stream("queueing", "service")
+    pool = ServerPool(sim, servers, name="station", record_waits=True)
+    # Pre-drawn vectorized gaps/services keep the event loop lean and the
+    # draws independent of completion interleaving.
+    gaps = arrival_rng.exponential(1.0 / arrival_rate, size=n_jobs)
+    services = service.sample(service_rng, n_jobs)
+    arrivals = np.cumsum(gaps)
+
+    def submit(i: int) -> None:
+        pool.submit(Job(service_time=float(services[i])))
+
+    for i, t in enumerate(arrivals):
+        sim.at(float(t), lambda i=i: submit(i))
+    sim.run()
+    waits = np.asarray(pool.stats.waits, dtype=float)
+    skip = int(waits.size * warmup_fraction)
+    measured = waits[skip:]
+    mean_service = float(services.mean())
+    busy_window = sim.now - float(arrivals[0])
+    utilization = (pool.stats.total_service / (busy_window * servers)
+                   if busy_window > 0 else 0.0)
+    return QueueingStudy(waits=measured, arrival_rate=arrival_rate,
+                         servers=servers, mean_service_s=mean_service,
+                         utilization=min(1.0, utilization))
 
 
 def run_cross_cluster_study(

@@ -1,0 +1,58 @@
+"""Closed-form queueing theory: the analytic fast path next to the DES.
+
+The DES answers what-if and capacity questions exactly but at seconds
+per configuration; this package answers the same questions in
+microseconds from closed forms and discretized-distribution algebra,
+and carries the validation harness that proves the approximations
+trustworthy against matched DES runs.
+
+- :mod:`repro.theory.mgk` — M/M/1 exact, M/G/1 Pollaczek-Khinchine,
+  M/G/k Kingman/Allen-Cunneen, and lognormal percentile->(mu, sigma)
+  fitting so telemetry-style p50/p95/p99 (or a ``LatencySketch``) feeds
+  the models directly.
+- :mod:`repro.theory.ddist` — discretized latency distributions with
+  exact convolve/max/mixture algebra on a uniform grid.
+- :mod:`repro.theory.convolve` — distribution propagation over
+  ``FlatTree`` call trees and the component-matrix decomposition;
+  analytic fig13/fig15 including ``what_if_components_analytic``.
+- :mod:`repro.theory.validate` — the utilization x variability x fanout
+  sweep that cross-validates every closed form against the DES and
+  emits a JSON agreement report (``repro-rpc theory --sweep``).
+"""
+
+from repro.theory.ddist import DDist
+from repro.theory.mgk import (
+    LognormalFit,
+    MgkModel,
+    erlang_c,
+    kingman_mean_wait,
+    mm1_mean_wait,
+    mm1_wait_quantile,
+    mmk_mean_wait,
+    pk_mean_wait,
+)
+from repro.theory.convolve import (
+    ComponentProfile,
+    analytic_queueing,
+    propagate_tree,
+    what_if_components_analytic,
+)
+from repro.theory.validate import AgreementReport, run_validation
+
+__all__ = [
+    "AgreementReport",
+    "ComponentProfile",
+    "DDist",
+    "LognormalFit",
+    "MgkModel",
+    "analytic_queueing",
+    "erlang_c",
+    "kingman_mean_wait",
+    "mm1_mean_wait",
+    "mm1_wait_quantile",
+    "mmk_mean_wait",
+    "pk_mean_wait",
+    "propagate_tree",
+    "run_validation",
+    "what_if_components_analytic",
+]

@@ -1,0 +1,316 @@
+"""Latency-distribution propagation: analytic fig13 and fig15.
+
+Two decompositions of end-to-end latency, both answered from
+:class:`~repro.theory.ddist.DDist` algebra instead of a DES run:
+
+- **Call trees** (:func:`propagate_tree`): given a per-node (or
+  per-method) service-time distribution, the response-time distribution
+  of a ``FlatTree`` is computed bottom-up — serial children convolve,
+  parallel fanout takes the max — exactly the recursion the DES
+  executes one sample at a time, but over whole distributions at once.
+- **Component matrices** (:class:`ComponentProfile` +
+  :func:`what_if_components_analytic`): the nine-component anatomy of
+  Fig. 9, modeled as *independent* zero-inflated lognormals fitted from
+  per-component percentile telemetry. The fig15 counterfactual
+  ("replace component j by its median inside the tail") then has a
+  closed form; see :func:`what_if_components_analytic` for the math.
+
+The independence assumption is forced by the input: percentile triples
+carry no cross-component correlation. The validation sweep
+(:mod:`repro.theory.validate`) measures what that costs against the DES
+— dominant-component identification survives it, absolute rescued
+percentages carry the documented tolerance band
+(:data:`WHATIF_RESCUED_TOLERANCE_PTS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.whatif import WhatIfResult
+from repro.rpc.calltree import FlatTree
+from repro.rpc.stack import COMPONENTS, ComponentMatrix
+from repro.theory.ddist import DDist, DEFAULT_BIN_S
+from repro.theory.mgk import LognormalFit, MgkModel
+
+__all__ = [
+    "ComponentProfile",
+    "WHATIF_RESCUED_TOLERANCE_PTS",
+    "AnalyticWhatIf",
+    "analytic_queueing",
+    "propagate_tree",
+    "what_if_components_analytic",
+]
+
+#: Documented tolerance (absolute percentage points) on per-component
+#: rescued fractions vs the DES counterfactual, owed to the component
+#: independence assumption. Validated by the sweep harness.
+WHATIF_RESCUED_TOLERANCE_PTS = 15.0
+
+#: Percentiles a profile stores per component; p50/p95/p99 is exactly
+#: what warehouse sketches export.
+PROFILE_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+# ----------------------------------------------------------------------
+# Component profiles: telemetry in, distributions out
+# ----------------------------------------------------------------------
+@dataclass
+class ComponentProfile:
+    """Per-component percentile telemetry for one service/method.
+
+    ``percentiles[comp]`` maps percentile -> seconds *of the positive
+    part* of the component, and ``zero_fraction[comp]`` carries the
+    zero-inflation mass (queue components are frequently exactly zero).
+    JSON-safe (:meth:`to_dict`), so serve mode caches it via
+    ``study_key`` and answers analytic what-ifs without re-running
+    anything.
+    """
+
+    service: str
+    percentiles: Dict[str, Dict[float, float]]
+    zero_fraction: Dict[str, float]
+    n_samples: int
+    components: Sequence[str] = COMPONENTS
+
+    @classmethod
+    def from_matrix(cls, matrix: ComponentMatrix, service: str = "",
+                    profile_percentiles: Sequence[float] = PROFILE_PERCENTILES,
+                    ) -> "ComponentProfile":
+        """Profile a component matrix (what a DES study or warehouse
+        column scan produces)."""
+        if len(matrix) == 0:
+            raise ValueError("need at least one span to profile")
+        pct: Dict[str, Dict[float, float]] = {}
+        zf: Dict[str, float] = {}
+        for comp in COMPONENTS:
+            col = matrix.column(comp)
+            pos = col[col > 0.0]
+            zf[comp] = float(1.0 - pos.size / col.size)
+            if pos.size:
+                pct[comp] = {float(p): float(np.percentile(pos, p))
+                             for p in profile_percentiles}
+            else:
+                pct[comp] = {}
+        return cls(service=service, percentiles=pct, zero_fraction=zf,
+                   n_samples=len(matrix))
+
+    def component_fit(self, comp: str) -> Optional[LognormalFit]:
+        """Lognormal fit of the positive part (None when always zero)."""
+        pts = self.percentiles[comp]
+        if len(pts) < 2:
+            return None
+        return LognormalFit.from_percentiles(pts)
+
+    def component_ddist(self, comp: str, h: float = DEFAULT_BIN_S) -> DDist:
+        """The zero-inflated discretized distribution of one component."""
+        fit = self.component_fit(comp)
+        if fit is None:
+            return DDist.constant(0.0, h)
+        return DDist.zero_inflated_lognormal(
+            self.zero_fraction[comp], fit.mu, fit.sigma, h)
+
+    def total_ddist(self, h: float = DEFAULT_BIN_S) -> DDist:
+        """End-to-end latency under component independence."""
+        total = DDist.constant(0.0, h)
+        for comp in self.components:
+            total = total.add(self.component_ddist(comp, h))
+        return total
+
+    def suggest_bin_s(self) -> float:
+        """A bin width resolving this profile's medians and tails.
+
+        Fine enough that the smallest positive component median spans
+        >= 4 bins, coarse enough that the largest p99 stays ~1e4 bins.
+        """
+        medians = [pts.get(50.0) for pts in self.percentiles.values()
+                   if pts.get(50.0)]
+        p99s = [max(pts.values()) for pts in self.percentiles.values() if pts]
+        if not medians:
+            return DEFAULT_BIN_S
+        fine = min(medians) / 4.0
+        coarse = max(p99s) / 10_000.0
+        return max(min(DEFAULT_BIN_S, fine), coarse, 1e-9)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "service": self.service,
+            "n_samples": self.n_samples,
+            "components": list(self.components),
+            "percentiles": {c: {str(p): v for p, v in pts.items()}
+                            for c, pts in self.percentiles.items()},
+            "zero_fraction": dict(self.zero_fraction),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "ComponentProfile":
+        return cls(
+            service=str(doc["service"]),
+            percentiles={c: {float(p): float(v) for p, v in pts.items()}
+                         for c, pts in doc["percentiles"].items()},
+            zero_fraction={c: float(v)
+                           for c, v in doc["zero_fraction"].items()},
+            n_samples=int(doc["n_samples"]),
+            components=tuple(doc["components"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# The analytic fig15 counterfactual
+# ----------------------------------------------------------------------
+class AnalyticWhatIf:
+    """The fig15 counterfactual engine over a :class:`ComponentProfile`.
+
+    Build once, query many tail percentiles: the per-component
+    distributions and their prefix/suffix convolutions (``rest_j`` =
+    total minus component ``j``) are computed in ``__init__``; each
+    :meth:`result` call is then pure array lookups.
+
+    The closed form: write total = ``X_j + R_j`` with ``X_j`` the
+    component and ``R_j`` the (independent) rest, ``t`` the tail
+    threshold, ``m_j`` the component median. Replacing ``X_j`` by
+    ``min(X_j, m_j)`` rescues a tail sample iff
+    ``X_j + R_j > t >= min(X_j, m_j) + R_j``, so
+
+    ``P(rescued) = sum_{x > m_j} p(x) * [F_R(t - m_j) - F_R(t - x)]^+``
+    ``P(tail)    = sum_x p(x) * (1 - F_R(t - x)) = P(total > t)``
+
+    and the reported number is ``100 * P(rescued) / P(tail)`` — the
+    distributional limit of the DES's empirical ratio.
+    """
+
+    def __init__(self, profile: ComponentProfile, h: Optional[float] = None):
+        self.profile = profile
+        self.h = float(h) if h else profile.suggest_bin_s()
+        comps = list(profile.components)
+        self.dists = [profile.component_ddist(c, self.h) for c in comps]
+        n = len(comps)
+        # prefix[i] = sum of components < i; suffix[i] = sum of > i.
+        prefix: List[Optional[DDist]] = [None] * (n + 1)
+        suffix: List[Optional[DDist]] = [None] * (n + 1)
+        zero = DDist.constant(0.0, self.h)
+        prefix[0] = zero
+        for i in range(n):
+            prefix[i + 1] = prefix[i].add(self.dists[i])
+        suffix[n] = zero
+        for i in range(n - 1, -1, -1):
+            suffix[i] = suffix[i + 1].add(self.dists[i])
+        self.total = prefix[n]
+        self.rests = [prefix[i].add(suffix[i + 1]) for i in range(n)]
+
+    def result(self, tail_percentile: float = 95.0) -> WhatIfResult:
+        """The analytic :class:`WhatIfResult` at one tail percentile."""
+        if not 0.0 < tail_percentile < 100.0:
+            raise ValueError(
+                f"tail percentile must be in (0, 100), got {tail_percentile!r}")
+        t = self.total.quantile(tail_percentile / 100.0)
+        rescued: Dict[str, float] = {}
+        for comp, dist, rest in zip(self.profile.components, self.dists,
+                                    self.rests):
+            m = dist.median()
+            xs = dist.values
+            px = dist.pmf
+            cdf_rest_at_gap = rest.cdf_many(t - xs)
+            tail_mass = float(np.dot(px, 1.0 - cdf_rest_at_gap))
+            improvable = xs > m
+            gain = np.maximum(0.0, rest.cdf(t - m)
+                              - cdf_rest_at_gap[improvable])
+            rescue_mass = float(np.dot(px[improvable], gain))
+            rescued[comp] = (100.0 * rescue_mass / tail_mass
+                             if tail_mass > 0.0 else 0.0)
+        n_tail = int(round(self.profile.n_samples * self.total.ccdf(t)))
+        return WhatIfResult(service=self.profile.service,
+                            percent_rescued=rescued,
+                            tail_percentile=tail_percentile,
+                            n_tail=n_tail)
+
+    def sweep(self, tail_percentiles: Sequence[float]) -> List[WhatIfResult]:
+        """Results across many tail percentiles (distributions reused)."""
+        return [self.result(p) for p in tail_percentiles]
+
+
+def what_if_components_analytic(profile: Union[ComponentProfile,
+                                               ComponentMatrix],
+                                tail_percentile: float = 95.0,
+                                h: Optional[float] = None) -> WhatIfResult:
+    """Analytic fig15: same question and result type as
+    :func:`repro.core.whatif.what_if_components`, no DES tail needed.
+
+    Accepts either a pre-built profile (the serve-mode cache hit path)
+    or a raw :class:`ComponentMatrix` (profiled on the fly).
+    """
+    if isinstance(profile, ComponentMatrix):
+        profile = ComponentProfile.from_matrix(profile)
+    return AnalyticWhatIf(profile, h=h).result(tail_percentile)
+
+
+# ----------------------------------------------------------------------
+# Call-tree propagation
+# ----------------------------------------------------------------------
+def propagate_tree(tree: FlatTree,
+                   node_dist: Union[Sequence[DDist],
+                                    Callable[[int], DDist]],
+                   mode: str = "serial") -> DDist:
+    """Response-time distribution of a call tree, bottom-up.
+
+    ``node_dist`` gives each node's *own* service-time distribution
+    (indexable by node, or a callable of the node index — use
+    ``lambda i: by_method[tree.method_ids[i]]`` for per-method models).
+
+    - ``mode="serial"``: a node's children run back-to-back, so child
+      response times *convolve* into the parent (the DES's sequential
+      child execution).
+    - ``mode="parallel"``: children fan out concurrently; the parent
+      waits for the *max* of child response times.
+
+    Either way the node's own distribution is convolved on top. All
+    node distributions must share one bin width.
+    """
+    if mode not in ("serial", "parallel"):
+        raise ValueError(f"mode must be 'serial' or 'parallel', got {mode!r}")
+    own: Callable[[int], DDist]
+    own = node_dist if callable(node_dist) else node_dist.__getitem__
+    resp: List[Optional[DDist]] = [None] * tree.size
+    for sl in reversed(tree.level_slices()):
+        for i in range(sl.start, sl.stop):
+            d = own(i)
+            kids = tree.children_slice(i)
+            combined: Optional[DDist] = None
+            for c in range(kids.start, kids.stop):
+                child = resp[c]
+                combined = (child if combined is None
+                            else (combined.add(child) if mode == "serial"
+                                  else combined.max(child)))
+            resp[i] = d if combined is None else d.add(combined)
+    return resp[0]
+
+
+# ----------------------------------------------------------------------
+# Analytic fig13
+# ----------------------------------------------------------------------
+def analytic_queueing(models: Sequence[MgkModel]):
+    """Fig. 13's per-method queueing statistics from closed forms.
+
+    Each model is one method's queueing station; medians and P99s come
+    from :meth:`MgkModel.wait_quantile` instead of simulated samples.
+    Returns the same :class:`repro.core.tax.QueueResult` the DES path
+    produces, so renderers and assertions are shared.
+    """
+    from repro.core.tax import QueueResult
+    from repro.workloads import calibration as cal
+
+    if not models:
+        raise ValueError("need at least one station model")
+    med = np.array([m.wait_quantile(0.5) for m in models])
+    p99 = np.array([m.wait_quantile(0.99) for m in models])
+    return QueueResult(
+        frac_median_under_360us=float(
+            (med <= cal.QUEUE_MEDIAN_HALF_OF_METHODS_S).mean()),
+        frac_p99_under_102ms=float(
+            (p99 <= cal.QUEUE_P99_HALF_OF_METHODS_S).mean()),
+        worst10pct_median_s=float(np.quantile(med, 0.90)),
+        worst10pct_p99_s=float(np.quantile(p99, 0.90)),
+    )

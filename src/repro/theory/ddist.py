@@ -1,0 +1,324 @@
+"""Discretized latency distributions on a uniform grid.
+
+The analytic fig15/fig13 path needs distribution *algebra* — add two
+independent latencies (serial RPC children), take the max (parallel
+fanout), mix (probabilistic branches) — none of which lognormals are
+closed under. :class:`DDist` makes all of them exact up to a grid:
+
+- a pmf over the uniform grid ``value(j) = (start + j) * h`` with bin
+  width ``h`` (seconds);
+- ``+`` is ``np.convolve`` of pmfs (grid offsets add);
+- ``max`` multiplies CDFs on the aligned union grid;
+- mixtures add weighted pmfs.
+
+This is the DDist technique from the `cutefish/geods-analyze` snippet
+(protocol-latency convolution), grown a proper origin offset so long
+chains never materialize leading zero bins. Mass below ``TRIM_EPS`` at
+either tail is trimmed after every operation, so support arrays stay
+bounded through deep call trees.
+
+Determinism: everything here is pure array math — no clocks, no RNG.
+``from_samples`` exists for validation harnesses that *bring* samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.distributions import _ndtr, _ndtri
+
+__all__ = ["DDist", "DEFAULT_BIN_S"]
+
+#: Default bin width: 50 microseconds resolves the paper's 360 us median
+#: threshold while keeping ~10 ms RPC supports at a few hundred bins.
+DEFAULT_BIN_S = 50e-6
+
+#: Probability mass trimmed from each tail after an operation.
+TRIM_EPS = 1e-12
+
+
+class DDist:
+    """A probability mass function over ``value(j) = (start + j) * h``.
+
+    Immutable by convention: operations return new instances. All
+    binary operations require matching bin width ``h``.
+    """
+
+    __slots__ = ("h", "start", "pmf")
+
+    def __init__(self, h: float, start: int, pmf: np.ndarray,
+                 normalize: bool = True):
+        if h <= 0.0:
+            raise ValueError(f"bin width must be > 0, got {h!r}")
+        pmf = np.asarray(pmf, dtype=float)
+        if pmf.ndim != 1 or pmf.size == 0:
+            raise ValueError("pmf must be a non-empty 1-d array")
+        if (pmf < 0.0).any():
+            raise ValueError("pmf must be non-negative")
+        total = float(pmf.sum())
+        if total <= 0.0:
+            raise ValueError("pmf must have positive total mass")
+        self.h = float(h)
+        self.start = int(start)
+        self.pmf = pmf / total if normalize else pmf
+        self._trim()
+
+    def _trim(self) -> None:
+        keep = np.flatnonzero(np.cumsum(self.pmf) > TRIM_EPS)
+        lo = int(keep[0]) if keep.size else 0
+        tail = np.flatnonzero(np.cumsum(self.pmf[::-1]) > TRIM_EPS)
+        hi = self.pmf.size - (int(tail[0]) if tail.size else 0)
+        if lo > 0 or hi < self.pmf.size:
+            trimmed = self.pmf[lo:hi].copy()
+            total = float(trimmed.sum())
+            self.pmf = trimmed / total
+            self.start = self.start + lo
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: float, h: float = DEFAULT_BIN_S) -> "DDist":
+        """A point mass at ``value`` (rounded to the grid)."""
+        return cls(h, int(round(value / h)), np.ones(1))
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float],
+                     h: float = DEFAULT_BIN_S) -> "DDist":
+        """Empirical DDist from observed samples (validation use)."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError("need at least one sample")
+        idx = np.rint(arr / h).astype(np.int64)
+        lo = int(idx.min())
+        pmf = np.bincount(idx - lo).astype(float)
+        return cls(h, lo, pmf)
+
+    @classmethod
+    def from_cdf(cls, cdf: Callable[[np.ndarray], np.ndarray],
+                 lo: float, hi: float, h: float = DEFAULT_BIN_S) -> "DDist":
+        """Discretize an arbitrary CDF by differencing on bin edges.
+
+        Bin ``j`` (centered at ``(start + j) h``) receives the mass
+        between the surrounding half-grid edges, so the discrete mean
+        tracks the continuous mean to ``O(h^2)``.
+        """
+        if hi <= lo:
+            raise ValueError(f"need lo < hi, got {lo!r}, {hi!r}")
+        start = int(math.floor(lo / h))
+        stop = int(math.ceil(hi / h))
+        edges = (np.arange(start, stop + 2) - 0.5) * h
+        cv = np.asarray(cdf(edges), dtype=float)
+        pmf = np.diff(cv)
+        # Sweep out-of-range mass into the edge bins so totals stay 1.
+        pmf[0] += cv[0]
+        pmf[-1] += 1.0 - cv[-1]
+        return cls(h, start, np.maximum(pmf, 0.0))
+
+    @classmethod
+    def from_lognormal(cls, mu: float, sigma: float,
+                       h: float = DEFAULT_BIN_S,
+                       tail_mass: float = 1e-6) -> "DDist":
+        """Discretize ``ln X ~ N(mu, sigma)``, covering all but
+        ``tail_mass`` of each tail."""
+        if sigma < 0.0:
+            raise ValueError(f"sigma must be >= 0, got {sigma!r}")
+        if sigma == 0.0:
+            return cls.constant(math.exp(mu), h)
+        # Quantile bounds via the exact lognormal quantile function.
+        z = _ndtri(1.0 - tail_mass)
+        lo = math.exp(mu - sigma * z)
+        hi = math.exp(mu + sigma * z)
+
+        def _cdf(x: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(x)
+            pos = x > 0.0
+            out[pos] = [_ndtr((math.log(v) - mu) / sigma) for v in x[pos]]
+            return out
+
+        return cls.from_cdf(_cdf, lo, hi, h)
+
+    @classmethod
+    def zero_inflated_lognormal(cls, zero_fraction: float, mu: float,
+                                sigma: float, h: float = DEFAULT_BIN_S,
+                                ) -> "DDist":
+        """Mixture of an atom at 0 and a lognormal positive part.
+
+        Latency *components* are frequently zero-heavy (e.g. queues
+        that are usually empty); the component-matrix decomposition
+        models each as ``P(X = 0) = zero_fraction`` plus a lognormal
+        fitted to the positive-part percentiles.
+        """
+        if not 0.0 <= zero_fraction <= 1.0:
+            raise ValueError(
+                f"zero_fraction must be in [0, 1], got {zero_fraction!r}")
+        if zero_fraction >= 1.0:
+            return cls.constant(0.0, h)
+        positive = cls.from_lognormal(mu, sigma, h)
+        if zero_fraction == 0.0:
+            return positive
+        return cls.mixture([(zero_fraction, cls.constant(0.0, h)),
+                            (1.0 - zero_fraction, positive)])
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The grid values (seconds) carrying the pmf."""
+        return (self.start + np.arange(self.pmf.size)) * self.h
+
+    def mean(self) -> float:
+        return float(np.dot(self.values, self.pmf))
+
+    def var(self) -> float:
+        v = self.values
+        m = float(np.dot(v, self.pmf))
+        return float(np.dot((v - m) ** 2, self.pmf))
+
+    def std(self) -> float:
+        return math.sqrt(self.var())
+
+    def cdf_array(self) -> np.ndarray:
+        return np.cumsum(self.pmf)
+
+    def cdf(self, x: float) -> float:
+        """``P(X <= x)`` (grid-resolution step function)."""
+        j = int(math.floor(x / self.h + 0.5)) - self.start
+        if j < 0:
+            return 0.0
+        if j >= self.pmf.size:
+            return 1.0
+        return float(self.pmf[: j + 1].sum())
+
+    def ccdf(self, x: float) -> float:
+        return 1.0 - self.cdf(x)
+
+    def cdf_many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cdf` over an array of points."""
+        xs = np.asarray(xs, dtype=float)
+        j = np.floor(xs / self.h + 0.5).astype(np.int64) - self.start
+        cum = np.concatenate(([0.0], self.cdf_array()))
+        return cum[np.clip(j + 1, 0, self.pmf.size)]
+
+    def quantile(self, q: float) -> float:
+        """Smallest grid value whose CDF reaches ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        cum = self.cdf_array()
+        j = int(np.searchsorted(cum, min(q, cum[-1]), side="left"))
+        j = min(j, self.pmf.size - 1)
+        return float((self.start + j) * self.h)
+
+    def percentile(self, p: float) -> float:
+        return self.quantile(p / 100.0)
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "DDist") -> None:
+        if not isinstance(other, DDist):
+            raise TypeError(f"expected DDist, got {type(other).__name__}")
+        if other.h != self.h:
+            raise ValueError(
+                f"bin width mismatch: {self.h!r} vs {other.h!r}")
+
+    #: Above this pmf-size product, convolution goes through the FFT
+    #: (identical up to float round-off; the direct path is what the
+    #: np.convolve property test pins).
+    _FFT_THRESHOLD = 1 << 20
+
+    def add(self, other: "DDist") -> "DDist":
+        """Distribution of ``X + Y`` for independent X, Y (convolution)."""
+        self._check_compatible(other)
+        n = self.pmf.size + other.pmf.size - 1
+        if self.pmf.size * other.pmf.size > self._FFT_THRESHOLD:
+            nfft = 1 << max(1, (n - 1)).bit_length()
+            pmf = np.fft.irfft(np.fft.rfft(self.pmf, nfft)
+                               * np.fft.rfft(other.pmf, nfft), nfft)[:n]
+            pmf = np.maximum(pmf, 0.0)
+        else:
+            pmf = np.convolve(self.pmf, other.pmf)
+        return DDist(self.h, self.start + other.start, pmf)
+
+    __add__ = add
+
+    def shift(self, delta_s: float) -> "DDist":
+        """``X + c`` for a constant ``c`` (grid-rounded)."""
+        return DDist(self.h, self.start + int(round(delta_s / self.h)),
+                     self.pmf.copy())
+
+    def max(self, other: "DDist") -> "DDist":
+        """Distribution of ``max(X, Y)`` for independent X, Y.
+
+        CDFs multiply on the aligned union grid.
+        """
+        self._check_compatible(other)
+        lo = min(self.start, other.start)
+        hi = max(self.start + self.pmf.size, other.start + other.pmf.size)
+        n = hi - lo
+
+        def _aligned_cdf(d: "DDist") -> np.ndarray:
+            out = np.zeros(n)
+            off = d.start - lo
+            out[off: off + d.pmf.size] = np.cumsum(d.pmf)
+            out[off + d.pmf.size:] = out[off + d.pmf.size - 1]
+            return out
+
+        cdf = _aligned_cdf(self) * _aligned_cdf(other)
+        pmf = np.diff(cdf, prepend=0.0)
+        return DDist(self.h, lo, np.maximum(pmf, 0.0))
+
+    def max_n(self, n: int) -> "DDist":
+        """``max`` of ``n`` i.i.d. copies (CDF raised to the n-th power)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n!r}")
+        if n == 1:
+            return self
+        cdf = self.cdf_array() ** n
+        pmf = np.diff(cdf, prepend=0.0)
+        return DDist(self.h, self.start, np.maximum(pmf, 0.0))
+
+    def add_n(self, n: int) -> "DDist":
+        """Sum of ``n`` i.i.d. copies (convolution by squaring)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n!r}")
+        result = None
+        power = self
+        while n:
+            if n & 1:
+                result = power if result is None else result.add(power)
+            n >>= 1
+            if n:
+                power = power.add(power)
+        return result
+
+    @classmethod
+    def mixture(cls, parts: Iterable[Tuple[float, "DDist"]]) -> "DDist":
+        """Weighted mixture ``sum_i w_i X_i`` of distributions."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("mixture needs at least one part")
+        h = parts[0][1].h
+        for _, d in parts:
+            if d.h != h:
+                raise ValueError("mixture parts must share bin width")
+        lo = min(d.start for _, d in parts)
+        hi = max(d.start + d.pmf.size for _, d in parts)
+        pmf = np.zeros(hi - lo)
+        for w, d in parts:
+            if w < 0.0:
+                raise ValueError(f"mixture weights must be >= 0, got {w!r}")
+            off = d.start - lo
+            pmf[off: off + d.pmf.size] += w * d.pmf
+        return cls(h, lo, pmf)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DDist(h={self.h:g}, bins={self.pmf.size}, "
+                f"mean={self.mean():.3g}, p99={self.percentile(99):.3g})")

@@ -1,0 +1,426 @@
+"""Closed-form single-station queueing models: M/M/1, M/G/1, M/G/k.
+
+The fleet telemetry we actually have per method is percentile triples
+(p50/p95/p99) from ``LatencySketch`` buckets, not full service-time
+distributions — so every model here is reachable from exactly that
+input, via an *explicit* lognormal assumption:
+
+1. fit ``ln X ~ N(mu, sigma)`` to the observed percentiles
+   (:class:`LognormalFit`),
+2. read the squared coefficient of variation off the fit
+   (``Cs^2 = exp(sigma^2) - 1``),
+3. feed ``(arrival rate, mean service, Cs^2, servers)`` to the wait
+   models.
+
+The percentile->Cs^2 step is the famous pitfall (a lognormal with
+sigma = 1.4 has Cs^2 ~ 6, not Cs ~ 6): the fit object exposes ``cs2``
+only, and the validation sweep (:mod:`repro.theory.validate`) pins the
+round-trip against known lognormals.
+
+Model hierarchy (each exact where the one below is approximate):
+
+- M/M/1: exact mean *and* exact wait distribution
+  (``P(W > t) = rho * exp(-(mu - lambda) t)``).
+- M/G/1: Pollaczek-Khinchine mean wait, exact for any service
+  distribution given its first two moments.
+- M/G/k: Allen-Cunneen / Kingman approximation
+  ``E[Wq] ~ ((Ca^2 + Cs^2) / 2) * E[Wq(M/M/k)]`` with the M/M/k term
+  from Erlang C. Exact at Cs^2 = Ca^2 = 1 (the property tests pin
+  this); within the documented tolerance bands elsewhere.
+
+Wait *quantiles* for G-service use the standard exponential-tail
+surrogate matched to the approximate mean: conditional on waiting, the
+wait is treated as exponential with mean ``E[Wq] / P(wait)``. This is
+exact for M/M/k and a documented approximation otherwise (see
+docs/PERFORMANCE.md for the regime trust guide).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.sim.distributions import _ndtr, _ndtri
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.sketch import LatencySketch
+
+__all__ = [
+    "LognormalFit",
+    "MgkModel",
+    "REGIME_TOLERANCE",
+    "cs2_from_percentiles",
+    "erlang_b",
+    "erlang_c",
+    "kingman_mean_wait",
+    "mm1_mean_wait",
+    "mm1_wait_quantile",
+    "mmk_mean_wait",
+    "pk_mean_wait",
+    "regime_for",
+]
+
+
+# ----------------------------------------------------------------------
+# Lognormal percentile fitting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LognormalFit:
+    """A lognormal ``ln X ~ N(mu, sigma)`` fitted from percentiles.
+
+    Built by least squares in log space over ``(z_p, ln q_p)`` pairs:
+    with two percentiles the fit is exact; with three or more it is the
+    best straight line through the probit plot, which also gives a
+    cheap goodness signal (``max_rel_err``).
+    """
+
+    mu: float
+    sigma: float
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.mu)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
+
+    @property
+    def variance(self) -> float:
+        s2 = self.sigma * self.sigma
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+    @property
+    def cs2(self) -> float:
+        """Squared coefficient of variation, ``exp(sigma^2) - 1``.
+
+        This is the quantity queueing formulas want. Note it is Cs
+        *squared*: sigma = 1.4 gives cs2 ~ 6.1, i.e. Cs ~ 2.5.
+        """
+        return math.exp(self.sigma * self.sigma) - 1.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (p in (0, 100)) of the fitted law."""
+        return math.exp(self.mu + self.sigma * _ndtri(p / 100.0))
+
+    def cdf(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        if self.sigma == 0.0:
+            return 1.0 if math.log(x) >= self.mu else 0.0
+        return _ndtr((math.log(x) - self.mu) / self.sigma)
+
+    def to_distribution(self):
+        """The matching :class:`repro.sim.distributions.LogNormal`."""
+        from repro.sim.distributions import LogNormal
+
+        return LogNormal(self.mu, self.sigma)
+
+    @classmethod
+    def from_percentiles(cls, percentiles: Mapping[float, float]) -> "LognormalFit":
+        """Fit from ``{percentile: value}`` (e.g. ``{50: .., 99: ..}``).
+
+        Needs at least two distinct percentiles with positive values.
+        ``sigma`` is clamped at 0 (a crossed pair — p99 below p50 —
+        degrades to a point mass at the geometric mean rather than an
+        unphysical negative spread).
+        """
+        pts = [(float(p), float(v)) for p, v in sorted(percentiles.items())]
+        if len(pts) < 2:
+            raise ValueError("need at least two percentiles to fit a lognormal")
+        if any(v <= 0.0 for _, v in pts):
+            raise ValueError("lognormal fit needs strictly positive percentile values")
+        zs = [_ndtri(p / 100.0) for p, _ in pts]
+        ys = [math.log(v) for _, v in pts]
+        n = float(len(pts))
+        zbar = sum(zs) / n
+        ybar = sum(ys) / n
+        szz = sum((z - zbar) ** 2 for z in zs)
+        if szz == 0.0:
+            raise ValueError("percentiles must be distinct")
+        szy = sum((z - zbar) * (y - ybar) for z, y in zip(zs, ys))
+        sigma = max(0.0, szy / szz)
+        mu = ybar - sigma * zbar
+        return cls(mu=mu, sigma=sigma)
+
+    @classmethod
+    def from_sketch(cls, sketch: "LatencySketch",
+                    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+                    ) -> "LognormalFit":
+        """Fit from a :class:`LatencySketch` (warehouse telemetry).
+
+        Prefers the sketch's own bucket-weighted log-moment fit
+        (:meth:`LatencySketch.fit_lognormal`), which uses every bucket
+        rather than three quantile reads; falls back to the percentile
+        fit when the sketch is too sparse for moments (< 2 buckets).
+        """
+        mu_sigma = sketch.fit_lognormal()
+        if mu_sigma is not None:
+            return cls(mu=mu_sigma[0], sigma=mu_sigma[1])
+        qs = [p / 100.0 for p in percentiles]
+        vals = sketch.percentiles(qs)
+        return cls.from_percentiles(
+            {p: v for p, v in zip(percentiles, vals)})
+
+    def max_rel_err(self, percentiles: Mapping[float, float]) -> float:
+        """Worst relative error of the fit over the given percentiles."""
+        worst = 0.0
+        for p, v in percentiles.items():
+            fitted = self.percentile(float(p))
+            worst = max(worst, abs(fitted - float(v)) / max(float(v), 1e-300))
+        return worst
+
+
+def cs2_from_percentiles(p50: float, p95: Optional[float] = None,
+                         p99: Optional[float] = None) -> float:
+    """Squared coefficient of variation from telemetry percentiles.
+
+    Convenience wrapper over :class:`LognormalFit`; at least one tail
+    percentile is required.
+    """
+    pts: Dict[float, float] = {50.0: p50}
+    if p95 is not None:
+        pts[95.0] = p95
+    if p99 is not None:
+        pts[99.0] = p99
+    if len(pts) < 2:
+        raise ValueError("need p95 or p99 alongside p50")
+    return LognormalFit.from_percentiles(pts).cs2
+
+
+# ----------------------------------------------------------------------
+# Erlang blocking / delay
+# ----------------------------------------------------------------------
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang B blocking probability for ``k`` servers at load ``a``.
+
+    Computed by the standard stable recurrence
+    ``B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1))``.
+    """
+    if servers < 0:
+        raise ValueError(f"servers must be >= 0, got {servers!r}")
+    if offered_load < 0.0:
+        raise ValueError(f"offered load must be >= 0, got {offered_load!r}")
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang C: P(arrival waits) in M/M/k at offered load ``a = lambda/mu``.
+
+    Requires ``a < k`` (stability); returns 1.0 as the limit at
+    saturation is approached from below.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers!r}")
+    if offered_load >= servers:
+        raise ValueError(
+            f"unstable: offered load {offered_load!r} >= servers {servers!r}")
+    rho = offered_load / servers
+    b = erlang_b(servers, offered_load)
+    return b / (1.0 - rho + rho * b)
+
+
+# ----------------------------------------------------------------------
+# Mean waits
+# ----------------------------------------------------------------------
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Exact M/M/1 mean queueing delay ``rho / (mu - lambda)``."""
+    if arrival_rate >= service_rate:
+        raise ValueError("unstable: arrival rate >= service rate")
+    rho = arrival_rate / service_rate
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_wait_quantile(q: float, arrival_rate: float, service_rate: float) -> float:
+    """Exact M/M/1 wait quantile: ``P(W > t) = rho e^{-(mu-lambda) t}``.
+
+    Returns 0 for quantiles inside the ``P(W = 0) = 1 - rho`` atom.
+    """
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"q must be in [0, 1), got {q!r}")
+    if arrival_rate >= service_rate:
+        raise ValueError("unstable: arrival rate >= service rate")
+    rho = arrival_rate / service_rate
+    if q <= 1.0 - rho:
+        return 0.0
+    return -math.log((1.0 - q) / rho) / (service_rate - arrival_rate)
+
+
+def pk_mean_wait(arrival_rate: float, mean_service_s: float, cs2: float) -> float:
+    """Pollaczek-Khinchine M/G/1 mean wait, exact for any service law.
+
+    ``E[Wq] = (rho / (1 - rho)) * E[S] * (1 + Cs^2) / 2``.
+    """
+    rho = arrival_rate * mean_service_s
+    if rho >= 1.0:
+        raise ValueError(f"unstable: utilization {rho!r} >= 1")
+    if cs2 < 0.0:
+        raise ValueError(f"cs2 must be >= 0, got {cs2!r}")
+    return (rho / (1.0 - rho)) * mean_service_s * (1.0 + cs2) / 2.0
+
+
+def mmk_mean_wait(arrival_rate: float, mean_service_s: float, servers: int) -> float:
+    """Exact M/M/k mean wait ``C(k, a) / (k/E[S] - lambda)`` via Erlang C."""
+    a = arrival_rate * mean_service_s
+    c = erlang_c(servers, a)
+    return c * mean_service_s / (servers - a)
+
+
+def kingman_mean_wait(arrival_rate: float, mean_service_s: float, cs2: float,
+                      servers: int = 1, ca2: float = 1.0) -> float:
+    """Allen-Cunneen / Kingman G/G/k mean-wait approximation.
+
+    ``E[Wq] ~ ((Ca^2 + Cs^2) / 2) * E[Wq(M/M/k)]``. Exact when
+    ``Ca^2 = Cs^2 = 1`` (it *is* M/M/k then), and for ``k = 1`` with
+    Poisson arrivals it reduces to Pollaczek-Khinchine exactly.
+    """
+    if cs2 < 0.0 or ca2 < 0.0:
+        raise ValueError("cs2 and ca2 must be >= 0")
+    return ((ca2 + cs2) / 2.0) * mmk_mean_wait(
+        arrival_rate, mean_service_s, servers)
+
+
+# ----------------------------------------------------------------------
+# Regimes and tolerance bands (the trust guide, in code)
+# ----------------------------------------------------------------------
+#: Relative tolerance on mean wait per regime, validated by the sweep in
+#: :mod:`repro.theory.validate` and documented in docs/PERFORMANCE.md.
+#: "exact" regimes are limited only by DES sampling noise.
+REGIME_TOLERANCE: Dict[str, float] = {
+    "exact": 0.10,
+    "kingman-moderate": 0.20,
+    "kingman-heavy": 0.40,
+}
+
+
+def regime_for(cs2: float, servers: int, ca2: float = 1.0) -> str:
+    """Which trust regime a configuration falls in.
+
+    - ``exact``: a closed form with no distributional approximation
+      (M/M/k, or M/G/1 where P-K is exact in the mean).
+    - ``kingman-moderate``: M/G/k, k > 1, Cs^2 <= 2.
+    - ``kingman-heavy``: M/G/k, k > 1, Cs^2 > 2 — heavy-tailed service;
+      the scaling factor is a first-moment heuristic, trust the band.
+    """
+    if ca2 == 1.0 and (servers == 1 or abs(cs2 - 1.0) < 1e-12):
+        return "exact"
+    return "kingman-moderate" if cs2 <= 2.0 else "kingman-heavy"
+
+
+# ----------------------------------------------------------------------
+# The model object
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MgkModel:
+    """One M/G/k station, parameterized the way telemetry sees it.
+
+    ``cs2`` defaults to 1 (exponential); build from percentiles with
+    :meth:`from_percentiles` or from a sketch via
+    :class:`LognormalFit`.
+    """
+
+    arrival_rate: float
+    mean_service_s: float
+    cs2: float = 1.0
+    servers: int = 1
+    ca2: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0.0:
+            raise ValueError(f"arrival_rate must be >= 0, got {self.arrival_rate!r}")
+        if self.mean_service_s <= 0.0:
+            raise ValueError(
+                f"mean_service_s must be > 0, got {self.mean_service_s!r}")
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers!r}")
+        if self.utilization >= 1.0:
+            raise ValueError(
+                f"unstable: utilization {self.utilization:.3f} >= 1")
+
+    @classmethod
+    def from_percentiles(cls, arrival_rate: float,
+                         percentiles: Mapping[float, float],
+                         servers: int = 1, ca2: float = 1.0) -> "MgkModel":
+        """Build from service-time percentile telemetry (lognormal fit)."""
+        fit = LognormalFit.from_percentiles(percentiles)
+        return cls(arrival_rate=arrival_rate, mean_service_s=fit.mean,
+                   cs2=fit.cs2, servers=servers, ca2=ca2)
+
+    @property
+    def offered_load(self) -> float:
+        return self.arrival_rate * self.mean_service_s
+
+    @property
+    def utilization(self) -> float:
+        return self.offered_load / self.servers
+
+    @property
+    def regime(self) -> str:
+        return regime_for(self.cs2, self.servers, self.ca2)
+
+    @property
+    def tolerance(self) -> float:
+        """Documented relative tolerance on the mean wait."""
+        return REGIME_TOLERANCE[self.regime]
+
+    def wait_probability(self) -> float:
+        """P(an arrival queues): Erlang C (exact for M/M/k; the standard
+        surrogate for G service)."""
+        return erlang_c(self.servers, self.offered_load)
+
+    def mean_wait_s(self) -> float:
+        """Mean queueing delay, dispatching to the tightest closed form."""
+        if self.servers == 1 and self.ca2 == 1.0:
+            return pk_mean_wait(self.arrival_rate, self.mean_service_s, self.cs2)
+        return kingman_mean_wait(self.arrival_rate, self.mean_service_s,
+                                 self.cs2, self.servers, self.ca2)
+
+    def mean_sojourn_s(self) -> float:
+        """Mean total time in system (wait + service)."""
+        return self.mean_wait_s() + self.mean_service_s
+
+    def wait_quantile(self, q: float) -> float:
+        """The q-quantile of the queueing delay.
+
+        Exact for M/M/k (``P(W > t) = C e^{-(k - a) t / E[S]}``); for G
+        service the conditional wait is approximated exponential with
+        mean matched to the approximate ``E[Wq]``.
+        """
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"q must be in [0, 1), got {q!r}")
+        p_wait = self.wait_probability()
+        if q <= 1.0 - p_wait or p_wait <= 0.0:
+            return 0.0
+        mean_wait = self.mean_wait_s()
+        cond_mean = mean_wait / p_wait
+        return -math.log((1.0 - q) / p_wait) * cond_mean
+
+    def wait_ccdf(self, t: float) -> float:
+        """``P(Wq > t)`` under the same exponential-tail surrogate."""
+        if t <= 0.0:
+            return self.wait_probability()
+        p_wait = self.wait_probability()
+        if p_wait <= 0.0:
+            return 0.0
+        cond_mean = self.mean_wait_s() / p_wait
+        if cond_mean <= 0.0:
+            return 0.0
+        return p_wait * math.exp(-t / cond_mean)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe parameters + derived quantities (for reports)."""
+        return {
+            "arrival_rate": self.arrival_rate,
+            "mean_service_s": self.mean_service_s,
+            "cs2": self.cs2,
+            "servers": self.servers,
+            "ca2": self.ca2,
+            "utilization": self.utilization,
+            "regime": self.regime,
+            "tolerance": self.tolerance,
+            "mean_wait_s": self.mean_wait_s(),
+        }

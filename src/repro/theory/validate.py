@@ -1,0 +1,391 @@
+"""Cross-validation: closed forms vs the DES, with stated tolerances.
+
+Trust in the analytic fast path is *earned* here, not assumed. Three
+sweeps, each comparing a theory prediction against a matched
+ground-truth measurement:
+
+- **Queueing** (:func:`sweep_queueing`): a utilization x variability x
+  servers grid of single-station runs
+  (:func:`repro.studies.run_queueing_study`). M/M/1 and M/G/1 points
+  check *exact* formulas (disagreement bounded by DES sampling noise
+  only); M/G/k points check the Kingman/Allen-Cunneen approximation
+  against its documented regime band.
+- **Fanout** (:func:`sweep_fanout`): DDist serial convolution and
+  parallel-max against vectorized Monte Carlo quantiles of the same
+  lognormal stages.
+- **What-if** (:func:`sweep_whatif`): the analytic fig15 counterfactual
+  against :func:`repro.core.whatif.what_if_components` run on samples
+  drawn from the *same* component model — isolating the cost of
+  discretization + percentile fitting from model mismatch.
+
+Every point carries its tolerance; :class:`AgreementReport` aggregates
+them into the JSON artifact CI uploads (``repro-rpc theory --sweep``)
+and fails on any breach.
+
+Determinism: all randomness flows from the caller's seed through
+``RngRegistry``/``default_rng``; two runs of the same grid are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.core.whatif import what_if_components
+from repro.rpc.stack import ComponentMatrix
+from repro.sim.distributions import Exponential, LogNormal
+from repro.studies import run_queueing_study
+from repro.theory.convolve import (
+    AnalyticWhatIf,
+    ComponentProfile,
+    WHATIF_RESCUED_TOLERANCE_PTS,
+)
+from repro.theory.ddist import DDist
+from repro.theory.mgk import (
+    LognormalFit,
+    MgkModel,
+    mm1_mean_wait,
+    mm1_wait_quantile,
+)
+
+__all__ = ["ValidationPoint", "AgreementReport", "run_validation",
+           "sweep_queueing", "sweep_fanout", "sweep_whatif", "GRIDS"]
+
+#: Mean service time shared by all queueing grid points (1 ms — the
+#: order of the paper's mid-range RPC service times).
+MEAN_SERVICE_S = 1e-3
+
+#: DES-noise slack: tolerance gains this many i.i.d. standard errors of
+#: the measured mean on top of the regime band (waits are
+#: autocorrelated, hence the generous multiplier).
+STDERR_SLACK = 6.0
+
+#: Relative tolerance for DDist-vs-Monte-Carlo quantiles (grid
+#: resolution + MC noise).
+FANOUT_REL_TOL = 0.05
+
+GRIDS: Dict[str, Dict[str, object]] = {
+    # Fast enough for every CI run; full is the nightly-depth grid.
+    "ci": {
+        "mm1_rhos": (0.3, 0.6, 0.85),
+        "mg1": ((0.5, 0.5), (0.8, 1.4)),
+        "mgk_rhos": (0.5, 0.7, 0.85),
+        "mgk_sigmas": (0.5, 1.0, 1.4),
+        "mgk_servers": (4,),
+        "n_jobs": 20_000,
+    },
+    "full": {
+        "mm1_rhos": (0.2, 0.3, 0.5, 0.6, 0.7, 0.85),
+        "mg1": ((0.5, 0.5), (0.5, 1.0), (0.8, 1.0), (0.8, 1.4)),
+        "mgk_rhos": (0.3, 0.5, 0.7, 0.85),
+        "mgk_sigmas": (0.5, 1.0, 1.4),
+        "mgk_servers": (2, 4, 8),
+        "n_jobs": 60_000,
+    },
+}
+
+
+@dataclass
+class ValidationPoint:
+    """One theory-vs-ground-truth comparison.
+
+    Agreement means ``|des - theory| <= max(abs_tol, rel_tol * |theory|)``
+    — ``rel_tol`` carries the regime band (plus sampling slack where the
+    ground truth is itself noisy), ``abs_tol`` serves scale-free
+    quantities like rescued percentages.
+    """
+
+    kind: str
+    regime: str
+    params: Dict[str, object]
+    theory: float
+    des: float
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+
+    @property
+    def error(self) -> float:
+        return abs(self.des - self.theory)
+
+    @property
+    def rel_error(self) -> float:
+        return self.error / abs(self.theory) if self.theory else float("inf")
+
+    @property
+    def allowed(self) -> float:
+        return max(self.abs_tol, self.rel_tol * abs(self.theory))
+
+    @property
+    def ok(self) -> bool:
+        return self.error <= self.allowed
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind, "regime": self.regime,
+            "params": dict(self.params),
+            "theory": self.theory, "des": self.des,
+            "rel_tol": self.rel_tol, "abs_tol": self.abs_tol,
+            "error": self.error, "allowed": self.allowed, "ok": self.ok,
+        }
+
+
+@dataclass
+class AgreementReport:
+    """All sweep points plus the verdict; JSON-safe for CI artifacts."""
+
+    grid: str
+    seed: int
+    points: List[ValidationPoint] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.points)
+
+    def breaches(self) -> List[ValidationPoint]:
+        return [p for p in self.points if not p.ok]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "grid": self.grid,
+            "seed": self.seed,
+            "ok": self.ok,
+            "n_points": len(self.points),
+            "n_breaches": len(self.breaches()),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def render(self) -> str:
+        rows = []
+        for p in self.points:
+            label = " ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                             for k, v in p.params.items())
+            rows.append((p.kind, p.regime, label,
+                         f"{p.theory:.3e}", f"{p.des:.3e}",
+                         f"{p.error:.2e}", f"{p.allowed:.2e}",
+                         "ok" if p.ok else "BREACH"))
+        verdict = "all points within tolerance" if self.ok else (
+            f"{len(self.breaches())} TOLERANCE BREACH(ES)")
+        return format_table(
+            ("check", "regime", "point", "theory", "measured",
+             "error", "allowed", "verdict"),
+            rows,
+            title=(f"theory vs DES agreement — grid={self.grid} "
+                   f"seed={self.seed}: {verdict}"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Queueing sweep
+# ----------------------------------------------------------------------
+def _queueing_point(kind: str, regime: str, params: Dict[str, object],
+                    theory: float, study, rel_tol: float) -> ValidationPoint:
+    slack = STDERR_SLACK * study.stderr_mean_wait_s()
+    return ValidationPoint(kind=kind, regime=regime, params=params,
+                           theory=theory, des=study.mean_wait_s(),
+                           rel_tol=rel_tol, abs_tol=slack)
+
+
+def _jobs_for(rho: float, base: int, cs2: float = 1.0) -> int:
+    """Scale job count with utilization and service variability.
+
+    Queue relaxation time grows like 1/(1-rho), and heavy-tailed
+    service (large Cs^2) slows sample-mean convergence further; both
+    axes get proportionally longer runs so DES noise stays well inside
+    the regime bands the sweep is actually testing."""
+    return int(base * max(1.0, 0.6 / (1.0 - rho)) * max(1.0, cs2 / 2.0))
+
+
+def sweep_queueing(grid: str = "ci", seed: int = 23) -> List[ValidationPoint]:
+    """The utilization x variability x servers grid vs matched DES runs."""
+    cfg = GRIDS[grid]
+    n_jobs = int(cfg["n_jobs"])
+    points: List[ValidationPoint] = []
+
+    # --- M/M/1: both formulas are exact; residual is sampling noise.
+    for i, rho in enumerate(cfg["mm1_rhos"]):
+        lam = rho / MEAN_SERVICE_S
+        mu = 1.0 / MEAN_SERVICE_S
+        # Exponential() takes the mean (scale); mu above is the *rate*.
+        study = run_queueing_study(lam, Exponential(MEAN_SERVICE_S),
+                                   servers=1, n_jobs=_jobs_for(rho, n_jobs),
+                                   seed=seed + i)
+        points.append(_queueing_point(
+            "mm1-mean-wait", "exact", {"rho": rho},
+            mm1_mean_wait(lam, mu), study, rel_tol=0.10))
+        p99_theory = mm1_wait_quantile(0.99, lam, mu)
+        points.append(ValidationPoint(
+            kind="mm1-p99-wait", regime="exact", params={"rho": rho},
+            theory=p99_theory, des=study.wait_quantile(0.99),
+            rel_tol=0.15))
+
+    # --- M/G/1: Pollaczek-Khinchine, exact in the mean for any service.
+    for i, (rho, sigma) in enumerate(cfg["mg1"]):
+        lam = rho / MEAN_SERVICE_S
+        service = _lognormal_with_mean(MEAN_SERVICE_S, sigma)
+        model = MgkModel(arrival_rate=lam, mean_service_s=MEAN_SERVICE_S,
+                         cs2=LognormalFit(0.0, sigma).cs2, servers=1)
+        study = run_queueing_study(lam, service, servers=1,
+                                   n_jobs=_jobs_for(rho, n_jobs, model.cs2),
+                                   seed=seed + 100 + i)
+        points.append(_queueing_point(
+            "mg1-pk-mean-wait", "exact", {"rho": rho, "sigma": sigma},
+            model.mean_wait_s(), study, rel_tol=0.12))
+
+    # --- M/G/k: the Allen-Cunneen approximation, banded by regime.
+    idx = 0
+    for k in cfg["mgk_servers"]:
+        for rho in cfg["mgk_rhos"]:
+            for sigma in cfg["mgk_sigmas"]:
+                lam = rho * k / MEAN_SERVICE_S
+                service = _lognormal_with_mean(MEAN_SERVICE_S, sigma)
+                model = MgkModel(arrival_rate=lam,
+                                 mean_service_s=MEAN_SERVICE_S,
+                                 cs2=LognormalFit(0.0, sigma).cs2, servers=k)
+                study = run_queueing_study(lam, service, servers=k,
+                                           n_jobs=_jobs_for(rho, n_jobs,
+                                                            model.cs2),
+                                           seed=seed + 1000 + idx)
+                points.append(_queueing_point(
+                    "mgk-ac-mean-wait", model.regime,
+                    {"rho": rho, "sigma": sigma, "k": k},
+                    model.mean_wait_s(), study, rel_tol=model.tolerance))
+                idx += 1
+    return points
+
+
+def _lognormal_with_mean(mean_s: float, sigma: float) -> LogNormal:
+    """A lognormal with the given *mean* (not median) and log-sd."""
+    mu = float(np.log(mean_s) - 0.5 * sigma * sigma)
+    return LogNormal(mu, sigma)
+
+
+# ----------------------------------------------------------------------
+# Fanout sweep: DDist algebra vs Monte Carlo
+# ----------------------------------------------------------------------
+def sweep_fanout(seed: int = 23, n_samples: int = 200_000,
+                 fanouts: Sequence[int] = (2, 4, 8),
+                 ) -> List[ValidationPoint]:
+    """Serial convolution and parallel-max vs vectorized Monte Carlo.
+
+    Stage latency is a lognormal (median 1 ms, sigma 0.8). Ground truth
+    is the empirical quantile of ``n_samples`` vectorized draws — pure
+    numpy, no DES needed, since sums/maxes of independent draws have no
+    queueing dynamics.
+    """
+    mu, sigma = float(np.log(1e-3)), 0.8
+    h = 1e-5
+    rng = np.random.default_rng(seed)
+    stage = DDist.from_lognormal(mu, sigma, h)
+    points: List[ValidationPoint] = []
+    for n in fanouts:
+        draws = rng.lognormal(mu, sigma, size=(n_samples, n))
+        serial = stage.add_n(n)
+        parallel = stage.max_n(n)
+        mc_serial = draws.sum(axis=1)
+        mc_parallel = draws.max(axis=1)
+        for q in (0.5, 0.99):
+            points.append(ValidationPoint(
+                kind="fanout-serial", regime="exact",
+                params={"n": n, "q": q},
+                theory=serial.quantile(q),
+                des=float(np.quantile(mc_serial, q)),
+                rel_tol=FANOUT_REL_TOL, abs_tol=2 * h))
+            points.append(ValidationPoint(
+                kind="fanout-parallel", regime="exact",
+                params={"n": n, "q": q},
+                theory=parallel.quantile(q),
+                des=float(np.quantile(mc_parallel, q)),
+                rel_tol=FANOUT_REL_TOL, abs_tol=2 * h))
+    return points
+
+
+# ----------------------------------------------------------------------
+# What-if sweep: analytic fig15 vs the empirical counterfactual
+# ----------------------------------------------------------------------
+#: A synthetic nine-component model with one dominant tail contributor
+#: (server_application) and zero-heavy queues — the fig15 shape.
+_WHATIF_MODEL: Mapping[str, Mapping[str, float]] = {
+    "client_send_queue": {"zero": 0.55, "median": 40e-6, "sigma": 0.9},
+    "request_proc_stack": {"zero": 0.0, "median": 25e-6, "sigma": 0.35},
+    "request_network_wire": {"zero": 0.0, "median": 120e-6, "sigma": 0.5},
+    "server_recv_queue": {"zero": 0.35, "median": 140e-6, "sigma": 1.1},
+    "server_application": {"zero": 0.0, "median": 900e-6, "sigma": 0.9},
+    "server_send_queue": {"zero": 0.6, "median": 30e-6, "sigma": 0.8},
+    "response_proc_stack": {"zero": 0.0, "median": 25e-6, "sigma": 0.35},
+    "response_network_wire": {"zero": 0.0, "median": 120e-6, "sigma": 0.5},
+    "client_recv_queue": {"zero": 0.5, "median": 35e-6, "sigma": 0.9},
+}
+
+
+def _sample_whatif_matrix(rng: np.random.Generator,
+                          n: int) -> ComponentMatrix:
+    cols = []
+    for spec in _WHATIF_MODEL.values():
+        vals = rng.lognormal(np.log(spec["median"]), spec["sigma"], size=n)
+        zeros = rng.random(n) < spec["zero"]
+        vals[zeros] = 0.0
+        cols.append(vals)
+    return ComponentMatrix(np.column_stack(cols))
+
+
+def sweep_whatif(seed: int = 23, n_samples: int = 40_000,
+                 tail_percentiles: Sequence[float] = (95.0, 99.0),
+                 ) -> List[ValidationPoint]:
+    """Analytic fig15 vs the empirical counterfactual on shared samples.
+
+    Both sides see the *same* synthetic workload: the empirical side as
+    raw samples through :func:`what_if_components`, the analytic side
+    as the percentile profile of those samples — exactly the
+    information gap between a DES tail and warehouse telemetry.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = _sample_whatif_matrix(rng, n_samples)
+    profile = ComponentProfile.from_matrix(matrix, service="synthetic")
+    engine = AnalyticWhatIf(profile)
+    points: List[ValidationPoint] = []
+    for p in tail_percentiles:
+        empirical = what_if_components(matrix, service="synthetic",
+                                       tail_percentile=p)
+        analytic = engine.result(tail_percentile=p)
+        # Dominant-component identification is the decision the figure
+        # drives; encode it as theory=des=index agreement (0/1 point).
+        points.append(ValidationPoint(
+            kind="whatif-dominant", regime="exact",
+            params={"p": p},
+            theory=1.0,
+            des=1.0 if analytic.dominant() == empirical.dominant() else 0.0,
+            abs_tol=0.0))
+        dom = empirical.dominant()
+        points.append(ValidationPoint(
+            kind="whatif-rescued-dominant", regime="kingman-moderate",
+            params={"p": p, "component": dom},
+            theory=analytic.percent_rescued[dom],
+            des=empirical.percent_rescued[dom],
+            abs_tol=WHATIF_RESCUED_TOLERANCE_PTS))
+    return points
+
+
+# ----------------------------------------------------------------------
+# The full run
+# ----------------------------------------------------------------------
+def run_validation(grid: str = "ci", seed: int = 23,
+                   sweeps: Optional[Sequence[str]] = None) -> AgreementReport:
+    """Run the selected sweeps; default is all of them."""
+    if grid not in GRIDS:
+        raise ValueError(f"unknown grid {grid!r}; have {sorted(GRIDS)}")
+    chosen = tuple(sweeps) if sweeps else ("queueing", "fanout", "whatif")
+    report = AgreementReport(grid=grid, seed=seed)
+    for name in chosen:
+        if name == "queueing":
+            report.points.extend(sweep_queueing(grid=grid, seed=seed))
+        elif name == "fanout":
+            report.points.extend(sweep_fanout(seed=seed))
+        elif name == "whatif":
+            report.points.extend(sweep_whatif(seed=seed))
+        else:
+            raise ValueError(f"unknown sweep {name!r}")
+    return report

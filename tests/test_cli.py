@@ -292,3 +292,28 @@ def test_span_query_rejects_bad_args(tmp_path):
         main(["span-query", "--root", root, "--metric", "bogus"])
     with pytest.raises(SystemExit, match="requires --generate"):
         main(["span-query", "--root", root, "--self-check"])
+
+
+def test_theory_sweep_command(tmp_path, capsys):
+    import json
+    report_path = str(tmp_path / "agreement.json")
+    # fanout + whatif only: no DES runs, so the smoke stays fast.
+    assert main(["theory", "--sweep", "--grid", "ci", "--seed", "23",
+                 "--sweeps", "fanout", "whatif",
+                 "--json", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "theory vs DES agreement" in out
+    assert "BREACH" not in out
+    with open(report_path) as fh:
+        doc = json.load(fh)
+    assert doc["ok"] is True
+    assert doc["grid"] == "ci"
+    assert doc["n_breaches"] == 0
+    assert doc["n_points"] == len(doc["points"]) > 0
+
+
+def test_theory_rejects_bad_grid_and_sweep():
+    with pytest.raises(SystemExit):
+        main(["theory", "--sweep", "--grid", "nightly"])
+    with pytest.raises(SystemExit):
+        main(["theory", "--sweep", "--sweeps", "chaos"])

@@ -85,6 +85,47 @@ def test_group_by_is_merge_order_free(tmp_path, mixed_spans):
         assert a.quantile(0.95) == b.quantile(0.95)
 
 
+def test_parallel_fold_is_bit_identical(tmp_path, mixed_spans):
+    # The multiprocess fold merges per-shard partials in shard order,
+    # replaying the serial left-fold's float adds exactly — so equality
+    # here is exact, not approximate.
+    warehouse = sharded(tmp_path, mixed_spans, shard_size=3)
+    serial = group_by_method(warehouse)
+    for jobs in (2, 4, 16):  # more workers than shards is fine too
+        parallel = group_by_method(warehouse, jobs=jobs)
+        assert set(parallel) == set(serial)
+        for key, a in serial.items():
+            b = parallel[key]
+            assert b.count == a.count
+            assert b.error_count == a.error_count
+            assert b.sum_value_s == a.sum_value_s
+            assert np.array_equal(b.component_sums, a.component_sums)
+            assert np.array_equal(b.sketch.counts, a.sketch.counts)
+            assert b.sketch.sum == a.sketch.sum
+
+
+def test_parallel_fold_respects_filters_and_metrics(tmp_path, mixed_spans):
+    warehouse = sharded(tmp_path, mixed_spans, shard_size=3)
+    where = SpanFilter(service="Frontend", ok_only=False)
+    serial = group_by_method(warehouse, where, metric="tax")
+    parallel = group_by_method(warehouse, where, metric="tax", jobs=2)
+    assert set(parallel) == set(serial)
+    for key, a in serial.items():
+        assert parallel[key].count == a.count
+        assert parallel[key].sum_value_s == a.sum_value_s
+    # Unknown-name filters stay an empty result through the pool path.
+    assert group_by_method(warehouse, SpanFilter(service="NoSuch"),
+                           jobs=2) == {}
+
+
+def test_parallel_fold_falls_back_for_list_sources(mixed_spans):
+    # jobs > 1 on a non-warehouse source (or a single shard) quietly
+    # runs the serial fold: there is nothing to parallelize over.
+    source = SpanListSource(mixed_spans)
+    assert group_by_method(source, jobs=4).keys() == (
+        group_by_method(source).keys())
+
+
 def test_group_by_counts_and_errors(mixed_spans):
     groups = group_by_method(SpanListSource(mixed_spans))
     ok = [s for s in mixed_spans if s.status is StatusCode.OK]

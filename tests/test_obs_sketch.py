@@ -133,6 +133,35 @@ def test_sketch_count_below_brackets_threshold():
     assert sketch.count_below(float(values.max())) == sketch.count
 
 
+def test_sketch_percentiles_batch_matches_scalar_quantile():
+    rng = np.random.default_rng(21)
+    sketch = LatencySketch()
+    sketch.observe_many(rng.lognormal(-6, 0.9, 50_000))
+    qs = (0.0, 0.5, 0.95, 0.99, 1.0)
+    batch = sketch.percentiles(qs)
+    assert batch == [sketch.quantile(q) for q in qs]
+    assert batch == sorted(batch)
+    with pytest.raises(ValueError):
+        sketch.percentiles((0.5, 1.5))
+    assert LatencySketch().percentiles(qs) == [0.0] * len(qs)
+
+
+def test_sketch_fit_lognormal_recovers_parameters():
+    rng = np.random.default_rng(29)
+    mu, sigma = -6.2, 0.8
+    sketch = LatencySketch()
+    sketch.observe_many(rng.lognormal(mu, sigma, 200_000))
+    fit = sketch.fit_lognormal()
+    assert fit is not None
+    assert fit[0] == pytest.approx(mu, abs=0.05)
+    assert fit[1] == pytest.approx(sigma, abs=0.05)
+    # Fewer than two observations: no spread estimate.
+    assert LatencySketch().fit_lognormal() is None
+    one = LatencySketch()
+    one.observe(1e-3)
+    assert one.fit_lognormal() is None
+
+
 def test_sketch_round_trips_through_dict():
     rng = np.random.default_rng(13)
     sketch = LatencySketch()

@@ -119,6 +119,46 @@ class TestRequestPath:
                                      "other") or first["dominant"]
         assert first["n_tail"] > 0
 
+    def test_whatif_analytic_mode(self, tmp_path):
+        from repro.theory.convolve import WHATIF_RESCUED_TOLERANCE_PTS
+
+        app = make_app(tmp_path)
+        target = ("/v1/whatif?service=Bigtable&duration_s=0.5&seed=7"
+                  "&mode=analytic")
+        first = json.loads(call(app, "GET", target).body)
+        assert first["mode"] == "analytic"
+        assert first["tolerance_pts"] == WHATIF_RESCUED_TOLERANCE_PTS
+        assert first["cache_hit"] is False
+        assert first["profile_n_samples"] > 0
+        assert first["n_tail"] > 0
+        # Second call hits the on-disk profile cache (the DES never
+        # reruns) and the in-process convolution engine answers.
+        second = json.loads(call(app, "GET", target).body)
+        assert second["cache_hit"] is True
+        assert second["percent_rescued"] == first["percent_rescued"]
+        assert len(app._whatif_engines) == 1
+
+    def test_whatif_analytic_agrees_with_des(self, tmp_path):
+        from repro.theory.convolve import WHATIF_RESCUED_TOLERANCE_PTS
+
+        app = make_app(tmp_path)
+        base = "/v1/whatif?service=Bigtable&duration_s=0.5&seed=7"
+        des = json.loads(call(app, "GET", base).body)
+        analytic = json.loads(call(app, "GET",
+                                   base + "&mode=analytic").body)
+        assert des["mode"] == "des"
+        assert analytic["dominant"] == des["dominant"]
+        dom = des["dominant"]
+        assert abs(analytic["percent_rescued"][dom]
+                   - des["percent_rescued"][dom]) <= (
+            WHATIF_RESCUED_TOLERANCE_PTS)
+
+    def test_whatif_unknown_mode_400(self, tmp_path):
+        response = call(make_app(tmp_path), "GET",
+                        "/v1/whatif?service=Bigtable&mode=psychic")
+        assert response.status == 400
+        assert b"mode" in response.body
+
     def test_metrics_endpoint_exposition(self, tmp_path):
         app = make_app(tmp_path)
         call(app, "GET", "/healthz")

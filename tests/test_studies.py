@@ -5,9 +5,11 @@ import pytest
 
 from repro.rpc.errors import ErrorModel, StatusCode
 from repro.rpc.hedging import HedgingPolicy
+from repro.sim.distributions import Exponential
 from repro.studies import (
     run_cross_cluster_study,
     run_diurnal_study,
+    run_queueing_study,
     run_service_study,
 )
 
@@ -74,3 +76,39 @@ def test_service_study_too_many_clusters_rejected():
     with pytest.raises(ValueError):
         run_service_study(services=["KVStore"], n_clusters=10_000,
                           duration_s=0.1)
+
+
+def test_queueing_study_matches_mm1_and_is_deterministic():
+    # rho = 0.6 M/M/1: E[Wq] = rho / (mu - lam) = 1.5 ms; generous band
+    # because a 30k-job run still carries autocorrelated noise.
+    study = run_queueing_study(600.0, Exponential(1e-3), servers=1,
+                               n_jobs=30_000, seed=11)
+    # Utilization is measured from the actual draws, so it's near —
+    # not exactly — the offered rho.
+    assert study.utilization == pytest.approx(0.6, rel=0.02)
+    assert study.n_jobs == 27_000  # 10% warmup discarded
+    assert study.mean_wait_s() == pytest.approx(1.5e-3, rel=0.15)
+    assert study.wait_quantile(0.5) < study.wait_quantile(0.99)
+    assert study.stderr_mean_wait_s() > 0.0
+    again = run_queueing_study(600.0, Exponential(1e-3), servers=1,
+                               n_jobs=30_000, seed=11)
+    assert np.array_equal(again.waits, study.waits)
+
+
+def test_queueing_study_multi_server_waits_less():
+    # Same offered load per server: pooling k=4 servers cuts the wait.
+    one = run_queueing_study(700.0, Exponential(1e-3), servers=1,
+                             n_jobs=20_000, seed=5)
+    four = run_queueing_study(2800.0, Exponential(1e-3), servers=4,
+                              n_jobs=20_000, seed=5)
+    assert four.utilization == pytest.approx(one.utilization, rel=0.02)
+    assert four.mean_wait_s() < one.mean_wait_s()
+
+
+def test_queueing_study_rejects_bad_params():
+    with pytest.raises(ValueError):
+        run_queueing_study(0.0, Exponential(1e-3))
+    with pytest.raises(ValueError):
+        run_queueing_study(100.0, Exponential(1e-3), n_jobs=0)
+    with pytest.raises(ValueError):
+        run_queueing_study(100.0, Exponential(1e-3), warmup_fraction=1.0)

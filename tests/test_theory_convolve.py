@@ -1,0 +1,184 @@
+"""Tests for profile distillation, the analytic what-if, and call-tree
+propagation (repro.theory.convolve)."""
+
+import numpy as np
+import pytest
+
+from repro.core.whatif import what_if_components
+from repro.rpc.calltree import FlatTree
+from repro.rpc.stack import COMPONENTS, ComponentMatrix
+from repro.theory.convolve import (
+    WHATIF_RESCUED_TOLERANCE_PTS,
+    AnalyticWhatIf,
+    ComponentProfile,
+    analytic_queueing,
+    propagate_tree,
+    what_if_components_analytic,
+)
+from repro.theory.ddist import DDist
+from repro.theory.mgk import MgkModel
+
+
+def synthetic_matrix(n=30_000, seed=2):
+    """Independent lognormal components with one dominant tail driver
+    and two zero-inflated queues — the shape the DES emits."""
+    rng = np.random.default_rng(seed)
+    cols = {}
+    for comp in COMPONENTS:
+        if comp == "server_application":
+            col = rng.lognormal(np.log(900e-6), 0.9, n)
+        elif comp.endswith("_queue"):
+            col = np.where(rng.random(n) < 0.7, 0.0,
+                           rng.lognormal(np.log(40e-6), 0.7, n))
+        else:
+            col = rng.lognormal(np.log(60e-6), 0.5, n)
+        cols[comp] = col
+    return ComponentMatrix(np.column_stack([cols[c] for c in COMPONENTS]))
+
+
+def test_profile_round_trips_through_dict():
+    profile = ComponentProfile.from_matrix(synthetic_matrix(2000),
+                                           service="Toy")
+    back = ComponentProfile.from_dict(profile.to_dict())
+    assert back.service == "Toy"
+    assert back.n_samples == profile.n_samples
+    assert back.percentiles == profile.percentiles
+    assert back.zero_fraction == profile.zero_fraction
+
+
+def test_profile_zero_fractions_match_columns():
+    matrix = synthetic_matrix(20_000)
+    profile = ComponentProfile.from_matrix(matrix)
+    for comp in COMPONENTS:
+        col = matrix.column(comp)
+        assert profile.zero_fraction[comp] == pytest.approx(
+            (col == 0.0).mean(), abs=1e-12)
+
+
+def test_profile_rejects_empty_matrix():
+    with pytest.raises(ValueError):
+        ComponentProfile.from_matrix(
+            ComponentMatrix(np.zeros((0, len(COMPONENTS)))))
+
+
+def test_analytic_whatif_matches_empirical_counterfactual():
+    # The tentpole cross-check in miniature: the closed form over the
+    # fitted profile must agree with the exact empirical counterfactual
+    # on the same matrix — same dominant component, rescued mass within
+    # the stated tolerance band.
+    matrix = synthetic_matrix()
+    empirical = what_if_components(matrix, tail_percentile=95.0)
+    analytic = what_if_components_analytic(matrix, tail_percentile=95.0)
+    assert analytic.dominant() == empirical.dominant()
+    for comp in COMPONENTS:
+        assert abs(analytic.percent_rescued[comp]
+                   - empirical.percent_rescued[comp]) <= (
+            WHATIF_RESCUED_TOLERANCE_PTS)
+
+
+def test_analytic_whatif_dominant_component_rescues_most():
+    result = what_if_components_analytic(synthetic_matrix())
+    assert result.dominant() == "server_application"
+    assert result.percent_rescued["server_application"] > 50.0
+    assert result.n_tail > 0
+
+
+def test_engine_sweep_reuses_distributions():
+    profile = ComponentProfile.from_matrix(synthetic_matrix(10_000))
+    engine = AnalyticWhatIf(profile)
+    results = engine.sweep((90.0, 99.0))
+    assert [r.tail_percentile for r in results] == [90.0, 99.0]
+    # Deeper tails have fewer tail samples by construction.
+    assert results[1].n_tail < results[0].n_tail
+
+
+def test_engine_rejects_degenerate_percentile():
+    engine = AnalyticWhatIf(
+        ComponentProfile.from_matrix(synthetic_matrix(5_000)))
+    with pytest.raises(ValueError):
+        engine.result(0.0)
+    with pytest.raises(ValueError):
+        engine.result(100.0)
+
+
+# ----------------------------------------------------------------------
+# Call-tree propagation
+# ----------------------------------------------------------------------
+def three_level_tree():
+    # root(0) -> {1, 2}; 1 -> {3, 4}  (BFS order, depths sorted)
+    return FlatTree(
+        method_ids=np.arange(5, dtype=np.int64),
+        parents=np.array([-1, 0, 0, 1, 1], dtype=np.int64),
+        depths=np.array([0, 1, 1, 2, 2], dtype=np.int64),
+    )
+
+
+def test_propagate_tree_serial_matches_monte_carlo():
+    tree = three_level_tree()
+    h = 5e-5
+    dists = [DDist.from_lognormal(-7.0 + 0.1 * i, 0.5, h)
+             for i in range(tree.size)]
+    analytic = propagate_tree(tree, dists, mode="serial")
+
+    rng = np.random.default_rng(17)
+    draws = [rng.lognormal(-7.0 + 0.1 * i, 0.5, 100_000)
+             for i in range(tree.size)]
+    # Serial: every node's own time sums along the whole tree.
+    total = sum(draws)
+    assert analytic.mean() == pytest.approx(total.mean(), rel=0.02)
+    assert analytic.quantile(0.99) == pytest.approx(
+        np.quantile(total, 0.99), rel=0.03)
+
+
+def test_propagate_tree_parallel_matches_monte_carlo():
+    tree = three_level_tree()
+    h = 5e-5
+    dists = [DDist.from_lognormal(-7.0, 0.6, h) for _ in range(tree.size)]
+    analytic = propagate_tree(tree, dists, mode="parallel")
+
+    rng = np.random.default_rng(19)
+    d = [rng.lognormal(-7.0, 0.6, 100_000) for _ in range(tree.size)]
+    node1 = d[1] + np.maximum(d[3], d[4])
+    total = d[0] + np.maximum(node1, d[2])
+    assert analytic.mean() == pytest.approx(total.mean(), rel=0.02)
+    assert analytic.quantile(0.95) == pytest.approx(
+        np.quantile(total, 0.95), rel=0.03)
+
+
+def test_propagate_tree_parallel_never_below_serial_single_child():
+    # With one child the two modes coincide.
+    tree = FlatTree(method_ids=np.arange(2, dtype=np.int64),
+                    parents=np.array([-1, 0], dtype=np.int64),
+                    depths=np.array([0, 1], dtype=np.int64))
+    h = 5e-5
+    dists = [DDist.from_lognormal(-7.0, 0.5, h) for _ in range(2)]
+    serial = propagate_tree(tree, dists, mode="serial")
+    parallel = propagate_tree(tree, dists, mode="parallel")
+    assert serial.mean() == pytest.approx(parallel.mean(), abs=h)
+
+
+def test_propagate_tree_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        propagate_tree(three_level_tree(), [], mode="racy")
+
+
+# ----------------------------------------------------------------------
+# Analytic fig13
+# ----------------------------------------------------------------------
+def test_analytic_queueing_produces_fig13_shape():
+    rng = np.random.default_rng(23)
+    models = [
+        MgkModel(arrival_rate=float(rho) * 1000.0, mean_service_s=1e-3,
+                 cs2=float(cs2))
+        for rho, cs2 in zip(rng.uniform(0.05, 0.9, 40),
+                            rng.uniform(0.5, 4.0, 40))
+    ]
+    r = analytic_queueing(models)
+    assert 0.0 <= r.frac_median_under_360us <= 1.0
+    assert 0.0 <= r.frac_p99_under_102ms <= 1.0
+    assert r.worst10pct_p99_s >= r.worst10pct_median_s
+
+
+def test_analytic_queueing_rejects_empty():
+    with pytest.raises(ValueError):
+        analytic_queueing([])

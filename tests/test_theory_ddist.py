@@ -1,0 +1,127 @@
+"""Tests for the discretized latency distributions (repro.theory.ddist)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.ddist import DEFAULT_BIN_S, DDist
+from repro.theory.mgk import LognormalFit
+
+H = 1e-4
+
+
+def lognormal_ddist(mu=-7.0, sigma=0.8, h=H):
+    return DDist.from_lognormal(mu, sigma, h)
+
+
+def test_from_samples_matches_empirical_stats():
+    rng = np.random.default_rng(5)
+    samples = rng.lognormal(-7.0, 0.7, size=100_000)
+    d = DDist.from_samples(samples, h=1e-5)
+    assert d.pmf.sum() == pytest.approx(1.0, abs=1e-12)
+    assert d.mean() == pytest.approx(samples.mean(), rel=0.01)
+    assert d.quantile(0.95) == pytest.approx(
+        np.quantile(samples, 0.95), rel=0.02)
+
+
+def test_convolution_matches_np_convolve():
+    a, b = lognormal_ddist(sigma=0.6), lognormal_ddist(mu=-6.5, sigma=0.9)
+    s = a.add(b)
+    direct = np.convolve(a.pmf, b.pmf)
+    # Same support and identical mass (the add path may trim 1e-12 tails).
+    assert s.start == a.start + b.start
+    assert np.allclose(s.pmf, direct[: s.pmf.size], atol=1e-12)
+    assert s.mean() == pytest.approx(a.mean() + b.mean(), abs=2 * H)
+
+
+def test_convolution_is_associative_within_tolerance():
+    a = lognormal_ddist(sigma=0.5)
+    b = lognormal_ddist(mu=-6.8, sigma=0.7)
+    c = DDist.constant(2e-3, H)
+    left = a.add(b).add(c)
+    right = a.add(b.add(c))
+    assert left.start == right.start
+    n = min(left.pmf.size, right.pmf.size)
+    assert np.allclose(left.pmf[:n], right.pmf[:n], atol=1e-10)
+    assert left.quantile(0.99) == pytest.approx(right.quantile(0.99),
+                                                abs=2 * H)
+
+
+def test_fft_and_direct_convolution_agree():
+    # Force both paths over the same inputs by straddling the size
+    # threshold with a wide uniform-ish distribution.
+    rng = np.random.default_rng(9)
+    samples = rng.uniform(0.0, 0.2, size=50_000)
+    wide = DDist.from_samples(samples, h=1e-5)  # ~2e4 bins
+    out = wide.add(wide)  # size product ~4e8 > FFT threshold
+    direct = np.convolve(wide.pmf, wide.pmf)
+    assert np.allclose(out.pmf, direct[: out.pmf.size], atol=1e-9)
+
+
+def test_max_matches_monte_carlo():
+    rng = np.random.default_rng(7)
+    a, b = lognormal_ddist(sigma=0.8), lognormal_ddist(mu=-6.6, sigma=0.5)
+    m = a.max(b)
+    draws = np.maximum(rng.lognormal(-7.0, 0.8, 200_000),
+                       rng.lognormal(-6.6, 0.5, 200_000))
+    assert m.mean() == pytest.approx(draws.mean(), rel=0.02)
+    assert m.quantile(0.99) == pytest.approx(
+        np.quantile(draws, 0.99), rel=0.03)
+
+
+def test_max_n_is_cdf_power():
+    d = lognormal_ddist(sigma=0.6)
+    m3 = d.max_n(3)
+    x = d.quantile(0.9)
+    assert m3.cdf(x) == pytest.approx(d.cdf(x) ** 3, abs=1e-6)
+
+
+def test_add_n_matches_repeated_add():
+    d = lognormal_ddist(sigma=0.5)
+    by_squaring = d.add_n(4)
+    direct = d.add(d).add(d).add(d)
+    assert by_squaring.mean() == pytest.approx(direct.mean(), abs=2 * H)
+    assert by_squaring.quantile(0.95) == pytest.approx(
+        direct.quantile(0.95), abs=4 * H)
+
+
+def test_mixture_weights_and_zero_inflation():
+    spike = DDist.constant(0.0, H)
+    body = lognormal_ddist(sigma=0.6)
+    mix = DDist.mixture([(0.3, spike), (0.7, body)])
+    assert mix.cdf(0.0) == pytest.approx(0.3 + 0.7 * body.cdf(0.0), abs=1e-9)
+    zi = DDist.zero_inflated_lognormal(0.3, -7.0, 0.6, H)
+    assert zi.cdf(0.0) == pytest.approx(mix.cdf(0.0), abs=1e-6)
+    assert zi.mean() == pytest.approx(0.7 * body.mean(), rel=1e-3)
+
+
+def test_from_lognormal_matches_analytic_quantiles():
+    fit = LognormalFit(mu=-7.0, sigma=1.0)
+    d = DDist.from_lognormal(fit.mu, fit.sigma, 1e-5)
+    for p in (50.0, 95.0, 99.0):
+        assert d.percentile(p) == pytest.approx(fit.percentile(p), rel=0.01)
+
+
+def test_cdf_many_agrees_with_scalar_cdf():
+    d = lognormal_ddist()
+    xs = np.asarray([-1e-3, 0.0, d.quantile(0.5), d.quantile(0.99), 1.0])
+    many = d.cdf_many(xs)
+    assert many.shape == xs.shape
+    for x, v in zip(xs, many):
+        assert v == pytest.approx(d.cdf(float(x)), abs=1e-12)
+
+
+def test_shift_moves_support_exactly():
+    d = lognormal_ddist()
+    s = d.shift(5e-3)
+    assert s.mean() == pytest.approx(d.mean() + 5e-3, abs=H)
+    assert np.array_equal(s.pmf, d.pmf)
+
+
+def test_incompatible_bin_widths_rejected():
+    with pytest.raises(ValueError):
+        lognormal_ddist(h=1e-4).add(lognormal_ddist(h=2e-4))
+
+
+def test_default_bin_resolves_millisecond_medians():
+    d = DDist.from_lognormal(-7.0, 0.8, DEFAULT_BIN_S)
+    assert d.median() > 4 * DEFAULT_BIN_S

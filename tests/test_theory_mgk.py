@@ -1,0 +1,167 @@
+"""Tests for the closed-form queueing models (repro.theory.mgk)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.sketch import LatencySketch
+from repro.theory.mgk import (
+    REGIME_TOLERANCE,
+    LognormalFit,
+    MgkModel,
+    cs2_from_percentiles,
+    erlang_b,
+    erlang_c,
+    kingman_mean_wait,
+    mm1_mean_wait,
+    mm1_wait_quantile,
+    mmk_mean_wait,
+    pk_mean_wait,
+    regime_for,
+)
+
+
+# ----------------------------------------------------------------------
+# Lognormal percentile fitting
+# ----------------------------------------------------------------------
+def test_lognormal_fit_round_trips_exact_percentiles():
+    truth = LognormalFit(mu=-7.0, sigma=1.1)
+    pts = {p: truth.percentile(p) for p in (50.0, 95.0, 99.0)}
+    fit = LognormalFit.from_percentiles(pts)
+    assert fit.mu == pytest.approx(truth.mu, rel=1e-9)
+    assert fit.sigma == pytest.approx(truth.sigma, rel=1e-9)
+    assert fit.max_rel_err(pts) < 1e-9
+
+
+def test_lognormal_fit_moments_match_numpy():
+    rng = np.random.default_rng(3)
+    mu, sigma = -6.5, 0.8
+    samples = rng.lognormal(mu, sigma, size=400_000)
+    fit = LognormalFit(mu=mu, sigma=sigma)
+    assert fit.mean == pytest.approx(samples.mean(), rel=0.01)
+    assert fit.median == pytest.approx(np.median(samples), rel=0.01)
+    assert math.sqrt(fit.variance) == pytest.approx(samples.std(), rel=0.02)
+
+
+def test_cs2_from_percentiles_heavy_tail_is_not_sigma_squared():
+    # The classic pitfall: sigma = 1.4 gives Cs^2 = e^{sigma^2} - 1 ~ 6.1,
+    # NOT sigma^2 ~ 1.96. The helper must return the former.
+    truth = LognormalFit(mu=-7.0, sigma=1.4)
+    cs2 = cs2_from_percentiles(truth.percentile(50.0),
+                               p95=truth.percentile(95.0),
+                               p99=truth.percentile(99.0))
+    assert cs2 == pytest.approx(math.exp(1.4 ** 2) - 1.0, rel=1e-6)
+    assert cs2 > 6.0
+
+
+def test_fit_from_sketch_close_to_exact_fit():
+    rng = np.random.default_rng(11)
+    mu, sigma = -6.0, 0.9
+    sketch = LatencySketch()
+    sketch.observe_many(rng.lognormal(mu, sigma, size=200_000))
+    fit = LognormalFit.from_sketch(sketch)
+    assert fit.mu == pytest.approx(mu, abs=0.05)
+    assert fit.sigma == pytest.approx(sigma, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# Erlang and waits
+# ----------------------------------------------------------------------
+def test_erlang_b_matches_direct_formula():
+    # B(k, a) = (a^k / k!) / sum_j a^j / j!
+    k, a = 4, 2.5
+    terms = [a ** j / math.factorial(j) for j in range(k + 1)]
+    assert erlang_b(k, a) == pytest.approx(terms[-1] / sum(terms), rel=1e-12)
+
+
+def test_erlang_c_single_server_is_rho():
+    # With k=1, the probability of waiting is the utilization itself.
+    assert erlang_c(1, 0.7) == pytest.approx(0.7, rel=1e-12)
+
+
+def test_erlang_c_rejects_unstable_load():
+    with pytest.raises(ValueError):
+        erlang_c(2, 2.0)
+
+
+def test_mm1_wait_quantile_brackets_and_atom():
+    lam, mu = 700.0, 1000.0
+    # Below the 1 - rho atom the wait is exactly zero.
+    assert mm1_wait_quantile(0.2, lam, mu) == 0.0
+    # P(W > t) = rho * exp(-(mu - lam) t) inverts the quantile.
+    t = mm1_wait_quantile(0.99, lam, mu)
+    assert 0.7 * math.exp(-(mu - lam) * t) == pytest.approx(0.01, rel=1e-9)
+
+
+def test_pk_reduces_to_mm1_at_cs2_one():
+    lam, mean_s = 800.0, 1e-3
+    assert pk_mean_wait(lam, mean_s, 1.0) == pytest.approx(
+        mm1_mean_wait(lam, 1.0 / mean_s), rel=1e-12)
+
+
+def test_kingman_reduces_to_exact_mm1():
+    # Property: at Cs^2 = Ca^2 = 1 and k = 1, the approximation IS exact.
+    lam, mean_s = 850.0, 1e-3
+    assert kingman_mean_wait(lam, mean_s, 1.0, servers=1, ca2=1.0) == (
+        pytest.approx(mm1_mean_wait(lam, 1.0 / mean_s), rel=1e-12))
+
+
+def test_kingman_reduces_to_mmk():
+    lam, mean_s, k = 3000.0, 1e-3, 4
+    assert kingman_mean_wait(lam, mean_s, 1.0, servers=k) == pytest.approx(
+        mmk_mean_wait(lam, mean_s, k), rel=1e-12)
+
+
+def test_kingman_scales_linearly_in_variability():
+    lam, mean_s = 700.0, 1e-3
+    base = kingman_mean_wait(lam, mean_s, 1.0)
+    assert kingman_mean_wait(lam, mean_s, 3.0) == pytest.approx(
+        base * (1.0 + 3.0) / 2.0, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# The model facade
+# ----------------------------------------------------------------------
+def test_regime_bands_cover_the_grid():
+    assert regime_for(1.0, 1) == "exact"
+    assert regime_for(1.5, 4) == "kingman-moderate"
+    assert regime_for(6.0, 4) == "kingman-heavy"
+    assert set(REGIME_TOLERANCE) == {"exact", "kingman-moderate",
+                                     "kingman-heavy"}
+    assert (REGIME_TOLERANCE["exact"] < REGIME_TOLERANCE["kingman-moderate"]
+            < REGIME_TOLERANCE["kingman-heavy"])
+
+
+def test_model_rejects_unstable_and_bad_params():
+    with pytest.raises(ValueError):
+        MgkModel(arrival_rate=2000.0, mean_service_s=1e-3, servers=1)
+    with pytest.raises(ValueError):
+        MgkModel(arrival_rate=100.0, mean_service_s=-1e-3)
+
+
+def test_model_from_percentiles_matches_manual_fit():
+    truth = LognormalFit(mu=-7.0, sigma=1.0)
+    pts = {p: truth.percentile(p) for p in (50.0, 95.0, 99.0)}
+    model = MgkModel.from_percentiles(200.0, pts, servers=2)
+    assert model.mean_service_s == pytest.approx(truth.mean, rel=1e-9)
+    assert model.cs2 == pytest.approx(truth.cs2, rel=1e-9)
+    assert model.utilization == pytest.approx(
+        200.0 * truth.mean / 2.0, rel=1e-9)
+
+
+def test_model_wait_quantile_is_consistent_with_ccdf():
+    model = MgkModel(arrival_rate=700.0, mean_service_s=1e-3, cs2=2.0,
+                     servers=2)
+    t = model.wait_quantile(0.99)
+    assert model.wait_ccdf(t) == pytest.approx(0.01, rel=1e-6)
+    # Inside the no-wait atom the quantile is zero.
+    assert model.wait_quantile(0.01) == 0.0
+
+
+def test_model_to_dict_is_json_shaped():
+    doc = MgkModel(arrival_rate=500.0, mean_service_s=1e-3,
+                   cs2=1.5, servers=2).to_dict()
+    assert doc["regime"] == "kingman-moderate"
+    assert 0.0 < doc["utilization"] < 1.0
+    assert doc["mean_wait_s"] > 0.0

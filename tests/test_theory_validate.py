@@ -1,0 +1,121 @@
+"""Tests for the theory-vs-DES validation harness (repro.theory.validate)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.validate import (
+    FANOUT_REL_TOL,
+    GRIDS,
+    AgreementReport,
+    ValidationPoint,
+    run_validation,
+    sweep_fanout,
+    sweep_whatif,
+)
+
+
+def point(theory=1.0, des=1.05, rel_tol=0.0, abs_tol=0.0, **kw):
+    return ValidationPoint(kind=kw.pop("kind", "toy"),
+                           regime=kw.pop("regime", "exact"),
+                           params=kw.pop("params", {"rho": 0.5}),
+                           theory=theory, des=des,
+                           rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+# ----------------------------------------------------------------------
+# Point and report mechanics
+# ----------------------------------------------------------------------
+def test_point_agreement_takes_the_looser_tolerance():
+    # allowed = max(abs_tol, rel_tol * |theory|): either band can save it.
+    assert point(theory=1.0, des=1.05, rel_tol=0.10).ok
+    assert point(theory=1.0, des=1.05, abs_tol=0.06).ok
+    assert not point(theory=1.0, des=1.05, rel_tol=0.01, abs_tol=0.01).ok
+    p = point(theory=2.0, des=2.1, rel_tol=0.10, abs_tol=0.5)
+    assert p.allowed == pytest.approx(0.5)
+    assert p.error == pytest.approx(0.1)
+
+
+def test_point_zero_theory_uses_absolute_band_only():
+    assert point(theory=0.0, des=0.01, abs_tol=0.02).ok
+    assert not point(theory=0.0, des=0.01, rel_tol=0.5).ok
+    assert point(theory=0.0, des=0.01).rel_error == float("inf")
+
+
+def test_point_to_dict_carries_the_verdict():
+    doc = point(theory=1.0, des=1.2, rel_tol=0.1).to_dict()
+    assert doc["ok"] is False
+    assert doc["error"] == pytest.approx(0.2)
+    assert doc["allowed"] == pytest.approx(0.1)
+    assert doc["params"] == {"rho": 0.5}
+
+
+def test_report_ok_and_breaches():
+    good = point(rel_tol=0.10)
+    bad = point(theory=1.0, des=2.0, rel_tol=0.10)
+    report = AgreementReport(grid="ci", seed=1, points=[good, bad])
+    assert not report.ok
+    assert report.breaches() == [bad]
+    doc = report.to_dict()
+    assert doc["n_points"] == 2
+    assert doc["n_breaches"] == 1
+    assert len(doc["points"]) == 2
+    # An all-good report is ok; an empty one vacuously so.
+    assert AgreementReport(grid="ci", seed=1, points=[good]).ok
+    assert AgreementReport(grid="ci", seed=1).ok
+
+
+def test_report_render_flags_breaches():
+    report = AgreementReport(grid="ci", seed=7, points=[
+        point(rel_tol=0.10),
+        point(theory=1.0, des=3.0, rel_tol=0.05),
+    ])
+    text = report.render()
+    assert "grid=ci" in text and "seed=7" in text
+    assert "BREACH" in text
+    assert "1 TOLERANCE BREACH" in text
+
+
+# ----------------------------------------------------------------------
+# The cheap sweeps (no DES) run for real
+# ----------------------------------------------------------------------
+def test_sweep_fanout_agrees_and_is_deterministic():
+    pts = sweep_fanout(seed=3, n_samples=50_000, fanouts=(2, 4))
+    # 2 fanouts x 2 shapes x 2 quantiles
+    assert len(pts) == 8
+    assert all(p.ok for p in pts)
+    assert all(p.rel_tol == FANOUT_REL_TOL for p in pts)
+    again = sweep_fanout(seed=3, n_samples=50_000, fanouts=(2, 4))
+    assert [p.to_dict() for p in again] == [p.to_dict() for p in pts]
+
+
+def test_sweep_whatif_agrees_on_dominant_and_rescued():
+    pts = sweep_whatif(seed=5, n_samples=20_000)
+    kinds = {p.kind for p in pts}
+    assert kinds == {"whatif-dominant", "whatif-rescued-dominant"}
+    assert all(p.ok for p in pts)
+    # Dominant agreement is encoded as an exact 0/1 point.
+    for p in pts:
+        if p.kind == "whatif-dominant":
+            assert p.des == 1.0 and p.abs_tol == 0.0
+
+
+def test_run_validation_selects_sweeps_and_rejects_unknowns():
+    report = run_validation(grid="ci", seed=3, sweeps=("fanout",))
+    assert report.ok
+    assert report.grid == "ci"
+    assert all(p.kind.startswith("fanout-") for p in report.points)
+    with pytest.raises(ValueError):
+        run_validation(grid="nightly")
+    with pytest.raises(ValueError):
+        run_validation(sweeps=("fanout", "chaos"))
+
+
+def test_grids_are_well_formed():
+    for name, cfg in GRIDS.items():
+        assert set(cfg) == {"mm1_rhos", "mg1", "mgk_rhos", "mgk_sigmas",
+                            "mgk_servers", "n_jobs"}, name
+        assert all(0.0 < rho < 1.0 for rho in cfg["mm1_rhos"])
+        assert all(0.0 < rho < 1.0 for rho in cfg["mgk_rhos"])
+        assert int(cfg["n_jobs"]) > 0
+    # full is a superset-depth grid of ci.
+    assert GRIDS["full"]["n_jobs"] > GRIDS["ci"]["n_jobs"]
